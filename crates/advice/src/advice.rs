@@ -1,0 +1,110 @@
+//! The advice bundle submitted at the start of an IE–CMS session.
+
+use crate::pathexpr::PathExpr;
+use crate::viewspec::ViewSpec;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Everything the IE tells the CMS before issuing queries: "the typical
+/// mode of IE – CMS interaction consists of a set of sessions. At the
+/// beginning of each session, the IE submits a set of advice. This is
+/// followed by a sequence of CAQL queries" (§3).
+///
+/// Advice is strictly optional for the CMS ("the CMS only receives advice
+/// and does not actively request it, nor is advice necessary for the CMS
+/// to function", §3) — an empty [`Advice::none`] bundle is always valid.
+#[derive(Debug, Clone, Default)]
+pub struct Advice {
+    /// The simplest form of advice: "an unordered list b1, b2, b3, ..., of
+    /// all the base relations referenced in the problem graph" (§4.2).
+    pub base_relations: Vec<String>,
+    /// View specifications with binding annotations (§4.2.1).
+    pub view_specs: Vec<ViewSpec>,
+    /// The session's path expression (§4.2.2).
+    pub path: Option<PathExpr>,
+}
+
+impl Advice {
+    /// The empty bundle (no advice — the CMS still functions).
+    pub fn none() -> Advice {
+        Advice::default()
+    }
+
+    /// Advice consisting only of the base-relation list.
+    pub fn base_relations(names: impl IntoIterator<Item = String>) -> Advice {
+        Advice {
+            base_relations: names.into_iter().collect(),
+            ..Advice::default()
+        }
+    }
+
+    /// Look up a view specification by name.
+    pub fn view_spec(&self, name: &str) -> Option<&ViewSpec> {
+        self.view_specs.iter().find(|v| v.name == name)
+    }
+
+    /// Every base relation mentioned anywhere (explicit list plus view
+    /// spec bodies), deduplicated.
+    pub fn all_base_relations(&self) -> BTreeSet<&str> {
+        let mut out: BTreeSet<&str> = self.base_relations.iter().map(String::as_str).collect();
+        for v in &self.view_specs {
+            out.extend(v.base_relations());
+        }
+        out
+    }
+
+    /// True when the bundle carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.base_relations.is_empty() && self.view_specs.is_empty() && self.path.is_none()
+    }
+}
+
+impl fmt::Display for Advice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.base_relations.is_empty() {
+            writeln!(f, "base: {}", self.base_relations.join(", "))?;
+        }
+        for v in &self.view_specs {
+            writeln!(f, "{v}")?;
+        }
+        if let Some(p) = &self.path {
+            writeln!(f, "path: {p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_path_expr, parse_view_spec};
+
+    #[test]
+    fn empty_advice_is_valid() {
+        let a = Advice::none();
+        assert!(a.is_empty());
+        assert!(a.all_base_relations().is_empty());
+    }
+
+    #[test]
+    fn base_relations_union_view_spec_bodies() {
+        let mut a = Advice::base_relations(vec!["b9".to_string()]);
+        a.view_specs
+            .push(parse_view_spec("d1(Y^) =def b1(c1, Y^) (R1)").unwrap());
+        let all: Vec<_> = a.all_base_relations().into_iter().collect();
+        assert_eq!(all, vec!["b1", "b9"]);
+        assert!(a.view_spec("d1").is_some());
+        assert!(a.view_spec("d2").is_none());
+    }
+
+    #[test]
+    fn display_round_trips_components() {
+        let mut a = Advice::none();
+        a.view_specs
+            .push(parse_view_spec("d1(Y^) =def b1(c1, Y^) (R1)").unwrap());
+        a.path = Some(parse_path_expr("(d1(Y^))<1,1>").unwrap());
+        let s = a.to_string();
+        assert!(s.contains("d1(Y^) =def b1(c1, Y^) (R1)"));
+        assert!(s.contains("path: (d1(Y^))<1,1>"));
+    }
+}

@@ -1,0 +1,427 @@
+//! Parsers for the paper's concrete advice notation.
+//!
+//! View specifications: `d2(X^, Y?) =def b2(X^, Z) & b3(Z, c2, Y?) (R2)`.
+//! Path expressions: `(d1(Y^), (d2(X^,Y?), d3(X^,Y?))<0,|Y|>)<1,1>` and
+//! alternations `[d2(X^,Y?), d3(X^,Y?)]^1`.
+
+use crate::pathexpr::{PathExpr, PatternArg, QueryPattern, RepBound, Repetition};
+use crate::viewspec::{Annotation, ViewSpec};
+use braid_caql::{parse_rule, Term, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A failure to parse advice notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdviceParseError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl AdviceParseError {
+    fn new(m: impl Into<String>) -> Self {
+        AdviceParseError { message: m.into() }
+    }
+}
+
+impl fmt::Display for AdviceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "advice parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AdviceParseError {}
+
+/// Parse a view specification in the paper's notation.
+///
+/// Annotations (`^` producer, `?` consumer) may appear on any occurrence
+/// of a variable; they must be consistent. A trailing parenthesized
+/// identifier list is read as the rule-id provenance.
+///
+/// # Errors
+/// Returns an error for malformed syntax or inconsistent annotations.
+pub fn parse_view_spec(src: &str) -> Result<ViewSpec, AdviceParseError> {
+    let src = src.trim();
+    // Split off a trailing rule-id list: " (R1,R2)".
+    let (main, rule_ids) = match src.rfind('(') {
+        Some(i) if src.ends_with(')') && i > 0 && src[..i].ends_with(' ') => {
+            let ids: Vec<String> = src[i + 1..src.len() - 1]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            // Heuristic: rule ids are bare identifiers (no annotations or
+            // nested parens).
+            if !ids.is_empty()
+                && ids
+                    .iter()
+                    .all(|s| s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
+            {
+                (src[..i].trim_end(), ids)
+            } else {
+                (src, Vec::new())
+            }
+        }
+        _ => (src, Vec::new()),
+    };
+
+    // Collect annotations and strip them.
+    let mut annotations: BTreeMap<String, Annotation> = BTreeMap::new();
+    let mut stripped = String::with_capacity(main.len());
+    let chars: Vec<char> = main.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_ascii_uppercase() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let var: String = chars[start..i].iter().collect();
+            let ann = match chars.get(i) {
+                Some('^') => {
+                    i += 1;
+                    Annotation::Producer
+                }
+                Some('?') => {
+                    i += 1;
+                    Annotation::Consumer
+                }
+                _ => Annotation::None,
+            };
+            if ann != Annotation::None {
+                match annotations.get(&var) {
+                    Some(prev) if *prev != ann => {
+                        return Err(AdviceParseError::new(format!(
+                            "variable {var} annotated both {} and {}",
+                            prev.symbol(),
+                            ann.symbol()
+                        )))
+                    }
+                    _ => {
+                        annotations.insert(var.clone(), ann);
+                    }
+                }
+            }
+            stripped.push_str(&var);
+        } else {
+            stripped.push(c);
+            i += 1;
+        }
+    }
+
+    // Normalize `=def` to `:-` and `&` to `,`, then reuse the CAQL parser.
+    let normalized = stripped.replacen("=def", ":-", 1).replace('&', ",");
+    let rule =
+        parse_rule(&format!("{normalized}.")).map_err(|e| AdviceParseError::new(e.to_string()))?;
+
+    let params: Vec<(Term, Annotation)> = rule
+        .head
+        .args
+        .iter()
+        .map(|t| {
+            let a = t
+                .as_var()
+                .and_then(|v| annotations.get(v))
+                .copied()
+                .unwrap_or(Annotation::None);
+            (t.clone(), a)
+        })
+        .collect();
+
+    Ok(ViewSpec::new(
+        rule.head.pred.clone(),
+        params,
+        rule.body,
+        rule_ids,
+    ))
+}
+
+/// Parse a path expression in the paper's notation.
+///
+/// # Errors
+/// Returns an error for malformed syntax.
+pub fn parse_path_expr(src: &str) -> Result<PathExpr, AdviceParseError> {
+    let mut p = PathParser {
+        chars: src.chars().collect(),
+        i: 0,
+    };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.i < p.chars.len() {
+        return Err(AdviceParseError::new(format!(
+            "trailing input at position {}",
+            p.i
+        )));
+    }
+    Ok(e)
+}
+
+struct PathParser {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl PathParser {
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.i)
+            .map(|c| c.is_whitespace())
+            .unwrap_or(false)
+        {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), AdviceParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(AdviceParseError::new(format!(
+                "expected `{c}` at position {}",
+                self.i
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, AdviceParseError> {
+        self.skip_ws();
+        let start = self.i;
+        while self
+            .chars
+            .get(self.i)
+            .map(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .unwrap_or(false)
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(AdviceParseError::new(format!(
+                "expected identifier at position {}",
+                self.i
+            )));
+        }
+        Ok(self.chars[start..self.i].iter().collect())
+    }
+
+    fn number(&mut self) -> Result<u64, AdviceParseError> {
+        self.skip_ws();
+        let start = self.i;
+        while self
+            .chars
+            .get(self.i)
+            .map(|c| c.is_ascii_digit())
+            .unwrap_or(false)
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(AdviceParseError::new(format!(
+                "expected number at position {}",
+                self.i
+            )));
+        }
+        let s: String = self.chars[start..self.i].iter().collect();
+        s.parse()
+            .map_err(|_| AdviceParseError::new(format!("bad number `{s}`")))
+    }
+
+    fn expr(&mut self) -> Result<PathExpr, AdviceParseError> {
+        match self.peek() {
+            Some('(') => {
+                self.expect('(')?;
+                let mut items = vec![self.expr()?];
+                while self.eat(',') {
+                    items.push(self.expr()?);
+                }
+                self.expect(')')?;
+                let rep = self.repetition()?;
+                Ok(PathExpr::Seq { items, rep })
+            }
+            Some('[') => {
+                self.expect('[')?;
+                let mut items = vec![self.expr()?];
+                while self.eat(',') {
+                    items.push(self.expr()?);
+                }
+                self.expect(']')?;
+                let select = if self.eat('^') {
+                    Some(self.number()? as usize)
+                } else {
+                    None
+                };
+                Ok(PathExpr::Alt { items, select })
+            }
+            _ => Ok(PathExpr::Pattern(self.pattern()?)),
+        }
+    }
+
+    fn repetition(&mut self) -> Result<Repetition, AdviceParseError> {
+        self.expect('<')?;
+        let lo = self.bound()?;
+        self.expect(',')?;
+        let hi = self.bound()?;
+        self.expect('>')?;
+        Ok(Repetition { lo, hi })
+    }
+
+    fn bound(&mut self) -> Result<RepBound, AdviceParseError> {
+        match self.peek() {
+            Some('|') => {
+                self.expect('|')?;
+                let v = self.ident()?;
+                self.expect('|')?;
+                Ok(RepBound::Card(v))
+            }
+            Some('*') => {
+                self.expect('*')?;
+                Ok(RepBound::Unbounded)
+            }
+            _ => Ok(RepBound::Count(self.number()?)),
+        }
+    }
+
+    fn pattern(&mut self) -> Result<QueryPattern, AdviceParseError> {
+        let view = self.ident()?;
+        self.expect('(')?;
+        let mut args = Vec::new();
+        if !self.eat(')') {
+            loop {
+                args.push(self.pattern_arg()?);
+                if self.eat(')') {
+                    break;
+                }
+                self.expect(',')?;
+            }
+        }
+        Ok(QueryPattern::new(view, args))
+    }
+
+    fn pattern_arg(&mut self) -> Result<PatternArg, AdviceParseError> {
+        self.skip_ws();
+        let c = self
+            .peek()
+            .ok_or_else(|| AdviceParseError::new("unexpected end of pattern"))?;
+        if c.is_ascii_digit() {
+            let n = self.number()?;
+            return Ok(PatternArg::Const(Value::Int(n as i64)));
+        }
+        let word = self.ident()?;
+        let first = word.chars().next().unwrap_or('a');
+        if first.is_ascii_uppercase() || first == '_' {
+            match self.chars.get(self.i) {
+                Some('^') => {
+                    self.i += 1;
+                    Ok(PatternArg::Free(word))
+                }
+                Some('?') => {
+                    self.i += 1;
+                    Ok(PatternArg::Bound(word))
+                }
+                _ => Err(AdviceParseError::new(format!(
+                    "pattern variable `{word}` must carry `^` or `?`"
+                ))),
+            }
+        } else {
+            Ok(PatternArg::Const(Value::str(word)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_spec_round_trip_paper_d2() {
+        let v = parse_view_spec("d2(X^, Y?) =def b2(X^, Z) & b3(Z, c2, Y?) (R2)").unwrap();
+        assert_eq!(v.name, "d2");
+        assert_eq!(v.rule_ids, vec!["R2"]);
+        assert_eq!(
+            v.to_string(),
+            "d2(X^, Y?) =def b2(X^, Z) & b3(Z, c2, Y?) (R2)"
+        );
+    }
+
+    #[test]
+    fn view_spec_without_rule_ids() {
+        let v = parse_view_spec("d1(Y^) =def b1(c1, Y^)").unwrap();
+        assert!(v.rule_ids.is_empty());
+        assert_eq!(v.to_string(), "d1(Y^) =def b1(c1, Y^)");
+    }
+
+    #[test]
+    fn inconsistent_annotation_rejected() {
+        let e = parse_view_spec("d(X^) =def b(X?)").unwrap_err();
+        assert!(e.message.contains("annotated both"));
+    }
+
+    #[test]
+    fn path_expr_round_trip_example1() {
+        let src = "(d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>";
+        let e = parse_path_expr(src).unwrap();
+        assert_eq!(e.to_string(), src);
+    }
+
+    #[test]
+    fn path_expr_round_trip_example2() {
+        let src = "(d1(Y^), ([d2(X^, Y?), d3(X^, Y?)])<0,|Y|>)<1,1>";
+        let e = parse_path_expr(src).unwrap();
+        assert_eq!(e.to_string(), src);
+    }
+
+    #[test]
+    fn path_expr_round_trip_excerpt_with_selection() {
+        let src = "(d1(X?, Y^), [(d2(Z^, Y?), d3(Z?))<1,1>, (d4(U^, Y?), d5(U?))<1,1>]^1)<0,|X|>";
+        let e = parse_path_expr(src).unwrap();
+        assert_eq!(e.to_string(), src);
+    }
+
+    #[test]
+    fn pattern_constants_parse() {
+        let e = parse_path_expr("d1(c1, X^)").unwrap();
+        match e {
+            PathExpr::Pattern(p) => {
+                assert_eq!(p.args[0], PatternArg::Const(Value::str("c1")));
+            }
+            other => panic!("expected pattern, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unannotated_pattern_variable_rejected() {
+        assert!(parse_path_expr("d1(X)").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_path_expr("(d1(Y^))<1,1> zzz").is_err());
+    }
+
+    #[test]
+    fn unbounded_repetition() {
+        let e = parse_path_expr("(d1(Y^))<0,*>").unwrap();
+        match &e {
+            PathExpr::Seq { rep, .. } => {
+                assert_eq!(rep.hi, RepBound::Unbounded);
+                assert!(rep.may_repeat());
+            }
+            other => panic!("expected seq, got {other:?}"),
+        }
+        assert_eq!(e.to_string(), "(d1(Y^))<0,*>");
+    }
+}

@@ -1,0 +1,378 @@
+//! Path expressions: predictions of relation accessing order, repetition
+//! and binding patterns (§4.2.2).
+
+use braid_caql::{Atom, Term, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One argument position of a query pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternArg {
+    /// `X^` — the query will have a free variable here.
+    Free(String),
+    /// `Y?` — the query will have some constant here (value unknown at
+    /// advice time).
+    Bound(String),
+    /// A specific constant known at advice time.
+    Const(Value),
+}
+
+impl fmt::Display for PatternArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternArg::Free(v) => write!(f, "{v}^"),
+            PatternArg::Bound(v) => write!(f, "{v}?"),
+            PatternArg::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// "A query pattern has the general form dᵢ(T1,...,Tn) where dᵢ is the
+/// identifier of a view specification" (§4.2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPattern {
+    /// The view specification name.
+    pub view: String,
+    /// Argument abstractions.
+    pub args: Vec<PatternArg>,
+}
+
+impl QueryPattern {
+    /// Build a pattern.
+    pub fn new(view: impl Into<String>, args: Vec<PatternArg>) -> QueryPattern {
+        QueryPattern {
+            view: view.into(),
+            args,
+        }
+    }
+
+    /// Does a concrete IE-query head match this pattern? The view name and
+    /// arity must agree; `Bound` matches a constant, `Const(c)` matches
+    /// exactly `c`, and `Free` matches anything — patterns are
+    /// "abstraction\[s\] of an individual query" (§4.2.2), and an argument
+    /// predicted free may still arrive instantiated when an IE-internal
+    /// goal bound it first (the paper's Example 2 keeps `d2(X^, Y?)` even
+    /// though the guard k3(X) binds X before the query is emitted).
+    pub fn matches(&self, query_head: &Atom) -> bool {
+        if query_head.pred != self.view || query_head.arity() != self.args.len() {
+            return false;
+        }
+        self.args
+            .iter()
+            .zip(&query_head.args)
+            .all(|(p, t)| match (p, t) {
+                (PatternArg::Free(_), _) => true,
+                (PatternArg::Bound(_), Term::Const(_)) => true,
+                (PatternArg::Const(c), Term::Const(v)) => c == v,
+                _ => false,
+            })
+    }
+}
+
+impl fmt::Display for QueryPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.view)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A bound of a repetition count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepBound {
+    /// A known constant.
+    Count(u64),
+    /// The cardinality of a variable's binding set, written `|Y|` — known
+    /// only once the producing query has run.
+    Card(String),
+    /// No upper bound.
+    Unbounded,
+}
+
+impl fmt::Display for RepBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepBound::Count(n) => write!(f, "{n}"),
+            RepBound::Card(v) => write!(f, "|{v}|"),
+            RepBound::Unbounded => write!(f, "*"),
+        }
+    }
+}
+
+/// "Associated with each sequence is a repetition count which provides a
+/// lower and upper bound on the number of times the sequence will be
+/// repeated" (§4.2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repetition {
+    /// Lower bound.
+    pub lo: RepBound,
+    /// Upper bound.
+    pub hi: RepBound,
+}
+
+impl Repetition {
+    /// `<1,1>` — exactly once.
+    pub fn once() -> Repetition {
+        Repetition {
+            lo: RepBound::Count(1),
+            hi: RepBound::Count(1),
+        }
+    }
+
+    /// `<lo,hi>` with constant bounds.
+    pub fn counts(lo: u64, hi: u64) -> Repetition {
+        Repetition {
+            lo: RepBound::Count(lo),
+            hi: RepBound::Count(hi),
+        }
+    }
+
+    /// `<0,|var|>` — the common "once per binding" shape.
+    pub fn per_binding(var: impl Into<String>) -> Repetition {
+        Repetition {
+            lo: RepBound::Count(0),
+            hi: RepBound::Card(var.into()),
+        }
+    }
+
+    /// May the sequence be skipped entirely?
+    pub fn may_skip(&self) -> bool {
+        matches!(self.lo, RepBound::Count(0))
+    }
+
+    /// May the sequence repeat more than once?
+    pub fn may_repeat(&self) -> bool {
+        match &self.hi {
+            RepBound::Count(n) => *n > 1,
+            RepBound::Card(_) | RepBound::Unbounded => true,
+        }
+    }
+}
+
+impl fmt::Display for Repetition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.lo, self.hi)
+    }
+}
+
+/// A path expression: "the primary component of a path expression is the
+/// path expression element which may be either a single query pattern or a
+/// grouping" — a sequence `( ... )<lo,hi>` or an alternation `[ ... ]^s`
+/// (§4.2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathExpr {
+    /// A single query pattern.
+    Pattern(QueryPattern),
+    /// An ordered sequence with a repetition count.
+    Seq {
+        /// Member expressions, in emission order.
+        items: Vec<PathExpr>,
+        /// How many times the whole sequence repeats.
+        rep: Repetition,
+    },
+    /// An unordered alternation; "of the members of the alternation, one
+    /// or more may be emitted ... and some members may never appear".
+    Alt {
+        /// Member expressions.
+        items: Vec<PathExpr>,
+        /// Optional selection term: "the maximum number of elements that
+        /// may be selected during any occurrence" (1 ⇒ mutually
+        /// exclusive).
+        select: Option<usize>,
+    },
+}
+
+impl PathExpr {
+    /// Wrap a pattern.
+    pub fn pattern(p: QueryPattern) -> PathExpr {
+        PathExpr::Pattern(p)
+    }
+
+    /// A sequence with the given repetition.
+    pub fn seq(items: Vec<PathExpr>, rep: Repetition) -> PathExpr {
+        PathExpr::Seq { items, rep }
+    }
+
+    /// An alternation.
+    pub fn alt(items: Vec<PathExpr>, select: Option<usize>) -> PathExpr {
+        PathExpr::Alt { items, select }
+    }
+
+    /// All view names mentioned anywhere in the expression.
+    pub fn views(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_views(&mut out);
+        out
+    }
+
+    fn collect_views<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            PathExpr::Pattern(p) => {
+                out.insert(p.view.as_str());
+            }
+            PathExpr::Seq { items, .. } | PathExpr::Alt { items, .. } => {
+                for i in items {
+                    i.collect_views(out);
+                }
+            }
+        }
+    }
+
+    /// Number of query patterns in the expression.
+    pub fn pattern_count(&self) -> usize {
+        match self {
+            PathExpr::Pattern(_) => 1,
+            PathExpr::Seq { items, .. } | PathExpr::Alt { items, .. } => {
+                items.iter().map(PathExpr::pattern_count).sum()
+            }
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathExpr::Pattern(p) => write!(f, "{p}"),
+            PathExpr::Seq { items, rep } => {
+                write!(f, "(")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "){rep}")
+            }
+            PathExpr::Alt { items, select } => {
+                write!(f, "[")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")?;
+                if let Some(s) = select {
+                    write!(f, "^{s}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 1 path expression:
+    /// `(d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>`.
+    pub(crate) fn example1() -> PathExpr {
+        PathExpr::seq(
+            vec![
+                PathExpr::pattern(QueryPattern::new("d1", vec![PatternArg::Free("Y".into())])),
+                PathExpr::seq(
+                    vec![
+                        PathExpr::pattern(QueryPattern::new(
+                            "d2",
+                            vec![PatternArg::Free("X".into()), PatternArg::Bound("Y".into())],
+                        )),
+                        PathExpr::pattern(QueryPattern::new(
+                            "d3",
+                            vec![PatternArg::Free("X".into()), PatternArg::Bound("Y".into())],
+                        )),
+                    ],
+                    Repetition::per_binding("Y"),
+                ),
+            ],
+            Repetition::once(),
+        )
+    }
+
+    #[test]
+    fn display_matches_paper_example1() {
+        assert_eq!(
+            example1().to_string(),
+            "(d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>"
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_example2_alternation() {
+        // `(d1(Y^), ([d2(X^, Y?), d3(X^, Y?)])<0,|Y|>)<1,1>`
+        let e = PathExpr::seq(
+            vec![
+                PathExpr::pattern(QueryPattern::new("d1", vec![PatternArg::Free("Y".into())])),
+                PathExpr::seq(
+                    vec![PathExpr::alt(
+                        vec![
+                            PathExpr::pattern(QueryPattern::new(
+                                "d2",
+                                vec![PatternArg::Free("X".into()), PatternArg::Bound("Y".into())],
+                            )),
+                            PathExpr::pattern(QueryPattern::new(
+                                "d3",
+                                vec![PatternArg::Free("X".into()), PatternArg::Bound("Y".into())],
+                            )),
+                        ],
+                        None,
+                    )],
+                    Repetition::per_binding("Y"),
+                ),
+            ],
+            Repetition::once(),
+        );
+        assert_eq!(
+            e.to_string(),
+            "(d1(Y^), ([d2(X^, Y?), d3(X^, Y?)])<0,|Y|>)<1,1>"
+        );
+    }
+
+    #[test]
+    fn pattern_matching_on_query_heads() {
+        let p = QueryPattern::new(
+            "d2",
+            vec![PatternArg::Free("X".into()), PatternArg::Bound("Y".into())],
+        );
+        let ok = Atom::new("d2", vec![Term::var("A"), Term::val("c6")]);
+        // A free slot accepts a constant (guards may pre-bind it).
+        let pre_bound = Atom::new("d2", vec![Term::val("c1"), Term::val("c6")]);
+        // A bound slot must carry a constant.
+        let unbound_consumer = Atom::new("d2", vec![Term::var("A"), Term::var("B")]);
+        let wrong_view = Atom::new("d3", vec![Term::var("A"), Term::val("c6")]);
+        assert!(p.matches(&ok));
+        assert!(p.matches(&pre_bound));
+        assert!(!p.matches(&unbound_consumer));
+        assert!(!p.matches(&wrong_view));
+    }
+
+    #[test]
+    fn const_pattern_arg_matches_exactly() {
+        let p = QueryPattern::new("d", vec![PatternArg::Const(Value::str("c1"))]);
+        assert!(p.matches(&Atom::new("d", vec![Term::val("c1")])));
+        assert!(!p.matches(&Atom::new("d", vec![Term::val("c2")])));
+    }
+
+    #[test]
+    fn views_and_counts() {
+        let e = example1();
+        let vs: Vec<_> = e.views().into_iter().collect();
+        assert_eq!(vs, vec!["d1", "d2", "d3"]);
+        assert_eq!(e.pattern_count(), 3);
+    }
+
+    #[test]
+    fn repetition_helpers() {
+        assert!(Repetition::per_binding("Y").may_skip());
+        assert!(Repetition::per_binding("Y").may_repeat());
+        assert!(!Repetition::once().may_skip());
+        assert!(!Repetition::once().may_repeat());
+        assert!(Repetition::counts(2, 5).may_repeat());
+        assert!(!Repetition::counts(2, 5).may_skip());
+    }
+}

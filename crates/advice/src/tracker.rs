@@ -1,0 +1,540 @@
+//! Path expression tracking.
+//!
+//! "Path expression tracking deals with the problem of establishing an
+//! association between a given CAQL query and a path expression. ... the
+//! CMS must be able to keep track of the path expression element to which
+//! a given CAQL query corresponds. Path expression tracking is crucial if
+//! path expressions are to be of any use to the CMS" (§4.2.2).
+//!
+//! The tracker compiles a [`PathExpr`] into a small nondeterministic
+//! automaton over query patterns. Observed IE-queries advance the
+//! automaton; [`PathTracker::predict_next`] returns the views that may be
+//! requested next, and [`PathTracker::distance_to`] answers the paper's
+//! replacement question ("d₁ will be required for one of the next two
+//! queries. If the CMS needs to replace some cache element it is clear
+//! that d₁ is not the best candidate").
+//!
+//! Approximations (advisory only — tracking never affects correctness):
+//! repetition bounds are tracked as `may_skip` / `may_repeat` (the counts
+//! themselves carry cardinality hints for prefetch sizing, not hard
+//! limits), and an alternation with selection term `s > 1` (or none) may
+//! emit several members per occurrence in any order.
+
+use crate::pathexpr::{PathExpr, PatternArg, QueryPattern};
+use braid_caql::{Atom, Term, Value};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+#[derive(Debug, Clone)]
+enum Transition {
+    Eps(usize),
+    Pat(usize, usize), // (pattern index, target state)
+}
+
+/// The path-expression tracking automaton.
+///
+/// ```
+/// use braid_advice::{parse_path_expr, PathTracker};
+/// use braid_caql::parse_atom;
+///
+/// // The paper's Example 1 expression.
+/// let expr = parse_path_expr("(d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>").unwrap();
+/// let mut t = PathTracker::new(&expr);
+/// assert!(t.advance(&parse_atom("d1(Y)").unwrap()));
+/// assert!(t.advance(&parse_atom("d2(X, c6)").unwrap()));
+/// // The predicted next query carries the observed constant — the unit
+/// // of prefetching (§5.3.1).
+/// let next = t.predict_next_queries();
+/// assert!(next.iter().any(|p| p.to_string() == "d3(X^, c6)"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathTracker {
+    patterns: Vec<QueryPattern>,
+    states: Vec<Vec<Transition>>,
+    accept: usize,
+    current: BTreeSet<usize>,
+    lost: bool,
+    observed: usize,
+    // Constants observed for named Bound/Free pattern variables, used to
+    // instantiate upcoming patterns for prefetching (§5.3.1).
+    bindings: BTreeMap<String, Value>,
+}
+
+impl PathTracker {
+    /// Compile a tracker for a path expression.
+    pub fn new(expr: &PathExpr) -> PathTracker {
+        let mut t = PathTracker {
+            patterns: Vec::new(),
+            states: Vec::new(),
+            accept: 0,
+            current: BTreeSet::new(),
+            lost: false,
+            observed: 0,
+            bindings: BTreeMap::new(),
+        };
+        let (start, end) = t.compile(expr);
+        t.accept = end;
+        t.current = t.closure([start].into_iter().collect());
+        t
+    }
+
+    fn new_state(&mut self) -> usize {
+        self.states.push(Vec::new());
+        self.states.len() - 1
+    }
+
+    fn eps(&mut self, from: usize, to: usize) {
+        self.states[from].push(Transition::Eps(to));
+    }
+
+    fn compile(&mut self, e: &PathExpr) -> (usize, usize) {
+        match e {
+            PathExpr::Pattern(p) => {
+                let s = self.new_state();
+                let t = self.new_state();
+                let idx = self.patterns.len();
+                self.patterns.push(p.clone());
+                self.states[s].push(Transition::Pat(idx, t));
+                (s, t)
+            }
+            PathExpr::Seq { items, rep } => {
+                let s = self.new_state();
+                let t = self.new_state();
+                // Concatenate members, remembering the junction after each.
+                let mut junctions = Vec::with_capacity(items.len());
+                let mut prev = s;
+                for item in items {
+                    let (is, it) = self.compile(item);
+                    self.eps(prev, is);
+                    prev = it;
+                    junctions.push(it);
+                }
+                let j = prev; // junction after the last member
+                self.eps(j, t);
+                if rep.may_skip() {
+                    self.eps(s, t);
+                }
+                if rep.may_repeat() {
+                    self.eps(j, s);
+                }
+                // Mid-sequence abandonment: the IE may stop pursuing the
+                // remaining *pattern* members of a sequence occurrence
+                // (backtracking found enough answers, or a goal failed) —
+                // this is why the paper reads Example 1 as "d2(X,c)
+                // *possibly* followed by d3(X,c)" and why, mid-sequence,
+                // the tracked prediction includes the enclosing loop's
+                // restart. Grouping members are never dropped this way: an
+                // alternation, once reached, emits "one or more" of its
+                // members (§4.2.2), and a nested sequence declares its own
+                // skippability through its repetition's lower bound.
+                for (i, &ji) in junctions
+                    .iter()
+                    .enumerate()
+                    .take(junctions.len().saturating_sub(1))
+                {
+                    let rest_droppable = items[i + 1..].iter().all(|m| match m {
+                        PathExpr::Pattern(_) => true,
+                        PathExpr::Seq { rep, .. } => rep.may_skip(),
+                        PathExpr::Alt { .. } => false,
+                    });
+                    if rest_droppable {
+                        self.eps(ji, j);
+                    }
+                }
+                (s, t)
+            }
+            PathExpr::Alt { items, select } => {
+                let s = self.new_state();
+                let t = self.new_state();
+                for item in items {
+                    let (is, it) = self.compile(item);
+                    self.eps(s, is);
+                    self.eps(it, t);
+                }
+                // Selection term > 1 (or unspecified): several members may
+                // be emitted per occurrence, in any order.
+                if select.map(|k| k > 1).unwrap_or(true) {
+                    self.eps(t, s);
+                }
+                (s, t)
+            }
+        }
+    }
+
+    fn closure(&self, mut set: BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut queue: VecDeque<usize> = set.iter().copied().collect();
+        while let Some(s) = queue.pop_front() {
+            for tr in &self.states[s] {
+                if let Transition::Eps(t) = tr {
+                    if set.insert(*t) {
+                        queue.push_back(*t);
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Observe an IE-query head. Returns `true` when the query matched the
+    /// expression at the current position; `false` means tracking was lost
+    /// (the tracker stays lost until [`PathTracker::reset`]).
+    pub fn advance(&mut self, query_head: &Atom) -> bool {
+        if self.lost {
+            return false;
+        }
+        let mut next = BTreeSet::new();
+        let mut matched_patterns: Vec<usize> = Vec::new();
+        for &s in &self.current {
+            for tr in &self.states[s] {
+                if let Transition::Pat(p, t) = tr {
+                    if self.patterns[*p].matches(query_head) {
+                        next.insert(*t);
+                        matched_patterns.push(*p);
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            self.lost = true;
+            return false;
+        }
+        // Record observed constants for named pattern variables.
+        for p in matched_patterns {
+            let pattern = self.patterns[p].clone();
+            for (arg, term) in pattern.args.iter().zip(&query_head.args) {
+                if let (PatternArg::Bound(name), Term::Const(v)) = (arg, term) {
+                    self.bindings.insert(name.clone(), v.clone());
+                }
+            }
+        }
+        self.current = self.closure(next);
+        self.observed += 1;
+        true
+    }
+
+    /// Views that may be requested by the very next IE-query.
+    pub fn predict_next(&self) -> BTreeSet<&str> {
+        if self.lost {
+            return BTreeSet::new();
+        }
+        let mut out = BTreeSet::new();
+        for &s in &self.current {
+            for tr in &self.states[s] {
+                if let Transition::Pat(p, _) = tr {
+                    out.insert(self.patterns[*p].view.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    /// The next possible query *patterns*, with any named bound variables
+    /// instantiated to their last observed constants — the unit of
+    /// prefetching ("the CMS may decide processing d3(X,c) soon after it
+    /// processes d2(X,c) and before it actually receives d3(X,c) from the
+    /// IE", §5.3.1).
+    pub fn predict_next_queries(&self) -> Vec<QueryPattern> {
+        if self.lost {
+            return Vec::new();
+        }
+        let mut out: Vec<QueryPattern> = Vec::new();
+        for &s in &self.current {
+            for tr in &self.states[s] {
+                if let Transition::Pat(p, _) = tr {
+                    let mut pat = self.patterns[*p].clone();
+                    for a in &mut pat.args {
+                        if let PatternArg::Bound(name) = a {
+                            if let Some(v) = self.bindings.get(name) {
+                                *a = PatternArg::Const(v.clone());
+                            }
+                        }
+                    }
+                    if !out.contains(&pat) {
+                        out.push(pat);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimum number of further queries until `view` may be needed:
+    /// `Some(1)` means it may be the very next query. `None` means the
+    /// view cannot appear again — the perfect replacement victim.
+    pub fn distance_to(&self, view: &str) -> Option<usize> {
+        if self.lost {
+            return None;
+        }
+        // BFS over pattern transitions, counting pattern hops.
+        let mut depth_of: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut frontier: BTreeSet<usize> = self.current.clone();
+        let mut depth = 1;
+        let mut visited: BTreeSet<usize> = frontier.clone();
+        while !frontier.is_empty() && depth <= self.states.len() + 1 {
+            let mut next = BTreeSet::new();
+            for &s in &frontier {
+                for tr in &self.states[s] {
+                    if let Transition::Pat(p, t) = tr {
+                        if self.patterns[*p].view == view {
+                            return Some(depth);
+                        }
+                        depth_of.entry(*t).or_insert(depth);
+                        for c in self.closure([*t].into_iter().collect()) {
+                            if visited.insert(c) {
+                                next.insert(c);
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            depth += 1;
+        }
+        None
+    }
+
+    /// Has tracking been lost (an unpredicted query arrived)?
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    /// Number of queries successfully tracked.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Constants observed so far for named pattern variables.
+    pub fn bindings(&self) -> &BTreeMap<String, Value> {
+        &self.bindings
+    }
+
+    /// Restart tracking from the beginning of the expression (a new
+    /// session over the same advice).
+    pub fn reset(&mut self) {
+        self.lost = false;
+        self.observed = 0;
+        self.bindings.clear();
+        self.current = self.closure([0].into_iter().collect());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathexpr::{PathExpr, Repetition};
+
+    fn pat(view: &str, args: Vec<PatternArg>) -> PathExpr {
+        PathExpr::pattern(QueryPattern::new(view, args))
+    }
+
+    fn free(v: &str) -> PatternArg {
+        PatternArg::Free(v.into())
+    }
+
+    fn bound(v: &str) -> PatternArg {
+        PatternArg::Bound(v.into())
+    }
+
+    fn head(src: &str) -> Atom {
+        braid_caql::parse_atom(src).unwrap()
+    }
+
+    /// Example 1: (d1(Y^), (d2(X^,Y?), d3(X^,Y?))<0,|Y|>)<1,1>
+    fn example1() -> PathExpr {
+        PathExpr::seq(
+            vec![
+                pat("d1", vec![free("Y")]),
+                PathExpr::seq(
+                    vec![
+                        pat("d2", vec![free("X"), bound("Y")]),
+                        pat("d3", vec![free("X"), bound("Y")]),
+                    ],
+                    Repetition::per_binding("Y"),
+                ),
+            ],
+            Repetition::once(),
+        )
+    }
+
+    /// §4.2.2 tracking excerpt:
+    /// (d1(X?,Y^), [(d2(Z^,Y?), d3(Z?)), (d4(U^,Y?), d5(U?))]^1)<0,|X|>
+    fn excerpt() -> PathExpr {
+        PathExpr::seq(
+            vec![
+                pat("d1", vec![bound("X"), free("Y")]),
+                PathExpr::alt(
+                    vec![
+                        PathExpr::seq(
+                            vec![
+                                pat("d2", vec![free("Z"), bound("Y")]),
+                                pat("d3", vec![bound("Z")]),
+                            ],
+                            Repetition::once(),
+                        ),
+                        PathExpr::seq(
+                            vec![
+                                pat("d4", vec![free("U"), bound("Y")]),
+                                pat("d5", vec![bound("U")]),
+                            ],
+                            Repetition::once(),
+                        ),
+                    ],
+                    Some(1),
+                ),
+            ],
+            Repetition {
+                lo: crate::pathexpr::RepBound::Count(0),
+                hi: crate::pathexpr::RepBound::Card("X".into()),
+            },
+        )
+    }
+
+    #[test]
+    fn example1_tracks_full_session() {
+        let mut t = PathTracker::new(&example1());
+        assert!(t.advance(&head("d1(Y)")));
+        assert!(t.advance(&head("d2(X, c6)")));
+        assert!(t.advance(&head("d3(X, c6)")));
+        assert!(t.advance(&head("d2(X, c7)")));
+        assert!(!t.is_lost());
+        assert_eq!(t.observed(), 4);
+    }
+
+    #[test]
+    fn example1_initial_prediction_is_d1() {
+        let t = PathTracker::new(&example1());
+        let p: Vec<_> = t.predict_next().into_iter().collect();
+        assert_eq!(p, vec!["d1"]);
+    }
+
+    #[test]
+    fn example1_no_second_d1() {
+        // "No additional d1(Y) queries will occur since the repetition
+        // term is <1,1>."
+        let mut t = PathTracker::new(&example1());
+        t.advance(&head("d1(Y)"));
+        assert!(!t.predict_next().contains("d1"));
+        assert_eq!(t.distance_to("d1"), None);
+        assert!(!t.advance(&head("d1(Y)")));
+        assert!(t.is_lost());
+    }
+
+    #[test]
+    fn example1_inner_sequence_may_skip_d3() {
+        // After d2, the next may be d3 (continue) or d2 (loop).
+        let mut t = PathTracker::new(&example1());
+        t.advance(&head("d1(Y)"));
+        t.advance(&head("d2(X, c6)"));
+        let p: Vec<_> = t.predict_next().into_iter().collect();
+        assert_eq!(p, vec!["d2", "d3"]);
+    }
+
+    #[test]
+    fn excerpt_valid_sequences_accepted() {
+        // Paper: "d1, d2, d3" and "d1, d4, d1, d2, d3, d1" and
+        // "d1, d2, d3, d1, d4, d5" are valid.
+        for seq in [
+            vec!["d1(c, Y)", "d2(Z, c9)", "d3(c)"],
+            vec![
+                "d1(c, Y)",
+                "d4(U, c9)",
+                "d1(c, Y)",
+                "d2(Z, c9)",
+                "d3(c)",
+                "d1(c, Y)",
+            ],
+            vec![
+                "d1(c, Y)",
+                "d2(Z, c9)",
+                "d3(c)",
+                "d1(c, Y)",
+                "d4(U, c9)",
+                "d5(c)",
+            ],
+        ] {
+            let mut t = PathTracker::new(&excerpt());
+            for q in &seq {
+                assert!(t.advance(&head(q)), "sequence {seq:?} failed at {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn excerpt_predictions_follow_paper() {
+        // "After the CMS receives the CAQL query d1 it can predict that
+        // the next query (if any) will involve either d2 or d4."
+        let mut t = PathTracker::new(&excerpt());
+        t.advance(&head("d1(c, Y)"));
+        let p: Vec<_> = t.predict_next().into_iter().collect();
+        assert_eq!(p, vec!["d2", "d4"]);
+        // "Assume that the next query involves d2. Now the CMS can predict
+        // that the next query will involve d3 or d1."
+        t.advance(&head("d2(Z, c9)"));
+        let p: Vec<_> = t.predict_next().into_iter().collect();
+        assert_eq!(p, vec!["d1", "d3"]);
+        // "if the next query involves d3 then the query after that (if
+        // any) will involve d1. Thus, d1 will be required for one of the
+        // next two queries."
+        assert_eq!(t.distance_to("d1"), Some(1));
+        t.advance(&head("d3(c)"));
+        let p: Vec<_> = t.predict_next().into_iter().collect();
+        assert_eq!(p, vec!["d1"]);
+        assert_eq!(t.distance_to("d4"), Some(2));
+    }
+
+    #[test]
+    fn mutual_exclusion_selection_term() {
+        // With select=1, after finishing (d2, d3) the alternation cannot
+        // emit (d4, d5) in the same occurrence: d4 only reachable through
+        // a new d1.
+        let mut t = PathTracker::new(&excerpt());
+        t.advance(&head("d1(c, Y)"));
+        t.advance(&head("d2(Z, c9)"));
+        t.advance(&head("d3(c)"));
+        assert!(!t.predict_next().contains("d4"));
+        assert!(!t.advance(&head("d4(U, c9)")));
+    }
+
+    #[test]
+    fn bound_constants_flow_into_predictions() {
+        // After d2(X, c6), the predicted d3 carries the constant c6 — the
+        // prefetchable query of §5.3.1.
+        let mut t = PathTracker::new(&example1());
+        t.advance(&head("d1(Y)"));
+        t.advance(&head("d2(X, c6)"));
+        let preds = t.predict_next_queries();
+        let d3 = preds.iter().find(|p| p.view == "d3").unwrap();
+        assert_eq!(d3.to_string(), "d3(X^, c6)");
+        assert_eq!(t.bindings().get("Y"), Some(&Value::str("c6")));
+    }
+
+    #[test]
+    fn lost_tracking_reports_and_resets() {
+        let mut t = PathTracker::new(&example1());
+        assert!(!t.advance(&head("zz(A)")));
+        assert!(t.is_lost());
+        assert!(t.predict_next().is_empty());
+        assert!(t.predict_next_queries().is_empty());
+        assert_eq!(t.distance_to("d1"), None);
+        t.reset();
+        assert!(!t.is_lost());
+        assert!(t.advance(&head("d1(Y)")));
+    }
+
+    #[test]
+    fn empty_sequence_compiles_without_panicking() {
+        // An IE goal with no DB access emits an empty sequence.
+        let e = PathExpr::seq(vec![], Repetition::once());
+        let mut t = PathTracker::new(&e);
+        assert!(t.predict_next().is_empty());
+        assert!(!t.advance(&head("d1(Y)")));
+    }
+
+    #[test]
+    fn alternation_without_selection_allows_multiple_members() {
+        let e = PathExpr::alt(vec![pat("a", vec![]), pat("b", vec![])], None);
+        let mut t = PathTracker::new(&e);
+        assert!(t.advance(&head("a()")));
+        assert!(t.advance(&head("b()")));
+        assert!(t.advance(&head("a()")));
+    }
+}

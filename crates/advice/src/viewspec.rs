@@ -1,0 +1,254 @@
+//! View specifications: relation definitions with binding annotations.
+//!
+//! §4.2.1: "The general form of a view specification is
+//! `dᵢ(...) =def cⱼ(...) & ... & cₙ(...) (Rj,...,Rk)`" where the `c`s are
+//! cache elements and the rule identifiers record provenance "for human
+//! consumption". "Since every occurrence of a dᵢ is unique, it is possible
+//! to augment the relation definitions with consumer and producer
+//! annotations" — `X^` marks a free (producer) variable, `Y?` a bound
+//! (consumer) one.
+
+use braid_caql::{Atom, Binding, ConjunctiveQuery, Literal, Term};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A head-argument annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Annotation {
+    /// Producer (`^`): the query will produce bindings for this argument.
+    Producer,
+    /// Consumer (`?`): the query will carry a constant here.
+    Consumer,
+    /// Unannotated (e.g. antecedent-only variables, which "are not
+    /// annotated since the CMS will be responsible for ordering").
+    None,
+}
+
+impl Annotation {
+    /// The paper's symbol, or empty for `None`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Annotation::Producer => "^",
+            Annotation::Consumer => "?",
+            Annotation::None => "",
+        }
+    }
+
+    /// Convert to a [`Binding`] (producer = free, consumer = bound).
+    pub fn binding(self) -> Option<Binding> {
+        match self {
+            Annotation::Producer => Some(Binding::Free),
+            Annotation::Consumer => Some(Binding::Bound),
+            Annotation::None => None,
+        }
+    }
+}
+
+/// A view specification: `d(params) =def body (rule ids)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewSpec {
+    /// The defined relation name (`d1`, `d2`, ...).
+    pub name: String,
+    /// Head parameters with annotations, in order.
+    pub params: Vec<(Term, Annotation)>,
+    /// Body literals (cache elements: base relations, views, evaluable
+    /// functions).
+    pub body: Vec<Literal>,
+    /// Source rule identifiers — "added here for human consumption".
+    pub rule_ids: Vec<String>,
+}
+
+impl ViewSpec {
+    /// Build a view spec.
+    pub fn new(
+        name: impl Into<String>,
+        params: Vec<(Term, Annotation)>,
+        body: Vec<Literal>,
+        rule_ids: Vec<String>,
+    ) -> ViewSpec {
+        ViewSpec {
+            name: name.into(),
+            params,
+            body,
+            rule_ids,
+        }
+    }
+
+    /// Arity of the defined relation.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The head as a plain atom (annotations stripped).
+    pub fn head(&self) -> Atom {
+        Atom::new(
+            self.name.clone(),
+            self.params.iter().map(|(t, _)| t.clone()).collect(),
+        )
+    }
+
+    /// The definition as a conjunctive query (annotations stripped) —
+    /// "there is a direct mapping between view specifications and CAQL
+    /// queries produced by the IE" (§4.2.1).
+    pub fn to_query(&self) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(self.head(), self.body.clone())
+    }
+
+    /// Annotation of each parameter position.
+    pub fn annotations(&self) -> Vec<Annotation> {
+        self.params.iter().map(|(_, a)| *a).collect()
+    }
+
+    /// Parameter positions annotated as consumers — "a prime candidate for
+    /// indexing" (§4.2.1).
+    pub fn consumer_positions(&self) -> Vec<usize> {
+        self.params
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, a))| *a == Annotation::Consumer)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True when no parameter is a consumer — "strictly a producer
+    /// relation", best produced lazily and unindexed (§4.2.1).
+    pub fn strictly_producer(&self) -> bool {
+        self.params.iter().all(|(_, a)| *a != Annotation::Consumer)
+    }
+
+    /// Map from annotated head variable name to its annotation.
+    pub fn var_annotations(&self) -> BTreeMap<&str, Annotation> {
+        self.params
+            .iter()
+            .filter_map(|(t, a)| t.as_var().map(|v| (v, *a)))
+            .collect()
+    }
+
+    /// The base relations referenced in the body — the "simplest kind of
+    /// advice ... an unordered list b1, b2, b3, ... of all the base
+    /// relations referenced" (§4.2) is derived from these.
+    pub fn base_relations(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for l in &self.body {
+            if let Literal::Atom(a) = l {
+                if !out.contains(&a.pred.as_str()) {
+                    out.push(a.pred.as_str());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ViewSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ann = self.var_annotations();
+        let fmt_term = |t: &Term| -> String {
+            match t {
+                Term::Var(v) => format!(
+                    "{v}{}",
+                    ann.get(v.as_str())
+                        .copied()
+                        .unwrap_or(Annotation::None)
+                        .symbol()
+                ),
+                c => c.to_string(),
+            }
+        };
+        write!(f, "{}(", self.name)?;
+        for (i, (t, a)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match t {
+                Term::Var(v) => write!(f, "{v}{}", a.symbol())?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        write!(f, ") =def ")?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            match l {
+                Literal::Atom(a) => {
+                    write!(f, "{}(", a.pred)?;
+                    for (j, t) in a.args.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", fmt_term(t))?;
+                    }
+                    write!(f, ")")?;
+                }
+                other => write!(f, "{other}")?,
+            }
+        }
+        if !self.rule_ids.is_empty() {
+            write!(f, " ({})", self.rule_ids.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_caql::parse_rule;
+
+    /// The paper's d2 from Example 1:
+    /// `d2(X^, Y?) =def b2(X^, Z) & b3(Z, c2, Y?) (R2)`.
+    fn d2() -> ViewSpec {
+        let q = parse_rule("d2(X, Y) :- b2(X, Z), b3(Z, c2, Y).").unwrap();
+        ViewSpec::new(
+            "d2",
+            vec![
+                (Term::var("X"), Annotation::Producer),
+                (Term::var("Y"), Annotation::Consumer),
+            ],
+            q.body,
+            vec!["R2".into()],
+        )
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(
+            d2().to_string(),
+            "d2(X^, Y?) =def b2(X^, Z) & b3(Z, c2, Y?) (R2)"
+        );
+    }
+
+    #[test]
+    fn consumer_positions_and_producer_check() {
+        let v = d2();
+        assert_eq!(v.consumer_positions(), vec![1]);
+        assert!(!v.strictly_producer());
+    }
+
+    #[test]
+    fn to_query_strips_annotations() {
+        let q = d2().to_query();
+        assert_eq!(q.to_string(), "d2(X, Y) :- b2(X, Z), b3(Z, c2, Y)");
+        assert!(q.is_safe());
+    }
+
+    #[test]
+    fn base_relations_deduplicated() {
+        let v = d2();
+        assert_eq!(v.base_relations(), vec!["b2", "b3"]);
+    }
+
+    #[test]
+    fn strictly_producer_spec() {
+        let q = parse_rule("d1(Y) :- b1(c1, Y).").unwrap();
+        let v = ViewSpec::new(
+            "d1",
+            vec![(Term::var("Y"), Annotation::Producer)],
+            q.body,
+            vec!["R1".into()],
+        );
+        assert!(v.strictly_producer());
+        assert_eq!(v.to_string(), "d1(Y^) =def b1(c1, Y^) (R1)");
+    }
+}

@@ -1,0 +1,22 @@
+//! Criterion bench for E1: the genealogy workload under each coupling
+//! mode (wall time complements the counter table in EXPERIMENTS.md).
+
+use braid::Strategy;
+use braid_workload::baseline::{run, CouplingMode};
+use braid_workload::genealogy;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let scenario = genealogy::scenario(5, 2, 42, 20);
+    let mut g = c.benchmark_group("e01_coupling");
+    g.sample_size(10);
+    for mode in CouplingMode::all() {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| run(&scenario, mode, Strategy::ConjunctionCompiled))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

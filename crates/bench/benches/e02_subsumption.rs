@@ -1,0 +1,43 @@
+//! Criterion bench for E2: answering an instantiated probe against a
+//! cache primed with the general result — subsumption vs exact-match.
+
+use braid::{BraidConfig, CmsConfig, Strategy};
+use braid_workload::genealogy;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let scenario = genealogy::scenario(5, 2, 42, 0);
+    let mut g = c.benchmark_group("e02_subsumption");
+    g.sample_size(10);
+    for (label, cms) in [
+        ("exact-match", CmsConfig::exact_match()),
+        (
+            "subsumption",
+            CmsConfig::braid()
+                .with_prefetching(false)
+                .with_generalization(false),
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut sys = scenario.system(BraidConfig::with_cms(cms.clone()));
+                    sys.solve_all("?- grandparent(X, Y).", Strategy::ConjunctionCompiled)
+                        .unwrap();
+                    sys
+                },
+                |mut sys| {
+                    let rows = sys
+                        .solve_all("?- grandparent(p1, Y).", Strategy::ConjunctionCompiled)
+                        .unwrap();
+                    (sys, rows)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Criterion bench for E3: a probe sequence with generalization on/off.
+
+use braid_bench::experiments::e03_generalization;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e03_generalization");
+    g.sample_size(10);
+    g.bench_function("table", |b| b.iter(|| e03_generalization::run(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

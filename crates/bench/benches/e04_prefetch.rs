@@ -1,0 +1,15 @@
+//! Criterion bench for E4: the Example 1 session with and without
+//! prefetching.
+
+use braid_bench::experiments::e04_prefetch;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e04_prefetch");
+    g.sample_size(10);
+    g.bench_function("session", |b| b.iter(|| e04_prefetch::run(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

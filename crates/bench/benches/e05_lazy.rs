@@ -1,0 +1,59 @@
+//! Criterion bench for E5: first-answer latency, lazy vs eager, over a
+//! cached 20k-tuple view.
+
+use braid_caql::parse_rule;
+use braid_cms::{Cms, CmsConfig};
+use braid_relational::{Relation, Schema, Tuple, Value};
+use braid_remote::{Catalog, RemoteDbms};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn catalog(rows: usize) -> Catalog {
+    let mut r = Relation::new(Schema::of_strs("b", &["k", "v"]));
+    for i in 0..rows {
+        r.insert(Tuple::new(vec![
+            Value::str(format!("k{}", i % 64)),
+            Value::str(format!("v{i}")),
+        ]))
+        .unwrap();
+    }
+    let mut c = Catalog::new();
+    c.install(r);
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e05_lazy");
+    g.sample_size(10);
+    for (label, lazy) in [("lazy", true), ("eager", false)] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let remote = RemoteDbms::with_defaults(catalog(20_000));
+                    let mut cms = Cms::new(
+                        remote,
+                        CmsConfig::braid()
+                            .with_prefetching(false)
+                            .with_generalization(false)
+                            .with_lazy(lazy),
+                    );
+                    cms.query(parse_rule("g(K, V) :- b(K, V).").unwrap())
+                        .unwrap()
+                        .drain();
+                    cms
+                },
+                |mut cms| {
+                    let mut s = cms
+                        .query(parse_rule("g(K, V) :- b(K, V).").unwrap())
+                        .unwrap();
+                    let first = s.next_tuple();
+                    (cms, s, first)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

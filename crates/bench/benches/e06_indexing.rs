@@ -1,0 +1,71 @@
+//! Criterion bench for E6: point probes against a cached view, indexed
+//! (advice honoured) vs scanned.
+
+use braid_advice::{parse_view_spec, Advice};
+use braid_caql::parse_rule;
+use braid_cms::{Cms, CmsConfig};
+use braid_relational::{Relation, Schema, Tuple, Value};
+use braid_remote::{Catalog, RemoteDbms};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn catalog(rows: usize) -> Catalog {
+    let mut r = Relation::new(Schema::of_strs("b", &["k", "v"]));
+    for i in 0..rows {
+        r.insert(Tuple::new(vec![
+            Value::str(format!("k{}", i % 64)),
+            Value::str(format!("v{i}")),
+        ]))
+        .unwrap();
+    }
+    let mut c = Catalog::new();
+    c.install(r);
+    c
+}
+
+fn primed(index_advice: bool, rows: usize) -> Cms {
+    let remote = RemoteDbms::with_defaults(catalog(rows));
+    let mut cms = Cms::new(
+        remote,
+        CmsConfig::braid()
+            .with_prefetching(false)
+            .with_generalization(false)
+            .with_lazy(false)
+            .with_index_advice(index_advice),
+    );
+    let mut advice = Advice::none();
+    advice
+        .view_specs
+        .push(parse_view_spec("d(K^, V?) =def b(K^, V?)").unwrap());
+    cms.begin_session(advice);
+    cms.query(parse_rule("g(K, V) :- b(K, V).").unwrap())
+        .unwrap()
+        .drain();
+    cms
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = 20_000;
+    let mut g = c.benchmark_group("e06_indexing");
+    g.sample_size(10);
+    for (label, on) in [("indexed", true), ("scan", false)] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || primed(on, rows),
+                |mut cms| {
+                    let rows = cms
+                        .query(parse_rule("q(K) :- b(K, v777).").unwrap())
+                        .unwrap()
+                        .drain();
+                    // Return the system so its (large, index-bearing) drop
+                    // happens outside the timed region.
+                    (cms, rows)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

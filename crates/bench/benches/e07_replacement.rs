@@ -1,0 +1,15 @@
+//! Criterion bench for E7: the LRU-adversarial view cycle with and
+//! without advice-modified replacement.
+
+use braid_bench::experiments::e07_replacement;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e07_replacement");
+    g.sample_size(10);
+    g.bench_function("cycle", |b| b.iter(|| e07_replacement::run(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for E8: the same recursive query under each strategy.
+
+use braid::{BraidConfig, Strategy};
+use braid_workload::genealogy;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let scenario = genealogy::scenario(5, 2, 11, 0);
+    let mut g = c.benchmark_group("e08_icrange");
+    g.sample_size(10);
+    for strat in [
+        Strategy::Interpreted,
+        Strategy::ConjunctionCompiled,
+        Strategy::FullyCompiled,
+    ] {
+        g.bench_function(format!("{strat:?}"), |b| {
+            b.iter(|| {
+                let mut sys = scenario.system(BraidConfig::default());
+                sys.solve_all("?- ancestor(p0, Y).", strat).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

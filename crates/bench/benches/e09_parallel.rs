@@ -1,0 +1,54 @@
+//! Criterion bench for E9: two independent remote fetches, sequential vs
+//! parallel, under injected latency.
+
+use braid_caql::parse_rule;
+use braid_cms::{Cms, CmsConfig};
+use braid_relational::{Relation, Schema, Tuple, Value};
+use braid_remote::{Catalog, CostModel, LatencyModel, RemoteDbms};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    for name in ["left", "right"] {
+        let mut r = Relation::new(Schema::of_strs(name, &["k", "v"]));
+        for i in 0..60 {
+            r.insert(Tuple::new(vec![
+                Value::str(format!("k{}", i % 8)),
+                Value::str(format!("v{i}")),
+            ]))
+            .unwrap();
+        }
+        c.install(r);
+    }
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e09_parallel");
+    g.sample_size(10);
+    for (label, parallel) in [("sequential", false), ("parallel", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let remote = RemoteDbms::new(
+                    catalog(),
+                    CostModel::default(),
+                    LatencyModel::Real { unit_micros: 20 },
+                );
+                let mut cms = Cms::new(
+                    remote,
+                    CmsConfig::braid()
+                        .with_prefetching(false)
+                        .with_generalization(false)
+                        .with_parallel(parallel),
+                );
+                cms.query(parse_rule("q(V1, V2) :- left(k1, V1), right(k2, V2).").unwrap())
+                    .unwrap()
+                    .drain()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

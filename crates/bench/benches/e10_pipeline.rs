@@ -1,0 +1,43 @@
+//! Criterion bench for E10: time-to-first-tuple, pipelined vs
+//! store-and-forward.
+
+use braid_relational::{Relation, Schema, Tuple, Value};
+use braid_remote::{Catalog, CostModel, LatencyModel, RemoteDbms, SelectBlock, SqlQuery};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn server() -> RemoteDbms {
+    let mut r = Relation::new(Schema::of_strs("b", &["k", "v"]));
+    for i in 0..400 {
+        r.insert(Tuple::new(vec![
+            Value::str(format!("k{}", i % 8)),
+            Value::str(format!("v{i}")),
+        ]))
+        .unwrap();
+    }
+    let mut c = Catalog::new();
+    c.install(r);
+    RemoteDbms::new(
+        c,
+        CostModel::default(),
+        LatencyModel::Real { unit_micros: 2 },
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_pipeline");
+    g.sample_size(10);
+    for (label, pipelined) in [("pipelined", true), ("store-forward", false)] {
+        g.bench_function(format!("{label}/first-tuple"), |b| {
+            let server = server();
+            let q = SqlQuery::single(SelectBlock::scan("b"));
+            b.iter(|| {
+                let mut s = server.submit_stream(&q, 16, pipelined).unwrap();
+                s.next_tuple()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

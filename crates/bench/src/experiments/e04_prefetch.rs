@@ -1,0 +1,149 @@
+//! E4 — path-expression-driven prefetching.
+//!
+//! Claim (§5.3.1): "the sequence grouping in a path expression indicates
+//! that all items in that group are likely to be evaluated when the first
+//! item is evaluated. ... the CMS may decide processing d3(X,c) soon
+//! after it processes d2(X,c) and before it actually receives d3(X,c)
+//! from the IE."
+//!
+//! Session shape (Example 1): d1(Y^) then, per binding y, d2(X^, y) then
+//! d3(X^, y). With prefetching the CMS evaluates each predicted d3 during
+//! the preceding d2 call, so the d3 *request from the IE* finds the cache
+//! hot: its critical-path remote work drops to zero.
+
+use crate::table::Table;
+use braid_advice::{parse_path_expr, parse_view_spec, Advice};
+use braid_caql::parse_atom;
+use braid_cms::{Cms, CmsConfig};
+use braid_relational::{Relation, Schema, Tuple, Value};
+use braid_remote::{Catalog, RemoteDbms};
+
+fn catalog(bindings: usize) -> Catalog {
+    // b1(c1, y_i); b2(x_j, z_j); b3(z_j, c2, y_i).
+    let mut b1 = Relation::new(Schema::of_strs("b1", &["a", "b"]));
+    let mut b2 = Relation::new(Schema::of_strs("b2", &["a", "b"]));
+    let mut b3 = Relation::new(Schema::of_strs("b3", &["a", "b", "c"]));
+    for i in 0..bindings {
+        b1.insert(Tuple::new(vec![
+            Value::str("c1"),
+            Value::str(format!("y{i}")),
+        ]))
+        .expect("arity");
+        b2.insert(Tuple::new(vec![
+            Value::str(format!("x{i}")),
+            Value::str(format!("z{i}")),
+        ]))
+        .expect("arity");
+        b3.insert(Tuple::new(vec![
+            Value::str(format!("z{i}")),
+            Value::str("c2"),
+            Value::str(format!("y{i}")),
+        ]))
+        .expect("arity");
+        // d3's shape: b3(X, c3, Z) & b1(Z, Y).
+        b3.insert(Tuple::new(vec![
+            Value::str(format!("w{i}")),
+            Value::str("c3"),
+            Value::str("c1"),
+        ]))
+        .expect("arity");
+    }
+    let mut c = Catalog::new();
+    c.install(b1);
+    c.install(b2);
+    c.install(b3);
+    c
+}
+
+fn example1_advice() -> Advice {
+    let mut a = Advice::none();
+    a.view_specs
+        .push(parse_view_spec("d1(Y^) =def b1(c1, Y^) (R1)").unwrap());
+    a.view_specs
+        .push(parse_view_spec("d2(X^, Y?) =def b2(X^, Z) & b3(Z, c2, Y?) (R2)").unwrap());
+    a.view_specs
+        .push(parse_view_spec("d3(X^, Y?) =def b3(X^, c3, Z) & b1(Z, Y?) (R3)").unwrap());
+    a.path = Some(parse_path_expr("(d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>").unwrap());
+    a
+}
+
+/// Run E4.
+pub fn run(quick: bool) -> Table {
+    let bindings = if quick { 4 } else { 12 };
+    let mut t = Table::new(
+        format!("E4 prefetching — Example 1 session over {bindings} Y-bindings"),
+        &[
+            "prefetch",
+            "total req",
+            "d3 crit-path req",
+            "d3 crit-path latency",
+            "d3 hit%",
+        ],
+    );
+
+    for prefetch in [false, true] {
+        let remote = RemoteDbms::with_defaults(catalog(bindings));
+        let config = CmsConfig::braid()
+            .with_generalization(false)
+            .with_prefetching(prefetch);
+        let mut cms = Cms::new(remote, config);
+        cms.begin_session(example1_advice());
+
+        // d1(Y): collect the bindings.
+        let ys: Vec<String> = cms
+            .query_head(&parse_atom("d1(Y)").unwrap())
+            .expect("d1 solves")
+            .drain()
+            .iter()
+            .map(|t| t.values()[0].to_string())
+            .collect();
+
+        let mut d3_requests = 0u64;
+        let mut d3_latency = 0u64;
+        let mut d3_hits = 0u64;
+        for y in &ys {
+            cms.query_head(&parse_atom(&format!("d2(X, {y})")).unwrap())
+                .expect("d2 solves")
+                .drain();
+            let before = cms.remote().metrics();
+            let hits_before = cms.metrics().full_cache_answers;
+            cms.query_head(&parse_atom(&format!("d3(X, {y})")).unwrap())
+                .expect("d3 solves")
+                .drain();
+            let delta = cms.remote().metrics().since(&before);
+            d3_requests += delta.requests;
+            d3_latency += delta.simulated_latency_units;
+            if cms.metrics().full_cache_answers > hits_before {
+                d3_hits += 1;
+            }
+        }
+
+        t.row(vec![
+            if prefetch { "on" } else { "off" }.to_string(),
+            cms.remote().metrics().requests.to_string(),
+            d3_requests.to_string(),
+            d3_latency.to_string(),
+            format!("{:.0}%", 100.0 * d3_hits as f64 / ys.len().max(1) as f64),
+        ]);
+    }
+    t.note(
+        "Prefetching moves the d3 work into the preceding d2 call (this prototype \
+         prefetches synchronously): the IE's d3 requests become pure cache hits — \
+         zero remote work on their critical path. Total requests stay comparable; \
+         the win is predicted-latency hiding, not total-work reduction.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prefetch_clears_d3_critical_path() {
+        let t = super::run(true);
+        let off_crit: u64 = t.rows[0][2].parse().unwrap();
+        let on_crit: u64 = t.rows[1][2].parse().unwrap();
+        assert!(off_crit > 0, "without prefetch d3 goes remote");
+        assert_eq!(on_crit, 0, "with prefetch d3 is served from cache");
+        assert_eq!(t.rows[1][4], "100%");
+    }
+}

@@ -1,0 +1,116 @@
+//! Plain-text and markdown table rendering for experiment reports.
+
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (experiment id + claim).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes rendered below the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are displayed as given).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                if c.len() > w[i] {
+                    w[i] = c.len();
+                }
+            }
+        }
+        w
+    }
+
+    /// Render as a GitHub-markdown table (for EXPERIMENTS.md).
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n{n}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "── {} ──", self.title)?;
+        let w = self.widths();
+        let line = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:>width$}", width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(&self.headers, f)?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1))
+        )?;
+        for r in &self.rows {
+            line(r, f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_text_and_markdown() {
+        let mut t = Table::new("T", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("n");
+        let s = t.to_string();
+        assert!(s.contains("── T ──"));
+        assert!(s.contains("note: n"));
+        let md = t.markdown();
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Atoms: a predicate symbol applied to terms.
+
+use crate::term::Term;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atomic formula `p(t1, ..., tn)`. The AI query itself "is an atomic
+/// formula in first order logic" (§3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(pred: impl Into<String>, args: Vec<Term>) -> Atom {
+        Atom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Variables occurring in the atom, in first-occurrence order.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                if !out.contains(&v.as_str()) {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    /// Set of variable names in the atom.
+    pub fn var_set(&self) -> BTreeSet<&str> {
+        self.args.iter().filter_map(|t| t.as_var()).collect()
+    }
+
+    /// True when no argument is a variable.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_const)
+    }
+
+    /// Argument positions holding constants.
+    pub fn const_positions(&self) -> Vec<usize> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_const())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The predicate/arity pair used as a functor key (`"p/2"`).
+    pub fn functor(&self) -> String {
+        format!("{}/{}", self.pred, self.arity())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Build an atom tersely: `atom!("b1"; Term::var("X"), Term::val("c1"))`.
+#[macro_export]
+macro_rules! atom {
+    ($p:expr; $($t:expr),* $(,)?) => {
+        $crate::Atom::new($p, vec![$($t),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Atom {
+        Atom::new("b3", vec![Term::var("X"), Term::val("c2"), Term::var("X")])
+    }
+
+    #[test]
+    fn vars_deduplicated_in_order() {
+        assert_eq!(a().vars(), vec!["X"]);
+        let b = Atom::new("p", vec![Term::var("Y"), Term::var("X"), Term::var("Y")]);
+        assert_eq!(b.vars(), vec!["Y", "X"]);
+    }
+
+    #[test]
+    fn groundness_and_positions() {
+        assert!(!a().is_ground());
+        assert_eq!(a().const_positions(), vec![1]);
+        let g = Atom::new("p", vec![Term::val(1), Term::val(2)]);
+        assert!(g.is_ground());
+    }
+
+    #[test]
+    fn display_and_functor() {
+        assert_eq!(a().to_string(), "b3(X, c2, X)");
+        assert_eq!(a().functor(), "b3/3");
+    }
+}

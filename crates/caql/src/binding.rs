@@ -1,0 +1,119 @@
+//! Binding patterns (adornments).
+//!
+//! Advice annotates view-specification arguments as *producers* (`^`,
+//! free: "executing the corresponding CAQL query will produce a set of
+//! bindings for it") or *consumers* (`?`, bound: "the corresponding CAQL
+//! query will have a constant in place of" the variable) (§4.2.1). At the
+//! query level this collapses to the classical bound/free adornment.
+
+use std::fmt;
+
+/// One argument position's binding state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binding {
+    /// Bound at call time (consumer, `?`): a constant will appear here.
+    Bound,
+    /// Free at call time (producer, `^`): the query produces bindings.
+    Free,
+}
+
+impl Binding {
+    /// The single-character adornment (`b` / `f`).
+    pub fn letter(self) -> char {
+        match self {
+            Binding::Bound => 'b',
+            Binding::Free => 'f',
+        }
+    }
+
+    /// The paper's annotation symbol (`?` / `^`).
+    pub fn symbol(self) -> char {
+        match self {
+            Binding::Bound => '?',
+            Binding::Free => '^',
+        }
+    }
+}
+
+/// An adornment: the binding state of each argument position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Adornment(pub Vec<Binding>);
+
+impl Adornment {
+    /// All-free adornment of the given arity.
+    pub fn all_free(arity: usize) -> Adornment {
+        Adornment(vec![Binding::Free; arity])
+    }
+
+    /// Parse from a `b`/`f` string, e.g. `"bf"`.
+    pub fn parse(s: &str) -> Option<Adornment> {
+        s.chars()
+            .map(|c| match c {
+                'b' => Some(Binding::Bound),
+                'f' => Some(Binding::Free),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()
+            .map(Adornment)
+    }
+
+    /// Number of argument positions.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Positions adorned bound — the index-candidate columns of §4.2.1
+    /// ("the consumer annotation (`?`) constitutes advice ... that the
+    /// given attribute ... is a prime candidate for indexing").
+    pub fn bound_positions(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b == Binding::Bound)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True when every position is free — "strictly a producer relation",
+    /// which the CMS "will be well advised to produce ... lazily and
+    /// without any indexing" (§4.2.1).
+    pub fn all_producer(&self) -> bool {
+        self.0.iter().all(|b| *b == Binding::Free)
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{}", b.letter())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let a = Adornment::parse("bfb").unwrap();
+        assert_eq!(a.to_string(), "bfb");
+        assert_eq!(a.arity(), 3);
+        assert!(Adornment::parse("bxf").is_none());
+    }
+
+    #[test]
+    fn bound_positions_and_producer_check() {
+        let a = Adornment::parse("fbf").unwrap();
+        assert_eq!(a.bound_positions(), vec![1]);
+        assert!(!a.all_producer());
+        assert!(Adornment::all_free(2).all_producer());
+    }
+
+    #[test]
+    fn symbols_match_paper_notation() {
+        assert_eq!(Binding::Bound.symbol(), '?');
+        assert_eq!(Binding::Free.symbol(), '^');
+    }
+}

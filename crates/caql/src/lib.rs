@@ -1,0 +1,47 @@
+//! # braid-caql
+//!
+//! The **Cache Query Language (CAQL)** of the BrAID reproduction.
+//!
+//! "A CAQL query is a well formed formula in quantified, first-order
+//! predicate calculus. ... CAQL supports arithmetic operators, logical
+//! connectives (AND, OR, NOT), special second-order predicates (BAGOF,
+//! SETOF, AGG, etc.), and quantifiers (ALL, EXISTS, ANY, THE)" (Sheth &
+//! O'Hare, ICDE 1991, §5). CAQL "is more general than SQL" (§3) and is the
+//! language of the IE → CMS interface; database access by the IE "is
+//! represented in terms of CAQL queries".
+//!
+//! This crate provides:
+//!
+//! * the term/atom/literal layer ([`Term`], [`Atom`], [`Literal`]) with
+//!   arithmetic expressions and comparison built-ins,
+//! * [`ConjunctiveQuery`] — the PSJ-equivalent core on which the paper's
+//!   subsumption algorithm is defined (§5.3.2 limits `Q` and the `Eᵢ`s "to
+//!   logic expressions equivalent to PSJ expressions"), which doubles
+//!   structurally as a Horn rule for the inference engine,
+//! * the full [`CaqlQuery`] AST (union, negation, aggregation,
+//!   quantifiers),
+//! * substitutions, unification and one-directional matching
+//!   ([`subst`]) — the "unification in a single direction" of §5.3.2,
+//! * binding patterns / adornments ([`binding`]) used by advice
+//!   annotations, and
+//! * a parser and printer for a datalog-style concrete syntax ([`parse`]).
+
+pub mod atom;
+pub mod binding;
+pub mod literal;
+pub mod parse;
+pub mod query;
+pub mod subst;
+pub mod term;
+
+pub use atom::Atom;
+pub use binding::{Adornment, Binding};
+pub use literal::{ArithExpr, ArithOp, Comparison, Literal};
+pub use parse::{parse_atom, parse_program, parse_query, parse_rule, ParseError};
+pub use query::{AggSpec, CaqlQuery, ConjunctiveQuery};
+pub use subst::{match_atom, unify_atoms, Subst};
+pub use term::Term;
+
+// Re-export the value layer so downstream crates need only this crate for
+// language-level work.
+pub use braid_relational::{CmpOp, Value};

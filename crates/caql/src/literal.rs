@@ -1,0 +1,329 @@
+//! Body literals: positive/negated atoms, comparisons and evaluable
+//! (computed) bindings.
+//!
+//! In CAQL "predicate names are symbols which are mapped through a
+//! dictionary into (a) explicit relations and views ...; (b) comparison
+//! relations (e.g., less than); and/or (c) relations derived by computation
+//! over some of the arguments" (§5). [`Literal::Atom`] covers (a),
+//! [`Literal::Cmp`] covers (b) and [`Literal::Bind`] covers (c).
+
+use crate::term::Term;
+use braid_relational::{CmpOp, RelationalError, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Arithmetic operators usable inside comparisons and bindings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        })
+    }
+}
+
+/// An arithmetic expression over terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArithExpr {
+    /// A bare term.
+    Term(Term),
+    /// Binary arithmetic.
+    Bin(ArithOp, Box<ArithExpr>, Box<ArithExpr>),
+}
+
+impl ArithExpr {
+    /// Variables of the expression, in first-occurrence order.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            ArithExpr::Term(Term::Var(v)) => {
+                if !out.contains(&v.as_str()) {
+                    out.push(v);
+                }
+            }
+            ArithExpr::Term(Term::Const(_)) => {}
+            ArithExpr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Evaluate the (ground) expression.
+    ///
+    /// # Errors
+    /// Returns an error if a variable remains unbound (`TypeError`) or
+    /// arithmetic fails (non-numeric operand, division by zero).
+    pub fn eval(&self) -> Result<Value, RelationalError> {
+        match self {
+            ArithExpr::Term(Term::Const(v)) => Ok(v.clone()),
+            ArithExpr::Term(Term::Var(v)) => Err(RelationalError::TypeError(format!(
+                "unbound variable {v} in arithmetic expression"
+            ))),
+            ArithExpr::Bin(op, a, b) => {
+                let (va, vb) = (a.eval()?, b.eval()?);
+                let (x, y) = match (va.as_f64(), vb.as_f64()) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => {
+                        return Err(RelationalError::TypeError(format!(
+                            "non-numeric operands {va}, {vb}"
+                        )))
+                    }
+                };
+                // Preserve integer arithmetic when both sides are ints.
+                if let (Value::Int(ia), Value::Int(ib)) = (&va, &vb) {
+                    return match op {
+                        ArithOp::Add => Ok(Value::Int(ia.wrapping_add(*ib))),
+                        ArithOp::Sub => Ok(Value::Int(ia.wrapping_sub(*ib))),
+                        ArithOp::Mul => Ok(Value::Int(ia.wrapping_mul(*ib))),
+                        ArithOp::Div => {
+                            if *ib == 0 {
+                                Err(RelationalError::DivisionByZero)
+                            } else {
+                                Ok(Value::Int(ia / ib))
+                            }
+                        }
+                    };
+                }
+                match op {
+                    ArithOp::Add => Ok(Value::Float(x + y)),
+                    ArithOp::Sub => Ok(Value::Float(x - y)),
+                    ArithOp::Mul => Ok(Value::Float(x * y)),
+                    ArithOp::Div => {
+                        if y == 0.0 {
+                            Err(RelationalError::DivisionByZero)
+                        } else {
+                            Ok(Value::Float(x / y))
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ArithExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithExpr::Term(t) => write!(f, "{t}"),
+            ArithExpr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+impl From<Term> for ArithExpr {
+    fn from(t: Term) -> Self {
+        ArithExpr::Term(t)
+    }
+}
+
+/// A comparison literal, e.g. `X < Y + 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Comparison {
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub lhs: ArithExpr,
+    /// Right operand.
+    pub rhs: ArithExpr,
+}
+
+impl Comparison {
+    /// Evaluate over ground operands.
+    ///
+    /// # Errors
+    /// Propagates arithmetic/unbound-variable errors.
+    pub fn eval(&self) -> Result<bool, RelationalError> {
+        Ok(self.op.eval(&self.lhs.eval()?, &self.rhs.eval()?))
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A body literal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// A positive atom over a base relation, view or derived predicate.
+    Atom(crate::Atom),
+    /// A negated atom (`not p(...)`); evaluated with negation-as-failure /
+    /// anti-join semantics for safe queries.
+    Neg(crate::Atom),
+    /// A comparison built-in.
+    Cmp(Comparison),
+    /// An evaluable binding `X is <expr>` — CAQL's "relations derived by
+    /// computation over some of the arguments".
+    Bind {
+        /// Variable receiving the value.
+        var: String,
+        /// Expression computed from other bound variables.
+        expr: ArithExpr,
+    },
+}
+
+impl Literal {
+    /// Positive-atom constructor.
+    pub fn atom(a: crate::Atom) -> Literal {
+        Literal::Atom(a)
+    }
+
+    /// Comparison constructor from plain terms.
+    pub fn cmp(lhs: Term, op: CmpOp, rhs: Term) -> Literal {
+        Literal::Cmp(Comparison {
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        })
+    }
+
+    /// The positive atom, if this literal is one.
+    pub fn as_atom(&self) -> Option<&crate::Atom> {
+        match self {
+            Literal::Atom(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Variables of the literal, in first-occurrence order.
+    pub fn vars(&self) -> Vec<&str> {
+        match self {
+            Literal::Atom(a) | Literal::Neg(a) => a.vars(),
+            Literal::Cmp(c) => {
+                let mut out = c.lhs.vars();
+                for v in c.rhs.vars() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+                out
+            }
+            Literal::Bind { var, expr } => {
+                let mut out = vec![var.as_str()];
+                for v in expr.vars() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Set view of the literal's variables.
+    pub fn var_set(&self) -> BTreeSet<&str> {
+        self.vars().into_iter().collect()
+    }
+
+    /// True for positive atoms — the "relation occurrences" that map to
+    /// cache elements or base relations; comparisons, negation and binds
+    /// are constraints evaluated around them.
+    pub fn is_positive_atom(&self) -> bool {
+        matches!(self, Literal::Atom(_))
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Atom(a) => write!(f, "{a}"),
+            Literal::Neg(a) => write!(f, "not {a}"),
+            Literal::Cmp(c) => write!(f, "{c}"),
+            Literal::Bind { var, expr } => write!(f, "{var} is {expr}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom;
+
+    #[test]
+    fn arith_eval_int_and_float() {
+        let e = ArithExpr::Bin(
+            ArithOp::Add,
+            Box::new(Term::val(2).into()),
+            Box::new(Term::val(3).into()),
+        );
+        assert_eq!(e.eval().unwrap(), Value::Int(5));
+        let e = ArithExpr::Bin(
+            ArithOp::Div,
+            Box::new(Term::val(1).into()),
+            Box::new(Term::val(Value::Float(2.0)).into()),
+        );
+        assert_eq!(e.eval().unwrap(), Value::Float(0.5));
+    }
+
+    #[test]
+    fn arith_unbound_var_errors() {
+        let e = ArithExpr::Term(Term::var("X"));
+        assert!(e.eval().is_err());
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = ArithExpr::Bin(
+            ArithOp::Div,
+            Box::new(Term::val(1).into()),
+            Box::new(Term::val(0).into()),
+        );
+        assert_eq!(e.eval(), Err(RelationalError::DivisionByZero));
+    }
+
+    #[test]
+    fn comparison_eval() {
+        let c = Comparison {
+            op: CmpOp::Lt,
+            lhs: Term::val(1).into(),
+            rhs: Term::val(2).into(),
+        };
+        assert!(c.eval().unwrap());
+    }
+
+    #[test]
+    fn literal_vars_in_order() {
+        let l = Literal::cmp(Term::var("Y"), CmpOp::Lt, Term::var("X"));
+        assert_eq!(l.vars(), vec!["Y", "X"]);
+        let b = Literal::Bind {
+            var: "Z".into(),
+            expr: ArithExpr::Bin(
+                ArithOp::Add,
+                Box::new(Term::var("X").into()),
+                Box::new(Term::val(1).into()),
+            ),
+        };
+        assert_eq!(b.vars(), vec!["Z", "X"]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let l = Literal::atom(atom!("b1"; Term::var("X"), Term::val("c1")));
+        assert_eq!(l.to_string(), "b1(X, c1)");
+        let n = Literal::Neg(atom!("p"; Term::var("X")));
+        assert_eq!(n.to_string(), "not p(X)");
+        let c = Literal::cmp(Term::var("X"), CmpOp::Ge, Term::val(3));
+        assert_eq!(c.to_string(), "X >= 3");
+    }
+}

@@ -1,0 +1,544 @@
+//! A datalog-style concrete syntax for CAQL rules, queries and facts.
+//!
+//! ```text
+//! rule    := atom [ ":-" literal { "," literal } ] "."
+//! query   := "?-" atom "."
+//! literal := "not" atom | atom | VAR "is" arith | arith CMP arith
+//! atom    := lident "(" term { "," term } ")"
+//! term    := VAR | lident | NUMBER | STRING
+//! ```
+//!
+//! Identifiers starting with an uppercase letter (or `_`) are variables;
+//! lowercase identifiers are symbolic (string) constants or predicate
+//! names, following Prolog convention — the paper writes its examples in
+//! exactly this style (`k1(X,Y) ← b1(c1,Y) & k2(X,Y)`).
+
+use crate::atom::Atom;
+use crate::literal::{ArithExpr, ArithOp, Comparison, Literal};
+use crate::query::ConjunctiveQuery;
+use crate::term::Term;
+use braid_relational::{CmpOp, Value};
+use std::fmt;
+
+/// A parse failure, with a human-readable message and byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == usize::MAX {
+            write!(f, "parse error at end of input: {}", self.message)
+        } else {
+            write!(f, "parse error at byte {}: {}", self.offset, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    LIdent(String),
+    UIdent(String),
+    Number(String),
+    Str(String),
+    Punct(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    toks: Vec<(Tok, usize)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokenize(src: &'a str) -> PResult<Vec<(Tok, usize)>> {
+        let mut lx = Lexer {
+            src,
+            pos: 0,
+            toks: Vec::new(),
+        };
+        lx.run()?;
+        Ok(lx.toks)
+    }
+
+    fn run(&mut self) -> PResult<()> {
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() {
+            let c = bytes[self.pos] as char;
+            let start = self.pos;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                }
+                '%' => {
+                    // Comment to end of line.
+                    while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                '(' | ')' | ',' | '.' | ';' | '+' | '*' | '/' => {
+                    self.pos += 1;
+                    let p = match c {
+                        '(' => "(",
+                        ')' => ")",
+                        ',' => ",",
+                        '.' => ".",
+                        ';' => ";",
+                        '+' => "+",
+                        '*' => "*",
+                        _ => "/",
+                    };
+                    self.toks.push((Tok::Punct(p), start));
+                }
+                '-' => {
+                    // Could start a negative number; the parser decides via
+                    // context, so lex as punct.
+                    self.pos += 1;
+                    self.toks.push((Tok::Punct("-"), start));
+                }
+                ':' => {
+                    if self.src[self.pos..].starts_with(":-") {
+                        self.pos += 2;
+                        self.toks.push((Tok::Punct(":-"), start));
+                    } else {
+                        return Err(self.err("expected `:-`"));
+                    }
+                }
+                '?' => {
+                    if self.src[self.pos..].starts_with("?-") {
+                        self.pos += 2;
+                        self.toks.push((Tok::Punct("?-"), start));
+                    } else {
+                        return Err(self.err("expected `?-`"));
+                    }
+                }
+                '<' | '>' | '=' | '!' => {
+                    let two = &self.src[self.pos..(self.pos + 2).min(self.src.len())];
+                    let (tok, len): (&'static str, usize) = match two {
+                        "<=" => ("<=", 2),
+                        ">=" => (">=", 2),
+                        "!=" => ("!=", 2),
+                        _ => match c {
+                            '<' => ("<", 1),
+                            '>' => (">", 1),
+                            '=' => ("=", 1),
+                            _ => return Err(self.err("lone `!`")),
+                        },
+                    };
+                    self.pos += len;
+                    self.toks.push((Tok::Punct(tok), start));
+                }
+                '"' | '\'' => {
+                    let quote = c;
+                    self.pos += 1;
+                    let s0 = self.pos;
+                    while self.pos < bytes.len() && bytes[self.pos] as char != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= bytes.len() {
+                        return Err(self.err("unterminated string"));
+                    }
+                    let s = self.src[s0..self.pos].to_string();
+                    self.pos += 1;
+                    self.toks.push((Tok::Str(s), start));
+                }
+                c if c.is_ascii_digit() => {
+                    while self.pos < bytes.len()
+                        && ((bytes[self.pos] as char).is_ascii_digit()
+                            || bytes[self.pos] == b'.'
+                                && self
+                                    .src
+                                    .as_bytes()
+                                    .get(self.pos + 1)
+                                    .map(|b| (*b as char).is_ascii_digit())
+                                    .unwrap_or(false))
+                    {
+                        self.pos += 1;
+                    }
+                    self.toks
+                        .push((Tok::Number(self.src[start..self.pos].to_string()), start));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    while self.pos < bytes.len()
+                        && ((bytes[self.pos] as char).is_ascii_alphanumeric()
+                            || bytes[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let word = &self.src[start..self.pos];
+                    let tok = if c.is_ascii_uppercase() || c == '_' {
+                        Tok::UIdent(word.to_string())
+                    } else {
+                        Tok::LIdent(word.to_string())
+                    };
+                    self.toks.push((tok, start));
+                }
+                other => {
+                    return Err(self.err(&format!("unexpected character `{other}`")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            message: msg.to_string(),
+            offset: self.pos,
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    i: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> PResult<Parser> {
+        Ok(Parser {
+            toks: Lexer::tokenize(src)?,
+            i: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.i).map(|(_, o)| *o).unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(t, _)| t.clone());
+        self.i += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        match self.peek() {
+            Some(Tok::Punct(q)) if *q == p => {
+                self.i += 1;
+                Ok(())
+            }
+            other => Err(self.err(&format!("expected `{p}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) && {
+            self.i += 1;
+            true
+        }
+    }
+
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            message: msg.to_string(),
+            offset: self.offset(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn parse_term(&mut self) -> PResult<Term> {
+        let neg = self.eat_punct("-");
+        match self.bump() {
+            Some(Tok::UIdent(v)) if !neg => Ok(Term::Var(v)),
+            Some(Tok::LIdent(s)) if !neg => Ok(Term::val(s.as_str())),
+            Some(Tok::Str(s)) if !neg => Ok(Term::val(s.as_str())),
+            Some(Tok::Number(n)) => {
+                let sign = if neg { -1.0 } else { 1.0 };
+                if n.contains('.') {
+                    let f: f64 = n
+                        .parse()
+                        .map_err(|_| self.err(&format!("bad float `{n}`")))?;
+                    Ok(Term::val(Value::Float(sign * f)))
+                } else {
+                    let i: i64 = n
+                        .parse()
+                        .map_err(|_| self.err(&format!("bad integer `{n}`")))?;
+                    Ok(Term::val(if neg { -i } else { i }))
+                }
+            }
+            other => Err(self.err(&format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn parse_atom_named(&mut self, pred: String) -> PResult<Atom> {
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                args.push(self.parse_term()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(Atom::new(pred, args))
+    }
+
+    fn parse_atom(&mut self) -> PResult<Atom> {
+        match self.bump() {
+            Some(Tok::LIdent(p)) => self.parse_atom_named(p),
+            other => Err(self.err(&format!("expected predicate name, found {other:?}"))),
+        }
+    }
+
+    fn parse_arith(&mut self) -> PResult<ArithExpr> {
+        // term { (+|-) term-level } with * and / binding tighter.
+        let mut lhs = self.parse_arith_factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("+")) => ArithOp::Add,
+                Some(Tok::Punct("-")) => ArithOp::Sub,
+                _ => break,
+            };
+            self.i += 1;
+            let rhs = self.parse_arith_factor()?;
+            lhs = ArithExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_arith_factor(&mut self) -> PResult<ArithExpr> {
+        let mut lhs = self.parse_arith_primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("*")) => ArithOp::Mul,
+                Some(Tok::Punct("/")) => ArithOp::Div,
+                _ => break,
+            };
+            self.i += 1;
+            let rhs = self.parse_arith_primary()?;
+            lhs = ArithExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_arith_primary(&mut self) -> PResult<ArithExpr> {
+        if self.eat_punct("(") {
+            let e = self.parse_arith()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        Ok(ArithExpr::Term(self.parse_term()?))
+    }
+
+    fn parse_literal(&mut self) -> PResult<Literal> {
+        // `not atom`
+        if matches!(self.peek(), Some(Tok::LIdent(w)) if w == "not") {
+            self.i += 1;
+            return Ok(Literal::Neg(self.parse_atom()?));
+        }
+        // `Var is expr`
+        if let (Some(Tok::UIdent(v)), Some((Tok::LIdent(w), _))) =
+            (self.peek(), self.toks.get(self.i + 1))
+        {
+            if w == "is" {
+                let var = v.clone();
+                self.i += 2;
+                let expr = self.parse_arith()?;
+                return Ok(Literal::Bind { var, expr });
+            }
+        }
+        // atom: lident followed by `(`
+        if let (Some(Tok::LIdent(_)), Some((Tok::Punct("("), _))) =
+            (self.peek(), self.toks.get(self.i + 1))
+        {
+            return Ok(Literal::Atom(self.parse_atom()?));
+        }
+        // comparison: arith CMP arith
+        let lhs = self.parse_arith()?;
+        let op = match self.peek() {
+            Some(Tok::Punct("<")) => CmpOp::Lt,
+            Some(Tok::Punct("<=")) => CmpOp::Le,
+            Some(Tok::Punct(">")) => CmpOp::Gt,
+            Some(Tok::Punct(">=")) => CmpOp::Ge,
+            Some(Tok::Punct("=")) => CmpOp::Eq,
+            Some(Tok::Punct("!=")) => CmpOp::Ne,
+            other => return Err(self.err(&format!("expected comparison, found {other:?}"))),
+        };
+        self.i += 1;
+        let rhs = self.parse_arith()?;
+        Ok(Literal::Cmp(Comparison { op, lhs, rhs }))
+    }
+
+    fn parse_rule(&mut self) -> PResult<ConjunctiveQuery> {
+        let head = self.parse_atom()?;
+        let mut body = Vec::new();
+        if self.eat_punct(":-") {
+            loop {
+                body.push(self.parse_literal()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(".")?;
+        Ok(ConjunctiveQuery::new(head, body))
+    }
+}
+
+/// Parse a single rule or fact, e.g.
+/// `k2(X, Y) :- b2(X, Z), b3(Z, c2, Y).`
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_rule(src: &str) -> PResult<ConjunctiveQuery> {
+    let mut p = Parser::new(src)?;
+    let r = p.parse_rule()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after rule"));
+    }
+    Ok(r)
+}
+
+/// Parse a whole program: a sequence of rules and facts.
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_program(src: &str) -> PResult<Vec<ConjunctiveQuery>> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !p.at_end() {
+        out.push(p.parse_rule()?);
+    }
+    Ok(out)
+}
+
+/// Parse a bare atom, e.g. `b1(c1, Y)`.
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_atom(src: &str) -> PResult<Atom> {
+    let mut p = Parser::new(src)?;
+    let a = p.parse_atom()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after atom"));
+    }
+    Ok(a)
+}
+
+/// Parse an AI query: `?- k1(X, Y).` (the trailing period is optional).
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_query(src: &str) -> PResult<Atom> {
+    let mut p = Parser::new(src)?;
+    p.expect_punct("?-")?;
+    let a = p.parse_atom()?;
+    let _ = p.eat_punct(".");
+    if !p.at_end() {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_rule_r2() {
+        let r = parse_rule("k2(X, Y) :- b2(X, Z), b3(Z, c2, Y).").unwrap();
+        assert_eq!(r.to_string(), "k2(X, Y) :- b2(X, Z), b3(Z, c2, Y)");
+        assert_eq!(r.positive_atoms().len(), 2);
+    }
+
+    #[test]
+    fn parses_fact() {
+        let r = parse_rule("parent(ann, bob).").unwrap();
+        assert!(r.body.is_empty());
+        assert!(r.head.is_ground());
+    }
+
+    #[test]
+    fn parses_query() {
+        let q = parse_query("?- k1(X, Y).").unwrap();
+        assert_eq!(q.to_string(), "k1(X, Y)");
+        assert!(parse_query("?- k1(X, Y)").is_ok());
+    }
+
+    #[test]
+    fn parses_comparison_and_negation() {
+        let r = parse_rule("adult(X) :- age(X, A), A >= 18, not minorflag(X).").unwrap();
+        assert_eq!(r.body.len(), 3);
+        assert!(matches!(r.body[1], Literal::Cmp(_)));
+        assert!(matches!(r.body[2], Literal::Neg(_)));
+    }
+
+    #[test]
+    fn parses_is_binding_with_precedence() {
+        let r = parse_rule("next(X, Y) :- num(X), Y is X + 2 * 3.").unwrap();
+        match &r.body[1] {
+            Literal::Bind { var, expr } => {
+                assert_eq!(var, "Y");
+                assert_eq!(expr.to_string(), "(X + (2 * 3))");
+            }
+            other => panic!("expected bind, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_numbers_strings_and_negatives() {
+        let a = parse_atom("p(42, -7, 2.5, \"Hello World\", 'single')").unwrap();
+        assert_eq!(a.args[0], Term::val(42));
+        assert_eq!(a.args[1], Term::val(-7));
+        assert_eq!(a.args[2], Term::val(Value::Float(2.5)));
+        assert_eq!(a.args[3], Term::val("Hello World"));
+        assert_eq!(a.args[4], Term::val("single"));
+    }
+
+    #[test]
+    fn parses_program_with_comments() {
+        let p = parse_program(
+            "% the paper's example 1\n\
+             k1(X, Y) :- b1(c1, Y), k2(X, Y).\n\
+             k2(X, Y) :- b2(X, Z), b3(Z, c2, Y).\n\
+             k2(X, Y) :- b3(X, c3, Z), b1(Z, Y).",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn zero_arity_atom() {
+        let a = parse_atom("halt()").unwrap();
+        assert_eq!(a.arity(), 0);
+    }
+
+    #[test]
+    fn error_has_offset() {
+        let e = parse_rule("k2(X, Y :- b2.").unwrap_err();
+        assert!(e.offset > 0);
+        assert!(e.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_atom("p(X) q").is_err());
+        assert!(parse_rule("p(X). q(Y).").is_err());
+    }
+
+    #[test]
+    fn round_trip_display_parse() {
+        let src = "d3(X, Y) :- b3(X, c3, Z), b1(Z, Y)";
+        let r = parse_rule(&format!("{src}.")).unwrap();
+        let r2 = parse_rule(&format!("{r}.")).unwrap();
+        assert_eq!(r, r2);
+    }
+}

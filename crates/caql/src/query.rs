@@ -1,0 +1,441 @@
+//! Conjunctive queries and the full CAQL query AST.
+
+use crate::atom::Atom;
+use crate::literal::Literal;
+use crate::subst::Subst;
+use crate::term::Term;
+use braid_relational::ops::AggFunc;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conjunctive query (or, structurally, a Horn rule):
+/// `head :- l1, ..., ln`.
+///
+/// This is CAQL's PSJ-equivalent core — "we limit Q and the Eᵢs to logic
+/// expressions equivalent to PSJ expressions (as in \[LARS85\])" (§5.3.2).
+/// The head's arguments are the distinguished (projected) terms; positive
+/// body atoms are the joined relation occurrences; constants and repeated
+/// variables encode selections; comparisons encode theta-selections.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConjunctiveQuery {
+    /// The head atom (defined relation with its argument list).
+    pub head: Atom,
+    /// Body literals.
+    pub body: Vec<Literal>,
+}
+
+impl ConjunctiveQuery {
+    /// Construct a query.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        ConjunctiveQuery { head, body }
+    }
+
+    /// A fact: a ground head with an empty body.
+    pub fn fact(head: Atom) -> Self {
+        ConjunctiveQuery {
+            head,
+            body: Vec::new(),
+        }
+    }
+
+    /// The positive body atoms (relation occurrences), in order.
+    pub fn positive_atoms(&self) -> Vec<&Atom> {
+        self.body.iter().filter_map(Literal::as_atom).collect()
+    }
+
+    /// All variables appearing anywhere in the query.
+    pub fn all_vars(&self) -> BTreeSet<&str> {
+        let mut s: BTreeSet<&str> = self.head.var_set();
+        for l in &self.body {
+            s.extend(l.var_set());
+        }
+        s
+    }
+
+    /// Variables appearing in the body.
+    pub fn body_vars(&self) -> BTreeSet<&str> {
+        let mut s = BTreeSet::new();
+        for l in &self.body {
+            s.extend(l.var_set());
+        }
+        s
+    }
+
+    /// Range restriction (safety): every head variable and every
+    /// comparison variable must occur in some positive body atom or be
+    /// computed by a `Bind` whose inputs are safe. Variables occurring
+    /// *only* inside a negated atom are existentially quantified within
+    /// the negation (`not b(Z, Y)` reads ¬∃Y. b(Z, Y)) — the standard
+    /// negation-as-failure reading, realized as an anti-join on the
+    /// shared variables.
+    pub fn is_safe(&self) -> bool {
+        let mut safe: BTreeSet<&str> = BTreeSet::new();
+        for a in self.positive_atoms() {
+            safe.extend(a.var_set());
+        }
+        // Bind literals extend safety left to right.
+        for l in &self.body {
+            if let Literal::Bind { var, expr } = l {
+                if expr.vars().iter().all(|v| safe.contains(v)) {
+                    safe.insert(var);
+                }
+            }
+        }
+        let head_ok = self.head.var_set().iter().all(|v| safe.contains(v));
+        let body_ok = self.body.iter().all(|l| match l {
+            Literal::Atom(_) => true,
+            // Negation-only variables are existential inside the negation.
+            Literal::Neg(_) => true,
+            Literal::Cmp(c) => {
+                let mut vs = c.lhs.vars();
+                vs.extend(c.rhs.vars());
+                vs.iter().all(|v| safe.contains(v))
+            }
+            Literal::Bind { expr, .. } => expr.vars().iter().all(|v| safe.contains(v)),
+        });
+        head_ok && body_ok
+    }
+
+    /// Apply a substitution to head and body.
+    pub fn apply(&self, s: &Subst) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            head: s.apply_atom(&self.head),
+            body: self.body.iter().map(|l| s.apply_literal(l)).collect(),
+        }
+    }
+
+    /// Rename every variable with a numeric suffix (standardizing apart).
+    pub fn rename(&self, suffix: usize) -> ConjunctiveQuery {
+        let mut s = Subst::new();
+        for v in self.all_vars() {
+            s.insert(v.to_string(), Term::Var(format!("{v}_{suffix}")));
+        }
+        self.apply(&s)
+    }
+
+    /// Canonical key for exact-match result caching (BERMUDA-style
+    /// baseline): the printed form with variables numbered by first
+    /// occurrence, so alphabetic renaming does not defeat the cache.
+    pub fn canonical_key(&self) -> String {
+        let mut s = Subst::new();
+        let mut n = 0;
+        let mut seen = BTreeSet::new();
+        let visit = |t: &Term, s: &mut Subst, n: &mut usize, seen: &mut BTreeSet<String>| {
+            if let Term::Var(v) = t {
+                if seen.insert(v.clone()) {
+                    s.insert(v.clone(), Term::Var(format!("V{n}")));
+                    *n += 1;
+                }
+            }
+        };
+        for t in &self.head.args {
+            visit(t, &mut s, &mut n, &mut seen);
+        }
+        for l in &self.body {
+            for v in l.vars() {
+                visit(&Term::var(v), &mut s, &mut n, &mut seen);
+            }
+        }
+        self.apply(&s).to_string()
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An aggregation spec: CAQL's `AGG` second-order predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Head variable (of the input query) being aggregated.
+    pub over: String,
+    /// Head variables to group by.
+    pub group_by: Vec<String>,
+}
+
+/// The full CAQL query AST.
+///
+/// The CMS "supports all CAQL operations" while the remote DBMS supports
+/// only a subset (§5.3.3 complication (d)); the planner uses
+/// [`CaqlQuery::remote_supported`] to decide what may be shipped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaqlQuery {
+    /// A single conjunctive (PSJ) query.
+    Conjunctive(ConjunctiveQuery),
+    /// A union of conjunctive queries with compatible heads. Complex DAPs
+    /// from compiling IEs "often involv\[e\] union" (§2).
+    Union(Vec<ConjunctiveQuery>),
+    /// Aggregation over a query — the `AGG`/`BAGOF`/`SETOF` family.
+    Aggregate {
+        /// Result name.
+        name: String,
+        /// Input query.
+        input: Box<CaqlQuery>,
+        /// Aggregation spec.
+        spec: AggSpec,
+    },
+    /// Existential projection: `EXISTS vs : q` — drop `vs` from the head.
+    Exists {
+        /// Variables projected away.
+        vars: Vec<String>,
+        /// Input query.
+        input: Box<CaqlQuery>,
+    },
+    /// `THE q` — the unique answer; evaluation fails unless the input has
+    /// exactly one tuple (CAQL's definite-description quantifier, §5).
+    The {
+        /// Input query.
+        input: Box<CaqlQuery>,
+    },
+    /// `ANY q` — an arbitrary single answer (deterministically the least
+    /// tuple under the value order); empty input yields an empty result.
+    Any {
+        /// Input query.
+        input: Box<CaqlQuery>,
+    },
+}
+
+impl CaqlQuery {
+    /// The name of the relation this query defines.
+    pub fn name(&self) -> &str {
+        match self {
+            CaqlQuery::Conjunctive(c) => &c.head.pred,
+            CaqlQuery::Union(cs) => cs.first().map(|c| c.head.pred.as_str()).unwrap_or(""),
+            CaqlQuery::Aggregate { name, .. } => name,
+            CaqlQuery::Exists { input, .. }
+            | CaqlQuery::The { input }
+            | CaqlQuery::Any { input } => input.name(),
+        }
+    }
+
+    /// All conjunctive branches (one for `Conjunctive`, many for `Union`,
+    /// recursing through wrappers).
+    pub fn branches(&self) -> Vec<&ConjunctiveQuery> {
+        match self {
+            CaqlQuery::Conjunctive(c) => vec![c],
+            CaqlQuery::Union(cs) => cs.iter().collect(),
+            CaqlQuery::Aggregate { input, .. }
+            | CaqlQuery::Exists { input, .. }
+            | CaqlQuery::The { input }
+            | CaqlQuery::Any { input } => input.branches(),
+        }
+    }
+
+    /// True when the simulated remote DBMS can evaluate this query
+    /// directly: a single SPJ block, or a union of them, with no negation,
+    /// no binds and no aggregation. (The paper: "the remote DBMS does not
+    /// support all CAQL operations, but the CMS does".)
+    pub fn remote_supported(&self) -> bool {
+        match self {
+            CaqlQuery::Conjunctive(c) => c
+                .body
+                .iter()
+                .all(|l| matches!(l, Literal::Atom(_) | Literal::Cmp(_))),
+            CaqlQuery::Union(cs) => cs.iter().all(|c| {
+                c.body
+                    .iter()
+                    .all(|l| matches!(l, Literal::Atom(_) | Literal::Cmp(_)))
+            }),
+            CaqlQuery::Aggregate { .. }
+            | CaqlQuery::Exists { .. }
+            | CaqlQuery::The { .. }
+            | CaqlQuery::Any { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for CaqlQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaqlQuery::Conjunctive(c) => write!(f, "{c}"),
+            CaqlQuery::Union(cs) => {
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ; ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
+            }
+            CaqlQuery::Aggregate { name, input, spec } => write!(
+                f,
+                "{name} = AGG({}, {}, [{}], {input})",
+                spec.func.name(),
+                spec.over,
+                spec.group_by.join(", ")
+            ),
+            CaqlQuery::Exists { vars, input } => {
+                write!(f, "EXISTS [{}] : {input}", vars.join(", "))
+            }
+            CaqlQuery::The { input } => write!(f, "THE : {input}"),
+            CaqlQuery::Any { input } => write!(f, "ANY : {input}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, CmpOp};
+
+    fn q() -> ConjunctiveQuery {
+        // d2(X, Y) :- b2(X, Z), b3(Z, c2, Y)
+        ConjunctiveQuery::new(
+            atom!("d2"; Term::var("X"), Term::var("Y")),
+            vec![
+                Literal::atom(atom!("b2"; Term::var("X"), Term::var("Z"))),
+                Literal::atom(atom!("b3"; Term::var("Z"), Term::val("c2"), Term::var("Y"))),
+            ],
+        )
+    }
+
+    #[test]
+    fn display_matches_datalog_syntax() {
+        assert_eq!(q().to_string(), "d2(X, Y) :- b2(X, Z), b3(Z, c2, Y)");
+    }
+
+    #[test]
+    fn safety_check() {
+        assert!(q().is_safe());
+        let unsafe_q = ConjunctiveQuery::new(
+            atom!("d"; Term::var("W")),
+            vec![Literal::atom(atom!("b"; Term::var("X")))],
+        );
+        assert!(!unsafe_q.is_safe());
+    }
+
+    #[test]
+    fn bind_extends_safety() {
+        let q = ConjunctiveQuery::new(
+            atom!("d"; Term::var("Y")),
+            vec![
+                Literal::atom(atom!("b"; Term::var("X"))),
+                Literal::Bind {
+                    var: "Y".into(),
+                    expr: crate::ArithExpr::Bin(
+                        crate::ArithOp::Add,
+                        Box::new(Term::var("X").into()),
+                        Box::new(Term::val(1).into()),
+                    ),
+                },
+            ],
+        );
+        assert!(q.is_safe());
+    }
+
+    #[test]
+    fn negation_only_variables_are_existential() {
+        let q = ConjunctiveQuery::new(
+            atom!("d"; Term::var("X")),
+            vec![
+                Literal::atom(atom!("b"; Term::var("X"))),
+                Literal::Neg(atom!("c"; Term::var("X"))),
+            ],
+        );
+        assert!(q.is_safe());
+        // Y occurs only inside the negation: ¬∃Y. c(Y) — safe (NAF).
+        let existential = ConjunctiveQuery::new(
+            atom!("d"; Term::var("X")),
+            vec![
+                Literal::atom(atom!("b"; Term::var("X"))),
+                Literal::Neg(atom!("c"; Term::var("Y"))),
+            ],
+        );
+        assert!(existential.is_safe());
+        // But a *head* variable may still not come from a negation.
+        let bad_head = ConjunctiveQuery::new(
+            atom!("d"; Term::var("Y")),
+            vec![
+                Literal::atom(atom!("b"; Term::var("X"))),
+                Literal::Neg(atom!("c"; Term::var("Y"))),
+            ],
+        );
+        assert!(!bad_head.is_safe());
+    }
+
+    #[test]
+    fn rename_standardizes_apart() {
+        let r = q().rename(3);
+        assert_eq!(
+            r.to_string(),
+            "d2(X_3, Y_3) :- b2(X_3, Z_3), b3(Z_3, c2, Y_3)"
+        );
+    }
+
+    #[test]
+    fn canonical_key_ignores_variable_names() {
+        let a = q();
+        let mut s = Subst::new();
+        s.insert("X", Term::var("Alpha"));
+        s.insert("Y", Term::var("Beta"));
+        s.insert("Z", Term::var("Gamma"));
+        let b = a.apply(&s);
+        assert_ne!(a.to_string(), b.to_string());
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_constants() {
+        let a = q();
+        let mut s = Subst::new();
+        s.insert("Y", Term::val("c6"));
+        let b = a.apply(&s);
+        assert_ne!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn remote_supported_rejects_negation_and_agg() {
+        assert!(CaqlQuery::Conjunctive(q()).remote_supported());
+        let neg = ConjunctiveQuery::new(
+            atom!("d"; Term::var("X")),
+            vec![
+                Literal::atom(atom!("b"; Term::var("X"))),
+                Literal::Neg(atom!("c"; Term::var("X"))),
+            ],
+        );
+        assert!(!CaqlQuery::Conjunctive(neg).remote_supported());
+        let agg = CaqlQuery::Aggregate {
+            name: "n".into(),
+            input: Box::new(CaqlQuery::Conjunctive(q())),
+            spec: AggSpec {
+                func: AggFunc::Count,
+                over: "X".into(),
+                group_by: vec![],
+            },
+        };
+        assert!(!agg.remote_supported());
+    }
+
+    #[test]
+    fn comparisons_are_remote_supported() {
+        let c = ConjunctiveQuery::new(
+            atom!("d"; Term::var("X")),
+            vec![
+                Literal::atom(atom!("b"; Term::var("X"))),
+                Literal::cmp(Term::var("X"), CmpOp::Gt, Term::val(3)),
+            ],
+        );
+        assert!(CaqlQuery::Conjunctive(c).remote_supported());
+    }
+
+    #[test]
+    fn branches_flatten_union() {
+        let u = CaqlQuery::Union(vec![q(), q().rename(1)]);
+        assert_eq!(u.branches().len(), 2);
+        assert_eq!(u.name(), "d2");
+    }
+}

@@ -1,0 +1,322 @@
+//! Substitutions, unification and one-directional matching.
+//!
+//! The subsumption check of §5.3.2 "is like a unification in a single
+//! direction; a constant in the predicate in the subquery can match with
+//! the same constant or a variable at the corresponding position in the
+//! predicate in the cache element, but a variable can only match with a
+//! variable" — implemented here as [`match_atom`]. Full (bidirectional)
+//! unification, used by the inference engine, is [`unify_atoms`].
+
+use crate::atom::Atom;
+use crate::literal::{ArithExpr, Comparison, Literal};
+use crate::term::Term;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A substitution: a finite map from variable names to terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: BTreeMap<String, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Singleton binding.
+    pub fn bind(var: impl Into<String>, t: Term) -> Subst {
+        let mut s = Subst::new();
+        s.map.insert(var.into(), t);
+        s
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The binding of `var`, if any.
+    pub fn get(&self, var: &str) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    /// Iterate bindings in variable-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Term)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Insert a binding, following chains so stored terms are fully
+    /// resolved against the current substitution.
+    pub fn insert(&mut self, var: impl Into<String>, t: Term) {
+        let t = self.apply_term(&t);
+        self.map.insert(var.into(), t);
+    }
+
+    /// Resolve a term through the substitution (transitively for variable
+    /// chains).
+    pub fn apply_term(&self, t: &Term) -> Term {
+        match t {
+            Term::Const(_) => t.clone(),
+            Term::Var(v) => {
+                let mut cur = v.as_str();
+                let mut hops = 0;
+                while let Some(next) = self.map.get(cur) {
+                    match next {
+                        Term::Const(_) => return next.clone(),
+                        Term::Var(w) => {
+                            cur = w;
+                            hops += 1;
+                            // A cycle X→Y→X can only arise from var-var
+                            // bindings; stop and return the current var.
+                            if hops > self.map.len() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Term::Var(cur.to_string())
+            }
+        }
+    }
+
+    /// Apply to an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom::new(
+            a.pred.clone(),
+            a.args.iter().map(|t| self.apply_term(t)).collect(),
+        )
+    }
+
+    /// Apply to an arithmetic expression.
+    pub fn apply_arith(&self, e: &ArithExpr) -> ArithExpr {
+        match e {
+            ArithExpr::Term(t) => ArithExpr::Term(self.apply_term(t)),
+            ArithExpr::Bin(op, a, b) => ArithExpr::Bin(
+                *op,
+                Box::new(self.apply_arith(a)),
+                Box::new(self.apply_arith(b)),
+            ),
+        }
+    }
+
+    /// Apply to a literal.
+    pub fn apply_literal(&self, l: &Literal) -> Literal {
+        match l {
+            Literal::Atom(a) => Literal::Atom(self.apply_atom(a)),
+            Literal::Neg(a) => Literal::Neg(self.apply_atom(a)),
+            Literal::Cmp(c) => Literal::Cmp(Comparison {
+                op: c.op,
+                lhs: self.apply_arith(&c.lhs),
+                rhs: self.apply_arith(&c.rhs),
+            }),
+            Literal::Bind { var, expr } => {
+                // The bound variable stays a variable name; only the
+                // expression is instantiated.
+                Literal::Bind {
+                    var: var.clone(),
+                    expr: self.apply_arith(expr),
+                }
+            }
+        }
+    }
+
+    /// Compose: the substitution applying `self` then `other`.
+    pub fn compose(&self, other: &Subst) -> Subst {
+        let mut out = Subst::new();
+        for (v, t) in &self.map {
+            out.map.insert(v.clone(), other.apply_term(t));
+        }
+        for (v, t) in &other.map {
+            out.map.entry(v.clone()).or_insert_with(|| t.clone());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}={t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Most general unifier of two atoms (same predicate and arity required).
+/// Terms are flat, so no occurs check is needed.
+pub fn unify_atoms(a: &Atom, b: &Atom) -> Option<Subst> {
+    if a.pred != b.pred || a.arity() != b.arity() {
+        return None;
+    }
+    let mut s = Subst::new();
+    for (ta, tb) in a.args.iter().zip(&b.args) {
+        let ta = s.apply_term(ta);
+        let tb = s.apply_term(tb);
+        match (&ta, &tb) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    return None;
+                }
+            }
+            (Term::Var(v), t) | (t, Term::Var(v)) => {
+                if Term::Var(v.clone()) != *t {
+                    s.insert(v.clone(), t.clone());
+                }
+            }
+        }
+    }
+    Some(s)
+}
+
+/// One-directional match of a *general* atom onto a *specific* atom — the
+/// paper's single-direction unification for subsumption (§5.3.2).
+///
+/// Succeeds with a substitution over the general atom's variables iff the
+/// general atom can be instantiated to the specific one:
+/// * a variable in `general` maps to the term (constant **or** variable)
+///   at the same position in `specific` (consistently across positions);
+/// * a constant in `general` must equal the constant in `specific` — and,
+///   per the paper, "a variable [in the subquery] can only match with a
+///   variable", so a constant in `general` against a variable in
+///   `specific` fails.
+pub fn match_atom(general: &Atom, specific: &Atom) -> Option<Subst> {
+    if general.pred != specific.pred || general.arity() != specific.arity() {
+        return None;
+    }
+    let mut s = Subst::new();
+    for (tg, ts) in general.args.iter().zip(&specific.args) {
+        match tg {
+            Term::Const(cg) => match ts {
+                Term::Const(cs) if cg == cs => {}
+                _ => return None,
+            },
+            Term::Var(v) => match s.get(v) {
+                None => {
+                    s.insert(v.clone(), ts.clone());
+                }
+                Some(prev) if prev == ts => {}
+                Some(_) => return None,
+            },
+        }
+    }
+    Some(s)
+}
+
+/// Rename all variables of an atom with a numeric suffix — used to keep
+/// rule variables apart from goal variables during resolution.
+pub fn rename_atom(a: &Atom, suffix: usize) -> Atom {
+    Atom::new(
+        a.pred.clone(),
+        a.args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Term::Var(format!("{v}_{suffix}")),
+                c => c.clone(),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom;
+
+    #[test]
+    fn unify_binds_both_directions() {
+        let a = atom!("p"; Term::var("X"), Term::val("c"));
+        let b = atom!("p"; Term::val("d"), Term::var("Y"));
+        let s = unify_atoms(&a, &b).unwrap();
+        assert_eq!(s.apply_atom(&a), s.apply_atom(&b));
+        assert_eq!(s.get("X"), Some(&Term::val("d")));
+        assert_eq!(s.get("Y"), Some(&Term::val("c")));
+    }
+
+    #[test]
+    fn unify_conflicting_constants_fails() {
+        let a = atom!("p"; Term::val("c"));
+        let b = atom!("p"; Term::val("d"));
+        assert!(unify_atoms(&a, &b).is_none());
+    }
+
+    #[test]
+    fn unify_shared_variable_consistency() {
+        let a = atom!("p"; Term::var("X"), Term::var("X"));
+        let b = atom!("p"; Term::val("c"), Term::val("d"));
+        assert!(unify_atoms(&a, &b).is_none());
+        let b2 = atom!("p"; Term::val("c"), Term::val("c"));
+        assert!(unify_atoms(&a, &b2).is_some());
+    }
+
+    #[test]
+    fn match_is_directional() {
+        // E = b21(X, Y) subsumes Q = b21(X, 2): paper's E1 example.
+        let e = atom!("b21"; Term::var("X"), Term::var("Y"));
+        let q = atom!("b21"; Term::var("X"), Term::val(2));
+        let s = match_atom(&e, &q).unwrap();
+        assert_eq!(s.get("Y"), Some(&Term::val(2)));
+        // The reverse direction must fail: the specific's constant can't
+        // generalize.
+        assert!(match_atom(&q, &e).is_none());
+    }
+
+    #[test]
+    fn match_paper_e2_fails_on_wrong_constant() {
+        // E2 = b21(3, Y) does not subsume b21(X, 2) (constant 3 vs var X).
+        let e2 = atom!("b21"; Term::val(3), Term::var("Y"));
+        let q = atom!("b21"; Term::var("X"), Term::val(2));
+        assert!(match_atom(&e2, &q).is_none());
+    }
+
+    #[test]
+    fn match_paper_e3_identity() {
+        // E3 = b21(X, 2) subsumes b21(X, 2) with the empty unifier "(,)".
+        let e3 = atom!("b21"; Term::var("X"), Term::val(2));
+        let q = atom!("b21"; Term::var("X"), Term::val(2));
+        let s = match_atom(&e3, &q).unwrap();
+        assert_eq!(s.get("X"), Some(&Term::var("X")));
+    }
+
+    #[test]
+    fn match_repeated_general_var_must_agree() {
+        let e = atom!("p"; Term::var("X"), Term::var("X"));
+        let q = atom!("p"; Term::val(1), Term::val(2));
+        assert!(match_atom(&e, &q).is_none());
+    }
+
+    #[test]
+    fn compose_applies_left_then_right() {
+        let s1 = Subst::bind("X", Term::var("Y"));
+        let s2 = Subst::bind("Y", Term::val(3));
+        let c = s1.compose(&s2);
+        assert_eq!(c.apply_term(&Term::var("X")), Term::val(3));
+        assert_eq!(c.apply_term(&Term::var("Y")), Term::val(3));
+    }
+
+    #[test]
+    fn apply_follows_chains_and_tolerates_cycles() {
+        let mut s = Subst::new();
+        s.insert("X", Term::var("Y"));
+        s.insert("Y", Term::var("X"));
+        // Cycle: resolution terminates.
+        let _ = s.apply_term(&Term::var("X"));
+    }
+
+    #[test]
+    fn rename_atom_suffixes_vars() {
+        let a = atom!("p"; Term::var("X"), Term::val("c"));
+        let r = rename_atom(&a, 7);
+        assert_eq!(r.to_string(), "p(X_7, c)");
+    }
+}

@@ -1,0 +1,110 @@
+//! Terms: variables and constants.
+//!
+//! CAQL terms are flat (no function symbols) — the paper works over a
+//! "function free Horn clause query language" in the tradition of IDI and
+//! BERMUDA, which keeps unification occurs-check-free and makes the
+//! subsumption problem decidable in the PSJ fragment.
+
+use braid_relational::Value;
+use std::fmt;
+
+/// A term: a named variable or a constant value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A logic variable, e.g. `X`.
+    Var(String),
+    /// A constant, e.g. `c1` or `42`.
+    Const(Value),
+}
+
+impl Term {
+    /// Variable constructor.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Constant constructor from anything convertible to a [`Value`].
+    pub fn val(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// True for variables.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// True for constants.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant value, if this is a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(v) => Some(v),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Value::Str(s)) => {
+                // Symbolic constants print bare when they lex as lowercase
+                // identifiers, else quoted.
+                let bare = s
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_lowercase())
+                    .unwrap_or(false)
+                    && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+                if bare {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "\"{s}\"")
+                }
+            }
+            Term::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Term {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_vars_and_consts() {
+        assert_eq!(Term::var("X").to_string(), "X");
+        assert_eq!(Term::val("c1").to_string(), "c1");
+        assert_eq!(Term::val("Mixed Case").to_string(), "\"Mixed Case\"");
+        assert_eq!(Term::val(7).to_string(), "7");
+    }
+
+    #[test]
+    fn accessors() {
+        let x = Term::var("X");
+        assert!(x.is_var());
+        assert_eq!(x.as_var(), Some("X"));
+        assert_eq!(x.as_const(), None);
+        let c = Term::val(3);
+        assert!(c.is_const());
+        assert_eq!(c.as_const(), Some(&Value::Int(3)));
+    }
+}

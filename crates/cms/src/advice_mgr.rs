@@ -1,0 +1,322 @@
+//! The Advice Manager.
+//!
+//! "The Advice Manager interacts with the QPO to assist in query planning
+//! and optimization and with the Cache Manager to assist in caching and
+//! replacement decisions" (§5). It holds the session's advice bundle and
+//! the path-expression tracker, and answers four questions:
+//!
+//! 1. *Expansion* — which base-level conjunction does this IE-query head
+//!    stand for? ("An IE-query is an instance of one of the view
+//!    specifications", §5.3.1.)
+//! 2. *Generalization* — is there a more general form worth evaluating
+//!    instead? (§5.3.1's `b1(c1,Y)` → `b1(X,Y)` example.)
+//! 3. *Prefetch* — which queries will the IE send next, with which
+//!    constants? (§4.2.2 tracking + §5.3.1.)
+//! 4. *Replacement and indexing* — which cached views to pin, which
+//!    attributes to index? (§4.2.1, §5.4.)
+
+use braid_advice::{Advice, PathTracker, PatternArg, QueryPattern};
+use braid_caql::{Atom, ConjunctiveQuery, Subst, Term};
+use braid_subsume::{subsumes, Component, ViewDef};
+use std::collections::BTreeSet;
+
+/// Session-scoped advice state.
+#[derive(Debug, Default)]
+pub struct AdviceManager {
+    advice: Advice,
+    tracker: Option<PathTracker>,
+    rename_counter: usize,
+}
+
+impl AdviceManager {
+    /// No advice (the CMS functions without it, §3).
+    pub fn new() -> AdviceManager {
+        AdviceManager::default()
+    }
+
+    /// Install a session's advice, replacing any previous bundle.
+    pub fn begin_session(&mut self, advice: Advice) {
+        self.tracker = advice.path.as_ref().map(PathTracker::new);
+        self.advice = advice;
+    }
+
+    /// The current advice.
+    pub fn advice(&self) -> &Advice {
+        &self.advice
+    }
+
+    /// Observe an IE-query head (advances path tracking).
+    pub fn observe(&mut self, head: &Atom) {
+        if let Some(t) = self.tracker.as_mut() {
+            t.advance(head);
+        }
+    }
+
+    /// Expand a bare view-instance head (e.g. `d2(X, c6)`) into its
+    /// base-level conjunctive query using the view specification.
+    /// Spec variables are renamed apart from the query's.
+    pub fn expand(&mut self, head: &Atom) -> Option<ConjunctiveQuery> {
+        let spec = self.advice.view_spec(&head.pred)?;
+        self.rename_counter += 1;
+        let fresh = spec.to_query().rename(self.rename_counter);
+        let u = braid_caql::unify_atoms(&fresh.head, head)?;
+        Some(ConjunctiveQuery::new(
+            head.clone(),
+            fresh.body.iter().map(|l| u.apply_literal(l)).collect(),
+        ))
+    }
+
+    /// §5.3.1 step 1: a more general query worth evaluating instead of
+    /// `q`, found by checking whether `q` "can be subsumed by any other
+    /// view specification or its parts". Returns the generalized query
+    /// (head = every variable of the generalized body) and the name of
+    /// the view spec whose body provided it — the future query that makes
+    /// the extra fetching pay off. Only *strictly* more general forms are
+    /// returned.
+    pub fn generalization_candidate(
+        &mut self,
+        q: &ConjunctiveQuery,
+    ) -> Option<(ConjunctiveQuery, String)> {
+        let whole = Component::whole(q);
+        let needed: Vec<&str> = whole.vars().into_iter().collect();
+        let mut candidates: Vec<(usize, ConjunctiveQuery, String)> = Vec::new();
+        self.rename_counter += 1;
+        let rn = self.rename_counter;
+        for spec in &self.advice.view_specs {
+            let spec_q = spec.to_query().rename(rn);
+            let n = spec_q.positive_atoms().len();
+            if n < whole.len() {
+                continue;
+            }
+            // Contiguous segments of the spec body of the same length as q.
+            let atoms: Vec<Atom> = spec_q.positive_atoms().into_iter().cloned().collect();
+            for start in 0..=(n - whole.len()) {
+                let seg = &atoms[start..start + whole.len()];
+                let view = match ViewDef::over_conjunction(
+                    format!("gen_{}", spec.name),
+                    seg.iter().cloned().map(braid_caql::Literal::Atom).collect(),
+                ) {
+                    Ok(v) => v,
+                    Err(_) => continue,
+                };
+                if let Some(d) = subsumes(&view, &whole, &needed) {
+                    if d.is_exact() {
+                        // Not strictly more general — nothing extra to
+                        // prefetch.
+                        continue;
+                    }
+                    // The generalized query: the segment itself, all vars
+                    // distinguished.
+                    let gen = view.query().clone();
+                    candidates.push((d.filters.len(), gen, spec.name.clone()));
+                }
+            }
+        }
+        // Most-constrained generalization first (fewest residual filters
+        // beyond q): fetches the least extra data that still generalizes.
+        candidates.sort_by_key(|(f, _, _)| *f);
+        candidates.into_iter().map(|(_, g, n)| (g, n)).next()
+    }
+
+    /// Will `view` be requested again according to the path expression?
+    /// Returns the predicted minimum distance in queries.
+    pub fn predicted_distance(&self, view: &str) -> Option<usize> {
+        self.tracker.as_ref().and_then(|t| t.distance_to(view))
+    }
+
+    /// Fully-instantiated next-query predictions — the prefetch
+    /// candidates. Each is returned as `(view name, instantiated head)`;
+    /// patterns still containing un-valued bound arguments are skipped
+    /// (their constants are not known yet).
+    pub fn prefetch_heads(&mut self) -> Vec<Atom> {
+        let Some(t) = self.tracker.as_ref() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for pat in t.predict_next_queries() {
+            if let Some(head) = pattern_to_head(&pat) {
+                out.push(head);
+            }
+        }
+        out
+    }
+
+    /// Head variables of `view` that advice marks as consumers (`?`) —
+    /// the indexing candidates of §4.2.1.
+    pub fn consumer_vars(&self, view: &str) -> Vec<String> {
+        self.advice
+            .view_spec(view)
+            .map(|s| {
+                s.params
+                    .iter()
+                    .filter(|(_, a)| *a == braid_advice::Annotation::Consumer)
+                    .filter_map(|(t, _)| t.as_var().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Is `view` declared strictly-producer (all `^`)? Such views should
+    /// be "produce\[d\] lazily and without any indexing" (§4.2.1).
+    pub fn strictly_producer(&self, view: &str) -> bool {
+        self.advice
+            .view_spec(view)
+            .map(|s| s.strictly_producer())
+            .unwrap_or(false)
+    }
+
+    /// Views predicted within `horizon` queries — their cached results
+    /// should be pinned against replacement (§4.2.2's d1 example).
+    pub fn pinned_views(&self, horizon: usize) -> BTreeSet<String> {
+        let Some(t) = self.tracker.as_ref() else {
+            return BTreeSet::new();
+        };
+        let mut out = BTreeSet::new();
+        if let Some(path) = &self.advice.path {
+            for v in path.views() {
+                if let Some(d) = t.distance_to(v) {
+                    if d <= horizon {
+                        out.insert(v.to_string());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Is tracking currently in sync?
+    pub fn tracking(&self) -> bool {
+        self.tracker.as_ref().map(|t| !t.is_lost()).unwrap_or(false)
+    }
+}
+
+/// Turn a fully-instantiated query pattern into a concrete query head:
+/// free args become fresh variables, consts stay; un-valued bound args
+/// make the pattern unusable (return `None`).
+fn pattern_to_head(pat: &QueryPattern) -> Option<Atom> {
+    let mut args = Vec::with_capacity(pat.args.len());
+    for (i, a) in pat.args.iter().enumerate() {
+        match a {
+            PatternArg::Free(v) => args.push(Term::Var(format!("{v}_{i}"))),
+            PatternArg::Const(c) => args.push(Term::Const(c.clone())),
+            PatternArg::Bound(_) => return None,
+        }
+    }
+    Some(Atom::new(pat.view.clone(), args))
+}
+
+/// Re-export for head instantiation in `cms.rs` (test hook).
+pub(crate) fn _unify_for_tests(a: &Atom, b: &Atom) -> Option<Subst> {
+    braid_caql::unify_atoms(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_advice::{parse_path_expr, parse_view_spec};
+    use braid_caql::parse_atom;
+
+    fn example1_advice() -> Advice {
+        let mut a = Advice::none();
+        a.view_specs
+            .push(parse_view_spec("d1(Y^) =def b1(c1, Y^) (R1)").unwrap());
+        a.view_specs
+            .push(parse_view_spec("d2(X^, Y?) =def b2(X^, Z) & b3(Z, c2, Y?) (R2)").unwrap());
+        a.view_specs
+            .push(parse_view_spec("d3(X^, Y?) =def b3(X^, c3, Z) & b1(Z, Y?) (R3)").unwrap());
+        a.path = Some(parse_path_expr("(d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>").unwrap());
+        a
+    }
+
+    #[test]
+    fn expand_instantiates_view_spec() {
+        let mut m = AdviceManager::new();
+        m.begin_session(example1_advice());
+        let q = m.expand(&parse_atom("d2(W, c6)").unwrap()).unwrap();
+        assert_eq!(q.head.to_string(), "d2(W, c6)");
+        let s = q.to_string();
+        assert!(s.contains("b2(W,"), "body instantiated: {s}");
+        assert!(s.contains("c2, c6)"), "constant propagated: {s}");
+        assert!(m.expand(&parse_atom("zz(A)").unwrap()).is_none());
+    }
+
+    #[test]
+    fn expansion_avoids_variable_capture() {
+        let mut m = AdviceManager::new();
+        m.begin_session(example1_advice());
+        // Query reuses the spec's internal variable name Z.
+        let q = m.expand(&parse_atom("d2(Z, c6)").unwrap()).unwrap();
+        // The body's join variable must not be conflated with the head Z.
+        let atoms = q.positive_atoms();
+        let b2 = atoms.iter().find(|a| a.pred == "b2").unwrap();
+        assert_eq!(b2.args[0], Term::var("Z"));
+        assert_ne!(b2.args[1], Term::var("Z"));
+    }
+
+    #[test]
+    fn paper_generalization_b1_example() {
+        // §5.3.1: query b1(c1, Y) (from d1) is subsumed by b1(Z, Y) in
+        // d3's definition → CMS may evaluate the generalization b1(X, Y).
+        let mut m = AdviceManager::new();
+        m.begin_session(example1_advice());
+        let q = m.expand(&parse_atom("d1(Y)").unwrap()).unwrap();
+        let (gen, source) = m.generalization_candidate(&q).unwrap();
+        assert_eq!(source, "d3");
+        assert_eq!(gen.positive_atoms().len(), 1);
+        assert_eq!(gen.positive_atoms()[0].pred, "b1");
+        // Both arguments generalized to variables.
+        assert!(gen.positive_atoms()[0].args.iter().all(Term::is_var));
+    }
+
+    #[test]
+    fn no_generalization_without_subsuming_spec() {
+        let mut m = AdviceManager::new();
+        m.begin_session(example1_advice());
+        let q = braid_caql::parse_rule("q(X) :- b9(X, c1).").unwrap();
+        assert!(m.generalization_candidate(&q).is_none());
+    }
+
+    #[test]
+    fn tracker_prefetch_heads_carry_constants() {
+        let mut m = AdviceManager::new();
+        m.begin_session(example1_advice());
+        m.observe(&parse_atom("d1(Y)").unwrap());
+        // No constants known yet: d2's bound arg unfilled.
+        assert!(m.prefetch_heads().is_empty());
+        m.observe(&parse_atom("d2(X, c6)").unwrap());
+        let heads = m.prefetch_heads();
+        let d3 = heads.iter().find(|h| h.pred == "d3").unwrap();
+        assert_eq!(d3.args[1], Term::val("c6"));
+    }
+
+    #[test]
+    fn consumer_vars_and_producer_flags() {
+        let mut m = AdviceManager::new();
+        m.begin_session(example1_advice());
+        assert_eq!(m.consumer_vars("d2"), vec!["Y".to_string()]);
+        assert!(m.consumer_vars("d1").is_empty());
+        assert!(m.strictly_producer("d1"));
+        assert!(!m.strictly_producer("d2"));
+    }
+
+    #[test]
+    fn pinned_views_respect_horizon() {
+        let mut m = AdviceManager::new();
+        m.begin_session(example1_advice());
+        m.observe(&parse_atom("d1(Y)").unwrap());
+        let p1 = m.pinned_views(1);
+        assert!(p1.contains("d2"));
+        assert!(!p1.contains("d1"), "d1 can never recur");
+        let p2 = m.pinned_views(2);
+        assert!(p2.contains("d3"));
+    }
+
+    #[test]
+    fn no_advice_means_no_answers() {
+        let mut m = AdviceManager::new();
+        assert!(m.expand(&parse_atom("d1(Y)").unwrap()).is_none());
+        assert!(m.prefetch_heads().is_empty());
+        assert!(m.pinned_views(3).is_empty());
+        assert!(!m.tracking());
+    }
+}

@@ -1,0 +1,459 @@
+//! The Cache Manager.
+//!
+//! "The primary responsibilities of the Cache Manager include (a)
+//! maintaining the cache as well as storing and replacing cache elements
+//! (using an LRU scheme which may be modified due to advi\[c\]e); (b)
+//! executing queries on cached data in the working memory; (c) keeping
+//! track of resources consumed by the cached data; and (d) maintaining
+//! sufficient historical meta-data to support cache replacement and
+//! accumulate performance measurement statistics" (§5.4).
+
+use crate::element::{CacheElement, ElemId};
+use crate::error::Result;
+use crate::model::ModelRow;
+use braid_caql::ConjunctiveQuery;
+use braid_relational::Generator;
+use braid_subsume::{CandidateUse, Derivation, SubsumptionEngine, ViewDef};
+use std::collections::{BTreeMap, HashMap};
+
+/// The cache: elements, the subsumption index over their definitions, an
+/// exact-match index, and replacement machinery.
+#[derive(Debug, Default)]
+pub struct CacheManager {
+    elements: BTreeMap<ElemId, CacheElement>,
+    engine: SubsumptionEngine,
+    exact: HashMap<String, ElemId>,
+    next_id: ElemId,
+    clock: u64,
+    capacity_bytes: usize,
+    used_bytes: usize,
+    evictions: u64,
+}
+
+impl CacheManager {
+    /// A cache with the given capacity (approximate bytes).
+    pub fn new(capacity_bytes: usize) -> CacheManager {
+        CacheManager {
+            capacity_bytes,
+            ..CacheManager::default()
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Approximate bytes in use.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Advance and return the logical clock.
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Canonical exact-match key: the head's *name* is arbitrary (the IE
+    /// may call the same result `d2` or `q`), so it is normalized away;
+    /// variables are canonically numbered by `canonical_key`.
+    fn exact_key(q: &ConjunctiveQuery) -> String {
+        let mut q = q.clone();
+        q.head.pred = "_".to_string();
+        q.canonical_key()
+    }
+
+    /// Install an element built by the caller. Returns `None` (and drops
+    /// the element) if it can never fit. Evicts LRU-first among unpinned
+    /// elements when needed — the paper's advice-modified LRU (§5.4).
+    pub fn insert(&mut self, def: ViewDef, build: ElementBuilder) -> Option<ElemId> {
+        let id = self.next_id;
+        let now = self.tick();
+        let element = match build {
+            ElementBuilder::Materialized(rel) => CacheElement::materialized(id, def, rel, now),
+            ElementBuilder::Lazy(g) => CacheElement::lazy(id, def, g, now),
+        };
+        let bytes = element.approx_bytes();
+        if bytes > self.capacity_bytes {
+            return None;
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
+            if !self.evict_one() {
+                return None;
+            }
+        }
+        self.next_id += 1;
+        self.used_bytes += bytes;
+        self.exact.insert(Self::exact_key(element.def.query()), id);
+        self.engine.insert(id, element.def.clone());
+        self.elements.insert(id, element);
+        Some(id)
+    }
+
+    /// [`CacheManager::insert`], additionally registering the element
+    /// under extra exact-match keys (e.g. the original projected query a
+    /// result was computed for, alongside its all-variables definition).
+    pub fn insert_with_aliases(
+        &mut self,
+        def: ViewDef,
+        build: ElementBuilder,
+        aliases: &[String],
+    ) -> Option<ElemId> {
+        let id = self.insert(def, build)?;
+        for a in aliases {
+            self.exact.insert(a.clone(), id);
+        }
+        Some(id)
+    }
+
+    /// Evict the least-recently-used unpinned element. Returns `false`
+    /// when nothing is evictable.
+    fn evict_one(&mut self) -> bool {
+        let victim = self
+            .elements
+            .values()
+            .filter(|e| !e.pinned)
+            .min_by_key(|e| e.last_used)
+            .map(|e| e.id);
+        match victim {
+            Some(id) => {
+                self.remove(id);
+                self.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove an element outright.
+    pub fn remove(&mut self, id: ElemId) -> Option<CacheElement> {
+        let e = self.elements.remove(&id)?;
+        self.used_bytes = self.used_bytes.saturating_sub(e.approx_bytes());
+        self.engine.remove(id);
+        self.exact.retain(|_, v| *v != id);
+        Some(e)
+    }
+
+    /// Borrow an element.
+    pub fn get(&self, id: ElemId) -> Option<&CacheElement> {
+        self.elements.get(&id)
+    }
+
+    /// Borrow an element mutably (for indexing/materialization); also
+    /// refreshes its LRU stamp.
+    pub fn get_mut(&mut self, id: ElemId) -> Option<&mut CacheElement> {
+        let now = self.tick();
+        let used_before: usize;
+        {
+            let e = self.elements.get(&id)?;
+            used_before = e.approx_bytes();
+        }
+        let e = self.elements.get_mut(&id)?;
+        e.last_used = now;
+        // Caller may materialize/index; bytes are reconciled on next
+        // `reconcile` call.
+        let _ = used_before;
+        Some(e)
+    }
+
+    /// Recompute `used_bytes` after in-place mutations (materialization or
+    /// indexing changes an element's footprint).
+    pub fn reconcile_bytes(&mut self) {
+        self.used_bytes = self.elements.values().map(|e| e.approx_bytes()).sum();
+        while self.used_bytes > self.capacity_bytes {
+            if !self.evict_one() {
+                break;
+            }
+            self.used_bytes = self.elements.values().map(|e| e.approx_bytes()).sum();
+        }
+    }
+
+    /// Record a derivation hit on an element (LRU + statistics).
+    pub fn touch(&mut self, id: ElemId) {
+        let now = self.tick();
+        if let Some(e) = self.elements.get_mut(&id) {
+            e.last_used = now;
+            e.hits += 1;
+        }
+    }
+
+    /// Set the advice-pinned flags: elements in `pinned` survive
+    /// replacement scans ("it is clear that d1 is not the best candidate",
+    /// §4.2.2).
+    pub fn set_pins(&mut self, pinned: &[ElemId]) {
+        for e in self.elements.values_mut() {
+            e.pinned = pinned.contains(&e.id);
+        }
+    }
+
+    /// Exact-match lookup: an element whose definition is identical (up to
+    /// variable renaming) to `q` — the only reuse the paper's baselines
+    /// support.
+    pub fn exact_lookup(&self, q: &ConjunctiveQuery) -> Option<ElemId> {
+        self.exact.get(&Self::exact_key(q)).copied()
+    }
+
+    /// All `(component, element, derivation)` reuse options for `q` via
+    /// the subsumption engine (§5.3.2 step 2).
+    pub fn relevant(&self, q: &ConjunctiveQuery) -> Vec<CandidateUse> {
+        self.engine.find_relevant(q)
+    }
+
+    /// Elements subsuming the whole of `q`.
+    pub fn whole_subsumers(&self, q: &ConjunctiveQuery) -> Vec<(ElemId, Derivation)> {
+        self.engine.find_whole(q)
+    }
+
+    /// Build the local compensation pipeline computing a derivation from
+    /// an element: scan/generator → residual filter → projection onto
+    /// `vars` (in order). This is the Query Processor at work (§5.4).
+    ///
+    /// # Errors
+    /// Returns an error if a projection variable is unavailable.
+    pub fn derive(&self, id: ElemId, derivation: &Derivation, vars: &[&str]) -> Result<Generator> {
+        let e = self
+            .elements
+            .get(&id)
+            .ok_or_else(|| crate::error::CmsError::Unplannable(format!("no element {id}")))?;
+        let cols = derivation.projection(vars).ok_or_else(|| {
+            crate::error::CmsError::Unplannable(format!(
+                "element {id} does not expose all of {vars:?}"
+            ))
+        })?;
+        let g = e.as_generator().filter(derivation.filter_expr());
+        g.project(&cols).map_err(crate::error::CmsError::from)
+    }
+
+    /// Eagerly evaluate a derivation, exploiting a hash index on the
+    /// element's extension when the residual filters probe indexed
+    /// columns — the Query Processor "uses hash indices when available to
+    /// speed up joins and some selections" (§5.4).
+    ///
+    /// # Errors
+    /// Returns an error if a projection variable is unavailable.
+    pub fn derive_relation(
+        &self,
+        id: ElemId,
+        derivation: &Derivation,
+        vars: &[&str],
+    ) -> Result<braid_relational::Relation> {
+        let e = self
+            .elements
+            .get(&id)
+            .ok_or_else(|| crate::error::CmsError::Unplannable(format!("no element {id}")))?;
+        let cols = derivation.projection(vars).ok_or_else(|| {
+            crate::error::CmsError::Unplannable(format!(
+                "element {id} does not expose all of {vars:?}"
+            ))
+        })?;
+        if let Some(ext) = e.extension() {
+            // Try an index probe over the equality residuals.
+            let probes = derivation.probe_cols();
+            if !probes.is_empty() {
+                let probe_cols: Vec<usize> = probes.iter().map(|(c, _)| *c).collect();
+                if ext.index_on(&probe_cols).is_some() {
+                    let key: Vec<braid_relational::Value> =
+                        probes.iter().map(|(_, v)| v.clone()).collect();
+                    let selected = braid_relational::ops::select_eq(
+                        ext,
+                        &probe_cols,
+                        &key,
+                        Some(&derivation.filter_expr()),
+                    )?;
+                    return Ok(braid_relational::ops::project(&selected, &cols)?);
+                }
+            }
+        }
+        // Fallback: the generic generator pipeline.
+        self.derive(id, derivation, vars)?
+            .materialize()
+            .map_err(crate::error::CmsError::from)
+    }
+
+    /// Cache-model rows for all elements (§5.3.2's `(E_id, E_def, ...)`).
+    pub fn model(&self) -> Vec<ModelRow> {
+        self.elements.values().map(ModelRow::of).collect()
+    }
+
+    /// Iterate elements (for the advice manager's pin scoring).
+    pub fn elements(&self) -> impl Iterator<Item = &CacheElement> {
+        self.elements.values()
+    }
+}
+
+/// What the caller hands the cache for a new element.
+#[derive(Debug)]
+pub enum ElementBuilder {
+    /// A fully materialized extension.
+    Materialized(braid_relational::Relation),
+    /// A lazy generator over already-cached inputs.
+    Lazy(Generator),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_caql::parse_rule;
+    use braid_relational::{tuple, Relation, Schema};
+
+    fn def(src: &str) -> ViewDef {
+        ViewDef::new(parse_rule(src).unwrap()).unwrap()
+    }
+
+    fn rel(n: usize) -> Relation {
+        let mut r = Relation::new(Schema::of_strs("e", &["x", "y"]));
+        for i in 0..n {
+            r.insert(tuple![format!("k{i}"), format!("v{i}")]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn insert_and_exact_lookup() {
+        let mut c = CacheManager::new(usize::MAX);
+        let id = c
+            .insert(
+                def("e(X, Y) :- b1(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        // Exact match is canonical: variable names don't matter.
+        let q = parse_rule("q(A, B) :- b1(A, B).").unwrap();
+        assert_eq!(c.exact_lookup(&q), Some(id));
+        let diff = parse_rule("q(A) :- b1(A, c1).").unwrap();
+        assert_eq!(c.exact_lookup(&diff), None);
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let bytes_of_3 = {
+            let e = CacheElement::materialized(0, def("e(X, Y) :- b1(X, Y)."), rel(3), 0);
+            e.approx_bytes()
+        };
+        let mut c = CacheManager::new(bytes_of_3 * 2 + 64);
+        let a = c
+            .insert(
+                def("a(X, Y) :- b1(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        let b = c
+            .insert(
+                def("b(X, Y) :- b2(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        // Touch `a` so `b` becomes LRU.
+        c.touch(a);
+        let d = c
+            .insert(
+                def("d(X, Y) :- b3(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        assert!(c.get(a).is_some());
+        assert!(c.get(b).is_none(), "LRU element must be evicted");
+        assert!(c.get(d).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn pinned_elements_survive_eviction() {
+        let unit =
+            CacheElement::materialized(0, def("e(X, Y) :- b1(X, Y)."), rel(3), 0).approx_bytes();
+        let mut c = CacheManager::new(unit * 2 + 64);
+        let a = c
+            .insert(
+                def("a(X, Y) :- b1(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        let b = c
+            .insert(
+                def("b(X, Y) :- b2(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        // `a` is older but pinned: `b` gets evicted instead.
+        c.set_pins(&[a]);
+        let _d = c
+            .insert(
+                def("d(X, Y) :- b3(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        assert!(c.get(a).is_some());
+        assert!(c.get(b).is_none());
+    }
+
+    #[test]
+    fn oversized_element_rejected() {
+        let mut c = CacheManager::new(10);
+        assert!(c
+            .insert(
+                def("a(X, Y) :- b1(X, Y)."),
+                ElementBuilder::Materialized(rel(100))
+            )
+            .is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn derive_builds_compensation_pipeline() {
+        let mut c = CacheManager::new(usize::MAX);
+        let id = c
+            .insert(
+                def("e(X, Y) :- b1(X, Y)."),
+                ElementBuilder::Materialized(rel(4)),
+            )
+            .unwrap();
+        let q = parse_rule("q(X) :- b1(X, v2).").unwrap();
+        let uses = c.relevant(&q);
+        assert!(!uses.is_empty());
+        let u = &uses[0];
+        let g = c.derive(u.element, &u.derivation, &["X"]).unwrap();
+        let out = g.materialize().unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.sorted_tuples()[0], tuple!["k2"]);
+        assert_eq!(u.element, id);
+    }
+
+    #[test]
+    fn remove_clears_indices() {
+        let mut c = CacheManager::new(usize::MAX);
+        let id = c
+            .insert(
+                def("a(X, Y) :- b1(X, Y)."),
+                ElementBuilder::Materialized(rel(2)),
+            )
+            .unwrap();
+        assert!(c.remove(id).is_some());
+        let q = parse_rule("q(A, B) :- b1(A, B).").unwrap();
+        assert!(c.exact_lookup(&q).is_none());
+        assert!(c.relevant(&q).is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn model_reports_elements() {
+        let mut c = CacheManager::new(usize::MAX);
+        c.insert(
+            def("a(X, Y) :- b1(X, Y)."),
+            ElementBuilder::Materialized(rel(2)),
+        );
+        let m = c.model();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].cardinality, Some(2));
+    }
+}

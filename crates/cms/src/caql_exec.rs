@@ -1,0 +1,451 @@
+//! Execution of the full CAQL surface: union, second-order predicates and
+//! quantifiers.
+//!
+//! "CAQL supports arithmetic operators, logical connectives (AND, OR,
+//! NOT), special second-order predicates (BAGOF, SETOF, AGG, etc.), and
+//! quantifiers (ALL, EXISTS, ANY, THE)" (§5) — and crucially "the remote
+//! DBMS does not support all CAQL operations, but the CMS does" (§5.3.3):
+//! the operators here run **locally**, over answers produced by the
+//! conjunctive core (which itself splits between cache and server).
+//!
+//! Mapping of the paper's operator names:
+//! * OR / union — [`Cms::query_caql`] on [`CaqlQuery::Union`];
+//! * `SETOF` — relations are set-valued throughout (§5's cache elements
+//!   are relations), so every result is already a SETOF; `BAGOF` would
+//!   need bag semantics and is intentionally out of scope (DESIGN.md §6);
+//! * `AGG` — [`CaqlQuery::Aggregate`] with COUNT/SUM/MIN/MAX/AVG and
+//!   grouping;
+//! * `EXISTS` — [`CaqlQuery::Exists`] projects quantified variables away
+//!   (set semantics make the projection the existential);
+//! * NOT — negation survives in conjunctive bodies only via the IE's
+//!   negation-as-failure (the CMS planning fragment is PSJ, §5.3.2).
+
+use crate::cms::Cms;
+use crate::error::{CmsError, Result};
+use crate::stream::AnswerStream;
+use braid_caql::CaqlQuery;
+use braid_relational::ops::{self, Aggregate};
+use braid_relational::{Relation, Schema};
+
+/// The variable name (if any) of each output column of a CAQL query —
+/// the effective shape *after* wrappers like EXISTS project columns away.
+/// Computing positions from an inner branch head alone would be wrong for
+/// nested operators.
+fn output_vars(q: &CaqlQuery) -> Result<Vec<Option<String>>> {
+    match q {
+        CaqlQuery::Conjunctive(c) => Ok(head_vars(&c.head)),
+        CaqlQuery::Union(branches) => branches
+            .first()
+            .map(|b| head_vars(&b.head))
+            .ok_or_else(|| CmsError::Unplannable("empty union".into())),
+        CaqlQuery::Aggregate { input, spec, .. } => {
+            // Output: group-by columns, then the aggregate column.
+            let _ = output_vars(input)?; // validates the input shape
+            let mut out: Vec<Option<String>> =
+                spec.group_by.iter().map(|v| Some(v.clone())).collect();
+            out.push(None); // the aggregate value has no source variable
+            Ok(out)
+        }
+        CaqlQuery::Exists { vars, input } => Ok(output_vars(input)?
+            .into_iter()
+            .filter(|v| v.as_ref().map(|n| !vars.contains(n)).unwrap_or(true))
+            .collect()),
+        CaqlQuery::The { input } | CaqlQuery::Any { input } => output_vars(input),
+    }
+}
+
+fn head_vars(head: &braid_caql::Atom) -> Vec<Option<String>> {
+    head.args
+        .iter()
+        .map(|t| t.as_var().map(str::to_string))
+        .collect()
+}
+
+impl Cms {
+    /// Answer a full CAQL query. Conjunctive queries take the standard
+    /// subsumption-planned path; unions, aggregation and quantifiers are
+    /// evaluated locally over their sub-results.
+    ///
+    /// # Errors
+    /// Propagates planning/execution errors; rejects aggregates over
+    /// variables absent from the input head.
+    pub fn query_caql(&mut self, q: CaqlQuery) -> Result<AnswerStream> {
+        match q {
+            CaqlQuery::Conjunctive(c) => self.query(c),
+            CaqlQuery::Union(branches) => {
+                let mut acc: Option<Relation> = None;
+                let mut arity = None;
+                for b in branches {
+                    let head_arity = b.head.arity();
+                    match arity {
+                        None => arity = Some(head_arity),
+                        Some(a) if a == head_arity => {}
+                        Some(a) => {
+                            return Err(CmsError::Unplannable(format!(
+                                "union branches disagree on arity ({a} vs {head_arity})"
+                            )))
+                        }
+                    }
+                    let rel = self.collect(self.schema_for(head_arity, "union"), b)?;
+                    acc = Some(match acc {
+                        None => rel,
+                        Some(prev) => ops::union(&prev, &rel)?,
+                    });
+                }
+                let rel = acc.ok_or_else(|| CmsError::Unplannable("empty union".to_string()))?;
+                Ok(Self::stream_of(rel))
+            }
+            CaqlQuery::Aggregate { name, input, spec } => {
+                // Column positions of the grouped and aggregated variables
+                // come from the input's *output* shape (which accounts for
+                // nested EXISTS/AGG wrappers, not just a branch head).
+                let shape = output_vars(&input)?;
+                let pos = |v: &str| -> Result<usize> {
+                    shape
+                        .iter()
+                        .position(|n| n.as_deref() == Some(v))
+                        .ok_or_else(|| {
+                            CmsError::Unplannable(format!(
+                                "aggregate variable `{v}` is not in the input's output columns"
+                            ))
+                        })
+                };
+                let over = pos(&spec.over)?;
+                let group: Vec<usize> = spec
+                    .group_by
+                    .iter()
+                    .map(|v| pos(v))
+                    .collect::<Result<_>>()?;
+                let input_rel = self.eval_caql_relation(*input)?;
+                let out = ops::aggregate(
+                    &input_rel,
+                    &group,
+                    &[Aggregate {
+                        func: spec.func,
+                        col: over,
+                    }],
+                )?;
+                let renamed = out.renamed(&name);
+                Ok(Self::stream_of(renamed))
+            }
+            CaqlQuery::The { input } => {
+                let rel = self.eval_caql_relation(*input)?;
+                if rel.len() != 1 {
+                    return Err(CmsError::Unplannable(format!(
+                        "THE requires exactly one answer, found {}",
+                        rel.len()
+                    )));
+                }
+                Ok(Self::stream_of(rel))
+            }
+            CaqlQuery::Any { input } => {
+                let rel = self.eval_caql_relation(*input)?;
+                let schema = rel.schema().clone();
+                let least = rel.sorted_tuples().into_iter().next();
+                let mut out = Relation::new(schema);
+                if let Some(t) = least {
+                    out.insert(t)?;
+                }
+                Ok(Self::stream_of(out))
+            }
+            CaqlQuery::Exists { vars, input } => {
+                let shape = output_vars(&input)?;
+                let keep: Vec<usize> = shape
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| match n {
+                        Some(v) => !vars.contains(v),
+                        None => true,
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                let input_rel = self.eval_caql_relation(*input)?;
+                let out = ops::project(&input_rel, &keep)?;
+                Ok(Self::stream_of(out))
+            }
+        }
+    }
+
+    /// Evaluate a CAQL query to a materialized relation (the local-only
+    /// operators need full inputs).
+    fn eval_caql_relation(&mut self, q: CaqlQuery) -> Result<Relation> {
+        let stream = self.query_caql(q)?;
+        let schema = stream.schema().clone();
+        let mut rel = Relation::new(schema);
+        for t in stream {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    fn collect(&mut self, schema: Schema, q: braid_caql::ConjunctiveQuery) -> Result<Relation> {
+        let stream = self.query(q)?;
+        let mut rel = Relation::new(schema);
+        for t in stream {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    fn schema_for(&self, arity: usize, name: &str) -> Schema {
+        Schema::positional(name, arity)
+    }
+
+    fn stream_of(rel: Relation) -> AnswerStream {
+        let schema = rel.schema().clone();
+        let tuples = rel.to_vec();
+        AnswerStream::eager(schema, tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CmsConfig;
+    use braid_caql::{parse_rule, AggSpec};
+    use braid_relational::ops::AggFunc;
+    use braid_relational::{tuple, Value};
+    use braid_remote::{Catalog, RemoteDbms};
+
+    fn cms() -> Cms {
+        let mut c = Catalog::new();
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("parent", &["p", "c"]),
+                vec![
+                    tuple!["ann", "bob"],
+                    tuple!["ann", "cal"],
+                    tuple!["bob", "dee"],
+                ],
+            )
+            .unwrap(),
+        );
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("likes", &["a", "b"]),
+                vec![tuple!["bob", "tea"], tuple!["cal", "tea"]],
+            )
+            .unwrap(),
+        );
+        Cms::new(RemoteDbms::with_defaults(c), CmsConfig::braid())
+    }
+
+    #[test]
+    fn union_of_branches() {
+        let mut cms = cms();
+        let q = CaqlQuery::Union(vec![
+            parse_rule("u(X) :- parent(ann, X).").unwrap(),
+            parse_rule("u(X) :- likes(X, tea).").unwrap(),
+        ]);
+        let rows = cms.query_caql(q).unwrap().drain();
+        // {bob, cal} ∪ {bob, cal} = {bob, cal}; plus dee? No: dee not a
+        // child of ann nor a tea drinker.
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn union_arity_mismatch_rejected() {
+        let mut cms = cms();
+        let q = CaqlQuery::Union(vec![
+            parse_rule("u(X) :- parent(ann, X).").unwrap(),
+            parse_rule("u(X, Y) :- parent(X, Y).").unwrap(),
+        ]);
+        assert!(cms.query_caql(q).is_err());
+    }
+
+    #[test]
+    fn count_aggregate_with_grouping() {
+        let mut cms = cms();
+        let q = CaqlQuery::Aggregate {
+            name: "children".into(),
+            input: Box::new(CaqlQuery::Conjunctive(
+                parse_rule("in(P, C) :- parent(P, C).").unwrap(),
+            )),
+            spec: AggSpec {
+                func: AggFunc::Count,
+                over: "C".into(),
+                group_by: vec!["P".into()],
+            },
+        };
+        let rows = cms.query_caql(q).unwrap().drain();
+        let mut rendered: Vec<String> = rows.iter().map(|t| t.to_string()).collect();
+        rendered.sort();
+        assert_eq!(rendered, vec!["(ann, 2)", "(bob, 1)"]);
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let mut cms = cms();
+        let q = CaqlQuery::Aggregate {
+            name: "n".into(),
+            input: Box::new(CaqlQuery::Conjunctive(
+                parse_rule("in(P, C) :- parent(P, C).").unwrap(),
+            )),
+            spec: AggSpec {
+                func: AggFunc::Count,
+                over: "C".into(),
+                group_by: vec![],
+            },
+        };
+        let rows = cms.query_caql(q).unwrap().drain();
+        assert_eq!(rows, vec![tuple![3]]);
+    }
+
+    #[test]
+    fn exists_projects_quantified_vars() {
+        let mut cms = cms();
+        // EXISTS C : parent(P, C) — the parents.
+        let q = CaqlQuery::Exists {
+            vars: vec!["C".into()],
+            input: Box::new(CaqlQuery::Conjunctive(
+                parse_rule("in(P, C) :- parent(P, C).").unwrap(),
+            )),
+        };
+        let rows = cms.query_caql(q).unwrap().drain();
+        let mut names: Vec<String> = rows.iter().map(|t| t.values()[0].to_string()).collect();
+        names.sort();
+        assert_eq!(names, vec!["ann", "bob"]);
+    }
+
+    #[test]
+    fn aggregate_over_union() {
+        let mut cms = cms();
+        let q = CaqlQuery::Aggregate {
+            name: "n".into(),
+            input: Box::new(CaqlQuery::Union(vec![
+                parse_rule("u(X) :- parent(ann, X).").unwrap(),
+                parse_rule("u(X) :- likes(X, tea).").unwrap(),
+            ])),
+            spec: AggSpec {
+                func: AggFunc::Count,
+                over: "X".into(),
+                group_by: vec![],
+            },
+        };
+        // Union heads are positional (h0); the aggregate references the
+        // branch head variable X. Positions resolve through the first
+        // branch's head.
+        let rows = cms.query_caql(q).unwrap().drain();
+        assert_eq!(rows, vec![tuple![2]]);
+    }
+
+    #[test]
+    fn aggregate_over_exists_uses_projected_shape() {
+        let mut cms = cms();
+        // EXISTS C : parent(P, C) → one column (P); COUNT over P must
+        // address column 0 of the projected shape, not position 0 of the
+        // inner two-column head.
+        let q = CaqlQuery::Aggregate {
+            name: "n".into(),
+            input: Box::new(CaqlQuery::Exists {
+                vars: vec!["C".into()],
+                input: Box::new(CaqlQuery::Conjunctive(
+                    parse_rule("in(C, P) :- parent(P, C).").unwrap(),
+                )),
+            }),
+            spec: AggSpec {
+                func: AggFunc::Count,
+                over: "P".into(),
+                group_by: vec![],
+            },
+        };
+        let rows = cms.query_caql(q).unwrap().drain();
+        assert_eq!(rows, vec![tuple![2]]); // distinct parents: ann, bob
+    }
+
+    #[test]
+    fn unknown_aggregate_variable_rejected() {
+        let mut cms = cms();
+        let q = CaqlQuery::Aggregate {
+            name: "n".into(),
+            input: Box::new(CaqlQuery::Conjunctive(
+                parse_rule("in(P) :- parent(P, C).").unwrap(),
+            )),
+            spec: AggSpec {
+                func: AggFunc::Count,
+                over: "Z".into(),
+                group_by: vec![],
+            },
+        };
+        assert!(matches!(cms.query_caql(q), Err(CmsError::Unplannable(_))));
+    }
+
+    #[test]
+    fn the_quantifier_demands_uniqueness() {
+        let mut cms = cms();
+        let unique = CaqlQuery::The {
+            input: Box::new(CaqlQuery::Conjunctive(
+                parse_rule("in(C) :- parent(bob, C).").unwrap(),
+            )),
+        };
+        assert_eq!(cms.query_caql(unique).unwrap().drain(), vec![tuple!["dee"]]);
+        let ambiguous = CaqlQuery::The {
+            input: Box::new(CaqlQuery::Conjunctive(
+                parse_rule("in(C) :- parent(ann, C).").unwrap(),
+            )),
+        };
+        assert!(cms.query_caql(ambiguous).is_err());
+    }
+
+    #[test]
+    fn any_quantifier_picks_deterministically() {
+        let mut cms = cms();
+        let any = CaqlQuery::Any {
+            input: Box::new(CaqlQuery::Conjunctive(
+                parse_rule("in(C) :- parent(ann, C).").unwrap(),
+            )),
+        };
+        // Least under the value order: bob < cal.
+        assert_eq!(cms.query_caql(any).unwrap().drain(), vec![tuple!["bob"]]);
+        let empty = CaqlQuery::Any {
+            input: Box::new(CaqlQuery::Conjunctive(
+                parse_rule("in(C) :- parent(zzz, C).").unwrap(),
+            )),
+        };
+        assert!(cms.query_caql(empty).unwrap().drain().is_empty());
+    }
+
+    #[test]
+    fn min_max_sum_avg_aggregates() {
+        let mut c = Catalog::new();
+        c.install(
+            Relation::from_tuples(
+                Schema::new(
+                    "score",
+                    vec![
+                        braid_relational::Column::new("who", braid_relational::ValueType::Str),
+                        braid_relational::Column::new("pts", braid_relational::ValueType::Int),
+                    ],
+                )
+                .unwrap(),
+                vec![tuple!["a", 10], tuple!["a", 20], tuple!["b", 5]],
+            )
+            .unwrap(),
+        );
+        let mut cms = Cms::new(RemoteDbms::with_defaults(c), CmsConfig::braid());
+        for (func, expect_a) in [
+            (AggFunc::Sum, Value::Int(30)),
+            (AggFunc::Min, Value::Int(10)),
+            (AggFunc::Max, Value::Int(20)),
+            (AggFunc::Avg, Value::Float(15.0)),
+        ] {
+            let q = CaqlQuery::Aggregate {
+                name: "agg".into(),
+                input: Box::new(CaqlQuery::Conjunctive(
+                    parse_rule("in(W, P) :- score(W, P).").unwrap(),
+                )),
+                spec: AggSpec {
+                    func,
+                    over: "P".into(),
+                    group_by: vec!["W".into()],
+                },
+            };
+            let rows = cms.query_caql(q).unwrap().drain();
+            let a_row = rows
+                .iter()
+                .find(|t| t.values()[0] == Value::str("a"))
+                .unwrap();
+            assert_eq!(a_row.values()[1], expect_a, "{func:?}");
+        }
+    }
+}

@@ -1,0 +1,782 @@
+//! The CMS facade: sessions, query answering, and every advice-driven
+//! optimization wired together.
+//!
+//! The interaction protocol follows §3: "the typical mode of IE – CMS
+//! interaction consists of a set of sessions. At the beginning of each
+//! session, the IE submits a set of advice. This is followed by a sequence
+//! of CAQL queries. The CMS returns the result for the query using a
+//! stream."
+
+use crate::advice_mgr::AdviceManager;
+use crate::cache::{CacheManager, ElementBuilder};
+use crate::config::CmsConfig;
+use crate::error::{CmsError, Result};
+use crate::metrics::{CmsMetrics, CmsMetricsSnapshot};
+use crate::model::ModelRow;
+use crate::monitor;
+use crate::planner::{self, Plan};
+use crate::stream::AnswerStream;
+use braid_advice::Advice;
+use braid_caql::{Atom, ConjunctiveQuery, Term};
+use braid_relational::Schema;
+use braid_remote::RemoteDbms;
+use braid_subsume::ViewDef;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The Cache Management System.
+pub struct Cms {
+    config: CmsConfig,
+    cache: CacheManager,
+    remote: RemoteDbms,
+    advice: AdviceManager,
+    metrics: Arc<CmsMetrics>,
+    result_counter: u64,
+    // Snapshot of the remote base-relation statistics ("(a copy of) the
+    // remote database schema", §5), used by cost-based placement.
+    remote_stats: planner::RemoteStats,
+}
+
+impl Cms {
+    /// Build a CMS in front of a remote DBMS.
+    pub fn new(remote: RemoteDbms, config: CmsConfig) -> Cms {
+        let remote_stats = remote.catalog().stats_snapshot();
+        Cms {
+            cache: CacheManager::new(config.cache_capacity_bytes),
+            advice: AdviceManager::new(),
+            metrics: Arc::new(CmsMetrics::new()),
+            result_counter: 0,
+            config,
+            remote,
+            remote_stats,
+        }
+    }
+
+    /// Start a session: install the advice bundle (§3).
+    pub fn begin_session(&mut self, advice: Advice) {
+        self.advice.begin_session(advice);
+    }
+
+    /// Workstation-side metrics.
+    pub fn metrics(&self) -> CmsMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The remote server handle (shared, cheap to clone).
+    pub fn remote(&self) -> &RemoteDbms {
+        &self.remote
+    }
+
+    /// The remote database schema — the IE "can access the schema
+    /// information from the DBMS (via the CMS)" (§3).
+    pub fn remote_schema(&self, relation: &str) -> Result<Schema> {
+        Ok(self.remote.catalog().schema(relation)?.clone())
+    }
+
+    /// Export the cache model — the IE "can access cache model
+    /// information from the CMS" (§3).
+    pub fn cache_model(&self) -> Vec<ModelRow> {
+        self.cache.model()
+    }
+
+    /// Number of cached elements.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Cache evictions so far.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &CmsConfig {
+        &self.config
+    }
+
+    /// Is path-expression tracking currently in sync? `false` when no
+    /// path expression was submitted or an unpredicted query arrived
+    /// (§4.2.2 — a lost tracker yields no predictions until the next
+    /// session).
+    pub fn advice_tracking(&self) -> bool {
+        self.advice.tracking()
+    }
+
+    /// Answer an IE-query given as a bare view-instance head, expanding it
+    /// through the session's view specifications.
+    ///
+    /// # Errors
+    /// Returns [`CmsError::UnknownView`] when no spec defines the head.
+    pub fn query_head(&mut self, head: &Atom) -> Result<AnswerStream> {
+        let q = self
+            .advice
+            .expand(head)
+            .ok_or_else(|| CmsError::UnknownView(head.pred.clone()))?;
+        self.query(q)
+    }
+
+    /// Answer a full CAQL conjunctive query (the general entry point).
+    ///
+    /// # Errors
+    /// Propagates planning and execution errors.
+    pub fn query(&mut self, q: ConjunctiveQuery) -> Result<AnswerStream> {
+        self.metrics.add_queries(1);
+        self.advice.observe(&q.head);
+
+        // [CERI86] baseline mode: buffer whole base relations on first
+        // touch, then answer every query from the local copies.
+        if self.config.whole_relation_caching {
+            self.buffer_whole_relations(&q)?;
+        }
+
+        // ---- Step 1 (§5.3.1): determine the query to be evaluated. ----
+        // Generalize when advice shows a strictly more general view spec
+        // segment, the cache cannot already answer, and the path
+        // expression predicts reuse.
+        if self.config.generalization {
+            let already_answerable = !self.cache.whole_subsumers(&q).is_empty();
+            if !already_answerable {
+                if let Some((gen, source_view)) = self.advice.generalization_candidate(&q) {
+                    // The generalized data pays off when the view whose
+                    // body subsumed us (e.g. d3 for the b1 generalization
+                    // of §5.3.1) is predicted to be queried later.
+                    let predicted =
+                        usize::from(self.advice.predicted_distance(&source_view).is_some());
+                    if (predicted >= self.config.generalization_min_predicted_reuse
+                        || self.config.generalization_min_predicted_reuse == 0)
+                        && self.evaluate_into_cache(&gen, false).is_ok()
+                    {
+                        self.metrics.add_generalized(1);
+                    }
+                }
+            }
+        }
+
+        // ---- Steps 2–3: plan and execute. ----
+        let mut plan = planner::plan(&q, &self.cache, self.config.subsumption)?;
+        if self.config.cost_based_placement {
+            plan = planner::choose_placement(
+                plan,
+                &self.cache,
+                &self.remote_stats,
+                self.remote.cost_model().request_overhead_units as f64,
+            );
+        }
+        let stream = self.answer_with_plan(&q, plan)?;
+
+        // ---- Advice-driven follow-ups. ----
+        self.apply_replacement_advice();
+        if self.config.prefetching {
+            self.run_prefetches();
+        }
+        Ok(stream)
+    }
+
+    /// Plan → (lazy | eager) answer, with result caching and index advice.
+    fn answer_with_plan(&mut self, q: &ConjunctiveQuery, plan: Plan) -> Result<AnswerStream> {
+        let all_cache = plan.all_cache();
+        if all_cache {
+            self.metrics.add_full_cache(1);
+        } else if plan.parts.iter().any(crate::planner::PlanPart::is_cache) {
+            self.metrics.add_partial_cache(1);
+        }
+        self.metrics
+            .add_remote_subqueries(plan.remote_parts() as u64);
+
+        // Touch used elements (LRU + hit statistics).
+        for part in &plan.parts {
+            if let crate::planner::PartSource::Cache { element, .. } = &part.source {
+                self.cache.touch(*element);
+            }
+        }
+
+        // Lazy path (§5.1, §5.3.3 guideline): a single cache part covering
+        // the whole query, an all-variable head, and either a
+        // strictly-producer view or no advice constraint — produce a
+        // generator and stream on demand.
+        let head_all_vars = q.head.args.iter().all(Term::is_var);
+        let producer_style = self.advice.strictly_producer(&q.head.pred)
+            || self.advice.consumer_vars(&q.head.pred).is_empty();
+        if all_cache
+            && self.config.lazy_evaluation
+            && head_all_vars
+            && producer_style
+            && plan.parts.len() == 1
+        {
+            if let crate::planner::PartSource::Cache {
+                element,
+                derivation,
+            } = &plan.parts[0].source
+            {
+                let head_vars: Vec<&str> = q.head.args.iter().filter_map(Term::as_var).collect();
+                // Residual comparisons must be inside the derivation
+                // already (whole-query component carries them) and no
+                // anti-joins may be pending, so the generator is complete.
+                if plan.residual_cmps.is_empty() && plan.neg_parts.is_empty() {
+                    let g = self.cache.derive(*element, derivation, &head_vars)?;
+                    self.metrics.add_lazy(1);
+                    return Ok(AnswerStream::lazy(g.open()));
+                }
+            }
+        }
+
+        // Eager path: execute the full plan.
+        let executed = monitor::execute(
+            &plan,
+            &self.cache,
+            &self.remote,
+            self.config.parallel_execution,
+            self.config.pipelining,
+            self.config.transfer_buffer_tuples,
+        )?;
+        self.metrics.add_local_ops(executed.local_tuple_ops);
+
+        let vars: Vec<String> = executed
+            .joined
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+
+        // Result caching (§5.3): only when the plan touched the remote
+        // system — an all-cache answer adds no new information.
+        if self.config.result_caching && !all_cache {
+            self.cache_result(q, &executed.joined, &vars);
+        }
+
+        let head = monitor::project_head(&executed.joined, &vars, &q.head)?;
+        let tuples = head.to_vec();
+        self.metrics.add_tuples_to_ie(tuples.len() as u64);
+        Ok(AnswerStream::eager(head.schema().clone(), tuples))
+    }
+
+    /// Store the (pre-head-projection) result as a new cache element under
+    /// an all-variables definition, plus an exact-match alias for the
+    /// original query. Applies index advice to consumer-annotated columns.
+    fn cache_result(
+        &mut self,
+        q: &ConjunctiveQuery,
+        joined: &braid_relational::Relation,
+        vars: &[String],
+    ) {
+        self.result_counter += 1;
+        let def_head = Atom::new(
+            q.head.pred.clone(),
+            vars.iter().map(|v| Term::var(v.clone())).collect(),
+        );
+        let def_q = ConjunctiveQuery::new(def_head, q.body.clone());
+        let Ok(def) = ViewDef::new(def_q) else {
+            return; // non-PSJ bodies are not cacheable for reuse
+        };
+        let aliases = vec![{
+            let mut aq = q.clone();
+            aq.head.pred = "_".to_string();
+            aq.canonical_key()
+        }];
+        let Some(id) = self.cache.insert_with_aliases(
+            def,
+            ElementBuilder::Materialized(joined.clone()),
+            &aliases,
+        ) else {
+            return;
+        };
+        self.metrics.add_evictions(
+            self.cache
+                .evictions()
+                .saturating_sub(self.metrics.snapshot().evictions),
+        );
+
+        // Index advice (§4.2.1/§5.3.3): if this element can serve a view
+        // specification's body component whose variables carry consumer
+        // (`?`) annotations, those columns are "prime candidate[s] for
+        // indexing" — the paper's "index E12 on the third attribute
+        // (because it was annotated as a consumer variable in the view
+        // specifications)".
+        if self.config.index_advice {
+            let _ = vars;
+            let mut to_index: Vec<usize> = Vec::new();
+            if let Some(e) = self.cache.get(id) {
+                for spec in &self.advice.advice().view_specs {
+                    let consumers: Vec<String> = spec
+                        .params
+                        .iter()
+                        .filter(|(_, a)| *a == braid_advice::Annotation::Consumer)
+                        .filter_map(|(t, _)| t.as_var().map(str::to_string))
+                        .collect();
+                    if consumers.is_empty() {
+                        continue;
+                    }
+                    let sq = spec.to_query();
+                    for comp in braid_subsume::decompose(&sq) {
+                        let comp_vars = comp.vars();
+                        let wanted: Vec<&str> = consumers
+                            .iter()
+                            .map(String::as_str)
+                            .filter(|v| comp_vars.contains(*v))
+                            .collect();
+                        if wanted.is_empty() {
+                            continue;
+                        }
+                        if let Some(d) = braid_subsume::subsumes(&e.def, &comp, &wanted) {
+                            for v in &wanted {
+                                if let Some(c) = d.var_cols.get(*v) {
+                                    if !to_index.contains(c) {
+                                        to_index.push(*c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !to_index.is_empty() {
+                if let Some(e) = self.cache.get_mut(id) {
+                    for c in to_index {
+                        if e.ensure_index(&[c]).unwrap_or(false) {
+                            self.metrics.add_indices(1);
+                        }
+                    }
+                }
+                self.cache.reconcile_bytes();
+            }
+        }
+    }
+
+    /// Evaluate a query for its side effect on the cache (generalization
+    /// and prefetching). Skips evaluation when the cache already subsumes
+    /// it.
+    fn evaluate_into_cache(&mut self, q: &ConjunctiveQuery, count_prefetch: bool) -> Result<()> {
+        if !self.cache.whole_subsumers(q).is_empty() {
+            return Ok(());
+        }
+        // §5.1's storage criterion (c): do not speculatively fetch an
+        // extension that cannot be kept — "whether cache space is
+        // available for storage of the extension". Estimated via the
+        // remote statistics; ~48 bytes/tuple matches the synthetic data.
+        let atoms: Vec<braid_caql::Atom> = q.positive_atoms().into_iter().cloned().collect();
+        let est_tuples = planner::estimate_conjunction(&atoms, &self.remote_stats);
+        let est_bytes = est_tuples * 48.0;
+        if est_bytes > self.config.cache_capacity_bytes as f64 {
+            return Ok(());
+        }
+        let plan = planner::plan(q, &self.cache, self.config.subsumption)?;
+        if plan.all_cache() {
+            return Ok(());
+        }
+        let executed = monitor::execute(
+            &plan,
+            &self.cache,
+            &self.remote,
+            self.config.parallel_execution,
+            self.config.pipelining,
+            self.config.transfer_buffer_tuples,
+        )?;
+        self.metrics.add_local_ops(executed.local_tuple_ops);
+        self.metrics
+            .add_remote_subqueries(executed.remote_subqueries);
+        let vars: Vec<String> = executed
+            .joined
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        self.cache_result(q, &executed.joined, &vars);
+        if count_prefetch {
+            self.metrics.add_prefetched(1);
+        }
+        Ok(())
+    }
+
+    /// §4.2.2 + §5.4: pin cached elements whose views the path expression
+    /// predicts within the horizon, so LRU replacement skips them.
+    fn apply_replacement_advice(&mut self) {
+        if !self.config.advice_replacement {
+            return;
+        }
+        let views: BTreeSet<String> = self.advice.pinned_views(self.config.pin_horizon);
+        let pinned: Vec<crate::element::ElemId> = self
+            .cache
+            .elements()
+            .filter(|e| views.contains(e.def.name()))
+            .map(|e| e.id)
+            .collect();
+        self.cache.set_pins(&pinned);
+    }
+
+    /// Fetch-and-cache the full extension of every base relation the
+    /// query touches (single-relation buffering, \[CERI86\]).
+    fn buffer_whole_relations(&mut self, q: &ConjunctiveQuery) -> Result<()> {
+        let preds: Vec<(String, usize)> = q
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                braid_caql::Literal::Atom(a) | braid_caql::Literal::Neg(a) => {
+                    Some((a.pred.clone(), a.arity()))
+                }
+                _ => None,
+            })
+            .collect();
+        for (pred, arity) in preds {
+            if self.remote.catalog().schema(&pred).is_err() {
+                continue; // not a base relation
+            }
+            let args: Vec<Term> = (0..arity).map(|i| Term::Var(format!("W{i}"))).collect();
+            let head = Atom::new(format!("whole_{pred}"), args.clone());
+            let whole =
+                ConjunctiveQuery::new(head, vec![braid_caql::Literal::Atom(Atom::new(pred, args))]);
+            if self.cache.whole_subsumers(&whole).is_empty() {
+                let plan = planner::plan(&whole, &self.cache, true)?;
+                if plan.all_cache() {
+                    continue;
+                }
+                let executed = monitor::execute(
+                    &plan,
+                    &self.cache,
+                    &self.remote,
+                    self.config.parallel_execution,
+                    self.config.pipelining,
+                    self.config.transfer_buffer_tuples,
+                )?;
+                self.metrics.add_local_ops(executed.local_tuple_ops);
+                self.metrics
+                    .add_remote_subqueries(executed.remote_subqueries);
+                let vars: Vec<String> = executed
+                    .joined
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect();
+                self.cache_result(&whole, &executed.joined, &vars);
+            }
+        }
+        Ok(())
+    }
+
+    /// §5.3.1 prefetching: evaluate predicted-next queries (with observed
+    /// constants) into the cache before the IE asks.
+    fn run_prefetches(&mut self) {
+        let heads = self.advice.prefetch_heads();
+        for head in heads {
+            let Some(q) = self.advice.expand(&head) else {
+                continue;
+            };
+            let _ = self.evaluate_into_cache(&q, true);
+        }
+    }
+}
+
+impl std::fmt::Debug for Cms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cms")
+            .field("cache_elements", &self.cache.len())
+            .field("cache_bytes", &self.cache.used_bytes())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_advice::{parse_path_expr, parse_view_spec};
+    use braid_caql::{parse_atom, parse_rule};
+    use braid_relational::{tuple, Relation};
+    use braid_remote::Catalog;
+
+    /// Remote database for the paper's Example 1 rule set.
+    fn remote() -> RemoteDbms {
+        let mut c = Catalog::new();
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("b1", &["a", "b"]),
+                vec![tuple!["c1", "y1"], tuple!["c1", "y2"], tuple!["z5", "y9"]],
+            )
+            .unwrap(),
+        );
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("b2", &["a", "b"]),
+                vec![tuple!["x1", "z1"], tuple!["x2", "z2"], tuple!["x3", "z1"]],
+            )
+            .unwrap(),
+        );
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("b3", &["a", "b", "c"]),
+                vec![
+                    tuple!["z1", "c2", "y1"],
+                    tuple!["z2", "c2", "y2"],
+                    tuple!["x9", "c3", "z5"],
+                ],
+            )
+            .unwrap(),
+        );
+        RemoteDbms::with_defaults(c)
+    }
+
+    fn example1_advice() -> Advice {
+        let mut a = Advice::none();
+        a.view_specs
+            .push(parse_view_spec("d1(Y^) =def b1(c1, Y^) (R1)").unwrap());
+        a.view_specs
+            .push(parse_view_spec("d2(X^, Y?) =def b2(X^, Z) & b3(Z, c2, Y?) (R2)").unwrap());
+        a.view_specs
+            .push(parse_view_spec("d3(X^, Y?) =def b3(X^, c3, Z) & b1(Z, Y?) (R3)").unwrap());
+        a.path = Some(parse_path_expr("(d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>").unwrap());
+        a
+    }
+
+    #[test]
+    fn direct_query_round_trip() {
+        let mut cms = Cms::new(remote(), CmsConfig::braid());
+        let q = parse_rule("q(X) :- b2(X, Z), b3(Z, c2, y1).").unwrap();
+        let answers = cms.query(q).unwrap().drain();
+        let mut names: Vec<String> = answers.iter().map(|t| t.values()[0].to_string()).collect();
+        names.sort();
+        assert_eq!(names, vec!["x1", "x3"]);
+    }
+
+    #[test]
+    fn repeated_query_served_from_cache() {
+        let mut cms = Cms::new(
+            remote(),
+            CmsConfig::braid()
+                .with_prefetching(false)
+                .with_generalization(false),
+        );
+        let q = parse_rule("q(X) :- b2(X, Z), b3(Z, c2, y1).").unwrap();
+        cms.query(q.clone()).unwrap().drain();
+        let before = cms.remote().metrics().requests;
+        cms.query(q).unwrap().drain();
+        assert_eq!(
+            cms.remote().metrics().requests,
+            before,
+            "second run hits cache"
+        );
+        assert!(cms.metrics().full_cache_answers >= 1);
+    }
+
+    #[test]
+    fn subsumption_reuses_generalized_result() {
+        let mut cms = Cms::new(
+            remote(),
+            CmsConfig::braid()
+                .with_prefetching(false)
+                .with_generalization(false),
+        );
+        // Fetch the general b3 extension...
+        let general = parse_rule("g(X, Y) :- b3(X, c2, Y).").unwrap();
+        cms.query(general).unwrap().drain();
+        let before = cms.remote().metrics().requests;
+        // ... then an instantiated query: answered locally by subsumption.
+        let instance = parse_rule("q(X) :- b3(X, c2, y2).").unwrap();
+        let answers = cms.query(instance).unwrap().drain();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(cms.remote().metrics().requests, before);
+    }
+
+    #[test]
+    fn exact_match_config_does_not_reuse_generalization() {
+        let mut cms = Cms::new(remote(), CmsConfig::exact_match());
+        let general = parse_rule("g(X, Y) :- b3(X, c2, Y).").unwrap();
+        cms.query(general).unwrap().drain();
+        let before = cms.remote().metrics().requests;
+        let instance = parse_rule("q(X) :- b3(X, c2, y2).").unwrap();
+        cms.query(instance).unwrap().drain();
+        assert!(
+            cms.remote().metrics().requests > before,
+            "exact-match cache must miss on the instantiated query"
+        );
+    }
+
+    #[test]
+    fn view_head_queries_require_advice() {
+        let mut cms = Cms::new(remote(), CmsConfig::braid());
+        let err = cms.query_head(&parse_atom("d1(Y)").unwrap()).unwrap_err();
+        assert!(matches!(err, CmsError::UnknownView(_)));
+        cms.begin_session(example1_advice());
+        let answers = cms
+            .query_head(&parse_atom("d1(Y)").unwrap())
+            .unwrap()
+            .drain();
+        let mut ys: Vec<String> = answers.iter().map(|t| t.values()[0].to_string()).collect();
+        ys.sort();
+        assert_eq!(ys, vec!["y1", "y2"]);
+    }
+
+    #[test]
+    fn generalization_turns_instance_queries_into_cache_hits() {
+        let mut cms = Cms::new(remote(), CmsConfig::braid().with_prefetching(false));
+        cms.begin_session(example1_advice());
+        // d1(Y) = b1(c1, Y): generalized to b1(X, Y) because d3's body
+        // holds the subsuming b1(Z, Y) — §5.3.1's exact scenario.
+        cms.query_head(&parse_atom("d1(Y)").unwrap())
+            .unwrap()
+            .drain();
+        assert!(cms.metrics().generalized_queries >= 1);
+        let before = cms.remote().metrics().requests;
+        // Any other b1 instance is now cache-resident.
+        let q = parse_rule("q(Y) :- b1(z5, Y).").unwrap();
+        let answers = cms.query(q).unwrap().drain();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(cms.remote().metrics().requests, before);
+    }
+
+    #[test]
+    fn prefetch_loads_predicted_query() {
+        let mut cms = Cms::new(remote(), CmsConfig::braid());
+        cms.begin_session(example1_advice());
+        cms.query_head(&parse_atom("d1(Y)").unwrap())
+            .unwrap()
+            .drain();
+        // After d2(X, y1), the tracker predicts d3(X^, y1): prefetched.
+        cms.query_head(&parse_atom("d2(X, y1)").unwrap())
+            .unwrap()
+            .drain();
+        assert!(cms.metrics().prefetched_queries >= 1);
+        let before = cms.remote().metrics().requests;
+        let answers = cms
+            .query_head(&parse_atom("d3(X, y1)").unwrap())
+            .unwrap()
+            .drain();
+        assert_eq!(cms.remote().metrics().requests, before, "d3 was prefetched");
+        // d3(X, y1) = b3(X, c3, Z) & b1(Z, y1): x9 → z5 → y9 ≠ y1 ⇒ empty.
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn lazy_answer_for_producer_views() {
+        let mut cms = Cms::new(
+            remote(),
+            CmsConfig::braid()
+                .with_prefetching(false)
+                .with_generalization(false),
+        );
+        // Populate the cache with the general relation.
+        let general = parse_rule("g(X, Y) :- b3(X, c2, Y).").unwrap();
+        cms.query(general.clone()).unwrap().drain();
+        // Re-asking (all-variable head, no advice constraints): lazy.
+        let s = cms.query(general).unwrap();
+        assert!(s.is_lazy());
+        assert!(cms.metrics().lazy_answers >= 1);
+        assert_eq!(s.drain().len(), 2);
+    }
+
+    #[test]
+    fn lazy_disabled_by_config() {
+        let mut cms = Cms::new(
+            remote(),
+            CmsConfig::braid()
+                .with_lazy(false)
+                .with_prefetching(false)
+                .with_generalization(false),
+        );
+        let general = parse_rule("g(X, Y) :- b3(X, c2, Y).").unwrap();
+        cms.query(general.clone()).unwrap().drain();
+        let s = cms.query(general).unwrap();
+        assert!(!s.is_lazy());
+    }
+
+    #[test]
+    fn index_advice_builds_consumer_indices() {
+        let mut cms = Cms::new(
+            remote(),
+            CmsConfig::braid()
+                .with_prefetching(false)
+                .with_generalization(false),
+        );
+        cms.begin_session(example1_advice());
+        // Caching an extension that can serve d2's b3(Z, c2, Y?) component
+        // builds a hash index on the column bound to the consumer Y —
+        // the paper's "index E12 on the third attribute" (§5.3.3).
+        let e12 = parse_rule("e12(A, B) :- b3(A, c2, B).").unwrap();
+        cms.query(e12).unwrap().drain();
+        assert!(cms.metrics().indices_built >= 1);
+        // And an instantiated result (consumer already a constant) builds
+        // no index: there is nothing left to probe.
+        let before = cms.metrics().indices_built;
+        cms.query_head(&parse_atom("d2(X, y1)").unwrap())
+            .unwrap()
+            .drain();
+        assert_eq!(cms.metrics().indices_built, before);
+    }
+
+    #[test]
+    fn cache_model_visible_to_ie() {
+        let mut cms = Cms::new(
+            remote(),
+            CmsConfig::braid()
+                .with_prefetching(false)
+                .with_generalization(false),
+        );
+        let q = parse_rule("q(X, Y) :- b3(X, c2, Y).").unwrap();
+        cms.query(q).unwrap().drain();
+        let model = cms.cache_model();
+        assert_eq!(model.len(), 1);
+        assert!(model[0].def.contains("b3"));
+        // And the remote schema is reachable through the CMS (§3).
+        assert_eq!(cms.remote_schema("b1").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn loose_coupling_never_caches() {
+        let mut cms = Cms::new(remote(), CmsConfig::loose_coupling());
+        let q = parse_rule("q(X) :- b2(X, Z), b3(Z, c2, y1).").unwrap();
+        cms.query(q.clone()).unwrap().drain();
+        cms.query(q).unwrap().drain();
+        assert_eq!(cms.cache_len(), 0);
+        assert_eq!(cms.remote().metrics().requests, 2);
+    }
+
+    #[test]
+    fn negation_answered_by_local_anti_join() {
+        let mut cms = Cms::new(
+            remote(),
+            CmsConfig::braid()
+                .with_prefetching(false)
+                .with_generalization(false),
+        );
+        // b2 pairs with no matching (Z, c2, _) row in b3:
+        // b2 = {(x1,z1),(x2,z2),(x3,z1)}; b3 has (z1,c2,y1),(z2,c2,y2).
+        let q = parse_rule("q(X) :- b2(X, Z), not b3(Z, c2, Y).").unwrap();
+        let answers = cms.query(q).unwrap().drain();
+        assert!(
+            answers.is_empty(),
+            "every b2 row has a b3 partner: {answers:?}"
+        );
+        // Negate on a constant third column with no matches: all survive.
+        let q2 = parse_rule("q(X) :- b2(X, Z), not b3(Z, zz, Y).").unwrap();
+        let answers = cms.query(q2).unwrap().drain();
+        assert_eq!(answers.len(), 3);
+    }
+
+    #[test]
+    fn negation_reuses_cached_negative_side() {
+        let mut cms = Cms::new(
+            remote(),
+            CmsConfig::braid()
+                .with_prefetching(false)
+                .with_generalization(false),
+        );
+        // Warm the cache with b3's extension.
+        cms.query(parse_rule("w(A, B, C) :- b3(A, B, C).").unwrap())
+            .unwrap()
+            .drain();
+        let before = cms.remote().metrics().requests;
+        let q = parse_rule("q(X) :- b2(X, Z), not b3(Z, c2, Y).").unwrap();
+        cms.query(q).unwrap().drain();
+        // Only the positive b2 fetch goes remote; the negated side is
+        // served from the cached extension.
+        assert_eq!(cms.remote().metrics().requests, before + 1);
+    }
+
+    #[test]
+    fn unsafe_query_rejected() {
+        let mut cms = Cms::new(remote(), CmsConfig::braid());
+        let q = parse_rule("q(W) :- b1(X, Y).").unwrap();
+        assert!(matches!(cms.query(q), Err(CmsError::UnsafeQuery(_))));
+    }
+}

@@ -1,0 +1,219 @@
+//! CMS configuration: the experiment switchboard.
+//!
+//! Every technique in the paper's Figure 2 ("Alleviating the Impedance
+//! Mismatch") and §5.3 is independently toggleable so the benchmark
+//! harness can run ablations: result caching, subsumption reuse, query
+//! generalization, prefetching, advice-driven indexing and replacement,
+//! lazy evaluation, and parallel cache/remote execution.
+
+/// Tunable CMS behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmsConfig {
+    /// Cache capacity in approximate bytes. `usize::MAX` ⇒ unbounded.
+    pub cache_capacity_bytes: usize,
+    /// Cache the results of evaluated queries (§5.3 "result caching").
+    pub result_caching: bool,
+    /// Reuse cached elements via subsumption and local compensation
+    /// (§5.3.2). With this off, only exact-match reuse happens — the
+    /// BERMUDA/\[SELL87\] baseline behaviour.
+    pub subsumption: bool,
+    /// Generalize IE-queries when advice shows a subsuming view spec
+    /// (§5.3.1): fetch more, reuse later.
+    pub generalization: bool,
+    /// Prefetch predicted-next queries from the path expression (§4.2).
+    pub prefetching: bool,
+    /// Build hash indices on consumer-annotated (`?`) attributes
+    /// (§4.2.1).
+    pub index_advice: bool,
+    /// Modify LRU replacement with path-expression predictions (§5.4:
+    /// "an LRU scheme which may be modified due to advi\[c\]e").
+    pub advice_replacement: bool,
+    /// Answer cache-only queries with lazy generators (§5.1).
+    pub lazy_evaluation: bool,
+    /// Execute remote and cache subqueries in parallel (§5 feature (e)).
+    pub parallel_execution: bool,
+    /// Use pipelined (streaming) transfer from the remote DBMS (§5.5);
+    /// otherwise store-and-forward.
+    pub pipelining: bool,
+    /// Transfer buffer size, in tuples (§5.5 buffering).
+    pub transfer_buffer_tuples: usize,
+    /// How many predicted queries ahead an element is pinned against
+    /// replacement (the paper's "d1 is not the best candidate" horizon).
+    pub pin_horizon: usize,
+    /// Estimated number of future hits needed to make generalization
+    /// worthwhile (cost heuristic of §5.3.1 step 1).
+    pub generalization_min_predicted_reuse: usize,
+    /// §5.3.3 cost-based placement: when a plan mixes cache and remote
+    /// parts, estimate the mixed plan against exporting the whole query
+    /// to the DBMS ("(b) Export b2(X,Y) & b3(Z,c2,c6) to the DBMS") and
+    /// take the cheaper. Off by default: the heuristic trades cache reuse
+    /// for shipped-result size, which only pays when cached fractions are
+    /// small and unselective.
+    pub cost_based_placement: bool,
+    /// Cache *whole base relations* on first touch and answer locally —
+    /// the single-relation buffering strategy of Ceri, Gottlob &
+    /// Wiederhold \[CERI86\] that the paper contrasts with ("in \[CERI86\],
+    /// cached elements contain only single relations", §5.3.2).
+    pub whole_relation_caching: bool,
+}
+
+impl Default for CmsConfig {
+    /// Full BrAID: every technique on, effectively unbounded cache.
+    fn default() -> Self {
+        CmsConfig {
+            cache_capacity_bytes: usize::MAX,
+            result_caching: true,
+            subsumption: true,
+            generalization: true,
+            prefetching: true,
+            index_advice: true,
+            advice_replacement: true,
+            lazy_evaluation: true,
+            parallel_execution: true,
+            pipelining: true,
+            transfer_buffer_tuples: 64,
+            pin_horizon: 2,
+            generalization_min_predicted_reuse: 1,
+            cost_based_placement: false,
+            whole_relation_caching: false,
+        }
+    }
+}
+
+impl CmsConfig {
+    /// Everything off: the loose-coupling baseline (every IE request goes
+    /// to the remote DBMS; nothing is cached).
+    pub fn loose_coupling() -> Self {
+        CmsConfig {
+            cache_capacity_bytes: 0,
+            result_caching: false,
+            subsumption: false,
+            generalization: false,
+            prefetching: false,
+            index_advice: false,
+            advice_replacement: false,
+            lazy_evaluation: false,
+            parallel_execution: false,
+            pipelining: false,
+            transfer_buffer_tuples: 1,
+            pin_horizon: 0,
+            generalization_min_predicted_reuse: usize::MAX,
+            cost_based_placement: false,
+            whole_relation_caching: false,
+        }
+    }
+
+    /// Exact-match result caching only — the BERMUDA-style bridge
+    /// baseline: results are cached and reused only "if an exact match of
+    /// a later query occurs" (§2).
+    pub fn exact_match() -> Self {
+        CmsConfig {
+            subsumption: false,
+            generalization: false,
+            prefetching: false,
+            index_advice: false,
+            advice_replacement: false,
+            lazy_evaluation: false,
+            ..CmsConfig::default()
+        }
+    }
+
+    /// Single-relation buffering (the \[CERI86\] baseline): whole base
+    /// relations are cached on first touch and queries evaluate locally;
+    /// no view-level result caching, no advice-driven techniques.
+    pub fn single_relation() -> Self {
+        CmsConfig {
+            result_caching: false,
+            generalization: false,
+            prefetching: false,
+            index_advice: false,
+            advice_replacement: false,
+            whole_relation_caching: true,
+            ..CmsConfig::default()
+        }
+    }
+
+    /// Full BrAID (alias of `default`).
+    pub fn braid() -> Self {
+        CmsConfig::default()
+    }
+
+    /// Builder-style toggles for ablation benches.
+    pub fn with_subsumption(mut self, on: bool) -> Self {
+        self.subsumption = on;
+        self
+    }
+
+    /// Toggle generalization.
+    pub fn with_generalization(mut self, on: bool) -> Self {
+        self.generalization = on;
+        self
+    }
+
+    /// Toggle prefetching.
+    pub fn with_prefetching(mut self, on: bool) -> Self {
+        self.prefetching = on;
+        self
+    }
+
+    /// Toggle advice-driven indexing.
+    pub fn with_index_advice(mut self, on: bool) -> Self {
+        self.index_advice = on;
+        self
+    }
+
+    /// Toggle lazy evaluation.
+    pub fn with_lazy(mut self, on: bool) -> Self {
+        self.lazy_evaluation = on;
+        self
+    }
+
+    /// Toggle advice-modified replacement.
+    pub fn with_advice_replacement(mut self, on: bool) -> Self {
+        self.advice_replacement = on;
+        self
+    }
+
+    /// Toggle parallel subquery execution.
+    pub fn with_parallel(mut self, on: bool) -> Self {
+        self.parallel_execution = on;
+        self
+    }
+
+    /// Set the cache capacity.
+    pub fn with_capacity(mut self, bytes: usize) -> Self {
+        self.cache_capacity_bytes = bytes;
+        self
+    }
+
+    /// Toggle §5.3.3 cost-based placement.
+    pub fn with_cost_based_placement(mut self, on: bool) -> Self {
+        self.cost_based_placement = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_as_documented() {
+        let braid = CmsConfig::braid();
+        assert!(braid.subsumption && braid.prefetching && braid.lazy_evaluation);
+        let exact = CmsConfig::exact_match();
+        assert!(exact.result_caching && !exact.subsumption && !exact.prefetching);
+        let loose = CmsConfig::loose_coupling();
+        assert!(!loose.result_caching && loose.cache_capacity_bytes == 0);
+    }
+
+    #[test]
+    fn builder_toggles() {
+        let c = CmsConfig::braid()
+            .with_subsumption(false)
+            .with_capacity(1024);
+        assert!(!c.subsumption);
+        assert_eq!(c.cache_capacity_bytes, 1024);
+        assert!(c.prefetching);
+    }
+}

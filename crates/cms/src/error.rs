@@ -1,0 +1,54 @@
+//! Error type for the CMS.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CmsError>;
+
+/// Errors raised by the Cache Management System.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmsError {
+    /// The query referenced a view name with no known specification and
+    /// carried no body to evaluate.
+    UnknownView(String),
+    /// The query referenced a base relation absent from the remote schema.
+    UnknownRelation(String),
+    /// The query is unsafe (a head variable is not range restricted).
+    UnsafeQuery(String),
+    /// The query falls outside what the CMS can plan (e.g. an unsupported
+    /// literal form in a remote-only part).
+    Unplannable(String),
+    /// An error from the remote DBMS.
+    Remote(String),
+    /// An error from the local relational engine.
+    Engine(String),
+}
+
+impl fmt::Display for CmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmsError::UnknownView(v) => write!(f, "unknown view `{v}` (no advice, empty body)"),
+            CmsError::UnknownRelation(r) => {
+                write!(f, "relation `{r}` is not in the remote schema")
+            }
+            CmsError::UnsafeQuery(q) => write!(f, "unsafe query: {q}"),
+            CmsError::Unplannable(m) => write!(f, "cannot plan query: {m}"),
+            CmsError::Remote(m) => write!(f, "remote DBMS error: {m}"),
+            CmsError::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CmsError {}
+
+impl From<braid_remote::RemoteError> for CmsError {
+    fn from(e: braid_remote::RemoteError) -> Self {
+        CmsError::Remote(e.to_string())
+    }
+}
+
+impl From<braid_relational::RelationalError> for CmsError {
+    fn from(e: braid_relational::RelationalError) -> Self {
+        CmsError::Engine(e.to_string())
+    }
+}

@@ -1,0 +1,51 @@
+//! # braid-cms
+//!
+//! BrAID's **Cache Management System (CMS)** — the interface subsystem
+//! that bridges the inference engine and the unmodified remote DBMS.
+//!
+//! "Functionally, the CMS is a main memory relational database management
+//! system where the database \[is\] referred to as the cache. The cache
+//! consists of relations which are typically views over the remote
+//! database as defined by CAQL queries. ... The CMS is functionally more
+//! powerful than a traditional DBMS. It employs a subsumption algorithm to
+//! find all relevant data in the cache for a given CAQL query. To retrieve
+//! data from the remote database, it performs query translation to \[the\]
+//! data manipulation language (DML) of the remote DBMS" (Sheth & O'Hare,
+//! ICDE 1991, §3).
+//!
+//! The module layout mirrors Figure 5 ("Organization of the CMS"):
+//!
+//! | Figure 5 box            | module        |
+//! |-------------------------|---------------|
+//! | Query Planner/Optimizer | [`planner`]   |
+//! | Advice Manager          | [`advice_mgr`]|
+//! | Execution Monitor       | [`monitor`]   |
+//! | Remote DBMS Interface   | [`rdi`]       |
+//! | Cache Manager (+ Query Processor) | [`cache`], [`element`] |
+//! | cache model             | [`model`]     |
+//!
+//! plus [`config`] (the experiment switchboard for every technique in the
+//! paper's Figure 2), [`stream`] (the tuple-at-a-time answer streams
+//! handed to the IE) and [`metrics`] (workstation-side cost accounting).
+
+pub mod advice_mgr;
+pub mod cache;
+pub mod caql_exec;
+pub mod cms;
+pub mod config;
+pub mod element;
+pub mod error;
+pub mod metrics;
+pub mod model;
+pub mod monitor;
+pub mod planner;
+pub mod rdi;
+pub mod stream;
+
+pub use cms::Cms;
+pub use config::CmsConfig;
+pub use element::{CacheElement, ElemId, Repr};
+pub use error::{CmsError, Result};
+pub use metrics::{CmsMetrics, CmsMetricsSnapshot};
+pub use planner::{PartSource, Plan, PlanPart};
+pub use stream::AnswerStream;

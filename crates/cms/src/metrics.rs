@@ -1,0 +1,153 @@
+//! Workstation-side cost accounting for the CMS.
+//!
+//! Together with the remote server's counters this completes the paper's
+//! cost metric (§3): communication volume and server demand live in
+//! `braid-remote`; "computation that needs to be done by the workstation"
+//! is counted here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters maintained by the CMS.
+#[derive(Debug, Default)]
+pub struct CmsMetrics {
+    queries: AtomicU64,
+    full_cache_answers: AtomicU64,
+    partial_cache_answers: AtomicU64,
+    remote_subqueries: AtomicU64,
+    generalized_queries: AtomicU64,
+    prefetched_queries: AtomicU64,
+    lazy_answers: AtomicU64,
+    indices_built: AtomicU64,
+    evictions: AtomicU64,
+    local_tuple_ops: AtomicU64,
+    tuples_to_ie: AtomicU64,
+}
+
+/// Snapshot of [`CmsMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CmsMetricsSnapshot {
+    /// IE-queries received.
+    pub queries: u64,
+    /// Queries answered entirely from the cache.
+    pub full_cache_answers: u64,
+    /// Queries answered partly from the cache.
+    pub partial_cache_answers: u64,
+    /// Subqueries shipped to the remote DBMS.
+    pub remote_subqueries: u64,
+    /// Queries evaluated in a generalized form.
+    pub generalized_queries: u64,
+    /// CMS-generated prefetch queries.
+    pub prefetched_queries: u64,
+    /// Queries answered with a lazy generator.
+    pub lazy_answers: u64,
+    /// Hash indices built from advice.
+    pub indices_built: u64,
+    /// Cache elements evicted.
+    pub evictions: u64,
+    /// Tuples processed by local (cache) operators.
+    pub local_tuple_ops: u64,
+    /// Tuples actually delivered to the IE.
+    pub tuples_to_ie: u64,
+}
+
+macro_rules! bump {
+    ($($name:ident => $field:ident),* $(,)?) => {
+        impl CmsMetrics {
+            $(
+                pub(crate) fn $name(&self, n: u64) {
+                    self.$field.fetch_add(n, Ordering::Relaxed);
+                }
+            )*
+        }
+    };
+}
+
+bump! {
+    add_queries => queries,
+    add_full_cache => full_cache_answers,
+    add_partial_cache => partial_cache_answers,
+    add_remote_subqueries => remote_subqueries,
+    add_generalized => generalized_queries,
+    add_prefetched => prefetched_queries,
+    add_lazy => lazy_answers,
+    add_indices => indices_built,
+    add_evictions => evictions,
+    add_local_ops => local_tuple_ops,
+    add_tuples_to_ie => tuples_to_ie,
+}
+
+impl CmsMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read all counters.
+    pub fn snapshot(&self) -> CmsMetricsSnapshot {
+        CmsMetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            full_cache_answers: self.full_cache_answers.load(Ordering::Relaxed),
+            partial_cache_answers: self.partial_cache_answers.load(Ordering::Relaxed),
+            remote_subqueries: self.remote_subqueries.load(Ordering::Relaxed),
+            generalized_queries: self.generalized_queries.load(Ordering::Relaxed),
+            prefetched_queries: self.prefetched_queries.load(Ordering::Relaxed),
+            lazy_answers: self.lazy_answers.load(Ordering::Relaxed),
+            indices_built: self.indices_built.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            local_tuple_ops: self.local_tuple_ops.load(Ordering::Relaxed),
+            tuples_to_ie: self.tuples_to_ie.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        for c in [
+            &self.queries,
+            &self.full_cache_answers,
+            &self.partial_cache_answers,
+            &self.remote_subqueries,
+            &self.generalized_queries,
+            &self.prefetched_queries,
+            &self.lazy_answers,
+            &self.indices_built,
+            &self.evictions,
+            &self.local_tuple_ops,
+            &self.tuples_to_ie,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl CmsMetricsSnapshot {
+    /// Cache hit rate over answered queries (full hits / queries).
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.full_cache_answers as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_hit_rate() {
+        let m = CmsMetrics::new();
+        m.add_queries(4);
+        m.add_full_cache(1);
+        m.add_lazy(1);
+        let s = m.snapshot();
+        assert_eq!(s.queries, 4);
+        assert_eq!(s.lazy_answers, 1);
+        assert!((s.hit_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(CmsMetricsSnapshot::default().hit_rate(), 0.0);
+    }
+}

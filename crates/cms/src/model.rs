@@ -1,0 +1,115 @@
+//! The cache model: meta-information about the cache.
+//!
+//! "The CMS controls the cache and the cache model (i.e., meta-information
+//! about the cache)" (§3). "The cache model contains information on the
+//! cache elements. It is a relation of type (E_id, E_def, ....)" (§5.3.2)
+//! — and since the IE "can access cache model information from the CMS"
+//! (§3), the model is exported as an ordinary relation.
+
+use crate::element::{CacheElement, Repr};
+use braid_relational::{Column, Relation, Schema, Tuple, Value, ValueType};
+
+/// One row of the cache model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRow {
+    /// `E_id`.
+    pub id: u64,
+    /// `E_def` — printed view definition.
+    pub def: String,
+    /// Representation kind: `"extension"`, `"generator"` or `"both"`.
+    pub repr: &'static str,
+    /// Cardinality when materialized.
+    pub cardinality: Option<usize>,
+    /// Approximate bytes held.
+    pub bytes: usize,
+    /// Derivation hits served.
+    pub hits: u64,
+    /// Logical time of last use.
+    pub last_used: u64,
+    /// Advice-pinned against replacement?
+    pub pinned: bool,
+}
+
+impl ModelRow {
+    /// Summarize an element.
+    pub fn of(e: &CacheElement) -> ModelRow {
+        ModelRow {
+            id: e.id,
+            def: e.def.to_string(),
+            repr: match &e.repr {
+                Repr::Extension(_) => "extension",
+                Repr::Generator(_) => "generator",
+                Repr::Both { .. } => "both",
+            },
+            cardinality: e.cardinality(),
+            bytes: e.approx_bytes(),
+            hits: e.hits,
+            last_used: e.last_used,
+            pinned: e.pinned,
+        }
+    }
+}
+
+/// The schema of the exported cache-model relation.
+pub fn model_schema() -> Schema {
+    Schema::new(
+        "cache_model",
+        vec![
+            Column::new("e_id", ValueType::Int),
+            Column::new("e_def", ValueType::Str),
+            Column::new("repr", ValueType::Str),
+            Column::new("cardinality", ValueType::Int),
+            Column::new("bytes", ValueType::Int),
+            Column::new("hits", ValueType::Int),
+            Column::new("last_used", ValueType::Int),
+            Column::new("pinned", ValueType::Bool),
+        ],
+    )
+    .expect("static schema is valid")
+}
+
+/// Export rows as a relation the IE can query.
+pub fn as_relation<'a>(rows: impl Iterator<Item = &'a ModelRow>) -> Relation {
+    let mut rel = Relation::new(model_schema());
+    for r in rows {
+        let t = Tuple::new(vec![
+            Value::Int(r.id as i64),
+            Value::str(&r.def),
+            Value::str(r.repr),
+            r.cardinality
+                .map(|c| Value::Int(c as i64))
+                .unwrap_or(Value::Null),
+            Value::Int(r.bytes as i64),
+            Value::Int(r.hits as i64),
+            Value::Int(r.last_used as i64),
+            Value::Bool(r.pinned),
+        ]);
+        rel.insert(t).expect("model schema arity matches");
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_caql::parse_rule;
+    use braid_subsume::ViewDef;
+
+    #[test]
+    fn model_row_and_relation_export() {
+        let def = ViewDef::new(parse_rule("e(X, Y) :- b(X, Y).").unwrap()).unwrap();
+        let rel = Relation::from_tuples(
+            Schema::of_strs("e", &["x", "y"]),
+            vec![braid_relational::tuple!["a", "b"]],
+        )
+        .unwrap();
+        let e = CacheElement::materialized(7, def, rel, 3);
+        let row = ModelRow::of(&e);
+        assert_eq!(row.id, 7);
+        assert_eq!(row.repr, "extension");
+        assert_eq!(row.cardinality, Some(1));
+        let exported = as_relation([row].iter());
+        assert_eq!(exported.len(), 1);
+        assert_eq!(exported.schema().arity(), 8);
+    }
+}

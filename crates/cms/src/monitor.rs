@@ -1,0 +1,475 @@
+//! The Execution Monitor.
+//!
+//! "The Execution Monitor coordinates the execution of the subqueries
+//! according to the order specified by the QPO. Subqueries to the remote
+//! DBMS can be executed in parallel with the subqueries to the Cache
+//! Manager" (§5). Parts are independent (the plan's partial order has a
+//! single join node downstream), so remote parts run on worker threads
+//! while cache parts evaluate locally; the joins, residual selections and
+//! projection happen afterwards on the workstation.
+
+use crate::cache::CacheManager;
+use crate::error::{CmsError, Result};
+use crate::planner::{PartSource, Plan, PlanPart};
+use crate::rdi;
+use braid_caql::{ArithExpr, Comparison, Term};
+use braid_relational::{ops, Expr, Relation, Schema, Tuple};
+use braid_remote::RemoteDbms;
+
+/// The result of executing a plan: the joined relation (columns named by
+/// query variables) plus workstation-side work accounting.
+#[derive(Debug)]
+pub struct Executed {
+    /// All parts joined, residual comparisons applied. Columns are named
+    /// by query variables.
+    pub joined: Relation,
+    /// Tuples processed by local operators (workstation cost proxy).
+    pub local_tuple_ops: u64,
+    /// Number of subqueries shipped to the remote DBMS.
+    pub remote_subqueries: u64,
+}
+
+/// Execute every part of a plan and join the results.
+///
+/// `parallel` runs remote parts concurrently (§5 feature (e)); `pipelined`
+/// and `buffer` control the transfer mode of each remote stream (§5.5).
+///
+/// # Errors
+/// Propagates translation, remote and local evaluation errors.
+pub fn execute(
+    plan: &Plan,
+    cache: &CacheManager,
+    remote: &RemoteDbms,
+    parallel: bool,
+    pipelined: bool,
+    buffer: usize,
+) -> Result<Executed> {
+    let mut local_ops: u64 = 0;
+    let mut remote_count: u64 = 0;
+
+    // Split parts: remote ones may run on threads.
+    let mut results: Vec<Option<(Vec<String>, Relation)>> = vec![None; plan.parts.len()];
+
+    let remote_jobs: Vec<(usize, &PlanPart)> = plan
+        .parts
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.is_cache())
+        .collect();
+    remote_count += remote_jobs.len() as u64;
+
+    if parallel && remote_jobs.len() > 1 {
+        // Fan the remote fetches out; cache parts run on this thread in
+        // the meantime.
+        crossbeam::thread::scope(|s| -> Result<()> {
+            let mut handles = Vec::new();
+            for (idx, part) in &remote_jobs {
+                let part = (*part).clone();
+                let remote = remote.clone();
+                let idx = *idx;
+                handles.push((
+                    idx,
+                    s.spawn(move |_| fetch_remote(&part, &remote, pipelined, buffer)),
+                ));
+            }
+            // Cache parts while remote is in flight.
+            for (idx, part) in plan.parts.iter().enumerate() {
+                if part.is_cache() {
+                    results[idx] = Some(eval_cache_part(part, cache, &mut local_ops)?);
+                }
+            }
+            for (idx, h) in handles {
+                let r = h
+                    .join()
+                    .map_err(|_| CmsError::Remote("remote fetch thread panicked".into()))??;
+                results[idx] = Some(r);
+            }
+            Ok(())
+        })
+        .map_err(|_| CmsError::Remote("execution scope panicked".into()))??;
+    } else {
+        for (idx, part) in plan.parts.iter().enumerate() {
+            results[idx] = Some(if part.is_cache() {
+                eval_cache_part(part, cache, &mut local_ops)?
+            } else {
+                fetch_remote(part, remote, pipelined, buffer)?
+            });
+        }
+    }
+
+    // Join all parts on shared variable names.
+    let mut parts_iter = results.into_iter().map(|r| r.expect("all parts filled"));
+    let (mut vars, mut acc) = parts_iter
+        .next()
+        .ok_or_else(|| CmsError::Unplannable("plan has no parts".into()))?;
+    for (nvars, next) in parts_iter {
+        local_ops += acc.len() as u64 + next.len() as u64;
+        let on: Vec<(usize, usize)> = nvars
+            .iter()
+            .enumerate()
+            .filter_map(|(j, v)| vars.iter().position(|w| w == v).map(|i| (i, j)))
+            .collect();
+        let joined = ops::equijoin(&acc, &next, &on)?;
+        local_ops += joined.len() as u64;
+        // Keep one column per variable: all of acc's, plus next's new ones.
+        let mut keep: Vec<usize> = (0..vars.len()).collect();
+        let mut out_vars = vars.clone();
+        for (j, v) in nvars.iter().enumerate() {
+            if !vars.contains(v) {
+                keep.push(vars.len() + j);
+                out_vars.push(v.clone());
+            }
+        }
+        acc = rename(ops::project(&joined, &keep)?, &out_vars)?;
+        vars = out_vars;
+    }
+
+    // Residual comparisons.
+    if !plan.residual_cmps.is_empty() {
+        let exprs: Vec<Expr> = plan
+            .residual_cmps
+            .iter()
+            .map(|c| comparison_to_expr(c, &vars))
+            .collect::<Result<_>>()?;
+        local_ops += acc.len() as u64;
+        acc = ops::select(&acc, &Expr::And(exprs))?;
+    }
+
+    // Negation: anti-join each negated part on its shared variables —
+    // a CAQL operation executed entirely on the workstation (§5.3.3).
+    for part in &plan.neg_parts {
+        remote_count += u64::from(!part.is_cache());
+        let (nvars, nrel) = if part.is_cache() {
+            eval_cache_part(part, cache, &mut local_ops)?
+        } else {
+            fetch_remote(part, remote, pipelined, buffer)?
+        };
+        let on: Vec<(usize, usize)> = nvars
+            .iter()
+            .enumerate()
+            .filter_map(|(j, v)| vars.iter().position(|w| w == v).map(|i| (i, j)))
+            .collect();
+        if on.is_empty() {
+            // No shared variables: `not p(...)` over a ground/disjoint
+            // atom — the whole result survives iff the relation is empty.
+            if !nrel.is_empty() {
+                acc = Relation::new(acc.schema().clone());
+            }
+            continue;
+        }
+        local_ops += acc.len() as u64 + nrel.len() as u64;
+        acc = ops::antijoin(&acc, &nrel, &on)?;
+    }
+
+    Ok(Executed {
+        joined: acc,
+        local_tuple_ops: local_ops,
+        remote_subqueries: remote_count,
+    })
+}
+
+fn eval_cache_part(
+    part: &PlanPart,
+    cache: &CacheManager,
+    local_ops: &mut u64,
+) -> Result<(Vec<String>, Relation)> {
+    let PartSource::Cache {
+        element,
+        derivation,
+    } = &part.source
+    else {
+        unreachable!("eval_cache_part called on a remote part");
+    };
+    let var_refs: Vec<&str> = part.vars.iter().map(String::as_str).collect();
+    // Index-aware eager derivation (§5.4's hash-index use).
+    let rel = cache.derive_relation(*element, derivation, &var_refs)?;
+    *local_ops += rel.len() as u64;
+    Ok((part.vars.clone(), rename(rel, &part.vars)?))
+}
+
+fn fetch_remote(
+    part: &PlanPart,
+    remote: &RemoteDbms,
+    pipelined: bool,
+    buffer: usize,
+) -> Result<(Vec<String>, Relation)> {
+    let PartSource::Remote { atoms, cmps } = &part.source else {
+        unreachable!("fetch_remote called on a cache part");
+    };
+    let t = rdi::translate(atoms, cmps, &part.vars)?;
+    // Buffered/pipelined transfer (§5.5): the RDI "buffers the data
+    // returned by the DBMS prior to passing buffer control to the Cache
+    // Manager".
+    let mut stream = remote.submit_stream(&t.sql, buffer, pipelined)?;
+    if part.vars.is_empty() {
+        // Fully ground subquery: an existence test. The DML has no
+        // zero-column SELECT, so reduce the stream to a 0-ary relation
+        // holding the empty tuple iff any row matched.
+        let nonempty = stream.next_tuple().is_some();
+        drop(stream);
+        let mut rel = Relation::new(Schema::of_strs("part", &[]));
+        if nonempty {
+            rel.insert(Tuple::empty())?;
+        }
+        return Ok((Vec::new(), rel));
+    }
+    let rel = stream.drain()?;
+    Ok((part.vars.clone(), rename(rel, &part.vars)?))
+}
+
+/// Rebuild a relation with columns named by `vars` (types advisory).
+pub(crate) fn rename(rel: Relation, vars: &[String]) -> Result<Relation> {
+    let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+    let schema = Schema::of_strs("part", &var_refs);
+    if schema.arity() != rel.schema().arity() {
+        return Err(CmsError::Engine(format!(
+            "arity mismatch renaming columns: {} vs {}",
+            schema.arity(),
+            rel.schema().arity()
+        )));
+    }
+    let mut out = Relation::new(schema);
+    for t in rel.iter() {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// Compile a CAQL comparison into a relational predicate over columns
+/// named by `vars`.
+pub(crate) fn comparison_to_expr(c: &Comparison, vars: &[String]) -> Result<Expr> {
+    Ok(Expr::Cmp(
+        c.op,
+        Box::new(arith_to_expr(&c.lhs, vars)?),
+        Box::new(arith_to_expr(&c.rhs, vars)?),
+    ))
+}
+
+fn arith_to_expr(e: &ArithExpr, vars: &[String]) -> Result<Expr> {
+    match e {
+        ArithExpr::Term(Term::Const(v)) => Ok(Expr::Const(v.clone())),
+        ArithExpr::Term(Term::Var(name)) => vars
+            .iter()
+            .position(|v| v == name)
+            .map(Expr::Col)
+            .ok_or_else(|| {
+                CmsError::Unplannable(format!("residual comparison variable `{name}` unavailable"))
+            }),
+        ArithExpr::Bin(op, a, b) => {
+            let (x, y) = (
+                Box::new(arith_to_expr(a, vars)?),
+                Box::new(arith_to_expr(b, vars)?),
+            );
+            Ok(match op {
+                braid_caql::ArithOp::Add => Expr::Add(x, y),
+                braid_caql::ArithOp::Sub => Expr::Sub(x, y),
+                braid_caql::ArithOp::Mul => Expr::Mul(x, y),
+                braid_caql::ArithOp::Div => Expr::Div(x, y),
+            })
+        }
+    }
+}
+
+/// Project the joined relation onto a query head: variables come from
+/// their named columns, constants become literal columns.
+pub(crate) fn project_head(
+    joined: &Relation,
+    vars: &[String],
+    head: &braid_caql::Atom,
+) -> Result<Relation> {
+    let names: Vec<String> = (0..head.arity()).map(|i| format!("h{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let schema = Schema::of_strs(head.pred.clone(), &name_refs);
+    let mut out = Relation::new(schema);
+    // Precompute per-position extraction.
+    enum Slot {
+        Col(usize),
+        Const(braid_relational::Value),
+    }
+    let slots: Vec<Slot> = head
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => vars
+                .iter()
+                .position(|w| w == v)
+                .map(Slot::Col)
+                .ok_or_else(|| {
+                    CmsError::UnsafeQuery(format!("head variable `{v}` not produced by the plan"))
+                }),
+            Term::Const(c) => Ok(Slot::Const(c.clone())),
+        })
+        .collect::<Result<_>>()?;
+    for t in joined.iter() {
+        let row: Vec<braid_relational::Value> = slots
+            .iter()
+            .map(|s| match s {
+                Slot::Col(i) => t.values()[*i].clone(),
+                Slot::Const(c) => c.clone(),
+            })
+            .collect();
+        out.insert(Tuple::new(row))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ElementBuilder;
+    use crate::planner::plan;
+    use braid_caql::parse_rule;
+    use braid_relational::tuple;
+    use braid_remote::Catalog;
+    use braid_subsume::ViewDef;
+
+    fn remote() -> RemoteDbms {
+        let mut c = Catalog::new();
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("b2", &["x", "z"]),
+                vec![tuple!["x1", "z1"], tuple!["x2", "z2"], tuple!["x3", "z1"]],
+            )
+            .unwrap(),
+        );
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("b3", &["z", "k", "y"]),
+                vec![
+                    tuple!["z1", "c2", "c6"],
+                    tuple!["z2", "c2", "c7"],
+                    tuple!["z9", "cX", "c6"],
+                ],
+            )
+            .unwrap(),
+        );
+        RemoteDbms::with_defaults(c)
+    }
+
+    #[test]
+    fn all_remote_plan_executes_paper_query() {
+        let cache = CacheManager::new(usize::MAX);
+        let r = remote();
+        let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
+        let p = plan(&q, &cache, true).unwrap();
+        let ex = execute(&p, &cache, &r, false, true, 8).unwrap();
+        // Only x1/x3 join through z1 to (c2, c6).
+        assert_eq!(ex.joined.len(), 2);
+        let head = project_head(&ex.joined, &paper_vars(&ex), &q.head).unwrap();
+        let mut rows = head.sorted_tuples();
+        rows.sort();
+        assert_eq!(rows, vec![tuple!["x1"], tuple!["x3"]]);
+        assert_eq!(ex.remote_subqueries, 1);
+    }
+
+    fn paper_vars(ex: &Executed) -> Vec<String> {
+        ex.joined
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect()
+    }
+
+    #[test]
+    fn mixed_cache_remote_plan_joins_correctly() {
+        let mut cache = CacheManager::new(usize::MAX);
+        // Cache E12 = b3(A, c2, B) materialized from the same data.
+        let e12 = Relation::from_tuples(
+            Schema::of_strs("e12", &["a", "b"]),
+            vec![tuple!["z1", "c6"], tuple!["z2", "c7"]],
+        )
+        .unwrap();
+        cache.insert(
+            ViewDef::new(parse_rule("e12(A, B) :- b3(A, c2, B).").unwrap()).unwrap(),
+            ElementBuilder::Materialized(e12),
+        );
+        let r = remote();
+        let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
+        let p = plan(&q, &cache, true).unwrap();
+        assert_eq!(p.remote_parts(), 1);
+        let ex = execute(&p, &cache, &r, false, true, 8).unwrap();
+        let head = project_head(&ex.joined, &paper_vars(&ex), &q.head).unwrap();
+        let mut rows = head.sorted_tuples();
+        rows.sort();
+        assert_eq!(rows, vec![tuple!["x1"], tuple!["x3"]]);
+        // Only the b2 fetch hit the server.
+        assert_eq!(r.metrics().requests, 1);
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let cache = CacheManager::new(usize::MAX);
+        let r = remote();
+        // Two disconnected remote parts (cross product shape) — covered by
+        // separate runs because the middle atom is absent.
+        let q = parse_rule("q(X, Y) :- b2(X, Z), b3(W, c2, Y).").unwrap();
+        let p = plan(&q, &cache, true).unwrap();
+        let seq = execute(&p, &cache, &r, false, true, 8).unwrap();
+        let par = execute(&p, &cache, &r, true, true, 8).unwrap();
+        assert_eq!(seq.joined, par.joined);
+        assert_eq!(par.remote_subqueries, 1); // contiguous run → 1 request
+    }
+
+    #[test]
+    fn residual_arithmetic_comparison_applied_locally() {
+        let mut catalog = Catalog::new();
+        catalog.install(
+            Relation::from_tuples(
+                Schema::new(
+                    "nums",
+                    vec![
+                        braid_relational::Column::new("a", braid_relational::ValueType::Int),
+                        braid_relational::Column::new("b", braid_relational::ValueType::Int),
+                    ],
+                )
+                .unwrap(),
+                vec![tuple![1, 5], tuple![2, 2], tuple![3, 10]],
+            )
+            .unwrap(),
+        );
+        let r = RemoteDbms::with_defaults(catalog);
+        let cache = CacheManager::new(usize::MAX);
+        let q = parse_rule("q(A, B) :- nums(A, B), B > A + 2.").unwrap();
+        let p = plan(&q, &cache, true).unwrap();
+        assert_eq!(p.residual_cmps.len(), 1);
+        let ex = execute(&p, &cache, &r, false, true, 8).unwrap();
+        assert_eq!(ex.joined.len(), 2); // (1,5) and (3,10)
+    }
+
+    #[test]
+    fn ground_remote_subquery_acts_as_existence_test() {
+        let cache = CacheManager::new(usize::MAX);
+        let r = remote();
+        // b2(x1, z1) holds; b2(x1, zz) does not.
+        let q_yes = plan(
+            &parse_rule("q(V) :- b2(x1, z1), b3(V, c2, c6).").unwrap(),
+            &cache,
+            true,
+        )
+        .unwrap();
+        let ex = execute(&q_yes, &cache, &r, false, true, 8).unwrap();
+        assert_eq!(ex.joined.len(), 1, "existence holds: b3 rows survive");
+        let q_no = plan(
+            &parse_rule("q(V) :- b2(x1, zz), b3(V, c2, c6).").unwrap(),
+            &cache,
+            true,
+        )
+        .unwrap();
+        let ex = execute(&q_no, &cache, &r, false, true, 8).unwrap();
+        assert_eq!(ex.joined.len(), 0, "existence fails: empty result");
+    }
+
+    #[test]
+    fn project_head_emits_constants() {
+        let joined = Relation::from_tuples(
+            Schema::of_strs("j", &["X"]),
+            vec![tuple!["x1"], tuple!["x2"]],
+        )
+        .unwrap();
+        let head = braid_caql::parse_atom("d2(X, c6)").unwrap();
+        let out = project_head(&joined, &["X".to_string()], &head).unwrap();
+        assert!(out.contains(&tuple!["x1", "c6"]));
+        assert_eq!(out.schema().arity(), 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! The Remote DBMS Interface: CAQL → DML translation.
+//!
+//! "Queries to the remote DBMS are translated from CAQL to the DML of the
+//! DBMS by a DBMS specific translator in the Remote DBMS Interface (RDI)"
+//! (§5). The supported target fragment is conjunctive SPJ (plus union at
+//! the caller's level); anything else must be kept local by the planner —
+//! "the remote DBMS does not support all CAQL operations, but the CMS
+//! does" (§5.3.3).
+
+use crate::error::{CmsError, Result};
+use braid_caql::{ArithExpr, Atom, Comparison, Literal, Term};
+use braid_remote::{ColRef, Predicate, SelectBlock, SqlQuery, TableRef};
+use std::collections::BTreeMap;
+
+/// The result of translating a conjunctive CAQL fragment: the DML query
+/// plus the variable name of each output column, in order.
+#[derive(Debug, Clone)]
+pub struct Translated {
+    /// The remote query.
+    pub sql: SqlQuery,
+    /// Output column names (query variables), in SELECT order.
+    pub out_vars: Vec<String>,
+}
+
+/// Translate a conjunction of base-relation atoms and comparisons into one
+/// SPJ block selecting `out_vars` (each must occur in some atom).
+///
+/// # Errors
+/// Returns [`CmsError::Unplannable`] for literals outside the SPJ fragment
+/// and [`CmsError::UnsafeQuery`] for unproducible output variables.
+pub fn translate(atoms: &[Atom], cmps: &[Comparison], out_vars: &[String]) -> Result<Translated> {
+    if atoms.is_empty() {
+        return Err(CmsError::Unplannable(
+            "remote subquery needs at least one relation occurrence".into(),
+        ));
+    }
+    let mut from = Vec::with_capacity(atoms.len());
+    let mut predicates = Vec::new();
+    // First occurrence of each variable.
+    let mut var_site: BTreeMap<&str, ColRef> = BTreeMap::new();
+
+    for (ti, atom) in atoms.iter().enumerate() {
+        from.push(TableRef {
+            relation: atom.pred.clone(),
+        });
+        for (ci, term) in atom.args.iter().enumerate() {
+            let here = ColRef { table: ti, col: ci };
+            match term {
+                Term::Const(v) => predicates.push(Predicate::ColConst(
+                    here,
+                    braid_relational::CmpOp::Eq,
+                    v.clone(),
+                )),
+                Term::Var(name) => match var_site.get(name.as_str()) {
+                    None => {
+                        var_site.insert(name, here);
+                    }
+                    Some(first) => predicates.push(Predicate::ColCol(
+                        *first,
+                        braid_relational::CmpOp::Eq,
+                        here,
+                    )),
+                },
+            }
+        }
+    }
+
+    for c in cmps {
+        let p = match (bare(&c.lhs), bare(&c.rhs)) {
+            (Some(Term::Var(a)), Some(Term::Const(v))) => {
+                let site = var_site.get(a.as_str()).ok_or_else(|| {
+                    CmsError::UnsafeQuery(format!("comparison variable {a} unbound"))
+                })?;
+                Predicate::ColConst(*site, c.op, v.clone())
+            }
+            (Some(Term::Const(v)), Some(Term::Var(b))) => {
+                let site = var_site.get(b.as_str()).ok_or_else(|| {
+                    CmsError::UnsafeQuery(format!("comparison variable {b} unbound"))
+                })?;
+                Predicate::ColConst(*site, c.op.flipped(), v.clone())
+            }
+            (Some(Term::Var(a)), Some(Term::Var(b))) => {
+                let sa = var_site.get(a.as_str()).ok_or_else(|| {
+                    CmsError::UnsafeQuery(format!("comparison variable {a} unbound"))
+                })?;
+                let sb = var_site.get(b.as_str()).ok_or_else(|| {
+                    CmsError::UnsafeQuery(format!("comparison variable {b} unbound"))
+                })?;
+                Predicate::ColCol(*sa, c.op, *sb)
+            }
+            (Some(Term::Const(a)), Some(Term::Const(b))) => {
+                if c.op.eval(a, b) {
+                    continue;
+                }
+                // Constantly false: no row can satisfy `col = null` (base
+                // data is null-free by construction), making the block
+                // empty as required.
+                Predicate::ColConst(
+                    ColRef { table: 0, col: 0 },
+                    braid_relational::CmpOp::Eq,
+                    braid_relational::Value::Null,
+                )
+            }
+            _ => {
+                return Err(CmsError::Unplannable(format!(
+                    "arithmetic comparison `{c}` is not in the remote DML fragment"
+                )))
+            }
+        };
+        predicates.push(p);
+    }
+
+    let mut select = Vec::with_capacity(out_vars.len());
+    for v in out_vars {
+        let site = var_site.get(v.as_str()).ok_or_else(|| {
+            CmsError::UnsafeQuery(format!("output variable {v} does not occur in the body"))
+        })?;
+        select.push(*site);
+    }
+
+    Ok(Translated {
+        sql: SqlQuery::single(SelectBlock {
+            from,
+            predicates,
+            select,
+        }),
+        out_vars: out_vars.to_vec(),
+    })
+}
+
+fn bare(e: &ArithExpr) -> Option<&Term> {
+    match e {
+        ArithExpr::Term(t) => Some(t),
+        ArithExpr::Bin(..) => None,
+    }
+}
+
+/// Translate every branch of a union (used by the compiled-strategy DAPs
+/// of §2, "often involving union").
+///
+/// # Errors
+/// Propagates per-branch translation errors; all branches must agree on
+/// `out_vars` arity.
+pub fn translate_union(
+    branches: &[(Vec<Atom>, Vec<Comparison>)],
+    out_vars: &[String],
+) -> Result<Translated> {
+    let mut blocks = Vec::with_capacity(branches.len());
+    for (atoms, cmps) in branches {
+        let t = translate(atoms, cmps, out_vars)?;
+        blocks.extend(t.sql.blocks);
+    }
+    Ok(Translated {
+        sql: SqlQuery { blocks },
+        out_vars: out_vars.to_vec(),
+    })
+}
+
+/// Extract the `(atoms, comparisons)` of a conjunctive body, rejecting
+/// anything outside the remote fragment.
+///
+/// # Errors
+/// Returns [`CmsError::Unplannable`] on negation or binds.
+pub fn split_body(body: &[Literal]) -> Result<(Vec<Atom>, Vec<Comparison>)> {
+    let mut atoms = Vec::new();
+    let mut cmps = Vec::new();
+    for l in body {
+        match l {
+            Literal::Atom(a) => atoms.push(a.clone()),
+            Literal::Cmp(c) => cmps.push(c.clone()),
+            other => {
+                return Err(CmsError::Unplannable(format!(
+                    "literal `{other}` cannot be shipped to the remote DBMS"
+                )))
+            }
+        }
+    }
+    Ok((atoms, cmps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_caql::parse_rule;
+
+    fn parts(src: &str) -> (Vec<Atom>, Vec<Comparison>) {
+        let q = parse_rule(src).unwrap();
+        split_body(&q.body).unwrap()
+    }
+
+    #[test]
+    fn translates_paper_d2_body() {
+        // d2(X, c6) = b2(X, Z) & b3(Z, c2, c6)
+        let (atoms, cmps) = parts("d2(X) :- b2(X, Z), b3(Z, c2, c6).");
+        let t = translate(&atoms, &cmps, &["X".into(), "Z".into()]).unwrap();
+        let s = t.sql.to_string();
+        assert!(s.contains("FROM b2 t0, b3 t1"));
+        // Join Z = Z across tables, plus the two constants.
+        assert!(s.contains("t0.c1 = t1.c0"));
+        assert_eq!(t.out_vars, vec!["X", "Z"]);
+    }
+
+    #[test]
+    fn repeated_variable_in_one_atom_becomes_selection() {
+        let (atoms, cmps) = parts("q(X) :- b(X, X).");
+        let t = translate(&atoms, &cmps, &["X".into()]).unwrap();
+        assert!(t.sql.to_string().contains("t0.c0 = t0.c1"));
+    }
+
+    #[test]
+    fn comparisons_translate_to_predicates() {
+        let (atoms, cmps) = parts("q(X) :- b(X, Y), X > 3, 2 < Y, X != Y.");
+        let t = translate(&atoms, &cmps, &["X".into()]).unwrap();
+        let s = t.sql.to_string();
+        assert!(s.contains("t0.c0 > Int(3)"));
+        assert!(s.contains("t0.c1 > Int(2)"));
+        assert!(s.contains("t0.c0 != t0.c1"));
+    }
+
+    #[test]
+    fn arithmetic_comparison_rejected() {
+        let (atoms, cmps) = parts("q(X) :- b(X, Y), X > Y + 1.");
+        assert!(matches!(
+            translate(&atoms, &cmps, &["X".into()]),
+            Err(CmsError::Unplannable(_))
+        ));
+    }
+
+    #[test]
+    fn negation_rejected_by_split() {
+        let q = parse_rule("q(X) :- b(X), not c(X).").unwrap();
+        assert!(split_body(&q.body).is_err());
+    }
+
+    #[test]
+    fn unknown_output_variable_rejected() {
+        let (atoms, cmps) = parts("q(X) :- b(X, Y).");
+        assert!(matches!(
+            translate(&atoms, &cmps, &["W".into()]),
+            Err(CmsError::UnsafeQuery(_))
+        ));
+    }
+
+    #[test]
+    fn union_translation_merges_blocks() {
+        let b1 = parts("q(X) :- b2(X, Z).");
+        let b2 = parts("q(X) :- b3(X, c3, Z).");
+        let t = translate_union(&[b1, b2], &["X".into()]).unwrap();
+        assert_eq!(t.sql.blocks.len(), 2);
+        assert!(t.sql.to_string().contains("UNION"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Answer streams: tuple-at-a-time delivery to the inference engine.
+//!
+//! "The CMS returns the result for the query using a stream" (§3). An
+//! eager stream iterates a materialized result; a lazy stream pulls from a
+//! running generator, producing "a single solution on demand whenever
+//! possible (i.e., when a query can be solved using only cached data)"
+//! (§5.5).
+
+use braid_relational::{RunningGenerator, Schema, Tuple, TupleStream};
+use std::collections::VecDeque;
+
+enum Inner {
+    Eager(VecDeque<Tuple>),
+    Lazy(Box<RunningGenerator>),
+}
+
+/// A stream of answer tuples handed to the IE.
+pub struct AnswerStream {
+    schema: Schema,
+    inner: Inner,
+    delivered: usize,
+    lazy: bool,
+}
+
+impl AnswerStream {
+    /// An eager stream over a computed result.
+    pub fn eager(schema: Schema, tuples: Vec<Tuple>) -> AnswerStream {
+        AnswerStream {
+            schema,
+            inner: Inner::Eager(tuples.into()),
+            delivered: 0,
+            lazy: false,
+        }
+    }
+
+    /// A lazy stream over a running generator.
+    pub fn lazy(generator: RunningGenerator) -> AnswerStream {
+        let schema = generator.schema().clone();
+        AnswerStream {
+            schema,
+            inner: Inner::Lazy(Box::new(generator)),
+            delivered: 0,
+            lazy: true,
+        }
+    }
+
+    /// Schema of the answers.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Was this answer produced lazily?
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// Tuples delivered so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Pull the next answer (the IE's tuple-at-a-time interface).
+    pub fn next_tuple(&mut self) -> Option<Tuple> {
+        let t = match &mut self.inner {
+            Inner::Eager(q) => q.pop_front(),
+            Inner::Lazy(g) => g.next_tuple(),
+        };
+        if t.is_some() {
+            self.delivered += 1;
+        }
+        t
+    }
+
+    /// Drain everything (set-at-a-time consumers — compiled IEs).
+    pub fn drain(mut self) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_tuple() {
+            out.push(t);
+        }
+        out
+    }
+}
+
+impl Iterator for AnswerStream {
+    type Item = Tuple;
+    fn next(&mut self) -> Option<Tuple> {
+        self.next_tuple()
+    }
+}
+
+impl std::fmt::Debug for AnswerStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnswerStream")
+            .field("schema", &self.schema.to_string())
+            .field("lazy", &self.lazy)
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_relational::{tuple, Generator, Relation};
+    use std::sync::Arc;
+
+    #[test]
+    fn eager_stream_counts_deliveries() {
+        let mut s =
+            AnswerStream::eager(Schema::of_strs("r", &["x"]), vec![tuple!["a"], tuple!["b"]]);
+        assert!(!s.is_lazy());
+        assert_eq!(s.next_tuple(), Some(tuple!["a"]));
+        assert_eq!(s.delivered(), 1);
+        assert_eq!(s.by_ref().count(), 1);
+    }
+
+    #[test]
+    fn lazy_stream_pulls_from_generator() {
+        let rel = Relation::from_tuples(
+            Schema::of_strs("r", &["x"]),
+            vec![tuple!["a"], tuple!["b"], tuple!["c"]],
+        )
+        .unwrap();
+        let g = Generator::scan(Arc::new(rel));
+        let mut s = AnswerStream::lazy(g.open());
+        assert!(s.is_lazy());
+        assert!(s.next_tuple().is_some());
+        assert_eq!(s.delivered(), 1);
+        let rest = s.drain();
+        assert_eq!(rest.len(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Combined cost accounting across the workstation/server boundary.
+
+use braid_cms::CmsMetricsSnapshot;
+use braid_remote::metrics::MetricsSnapshot;
+use std::fmt;
+
+/// The paper's full cost picture (§3): "volume of communication between
+/// the workstation and the remote system, computational demands made on
+/// the database server, and computation that needs to be done by the
+/// workstation".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CombinedMetrics {
+    /// Server-side and wire counters.
+    pub remote: MetricsSnapshot,
+    /// Workstation (CMS) counters.
+    pub cms: CmsMetricsSnapshot,
+}
+
+impl CombinedMetrics {
+    /// Differences between two snapshots (self - earlier).
+    pub fn since(&self, earlier: &CombinedMetrics) -> CombinedMetrics {
+        CombinedMetrics {
+            remote: self.remote.since(&earlier.remote),
+            cms: CmsMetricsSnapshot {
+                queries: self.cms.queries - earlier.cms.queries,
+                full_cache_answers: self.cms.full_cache_answers - earlier.cms.full_cache_answers,
+                partial_cache_answers: self.cms.partial_cache_answers
+                    - earlier.cms.partial_cache_answers,
+                remote_subqueries: self.cms.remote_subqueries - earlier.cms.remote_subqueries,
+                generalized_queries: self.cms.generalized_queries - earlier.cms.generalized_queries,
+                prefetched_queries: self.cms.prefetched_queries - earlier.cms.prefetched_queries,
+                lazy_answers: self.cms.lazy_answers - earlier.cms.lazy_answers,
+                indices_built: self.cms.indices_built - earlier.cms.indices_built,
+                evictions: self.cms.evictions - earlier.cms.evictions,
+                local_tuple_ops: self.cms.local_tuple_ops - earlier.cms.local_tuple_ops,
+                tuples_to_ie: self.cms.tuples_to_ie - earlier.cms.tuples_to_ie,
+            },
+        }
+    }
+
+    /// A single scalar "total cost" in cost units: latency units charged
+    /// by the remote server plus workstation tuple operations.
+    pub fn total_cost_units(&self) -> u64 {
+        self.remote.simulated_latency_units + self.cms.local_tuple_ops
+    }
+}
+
+impl fmt::Display for CombinedMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "remote: {} requests, {} tuples, {} bytes, {} server-ops, {} latency-units",
+            self.remote.requests,
+            self.remote.tuples_shipped,
+            self.remote.bytes_shipped,
+            self.remote.server_tuple_ops,
+            self.remote.simulated_latency_units
+        )?;
+        write!(
+            f,
+            "cms: {} queries ({} full / {} partial cache), {} remote subqueries, \
+             {} generalized, {} prefetched, {} lazy, {} indices, {} evictions, \
+             {} local-ops",
+            self.cms.queries,
+            self.cms.full_cache_answers,
+            self.cms.partial_cache_answers,
+            self.cms.remote_subqueries,
+            self.cms.generalized_queries,
+            self.cms.prefetched_queries,
+            self.cms.lazy_answers,
+            self.cms.indices_built,
+            self.cms.evictions,
+            self.cms.local_tuple_ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_and_total() {
+        let mut a = CombinedMetrics::default();
+        a.cms.local_tuple_ops = 10;
+        a.remote.simulated_latency_units = 5;
+        let b = CombinedMetrics::default();
+        let d = a.since(&b);
+        assert_eq!(d.total_cost_units(), 15);
+        let s = a.to_string();
+        assert!(s.contains("local-ops"));
+    }
+}

@@ -1,0 +1,253 @@
+//! The assembled BrAID system: IE + CMS + remote DBMS per Figure 3.
+
+use crate::metrics::CombinedMetrics;
+use braid_caql::{parse_query, Atom};
+use braid_cms::{Cms, CmsConfig, CmsError};
+use braid_ie::engine::Solutions;
+use braid_ie::{IeError, InferenceEngine, KnowledgeBase, Strategy};
+use braid_relational::Tuple;
+use braid_remote::{Catalog, CostModel, LatencyModel, RemoteDbms};
+use std::fmt;
+
+/// Configuration of the whole bridge.
+#[derive(Debug, Clone)]
+pub struct BraidConfig {
+    /// CMS behaviour (the Figure 2 technique switchboard).
+    pub cms: CmsConfig,
+    /// Remote cost model.
+    pub cost: CostModel,
+    /// Latency realization (counted vs wall-clock).
+    pub latency: LatencyModel,
+}
+
+impl Default for BraidConfig {
+    fn default() -> Self {
+        BraidConfig {
+            cms: CmsConfig::braid(),
+            cost: CostModel::default(),
+            latency: LatencyModel::Counted,
+        }
+    }
+}
+
+impl BraidConfig {
+    /// Full BrAID with a specific CMS configuration.
+    pub fn with_cms(cms: CmsConfig) -> BraidConfig {
+        BraidConfig {
+            cms,
+            ..BraidConfig::default()
+        }
+    }
+}
+
+/// Errors from the assembled system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BraidError {
+    /// An inference engine error.
+    Ie(IeError),
+    /// A CMS error.
+    Cms(CmsError),
+    /// A query parse error.
+    Parse(String),
+}
+
+impl fmt::Display for BraidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BraidError::Ie(e) => write!(f, "{e}"),
+            BraidError::Cms(e) => write!(f, "{e}"),
+            BraidError::Parse(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for BraidError {}
+
+impl From<IeError> for BraidError {
+    fn from(e: IeError) -> Self {
+        BraidError::Ie(e)
+    }
+}
+
+impl From<CmsError> for BraidError {
+    fn from(e: CmsError) -> Self {
+        BraidError::Cms(e)
+    }
+}
+
+/// The assembled BrAID system (Figure 3): "BrAID consists of three major
+/// components, an inference engine (IE), a Cache Management System (CMS),
+/// and a remote DBMS. The first two are realized on a workstation and the
+/// third is realized on a separate system."
+pub struct BraidSystem {
+    engine: InferenceEngine,
+    cms: Cms,
+}
+
+impl BraidSystem {
+    /// Assemble a system: the catalog becomes the remote database, the
+    /// knowledge base drives the IE, the config tunes the CMS and the
+    /// simulated workstation–server boundary.
+    pub fn new(catalog: Catalog, kb: KnowledgeBase, config: BraidConfig) -> BraidSystem {
+        let remote = RemoteDbms::new(catalog, config.cost, config.latency);
+        BraidSystem {
+            engine: InferenceEngine::new(kb),
+            cms: Cms::new(remote, config.cms),
+        }
+    }
+
+    /// The inference engine.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    /// The CMS (e.g. to inspect the cache model).
+    pub fn cms(&self) -> &Cms {
+        &self.cms
+    }
+
+    /// Mutable CMS access (e.g. to submit hand-written advice/queries).
+    pub fn cms_mut(&mut self) -> &mut Cms {
+        &mut self.cms
+    }
+
+    /// Combined cost metrics.
+    pub fn metrics(&self) -> CombinedMetrics {
+        CombinedMetrics {
+            remote: self.cms.remote().metrics(),
+            cms: self.cms.metrics(),
+        }
+    }
+
+    /// Reset the remote-side counters (between experiment phases).
+    pub fn reset_remote_metrics(&self) {
+        self.cms.remote().reset_metrics();
+    }
+
+    /// Solve an AI query given as text (`?- k1(X, Y).`), returning the
+    /// solution stream.
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve(&mut self, query: &str, strategy: Strategy) -> Result<Solutions<'_>, BraidError> {
+        let goal = parse_query(query).map_err(|e| BraidError::Parse(e.to_string()))?;
+        self.solve_atom(&goal, strategy)
+    }
+
+    /// Solve an already-parsed AI query.
+    ///
+    /// # Errors
+    /// Propagates IE and CMS errors.
+    pub fn solve_atom(
+        &mut self,
+        goal: &Atom,
+        strategy: Strategy,
+    ) -> Result<Solutions<'_>, BraidError> {
+        Ok(self.engine.solve(&mut self.cms, goal, strategy)?)
+    }
+
+    /// Solve and collect unique, sorted solutions.
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve_all(&mut self, query: &str, strategy: Strategy) -> Result<Vec<Tuple>, BraidError> {
+        let goal = parse_query(query).map_err(|e| BraidError::Parse(e.to_string()))?;
+        Ok(self.engine.solve_all(&mut self.cms, &goal, strategy)?)
+    }
+}
+
+impl fmt::Debug for BraidSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BraidSystem")
+            .field("cache_elements", &self.cms.cache_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_relational::{tuple, Relation, Schema};
+
+    fn system(config: BraidConfig) -> BraidSystem {
+        let mut db = Catalog::new();
+        db.install(
+            Relation::from_tuples(
+                Schema::of_strs("parent", &["p", "c"]),
+                vec![
+                    tuple!["ann", "bob"],
+                    tuple!["bob", "cal"],
+                    tuple!["cal", "dee"],
+                ],
+            )
+            .unwrap(),
+        );
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("parent", 2);
+        kb.add_program(
+            "gp(X, Y) :- parent(X, Z), parent(Z, Y).\n\
+             anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        BraidSystem::new(db, kb, config)
+    }
+
+    #[test]
+    fn end_to_end_solve() {
+        let mut b = system(BraidConfig::default());
+        let sols = b
+            .solve_all("?- anc(ann, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        assert_eq!(sols.len(), 3);
+        let m = b.metrics();
+        assert!(m.remote.requests > 0);
+        assert!(m.cms.queries > 0);
+    }
+
+    #[test]
+    fn repeat_queries_get_cheaper() {
+        let mut b = system(BraidConfig::default());
+        b.solve_all("?- gp(ann, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        let after_first = b.metrics();
+        b.solve_all("?- gp(ann, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        let delta = b.metrics().since(&after_first);
+        assert_eq!(delta.remote.requests, 0, "second run served from cache");
+    }
+
+    #[test]
+    fn loose_coupling_config_disables_caching() {
+        let mut b = system(BraidConfig::with_cms(CmsConfig::loose_coupling()));
+        b.solve_all("?- gp(ann, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        let after_first = b.metrics();
+        b.solve_all("?- gp(ann, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        let delta = b.metrics().since(&after_first);
+        assert!(delta.remote.requests > 0, "loose coupling re-fetches");
+    }
+
+    #[test]
+    fn parse_error_reported() {
+        let mut b = system(BraidConfig::default());
+        assert!(matches!(
+            b.solve_all("?- gp(ann", Strategy::Interpreted),
+            Err(BraidError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn strategies_agree_end_to_end() {
+        for strat in [
+            Strategy::Interpreted,
+            Strategy::ConjunctionCompiled,
+            Strategy::FullyCompiled,
+        ] {
+            let mut b = system(BraidConfig::default());
+            let sols = b.solve_all("?- anc(ann, Y).", strat).unwrap();
+            assert_eq!(sols.len(), 3, "strategy {strat:?}");
+        }
+    }
+}

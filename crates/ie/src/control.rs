@@ -1,0 +1,708 @@
+//! The inference strategy controller (interpreted end of the I-C range).
+//!
+//! "Once the path expression has been transmitted to the CMS, the
+//! inference strategy controller systematically walks the problem graph
+//! and sends CAQL queries in order to solve the problem posed by the
+//! original AI query" (§4.1). The controller here realizes "the well-known
+//! depth-first with chronological backtracking strategy of Prolog" (§4):
+//!
+//! * solutions are produced **one at a time** (single-solution strategy);
+//! * results of CAQL queries are consumed **tuple-at-a-time** from the
+//!   CMS's streams — "the result of the query d1(Y) will be a stream of
+//!   zero or more tuples which are produced \[to\] the IE one at a time"
+//!   (§4.2.2), so backtracking pulls the next tuple on demand;
+//! * base-relation runs are emitted as CAQL queries at the granularity the
+//!   view specifier chose (one atom per query when interpreted, maximal
+//!   conjunctions when conjunction-compiled);
+//! * recursive goals re-extract their subgraph per instance (the static
+//!   problem graph holds "only a single instance of the recursive
+//!   definition ... for each recursive relation occurrence", §4.1).
+
+use crate::error::{IeError, Result};
+use crate::graph::{OrId, OrKind, ProblemGraph};
+use crate::kb::KnowledgeBase;
+use crate::viewspec::{specify_subtree, Segment, SpecifiedGraph, SpecifyOptions};
+use braid_caql::{Atom, ConjunctiveQuery, Literal, Subst, Term};
+use braid_cms::{AnswerStream, Cms};
+use braid_relational::{Tuple, Value};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Controller knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlOptions {
+    /// View-spec granularity (see [`SpecifyOptions`]).
+    pub max_conj: usize,
+    /// Maximum number of dynamic recursive expansions before aborting
+    /// (guards against unbounded recursion over cyclic data).
+    pub max_expansions: usize,
+}
+
+impl Default for ControlOptions {
+    fn default() -> Self {
+        ControlOptions {
+            max_conj: usize::MAX,
+            max_expansions: 100_000,
+        }
+    }
+}
+
+/// A unit of pending work on the resolution agenda.
+#[derive(Debug, Clone)]
+enum Work {
+    /// Solve the goal of an OR node.
+    Goal(OrId),
+    /// Emit the CAQL query of a view-spec run and iterate its stream.
+    Run { spec_idx: usize },
+    /// Evaluate a built-in constraint.
+    Constraint(Literal),
+}
+
+/// A choice point.
+struct Choice {
+    /// Remaining agenda after this choice's goal succeeds.
+    agenda: VecDeque<Work>,
+    /// Bindings at the choice point.
+    subst: Subst,
+    kind: ChoiceKind,
+}
+
+enum ChoiceKind {
+    /// Alternative rules of an OR node (chronological order).
+    Rules { or: OrId, next: usize },
+    /// Tuples of a CMS answer stream (pulled on demand).
+    Tuples {
+        stream: AnswerStream,
+        params: Vec<Term>,
+    },
+}
+
+enum Exec {
+    Solution(Subst),
+    Pushed,
+    Failed,
+}
+
+/// The running solver for one AI query: an iterator of solutions.
+pub struct SolutionStream<'a> {
+    kb: &'a KnowledgeBase,
+    cms: &'a mut Cms,
+    graph: ProblemGraph,
+    spec: SpecifiedGraph,
+    options: ControlOptions,
+    goal: Atom,
+    stack: Vec<Choice>,
+    started: bool,
+    finished: bool,
+    expansions: usize,
+    spec_counter: usize,
+    rename_counter: usize,
+    queries_emitted: u64,
+}
+
+impl<'a> SolutionStream<'a> {
+    /// Start solving `goal` over a specified problem graph. `spec_counter`
+    /// continues the advice numbering for dynamically expanded recursion.
+    pub fn new(
+        kb: &'a KnowledgeBase,
+        cms: &'a mut Cms,
+        graph: ProblemGraph,
+        spec: SpecifiedGraph,
+        goal: Atom,
+        options: ControlOptions,
+    ) -> SolutionStream<'a> {
+        let spec_counter = spec.specs.len();
+        SolutionStream {
+            kb,
+            cms,
+            graph,
+            spec,
+            options,
+            goal,
+            stack: Vec::new(),
+            started: false,
+            finished: false,
+            expansions: 0,
+            spec_counter,
+            rename_counter: 1_000_000, // clear of static extraction names
+            queries_emitted: 0,
+        }
+    }
+
+    /// CAQL queries emitted so far.
+    pub fn queries_emitted(&self) -> u64 {
+        self.queries_emitted
+    }
+
+    /// Produce the next solution (the single-solution strategy's unit).
+    pub fn next_solution(&mut self) -> Option<Result<Tuple>> {
+        if self.finished {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            let agenda: VecDeque<Work> = [Work::Goal(self.graph.root)].into();
+            match self.execute(agenda, Subst::new()) {
+                Ok(Exec::Solution(s)) => return Some(self.emit(s)),
+                Ok(Exec::Pushed) | Ok(Exec::Failed) => {}
+                Err(e) => {
+                    self.finished = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        loop {
+            enum Pulled {
+                Exhausted,
+                Rule { and: usize, subst: Subst },
+                Tuple { subst: Subst },
+                Retry,
+            }
+            let pulled = {
+                let Some(top) = self.stack.last_mut() else {
+                    self.finished = true;
+                    return None;
+                };
+                // Pull the next alternative from the top choice point.
+                match &mut top.kind {
+                    ChoiceKind::Rules { or, next } => {
+                        let node = &self.graph.or_nodes[*or];
+                        match node.children.get(*next) {
+                            None => Pulled::Exhausted,
+                            Some(&and) => {
+                                *next += 1;
+                                // Re-establish head unification with the
+                                // *runtime* goal instance. Extraction
+                                // unified statically, but bindings flowing
+                                // goal-var ← head-constant (a fact like
+                                // k3(ann) matched against k3(X)) and
+                                // runtime-constant vs head-constant
+                                // conflicts only exist now.
+                                let goal_inst = top.subst.apply_atom(&node.goal);
+                                let head = &self.graph.and_nodes[and].head;
+                                match braid_caql::unify_atoms(&goal_inst, head) {
+                                    None => Pulled::Retry,
+                                    Some(mgu) => {
+                                        let mut subst = top.subst.clone();
+                                        for (v, t) in mgu.iter() {
+                                            subst.insert(v.to_string(), t.clone());
+                                        }
+                                        Pulled::Rule { and, subst }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    ChoiceKind::Tuples { stream, params } => match stream.next_tuple() {
+                        None => Pulled::Exhausted,
+                        Some(t) => match bind_tuple(&top.subst, params, &t) {
+                            Some(s) => Pulled::Tuple { subst: s },
+                            // Inconsistent tuple (repeated variable
+                            // mismatch): try the next one.
+                            None => Pulled::Retry,
+                        },
+                    },
+                }
+            };
+            let (subst, mut agenda) = match pulled {
+                Pulled::Exhausted => {
+                    self.stack.pop();
+                    continue;
+                }
+                Pulled::Retry => continue,
+                Pulled::Rule { and, subst } => (subst, self.segments_agenda(and)),
+                Pulled::Tuple { subst } => (subst, VecDeque::new()),
+            };
+            let cont = self
+                .stack
+                .last()
+                .map(|c| c.agenda.clone())
+                .unwrap_or_default();
+            agenda.extend(cont);
+            match self.execute(agenda, subst) {
+                Ok(Exec::Solution(s)) => return Some(self.emit(s)),
+                Ok(Exec::Pushed) | Ok(Exec::Failed) => {}
+                Err(e) => {
+                    self.finished = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+
+    /// Deterministic execution until the next choice point.
+    fn execute(&mut self, mut agenda: VecDeque<Work>, mut subst: Subst) -> Result<Exec> {
+        loop {
+            let Some(work) = agenda.pop_front() else {
+                return Ok(Exec::Solution(subst));
+            };
+            match work {
+                Work::Constraint(lit) => match subst.apply_literal(&lit) {
+                    Literal::Cmp(c) => {
+                        if !c.lhs.vars().is_empty() || !c.rhs.vars().is_empty() {
+                            return Err(IeError::Builtin(format!(
+                                "comparison `{c}` has unbound variables"
+                            )));
+                        }
+                        match c.eval() {
+                            Ok(true) => {}
+                            Ok(false) => return Ok(Exec::Failed),
+                            Err(e) => return Err(IeError::Builtin(e.to_string())),
+                        }
+                    }
+                    Literal::Bind { var, expr } => {
+                        if !expr.vars().is_empty() {
+                            return Err(IeError::Builtin(format!(
+                                "`{var} is {expr}` has unbound variables"
+                            )));
+                        }
+                        let val = expr.eval().map_err(|e| IeError::Builtin(e.to_string()))?;
+                        match subst.apply_term(&Term::Var(var.clone())) {
+                            Term::Const(existing) => {
+                                if existing != val {
+                                    return Ok(Exec::Failed);
+                                }
+                            }
+                            Term::Var(v) => subst.insert(v, Term::Const(val)),
+                        }
+                    }
+                    Literal::Neg(a) => {
+                        if self.negation_holds(&a)? {
+                            // `not a` succeeded: continue.
+                        } else {
+                            return Ok(Exec::Failed);
+                        }
+                    }
+                    Literal::Atom(a) => {
+                        return Err(IeError::Builtin(format!(
+                            "unexpected bare atom `{a}` as constraint"
+                        )))
+                    }
+                },
+                Work::Run { spec_idx } => {
+                    let view = &self.spec.specs[spec_idx];
+                    let params: Vec<Term> = view
+                        .params
+                        .iter()
+                        .map(|(t, _)| subst.apply_term(t))
+                        .collect();
+                    let head = Atom::new(view.name.clone(), params.clone());
+                    let body: Vec<Literal> =
+                        view.body.iter().map(|l| subst.apply_literal(l)).collect();
+                    let q = ConjunctiveQuery::new(head, body);
+                    self.queries_emitted += 1;
+                    let stream = self.cms.query(q).map_err(IeError::from)?;
+                    self.stack.push(Choice {
+                        agenda,
+                        subst,
+                        kind: ChoiceKind::Tuples { stream, params },
+                    });
+                    return Ok(Exec::Pushed);
+                }
+                Work::Goal(or) => {
+                    let node = &self.graph.or_nodes[or];
+                    let or = if node.kind == OrKind::RecursiveCut {
+                        self.expand_recursive(or, &subst)?
+                    } else {
+                        or
+                    };
+                    self.stack.push(Choice {
+                        agenda,
+                        subst,
+                        kind: ChoiceKind::Rules { or, next: 0 },
+                    });
+                    return Ok(Exec::Pushed);
+                }
+            }
+        }
+    }
+
+    /// The agenda contributed by one AND node, in segment order.
+    fn segments_agenda(&self, and: usize) -> VecDeque<Work> {
+        let mut out = VecDeque::new();
+        if let Some(segments) = self.spec.segments.get(&and) {
+            for seg in segments {
+                match seg {
+                    Segment::Run { spec, .. } => out.push_back(Work::Run { spec_idx: *spec }),
+                    Segment::Goal { or, .. } => out.push_back(Work::Goal(*or)),
+                    Segment::Constraint { item } => {
+                        if let crate::graph::BodyItem::Constraint(l) =
+                            &self.graph.and_nodes[and].items[*item]
+                        {
+                            out.push_back(Work::Constraint(l.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Expand a recursive occurrence for the current bindings: extract a
+    /// fresh instantiated subtree, specify it, and return its root.
+    fn expand_recursive(&mut self, or: OrId, subst: &Subst) -> Result<OrId> {
+        self.expansions += 1;
+        if self.expansions > self.options.max_expansions {
+            return Err(IeError::DepthExceeded(self.options.max_expansions));
+        }
+        let goal = subst.apply_atom(&self.graph.or_nodes[or].goal);
+        self.rename_counter += 1;
+        let new_root = self
+            .graph
+            .extract_into(self.kb, &goal, &mut self.rename_counter)?;
+        let mut bound: BTreeSet<String> = goal
+            .args
+            .iter()
+            .filter_map(|t| t.as_var().map(str::to_string))
+            .filter(|v| matches!(subst.apply_term(&Term::var(v.clone())), Term::Const(_)))
+            .collect();
+        // Constants are trivially bound; variables already bound upstream
+        // count too — approximate with the subst-resolved check above.
+        specify_subtree(
+            &self.graph,
+            new_root,
+            SpecifyOptions {
+                max_conj: self.options.max_conj,
+            },
+            &mut self.spec,
+            &mut self.spec_counter,
+            &mut bound,
+        );
+        Ok(new_root)
+    }
+
+    /// Negation as failure: `not goal` holds iff the (ground or
+    /// range-restricted) goal has no solution.
+    fn negation_holds(&mut self, goal: &Atom) -> Result<bool> {
+        if self.kb.is_base(&goal.pred) {
+            // Probe through the CMS.
+            let vars: Vec<Term> = goal
+                .args
+                .iter()
+                .filter_map(|t| t.as_var())
+                .map(Term::var)
+                .collect();
+            let head = Atom::new("neg_probe", vars);
+            let q = ConjunctiveQuery::new(head, vec![Literal::Atom(goal.clone())]);
+            self.queries_emitted += 1;
+            let mut stream = self.cms.query(q).map_err(IeError::from)?;
+            return Ok(stream.next_tuple().is_none());
+        }
+        // User-defined: run a nested solver over a fresh extraction.
+        let graph = ProblemGraph::extract(self.kb, goal)?;
+        let spec = crate::viewspec::specify(
+            &graph,
+            SpecifyOptions {
+                max_conj: self.options.max_conj,
+            },
+            self.spec_counter + 10_000,
+        );
+        let mut sub = SolutionStream::new(
+            self.kb,
+            &mut *self.cms,
+            graph,
+            spec,
+            goal.clone(),
+            self.options,
+        );
+        match sub.next_solution() {
+            None => Ok(true),
+            Some(Ok(_)) => Ok(false),
+            Some(Err(e)) => Err(e),
+        }
+    }
+
+    /// Turn a successful substitution into a solution tuple over the root
+    /// goal's arguments.
+    fn emit(&mut self, subst: Subst) -> Result<Tuple> {
+        let inst = subst.apply_atom(&self.goal);
+        let values: Vec<Value> = inst
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => v.clone(),
+                // An unbound answer variable (possible only for unsafe
+                // programs, which the KB rejects) surfaces as null.
+                Term::Var(_) => Value::Null,
+            })
+            .collect();
+        Ok(Tuple::new(values))
+    }
+}
+
+impl Iterator for SolutionStream<'_> {
+    type Item = Result<Tuple>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_solution()
+    }
+}
+
+/// Bind a stream tuple against the (subst-resolved) head parameters.
+fn bind_tuple(base: &Subst, params: &[Term], tuple: &Tuple) -> Option<Subst> {
+    let mut s = base.clone();
+    for (p, v) in params.iter().zip(tuple.values()) {
+        match s.apply_term(p) {
+            Term::Const(c) => {
+                if !c.semantic_eq(v) {
+                    return None;
+                }
+            }
+            Term::Var(name) => s.insert(name, Term::Const(v.clone())),
+        }
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewspec::specify;
+    use braid_caql::parse_atom;
+    use braid_cms::CmsConfig;
+    use braid_relational::{tuple, Relation, Schema};
+    use braid_remote::{Catalog, RemoteDbms};
+
+    fn cms() -> Cms {
+        let mut c = Catalog::new();
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("parent", &["p", "c"]),
+                vec![
+                    tuple!["ann", "bob"],
+                    tuple!["ann", "cal"],
+                    tuple!["bob", "dee"],
+                    tuple!["cal", "eli"],
+                    tuple!["dee", "fay"],
+                ],
+            )
+            .unwrap(),
+        );
+        Cms::new(RemoteDbms::with_defaults(c), CmsConfig::braid())
+    }
+
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("parent", 2);
+        kb.add_program(
+            "gp(X, Y) :- parent(X, Z), parent(Z, Y).\n\
+             anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).\n\
+             notgp(X) :- parent(X, Y), not gp(X, Y).",
+        )
+        .unwrap();
+        kb
+    }
+
+    fn solve(kb: &KnowledgeBase, cms: &mut Cms, goal: &str) -> Vec<Tuple> {
+        let goal = parse_atom(goal).unwrap();
+        let graph = ProblemGraph::extract(kb, &goal).unwrap();
+        let spec = specify(&graph, SpecifyOptions::default(), 0);
+        let stream = SolutionStream::new(kb, cms, graph, spec, goal, ControlOptions::default());
+        let mut out: Vec<Tuple> = stream.map(|r| r.unwrap()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn conjunctive_rule_solves() {
+        let mut cms = cms();
+        let sols = solve(&kb(), &mut cms, "gp(ann, Y)");
+        assert_eq!(sols, vec![tuple!["ann", "dee"], tuple!["ann", "eli"]]);
+    }
+
+    #[test]
+    fn recursive_ancestor_solves() {
+        let mut cms = cms();
+        let sols = solve(&kb(), &mut cms, "anc(ann, Y)");
+        let ys: Vec<String> = sols.iter().map(|t| t.values()[1].to_string()).collect();
+        assert_eq!(ys, vec!["bob", "cal", "dee", "eli", "fay"]);
+    }
+
+    #[test]
+    fn single_solution_on_demand() {
+        let mut cms = cms();
+        let goal = parse_atom("anc(ann, Y)").unwrap();
+        let kb = kb();
+        let graph = ProblemGraph::extract(&kb, &goal).unwrap();
+        let spec = specify(&graph, SpecifyOptions::default(), 0);
+        let mut stream =
+            SolutionStream::new(&kb, &mut cms, graph, spec, goal, ControlOptions::default());
+        // Pull exactly one solution: the machine must not have computed
+        // the whole answer set eagerly.
+        let first = stream.next_solution().unwrap().unwrap();
+        assert_eq!(first.arity(), 2);
+        let emitted_after_one = stream.queries_emitted();
+        // Finishing requires more CAQL queries (recursion expands on
+        // demand).
+        let _rest: Vec<_> = stream.by_ref().collect();
+        assert!(stream.queries_emitted() > emitted_after_one);
+    }
+
+    #[test]
+    fn ground_query_acts_as_test() {
+        let mut cms = cms();
+        let sols = solve(&kb(), &mut cms, "gp(ann, dee)");
+        assert_eq!(sols.len(), 1);
+        let none = solve(&kb(), &mut cms, "gp(ann, zzz)");
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let mut cms = cms();
+        // notgp(X): parents X such that some child pair (X,Y) is not a
+        // grandparent pair — i.e., every parent (gp(X,Y) never holds for a
+        // parent edge since Y is a direct child, not grandchild).
+        let sols = solve(&kb(), &mut cms, "notgp(X)");
+        assert!(!sols.is_empty());
+    }
+
+    #[test]
+    fn interpreted_granularity_emits_more_queries() {
+        let kbx = kb();
+        let goal = parse_atom("gp(ann, Y)").unwrap();
+
+        let run = |max_conj: usize| -> u64 {
+            let mut cms = cms();
+            let graph = ProblemGraph::extract(&kbx, &goal).unwrap();
+            let spec = specify(&graph, SpecifyOptions { max_conj }, 0);
+            let mut stream = SolutionStream::new(
+                &kbx,
+                &mut cms,
+                graph,
+                spec,
+                goal.clone(),
+                ControlOptions {
+                    max_conj,
+                    ..ControlOptions::default()
+                },
+            );
+            while stream.next_solution().is_some() {}
+            stream.queries_emitted()
+        };
+        let interpreted = run(1);
+        let compiled = run(usize::MAX);
+        assert!(
+            interpreted > compiled,
+            "tuple-at-a-time interpretation emits more queries \
+             ({interpreted} vs {compiled})"
+        );
+    }
+
+    #[test]
+    fn fact_head_constants_bind_goal_variables() {
+        // Regression: a guard defined by facts with constant heads must
+        // constrain the goal variable at runtime — pick(X, Y) may only
+        // succeed for X ∈ {ann} via k3 and X ∈ {bob} via k4.
+        let mut cms = cms();
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("parent", 2);
+        kb.add_program(
+            "k3(ann).
+             k4(bob).
+             pick(X, Y) :- k3(X), parent(X, Y).
+             pick(X, Y) :- k4(X), parent(X, Y).",
+        )
+        .unwrap();
+        let sols = solve(&kb, &mut cms, "pick(X, Y)");
+        assert_eq!(
+            sols,
+            vec![
+                tuple!["ann", "bob"],
+                tuple!["ann", "cal"],
+                tuple!["bob", "dee"],
+            ]
+        );
+    }
+
+    #[test]
+    fn runtime_constant_conflicts_with_head_constant() {
+        // Goal variable bound at runtime to c must reject fact heads with
+        // a different constant.
+        let mut cms = cms();
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("parent", 2);
+        kb.add_program(
+            "special(ann).
+             special(dee).
+             sp_child(X, Y) :- parent(X, Y), special(X).",
+        )
+        .unwrap();
+        let sols = solve(&kb, &mut cms, "sp_child(X, Y)");
+        let xs: std::collections::BTreeSet<String> =
+            sols.iter().map(|t| t.values()[0].to_string()).collect();
+        assert_eq!(
+            xs.into_iter().collect::<Vec<_>>(),
+            vec!["ann", "dee"],
+            "only special parents qualify"
+        );
+    }
+
+    #[test]
+    fn arithmetic_constraints_evaluate() {
+        let mut c = Catalog::new();
+        c.install(
+            Relation::from_tuples(
+                Schema::new(
+                    "num",
+                    vec![braid_relational::Column::new(
+                        "n",
+                        braid_relational::ValueType::Int,
+                    )],
+                )
+                .unwrap(),
+                vec![tuple![1], tuple![5], tuple![9]],
+            )
+            .unwrap(),
+        );
+        let mut cms = Cms::new(RemoteDbms::with_defaults(c), CmsConfig::braid());
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("num", 1);
+        kb.add_program("big(X, Y) :- num(X), X > 3, Y is X * 2.")
+            .unwrap();
+        let sols = solve(&kb, &mut cms, "big(X, Y)");
+        assert_eq!(sols, vec![tuple![5, 10], tuple![9, 18]]);
+    }
+
+    #[test]
+    fn expansion_limit_guards_cyclic_data() {
+        let mut c = Catalog::new();
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("edge", &["a", "b"]),
+                vec![tuple!["n1", "n2"], tuple!["n2", "n1"]],
+            )
+            .unwrap(),
+        );
+        let mut cms = Cms::new(RemoteDbms::with_defaults(c), CmsConfig::braid());
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("edge", 2);
+        kb.add_program(
+            "reach(X, Y) :- edge(X, Y).\n\
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).",
+        )
+        .unwrap();
+        let goal = parse_atom("reach(n1, Y)").unwrap();
+        let graph = ProblemGraph::extract(&kb, &goal).unwrap();
+        let spec = specify(&graph, SpecifyOptions::default(), 0);
+        let stream = SolutionStream::new(
+            &kb,
+            &mut cms,
+            graph,
+            spec,
+            goal,
+            ControlOptions {
+                max_conj: usize::MAX,
+                max_expansions: 50,
+            },
+        );
+        let mut saw_error = false;
+        for r in stream {
+            if let Err(IeError::DepthExceeded(_)) = r {
+                saw_error = true;
+                break;
+            }
+        }
+        assert!(saw_error, "cyclic data must hit the expansion bound");
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for the inference engine.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, IeError>;
+
+/// Errors raised by the inference engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IeError {
+    /// The query's predicate is neither user-defined, base, nor built-in.
+    UnknownPredicate(String),
+    /// A rule failed validation (unsafe, arity conflicts, ...).
+    BadRule { rule: String, reason: String },
+    /// Inference exceeded the configured depth bound (likely unbounded
+    /// recursion over cyclic data in the interpreted strategy).
+    DepthExceeded(usize),
+    /// An error reported by the CMS.
+    Cms(String),
+    /// A built-in literal failed to evaluate (e.g. unbound arithmetic).
+    Builtin(String),
+}
+
+impl fmt::Display for IeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IeError::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
+            IeError::BadRule { rule, reason } => write!(f, "bad rule `{rule}`: {reason}"),
+            IeError::DepthExceeded(d) => write!(f, "inference depth bound {d} exceeded"),
+            IeError::Cms(m) => write!(f, "CMS error: {m}"),
+            IeError::Builtin(m) => write!(f, "builtin evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IeError {}
+
+impl From<braid_cms::CmsError> for IeError {
+    fn from(e: braid_cms::CmsError) -> Self {
+        IeError::Cms(e.to_string())
+    }
+}

@@ -1,0 +1,374 @@
+//! The problem graph extractor.
+//!
+//! "The problem graph extractor extracts from the predicate connection
+//! graph that subgraph based on rules and second-order knowledge relevant
+//! to the AI query. A problem graph is an and/or graph consisting of
+//! alternating levels of AND nodes and OR nodes. ... Problem graphs are
+//! constructed by performing partial evaluation of an AI query. ... the
+//! evaluation procedure is applied only to relations that are
+//! user-defined and not to database relations or to built-in relations.
+//! Thus, the problem graph is a partial proof-tree for the query where the
+//! leaves of the graph are either database relations or built-in
+//! relations. ... Although [recursive relations] are user-defined, only a
+//! single instance of the recursive definition will appear in the subgraph
+//! for each recursive relation occurrence" (§4.1).
+
+use crate::error::{IeError, Result};
+use crate::kb::{GoalKind, KnowledgeBase};
+use braid_caql::{unify_atoms, Atom, Literal};
+use std::fmt;
+
+/// Index of an OR node.
+pub type OrId = usize;
+/// Index of an AND node.
+pub type AndId = usize;
+
+/// What an OR node's goal refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrKind {
+    /// A database relation — a leaf; becomes (part of) a CAQL query.
+    Base,
+    /// A user-defined relation with expanded rule alternatives.
+    UserDefined,
+    /// A recursive occurrence cut off after its single expansion — a leaf
+    /// for traversal purposes, re-entered at inference time.
+    RecursiveCut,
+}
+
+/// An OR node: "an OR node contains a single relation occurrence (or
+/// subgoal) and its successors form a subgraph that represents the
+/// different clauses (rules) that define that relation" (§4.1).
+#[derive(Debug, Clone)]
+pub struct OrNode {
+    /// The (partially instantiated) goal.
+    pub goal: Atom,
+    /// Classification.
+    pub kind: OrKind,
+    /// Child AND nodes, one per applicable rule, in rule order.
+    pub children: Vec<AndId>,
+}
+
+/// One element of an AND node's body, in body order.
+#[derive(Debug, Clone)]
+pub enum BodyItem {
+    /// A subgoal (base or user-defined): an OR node.
+    Goal(OrId),
+    /// A built-in constraint (comparison, bind, negation) evaluated by the
+    /// IE or pushed into CAQL queries.
+    Constraint(Literal),
+}
+
+/// An AND node: "an AND node represents a rule, i.e., \[it\] represents the
+/// head of the rule and its successors (which are anded together)
+/// represent the antecedents in the body of the rule" (§4.1).
+#[derive(Debug, Clone)]
+pub struct AndNode {
+    /// Originating rule id.
+    pub rule_id: String,
+    /// The rule head unified with the parent goal.
+    pub head: Atom,
+    /// Instantiated body, in order.
+    pub items: Vec<BodyItem>,
+}
+
+/// The problem graph.
+#[derive(Debug, Clone)]
+pub struct ProblemGraph {
+    /// The root OR node (the AI query).
+    pub root: OrId,
+    /// All OR nodes.
+    pub or_nodes: Vec<OrNode>,
+    /// All AND nodes.
+    pub and_nodes: Vec<AndNode>,
+}
+
+impl ProblemGraph {
+    /// Extract the problem graph for `goal`.
+    ///
+    /// # Errors
+    /// Returns [`IeError::UnknownPredicate`] when a goal is neither a base
+    /// relation nor user-defined.
+    pub fn extract(kb: &KnowledgeBase, goal: &Atom) -> Result<ProblemGraph> {
+        let mut g = ProblemGraph {
+            root: 0,
+            or_nodes: Vec::new(),
+            and_nodes: Vec::new(),
+        };
+        let mut counter = 0usize;
+        let mut stack: Vec<String> = Vec::new();
+        let root = g.descend(kb, goal, &mut stack, &mut counter)?;
+        g.root = root;
+        Ok(g)
+    }
+
+    fn descend(
+        &mut self,
+        kb: &KnowledgeBase,
+        goal: &Atom,
+        stack: &mut Vec<String>,
+        counter: &mut usize,
+    ) -> Result<OrId> {
+        match kb.kind_of(goal) {
+            GoalKind::Base => {
+                let id = self.or_nodes.len();
+                self.or_nodes.push(OrNode {
+                    goal: goal.clone(),
+                    kind: OrKind::Base,
+                    children: Vec::new(),
+                });
+                Ok(id)
+            }
+            GoalKind::Unknown => Err(IeError::UnknownPredicate(goal.pred.clone())),
+            GoalKind::UserDefined => {
+                if stack.iter().any(|p| p == &goal.pred) {
+                    // Recursive occurrence: single expansion only.
+                    let id = self.or_nodes.len();
+                    self.or_nodes.push(OrNode {
+                        goal: goal.clone(),
+                        kind: OrKind::RecursiveCut,
+                        children: Vec::new(),
+                    });
+                    return Ok(id);
+                }
+                // Reserve the OR node before expanding children.
+                let id = self.or_nodes.len();
+                self.or_nodes.push(OrNode {
+                    goal: goal.clone(),
+                    kind: OrKind::UserDefined,
+                    children: Vec::new(),
+                });
+                stack.push(goal.pred.clone());
+                let mut children = Vec::new();
+                for rule in kb.rules_for(&goal.pred) {
+                    *counter += 1;
+                    let fresh = rule.clause.rename(*counter);
+                    // Constant propagation: "constants from the AI query
+                    // and from the parts of the knowledge base ... are
+                    // pushed along variable sharing and unification arcs"
+                    // (§4.1) — rules that cannot unify are culled here.
+                    let Some(mgu) = unify_atoms(&fresh.head, goal) else {
+                        continue;
+                    };
+                    let inst = fresh.apply(&mgu);
+                    let mut items = Vec::with_capacity(inst.body.len());
+                    for lit in &inst.body {
+                        match lit {
+                            Literal::Atom(a) => {
+                                let child = self.descend(kb, a, stack, counter)?;
+                                items.push(BodyItem::Goal(child));
+                            }
+                            other => items.push(BodyItem::Constraint(other.clone())),
+                        }
+                    }
+                    let and_id = self.and_nodes.len();
+                    self.and_nodes.push(AndNode {
+                        rule_id: rule.id.clone(),
+                        head: inst.head.clone(),
+                        items,
+                    });
+                    children.push(and_id);
+                }
+                stack.pop();
+                self.or_nodes[id].children = children;
+                Ok(id)
+            }
+        }
+    }
+
+    /// Extract a fresh subtree for `goal` into this graph (used by the
+    /// controller to expand a recursive occurrence with its runtime
+    /// bindings) and return its root OR node.
+    ///
+    /// # Errors
+    /// Returns [`IeError::UnknownPredicate`] for unresolvable goals.
+    pub fn extract_into(
+        &mut self,
+        kb: &KnowledgeBase,
+        goal: &Atom,
+        counter: &mut usize,
+    ) -> Result<OrId> {
+        let mut stack = Vec::new();
+        self.descend(kb, goal, &mut stack, counter)
+    }
+
+    /// The OR node at `id`.
+    pub fn or_node(&self, id: OrId) -> &OrNode {
+        &self.or_nodes[id]
+    }
+
+    /// The AND node at `id`.
+    pub fn and_node(&self, id: AndId) -> &AndNode {
+        &self.and_nodes[id]
+    }
+
+    /// All base-relation leaf goals — "the base relation fringe of the
+    /// problem graph" (§4.2.1), deduplicated by predicate name; this is
+    /// the paper's simplest form of advice.
+    pub fn base_relation_fringe(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for n in &self.or_nodes {
+            if n.kind == OrKind::Base && !out.contains(&n.goal.pred.as_str()) {
+                out.push(&n.goal.pred);
+            }
+        }
+        out
+    }
+
+    /// Rule ids of the alternatives under an OR node.
+    pub fn alternative_rules(&self, id: OrId) -> Vec<&str> {
+        self.or_nodes[id]
+            .children
+            .iter()
+            .map(|&a| self.and_nodes[a].rule_id.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for ProblemGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn or_node(
+            g: &ProblemGraph,
+            id: OrId,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let n = &g.or_nodes[id];
+            let tag = match n.kind {
+                OrKind::Base => "base",
+                OrKind::UserDefined => "or",
+                OrKind::RecursiveCut => "rec",
+            };
+            writeln!(f, "{}[{tag}] {}", "  ".repeat(depth), n.goal)?;
+            for &a in &n.children {
+                let and = &g.and_nodes[a];
+                writeln!(
+                    f,
+                    "{}[and {}] {}",
+                    "  ".repeat(depth + 1),
+                    and.rule_id,
+                    and.head
+                )?;
+                for item in &and.items {
+                    match item {
+                        BodyItem::Goal(o) => or_node(g, *o, depth + 2, f)?,
+                        BodyItem::Constraint(c) => {
+                            writeln!(f, "{}[cstr] {}", "  ".repeat(depth + 2), c)?
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        or_node(self, self.root, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_caql::parse_atom;
+
+    fn example1_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("b1", 2);
+        kb.declare_base("b2", 2);
+        kb.declare_base("b3", 3);
+        kb.add_program(
+            "k1(X, Y) :- b1(c1, Y), k2(X, Y).\n\
+             k2(X, Y) :- b2(X, Z), b3(Z, c2, Y).\n\
+             k2(X, Y) :- b3(X, c3, Z), b1(Z, Y).",
+        )
+        .unwrap();
+        kb
+    }
+
+    #[test]
+    fn example1_graph_shape() {
+        let kb = example1_kb();
+        let g = ProblemGraph::extract(&kb, &parse_atom("k1(X, Y)").unwrap()).unwrap();
+        let root = g.or_node(g.root);
+        assert_eq!(root.kind, OrKind::UserDefined);
+        assert_eq!(root.children.len(), 1); // only R1 defines k1
+        let r1 = g.and_node(root.children[0]);
+        assert_eq!(r1.rule_id, "R1");
+        assert_eq!(r1.items.len(), 2); // b1 goal + k2 goal
+                                       // k2's OR node has both alternatives.
+        let BodyItem::Goal(k2) = &r1.items[1] else {
+            panic!("expected goal item")
+        };
+        assert_eq!(g.alternative_rules(*k2), vec!["R2", "R3"]);
+    }
+
+    #[test]
+    fn constants_propagate_into_bodies() {
+        let kb = example1_kb();
+        // k2(X, c9): both rule bodies get Y := c9.
+        let g = ProblemGraph::extract(&kb, &parse_atom("k2(X, c9)").unwrap()).unwrap();
+        let root = g.or_node(g.root);
+        let r2 = g.and_node(root.children[0]);
+        let BodyItem::Goal(b3) = &r2.items[1] else {
+            panic!("expected goal")
+        };
+        assert_eq!(g.or_node(*b3).goal.to_string(), "b3(Z_1, c2, c9)");
+    }
+
+    #[test]
+    fn non_unifying_rule_culled() {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("b", 1);
+        kb.add_program(
+            "k(c1) :- b(c1).\n\
+             k(c2) :- b(c2).",
+        )
+        .unwrap();
+        let g = ProblemGraph::extract(&kb, &parse_atom("k(c1)").unwrap()).unwrap();
+        assert_eq!(g.or_node(g.root).children.len(), 1);
+    }
+
+    #[test]
+    fn recursion_expanded_once() {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("parent", 2);
+        kb.add_program(
+            "anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let g = ProblemGraph::extract(&kb, &parse_atom("anc(ann, Y)").unwrap()).unwrap();
+        let root = g.or_node(g.root);
+        assert_eq!(root.children.len(), 2);
+        // The recursive rule's anc subgoal is a cut leaf.
+        let rec_rule = g.and_node(root.children[1]);
+        let BodyItem::Goal(inner) = &rec_rule.items[1] else {
+            panic!("expected goal")
+        };
+        assert_eq!(g.or_node(*inner).kind, OrKind::RecursiveCut);
+        assert!(g.or_node(*inner).children.is_empty());
+    }
+
+    #[test]
+    fn fringe_lists_base_relations_once() {
+        let kb = example1_kb();
+        let g = ProblemGraph::extract(&kb, &parse_atom("k1(X, Y)").unwrap()).unwrap();
+        assert_eq!(g.base_relation_fringe(), vec!["b1", "b2", "b3"]);
+    }
+
+    #[test]
+    fn constraints_kept_on_and_nodes() {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("age", 2);
+        kb.add_program("adult(X) :- age(X, A), A >= 18.").unwrap();
+        let g = ProblemGraph::extract(&kb, &parse_atom("adult(X)").unwrap()).unwrap();
+        let and = g.and_node(g.or_node(g.root).children[0]);
+        assert!(matches!(and.items[1], BodyItem::Constraint(_)));
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let kb = example1_kb();
+        let g = ProblemGraph::extract(&kb, &parse_atom("k1(X, Y)").unwrap()).unwrap();
+        let s = g.to_string();
+        assert!(s.contains("[and R1]"));
+        assert!(s.contains("[base]"));
+    }
+}

@@ -1,0 +1,344 @@
+//! The knowledge base: Horn rules, base-relation declarations and
+//! second-order assertions (SOAs).
+//!
+//! "In addition to the first-order expressions typically contained in a
+//! logic-based knowledge base, we include in our knowledge base limited
+//! kinds of second-order assertions (SOA's), in particular, mutual
+//! exclusion and functional dependency SOA's useful for problem graph
+//! culling and constraint, and SOA's that define certain relations as
+//! recursive structures of other relations" (§4).
+
+use crate::error::{IeError, Result};
+use braid_caql::{parse_program, Atom, ConjunctiveQuery, Literal};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A named Horn rule. Structurally a conjunctive query; the id feeds view
+/// specifications' provenance lists ("(Rj,...,Rk)", §4.2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Rule identifier (`R1`, `R2`, ...).
+    pub id: String,
+    /// The clause.
+    pub clause: ConjunctiveQuery,
+}
+
+/// A second-order assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Soa {
+    /// The listed rules (alternative definitions of one relation) are
+    /// mutually exclusive: at most one can succeed for any instance.
+    /// Drives alternation selection terms (`^1`) in path expressions and
+    /// OR-branch culling.
+    MutexRules(Vec<String>),
+    /// A functional dependency on a base relation: the `from` argument
+    /// positions determine the `to` positions. Used by the shaper's
+    /// producer-consumer analysis (§4.1).
+    FunctionalDependency {
+        /// Relation name.
+        pred: String,
+        /// Determining argument positions.
+        from: Vec<usize>,
+        /// Determined argument positions.
+        to: Vec<usize>,
+    },
+    /// Declares `pred` as the transitive closure of binary base relation
+    /// `base` — an SOA "defin\[ing\] certain relations as recursive
+    /// structures of other relations" (§4, citing \[OHAR87\]). The fully
+    /// compiled strategy exploits it with a fixed-point operator.
+    Closure {
+        /// The recursive relation.
+        pred: String,
+        /// The underlying base relation.
+        base: String,
+    },
+}
+
+/// The knowledge base. "The IE controls the knowledge base" (§3).
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    rules: Vec<Rule>,
+    base_relations: BTreeMap<String, usize>, // name → arity
+    soas: Vec<Soa>,
+}
+
+impl KnowledgeBase {
+    /// An empty knowledge base.
+    pub fn new() -> KnowledgeBase {
+        KnowledgeBase::default()
+    }
+
+    /// Declare a base (database) relation with its arity. Goals over base
+    /// relations become CAQL queries instead of rule expansions.
+    pub fn declare_base(&mut self, name: impl Into<String>, arity: usize) {
+        self.base_relations.insert(name.into(), arity);
+    }
+
+    /// Add a rule with an explicit id.
+    ///
+    /// # Errors
+    /// Rejects unsafe rules and rules whose head is a base relation.
+    pub fn add_rule(&mut self, id: impl Into<String>, clause: ConjunctiveQuery) -> Result<()> {
+        let id = id.into();
+        if self.base_relations.contains_key(&clause.head.pred) {
+            return Err(IeError::BadRule {
+                rule: clause.to_string(),
+                reason: format!("head `{}` is a declared base relation", clause.head.pred),
+            });
+        }
+        if !clause.is_safe() {
+            return Err(IeError::BadRule {
+                rule: clause.to_string(),
+                reason: "rule is not range-restricted".into(),
+            });
+        }
+        self.rules.push(Rule { id, clause });
+        Ok(())
+    }
+
+    /// Parse a datalog program and add every clause, assigning ids
+    /// `R1..Rn` in order (continuing any existing numbering).
+    ///
+    /// # Errors
+    /// Propagates parse and validation errors.
+    pub fn add_program(&mut self, src: &str) -> Result<()> {
+        let clauses = parse_program(src).map_err(|e| IeError::BadRule {
+            rule: src.to_string(),
+            reason: e.to_string(),
+        })?;
+        let mut n = self.rules.len();
+        for c in clauses {
+            n += 1;
+            self.add_rule(format!("R{n}"), c)?;
+        }
+        Ok(())
+    }
+
+    /// Register a second-order assertion.
+    pub fn add_soa(&mut self, soa: Soa) {
+        self.soas.push(soa);
+    }
+
+    /// All rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Rules whose head predicate is `pred`, in declaration order
+    /// (chronological backtracking tries them in this order).
+    pub fn rules_for(&self, pred: &str) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| r.clause.head.pred == pred)
+            .collect()
+    }
+
+    /// Is `name` a declared base relation?
+    pub fn is_base(&self, name: &str) -> bool {
+        self.base_relations.contains_key(name)
+    }
+
+    /// Is `name` a user-defined relation (has at least one rule)?
+    pub fn is_user_defined(&self, name: &str) -> bool {
+        self.rules.iter().any(|r| r.clause.head.pred == name)
+    }
+
+    /// Declared base relations.
+    pub fn base_relations(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.base_relations.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// All SOAs.
+    pub fn soas(&self) -> &[Soa] {
+        &self.soas
+    }
+
+    /// The mutex SOA covering rule set `ids` (all ids present), if any.
+    pub fn mutex_covering(&self, ids: &[&str]) -> bool {
+        self.soas.iter().any(|s| match s {
+            Soa::MutexRules(rs) => ids.iter().all(|i| rs.iter().any(|r| r == i)),
+            _ => false,
+        })
+    }
+
+    /// The closure SOA for `pred`, if declared.
+    pub fn closure_of(&self, pred: &str) -> Option<&str> {
+        self.soas.iter().find_map(|s| match s {
+            Soa::Closure { pred: p, base } if p == pred => Some(base.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Functional dependencies declared on `pred`.
+    pub fn fds_for(&self, pred: &str) -> Vec<(&[usize], &[usize])> {
+        self.soas
+            .iter()
+            .filter_map(|s| match s {
+                Soa::FunctionalDependency { pred: p, from, to } if p == pred => {
+                    Some((from.as_slice(), to.as_slice()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Predicates that are (directly or mutually) recursive, computed
+    /// from the rule dependency graph. A single instance of a recursive
+    /// definition is expanded per occurrence in the problem graph (§4.1).
+    pub fn recursive_predicates(&self) -> BTreeSet<String> {
+        // Build pred → preds-referenced edges.
+        let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for r in &self.rules {
+            let e = edges.entry(r.clause.head.pred.as_str()).or_default();
+            for l in &r.clause.body {
+                if let Literal::Atom(a) = l {
+                    e.insert(a.pred.as_str());
+                }
+            }
+        }
+        // A predicate is recursive iff it can reach itself.
+        let mut out = BTreeSet::new();
+        for &start in edges.keys() {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            let mut stack: Vec<&str> = edges
+                .get(start)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            while let Some(p) = stack.pop() {
+                if p == start {
+                    out.insert(start.to_string());
+                    break;
+                }
+                if seen.insert(p) {
+                    if let Some(next) = edges.get(p) {
+                        stack.extend(next.iter().copied());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Classify a goal atom.
+    pub fn kind_of(&self, goal: &Atom) -> GoalKind {
+        if self.is_base(&goal.pred) {
+            GoalKind::Base
+        } else if self.is_user_defined(&goal.pred) {
+            GoalKind::UserDefined
+        } else {
+            GoalKind::Unknown
+        }
+    }
+}
+
+/// What a goal atom refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoalKind {
+    /// A database relation — becomes a CAQL query.
+    Base,
+    /// Defined by rules — expanded in the problem graph.
+    UserDefined,
+    /// Neither: an error at solve time.
+    Unknown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_caql::parse_rule;
+
+    /// The paper's Example 1 knowledge base.
+    pub(crate) fn example1() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("b1", 2);
+        kb.declare_base("b2", 2);
+        kb.declare_base("b3", 3);
+        kb.add_program(
+            "k1(X, Y) :- b1(c1, Y), k2(X, Y).\n\
+             k2(X, Y) :- b2(X, Z), b3(Z, c2, Y).\n\
+             k2(X, Y) :- b3(X, c3, Z), b1(Z, Y).",
+        )
+        .unwrap();
+        kb
+    }
+
+    #[test]
+    fn rule_ids_assigned_in_order() {
+        let kb = example1();
+        let ids: Vec<&str> = kb.rules().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["R1", "R2", "R3"]);
+        assert_eq!(kb.rules_for("k2").len(), 2);
+    }
+
+    #[test]
+    fn classification() {
+        let kb = example1();
+        assert_eq!(
+            kb.kind_of(&braid_caql::parse_atom("b1(X, Y)").unwrap()),
+            GoalKind::Base
+        );
+        assert_eq!(
+            kb.kind_of(&braid_caql::parse_atom("k2(X, Y)").unwrap()),
+            GoalKind::UserDefined
+        );
+        assert_eq!(
+            kb.kind_of(&braid_caql::parse_atom("zz(X)").unwrap()),
+            GoalKind::Unknown
+        );
+    }
+
+    #[test]
+    fn base_headed_rule_rejected() {
+        let mut kb = example1();
+        let err = kb
+            .add_rule("RX", parse_rule("b1(X, Y) :- b2(X, Y).").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, IeError::BadRule { .. }));
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let mut kb = example1();
+        assert!(kb
+            .add_rule("RX", parse_rule("k9(W) :- b1(X, Y).").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn recursion_detection_direct_and_mutual() {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("parent", 2);
+        kb.add_program(
+            "anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).\n\
+             even(X) :- zero(X).\n\
+             even(X) :- succ(X, Y), odd(Y).\n\
+             odd(X) :- succ(X, Y), even(Y).",
+        )
+        .unwrap();
+        let rec = kb.recursive_predicates();
+        assert!(rec.contains("anc"));
+        assert!(rec.contains("even"));
+        assert!(rec.contains("odd"));
+        assert!(!rec.contains("parent"));
+    }
+
+    #[test]
+    fn soa_lookups() {
+        let mut kb = example1();
+        kb.add_soa(Soa::MutexRules(vec!["R2".into(), "R3".into()]));
+        kb.add_soa(Soa::FunctionalDependency {
+            pred: "b1".into(),
+            from: vec![0],
+            to: vec![1],
+        });
+        kb.add_soa(Soa::Closure {
+            pred: "anc".into(),
+            base: "parent".into(),
+        });
+        assert!(kb.mutex_covering(&["R2", "R3"]));
+        assert!(!kb.mutex_covering(&["R1", "R2"]));
+        assert_eq!(kb.fds_for("b1").len(), 1);
+        assert_eq!(kb.closure_of("anc"), Some("parent"));
+        assert_eq!(kb.closure_of("b1"), None);
+    }
+}

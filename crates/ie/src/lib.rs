@@ -1,0 +1,40 @@
+//! # braid-ie
+//!
+//! BrAID's **inference engine (IE)** — a logic-based reasoner designed,
+//! per the paper's thesis, "with efficient DBMS utilization in mind"
+//! (Sheth & O'Hare, ICDE 1991, §4).
+//!
+//! The module layout mirrors Figure 4 ("Inference Engine Organization"):
+//!
+//! | Figure 4 box                  | module       |
+//! |-------------------------------|--------------|
+//! | query translator              | [`translate`] |
+//! | problem graph extractor       | [`graph`]    |
+//! | problem graph shaper          | [`shape`]    |
+//! | view specifier                | [`viewspec`] |
+//! | path expression creator       | [`pathexpr`] |
+//! | inference strategy controller | [`control`]  |
+//!
+//! plus [`kb`] (the knowledge base with its second-order assertions) and
+//! [`strategy`] (the FDE-style "function suites" realizing several points
+//! on the interpreted–compiled range — "BrAID's IE does not use a
+//! built-in inferencing strategy. Rather, it makes available a set of
+//! component functions that can be combined into various tailored
+//! 'function suites'", §4).
+
+pub mod control;
+pub mod engine;
+pub mod error;
+pub mod graph;
+pub mod kb;
+pub mod pathexpr;
+pub mod shape;
+pub mod strategy;
+pub mod translate;
+pub mod viewspec;
+
+pub use control::SolutionStream;
+pub use engine::InferenceEngine;
+pub use error::{IeError, Result};
+pub use kb::{KnowledgeBase, Rule, Soa};
+pub use strategy::Strategy;

@@ -1,0 +1,332 @@
+//! The path expression creator.
+//!
+//! "The path expression creator constructs a path expression by traversing
+//! the problem graph. All alternatives under decision points must be
+//! traversed because the path expression creator will not have available
+//! the DBMS contents on which the decision will be based when actual
+//! inferencing is being done" (§4.1).
+//!
+//! Construction rules (validated against the paper's Examples 1 and 2):
+//!
+//! * a view-spec run becomes a query pattern `dᵢ(...)` with `^`/`?`
+//!   argument abstractions;
+//! * an OR node whose alternatives all begin with an emitting run unfolds
+//!   as a *sequence* of the alternatives' emissions (chronological
+//!   backtracking tries them in order — Example 1's `(d2, d3)`);
+//! * an OR node whose alternatives are *guarded* — a user-defined subgoal
+//!   that emits no DB queries precedes the first run ("occurrences of
+//!   k3(X) and k4(X) are to be processed entirely by the IE") — becomes an
+//!   *alternation* (Example 2's `[d2, d3]`), with selection term 1 when a
+//!   mutual-exclusion SOA covers the rules;
+//! * when an element produces a variable that later elements consume, the
+//!   remainder is grouped with repetition `<0,|v|>` — "there will be at
+//!   most |Y|-1 recurrences of d2(X,c) possibly followed by d3(X,c)";
+//! * the whole expression is wrapped `<1,1>`.
+
+use crate::graph::{AndId, OrId, ProblemGraph};
+use crate::kb::KnowledgeBase;
+use crate::viewspec::{Segment, SpecifiedGraph};
+use braid_advice::{Annotation, PathExpr, PatternArg, QueryPattern, Repetition};
+use braid_caql::Term;
+use std::collections::BTreeSet;
+
+/// Create the session path expression for a specified problem graph.
+pub fn create(g: &ProblemGraph, kb: &KnowledgeBase, spec: &SpecifiedGraph) -> PathExpr {
+    // visit_and already applies producer grouping inside each rule body;
+    // the root only needs the <1,1> wrapper.
+    PathExpr::seq(visit_or(g, kb, spec, g.root), Repetition::once())
+}
+
+/// The emission sequence of an OR node, flattened.
+fn visit_or(
+    g: &ProblemGraph,
+    kb: &KnowledgeBase,
+    spec: &SpecifiedGraph,
+    or: OrId,
+) -> Vec<PathExpr> {
+    let node = g.or_node(or);
+    if node.children.is_empty() {
+        return Vec::new(); // base leaf / recursive cut: no emissions here
+    }
+    let per_child: Vec<(AndId, Vec<PathExpr>)> = node
+        .children
+        .iter()
+        .map(|&a| (a, visit_and(g, kb, spec, a)))
+        .collect();
+    // Drop silent alternatives (they emit nothing).
+    let emitting: Vec<&(AndId, Vec<PathExpr>)> =
+        per_child.iter().filter(|(_, es)| !es.is_empty()).collect();
+    if emitting.is_empty() {
+        return Vec::new();
+    }
+    if emitting.len() == 1 {
+        return emitting[0].1.clone();
+    }
+    // Guarded alternatives? A guard is a leading non-emitting user goal.
+    let guarded = emitting.iter().any(|(a, _)| has_guard(g, spec, *a));
+    if guarded {
+        let select = if kb.mutex_covering(
+            &emitting
+                .iter()
+                .map(|(a, _)| g.and_node(*a).rule_id.as_str())
+                .collect::<Vec<_>>(),
+        ) {
+            Some(1)
+        } else {
+            None
+        };
+        let items = emitting
+            .iter()
+            .map(|(_, es)| match es.len() {
+                1 => es[0].clone(),
+                _ => PathExpr::seq(es.clone(), Repetition::once()),
+            })
+            .collect();
+        vec![PathExpr::alt(items, select)]
+    } else {
+        // Unguarded: backtracking visits the alternatives in rule order.
+        emitting.iter().flat_map(|(_, es)| es.clone()).collect()
+    }
+}
+
+/// Does this alternative start with an IE-internal (non-emitting) goal?
+fn has_guard(g: &ProblemGraph, spec: &SpecifiedGraph, and: AndId) -> bool {
+    let Some(segments) = spec.segments.get(&and) else {
+        return false;
+    };
+    for seg in segments {
+        match seg {
+            Segment::Run { .. } => return false,
+            Segment::Goal { or, .. } => {
+                // A user goal that emits nothing is a guard; one that
+                // emits is simply part of the sequence.
+                if subtree_emits(g, spec, *or) {
+                    return false;
+                }
+                return true;
+            }
+            Segment::Constraint { .. } => continue,
+        }
+    }
+    false
+}
+
+fn subtree_emits(g: &ProblemGraph, spec: &SpecifiedGraph, or: OrId) -> bool {
+    let node = g.or_node(or);
+    node.children.iter().any(|&a| {
+        spec.segments
+            .get(&a)
+            .map(|segs| {
+                segs.iter().any(|s| match s {
+                    Segment::Run { .. } => true,
+                    Segment::Goal { or, .. } => subtree_emits(g, spec, *or),
+                    Segment::Constraint { .. } => false,
+                })
+            })
+            .unwrap_or(false)
+    })
+}
+
+/// The emission sequence of an AND node.
+fn visit_and(
+    g: &ProblemGraph,
+    kb: &KnowledgeBase,
+    spec: &SpecifiedGraph,
+    and: AndId,
+) -> Vec<PathExpr> {
+    let mut out = Vec::new();
+    if let Some(segments) = spec.segments.get(&and) {
+        for seg in segments {
+            match seg {
+                Segment::Run { spec: si, .. } => {
+                    out.push(PathExpr::Pattern(pattern_of(&spec.specs[*si])));
+                }
+                Segment::Goal { or, .. } => out.extend(visit_or(g, kb, spec, *or)),
+                Segment::Constraint { .. } => {}
+            }
+        }
+    }
+    group_by_producers(out)
+}
+
+/// Group trailing elements under a `<0,|v|>` repetition when a producer
+/// variable of an earlier element is consumed later — the tuple-at-a-time
+/// iteration the IE performs per binding.
+fn group_by_producers(elements: Vec<PathExpr>) -> Vec<PathExpr> {
+    if elements.len() <= 1 {
+        return elements;
+    }
+    let first = &elements[0];
+    let rest: Vec<PathExpr> = elements[1..].to_vec();
+    let produced = produced_vars(first);
+    let consumed: BTreeSet<String> = rest.iter().flat_map(consumed_vars).collect();
+    let shared: Vec<&String> = produced.iter().filter(|v| consumed.contains(*v)).collect();
+    let grouped_rest = group_by_producers(rest);
+    if let Some(v) = shared.first() {
+        vec![
+            first.clone(),
+            PathExpr::seq(grouped_rest, Repetition::per_binding((*v).clone())),
+        ]
+    } else {
+        let mut out = vec![first.clone()];
+        out.extend(grouped_rest);
+        out
+    }
+}
+
+fn produced_vars(e: &PathExpr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect_args(e, &mut |a| {
+        if let PatternArg::Free(v) = a {
+            out.insert(v.clone());
+        }
+    });
+    out
+}
+
+fn consumed_vars(e: &PathExpr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect_args(e, &mut |a| {
+        if let PatternArg::Bound(v) = a {
+            out.insert(v.clone());
+        }
+    });
+    out
+}
+
+fn collect_args(e: &PathExpr, f: &mut impl FnMut(&PatternArg)) {
+    match e {
+        PathExpr::Pattern(p) => p.args.iter().for_each(&mut *f),
+        PathExpr::Seq { items, .. } | PathExpr::Alt { items, .. } => {
+            for i in items {
+                collect_args(i, f);
+            }
+        }
+    }
+}
+
+/// The query pattern of a view spec: its annotated parameters.
+fn pattern_of(v: &braid_advice::ViewSpec) -> QueryPattern {
+    QueryPattern::new(
+        v.name.clone(),
+        v.params
+            .iter()
+            .map(|(t, a)| match (t, a) {
+                (Term::Var(name), Annotation::Consumer) => PatternArg::Bound(name.clone()),
+                (Term::Var(name), _) => PatternArg::Free(name.clone()),
+                (Term::Const(c), _) => PatternArg::Const(c.clone()),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewspec::{specify, SpecifyOptions};
+    use braid_caql::parse_atom;
+
+    fn pipeline(kb: &KnowledgeBase, query: &str) -> (ProblemGraph, SpecifiedGraph) {
+        let g = ProblemGraph::extract(kb, &parse_atom(query).unwrap()).unwrap();
+        let s = specify(&g, SpecifyOptions::default(), 0);
+        (g, s)
+    }
+
+    fn example1_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("b1", 2);
+        kb.declare_base("b2", 2);
+        kb.declare_base("b3", 3);
+        kb.add_program(
+            "k1(X, Y) :- b1(c1, Y), k2(X, Y).\n\
+             k2(X, Y) :- b2(X, Z), b3(Z, c2, Y).\n\
+             k2(X, Y) :- b3(X, c3, Z), b1(Z, Y).",
+        )
+        .unwrap();
+        kb
+    }
+
+    #[test]
+    fn example1_path_expression_matches_paper() {
+        let kb = example1_kb();
+        let (g, s) = pipeline(&kb, "k1(X, Y)");
+        let p = create(&g, &kb, &s);
+        assert_eq!(
+            p.to_string(),
+            "(d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>"
+        );
+    }
+
+    #[test]
+    fn example2_path_expression_matches_paper() {
+        // R2': k2 ← k3(X) & b2(X,Z) & b3(Z,c2,Y)
+        // R3': k2 ← k4(X) & b3(X,c3,Z) & b1(Z,Y)
+        // k3/k4 processed entirely by the IE (facts).
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("b1", 2);
+        kb.declare_base("b2", 2);
+        kb.declare_base("b3", 3);
+        kb.add_program(
+            "k1(X, Y) :- b1(c1, Y), k2(X, Y).\n\
+             k2(X, Y) :- k3(X), b2(X, Z), b3(Z, c2, Y).\n\
+             k2(X, Y) :- k4(X), b3(X, c3, Z), b1(Z, Y).\n\
+             k3(c7).\n\
+             k4(c8).",
+        )
+        .unwrap();
+        let (g, s) = pipeline(&kb, "k1(X, Y)");
+        let p = create(&g, &kb, &s);
+        assert_eq!(
+            p.to_string(),
+            "(d1(Y^), ([d2(X^, Y?), d3(X^, Y?)])<0,|Y|>)<1,1>"
+        );
+    }
+
+    #[test]
+    fn mutex_soa_adds_selection_term() {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("b1", 2);
+        kb.declare_base("b2", 2);
+        kb.declare_base("b3", 3);
+        kb.add_program(
+            "k1(X, Y) :- b1(c1, Y), k2(X, Y).\n\
+             k2(X, Y) :- k3(X), b2(X, Z), b3(Z, c2, Y).\n\
+             k2(X, Y) :- k4(X), b3(X, c3, Z), b1(Z, Y).\n\
+             k3(c7).\n\
+             k4(c8).",
+        )
+        .unwrap();
+        kb.add_soa(crate::kb::Soa::MutexRules(vec!["R2".into(), "R3".into()]));
+        let (g, s) = pipeline(&kb, "k1(X, Y)");
+        let p = create(&g, &kb, &s);
+        assert_eq!(
+            p.to_string(),
+            "(d1(Y^), ([d2(X^, Y?), d3(X^, Y?)]^1)<0,|Y|>)<1,1>"
+        );
+    }
+
+    #[test]
+    fn single_base_query_path() {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("b1", 2);
+        kb.add_program("k(Y) :- b1(c1, Y).").unwrap();
+        let (g, s) = pipeline(&kb, "k(Y)");
+        let p = create(&g, &kb, &s);
+        assert_eq!(p.to_string(), "(d1(Y^))<1,1>");
+    }
+
+    #[test]
+    fn tracker_accepts_created_expression() {
+        // End-to-end sanity: the tracker compiled from the IE's own path
+        // expression accepts the IE's nominal query order.
+        let kb = example1_kb();
+        let (g, s) = pipeline(&kb, "k1(X, Y)");
+        let p = create(&g, &kb, &s);
+        let mut t = braid_advice::PathTracker::new(&p);
+        assert!(t.advance(&parse_atom("d1(Y)").unwrap()));
+        assert!(t.advance(&parse_atom("d2(X, c9)").unwrap()));
+        assert!(t.advance(&parse_atom("d3(X, c9)").unwrap()));
+        assert!(t.advance(&parse_atom("d2(X, c10)").unwrap()));
+        assert!(!t.is_lost());
+    }
+}

@@ -1,0 +1,372 @@
+//! The problem graph shaper.
+//!
+//! "The problem graph shaper eagerly constrains the problem graph using
+//! constant propagation techniques. ... Such constants may also be
+//! produced by evaluating predicates all of whose arguments are bound ...
+//! In addition, cardinality and selectivity information from the DBMS
+//! schema and from functional dependency SOA's in the knowledge base is
+//! used to determine producer-consumer relationships (which gets
+//! translated into conjunct orderings ...). Finally, parts of the problem
+//! graph under OR nodes are culled away to the extent that this is
+//! logically valid" (§4.1).
+//!
+//! Unification-failure culling already happened during extraction; the
+//! shaper adds (a) ground built-in evaluation with AND-branch culling,
+//! (b) statistics-driven conjunct reordering, honouring functional
+//! dependencies, and (c) constraint scheduling (each constraint moves to
+//! the earliest point where its variables are bound).
+
+use crate::graph::{AndNode, BodyItem, OrKind, ProblemGraph};
+use crate::kb::KnowledgeBase;
+use braid_caql::{Literal, Term};
+use braid_relational::RelationStats;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Shaper knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapeOptions {
+    /// Reorder conjuncts by estimated cost ("if the IE is free to
+    /// re-order", §4.1). User-defined subgoals keep their relative order
+    /// (reordering them could change termination behaviour of recursion).
+    pub reorder: bool,
+}
+
+impl Default for ShapeOptions {
+    fn default() -> Self {
+        ShapeOptions { reorder: true }
+    }
+}
+
+/// Statistics handle: per-base-relation stats from the DBMS schema.
+pub type SchemaStats = BTreeMap<String, RelationStats>;
+
+/// Shape the graph in place. Returns the number of AND branches culled.
+pub fn shape(
+    g: &mut ProblemGraph,
+    kb: &KnowledgeBase,
+    stats: &SchemaStats,
+    options: ShapeOptions,
+) -> usize {
+    let mut culled = 0;
+
+    // (a) Evaluate ground constraints; collect doomed AND nodes.
+    let mut doomed: BTreeSet<usize> = BTreeSet::new();
+    for (ai, and) in g.and_nodes.iter_mut().enumerate() {
+        let mut keep: Vec<BodyItem> = Vec::with_capacity(and.items.len());
+        for item in and.items.drain(..) {
+            match &item {
+                BodyItem::Constraint(Literal::Cmp(c))
+                    if c.lhs.vars().is_empty() && c.rhs.vars().is_empty() =>
+                {
+                    match c.eval() {
+                        Ok(true) => {} // trivially true: drop
+                        _ => {
+                            doomed.insert(ai);
+                            keep.push(item);
+                        }
+                    }
+                }
+                _ => keep.push(item),
+            }
+        }
+        and.items = keep;
+    }
+    for or in g.or_nodes.iter_mut() {
+        let before = or.children.len();
+        or.children.retain(|c| !doomed.contains(c));
+        culled += before - or.children.len();
+    }
+
+    // (b)+(c) Reorder conjuncts per AND node.
+    if options.reorder {
+        let goal_vars: BTreeMap<usize, Vec<String>> = g
+            .or_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, or)| (i, or.goal.vars().iter().map(|v| v.to_string()).collect()))
+            .collect();
+        let costs: Vec<Vec<f64>> = g
+            .and_nodes
+            .iter()
+            .map(|and| item_costs(g, and, kb, stats))
+            .collect();
+        for (ai, and) in g.and_nodes.iter_mut().enumerate() {
+            reorder_items(and, &costs[ai], &goal_vars);
+        }
+    }
+    culled
+}
+
+/// Static cost of each body item (lower = evaluate earlier), before
+/// binding effects. Base goals: estimated result cardinality after
+/// constant selections. User goals: deferred (they fan out). Constraints:
+/// scheduled by readiness, not cost.
+fn item_costs(
+    g: &ProblemGraph,
+    and: &AndNode,
+    kb: &KnowledgeBase,
+    stats: &SchemaStats,
+) -> Vec<f64> {
+    and.items
+        .iter()
+        .map(|item| match item {
+            BodyItem::Goal(o) => {
+                let or = g.or_node(*o);
+                match or.kind {
+                    OrKind::Base => {
+                        let card = stats
+                            .get(&or.goal.pred)
+                            .map(|s| s.cardinality as f64)
+                            .unwrap_or(1000.0);
+                        let mut est = card;
+                        for (i, t) in or.goal.args.iter().enumerate() {
+                            if matches!(t, Term::Const(_)) {
+                                let sel = stats
+                                    .get(&or.goal.pred)
+                                    .map(|s| s.eq_selectivity(i))
+                                    .unwrap_or(0.1);
+                                est *= sel;
+                            }
+                        }
+                        // A functional dependency whose determinant is
+                        // fully constant makes the goal determinate.
+                        for (from, _) in kb.fds_for(&or.goal.pred) {
+                            if from
+                                .iter()
+                                .all(|&i| matches!(or.goal.args.get(i), Some(Term::Const(_))))
+                            {
+                                est = est.min(1.0);
+                            }
+                        }
+                        est
+                    }
+                    // User-defined goals fan out: defer behind cheap base
+                    // producers but keep relative order among themselves.
+                    OrKind::UserDefined | OrKind::RecursiveCut => f64::MAX / 2.0,
+                }
+            }
+            BodyItem::Constraint(_) => 0.0, // scheduled by readiness
+        })
+        .collect()
+}
+
+/// Greedy readiness-aware ordering: repeatedly emit (1) any constraint
+/// whose variables are bound, then (2) the cheapest ready goal. User
+/// goals keep their relative order.
+fn reorder_items(and: &mut AndNode, costs: &[f64], goal_vars: &BTreeMap<usize, Vec<String>>) {
+    let items = std::mem::take(&mut and.items);
+    let n = items.len();
+    let mut used = vec![false; n];
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    let mut out: Vec<BodyItem> = Vec::with_capacity(n);
+
+    let constraint_ready = |item: &BodyItem, bound: &BTreeSet<String>| -> bool {
+        match item {
+            BodyItem::Constraint(Literal::Cmp(c)) => {
+                let mut vs = c.lhs.vars();
+                vs.extend(c.rhs.vars());
+                vs.iter().all(|v| bound.contains(*v))
+            }
+            BodyItem::Constraint(Literal::Bind { expr, .. }) => {
+                expr.vars().iter().all(|v| bound.contains(*v))
+            }
+            BodyItem::Constraint(Literal::Neg(a)) => a.var_set().iter().all(|v| bound.contains(*v)),
+            _ => false,
+        }
+    };
+
+    while out.len() < n {
+        // Emit all ready constraints first (cheap filters early).
+        let mut emitted = false;
+        for i in 0..n {
+            if !used[i]
+                && matches!(items[i], BodyItem::Constraint(_))
+                && constraint_ready(&items[i], &bound)
+            {
+                used[i] = true;
+                if let BodyItem::Constraint(Literal::Bind { var, .. }) = &items[i] {
+                    bound.insert(var.clone());
+                }
+                out.push(items[i].clone());
+                emitted = true;
+            }
+        }
+        if emitted {
+            continue;
+        }
+        // Pick the cheapest unused goal; original position breaks ties
+        // (and keeps user-goal relative order since their costs are
+        // equal).
+        let next = (0..n)
+            .filter(|&i| !used[i] && matches!(items[i], BodyItem::Goal(_)))
+            .min_by(|&a, &b| {
+                costs[a]
+                    .partial_cmp(&costs[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+        match next {
+            Some(i) => {
+                used[i] = true;
+                out.push(items[i].clone());
+                // Variables of the goal become bound.
+                if let BodyItem::Goal(o) = &items[i] {
+                    if let Some(vs) = goal_vars.get(o) {
+                        bound.extend(vs.iter().cloned());
+                    }
+                }
+            }
+            None => {
+                // Only unready constraints remain: emit in original order
+                // (they will fail/filter at runtime as appropriate).
+                for i in 0..n {
+                    if !used[i] {
+                        used[i] = true;
+                        out.push(items[i].clone());
+                    }
+                }
+            }
+        }
+    }
+    and.items = out;
+}
+
+/// Alias retained for API symmetry with the other Figure 4 passes.
+pub fn shape_graph(
+    g: &mut ProblemGraph,
+    kb: &KnowledgeBase,
+    stats: &SchemaStats,
+    options: ShapeOptions,
+) -> usize {
+    shape(g, kb, stats, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_caql::parse_atom;
+    use braid_relational::{tuple, Relation, Schema};
+
+    fn kb_with_stats() -> (KnowledgeBase, SchemaStats) {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("big", 2);
+        kb.declare_base("small", 2);
+        kb.add_program("k(X, Y) :- big(X, Z), small(Z, Y).")
+            .unwrap();
+        let mut stats = SchemaStats::new();
+        let mut big = Relation::new(Schema::of_strs("big", &["a", "b"]));
+        for i in 0..100 {
+            big.insert(tuple![format!("a{i}"), format!("b{i}")])
+                .unwrap();
+        }
+        let mut small = Relation::new(Schema::of_strs("small", &["a", "b"]));
+        small.insert(tuple!["b1", "c1"]).unwrap();
+        stats.insert("big".into(), RelationStats::of(&big));
+        stats.insert("small".into(), RelationStats::of(&small));
+        (kb, stats)
+    }
+
+    #[test]
+    fn reorders_small_relation_first() {
+        let (kb, stats) = kb_with_stats();
+        let mut g = ProblemGraph::extract(&kb, &parse_atom("k(X, Y)").unwrap()).unwrap();
+        shape_graph(&mut g, &kb, &stats, ShapeOptions::default());
+        let and = g.and_node(g.or_node(g.root).children[0]);
+        let BodyItem::Goal(first) = &and.items[0] else {
+            panic!("expected goal")
+        };
+        assert_eq!(g.or_node(*first).goal.pred, "small");
+    }
+
+    #[test]
+    fn no_reorder_when_disabled() {
+        let (kb, stats) = kb_with_stats();
+        let mut g = ProblemGraph::extract(&kb, &parse_atom("k(X, Y)").unwrap()).unwrap();
+        shape_graph(&mut g, &kb, &stats, ShapeOptions { reorder: false });
+        let and = g.and_node(g.or_node(g.root).children[0]);
+        let BodyItem::Goal(first) = &and.items[0] else {
+            panic!("expected goal")
+        };
+        assert_eq!(g.or_node(*first).goal.pred, "big");
+    }
+
+    #[test]
+    fn ground_false_constraint_culls_branch() {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("b", 1);
+        kb.add_program(
+            "k(X) :- b(X), 1 > 2.\n\
+             k(X) :- b(X), 2 > 1.",
+        )
+        .unwrap();
+        let mut g = ProblemGraph::extract(&kb, &parse_atom("k(X)").unwrap()).unwrap();
+        let culled = shape_graph(&mut g, &kb, &SchemaStats::new(), ShapeOptions::default());
+        assert_eq!(culled, 1);
+        let root = g.or_node(g.root);
+        assert_eq!(root.children.len(), 1);
+        // The surviving branch's trivially-true constraint was dropped.
+        let and = g.and_node(root.children[0]);
+        assert_eq!(and.items.len(), 1);
+    }
+
+    #[test]
+    fn constraint_scheduled_after_its_producer() {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("p", 2);
+        kb.declare_base("q", 2);
+        // The comparison X > 3 mentions X (from p); after reorder it must
+        // still come after some goal binding X.
+        kb.add_program("k(X, Y) :- p(X, Z), q(Z, Y), X > 3.")
+            .unwrap();
+        let mut g = ProblemGraph::extract(&kb, &parse_atom("k(X, Y)").unwrap()).unwrap();
+        shape_graph(&mut g, &kb, &SchemaStats::new(), ShapeOptions::default());
+        let and = g.and_node(g.or_node(g.root).children[0]);
+        let cmp_pos = and
+            .items
+            .iter()
+            .position(|i| matches!(i, BodyItem::Constraint(_)))
+            .unwrap();
+        let p_pos = and
+            .items
+            .iter()
+            .position(|i| match i {
+                BodyItem::Goal(o) => g.or_node(*o).goal.pred == "p",
+                _ => false,
+            })
+            .unwrap();
+        assert!(cmp_pos > p_pos, "comparison after its producer");
+    }
+
+    #[test]
+    fn fd_soa_marks_goal_determinate() {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("huge", 2);
+        kb.declare_base("tiny", 1);
+        kb.add_soa(crate::kb::Soa::FunctionalDependency {
+            pred: "huge".into(),
+            from: vec![0],
+            to: vec![1],
+        });
+        kb.add_program("k(Y) :- tiny(Y), huge(c1, Y).").unwrap();
+        let mut stats = SchemaStats::new();
+        let mut huge = Relation::new(Schema::of_strs("huge", &["a", "b"]));
+        for i in 0..1000 {
+            huge.insert(tuple![format!("a{i}"), format!("b{i}")])
+                .unwrap();
+        }
+        let mut tiny = Relation::new(Schema::of_strs("tiny", &["a"]));
+        for i in 0..5 {
+            tiny.insert(tuple![format!("t{i}")]).unwrap();
+        }
+        stats.insert("huge".into(), RelationStats::of(&huge));
+        stats.insert("tiny".into(), RelationStats::of(&tiny));
+        let mut g = ProblemGraph::extract(&kb, &parse_atom("k(Y)").unwrap()).unwrap();
+        shape_graph(&mut g, &kb, &stats, ShapeOptions::default());
+        let and = g.and_node(g.or_node(g.root).children[0]);
+        // huge(c1, Y) is determinate (FD on a constant key): ordered first.
+        let BodyItem::Goal(first) = &and.items[0] else {
+            panic!("expected goal")
+        };
+        assert_eq!(g.or_node(*first).goal.pred, "huge");
+    }
+}

@@ -1,0 +1,653 @@
+//! Inference strategies along the interpreted–compiled (I-C) range.
+//!
+//! "The execution strategy of logic-based systems can be characterized
+//! according to the degree of compilation that is performed. A fully
+//! interpretive system incrementally requests data one tuple-at-a-time
+//! ... A fully compiled system compiles that portion of the knowledge
+//! base that is relevant to an AI query into a single, large DBMS request
+//! for a data set which constitutes all solutions" (§2). "An important
+//! consideration for designing BrAID was to provide efficient integration
+//! along several points of this range."
+//!
+//! Three function suites are provided (the FDE-style composition of §4):
+//!
+//! * [`Strategy::Interpreted`] — one CAQL query per base goal,
+//!   tuple-at-a-time, single-solution;
+//! * [`Strategy::ConjunctionCompiled`] — maximal base conjunctions per
+//!   CAQL query (partial compilation), still tuple-at-a-time;
+//! * [`Strategy::FullyCompiled`] — relation-at-a-time bottom-up
+//!   evaluation producing all solutions, with a fixed-point operator for
+//!   recursion (the "second-order templates along with specialized
+//!   operators (e.g., a fixed point operator)" of §2).
+
+use crate::control::ControlOptions;
+use crate::error::{IeError, Result};
+use crate::kb::KnowledgeBase;
+use braid_caql::{Atom, ConjunctiveQuery, Literal, Subst, Term};
+use braid_cms::Cms;
+use braid_relational::{ops, Relation, Schema, Tuple};
+use std::collections::BTreeMap;
+
+/// A point on the interpreted–compiled range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Fully interpretive: "incrementally requests data one
+    /// tuple-at-a-time (as the need for the tuple arises)".
+    Interpreted,
+    /// Conjunction compilation: base-and-evaluable runs become single
+    /// CAQL queries.
+    ConjunctionCompiled,
+    /// Fully compiled: set-at-a-time, all solutions.
+    FullyCompiled,
+}
+
+impl Strategy {
+    /// The view-spec granularity this strategy requests.
+    pub fn max_conj(self) -> usize {
+        match self {
+            Strategy::Interpreted => 1,
+            Strategy::ConjunctionCompiled | Strategy::FullyCompiled => usize::MAX,
+        }
+    }
+
+    /// Controller options for the tuple-at-a-time strategies.
+    pub fn control_options(self) -> ControlOptions {
+        ControlOptions {
+            max_conj: self.max_conj(),
+            ..ControlOptions::default()
+        }
+    }
+
+    /// Does this strategy produce all solutions at once?
+    pub fn set_at_a_time(self) -> bool {
+        self == Strategy::FullyCompiled
+    }
+}
+
+/// Bottom-up, relation-at-a-time evaluation for the fully compiled
+/// strategy. Returns all solutions of `goal` as a relation (one column
+/// per goal argument).
+///
+/// Recursive predicates are evaluated with an iterate-to-fixpoint loop;
+/// a [`crate::kb::Soa::Closure`] SOA short-circuits the common transitive
+/// closure case. Negation is not supported at this end of the range.
+///
+/// # Errors
+/// Propagates CMS errors; rejects negation.
+pub fn solve_compiled(kb: &KnowledgeBase, cms: &mut Cms, goal: &Atom) -> Result<Relation> {
+    let mut memo: BTreeMap<String, Relation> = BTreeMap::new();
+    // The recursion analysis is a whole-KB SCC scan: compute it once per
+    // solve, not once per predicate evaluation.
+    let recursive = kb.recursive_predicates();
+    let mut ctx = EvalCtx {
+        recursive,
+        in_progress: Vec::new(),
+    };
+    let rel = eval_predicate(kb, cms, &goal.pred, &mut memo, &mut ctx)?;
+    // Select by the goal's constants and repeated variables, then project
+    // to the goal arity (keeping argument order).
+    let mut out = Relation::new(Schema::positional(goal.pred.clone(), goal.arity()));
+    'tuples: for t in rel.iter() {
+        let mut bind: BTreeMap<&str, &braid_relational::Value> = BTreeMap::new();
+        for (i, arg) in goal.args.iter().enumerate() {
+            let v = &t.values()[i];
+            match arg {
+                Term::Const(c) => {
+                    if c != v {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(name) => match bind.get(name.as_str()) {
+                    Some(prev) => {
+                        if *prev != v {
+                            continue 'tuples;
+                        }
+                    }
+                    None => {
+                        bind.insert(name, v);
+                    }
+                },
+            }
+        }
+        out.insert(t.clone())
+            .map_err(|e| IeError::Cms(e.to_string()))?;
+    }
+    Ok(out)
+}
+
+/// Per-solve evaluation context.
+struct EvalCtx {
+    /// Predicates that can reach themselves (computed once per solve).
+    recursive: std::collections::BTreeSet<String>,
+    /// Predicates currently being fixpoint-iterated.
+    in_progress: Vec<String>,
+}
+
+/// Evaluate the full extension of a predicate.
+fn eval_predicate(
+    kb: &KnowledgeBase,
+    cms: &mut Cms,
+    pred: &str,
+    memo: &mut BTreeMap<String, Relation>,
+    ctx: &mut EvalCtx,
+) -> Result<Relation> {
+    if let Some(r) = memo.get(pred) {
+        return Ok(r.clone());
+    }
+    if kb.is_base(pred) {
+        let rel = fetch_base(kb, cms, pred)?;
+        memo.insert(pred.to_string(), rel.clone());
+        return Ok(rel);
+    }
+    if !kb.is_user_defined(pred) {
+        return Err(IeError::UnknownPredicate(pred.to_string()));
+    }
+    // Closure SOA: the paper's fixed-point operator specialization.
+    if let Some(base) = kb.closure_of(pred) {
+        let base_rel = eval_predicate(kb, cms, base, memo, ctx)?;
+        let rel = transitive_closure(&base_rel)?;
+        memo.insert(pred.to_string(), rel.clone());
+        return Ok(rel);
+    }
+
+    let recursive = ctx.recursive.contains(pred);
+    if ctx.in_progress.iter().any(|p| p == pred) {
+        // A recursive occurrence during fixpoint iteration reads the
+        // current approximation (∅ on the first round).
+        return Ok(memo
+            .get(pred)
+            .cloned()
+            .unwrap_or_else(|| empty_for(kb, pred)));
+    }
+    ctx.in_progress.push(pred.to_string());
+
+    let result = if recursive {
+        // Naive fixpoint: iterate until no growth.
+        memo.insert(pred.to_string(), empty_for(kb, pred));
+        loop {
+            let before = memo.get(pred).map(|r| r.len()).unwrap_or(0);
+            let next = eval_rules_once(kb, cms, pred, memo, ctx)?;
+            let grew = next.len() > before;
+            memo.insert(pred.to_string(), next);
+            if !grew {
+                break;
+            }
+        }
+        memo.get(pred).cloned().expect("fixpoint result present")
+    } else {
+        let r = eval_rules_once(kb, cms, pred, memo, ctx)?;
+        memo.insert(pred.to_string(), r.clone());
+        r
+    };
+    ctx.in_progress.pop();
+    Ok(result)
+}
+
+/// One bottom-up pass over all rules of `pred`.
+fn eval_rules_once(
+    kb: &KnowledgeBase,
+    cms: &mut Cms,
+    pred: &str,
+    memo: &mut BTreeMap<String, Relation>,
+    ctx: &mut EvalCtx,
+) -> Result<Relation> {
+    let rules: Vec<ConjunctiveQuery> = kb
+        .rules_for(pred)
+        .iter()
+        .map(|r| r.clause.clone())
+        .collect();
+    let arity = rules.first().map(|r| r.head.arity()).unwrap_or(0);
+    let mut out = Relation::new(Schema::positional(pred, arity));
+    for rule in rules {
+        let rel = eval_rule_body(kb, cms, &rule, memo, ctx)?;
+        for t in rel.iter() {
+            out.insert(t.clone())
+                .map_err(|e| IeError::Cms(e.to_string()))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate one rule body bottom-up: join atom extensions on shared
+/// variables, apply comparisons and binds, project the head.
+fn eval_rule_body(
+    kb: &KnowledgeBase,
+    cms: &mut Cms,
+    rule: &ConjunctiveQuery,
+    memo: &mut BTreeMap<String, Relation>,
+    ctx: &mut EvalCtx,
+) -> Result<Relation> {
+    // Accumulated bindings relation: columns named by variables.
+    let mut vars: Vec<String> = Vec::new();
+    let mut acc: Option<Relation> = None;
+
+    for lit in &rule.body {
+        match lit {
+            Literal::Atom(a) => {
+                let ext = eval_predicate(kb, cms, &a.pred, memo, ctx)?;
+                let (avars, arel) = bind_atom(a, &ext)?;
+                match acc.take() {
+                    None => {
+                        vars = avars;
+                        acc = Some(arel);
+                    }
+                    Some(prev) => {
+                        let on: Vec<(usize, usize)> = avars
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(j, v)| vars.iter().position(|w| w == v).map(|i| (i, j)))
+                            .collect();
+                        let joined = ops::equijoin(&prev, &arel, &on)
+                            .map_err(|e| IeError::Cms(e.to_string()))?;
+                        let prev_len = vars.len();
+                        let mut keep: Vec<usize> = (0..prev_len).collect();
+                        for (j, v) in avars.iter().enumerate() {
+                            if !vars.contains(v) {
+                                keep.push(prev_len + j);
+                                vars.push(v.clone());
+                            }
+                        }
+                        let projected = ops::project(&joined, &keep)
+                            .map_err(|e| IeError::Cms(e.to_string()))?;
+                        acc = Some(renamed(projected, &vars));
+                    }
+                }
+            }
+            Literal::Cmp(_) | Literal::Bind { .. } | Literal::Neg(_) => {
+                // Handled after the joins below.
+            }
+        }
+    }
+    let Some(mut rel) = acc else {
+        // Fact: ground head.
+        let mut out = Relation::new(Schema::positional(
+            rule.head.pred.clone(),
+            rule.head.arity(),
+        ));
+        if rule.head.is_ground() {
+            let values: Vec<braid_relational::Value> = rule
+                .head
+                .args
+                .iter()
+                .filter_map(|t| t.as_const().cloned())
+                .collect();
+            out.insert(Tuple::new(values))
+                .map_err(|e| IeError::Cms(e.to_string()))?;
+        }
+        return Ok(out);
+    };
+
+    // Comparisons, binds and negation over the joined bindings.
+    for lit in &rule.body {
+        match lit {
+            Literal::Cmp(_) | Literal::Bind { .. } | Literal::Neg(_) => {}
+            Literal::Atom(_) => continue,
+        }
+        let mut out = Relation::new(rel.schema().clone());
+        let mut extended_vars = vars.clone();
+        let mut extended: Option<Relation> = None;
+        for t in rel.iter() {
+            let subst = subst_of(&vars, t);
+            match lit {
+                Literal::Cmp(c) => {
+                    let inst = braid_caql::Comparison {
+                        op: c.op,
+                        lhs: subst.apply_arith(&c.lhs),
+                        rhs: subst.apply_arith(&c.rhs),
+                    };
+                    if inst.eval().unwrap_or(false) {
+                        out.insert(t.clone())
+                            .map_err(|e| IeError::Cms(e.to_string()))?;
+                    }
+                }
+                Literal::Bind { var, expr } => {
+                    let inst = subst.apply_arith(expr);
+                    let Ok(val) = inst.eval() else { continue };
+                    if let Some(pos) = vars.iter().position(|v| v == var) {
+                        if t.values()[pos] == val {
+                            out.insert(t.clone())
+                                .map_err(|e| IeError::Cms(e.to_string()))?;
+                        }
+                    } else {
+                        // Extend with the computed column.
+                        if extended.is_none() {
+                            extended_vars.push(var.clone());
+                            extended = Some(Relation::new(Schema::positional(
+                                "bind",
+                                extended_vars.len(),
+                            )));
+                        }
+                        let mut row: Vec<braid_relational::Value> = t.values().to_vec();
+                        row.push(val);
+                        extended
+                            .as_mut()
+                            .expect("created above")
+                            .insert(Tuple::new(row))
+                            .map_err(|e| IeError::Cms(e.to_string()))?;
+                    }
+                }
+                Literal::Neg(_) => {
+                    return Err(IeError::Builtin(
+                        "negation is not supported by the fully compiled strategy".into(),
+                    ))
+                }
+                Literal::Atom(_) => unreachable!(),
+            }
+        }
+        match extended {
+            Some(e) => {
+                vars = extended_vars;
+                rel = e;
+            }
+            None => rel = out,
+        }
+    }
+
+    // Project the head.
+    let cols: Vec<usize> = rule
+        .head
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => vars
+                .iter()
+                .position(|w| w == v)
+                .ok_or_else(|| IeError::Builtin(format!("unbound head variable {v}"))),
+            Term::Const(_) => Ok(usize::MAX), // handled below
+        })
+        .collect::<Result<_>>()?;
+    let mut out = Relation::new(Schema::positional(
+        rule.head.pred.clone(),
+        rule.head.arity(),
+    ));
+    for t in rel.iter() {
+        let row: Vec<braid_relational::Value> = rule
+            .head
+            .args
+            .iter()
+            .zip(&cols)
+            .map(|(term, &c)| match term {
+                Term::Const(v) => v.clone(),
+                Term::Var(_) => t.values()[c].clone(),
+            })
+            .collect();
+        out.insert(Tuple::new(row))
+            .map_err(|e| IeError::Cms(e.to_string()))?;
+    }
+    Ok(out)
+}
+
+/// Fetch the full extension of a base relation through the CMS — the
+/// compiled strategy's "single, large DBMS request" granularity (cached
+/// by the CMS thereafter).
+fn fetch_base(kb: &KnowledgeBase, cms: &mut Cms, pred: &str) -> Result<Relation> {
+    let arity = kb
+        .base_relations()
+        .find(|(n, _)| *n == pred)
+        .map(|(_, a)| a)
+        .ok_or_else(|| IeError::UnknownPredicate(pred.to_string()))?;
+    let args: Vec<Term> = (0..arity).map(|i| Term::Var(format!("C{i}"))).collect();
+    let head = Atom::new(format!("dap_{pred}"), args.clone());
+    let q = ConjunctiveQuery::new(head, vec![Literal::Atom(Atom::new(pred, args))]);
+    let stream = cms.query(q).map_err(IeError::from)?;
+    let mut rel = Relation::new(Schema::positional(pred, arity));
+    for t in stream {
+        rel.insert(t).map_err(|e| IeError::Cms(e.to_string()))?;
+    }
+    Ok(rel)
+}
+
+/// Apply an atom's terms to a predicate extension: select constants and
+/// repeated variables, and name the output columns by variables.
+fn bind_atom(a: &Atom, ext: &Relation) -> Result<(Vec<String>, Relation)> {
+    let mut vars: Vec<String> = Vec::new();
+    let mut keep_cols: Vec<usize> = Vec::new();
+    let mut out = Relation::new(Schema::positional("atom", a.vars().len()));
+    for (i, t) in a.args.iter().enumerate() {
+        if let Term::Var(v) = t {
+            if !vars.contains(v) {
+                vars.push(v.clone());
+                keep_cols.push(i);
+            }
+        }
+    }
+    'tuples: for t in ext.iter() {
+        let mut seen: BTreeMap<&str, &braid_relational::Value> = BTreeMap::new();
+        for (i, term) in a.args.iter().enumerate() {
+            let v = &t.values()[i];
+            match term {
+                Term::Const(c) => {
+                    if !c.semantic_eq(v) {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(name) => match seen.get(name.as_str()) {
+                    Some(prev) => {
+                        if *prev != v {
+                            continue 'tuples;
+                        }
+                    }
+                    None => {
+                        seen.insert(name, v);
+                    }
+                },
+            }
+        }
+        out.insert(t.project(&keep_cols))
+            .map_err(|e| IeError::Cms(e.to_string()))?;
+    }
+    Ok((vars, out))
+}
+
+fn subst_of(vars: &[String], t: &Tuple) -> Subst {
+    let mut s = Subst::new();
+    for (v, val) in vars.iter().zip(t.values()) {
+        s.insert(v.clone(), Term::Const(val.clone()));
+    }
+    s
+}
+
+fn renamed(rel: Relation, vars: &[String]) -> Relation {
+    let mut out = Relation::new(Schema::positional("join", vars.len()));
+    for t in rel.iter() {
+        let _ = out.insert(t.clone());
+    }
+    out
+}
+
+fn empty_for(kb: &KnowledgeBase, pred: &str) -> Relation {
+    let arity = kb
+        .rules_for(pred)
+        .first()
+        .map(|r| r.clause.head.arity())
+        .unwrap_or(0);
+    Relation::new(Schema::positional(pred, arity))
+}
+
+/// Transitive closure of a binary relation (the fixed-point operator).
+fn transitive_closure(base: &Relation) -> Result<Relation> {
+    if base.schema().arity() != 2 {
+        return Err(IeError::Builtin(
+            "closure SOA requires a binary base relation".into(),
+        ));
+    }
+    let mut total = base.clone();
+    loop {
+        let before = total.len();
+        let step =
+            ops::equijoin(&total, base, &[(1, 0)]).map_err(|e| IeError::Cms(e.to_string()))?;
+        let new_pairs = ops::project(&step, &[0, 3]).map_err(|e| IeError::Cms(e.to_string()))?;
+        for t in new_pairs.iter() {
+            total
+                .insert(t.clone())
+                .map_err(|e| IeError::Cms(e.to_string()))?;
+        }
+        if total.len() == before {
+            return Ok(total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_caql::parse_atom;
+    use braid_cms::CmsConfig;
+    use braid_relational::{tuple, Value};
+    use braid_remote::{Catalog, RemoteDbms};
+
+    fn cms() -> Cms {
+        let mut c = Catalog::new();
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("parent", &["p", "c"]),
+                vec![
+                    tuple!["ann", "bob"],
+                    tuple!["bob", "cal"],
+                    tuple!["cal", "dee"],
+                ],
+            )
+            .unwrap(),
+        );
+        Cms::new(RemoteDbms::with_defaults(c), CmsConfig::braid())
+    }
+
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("parent", 2);
+        kb.add_program(
+            "gp(X, Y) :- parent(X, Z), parent(Z, Y).\n\
+             anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        kb
+    }
+
+    #[test]
+    fn strategy_granularities() {
+        assert_eq!(Strategy::Interpreted.max_conj(), 1);
+        assert_eq!(Strategy::ConjunctionCompiled.max_conj(), usize::MAX);
+        assert!(Strategy::FullyCompiled.set_at_a_time());
+        assert!(!Strategy::Interpreted.set_at_a_time());
+    }
+
+    #[test]
+    fn compiled_conjunctive_query() {
+        let mut cms = cms();
+        let sols = solve_compiled(&kb(), &mut cms, &parse_atom("gp(X, Y)").unwrap()).unwrap();
+        assert_eq!(sols.len(), 2);
+        assert!(sols.contains(&tuple!["ann", "cal"]));
+        assert!(sols.contains(&tuple!["bob", "dee"]));
+    }
+
+    #[test]
+    fn compiled_selects_goal_constants() {
+        let mut cms = cms();
+        let sols = solve_compiled(&kb(), &mut cms, &parse_atom("gp(ann, Y)").unwrap()).unwrap();
+        assert_eq!(sols.sorted_tuples(), vec![tuple!["ann", "cal"]]);
+    }
+
+    #[test]
+    fn compiled_recursive_fixpoint() {
+        let mut cms = cms();
+        let sols = solve_compiled(&kb(), &mut cms, &parse_atom("anc(ann, Y)").unwrap()).unwrap();
+        let ys: Vec<Value> = sols
+            .sorted_tuples()
+            .iter()
+            .map(|t| t.values()[1].clone())
+            .collect();
+        assert_eq!(
+            ys,
+            vec![Value::str("bob"), Value::str("cal"), Value::str("dee")]
+        );
+    }
+
+    #[test]
+    fn closure_soa_shortcut_matches_fixpoint() {
+        let mut kb2 = kb();
+        kb2.add_soa(crate::kb::Soa::Closure {
+            pred: "anc2".into(),
+            base: "parent".into(),
+        });
+        kb2.add_program("anc2(X, Y) :- parent(X, Y).").unwrap();
+        let mut cms1 = cms();
+        let via_soa = solve_compiled(&kb2, &mut cms1, &parse_atom("anc2(X, Y)").unwrap()).unwrap();
+        let mut cms2 = cms();
+        let via_fix = solve_compiled(&kb(), &mut cms2, &parse_atom("anc(X, Y)").unwrap()).unwrap();
+        assert_eq!(via_soa, via_fix);
+    }
+
+    #[test]
+    fn compiled_repeated_variable_selection() {
+        let mut c = Catalog::new();
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("e", &["a", "b"]),
+                vec![tuple!["x", "x"], tuple!["x", "y"]],
+            )
+            .unwrap(),
+        );
+        let mut cms = Cms::new(RemoteDbms::with_defaults(c), CmsConfig::braid());
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("e", 2);
+        kb.add_program("loop(X) :- e(X, X).").unwrap();
+        let sols = solve_compiled(&kb, &mut cms, &parse_atom("loop(X)").unwrap()).unwrap();
+        assert_eq!(sols.sorted_tuples(), vec![tuple!["x"]]);
+    }
+
+    #[test]
+    fn compiled_joins_disconnected_then_connected_atoms() {
+        // Regression: two disconnected atoms (cross product) followed by
+        // an atom joining both sides — the joined-column offsets must not
+        // drift as new variables are appended.
+        let mut cms = cms();
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("parent", 2);
+        kb.add_program(
+            "sib(X, Y) :- parent(P, X), parent(P, Y), X != Y.\n\
+             cousin(X, Y) :- parent(A, X), parent(B, Y), sib(A, B).",
+        )
+        .unwrap();
+        let sols = solve_compiled(&kb, &mut cms, &parse_atom("cousin(X, Y)").unwrap());
+        assert!(sols.is_ok(), "{sols:?}");
+    }
+
+    #[test]
+    fn compiled_negation_rejected() {
+        let mut cms = cms();
+        let mut kb = kb();
+        kb.add_program("weird(X) :- parent(X, Y), not gp(X, Y).")
+            .unwrap();
+        assert!(matches!(
+            solve_compiled(&kb, &mut cms, &parse_atom("weird(X)").unwrap()),
+            Err(IeError::Builtin(_))
+        ));
+    }
+
+    #[test]
+    fn compiled_arithmetic_and_bind() {
+        let mut c = Catalog::new();
+        c.install(
+            Relation::from_tuples(
+                Schema::new(
+                    "num",
+                    vec![braid_relational::Column::new(
+                        "n",
+                        braid_relational::ValueType::Int,
+                    )],
+                )
+                .unwrap(),
+                vec![tuple![2], tuple![7]],
+            )
+            .unwrap(),
+        );
+        let mut cms = Cms::new(RemoteDbms::with_defaults(c), CmsConfig::braid());
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("num", 1);
+        kb.add_program("d(X, Y) :- num(X), X > 3, Y is X + 1.")
+            .unwrap();
+        let sols = solve_compiled(&kb, &mut cms, &parse_atom("d(X, Y)").unwrap()).unwrap();
+        assert_eq!(sols.sorted_tuples(), vec![tuple![7, 8]]);
+    }
+}

@@ -1,0 +1,117 @@
+//! The query translator: external AI-query text → internal form.
+//!
+//! "The user or application submits an AI query, which is an atomic
+//! formula in first order logic, to the IE" (§3). The translator parses
+//! the `?- k1(X, Y).` form, validates the predicate against the knowledge
+//! base, and normalizes variable names apart from rule variables.
+
+use crate::error::{IeError, Result};
+use crate::kb::{GoalKind, KnowledgeBase};
+use braid_caql::{parse_query, Atom};
+
+/// A validated AI query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AiQuery {
+    /// The goal atom.
+    pub goal: Atom,
+    /// Whether the goal is user-defined or a direct base-relation probe.
+    pub kind: GoalKind,
+}
+
+/// Parse and validate an AI query string (`?- k1(X, Y).` — the `?-` and
+/// trailing period are both accepted and optional via [`translate_atom`]).
+///
+/// # Errors
+/// Returns parse errors and [`IeError::UnknownPredicate`].
+pub fn translate(kb: &KnowledgeBase, src: &str) -> Result<AiQuery> {
+    let goal = parse_query(src).map_err(|e| IeError::BadRule {
+        rule: src.to_string(),
+        reason: e.to_string(),
+    })?;
+    translate_atom(kb, goal)
+}
+
+/// Validate an already-parsed goal atom.
+///
+/// # Errors
+/// Returns [`IeError::UnknownPredicate`] for goals that are neither
+/// user-defined nor base relations.
+pub fn translate_atom(kb: &KnowledgeBase, goal: Atom) -> Result<AiQuery> {
+    let kind = kb.kind_of(&goal);
+    if kind == GoalKind::Unknown {
+        return Err(IeError::UnknownPredicate(goal.pred.clone()));
+    }
+    // Arity must match the declaration (base) or some defining rule
+    // (user-defined) — a silent empty answer would mask the typo.
+    let expected: Vec<usize> = match kind {
+        GoalKind::Base => kb
+            .base_relations()
+            .filter(|(n, _)| *n == goal.pred)
+            .map(|(_, a)| a)
+            .collect(),
+        GoalKind::UserDefined => kb
+            .rules_for(&goal.pred)
+            .iter()
+            .map(|r| r.clause.head.arity())
+            .collect(),
+        GoalKind::Unknown => unreachable!("rejected above"),
+    };
+    if !expected.contains(&goal.arity()) {
+        return Err(IeError::BadRule {
+            rule: goal.to_string(),
+            reason: format!(
+                "arity {} does not match `{}`'s declared arity {:?}",
+                goal.arity(),
+                goal.pred,
+                expected
+            ),
+        });
+    }
+    Ok(AiQuery { goal, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("b1", 2);
+        kb.add_program("k1(X) :- b1(X, c1).").unwrap();
+        kb
+    }
+
+    #[test]
+    fn parses_and_classifies() {
+        let q = translate(&kb(), "?- k1(X).").unwrap();
+        assert_eq!(q.goal.to_string(), "k1(X)");
+        assert_eq!(q.kind, GoalKind::UserDefined);
+        let b = translate(&kb(), "?- b1(X, Y).").unwrap();
+        assert_eq!(b.kind, GoalKind::Base);
+    }
+
+    #[test]
+    fn unknown_predicate_rejected() {
+        assert!(matches!(
+            translate(&kb(), "?- nope(X)."),
+            Err(IeError::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn parse_error_reported() {
+        assert!(translate(&kb(), "k1(X").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!(matches!(
+            translate(&kb(), "?- b1(X, Y, Z)."),
+            Err(IeError::BadRule { .. })
+        ));
+        assert!(matches!(
+            translate(&kb(), "?- k1(X, Y)."),
+            Err(IeError::BadRule { .. })
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, RelationalError>;
+
+/// Errors raised by schema construction, operators and expression
+/// evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// Two columns in one schema share a name.
+    DuplicateColumn(String),
+    /// A named column was not found in a schema.
+    UnknownColumn { relation: String, column: String },
+    /// A positional column reference is out of range.
+    ColumnIndexOutOfRange { index: usize, arity: usize },
+    /// A tuple's arity does not match its relation's schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// Two relations combined by union/difference are not compatible.
+    NotUnionCompatible { left: String, right: String },
+    /// An expression was applied to a value of the wrong type.
+    TypeError(String),
+    /// Division by zero in an arithmetic expression.
+    DivisionByZero,
+    /// Aggregate over an empty group where none is defined (e.g. MIN of {}).
+    EmptyAggregate(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            RelationalError::UnknownColumn { relation, column } => {
+                write!(f, "unknown column `{column}` in relation `{relation}`")
+            }
+            RelationalError::ColumnIndexOutOfRange { index, arity } => {
+                write!(f, "column index {index} out of range for arity {arity}")
+            }
+            RelationalError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected}"
+                )
+            }
+            RelationalError::NotUnionCompatible { left, right } => {
+                write!(
+                    f,
+                    "relations `{left}` and `{right}` are not union compatible"
+                )
+            }
+            RelationalError::TypeError(msg) => write!(f, "type error: {msg}"),
+            RelationalError::DivisionByZero => write!(f, "division by zero"),
+            RelationalError::EmptyAggregate(a) => {
+                write!(f, "aggregate `{a}` undefined over an empty group")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}

@@ -1,0 +1,326 @@
+//! Scalar expressions over tuples: selection predicates, arithmetic and
+//! computed columns.
+//!
+//! CAQL "supports arithmetic operators, logical connectives (AND, OR,
+//! NOT)" (§5); compiled CAQL selections bottom out in this expression
+//! language, which both the cache's Query Processor and the simulated
+//! remote engine evaluate.
+
+use crate::error::{RelationalError, Result};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the comparison to two values. Numeric comparands compare
+    /// numerically; other comparands use the total value order.
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        let ord = match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x.total_cmp(&y),
+            _ => a.cmp(b),
+        };
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation of the operator.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression evaluated against a single tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The value of the column at the given index.
+    Col(usize),
+    /// A constant.
+    Const(Value),
+    /// Comparison of two subexpressions; yields a boolean.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Vec<Expr>),
+    /// Logical disjunction.
+    Or(Vec<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Arithmetic difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Arithmetic product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Arithmetic quotient (integer division for two ints).
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand: `col(i) op const`.
+    pub fn col_cmp(i: usize, op: CmpOp, v: impl Into<Value>) -> Expr {
+        Expr::Cmp(op, Box::new(Expr::Col(i)), Box::new(Expr::Const(v.into())))
+    }
+
+    /// Shorthand: `col(i) = col(j)`.
+    pub fn cols_eq(i: usize, j: usize) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(Expr::Col(i)), Box::new(Expr::Col(j)))
+    }
+
+    /// The constant `true`.
+    pub fn always() -> Expr {
+        Expr::Const(Value::Bool(true))
+    }
+
+    /// Evaluate against `t`, returning a value.
+    pub fn eval(&self, t: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Col(i) => t
+                .get(*i)
+                .cloned()
+                .ok_or(RelationalError::ColumnIndexOutOfRange {
+                    index: *i,
+                    arity: t.arity(),
+                }),
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                let (va, vb) = (a.eval(t)?, b.eval(t)?);
+                Ok(Value::Bool(op.eval(&va, &vb)))
+            }
+            Expr::And(es) => {
+                for e in es {
+                    if !e.eval_bool(t)? {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            Expr::Or(es) => {
+                for e in es {
+                    if e.eval_bool(t)? {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            Expr::Not(e) => Ok(Value::Bool(!e.eval_bool(t)?)),
+            Expr::Add(a, b) => arith(a.eval(t)?, b.eval(t)?, "+"),
+            Expr::Sub(a, b) => arith(a.eval(t)?, b.eval(t)?, "-"),
+            Expr::Mul(a, b) => arith(a.eval(t)?, b.eval(t)?, "*"),
+            Expr::Div(a, b) => arith(a.eval(t)?, b.eval(t)?, "/"),
+        }
+    }
+
+    /// Evaluate as a boolean predicate.
+    pub fn eval_bool(&self, t: &Tuple) -> Result<bool> {
+        match self.eval(t)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(RelationalError::TypeError(format!(
+                "expected boolean, got {other}"
+            ))),
+        }
+    }
+
+    /// Number of nodes in the expression tree — used as a crude CPU-cost
+    /// proxy by the planner's cost model.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Col(_) | Expr::Const(_) => 1,
+            Expr::Cmp(_, a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b) => 1 + a.node_count() + b.node_count(),
+            Expr::And(es) | Expr::Or(es) => 1 + es.iter().map(Expr::node_count).sum::<usize>(),
+            Expr::Not(e) => 1 + e.node_count(),
+        }
+    }
+
+    /// Remap column indices through `map` (old index → new index).
+    /// Used when pushing predicates through projections.
+    pub fn remap_cols(&self, map: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(map(*i)),
+            Expr::Const(v) => Expr::Const(v.clone()),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.remap_cols(map)),
+                Box::new(b.remap_cols(map)),
+            ),
+            Expr::And(es) => Expr::And(es.iter().map(|e| e.remap_cols(map)).collect()),
+            Expr::Or(es) => Expr::Or(es.iter().map(|e| e.remap_cols(map)).collect()),
+            Expr::Not(e) => Expr::Not(Box::new(e.remap_cols(map))),
+            Expr::Add(a, b) => Expr::Add(Box::new(a.remap_cols(map)), Box::new(b.remap_cols(map))),
+            Expr::Sub(a, b) => Expr::Sub(Box::new(a.remap_cols(map)), Box::new(b.remap_cols(map))),
+            Expr::Mul(a, b) => Expr::Mul(Box::new(a.remap_cols(map)), Box::new(b.remap_cols(map))),
+            Expr::Div(a, b) => Expr::Div(Box::new(a.remap_cols(map)), Box::new(b.remap_cols(map))),
+        }
+    }
+}
+
+fn arith(a: Value, b: Value, op: &str) -> Result<Value> {
+    match (a, b, op) {
+        (Value::Int(x), Value::Int(y), "+") => Ok(Value::Int(x.wrapping_add(y))),
+        (Value::Int(x), Value::Int(y), "-") => Ok(Value::Int(x.wrapping_sub(y))),
+        (Value::Int(x), Value::Int(y), "*") => Ok(Value::Int(x.wrapping_mul(y))),
+        (Value::Int(_), Value::Int(0), "/") => Err(RelationalError::DivisionByZero),
+        (Value::Int(x), Value::Int(y), "/") => Ok(Value::Int(x / y)),
+        (a, b, op) => {
+            let (x, y) = (
+                a.as_f64().ok_or_else(|| {
+                    RelationalError::TypeError(format!("non-numeric operand {a} for `{op}`"))
+                })?,
+                b.as_f64().ok_or_else(|| {
+                    RelationalError::TypeError(format!("non-numeric operand {b} for `{op}`"))
+                })?,
+            );
+            let r = match op {
+                "+" => x + y,
+                "-" => x - y,
+                "*" => x * y,
+                "/" => {
+                    if y == 0.0 {
+                        return Err(RelationalError::DivisionByZero);
+                    }
+                    x / y
+                }
+                _ => unreachable!("arith called with unknown op"),
+            };
+            Ok(Value::Float(r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn comparisons_on_columns_and_constants() {
+        let t = tuple![5, "x"];
+        assert!(Expr::col_cmp(0, CmpOp::Gt, 3).eval_bool(&t).unwrap());
+        assert!(!Expr::col_cmp(0, CmpOp::Lt, 3).eval_bool(&t).unwrap());
+        assert!(Expr::col_cmp(1, CmpOp::Eq, "x").eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn logical_connectives() {
+        let t = tuple![1];
+        let p = Expr::And(vec![
+            Expr::col_cmp(0, CmpOp::Ge, 0),
+            Expr::Not(Box::new(Expr::col_cmp(0, CmpOp::Eq, 2))),
+        ]);
+        assert!(p.eval_bool(&t).unwrap());
+        let q = Expr::Or(vec![
+            Expr::col_cmp(0, CmpOp::Eq, 9),
+            Expr::col_cmp(0, CmpOp::Eq, 1),
+        ]);
+        assert!(q.eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let t = tuple![6, 4];
+        let sum = Expr::Add(Box::new(Expr::Col(0)), Box::new(Expr::Col(1)));
+        assert_eq!(sum.eval(&t).unwrap(), Value::Int(10));
+        let div = Expr::Div(
+            Box::new(Expr::Col(0)),
+            Box::new(Expr::Const(Value::Float(4.0))),
+        );
+        assert_eq!(div.eval(&t).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let t = tuple![1, 0];
+        let div = Expr::Div(Box::new(Expr::Col(0)), Box::new(Expr::Col(1)));
+        assert_eq!(div.eval(&t), Err(RelationalError::DivisionByZero));
+    }
+
+    #[test]
+    fn mixed_numeric_comparison_is_numeric() {
+        assert!(CmpOp::Eq.eval(&Value::Int(1), &Value::Float(1.0)));
+        assert!(CmpOp::Lt.eval(&Value::Int(1), &Value::Float(1.5)));
+    }
+
+    #[test]
+    fn flipped_and_negated() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.negated(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn eval_bool_rejects_non_boolean() {
+        let t = tuple![1];
+        assert!(Expr::Col(0).eval_bool(&t).is_err());
+    }
+
+    #[test]
+    fn remap_cols_rewrites_references() {
+        let e = Expr::cols_eq(0, 2).remap_cols(&|i| i + 10);
+        assert_eq!(e, Expr::cols_eq(10, 12));
+    }
+
+    #[test]
+    fn out_of_range_column_errors() {
+        let t = tuple![1];
+        assert!(Expr::Col(3).eval(&t).is_err());
+    }
+}

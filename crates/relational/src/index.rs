@@ -1,0 +1,78 @@
+//! Hash indices over relation columns.
+//!
+//! The paper's Query Processor "uses hash indices when available to speed
+//! up joins and some selections" (§5.4); the CMS builds them in response to
+//! consumer (`?`) binding annotations in advice (§4.2.1).
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A multimap from a column-value key to the row ids holding that key.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        HashIndex::default()
+    }
+
+    /// Register `t` (stored at `row`) under its key on `cols`.
+    pub fn add(&mut self, t: &Tuple, cols: &[usize], row: usize) {
+        self.map.entry(t.key(cols)).or_default().push(row);
+    }
+
+    /// Row ids whose key equals `key` (empty slice when none).
+    pub fn get(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of indexed entries.
+    pub fn entries(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_size(&self) -> usize {
+        self.map
+            .iter()
+            .map(|(k, v)| 48 + k.iter().map(Value::approx_size).sum::<usize>() + v.len() * 8)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn add_and_get() {
+        let mut idx = HashIndex::new();
+        idx.add(&tuple!["a", 1], &[0], 0);
+        idx.add(&tuple!["a", 2], &[0], 1);
+        idx.add(&tuple!["b", 3], &[0], 2);
+        assert_eq!(idx.get(&[Value::str("a")]), &[0, 1]);
+        assert_eq!(idx.get(&[Value::str("b")]), &[2]);
+        assert_eq!(idx.get(&[Value::str("z")]), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.entries(), 3);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let mut idx = HashIndex::new();
+        idx.add(&tuple!["a", 1, "x"], &[0, 2], 0);
+        idx.add(&tuple!["a", 2, "y"], &[0, 2], 1);
+        assert_eq!(idx.get(&[Value::str("a"), Value::str("x")]), &[0]);
+        assert_eq!(idx.get(&[Value::str("a"), Value::str("y")]), &[1]);
+    }
+}

@@ -1,0 +1,547 @@
+//! Eager relational operators.
+//!
+//! These implement the full set of operations the CMS's Query Processor
+//! must support ("joins, selects, aggregation, indexing, etc.", §5) and the
+//! restricted subset exposed by the simulated remote DBMS. Every operator
+//! consumes and produces materialized [`Relation`]s; the lazy counterparts
+//! used for generators live in [`crate::lazy`].
+
+use crate::error::{RelationalError, Result};
+use crate::expr::Expr;
+use crate::relation::Relation;
+use crate::schema::{Column, Schema};
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+use std::collections::HashMap;
+
+/// σ — tuples of `r` satisfying `pred`.
+pub fn select(r: &Relation, pred: &Expr) -> Result<Relation> {
+    let mut out = Relation::new(r.schema().clone());
+    for t in r.iter() {
+        if pred.eval_bool(t)? {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Index-assisted selection on a conjunction of column-equals-constant
+/// terms: probes an existing index on `eq_cols` when available, then
+/// applies `residual`. Used by the cache's Query Processor for point
+/// probes driven by consumer annotations.
+pub fn select_eq(
+    r: &Relation,
+    eq_cols: &[usize],
+    key: &[Value],
+    residual: Option<&Expr>,
+) -> Result<Relation> {
+    let mut out = Relation::new(r.schema().clone());
+    for row in r.lookup(eq_cols, key) {
+        let t = r.row(row).expect("lookup returned valid row id");
+        if match residual {
+            Some(p) => p.eval_bool(t)?,
+            None => true,
+        } {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// π — projection onto `cols` (indices may repeat or reorder); result is
+/// deduplicated (set semantics).
+pub fn project(r: &Relation, cols: &[usize]) -> Result<Relation> {
+    let schema = r.schema().project(cols)?;
+    let mut out = Relation::new(schema);
+    for t in r.iter() {
+        out.insert(t.project(cols))?;
+    }
+    Ok(out)
+}
+
+/// × — Cartesian product.
+pub fn product(l: &Relation, r: &Relation) -> Result<Relation> {
+    let schema = l.schema().join(r.schema());
+    let mut out = Relation::new(schema);
+    for a in l.iter() {
+        for b in r.iter() {
+            out.insert(a.concat(b))?;
+        }
+    }
+    Ok(out)
+}
+
+/// ⋈ — equi-join on pairs of (left column, right column), implemented as a
+/// hash join building on the smaller input.
+pub fn equijoin(l: &Relation, r: &Relation, on: &[(usize, usize)]) -> Result<Relation> {
+    let schema = l.schema().join(r.schema());
+    let mut out = Relation::new(schema);
+    if on.is_empty() {
+        return product(l, r);
+    }
+    let lcols: Vec<usize> = on.iter().map(|&(a, _)| a).collect();
+    let rcols: Vec<usize> = on.iter().map(|&(_, b)| b).collect();
+    for &c in &lcols {
+        if c >= l.schema().arity() {
+            return Err(RelationalError::ColumnIndexOutOfRange {
+                index: c,
+                arity: l.schema().arity(),
+            });
+        }
+    }
+    for &c in &rcols {
+        if c >= r.schema().arity() {
+            return Err(RelationalError::ColumnIndexOutOfRange {
+                index: c,
+                arity: r.schema().arity(),
+            });
+        }
+    }
+    // Build on the smaller side.
+    if l.len() <= r.len() {
+        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+        for t in l.iter() {
+            table.entry(t.key(&lcols)).or_default().push(t);
+        }
+        for b in r.iter() {
+            if let Some(matches) = table.get(&b.key(&rcols)) {
+                for a in matches {
+                    out.insert(a.concat(b))?;
+                }
+            }
+        }
+    } else {
+        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+        for t in r.iter() {
+            table.entry(t.key(&rcols)).or_default().push(t);
+        }
+        for a in l.iter() {
+            if let Some(matches) = table.get(&a.key(&lcols)) {
+                for b in matches {
+                    out.insert(a.concat(b))?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// ⋉ — left semi-join: tuples of `l` that join with at least one tuple of
+/// `r` on the given column pairs.
+pub fn semijoin(l: &Relation, r: &Relation, on: &[(usize, usize)]) -> Result<Relation> {
+    let rcols: Vec<usize> = on.iter().map(|&(_, b)| b).collect();
+    let lcols: Vec<usize> = on.iter().map(|&(a, _)| a).collect();
+    let keys: std::collections::HashSet<Vec<Value>> = r.iter().map(|t| t.key(&rcols)).collect();
+    let mut out = Relation::new(l.schema().clone());
+    for t in l.iter() {
+        if keys.contains(&t.key(&lcols)) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// ▷ — anti-join: tuples of `l` with no join partner in `r`.
+pub fn antijoin(l: &Relation, r: &Relation, on: &[(usize, usize)]) -> Result<Relation> {
+    let rcols: Vec<usize> = on.iter().map(|&(_, b)| b).collect();
+    let lcols: Vec<usize> = on.iter().map(|&(a, _)| a).collect();
+    let keys: std::collections::HashSet<Vec<Value>> = r.iter().map(|t| t.key(&rcols)).collect();
+    let mut out = Relation::new(l.schema().clone());
+    for t in l.iter() {
+        if !keys.contains(&t.key(&lcols)) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// ∪ — union of union-compatible relations.
+pub fn union(l: &Relation, r: &Relation) -> Result<Relation> {
+    if !l.schema().union_compatible(r.schema()) {
+        return Err(RelationalError::NotUnionCompatible {
+            left: l.schema().name().to_string(),
+            right: r.schema().name().to_string(),
+        });
+    }
+    let mut out = Relation::new(l.schema().clone());
+    for t in l.iter().chain(r.iter()) {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// − — set difference of union-compatible relations.
+pub fn difference(l: &Relation, r: &Relation) -> Result<Relation> {
+    if !l.schema().union_compatible(r.schema()) {
+        return Err(RelationalError::NotUnionCompatible {
+            left: l.schema().name().to_string(),
+            right: r.schema().name().to_string(),
+        });
+    }
+    let mut out = Relation::new(l.schema().clone());
+    for t in l.iter() {
+        if !r.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// ∩ — set intersection of union-compatible relations.
+pub fn intersect(l: &Relation, r: &Relation) -> Result<Relation> {
+    if !l.schema().union_compatible(r.schema()) {
+        return Err(RelationalError::NotUnionCompatible {
+            left: l.schema().name().to_string(),
+            right: r.schema().name().to_string(),
+        });
+    }
+    let mut out = Relation::new(l.schema().clone());
+    for t in l.iter() {
+        if r.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Aggregate functions supported by the CMS's `AGG` second-order predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Number of tuples in the group.
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Minimum of a column.
+    Min,
+    /// Maximum of a column.
+    Max,
+    /// Arithmetic mean of a numeric column.
+    Avg,
+}
+
+impl AggFunc {
+    /// Name as it appears in CAQL (`AGG(count, ...)`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One aggregate to compute: function over `col` (ignored for `Count`).
+#[derive(Debug, Clone, Copy)]
+pub struct Aggregate {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input column (any column for `Count`).
+    pub col: usize,
+}
+
+/// γ — grouped aggregation. Output columns are the `group_by` columns
+/// followed by one column per aggregate. With an empty `group_by`, yields a
+/// single row (aggregates over the whole relation; COUNT of an empty
+/// relation is 0, other aggregates error).
+pub fn aggregate(r: &Relation, group_by: &[usize], aggs: &[Aggregate]) -> Result<Relation> {
+    let mut cols: Vec<Column> = Vec::new();
+    let gschema = r.schema().project(group_by)?;
+    cols.extend(gschema.columns().iter().cloned());
+    for (i, a) in aggs.iter().enumerate() {
+        if a.col >= r.schema().arity() {
+            return Err(RelationalError::ColumnIndexOutOfRange {
+                index: a.col,
+                arity: r.schema().arity(),
+            });
+        }
+        let ty = match a.func {
+            AggFunc::Count => ValueType::Int,
+            AggFunc::Avg => ValueType::Float,
+            _ => r.schema().columns()[a.col].ty,
+        };
+        cols.push(Column::new(format!("{}_{i}", a.func.name()), ty));
+    }
+    let schema = Schema::new(format!("agg_{}", r.schema().name()), cols)?;
+
+    let mut groups: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+    for t in r.iter() {
+        groups.entry(t.key(group_by)).or_default().push(t);
+    }
+    if groups.is_empty() && group_by.is_empty() {
+        // Global aggregate over the empty relation.
+        let mut row: Vec<Value> = Vec::new();
+        for a in aggs {
+            match a.func {
+                AggFunc::Count => row.push(Value::Int(0)),
+                other => return Err(RelationalError::EmptyAggregate(other.name().to_string())),
+            }
+        }
+        let mut out = Relation::new(schema);
+        out.insert(Tuple::new(row))?;
+        return Ok(out);
+    }
+
+    let mut out = Relation::new(schema);
+    for (key, members) in groups {
+        let mut row = key;
+        for a in aggs {
+            row.push(eval_agg(a, &members)?);
+        }
+        out.insert(Tuple::new(row))?;
+    }
+    Ok(out)
+}
+
+fn eval_agg(a: &Aggregate, members: &[&Tuple]) -> Result<Value> {
+    match a.func {
+        AggFunc::Count => Ok(Value::Int(members.len() as i64)),
+        AggFunc::Min => members
+            .iter()
+            .map(|t| t.values()[a.col].clone())
+            .min()
+            .ok_or_else(|| RelationalError::EmptyAggregate("min".into())),
+        AggFunc::Max => members
+            .iter()
+            .map(|t| t.values()[a.col].clone())
+            .max()
+            .ok_or_else(|| RelationalError::EmptyAggregate("max".into())),
+        AggFunc::Sum => {
+            let mut int_sum: i64 = 0;
+            let mut float_sum: f64 = 0.0;
+            let mut any_float = false;
+            for t in members {
+                match &t.values()[a.col] {
+                    Value::Int(i) => int_sum = int_sum.wrapping_add(*i),
+                    Value::Float(f) => {
+                        any_float = true;
+                        float_sum += f;
+                    }
+                    other => {
+                        return Err(RelationalError::TypeError(format!(
+                            "SUM over non-numeric value {other}"
+                        )))
+                    }
+                }
+            }
+            if any_float {
+                Ok(Value::Float(float_sum + int_sum as f64))
+            } else {
+                Ok(Value::Int(int_sum))
+            }
+        }
+        AggFunc::Avg => {
+            if members.is_empty() {
+                return Err(RelationalError::EmptyAggregate("avg".into()));
+            }
+            let mut sum = 0.0;
+            for t in members {
+                sum += t.values()[a.col].as_f64().ok_or_else(|| {
+                    RelationalError::TypeError("AVG over non-numeric value".into())
+                })?;
+            }
+            Ok(Value::Float(sum / members.len() as f64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::{tuple, Schema};
+
+    fn parent() -> Relation {
+        Relation::from_tuples(
+            Schema::of_strs("parent", &["p", "c"]),
+            vec![
+                tuple!["ann", "bob"],
+                tuple!["ann", "cal"],
+                tuple!["bob", "dee"],
+                tuple!["cal", "eli"],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn age() -> Relation {
+        let schema = Schema::new(
+            "age",
+            vec![
+                Column::new("person", ValueType::Str),
+                Column::new("years", ValueType::Int),
+            ],
+        )
+        .unwrap();
+        Relation::from_tuples(
+            schema,
+            vec![
+                tuple!["ann", 70],
+                tuple!["bob", 45],
+                tuple!["cal", 44],
+                tuple!["dee", 20],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = select(&parent(), &Expr::col_cmp(0, CmpOp::Eq, "ann")).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn select_eq_uses_index_and_residual() {
+        let mut p = parent();
+        p.build_index(&[0]).unwrap();
+        let r = select_eq(
+            &p,
+            &[0],
+            &[Value::str("ann")],
+            Some(&Expr::col_cmp(1, CmpOp::Ne, "cal")),
+        )
+        .unwrap();
+        assert_eq!(r.sorted_tuples(), vec![tuple!["ann", "bob"]]);
+    }
+
+    #[test]
+    fn project_dedups() {
+        let r = project(&parent(), &[0]).unwrap();
+        assert_eq!(r.len(), 3); // ann, bob, cal
+    }
+
+    #[test]
+    fn equijoin_grandparents() {
+        let p = parent();
+        let j = equijoin(&p, &p, &[(1, 0)]).unwrap();
+        let gp = project(&j, &[0, 3]).unwrap();
+        let mut rows = gp.sorted_tuples();
+        rows.sort();
+        assert_eq!(rows, vec![tuple!["ann", "dee"], tuple!["ann", "eli"]]);
+    }
+
+    #[test]
+    fn equijoin_empty_on_is_product() {
+        let p = parent();
+        let a = age();
+        let j = equijoin(&p, &a, &[]).unwrap();
+        assert_eq!(j.len(), p.len() * a.len());
+    }
+
+    #[test]
+    fn semijoin_and_antijoin_partition() {
+        let p = parent();
+        let a = age();
+        // parents whose child has a known age
+        let semi = semijoin(&p, &a, &[(1, 0)]).unwrap();
+        let anti = antijoin(&p, &a, &[(1, 0)]).unwrap();
+        assert_eq!(semi.len() + anti.len(), p.len());
+        assert!(anti.contains(&tuple!["cal", "eli"]));
+    }
+
+    #[test]
+    fn union_difference_intersect() {
+        let p = parent();
+        let q = Relation::from_tuples(
+            Schema::of_strs("extra", &["p", "c"]),
+            vec![tuple!["ann", "bob"], tuple!["zoe", "yan"]],
+        )
+        .unwrap();
+        assert_eq!(union(&p, &q).unwrap().len(), 5);
+        assert_eq!(difference(&p, &q).unwrap().len(), 3);
+        assert_eq!(intersect(&p, &q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn union_incompatible_rejected() {
+        let p = parent();
+        let a = age();
+        assert!(union(&p, &a).is_err());
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let p = parent();
+        let counts = aggregate(
+            &p,
+            &[0],
+            &[Aggregate {
+                func: AggFunc::Count,
+                col: 0,
+            }],
+        )
+        .unwrap();
+        assert!(counts.contains(&tuple!["ann", 2]));
+        assert!(counts.contains(&tuple!["bob", 1]));
+    }
+
+    #[test]
+    fn aggregate_global_and_numeric() {
+        let a = age();
+        let r = aggregate(
+            &a,
+            &[],
+            &[
+                Aggregate {
+                    func: AggFunc::Sum,
+                    col: 1,
+                },
+                Aggregate {
+                    func: AggFunc::Min,
+                    col: 1,
+                },
+                Aggregate {
+                    func: AggFunc::Max,
+                    col: 1,
+                },
+                Aggregate {
+                    func: AggFunc::Avg,
+                    col: 1,
+                },
+            ],
+        )
+        .unwrap();
+        let row = &r.sorted_tuples()[0];
+        assert_eq!(row.values()[0], Value::Int(179));
+        assert_eq!(row.values()[1], Value::Int(20));
+        assert_eq!(row.values()[2], Value::Int(70));
+        assert_eq!(row.values()[3], Value::Float(179.0 / 4.0));
+    }
+
+    #[test]
+    fn count_of_empty_relation_is_zero() {
+        let empty = Relation::new(Schema::of_strs("e", &["x"]));
+        let r = aggregate(
+            &empty,
+            &[],
+            &[Aggregate {
+                func: AggFunc::Count,
+                col: 0,
+            }],
+        )
+        .unwrap();
+        assert_eq!(r.sorted_tuples()[0], tuple![0]);
+    }
+
+    #[test]
+    fn min_of_empty_relation_errors() {
+        let empty = Relation::new(Schema::of_strs("e", &["x"]));
+        assert!(aggregate(
+            &empty,
+            &[],
+            &[Aggregate {
+                func: AggFunc::Min,
+                col: 0
+            }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn join_out_of_range_errors() {
+        let p = parent();
+        assert!(equijoin(&p, &p, &[(5, 0)]).is_err());
+    }
+}

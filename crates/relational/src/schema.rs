@@ -1,0 +1,255 @@
+//! Relation schemas: ordered, named, typed columns.
+
+use crate::error::{RelationalError, Result};
+use crate::value::ValueType;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single column of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Column {
+    /// Column name, unique within its schema.
+    pub name: String,
+    /// Declared type. `Null` is permitted in any column.
+    pub ty: ValueType,
+}
+
+impl Column {
+    /// Create a column.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of [`Column`]s, optionally carrying the relation name.
+///
+/// Schemas are shared behind `Arc` by relations, tuples streams and cache
+/// elements, so cloning a [`Schema`] handle is cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    columns: Arc<[Column]>,
+}
+
+impl Schema {
+    /// Build a schema from a relation name and columns.
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::DuplicateColumn`] if two columns share a
+    /// name.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(RelationalError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Schema {
+            name: name.into(),
+            columns: columns.into(),
+        })
+    }
+
+    /// Shorthand: all columns typed [`ValueType::Str`], named from `cols`.
+    pub fn of_strs(name: impl Into<String>, cols: &[&str]) -> Self {
+        Schema::new(
+            name,
+            cols.iter()
+                .map(|c| Column::new(*c, ValueType::Str))
+                .collect(),
+        )
+        .expect("column names must be unique")
+    }
+
+    /// Shorthand: anonymous positional columns `a0..aN`, all typed `Str`.
+    pub fn positional(name: impl Into<String>, arity: usize) -> Self {
+        Schema::new(
+            name,
+            (0..arity)
+                .map(|i| Column::new(format!("a{i}"), ValueType::Str))
+                .collect(),
+        )
+        .expect("generated column names are unique")
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the relation, keeping columns.
+    pub fn renamed(&self, name: impl Into<String>) -> Schema {
+        Schema {
+            name: name.into(),
+            columns: Arc::clone(&self.columns),
+        }
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column index, as an error-carrying lookup.
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| RelationalError::UnknownColumn {
+                relation: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// Project this schema onto the given column indices.
+    ///
+    /// # Errors
+    /// Returns [`RelationalError::ColumnIndexOutOfRange`] for bad indices.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut cols = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let col = self
+                .columns
+                .get(i)
+                .ok_or(RelationalError::ColumnIndexOutOfRange {
+                    index: i,
+                    arity: self.arity(),
+                })?;
+            // Projection may repeat a column; disambiguate the name.
+            let mut name = col.name.clone();
+            let mut n = 1;
+            while cols.iter().any(|c: &Column| c.name == name) {
+                name = format!("{}_{n}", col.name);
+                n += 1;
+            }
+            cols.push(Column::new(name, col.ty));
+        }
+        Schema::new(self.name.clone(), cols)
+    }
+
+    /// Concatenate two schemas (used by joins). Name collisions from the
+    /// right side are qualified with the right relation name.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut cols: Vec<Column> = self.columns.to_vec();
+        for c in right.columns.iter() {
+            let mut name = c.name.clone();
+            if cols.iter().any(|l| l.name == name) {
+                name = format!("{}.{}", right.name, c.name);
+                let mut n = 1;
+                while cols.iter().any(|l| l.name == name) {
+                    name = format!("{}.{}_{n}", right.name, c.name);
+                    n += 1;
+                }
+            }
+            cols.push(Column::new(name, c.ty));
+        }
+        Schema::new(format!("{}_{}", self.name, right.name), cols)
+            .expect("join column names are made unique above")
+    }
+
+    /// True when both schemas have the same column types in the same order
+    /// (names may differ) — the condition for union compatibility.
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.arity() == other.arity()
+            && self
+                .columns
+                .iter()
+                .zip(other.columns.iter())
+                .all(|(a, b)| a.ty == b.ty || a.ty == ValueType::Null || b.ty == ValueType::Null)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = Schema::new(
+            "r",
+            vec![
+                Column::new("x", ValueType::Int),
+                Column::new("x", ValueType::Str),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateColumn(c) if c == "x"));
+    }
+
+    #[test]
+    fn index_of_finds_columns() {
+        let s = Schema::of_strs("r", &["a", "b", "c"]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert!(s.require("z").is_err());
+    }
+
+    #[test]
+    fn project_repeated_column_disambiguates() {
+        let s = Schema::of_strs("r", &["a", "b"]);
+        let p = s.project(&[0, 0, 1]).unwrap();
+        let names: Vec<_> = p.columns().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "a_1", "b"]);
+    }
+
+    #[test]
+    fn project_out_of_range_errors() {
+        let s = Schema::of_strs("r", &["a"]);
+        assert!(s.project(&[1]).is_err());
+    }
+
+    #[test]
+    fn join_qualifies_collisions() {
+        let l = Schema::of_strs("l", &["id", "x"]);
+        let r = Schema::of_strs("r", &["id", "y"]);
+        let j = l.join(&r);
+        let names: Vec<_> = j.columns().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["id", "x", "r.id", "y"]);
+    }
+
+    #[test]
+    fn union_compatibility_checks_types_positionally() {
+        let a = Schema::of_strs("a", &["x", "y"]);
+        let b = Schema::of_strs("b", &["p", "q"]);
+        assert!(a.union_compatible(&b));
+        let c = Schema::new(
+            "c",
+            vec![
+                Column::new("x", ValueType::Int),
+                Column::new("y", ValueType::Str),
+            ],
+        )
+        .unwrap();
+        assert!(!a.union_compatible(&c));
+    }
+
+    #[test]
+    fn positional_schema_names() {
+        let s = Schema::positional("b1", 3);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.columns()[2].name, "a2");
+    }
+}

@@ -1,0 +1,206 @@
+//! Sorted representations of relations.
+//!
+//! The CMS "frequently maintains co-existing, alternative representations
+//! of the same relation. Consider, for example, the case where alternative
+//! sortings are required" (§5.2). A [`SortedView`] is one such alternative
+//! representation: an ordering of a relation's rows by a key, supporting
+//! ordered scans and binary-search range probes.
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Sort direction for one key column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One component of a sort key.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    /// Column index.
+    pub col: usize,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+impl SortKey {
+    /// Ascending key on `col`.
+    pub fn asc(col: usize) -> Self {
+        SortKey {
+            col,
+            order: SortOrder::Asc,
+        }
+    }
+
+    /// Descending key on `col`.
+    pub fn desc(col: usize) -> Self {
+        SortKey {
+            col,
+            order: SortOrder::Desc,
+        }
+    }
+}
+
+/// An ordering of a relation's rows by a compound key. Stores row ids, not
+/// tuples, so several views can coexist cheaply over one extension.
+#[derive(Debug, Clone)]
+pub struct SortedView {
+    keys: Vec<SortKey>,
+    rows: Vec<usize>,
+}
+
+impl SortedView {
+    /// Sort `rel`'s rows by `keys`.
+    ///
+    /// # Errors
+    /// Returns an error if a key column is out of range.
+    pub fn new(rel: &Relation, keys: &[SortKey]) -> Result<Self> {
+        for k in keys {
+            if k.col >= rel.schema().arity() {
+                return Err(crate::RelationalError::ColumnIndexOutOfRange {
+                    index: k.col,
+                    arity: rel.schema().arity(),
+                });
+            }
+        }
+        let mut rows: Vec<usize> = (0..rel.len()).collect();
+        rows.sort_by(|&a, &b| {
+            let ta = rel.row(a).expect("row in range");
+            let tb = rel.row(b).expect("row in range");
+            compare(ta, tb, keys)
+        });
+        Ok(SortedView {
+            keys: keys.to_vec(),
+            rows,
+        })
+    }
+
+    /// The sort key.
+    pub fn keys(&self) -> &[SortKey] {
+        &self.keys
+    }
+
+    /// Iterate tuples of `rel` in sorted order.
+    ///
+    /// The view must have been built over this relation (or one with
+    /// identical row ids); rows added after the view was built are not
+    /// visible through it.
+    pub fn iter<'a>(&'a self, rel: &'a Relation) -> impl Iterator<Item = &'a Tuple> + 'a {
+        self.rows.iter().filter_map(move |&i| rel.row(i))
+    }
+
+    /// Row ids whose first key column equals `v` (binary search; only valid
+    /// when the first key is ascending).
+    pub fn range_eq(&self, rel: &Relation, v: &Value) -> Vec<usize> {
+        let col = match self.keys.first() {
+            Some(k) if k.order == SortOrder::Asc => k.col,
+            _ => return Vec::new(),
+        };
+        let cmp_at = |i: usize| -> Ordering {
+            rel.row(self.rows[i])
+                .and_then(|t| t.get(col))
+                .map(|x| x.cmp(v))
+                .unwrap_or(Ordering::Greater)
+        };
+        // Lower bound.
+        let (mut lo, mut hi) = (0usize, self.rows.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if cmp_at(mid) == Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut out = Vec::new();
+        while lo < self.rows.len() && cmp_at(lo) == Ordering::Equal {
+            out.push(self.rows[lo]);
+            lo += 1;
+        }
+        out
+    }
+}
+
+fn compare(a: &Tuple, b: &Tuple, keys: &[SortKey]) -> Ordering {
+    for k in keys {
+        let va = a.get(k.col);
+        let vb = b.get(k.col);
+        let ord = va.cmp(&vb);
+        let ord = match k.order {
+            SortOrder::Asc => ord,
+            SortOrder::Desc => ord.reverse(),
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tuple, Schema};
+
+    fn rel() -> Relation {
+        Relation::from_tuples(
+            Schema::of_strs("r", &["k", "v"]),
+            vec![
+                tuple!["b", "1"],
+                tuple!["a", "2"],
+                tuple!["c", "3"],
+                tuple!["a", "1"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sorts_ascending_with_tiebreak() {
+        let r = rel();
+        let view = SortedView::new(&r, &[SortKey::asc(0), SortKey::asc(1)]).unwrap();
+        let ks: Vec<String> = view
+            .iter(&r)
+            .map(|t| format!("{}{}", t.values()[0], t.values()[1]))
+            .collect();
+        assert_eq!(ks, vec!["a1", "a2", "b1", "c3"]);
+    }
+
+    #[test]
+    fn sorts_descending() {
+        let r = rel();
+        let view = SortedView::new(&r, &[SortKey::desc(0)]).unwrap();
+        let first = view.iter(&r).next().unwrap();
+        assert_eq!(first.values()[0], Value::str("c"));
+    }
+
+    #[test]
+    fn range_eq_finds_all_matches() {
+        let r = rel();
+        let view = SortedView::new(&r, &[SortKey::asc(0)]).unwrap();
+        let rows = view.range_eq(&r, &Value::str("a"));
+        assert_eq!(rows.len(), 2);
+        let rows = view.range_eq(&r, &Value::str("zz"));
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_key_errors() {
+        let r = rel();
+        assert!(SortedView::new(&r, &[SortKey::asc(9)]).is_err());
+    }
+
+    #[test]
+    fn range_eq_on_descending_view_returns_empty() {
+        let r = rel();
+        let view = SortedView::new(&r, &[SortKey::desc(0)]).unwrap();
+        assert!(view.range_eq(&r, &Value::str("a")).is_empty());
+    }
+}

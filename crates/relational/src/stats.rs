@@ -1,0 +1,121 @@
+//! Relation statistics for cost-based decisions.
+//!
+//! Both the problem-graph shaper ("cardinality and selectivity information
+//! from the DBMS schema ... is used to determine producer-consumer
+//! relationships", §4.1) and the CMS's Query Planner/Optimizer consume
+//! these statistics.
+
+use crate::relation::Relation;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// Summary statistics of a relation: cardinality and per-column distinct
+/// counts, from which equality selectivities are estimated with the
+/// classical uniform-distribution assumption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationStats {
+    /// Number of tuples.
+    pub cardinality: usize,
+    /// Distinct value count per column.
+    pub distinct: Vec<usize>,
+    /// Approximate bytes held by the relation.
+    pub approx_bytes: usize,
+}
+
+impl RelationStats {
+    /// Compute exact statistics by scanning `rel`.
+    pub fn of(rel: &Relation) -> Self {
+        let arity = rel.schema().arity();
+        let mut sets: Vec<HashSet<&Value>> = vec![HashSet::new(); arity];
+        for t in rel.iter() {
+            for (i, v) in t.values().iter().enumerate() {
+                sets[i].insert(v);
+            }
+        }
+        RelationStats {
+            cardinality: rel.len(),
+            distinct: sets.into_iter().map(|s| s.len()).collect(),
+            approx_bytes: rel.approx_size(),
+        }
+    }
+
+    /// Estimated selectivity of `col = const`: `1 / distinct(col)`.
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        match self.distinct.get(col) {
+            Some(&d) if d > 0 => 1.0 / d as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Estimated output cardinality of an equality selection on `col`.
+    pub fn eq_cardinality(&self, col: usize) -> f64 {
+        self.cardinality as f64 * self.eq_selectivity(col)
+    }
+
+    /// Estimated join cardinality with `other` on `(self.col, other.col)`
+    /// using the standard `|R||S| / max(V(R,a), V(S,b))` formula.
+    pub fn join_cardinality(&self, col: usize, other: &RelationStats, other_col: usize) -> f64 {
+        let va = self.distinct.get(col).copied().unwrap_or(1).max(1);
+        let vb = other.distinct.get(other_col).copied().unwrap_or(1).max(1);
+        (self.cardinality as f64 * other.cardinality as f64) / va.max(vb) as f64
+    }
+
+    /// Average tuple width in bytes.
+    pub fn avg_tuple_bytes(&self) -> f64 {
+        if self.cardinality == 0 {
+            0.0
+        } else {
+            self.approx_bytes as f64 / self.cardinality as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tuple, Schema};
+
+    fn rel() -> Relation {
+        Relation::from_tuples(
+            Schema::of_strs("r", &["k", "v"]),
+            vec![
+                tuple!["a", "1"],
+                tuple!["a", "2"],
+                tuple!["b", "1"],
+                tuple!["c", "1"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let s = RelationStats::of(&rel());
+        assert_eq!(s.cardinality, 4);
+        assert_eq!(s.distinct, vec![3, 2]);
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        let s = RelationStats::of(&rel());
+        assert!((s.eq_selectivity(0) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.eq_cardinality(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_cardinality_formula() {
+        let s = RelationStats::of(&rel());
+        // Self-join on column 0: 4*4 / 3.
+        let est = s.join_cardinality(0, &s, 0);
+        assert!((est - 16.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_relation_stats() {
+        let e = Relation::new(Schema::of_strs("e", &["x"]));
+        let s = RelationStats::of(&e);
+        assert_eq!(s.cardinality, 0);
+        assert_eq!(s.eq_selectivity(0), 1.0);
+        assert_eq!(s.avg_tuple_bytes(), 0.0);
+    }
+}

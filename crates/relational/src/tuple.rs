@@ -1,0 +1,130 @@
+//! Immutable, cheaply-cloneable tuples.
+//!
+//! Tuples flow across three system boundaries in BrAID — remote DBMS →
+//! CMS buffer → cache, and cache → stream → inference engine — so they are
+//! stored behind `Arc` and cloned by reference count ("interfaces for
+//! efficient data transfer", §5).
+
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable row of [`Value`]s.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
+    /// The empty (0-ary) tuple.
+    pub fn empty() -> Self {
+        Tuple {
+            values: Arc::from(Vec::new()),
+        }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Field at `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// All fields.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// New tuple holding the fields at `indices` (indices may repeat).
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Concatenation of `self` and `other` (used by joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Tuple::new(v)
+    }
+
+    /// Key extraction for hash joins / indices: the values at `indices`.
+    pub fn key(&self, indices: &[usize]) -> Vec<Value> {
+        indices.iter().map(|&i| self.values[i].clone()).collect()
+    }
+
+    /// Approximate heap footprint in bytes (for cache accounting).
+    pub fn approx_size(&self) -> usize {
+        16 + self.values.iter().map(Value::approx_size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+/// Build a tuple from anything convertible to values:
+/// `tuple!["ann", 3, true]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_and_concat() {
+        let t = tuple!["a", 1, "b"];
+        assert_eq!(t.project(&[2, 0]), tuple!["b", "a"]);
+        assert_eq!(t.concat(&tuple![9]), tuple!["a", 1, "b", 9]);
+    }
+
+    #[test]
+    fn key_extracts_values() {
+        let t = tuple![10, 20, 30];
+        assert_eq!(t.key(&[1]), vec![Value::int(20)]);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let t = tuple!["shared", 1];
+        let u = t.clone();
+        // Same Arc — pointer equality on the backing slice.
+        assert!(std::ptr::eq(t.values().as_ptr(), u.values().as_ptr()));
+    }
+
+    #[test]
+    fn display_is_parenthesised() {
+        assert_eq!(tuple!["x", 2].to_string(), "(x, 2)");
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+}

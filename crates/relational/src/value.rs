@@ -1,0 +1,342 @@
+//! Typed scalar values stored in relations.
+//!
+//! The paper's worked examples are purely symbolic (constants `c1`, `c2`,
+//! ...), but CAQL "supports arithmetic operators" (§5), so values carry
+//! integers and floats in addition to interned strings. A total order is
+//! defined across all values (ordering first by type tag) so that relations
+//! can be sorted and deduplicated deterministically.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The dynamic type of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float with a total order (NaN sorts last).
+    Float,
+    /// Interned UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// The SQL-ish null; equal to itself so relations stay set-like.
+    Null,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+            ValueType::Bool => "bool",
+            ValueType::Null => "null",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar value. Strings are reference counted so that tuples can be
+/// cloned cheaply as they move between the remote DBMS, the cache and the
+/// inference engine's answer streams.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. Compared with a total order; NaN compares equal to
+    /// itself and greater than every other float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(Arc<str>),
+    /// Boolean.
+    Bool(bool),
+    /// Null (absent) value.
+    Null,
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Convenience constructor for integer values.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// The dynamic type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Null => ValueType::Null,
+        }
+    }
+
+    /// Integer payload, if this value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this value is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this value is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of the value (ints widen to floats) used by the
+    /// arithmetic evaluator.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the CMS for cache
+    /// resource accounting (§5.4: "keeping track of resources consumed by
+    /// the cached data").
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Bool(_) | Value::Null => 1,
+            Value::Str(s) => 16 + s.len(),
+        }
+    }
+
+    /// True when both values are numeric and numerically equal, or equal
+    /// under the total order otherwise.
+    pub fn semantic_eq(&self, other: &Value) -> bool {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self == other,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) => 2,
+                Float(_) => 3,
+                Str(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => total_f64_cmp(*a, *b),
+            // Mixed numerics compare numerically so `1` and `1.0` are the
+            // same point in sort order but remain distinct values under the
+            // tag tiebreak.
+            (Int(a), Float(b)) => total_f64_cmp(*a as f64, *b).then(Ordering::Less),
+            (Float(a), Int(b)) => total_f64_cmp(*a, *b as f64).then(Ordering::Greater),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => tag(a).cmp(&tag(b)),
+        }
+    }
+}
+
+fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                3u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn display_round_trips_ints_and_strings() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("alice").to_string(), "alice");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn total_order_is_by_type_tag_then_payload() {
+        let mut vs = vec![
+            Value::str("a"),
+            Value::int(2),
+            Value::Null,
+            Value::Bool(true),
+            Value::int(1),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::int(1),
+                Value::int(2),
+                Value::str("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = Value::str("hello");
+        let b = Value::str("hello");
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn floats_have_total_order_including_nan() {
+        let mut vs = [
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Float(-1.0),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Float(-1.0));
+        assert_eq!(vs[1], Value::Float(1.0));
+        assert!(matches!(vs[2], Value::Float(f) if f.is_nan()));
+        // NaN equals itself under the total order.
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn mixed_numeric_ordering_is_numeric() {
+        assert!(Value::int(1) < Value::Float(1.5));
+        assert!(Value::Float(0.5) < Value::int(1));
+        // Equal magnitude: Int sorts before Float (deterministic tiebreak),
+        // and they are *not* equal values.
+        assert!(Value::int(1) < Value::Float(1.0));
+        assert_ne!(Value::int(1), Value::Float(1.0));
+        // ... but they are semantically (numerically) equal.
+        assert!(Value::int(1).semantic_eq(&Value::Float(1.0)));
+    }
+
+    #[test]
+    fn approx_size_counts_string_payload() {
+        assert_eq!(Value::int(7).approx_size(), 8);
+        assert_eq!(Value::str("abcd").approx_size(), 20);
+    }
+
+    #[test]
+    fn as_f64_widens_ints() {
+        assert_eq!(Value::int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_f64(), None);
+    }
+}

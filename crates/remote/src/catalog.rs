@@ -1,0 +1,108 @@
+//! The remote database catalog: base relations, schemas, statistics.
+
+use crate::error::{RemoteError, Result};
+use braid_relational::{Relation, RelationStats, Schema};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The remote DBMS's database: named base relations plus computed
+/// statistics. The schema half of this structure is what the CMS holds "(a
+/// copy of)" (§5) and what the IE's shaper reads "cardinality and
+/// selectivity information" from (§4.1).
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    relations: BTreeMap<String, Arc<Relation>>,
+    stats: BTreeMap<String, RelationStats>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Install (or replace) a base relation; statistics are computed
+    /// immediately.
+    pub fn install(&mut self, rel: Relation) {
+        let name = rel.schema().name().to_string();
+        self.stats.insert(name.clone(), RelationStats::of(&rel));
+        self.relations.insert(name, Arc::new(rel));
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Arc<Relation>> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RemoteError::UnknownRelation(name.to_string()))
+    }
+
+    /// The schema of a base relation.
+    pub fn schema(&self, name: &str) -> Result<&Schema> {
+        Ok(self.relation(name)?.schema())
+    }
+
+    /// Statistics of a base relation.
+    pub fn stats(&self, name: &str) -> Result<&RelationStats> {
+        self.stats
+            .get(name)
+            .ok_or_else(|| RemoteError::UnknownRelation(name.to_string()))
+    }
+
+    /// All relation names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// A snapshot of every schema — the "copy of the remote database
+    /// schema" handed to the CMS at connection time.
+    pub fn schema_snapshot(&self) -> BTreeMap<String, Schema> {
+        self.relations
+            .iter()
+            .map(|(n, r)| (n.clone(), r.schema().clone()))
+            .collect()
+    }
+
+    /// A snapshot of all statistics.
+    pub fn stats_snapshot(&self) -> BTreeMap<String, RelationStats> {
+        self.stats.clone()
+    }
+
+    /// Total number of tuples across all base relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_relational::tuple;
+
+    #[test]
+    fn install_and_lookup() {
+        let mut c = Catalog::new();
+        c.install(
+            Relation::from_tuples(
+                Schema::of_strs("parent", &["p", "c"]),
+                vec![tuple!["ann", "bob"]],
+            )
+            .unwrap(),
+        );
+        assert_eq!(c.relation("parent").unwrap().len(), 1);
+        assert_eq!(c.stats("parent").unwrap().cardinality, 1);
+        assert!(matches!(
+            c.relation("nope"),
+            Err(RemoteError::UnknownRelation(_))
+        ));
+        assert_eq!(c.names().collect::<Vec<_>>(), vec!["parent"]);
+        assert_eq!(c.total_tuples(), 1);
+    }
+
+    #[test]
+    fn snapshot_contains_schemas() {
+        let mut c = Catalog::new();
+        c.install(Relation::new(Schema::of_strs("b1", &["x", "y"])));
+        let snap = c.schema_snapshot();
+        assert_eq!(snap["b1"].arity(), 2);
+    }
+}

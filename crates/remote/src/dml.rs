@@ -1,0 +1,190 @@
+//! The remote DBMS's data manipulation language: unions of
+//! select-project-join blocks.
+//!
+//! This is the target language of the CMS's Remote DBMS Interface, which
+//! "performs query translation to \[the\] data manipulation language (DML)
+//! of the remote DBMS" (§3). It is intentionally a *strict subset* of
+//! CAQL's power, circa-1990 relational: conjunctive SPJ blocks plus UNION.
+
+use braid_relational::{CmpOp, Value};
+use std::fmt;
+
+/// A table occurrence in a query's FROM list. The same base relation may
+/// occur several times (self-joins), so occurrences are positional.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Base relation name in the catalog.
+    pub relation: String,
+}
+
+/// A reference to a column of a table occurrence: `(occurrence index,
+/// column index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    /// Index into the block's `from` list.
+    pub table: usize,
+    /// Column index within that table.
+    pub col: usize,
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.c{}", self.table, self.col)
+    }
+}
+
+/// A WHERE-clause predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `col op constant`
+    ColConst(ColRef, CmpOp, Value),
+    /// `col op col` (with `Eq` this is a join/selection equality)
+    ColCol(ColRef, CmpOp, ColRef),
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::ColConst(c, op, v) => write!(f, "{c} {op} {v:?}"),
+            Predicate::ColCol(a, op, b) => write!(f, "{a} {op} {b}"),
+        }
+    }
+}
+
+/// One SPJ block: `SELECT cols FROM tables WHERE preds`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectBlock {
+    /// Table occurrences.
+    pub from: Vec<TableRef>,
+    /// Conjunction of predicates.
+    pub predicates: Vec<Predicate>,
+    /// Output columns, in order. Empty means `SELECT *`.
+    pub select: Vec<ColRef>,
+}
+
+impl SelectBlock {
+    /// A full scan of one relation.
+    pub fn scan(relation: impl Into<String>) -> SelectBlock {
+        SelectBlock {
+            from: vec![TableRef {
+                relation: relation.into(),
+            }],
+            predicates: Vec::new(),
+            select: Vec::new(),
+        }
+    }
+
+    /// Number of join predicates (col = col across distinct tables).
+    pub fn join_predicate_count(&self) -> usize {
+        self.predicates
+            .iter()
+            .filter(|p| matches!(p, Predicate::ColCol(a, CmpOp::Eq, b) if a.table != b.table))
+            .count()
+    }
+}
+
+impl fmt::Display for SelectBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.select.is_empty() {
+            write!(f, "*")?;
+        } else {
+            for (i, c) in self.select.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} t{i}", t.relation)?;
+        }
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A DML query: a union of one or more SPJ blocks (all blocks must be
+/// union compatible).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlQuery {
+    /// The union branches.
+    pub blocks: Vec<SelectBlock>,
+}
+
+impl SqlQuery {
+    /// A single-block query.
+    pub fn single(block: SelectBlock) -> SqlQuery {
+        SqlQuery {
+            blocks: vec![block],
+        }
+    }
+
+    /// Total number of table occurrences across branches — a proxy for
+    /// request complexity used in cost accounting.
+    pub fn table_occurrences(&self) -> usize {
+        self.blocks.iter().map(|b| b.from.len()).sum()
+    }
+}
+
+impl fmt::Display for SqlQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, " UNION ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_reads_like_sql() {
+        let b = SelectBlock {
+            from: vec![
+                TableRef {
+                    relation: "b2".into(),
+                },
+                TableRef {
+                    relation: "b3".into(),
+                },
+            ],
+            predicates: vec![
+                Predicate::ColCol(
+                    ColRef { table: 0, col: 1 },
+                    CmpOp::Eq,
+                    ColRef { table: 1, col: 0 },
+                ),
+                Predicate::ColConst(ColRef { table: 1, col: 1 }, CmpOp::Eq, Value::str("c2")),
+            ],
+            select: vec![ColRef { table: 0, col: 0 }, ColRef { table: 1, col: 2 }],
+        };
+        let s = b.to_string();
+        assert!(s.starts_with("SELECT t0.c0, t1.c2 FROM b2 t0, b3 t1 WHERE"));
+        assert_eq!(b.join_predicate_count(), 1);
+    }
+
+    #[test]
+    fn scan_selects_star() {
+        let q = SqlQuery::single(SelectBlock::scan("parent"));
+        assert_eq!(q.to_string(), "SELECT * FROM parent t0");
+        assert_eq!(q.table_occurrences(), 1);
+    }
+}

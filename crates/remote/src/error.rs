@@ -1,0 +1,40 @@
+//! Error type for the simulated remote DBMS.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, RemoteError>;
+
+/// Errors raised by the remote DBMS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// Query referenced a relation not in the catalog.
+    UnknownRelation(String),
+    /// A column reference was out of range for its table.
+    BadColumn { table: String, index: usize },
+    /// The DML was structurally invalid (e.g. empty union).
+    Malformed(String),
+    /// An evaluation error from the relational engine.
+    Engine(String),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            RemoteError::BadColumn { table, index } => {
+                write!(f, "column index {index} out of range for table `{table}`")
+            }
+            RemoteError::Malformed(m) => write!(f, "malformed DML: {m}"),
+            RemoteError::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<braid_relational::RelationalError> for RemoteError {
+    fn from(e: braid_relational::RelationalError) -> Self {
+        RemoteError::Engine(e.to_string())
+    }
+}

@@ -1,0 +1,39 @@
+//! # braid-remote
+//!
+//! A **simulated conventional remote DBMS** — the substitute for the
+//! paper's INGRES-on-a-Sun / Britton-Lee IDM-500 database servers reached
+//! over Ethernet (Sheth & O'Hare, ICDE 1991, §6).
+//!
+//! The paper's key design constraint is that "the DBMS is treated as an
+//! independent system component \[and\] does not access any information from
+//! any other BrAID component" (§3). Accordingly this crate exposes only:
+//!
+//! * a [`Catalog`] of base relations with schema and statistics (the
+//!   "database schema" the CMS keeps a copy of),
+//! * a deliberately *restricted* DML ([`dml`]) — select/project/join plus
+//!   union, with none of CAQL's extras (negation, aggregation over views,
+//!   evaluable functions). The functional gap between CAQL and this DML is
+//!   itself part of the architecture: "the remote DBMS does not support
+//!   all CAQL operations, but the CMS does" (§5.3.3), and
+//! * a request/response [`RemoteDbms`] server with a configurable
+//!   [`CostModel`] that accounts for the paper's cost metric — "volume of
+//!   communication between the workstation and the remote system,
+//!   computational demands made on the database server" (§3) — plus
+//!   buffered and pipelined streaming of results (§5.5).
+//!
+//! Simulation substitution (see DESIGN.md): the network is an in-process
+//! boundary with counted per-request / per-tuple / per-byte costs and an
+//! optional real-time latency injector for wall-clock experiments.
+
+pub mod catalog;
+pub mod dml;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod server;
+
+pub use catalog::Catalog;
+pub use dml::{ColRef, Predicate, SelectBlock, SqlQuery, TableRef};
+pub use error::{RemoteError, Result};
+pub use metrics::RemoteMetrics;
+pub use server::{CostModel, LatencyModel, RemoteDbms, RemoteStream};

@@ -1,0 +1,124 @@
+//! Cost accounting for the simulated workstation–server boundary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters accumulated by the remote DBMS across all requests. These
+/// realize the paper's cost metric: "cost is measured in terms of volume
+//  of communication between the workstation and the remote system,
+/// computational demands made on the database server, and computation that
+/// needs to be done by the workstation" (§3) — the first two live here.
+#[derive(Debug, Default)]
+pub struct RemoteMetrics {
+    requests: AtomicU64,
+    tuples_shipped: AtomicU64,
+    bytes_shipped: AtomicU64,
+    server_tuple_ops: AtomicU64,
+    simulated_latency_units: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`RemoteMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Number of DML requests served.
+    pub requests: u64,
+    /// Tuples sent over the simulated wire.
+    pub tuples_shipped: u64,
+    /// Approximate bytes sent over the simulated wire.
+    pub bytes_shipped: u64,
+    /// Server-side tuple operations (CPU proxy).
+    pub server_tuple_ops: u64,
+    /// Total simulated latency units charged.
+    pub simulated_latency_units: u64,
+}
+
+impl MetricsSnapshot {
+    /// Difference between two snapshots (self - earlier).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests - earlier.requests,
+            tuples_shipped: self.tuples_shipped - earlier.tuples_shipped,
+            bytes_shipped: self.bytes_shipped - earlier.bytes_shipped,
+            server_tuple_ops: self.server_tuple_ops - earlier.server_tuple_ops,
+            simulated_latency_units: self.simulated_latency_units - earlier.simulated_latency_units,
+        }
+    }
+}
+
+impl RemoteMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shipment(&self, tuples: u64, bytes: u64) {
+        self.tuples_shipped.fetch_add(tuples, Ordering::Relaxed);
+        self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_server_ops(&self, ops: u64) {
+        self.server_tuple_ops.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_latency(&self, units: u64) {
+        self.simulated_latency_units
+            .fetch_add(units, Ordering::Relaxed);
+    }
+
+    /// Read all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            tuples_shipped: self.tuples_shipped.load(Ordering::Relaxed),
+            bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
+            server_tuple_ops: self.server_tuple_ops.load(Ordering::Relaxed),
+            simulated_latency_units: self.simulated_latency_units.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.tuples_shipped.store(0, Ordering::Relaxed);
+        self.bytes_shipped.store(0, Ordering::Relaxed);
+        self.server_tuple_ops.store(0, Ordering::Relaxed);
+        self.simulated_latency_units.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = RemoteMetrics::new();
+        m.record_request();
+        m.record_shipment(10, 320);
+        m.record_server_ops(50);
+        m.record_latency(3);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.tuples_shipped, 10);
+        assert_eq!(s.bytes_shipped, 320);
+        assert_eq!(s.server_tuple_ops, 50);
+        assert_eq!(s.simulated_latency_units, 3);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let m = RemoteMetrics::new();
+        m.record_request();
+        let before = m.snapshot();
+        m.record_request();
+        m.record_shipment(5, 100);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.requests, 1);
+        assert_eq!(delta.tuples_shipped, 5);
+    }
+}

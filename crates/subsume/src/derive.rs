@@ -1,0 +1,145 @@
+//! Derivations: the compensation needed to compute a query component from
+//! a cache element.
+
+use braid_caql::Value;
+use braid_relational::{CmpOp, Expr};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How to compute a subsumed query component from a cache element's stored
+//  columns: apply `filters` (residual selection), then read each query
+/// variable from its column via `var_cols`.
+///
+/// In the paper's planning example (§5.3.3), deriving `b2(Y, c1)` from
+/// `E103: b1(X,Y) & b2(Y,Z)` yields the residual "selection on E103
+/// (Z = c1)" — that selection is exactly what a [`Derivation`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derivation {
+    /// For each query variable made available, the element column holding
+    /// its bindings.
+    pub var_cols: BTreeMap<String, usize>,
+    /// Residual selection predicates over the element's columns.
+    pub filters: Vec<ResidualFilter>,
+}
+
+/// One residual selection predicate over element columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResidualFilter {
+    /// `col op constant` — e.g. a query constant where the element had a
+    /// variable.
+    ColConst(usize, CmpOp, Value),
+    /// `colA = colB` — a query join the element did not enforce.
+    ColsEq(usize, usize),
+    /// `colA op colB` — a residual theta-comparison between two columns.
+    ColCol(usize, CmpOp, usize),
+}
+
+impl Derivation {
+    /// An identity derivation over the given variable/column pairs.
+    pub fn identity(var_cols: impl IntoIterator<Item = (String, usize)>) -> Derivation {
+        Derivation {
+            var_cols: var_cols.into_iter().collect(),
+            filters: Vec::new(),
+        }
+    }
+
+    /// True when no residual work is needed beyond projection — the
+    /// exact-match case of BERMUDA-style caches.
+    pub fn is_exact(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Compile the residual filters into one relational predicate over the
+    /// element's columns ([`Expr::always`] when exact).
+    pub fn filter_expr(&self) -> Expr {
+        if self.filters.is_empty() {
+            return Expr::always();
+        }
+        Expr::And(
+            self.filters
+                .iter()
+                .map(|f| match f {
+                    ResidualFilter::ColConst(c, op, v) => Expr::col_cmp(*c, *op, v.clone()),
+                    ResidualFilter::ColsEq(a, b) => Expr::cols_eq(*a, *b),
+                    ResidualFilter::ColCol(a, op, b) => {
+                        Expr::Cmp(*op, Box::new(Expr::Col(*a)), Box::new(Expr::Col(*b)))
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// The element columns to project, in the order of `vars`; `None` when
+    /// some variable is unavailable.
+    pub fn projection(&self, vars: &[&str]) -> Option<Vec<usize>> {
+        vars.iter()
+            .map(|v| self.var_cols.get(*v).copied())
+            .collect()
+    }
+
+    /// Columns that residual equality-to-constant filters probe — the
+    /// natural candidates for a hash-index probe when the element is
+    /// indexed.
+    pub fn probe_cols(&self) -> Vec<(usize, Value)> {
+        self.filters
+            .iter()
+            .filter_map(|f| match f {
+                ResidualFilter::ColConst(c, CmpOp::Eq, v) => Some((*c, v.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Derivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "derive[")?;
+        for (i, (v, c)) in self.var_cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}←col{c}")?;
+        }
+        write!(f, "]")?;
+        if !self.filters.is_empty() {
+            write!(f, " where ")?;
+            for (i, flt) in self.filters.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " and ")?;
+                }
+                match flt {
+                    ResidualFilter::ColConst(c, op, v) => write!(f, "col{c} {op} {v}")?,
+                    ResidualFilter::ColsEq(a, b) => write!(f, "col{a} = col{b}")?,
+                    ResidualFilter::ColCol(a, op, b) => write!(f, "col{a} {op} col{b}")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactness_and_filter_expr() {
+        let d = Derivation::identity(vec![("X".to_string(), 0)]);
+        assert!(d.is_exact());
+        assert_eq!(d.filter_expr(), Expr::always());
+
+        let d2 = Derivation {
+            var_cols: [("X".to_string(), 0)].into_iter().collect(),
+            filters: vec![ResidualFilter::ColConst(1, CmpOp::Eq, Value::str("c1"))],
+        };
+        assert!(!d2.is_exact());
+        assert_eq!(d2.probe_cols(), vec![(1, Value::str("c1"))]);
+    }
+
+    #[test]
+    fn projection_respects_order_and_absence() {
+        let d = Derivation::identity(vec![("X".to_string(), 2), ("Y".to_string(), 0)]);
+        assert_eq!(d.projection(&["Y", "X"]), Some(vec![0, 2]));
+        assert_eq!(d.projection(&["Z"]), None);
+    }
+}

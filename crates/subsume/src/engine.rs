@@ -1,0 +1,298 @@
+//! The relevant-element search over a cache of view definitions.
+//!
+//! §5.3.2's two-step sketch: "1. Consider subqueries of single predicates
+//! and the cache elements that have the same predicate in their
+//! definitions. An index of type (predicate name, cache element) can
+//! expedite this process. ... 2. Consider the predicates to the left and
+//! the right of the predicate considered in step 1. If the query does not
+//! have the same respective predicates that are also subsumed by the
+//! predicates in the cache element, then the cache element is more
+//! restricted, and cannot be used".
+//!
+//! [`SubsumptionEngine::find_relevant`] realizes this: the predicate-name
+//! index prefilters candidates per component (step 1); the full
+//! containment check of [`crate::subsumes`] — whose bijective atom
+//! assignment is exactly the left/right-neighbour requirement, applied
+//! exhaustively — confirms or rejects each candidate (step 2).
+
+use crate::decompose::{decompose, Component};
+use crate::derive::Derivation;
+use crate::subsume::subsumes;
+use crate::view::ViewDef;
+use braid_caql::ConjunctiveQuery;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Identifier of a registered element (assigned by the caller — the CMS
+/// uses its cache-element ids).
+pub type ElemId = u64;
+
+/// A way to compute one component of a query from one cached element.
+#[derive(Debug, Clone)]
+pub struct CandidateUse {
+    /// The cache element that subsumes the component.
+    pub element: ElemId,
+    /// The subsumed component of the query.
+    pub component: Component,
+    /// The compensation computing the component from the element.
+    pub derivation: Derivation,
+}
+
+/// An index of view definitions supporting relevant-element search.
+#[derive(Debug, Default)]
+pub struct SubsumptionEngine {
+    elements: BTreeMap<ElemId, ViewDef>,
+    // functor ("pred/arity") → elements whose definition mentions it.
+    pred_index: HashMap<String, BTreeSet<ElemId>>,
+}
+
+impl SubsumptionEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an element's definition under `id`.
+    pub fn insert(&mut self, id: ElemId, def: ViewDef) {
+        for a in def.atoms() {
+            self.pred_index.entry(a.functor()).or_default().insert(id);
+        }
+        self.elements.insert(id, def);
+    }
+
+    /// Remove an element (e.g. after cache replacement).
+    pub fn remove(&mut self, id: ElemId) -> Option<ViewDef> {
+        let def = self.elements.remove(&id)?;
+        for a in def.atoms() {
+            if let Some(set) = self.pred_index.get_mut(&a.functor()) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.pred_index.remove(&a.functor());
+                }
+            }
+        }
+        Some(def)
+    }
+
+    /// The definition registered under `id`.
+    pub fn definition(&self, id: ElemId) -> Option<&ViewDef> {
+        self.elements.get(&id)
+    }
+
+    /// Number of registered elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when no element is registered.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Find every `(component, element, derivation)` triple for `q` — the
+    /// paper's set of relevant elements `R(Eᵢ)` of `Q`, with the extra
+    /// information of *which* component each element derives and *how*.
+    /// Components are returned largest-first.
+    pub fn find_relevant(&self, q: &ConjunctiveQuery) -> Vec<CandidateUse> {
+        let mut out = Vec::new();
+        let components = decompose(q);
+        let n_atoms = q.positive_atoms().len();
+        for component in components {
+            let needed = needed_vars(q, &component, n_atoms);
+            let needed_refs: Vec<&str> = needed.iter().map(String::as_str).collect();
+            // Step 1: index prefilter — candidate elements must mention
+            // every functor in the component.
+            let mut candidates: Option<BTreeSet<ElemId>> = None;
+            for a in &component.atoms {
+                let set = self
+                    .pred_index
+                    .get(&a.functor())
+                    .cloned()
+                    .unwrap_or_default();
+                candidates = Some(match candidates {
+                    None => set,
+                    Some(prev) => prev.intersection(&set).copied().collect(),
+                });
+                if candidates.as_ref().map(BTreeSet::is_empty).unwrap_or(true) {
+                    break;
+                }
+            }
+            let Some(candidates) = candidates else {
+                continue;
+            };
+            // Step 2 + full check.
+            for id in candidates {
+                let def = &self.elements[&id];
+                if let Some(derivation) = subsumes(def, &component, &needed_refs) {
+                    out.push(CandidateUse {
+                        element: id,
+                        component: component.clone(),
+                        derivation,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Elements that subsume the *whole* query — usable to answer it
+    /// entirely from the cache. Convenience wrapper over
+    /// [`SubsumptionEngine::find_relevant`] semantics for the common case.
+    pub fn find_whole(&self, q: &ConjunctiveQuery) -> Vec<(ElemId, Derivation)> {
+        let component = Component::whole(q);
+        let needed: Vec<String> = q.head.var_set().into_iter().map(str::to_string).collect();
+        let needed_refs: Vec<&str> = needed.iter().map(String::as_str).collect();
+        let mut out = Vec::new();
+        for (id, def) in &self.elements {
+            if let Some(d) = subsumes(def, &component, &needed_refs) {
+                out.push((*id, d));
+            }
+        }
+        out
+    }
+}
+
+/// The variables a component must expose: the query-head variables it
+/// covers plus the join variables it shares with the rest of the query
+/// (atoms outside the segment and comparisons not fully inside it).
+fn needed_vars(q: &ConjunctiveQuery, component: &Component, n_atoms: usize) -> Vec<String> {
+    let inside = component.vars();
+    let mut outside: BTreeSet<&str> = q.head.var_set();
+    if !component.is_whole(n_atoms) {
+        let atoms = q.positive_atoms();
+        for (i, a) in atoms.iter().enumerate() {
+            if i < component.start || i >= component.end {
+                outside.extend(a.var_set());
+            }
+        }
+        for l in &q.body {
+            if let braid_caql::Literal::Cmp(c) = l {
+                if !component.cmps.contains(c) {
+                    let mut vs = c.lhs.vars();
+                    vs.extend(c.rhs.vars());
+                    outside.extend(vs);
+                }
+            }
+        }
+    }
+    inside
+        .intersection(&outside)
+        .map(|v| v.to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_caql::parse_rule;
+
+    fn view(src: &str) -> ViewDef {
+        ViewDef::new(parse_rule(src).unwrap()).unwrap()
+    }
+
+    /// The cache state of the paper's running example (§5.3.2):
+    ///   E11: b2(X, c1) & b3(Y, c2, c6)
+    ///   E12: b3(X, c2, Y)
+    ///   E13: b3(X, Y, Z)
+    fn paper_cache() -> SubsumptionEngine {
+        let mut e = SubsumptionEngine::new();
+        e.insert(11, view("e11(X, Y) :- b2(X, c1), b3(Y, c2, c6)."));
+        e.insert(12, view("e12(X, Y) :- b3(X, c2, Y)."));
+        e.insert(13, view("e13(X, Y, Z) :- b3(X, Y, Z)."));
+        e
+    }
+
+    #[test]
+    fn paper_example_finds_e12_and_e13_for_b3_part() {
+        // Query d2(X, c6) = b2(X, Z) & b3(Z, c2, c6): "the CMS will
+        // identify that either E12 or E13 can be used to compute the
+        // b3(X, c2, Y) part of the query".
+        let engine = paper_cache();
+        let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
+        let uses = engine.find_relevant(&q);
+        let b3_uses: Vec<_> = uses
+            .iter()
+            .filter(|u| u.component.len() == 1 && u.component.start == 1)
+            .map(|u| u.element)
+            .collect();
+        assert!(b3_uses.contains(&12), "E12 must be relevant: {uses:?}");
+        assert!(b3_uses.contains(&13), "E13 must be relevant: {uses:?}");
+        assert!(!b3_uses.contains(&11), "E11 joined b2 in; too restricted");
+    }
+
+    #[test]
+    fn e12_residual_is_single_selection() {
+        let engine = paper_cache();
+        let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
+        let uses = engine.find_relevant(&q);
+        let e12 = uses
+            .iter()
+            .find(|u| u.element == 12 && u.component.start == 1)
+            .unwrap();
+        // E12 already pins c2; only the c6 selection remains.
+        assert_eq!(e12.derivation.filters.len(), 1);
+        let e13 = uses
+            .iter()
+            .find(|u| u.element == 13 && u.component.start == 1)
+            .unwrap();
+        assert_eq!(e13.derivation.filters.len(), 2);
+    }
+
+    #[test]
+    fn whole_query_subsumption() {
+        let mut engine = SubsumptionEngine::new();
+        engine.insert(1, view("e(X, Z, Y) :- b2(X, Z), b3(Z, c2, Y)."));
+        let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
+        let whole = engine.find_whole(&q);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].0, 1);
+        assert!(!whole[0].1.is_exact()); // residual Y = c6
+    }
+
+    #[test]
+    fn remove_unregisters_from_index() {
+        let mut engine = paper_cache();
+        assert_eq!(engine.len(), 3);
+        engine.remove(12).unwrap();
+        assert_eq!(engine.len(), 2);
+        let q = parse_rule("q(Z) :- b3(Z, c2, c6).").unwrap();
+        let uses = engine.find_relevant(&q);
+        assert!(uses.iter().all(|u| u.element != 12));
+        assert!(engine.remove(12).is_none());
+    }
+
+    #[test]
+    fn needed_vars_include_join_variables() {
+        // Segment b2(X, Z): Z joins with the b3 atom outside the segment,
+        // so an element projecting Z away is unusable for that segment.
+        let mut engine = SubsumptionEngine::new();
+        engine.insert(1, view("e(X) :- b2(X, Z)."));
+        let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
+        let uses = engine.find_relevant(&q);
+        assert!(uses.iter().all(|u| u.element != 1));
+        // With Z stored it becomes usable.
+        engine.insert(2, view("e2(X, Z) :- b2(X, Z)."));
+        let uses = engine.find_relevant(&q);
+        assert!(uses.iter().any(|u| u.element == 2));
+    }
+
+    #[test]
+    fn larger_components_come_first() {
+        let mut engine = SubsumptionEngine::new();
+        engine.insert(1, view("e1(X, Z) :- b2(X, Z)."));
+        engine.insert(2, view("e2(X, Z, Y) :- b2(X, Z), b3(Z, c2, Y)."));
+        let q = parse_rule("d2(X, Y) :- b2(X, Z), b3(Z, c2, Y).").unwrap();
+        let uses = engine.find_relevant(&q);
+        assert!(!uses.is_empty());
+        // First use covers the whole query (element 2).
+        assert_eq!(uses[0].element, 2);
+        assert!(uses[0].component.is_whole(2));
+    }
+
+    #[test]
+    fn empty_engine_finds_nothing() {
+        let engine = SubsumptionEngine::new();
+        let q = parse_rule("q(X) :- b(X).").unwrap();
+        assert!(engine.find_relevant(&q).is_empty());
+        assert!(engine.is_empty());
+    }
+}

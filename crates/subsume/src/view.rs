@@ -1,0 +1,188 @@
+//! Validated PSJ view definitions.
+
+use braid_caql::{Atom, ConjunctiveQuery, Literal, Term};
+use std::fmt;
+
+/// Why a conjunctive query cannot serve as a PSJ view definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewDefError {
+    /// The body contains negation or an evaluable bind — outside the PSJ
+    /// fragment on which subsumption is defined.
+    NotPsj(String),
+    /// The body has no relation occurrence at all.
+    NoAtoms,
+    /// A head variable does not occur in the body (unsafe view).
+    UnsafeHead(String),
+}
+
+impl fmt::Display for ViewDefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewDefError::NotPsj(l) => write!(f, "literal `{l}` is outside the PSJ fragment"),
+            ViewDefError::NoAtoms => write!(f, "view body has no relation occurrences"),
+            ViewDefError::UnsafeHead(v) => {
+                write!(f, "head variable `{v}` does not occur in the body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ViewDefError {}
+
+/// A PSJ view definition: `d(t1,...,tk) :- a1, ..., an, c1, ..., cm` where
+/// the `aᵢ` are positive atoms (the joined relation occurrences) and the
+/// `cⱼ` are comparisons (selections). The head terms are the *stored
+/// columns* of the materialized element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDef {
+    query: ConjunctiveQuery,
+}
+
+impl ViewDef {
+    /// Validate a conjunctive query as a PSJ view.
+    ///
+    /// # Errors
+    /// Rejects non-PSJ literals, atom-free bodies and unsafe heads.
+    pub fn new(query: ConjunctiveQuery) -> Result<ViewDef, ViewDefError> {
+        let mut has_atom = false;
+        for l in &query.body {
+            match l {
+                Literal::Atom(_) => has_atom = true,
+                Literal::Cmp(_) => {}
+                other => return Err(ViewDefError::NotPsj(other.to_string())),
+            }
+        }
+        if !has_atom {
+            return Err(ViewDefError::NoAtoms);
+        }
+        let body_vars = query.body_vars();
+        for t in &query.head.args {
+            if let Term::Var(v) = t {
+                if !body_vars.contains(v.as_str()) {
+                    return Err(ViewDefError::UnsafeHead(v.clone()));
+                }
+            }
+        }
+        Ok(ViewDef { query })
+    }
+
+    /// A view over a raw conjunction (no explicit projection): the head is
+    /// synthesized from every variable in first-occurrence order — this is
+    /// how raw cache expressions like the paper's
+    /// `E11: b2(X,c1) & b3(Y,c2,c6)` are stored with maximal reusability.
+    ///
+    /// # Errors
+    /// Propagates [`ViewDef::new`] validation.
+    pub fn over_conjunction(
+        name: impl Into<String>,
+        body: Vec<Literal>,
+    ) -> Result<ViewDef, ViewDefError> {
+        let mut head_vars: Vec<Term> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for l in &body {
+            if let Literal::Atom(a) = l {
+                for t in &a.args {
+                    if let Term::Var(v) = t {
+                        if seen.insert(v.clone()) {
+                            head_vars.push(t.clone());
+                        }
+                    }
+                }
+            }
+        }
+        ViewDef::new(ConjunctiveQuery::new(Atom::new(name, head_vars), body))
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// View (head) name.
+    pub fn name(&self) -> &str {
+        &self.query.head.pred
+    }
+
+    /// Stored columns: the head terms.
+    pub fn head_terms(&self) -> &[Term] {
+        &self.query.head.args
+    }
+
+    /// The column index of a head variable, if stored.
+    pub fn col_of_var(&self, var: &str) -> Option<usize> {
+        self.query
+            .head
+            .args
+            .iter()
+            .position(|t| t.as_var() == Some(var))
+    }
+
+    /// Positive body atoms, in order.
+    pub fn atoms(&self) -> Vec<&Atom> {
+        self.query.positive_atoms()
+    }
+
+    /// Comparison literals of the body.
+    pub fn comparisons(&self) -> Vec<&braid_caql::Comparison> {
+        self.query
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Cmp(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of stored columns.
+    pub fn arity(&self) -> usize {
+        self.query.head.arity()
+    }
+}
+
+impl fmt::Display for ViewDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid_caql::parse_rule;
+
+    #[test]
+    fn accepts_psj_rejects_negation() {
+        let ok = ViewDef::new(parse_rule("d(X, Y) :- b1(X, Z), b2(Z, Y), X > 3.").unwrap());
+        assert!(ok.is_ok());
+        let neg = ViewDef::new(parse_rule("d(X) :- b1(X, Z), not b2(Z, Z).").unwrap());
+        assert!(matches!(neg, Err(ViewDefError::NotPsj(_))));
+    }
+
+    #[test]
+    fn rejects_unsafe_head_and_empty_body() {
+        let un = ViewDef::new(parse_rule("d(W) :- b1(X, Y).").unwrap());
+        assert!(matches!(un, Err(ViewDefError::UnsafeHead(_))));
+        let empty = ViewDef::new(parse_rule("d(X) :- X > 2.").unwrap());
+        assert!(matches!(empty, Err(ViewDefError::NoAtoms)));
+    }
+
+    #[test]
+    fn over_conjunction_synthesizes_head() {
+        // E11: b2(X, c1) & b3(Y, c2, c6)
+        let r = parse_rule("e11(Q) :- b2(X, c1), b3(Y, c2, c6), q(Q).").unwrap();
+        let v = ViewDef::over_conjunction("e11", r.body[..2].to_vec()).unwrap();
+        assert_eq!(v.query().head.to_string(), "e11(X, Y)");
+        assert_eq!(v.arity(), 2);
+        assert_eq!(v.col_of_var("Y"), Some(1));
+        assert_eq!(v.col_of_var("Z"), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = ViewDef::new(parse_rule("d(X, Y) :- b1(X, Z), b2(Z, Y), Z > 1.").unwrap()).unwrap();
+        assert_eq!(v.atoms().len(), 2);
+        assert_eq!(v.comparisons().len(), 1);
+        assert_eq!(v.name(), "d");
+    }
+}

@@ -1,0 +1,165 @@
+//! Family-tree data and rules: the classic deductive-database workload.
+//!
+//! A complete `branching`-ary tree of `generations` generations. Base
+//! relations: `parent(p, c)`, `male(x)`, `female(x)`, `age(x, n)`.
+//! Derived: `grandparent`, `sibling`, `uncle`, `cousin`, `ancestor`
+//! (recursive), `adult_ancestor` (recursion + comparison).
+
+use crate::queries::QueryWorkload;
+use crate::scenario::Scenario;
+use braid::KnowledgeBase;
+use braid_relational::{Column, Relation, Schema, Tuple, Value, ValueType};
+use braid_remote::Catalog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Names of every person in a `(generations, branching)` tree, generation
+/// by generation. Person ids are `p0`, `p1`, ... breadth-first.
+pub fn person_count(generations: u32, branching: u32) -> usize {
+    let mut total = 0usize;
+    let mut level = 1usize;
+    for _ in 0..=generations {
+        total += level;
+        level *= branching as usize;
+    }
+    total
+}
+
+/// Build the genealogy catalog.
+pub fn catalog(generations: u32, branching: u32, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = person_count(generations, branching);
+
+    let mut parent = Relation::new(Schema::of_strs("parent", &["p", "c"]));
+    let mut male = Relation::new(Schema::of_strs("male", &["x"]));
+    let mut female = Relation::new(Schema::of_strs("female", &["x"]));
+    let mut age = Relation::new(
+        Schema::new(
+            "age",
+            vec![
+                Column::new("x", ValueType::Str),
+                Column::new("years", ValueType::Int),
+            ],
+        )
+        .expect("static schema"),
+    );
+
+    // Breadth-first tree: children of node i are i*branching+1 ..= i*branching+branching.
+    for i in 0..n {
+        let name = format!("p{i}");
+        for b in 1..=branching as usize {
+            let child = i * branching as usize + b;
+            if child < n {
+                parent
+                    .insert(Tuple::new(vec![
+                        Value::str(&name),
+                        Value::str(format!("p{child}")),
+                    ]))
+                    .expect("arity 2");
+            }
+        }
+        if rng.gen_bool(0.5) {
+            male.insert(Tuple::new(vec![Value::str(&name)]))
+                .expect("arity 1");
+        } else {
+            female
+                .insert(Tuple::new(vec![Value::str(&name)]))
+                .expect("arity 1");
+        }
+        // Older generations are older people.
+        let depth = (i as f64 + 1.0).log(branching.max(2) as f64) as i64;
+        let years = 90 - depth * 25 + rng.gen_range(0..10);
+        age.insert(Tuple::new(vec![Value::str(&name), Value::Int(years)]))
+            .expect("arity 2");
+    }
+
+    let mut c = Catalog::new();
+    c.install(parent);
+    c.install(male);
+    c.install(female);
+    c.install(age);
+    c
+}
+
+/// The genealogy rule set.
+pub fn knowledge_base() -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.declare_base("parent", 2);
+    kb.declare_base("male", 1);
+    kb.declare_base("female", 1);
+    kb.declare_base("age", 2);
+    kb.add_program(
+        "grandparent(X, Y) :- parent(X, Z), parent(Z, Y).\n\
+         sibling(X, Y) :- parent(P, X), parent(P, Y), X != Y.\n\
+         uncle(U, N) :- parent(G, U), parent(G, F), U != F, parent(F, N), male(U).\n\
+         cousin(X, Y) :- parent(A, X), parent(B, Y), sibling(A, B).\n\
+         ancestor(X, Y) :- parent(X, Y).\n\
+         ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).\n\
+         adult(X) :- age(X, A), A >= 18.\n\
+         elder_parent(X, Y) :- parent(X, Y), age(X, A), A >= 60.",
+    )
+    .expect("static program is valid");
+    kb
+}
+
+/// A full scenario: data + rules + a query workload mixing the derived
+/// relations with a locality-controlled stream of bound-argument probes.
+pub fn scenario(generations: u32, branching: u32, seed: u64, query_count: usize) -> Scenario {
+    let n = person_count(generations, branching);
+    let catalog = catalog(generations, branching, seed);
+    let kb = knowledge_base();
+    let mut wl = QueryWorkload::new(seed ^ 0x9e37);
+    let persons: Vec<String> = (0..n).map(|i| format!("p{i}")).collect();
+    let queries = wl.generate(
+        &[
+            ("grandparent", 1),
+            ("sibling", 1),
+            ("ancestor", 1),
+            ("cousin", 1),
+            ("elder_parent", 1),
+        ],
+        &persons,
+        query_count,
+        0.5,
+    );
+    Scenario {
+        name: format!("genealogy(g{generations},b{branching})"),
+        catalog,
+        kb,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_shape() {
+        assert_eq!(person_count(2, 2), 7);
+        let c = catalog(2, 2, 1);
+        assert_eq!(c.relation("parent").unwrap().len(), 6);
+        // Every person has a sex and an age.
+        let m = c.relation("male").unwrap().len();
+        let f = c.relation("female").unwrap().len();
+        assert_eq!(m + f, 7);
+        assert_eq!(c.relation("age").unwrap().len(), 7);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = catalog(3, 2, 7);
+        let b = catalog(3, 2, 7);
+        assert_eq!(
+            a.relation("male").unwrap().len(),
+            b.relation("male").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn kb_rules_load() {
+        let kb = knowledge_base();
+        assert!(kb.is_user_defined("ancestor"));
+        assert!(kb.recursive_predicates().contains("ancestor"));
+    }
+}

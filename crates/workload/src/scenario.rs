@@ -1,0 +1,47 @@
+//! A scenario bundles a remote database, a knowledge base and a query
+//! workload, ready to assemble into a [`braid::BraidSystem`].
+
+use braid::{BraidConfig, BraidSystem, KnowledgeBase};
+use braid_remote::Catalog;
+
+/// A reproducible experimental setup.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (for reports).
+    pub name: String,
+    /// The remote database.
+    pub catalog: Catalog,
+    /// The IE's rules and declarations.
+    pub kb: KnowledgeBase,
+    /// AI queries, in issue order (`?- ...` syntax).
+    pub queries: Vec<String>,
+}
+
+impl Scenario {
+    /// Assemble a fresh system over this scenario's data.
+    pub fn system(&self, config: BraidConfig) -> BraidSystem {
+        BraidSystem::new(self.catalog.clone(), self.kb.clone(), config)
+    }
+
+    /// Total base tuples in the remote database.
+    pub fn database_size(&self) -> usize {
+        self.catalog.total_tuples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid::Strategy;
+
+    #[test]
+    fn genealogy_scenario_solves() {
+        let s = crate::genealogy::scenario(3, 2, 42, 10);
+        assert!(s.database_size() > 0);
+        assert!(!s.queries.is_empty());
+        let mut sys = s.system(BraidConfig::default());
+        let q = &s.queries[0];
+        let sols = sys.solve_all(q, Strategy::ConjunctionCompiled);
+        assert!(sols.is_ok(), "query {q} failed: {sols:?}");
+    }
+}

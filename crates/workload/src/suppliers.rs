@@ -1,0 +1,171 @@
+//! Parts–suppliers with a bill-of-materials hierarchy.
+//!
+//! Base relations: `part(p)`, `subpart(whole, part)` (a forest),
+//! `supplier(s, city)`, `supplies(s, p, qty)`. Derived: `component`
+//! (transitive closure of `subpart`, declared with a Closure SOA),
+//! `supplies_component`, `colocated_suppliers`, `bulk_supplier`.
+
+use crate::queries::QueryWorkload;
+use crate::scenario::Scenario;
+use braid::{KnowledgeBase, Soa};
+use braid_relational::{Column, Relation, Schema, Tuple, Value, ValueType};
+use braid_remote::Catalog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build the parts/suppliers catalog: `parts` parts in a BOM forest with
+/// the given `fanout`, `suppliers` suppliers spread over `cities` cities.
+pub fn catalog(parts: usize, fanout: usize, suppliers: usize, cities: usize, seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut part = Relation::new(Schema::of_strs("part", &["p"]));
+    let mut subpart = Relation::new(Schema::of_strs("subpart", &["whole", "part"]));
+    let mut supplier = Relation::new(Schema::of_strs("supplier", &["s", "city"]));
+    let mut supplies = Relation::new(
+        Schema::new(
+            "supplies",
+            vec![
+                Column::new("s", ValueType::Str),
+                Column::new("p", ValueType::Str),
+                Column::new("qty", ValueType::Int),
+            ],
+        )
+        .expect("static schema"),
+    );
+
+    for i in 0..parts {
+        part.insert(Tuple::new(vec![Value::str(format!("part{i}"))]))
+            .expect("arity 1");
+        if i > 0 {
+            // Parent in the BOM forest: a previous part.
+            let parent = (i - 1) / fanout.max(1);
+            subpart
+                .insert(Tuple::new(vec![
+                    Value::str(format!("part{parent}")),
+                    Value::str(format!("part{i}")),
+                ]))
+                .expect("arity 2");
+        }
+    }
+    for s in 0..suppliers {
+        let city = format!("city{}", rng.gen_range(0..cities.max(1)));
+        supplier
+            .insert(Tuple::new(vec![
+                Value::str(format!("sup{s}")),
+                Value::str(city),
+            ]))
+            .expect("arity 2");
+        // Each supplier supplies a handful of parts.
+        for _ in 0..rng.gen_range(1..=4) {
+            let p = rng.gen_range(0..parts);
+            supplies
+                .insert(Tuple::new(vec![
+                    Value::str(format!("sup{s}")),
+                    Value::str(format!("part{p}")),
+                    Value::Int(rng.gen_range(1..500)),
+                ]))
+                .expect("arity 3");
+        }
+    }
+
+    let mut c = Catalog::new();
+    c.install(part);
+    c.install(subpart);
+    c.install(supplier);
+    c.install(supplies);
+    c
+}
+
+/// The suppliers rule set (with the Closure SOA for `component`).
+pub fn knowledge_base() -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.declare_base("part", 1);
+    kb.declare_base("subpart", 2);
+    kb.declare_base("supplier", 2);
+    kb.declare_base("supplies", 3);
+    kb.add_program(
+        "component(X, Y) :- subpart(X, Y).\n\
+         component(X, Y) :- subpart(X, Z), component(Z, Y).\n\
+         supplies_component(S, W) :- supplies(S, P, Q), component(W, P).\n\
+         colocated(S1, S2) :- supplier(S1, C), supplier(S2, C), S1 != S2.\n\
+         bulk_supplier(S, P) :- supplies(S, P, Q), Q >= 250.",
+    )
+    .expect("static program is valid");
+    kb.add_soa(Soa::Closure {
+        pred: "component".into(),
+        base: "subpart".into(),
+    });
+    kb
+}
+
+/// A full scenario over the parts/suppliers data.
+pub fn scenario(parts: usize, suppliers: usize, seed: u64, query_count: usize) -> Scenario {
+    let catalog = catalog(parts, 3, suppliers, 5, seed);
+    let kb = knowledge_base();
+    let mut wl = QueryWorkload::new(seed ^ 0x51ab);
+    let part_names: Vec<String> = (0..parts).map(|i| format!("part{i}")).collect();
+    let sup_names: Vec<String> = (0..suppliers).map(|i| format!("sup{i}")).collect();
+    let mut queries = wl.generate(
+        &[("component", 2), ("bulk_supplier", 1)],
+        &part_names,
+        query_count / 2,
+        0.6,
+    );
+    queries.extend(wl.generate(
+        &[("supplies_component", 1), ("colocated", 1)],
+        &sup_names,
+        query_count - query_count / 2,
+        0.6,
+    ));
+    Scenario {
+        name: format!("suppliers(p{parts},s{suppliers})"),
+        catalog,
+        kb,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use braid::{BraidConfig, Strategy};
+
+    #[test]
+    fn catalog_shape() {
+        let c = catalog(20, 3, 5, 2, 11);
+        assert_eq!(c.relation("part").unwrap().len(), 20);
+        assert_eq!(c.relation("subpart").unwrap().len(), 19);
+        assert_eq!(c.relation("supplier").unwrap().len(), 5);
+        assert!(c.relation("supplies").unwrap().len() >= 5);
+    }
+
+    #[test]
+    fn closure_query_end_to_end() {
+        let s = scenario(15, 4, 3, 4);
+        let mut sys = s.system(BraidConfig::default());
+        // component(part0, Y): everything below the root.
+        let sols = sys
+            .solve_all("?- component(part0, Y).", Strategy::FullyCompiled)
+            .unwrap();
+        assert_eq!(sols.len(), 14, "root dominates the whole BOM forest");
+    }
+
+    #[test]
+    fn comparison_rule_filters() {
+        let s = scenario(10, 6, 3, 4);
+        let mut sys = s.system(BraidConfig::default());
+        let bulk = sys
+            .solve_all("?- bulk_supplier(X, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        // All returned pairs genuinely have qty >= 250 (cross-check data).
+        let supplies = s.catalog.relation("supplies").unwrap();
+        for t in &bulk {
+            let found = supplies.iter().any(|row| {
+                row.values()[0] == t.values()[0]
+                    && row.values()[1] == t.values()[1]
+                    && row.values()[2].as_int().unwrap_or(0) >= 250
+            });
+            assert!(found, "spurious bulk pair {t}");
+        }
+    }
+}

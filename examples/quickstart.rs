@@ -1,0 +1,66 @@
+//! Quickstart: bridge a rule base to a (simulated) remote DBMS and ask a
+//! recursive AI query.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use braid::{BraidConfig, BraidSystem, Catalog, KnowledgeBase, Strategy};
+use braid_relational::{tuple, Relation, Schema};
+
+fn main() {
+    // 1. The remote database — in BrAID this is an unmodified,
+    //    independent DBMS; here it is the simulated server.
+    let mut db = Catalog::new();
+    db.install(
+        Relation::from_tuples(
+            Schema::of_strs("parent", &["parent", "child"]),
+            vec![
+                tuple!["ann", "bob"],
+                tuple!["ann", "cal"],
+                tuple!["bob", "dee"],
+                tuple!["cal", "eli"],
+                tuple!["dee", "fay"],
+            ],
+        )
+        .expect("valid tuples"),
+    );
+
+    // 2. The knowledge base — the inference engine's rules.
+    let mut kb = KnowledgeBase::new();
+    kb.declare_base("parent", 2);
+    kb.add_program(
+        "grandparent(X, Y) :- parent(X, Z), parent(Z, Y).\n\
+         ancestor(X, Y) :- parent(X, Y).\n\
+         ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).",
+    )
+    .expect("valid program");
+
+    // 3. Assemble the bridge: IE + CMS + remote DBMS (Figure 3).
+    let mut braid = BraidSystem::new(db, kb, BraidConfig::default());
+
+    // 4. Ask AI queries. The IE pre-analyzes each query, sends advice to
+    //    the CMS, and resolves against cached + remote data.
+    for query in ["?- grandparent(ann, Y).", "?- ancestor(ann, Y)."] {
+        let solutions = braid
+            .solve_all(query, Strategy::ConjunctionCompiled)
+            .expect("query solves");
+        println!("{query}");
+        for s in &solutions {
+            println!("    {s}");
+        }
+    }
+
+    // 5. Re-ask: the semantic cache answers without touching the server.
+    let before = braid.metrics();
+    braid
+        .solve_all("?- ancestor(ann, Y).", Strategy::ConjunctionCompiled)
+        .expect("query solves");
+    let delta = braid.metrics().since(&before);
+    println!(
+        "\nre-asking ancestor(ann, Y): {} remote requests (cache hit rate {:.0}%)",
+        delta.remote.requests,
+        100.0 * braid.metrics().cms.hit_rate()
+    );
+    println!("\ncumulative cost:\n{}", braid.metrics());
+}

@@ -1,0 +1,5 @@
+//! Umbrella package for the BrAID reproduction: hosts the cross-crate
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//! The library itself only re-exports the facade crate.
+
+pub use braid::*;

@@ -1,0 +1,132 @@
+//! Cross-component invariant: the inference engine's *actual* CAQL query
+//! sequence must be accepted by the path expression it itself generated.
+//!
+//! "The closer that abstraction is to the actual output of the IE, the
+//! better the CMS will be able to plan query executions and manage the
+//! cache" (§4.2.2). For non-recursive problems, the abstraction here is
+//! exact: tracking must survive the whole session. Recursive problems
+//! dynamically extend the query vocabulary (the static graph holds one
+//! instance per recursive occurrence), so tracking may be lost — but
+//! answers must stay correct.
+
+use braid::{BraidConfig, BraidSystem, Catalog, KnowledgeBase, Strategy};
+use braid_relational::{tuple, Relation, Schema};
+
+fn system(program: &str) -> BraidSystem {
+    let mut db = Catalog::new();
+    db.install(
+        Relation::from_tuples(
+            Schema::of_strs("parent", &["p", "c"]),
+            vec![
+                tuple!["ann", "bob"],
+                tuple!["ann", "cal"],
+                tuple!["bob", "dee"],
+                tuple!["cal", "eli"],
+                tuple!["dee", "fay"],
+            ],
+        )
+        .unwrap(),
+    );
+    db.install(
+        Relation::from_tuples(
+            Schema::of_strs("male", &["x"]),
+            vec![tuple!["bob"], tuple!["dee"]],
+        )
+        .unwrap(),
+    );
+    let mut kb = KnowledgeBase::new();
+    kb.declare_base("parent", 2);
+    kb.declare_base("male", 1);
+    kb.add_program(program).unwrap();
+    BraidSystem::new(db, kb, BraidConfig::default())
+}
+
+#[test]
+fn tracker_survives_single_rule_sessions() {
+    let mut sys = system("gp(X, Y) :- parent(X, Z), parent(Z, Y).");
+    for (q, strat) in [
+        ("?- gp(ann, Y).", Strategy::ConjunctionCompiled),
+        ("?- gp(X, Y).", Strategy::ConjunctionCompiled),
+        ("?- gp(ann, Y).", Strategy::Interpreted),
+    ] {
+        sys.solve_all(q, strat).unwrap();
+        assert!(
+            sys.cms().advice_tracking(),
+            "tracking lost on {q} under {strat:?}"
+        );
+    }
+}
+
+#[test]
+fn tracker_survives_multi_rule_backtracking() {
+    // Two alternatives for the same goal: chronological backtracking emits
+    // both runs, in rule order — the sequence shape of Example 1.
+    let mut sys = system(
+        "kin(X, Y) :- parent(X, Y).\n\
+         kin(X, Y) :- parent(Y, X).",
+    );
+    sys.solve_all("?- kin(bob, Y).", Strategy::ConjunctionCompiled)
+        .unwrap();
+    assert!(sys.cms().advice_tracking());
+}
+
+#[test]
+fn tracker_survives_guarded_alternatives() {
+    // Example 2's shape: IE-internal guards before the base runs.
+    let mut sys = system(
+        "k3(ann).\n\
+         k4(bob).\n\
+         pick(X, Y) :- k3(X), parent(X, Y).\n\
+         pick(X, Y) :- k4(X), parent(X, Y).",
+    );
+    let sols = sys
+        .solve_all("?- pick(X, Y).", Strategy::ConjunctionCompiled)
+        .unwrap();
+    assert_eq!(sols.len(), 3); // ann's two children + bob's one
+    assert!(sys.cms().advice_tracking());
+}
+
+#[test]
+fn recursion_loses_tracking_but_stays_correct() {
+    let mut sys = system(
+        "anc(X, Y) :- parent(X, Y).\n\
+         anc(X, Y) :- parent(X, Z), anc(Z, Y).",
+    );
+    let sols = sys
+        .solve_all("?- anc(ann, Y).", Strategy::ConjunctionCompiled)
+        .unwrap();
+    assert_eq!(sols.len(), 5);
+    // Dynamic recursive expansion mints fresh d-names the static path
+    // expression cannot know: tracking is (legitimately) lost...
+    assert!(!sys.cms().advice_tracking());
+    // ...and the very next session restores it.
+    sys.solve_all("?- anc(ann, bob).", Strategy::ConjunctionCompiled)
+        .unwrap();
+    let mut fresh = system("gp(X, Y) :- parent(X, Z), parent(Z, Y).");
+    fresh
+        .solve_all("?- gp(ann, Y).", Strategy::Interpreted)
+        .unwrap();
+    assert!(fresh.cms().advice_tracking());
+}
+
+#[test]
+fn prefetch_requires_live_tracking() {
+    // With the tracker in sync, the multi-rule session prefetches the
+    // predicted second alternative; correctness is identical either way.
+    let mut with = system(
+        "kin(X, Y) :- parent(X, Y).\n\
+         kin(X, Y) :- parent(Y, X).",
+    );
+    let a = with
+        .solve_all("?- kin(bob, Y).", Strategy::ConjunctionCompiled)
+        .unwrap();
+    let mut without = system(
+        "kin(X, Y) :- parent(X, Y).\n\
+         kin(X, Y) :- parent(Y, X).",
+    );
+    without.cms_mut().begin_session(braid::Advice::none()); // drop advice: no tracking
+    let b = without
+        .solve_all("?- kin(bob, Y).", Strategy::ConjunctionCompiled)
+        .unwrap();
+    assert_eq!(a, b);
+}

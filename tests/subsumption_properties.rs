@@ -1,0 +1,190 @@
+//! Property tests pinning the two directions of the subsumption engine:
+//!
+//! * **Completeness on constructed instances** — any query built by
+//!   *instantiating* a cached view's body (constants for variables,
+//!   variable merges) must be recognized as subsumed: the paper's whole
+//!   reuse story rests on instance queries hitting general cached views
+//!   (§5.3.1's `d1/d2/d3` are exactly such instances).
+//! * **Round-trips of the advice notation** — display∘parse is the
+//!   identity on the path-expression language (the IE and CMS exchange
+//!   this text, §3).
+
+use braid_advice::{parse_path_expr, PathExpr, PatternArg, QueryPattern, RepBound, Repetition};
+use braid_caql::{parse_rule, Atom, ConjunctiveQuery, Literal, Subst, Term};
+use braid_subsume::{subsumes, Component, ViewDef};
+use proptest::prelude::*;
+
+// ---------- subsumption completeness ----------
+
+/// A random conjunctive body over predicates p0..p2 with variables V0..V3.
+fn body_strategy() -> impl Strategy<Value = Vec<Atom>> {
+    proptest::collection::vec((0..3u8, proptest::collection::vec(0..4u8, 1..3)), 1..4).prop_map(
+        |atoms| {
+            atoms
+                .into_iter()
+                .map(|(p, args)| {
+                    Atom::new(
+                        format!("p{p}"),
+                        args.into_iter()
+                            .map(|v| Term::var(format!("V{v}")))
+                            .collect(),
+                    )
+                })
+                .collect()
+        },
+    )
+}
+
+/// A random instantiation: each variable independently stays itself, maps
+/// to another variable (a merge), or becomes a constant.
+fn subst_strategy() -> impl Strategy<Value = Subst> {
+    proptest::collection::vec(0..9u8, 4).prop_map(|choices| {
+        let mut s = Subst::new();
+        for (i, c) in choices.into_iter().enumerate() {
+            let v = format!("V{i}");
+            match c {
+                0..=2 => {} // keep the variable
+                3..=5 => s.insert(v, Term::var(format!("W{}", c - 3))),
+                _ => s.insert(v, Term::val(format!("c{}", c - 6))),
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn constructed_instances_are_always_subsumed(
+        body in body_strategy(),
+        inst in subst_strategy(),
+    ) {
+        // Element: stores every variable (maximal-reuse form the CMS uses
+        // when caching results).
+        let element = ViewDef::over_conjunction(
+            "e",
+            body.iter().cloned().map(Literal::Atom).collect(),
+        )
+        .expect("generated bodies have at least one atom");
+
+        // Query: the same body instantiated.
+        let q_body: Vec<Literal> = body
+            .iter()
+            .map(|a| Literal::Atom(inst.apply_atom(a)))
+            .collect();
+        let mut head_vars: Vec<Term> = Vec::new();
+        for l in &q_body {
+            if let Literal::Atom(a) = l {
+                for v in a.vars() {
+                    if !head_vars.iter().any(|t| t.as_var() == Some(v)) {
+                        head_vars.push(Term::var(v));
+                    }
+                }
+            }
+        }
+        let q = ConjunctiveQuery::new(Atom::new("q", head_vars.clone()), q_body);
+        let needed: Vec<&str> = head_vars.iter().filter_map(|t| t.as_var()).collect();
+
+        let d = subsumes(&element, &Component::whole(&q), &needed);
+        prop_assert!(
+            d.is_some(),
+            "instance {q} must be derivable from element {element}"
+        );
+        // Every needed variable is exposed.
+        let d = d.expect("checked above");
+        for v in needed {
+            prop_assert!(d.var_cols.contains_key(v), "missing {v}");
+        }
+    }
+
+    /// The reverse direction must *fail* when the element is strictly more
+    /// restricted than the query (constants in the element where the query
+    /// has variables).
+    #[test]
+    fn restricted_elements_never_subsume_general_queries(
+        pred in 0..3u8,
+        pos in 0..2usize,
+    ) {
+        let e = ViewDef::new(
+            parse_rule(&format!(
+                "e(X) :- p{pred}({}).",
+                if pos == 0 { "c9, X" } else { "X, c9" }
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        let q = parse_rule(&format!("q(A, B) :- p{pred}(A, B).")).unwrap();
+        prop_assert!(subsumes(&e, &Component::whole(&q), &["A", "B"]).is_none());
+    }
+}
+
+// ---------- advice notation round-trips ----------
+
+fn pattern_strategy() -> impl Strategy<Value = QueryPattern> {
+    (0..6u8, proptest::collection::vec((0..3u8, 0..4u8), 0..3)).prop_map(|(d, args)| {
+        QueryPattern::new(
+            format!("d{d}"),
+            args.into_iter()
+                .map(|(kind, v)| match kind {
+                    0 => PatternArg::Free(format!("V{v}")),
+                    1 => PatternArg::Bound(format!("V{v}")),
+                    _ => PatternArg::Const(braid_caql::Value::str(format!("c{v}"))),
+                })
+                .collect(),
+        )
+    })
+}
+
+fn path_expr_strategy() -> impl Strategy<Value = PathExpr> {
+    let leaf = pattern_strategy().prop_map(PathExpr::Pattern);
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (
+                proptest::collection::vec(inner.clone(), 1..3),
+                0..2u64,
+                prop_oneof![
+                    (1..4u64).prop_map(RepBound::Count),
+                    (0..3u8).prop_map(|v| RepBound::Card(format!("V{v}"))),
+                    Just(RepBound::Unbounded),
+                ],
+            )
+                .prop_map(|(items, lo, hi)| PathExpr::Seq {
+                    items,
+                    rep: Repetition {
+                        lo: RepBound::Count(lo),
+                        hi,
+                    },
+                }),
+            (
+                proptest::collection::vec(inner, 1..3),
+                proptest::option::of(1..3usize),
+            )
+                .prop_map(|(items, select)| PathExpr::Alt { items, select }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn path_expression_display_parse_round_trip(e in path_expr_strategy()) {
+        let printed = e.to_string();
+        let reparsed = parse_path_expr(&printed)
+            .unwrap_or_else(|err| panic!("`{printed}` failed to reparse: {err}"));
+        prop_assert_eq!(
+            reparsed.to_string(),
+            printed,
+            "display∘parse must be the identity"
+        );
+    }
+
+    #[test]
+    fn rule_display_parse_round_trip(body in body_strategy()) {
+        let vd = ViewDef::over_conjunction(
+            "e",
+            body.into_iter().map(Literal::Atom).collect(),
+        )
+        .unwrap();
+        let printed = format!("{}.", vd.query());
+        let reparsed = parse_rule(&printed).unwrap();
+        prop_assert_eq!(reparsed, vd.query().clone());
+    }
+}
