@@ -11,5 +11,6 @@ pub mod e07_replacement;
 pub mod e08_icrange;
 pub mod e09_parallel;
 pub mod e10_pipeline;
+pub mod e11_faults;
 
 pub(crate) mod support;

@@ -34,5 +34,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E8", experiments::e08_icrange::run),
         ("E9", experiments::e09_parallel::run),
         ("E10", experiments::e10_pipeline::run),
+        ("E11", experiments::e11_faults::run),
     ]
 }

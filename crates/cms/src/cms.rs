@@ -14,8 +14,9 @@ use crate::error::{CmsError, Result};
 use crate::metrics::{CmsMetrics, CmsMetricsSnapshot};
 use crate::model::ModelRow;
 use crate::monitor;
-use crate::planner::{self, Plan};
-use crate::stream::AnswerStream;
+use crate::planner::{self, PartSource, Plan};
+use crate::resilience::Resilience;
+use crate::stream::{AnswerStream, Completeness};
 use braid_advice::Advice;
 use braid_caql::{Atom, ConjunctiveQuery, Term};
 use braid_relational::Schema;
@@ -35,20 +36,28 @@ pub struct Cms {
     // Snapshot of the remote base-relation statistics ("(a copy of) the
     // remote database schema", §5), used by cost-based placement.
     remote_stats: planner::RemoteStats,
+    // Retry/breaker/degradation policy shared across fetch threads.
+    resilience: Resilience,
+    // Subqueries that went unanswered in degraded mode since the last
+    // `take_missing_subqueries` call (session-level completeness).
+    session_missing: Vec<String>,
 }
 
 impl Cms {
     /// Build a CMS in front of a remote DBMS.
     pub fn new(remote: RemoteDbms, config: CmsConfig) -> Cms {
         let remote_stats = remote.catalog().stats_snapshot();
+        let metrics = Arc::new(CmsMetrics::new());
         Cms {
             cache: CacheManager::new(config.cache_capacity_bytes),
             advice: AdviceManager::new(),
-            metrics: Arc::new(CmsMetrics::new()),
+            resilience: Resilience::new(config.resilience.clone(), Arc::clone(&metrics)),
+            metrics,
             result_counter: 0,
             config,
             remote,
             remote_stats,
+            session_missing: Vec::new(),
         }
     }
 
@@ -65,6 +74,18 @@ impl Cms {
     /// The remote server handle (shared, cheap to clone).
     pub fn remote(&self) -> &RemoteDbms {
         &self.remote
+    }
+
+    /// The resilience policy engine (breaker state introspection).
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
+    }
+
+    /// Drain the subquery descriptions that went unanswered in degraded
+    /// mode since the last call. Empty ⇒ every answer handed out since
+    /// then was `Exact`.
+    pub fn take_missing_subqueries(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.session_missing)
     }
 
     /// The remote database schema — the IE "can access the schema
@@ -221,14 +242,24 @@ impl Cms {
         }
 
         // Eager path: execute the full plan.
-        let executed = monitor::execute(
+        let executed = match monitor::execute(
             &plan,
             &self.cache,
             &self.remote,
+            &self.resilience,
             self.config.parallel_execution,
             self.config.pipelining,
             self.config.transfer_buffer_tuples,
-        )?;
+        ) {
+            Ok(ex) => ex,
+            // Graceful degradation (§ failure model, DESIGN.md): the
+            // remote stayed unreachable through every retry. Answer from
+            // what is provable locally and tag the stream Partial.
+            Err(e) if e.is_transient() && self.config.resilience.degraded_mode => {
+                return self.degraded_answer(q, &plan);
+            }
+            Err(e) => return Err(e),
+        };
         self.metrics.add_local_ops(executed.local_tuple_ops);
 
         let vars: Vec<String> = executed
@@ -249,6 +280,37 @@ impl Cms {
         let tuples = head.to_vec();
         self.metrics.add_tuples_to_ie(tuples.len() as u64);
         Ok(AnswerStream::eager(head.schema().clone(), tuples))
+    }
+
+    /// Cache-only answer for a plan whose remote parts are unreachable.
+    ///
+    /// Soundness: the query is a *conjunction*, so any tuple in its true
+    /// result must satisfy the remote parts too — tuples built from the
+    /// cache parts alone would be a superset, not a subset. The only
+    /// provable answers without the remote are therefore none at all,
+    /// and the stream's value is the `Partial` tag naming exactly which
+    /// subqueries the cache could not cover. (Queries subsumption *can*
+    /// cover never reach this path: their plans have no remote parts.)
+    fn degraded_answer(&mut self, q: &ConjunctiveQuery, plan: &Plan) -> Result<AnswerStream> {
+        let mut missing: Vec<String> = Vec::new();
+        for part in plan.parts.iter().chain(plan.neg_parts.iter()) {
+            if let PartSource::Remote { atoms, cmps } = &part.source {
+                let mut desc: Vec<String> = atoms.iter().map(ToString::to_string).collect();
+                desc.extend(cmps.iter().map(ToString::to_string));
+                missing.push(desc.join(" & "));
+            }
+        }
+        self.metrics.add_degraded(1);
+        self.session_missing.extend(missing.iter().cloned());
+
+        let names: Vec<String> = (0..q.head.arity()).map(|i| format!("h{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let schema = Schema::of_strs(q.head.pred.clone(), &name_refs);
+        Ok(
+            AnswerStream::eager(schema, Vec::new()).with_completeness(Completeness::Partial {
+                missing_subqueries: missing,
+            }),
+        )
     }
 
     /// Store the (pre-head-projection) result as a new cache element under
@@ -368,6 +430,7 @@ impl Cms {
             &plan,
             &self.cache,
             &self.remote,
+            &self.resilience,
             self.config.parallel_execution,
             self.config.pipelining,
             self.config.transfer_buffer_tuples,
@@ -435,6 +498,7 @@ impl Cms {
                     &plan,
                     &self.cache,
                     &self.remote,
+                    &self.resilience,
                     self.config.parallel_execution,
                     self.config.pipelining,
                     self.config.transfer_buffer_tuples,

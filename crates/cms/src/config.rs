@@ -6,6 +6,8 @@
 //! generalization, prefetching, advice-driven indexing and replacement,
 //! lazy evaluation, and parallel cache/remote execution.
 
+use crate::resilience::ResilienceConfig;
+
 /// Tunable CMS behaviour.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CmsConfig {
@@ -55,6 +57,9 @@ pub struct CmsConfig {
     /// Wiederhold \[CERI86\] that the paper contrasts with ("in \[CERI86\],
     /// cached elements contain only single relations", §5.3.2).
     pub whole_relation_caching: bool,
+    /// Remote-fault handling: retries, deadlines, circuit breaking and
+    /// cache-only degraded answers (see [`ResilienceConfig`]).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for CmsConfig {
@@ -76,6 +81,7 @@ impl Default for CmsConfig {
             generalization_min_predicted_reuse: 1,
             cost_based_placement: false,
             whole_relation_caching: false,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -100,6 +106,7 @@ impl CmsConfig {
             generalization_min_predicted_reuse: usize::MAX,
             cost_based_placement: false,
             whole_relation_caching: false,
+            resilience: ResilienceConfig::default(),
         }
     }
 
@@ -189,6 +196,13 @@ impl CmsConfig {
     /// Toggle §5.3.3 cost-based placement.
     pub fn with_cost_based_placement(mut self, on: bool) -> Self {
         self.cost_based_placement = on;
+        self
+    }
+
+    /// Set the resilience policy (retries, deadlines, breaker,
+    /// degraded mode).
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
         self
     }
 }

@@ -1,5 +1,6 @@
 //! Error type for the CMS.
 
+use braid_remote::RemoteError;
 use std::fmt;
 
 /// Result alias for this crate.
@@ -18,10 +19,43 @@ pub enum CmsError {
     /// The query falls outside what the CMS can plan (e.g. an unsupported
     /// literal form in a remote-only part).
     Unplannable(String),
-    /// An error from the remote DBMS.
-    Remote(String),
+    /// An error from the remote DBMS, preserved structurally so callers
+    /// can distinguish transient transport faults from hard errors
+    /// (available through [`std::error::Error::source`] as well).
+    Remote(RemoteError),
+    /// A parallel fetch worker panicked; the panic payload is captured
+    /// as text. Distinct from [`CmsError::Remote`]: the remote side did
+    /// nothing wrong, the workstation-side worker died.
+    WorkerPanic(String),
+    /// All retries were exhausted (or the circuit breaker rejected the
+    /// attempt) and degraded mode was off; the underlying final error
+    /// is preserved.
+    Exhausted {
+        /// Attempts actually made against the remote (0 if the breaker
+        /// rejected every one).
+        attempts: u32,
+        /// The error from the last attempt.
+        last: Box<CmsError>,
+    },
+    /// The circuit breaker is open: the remote is presumed down and the
+    /// attempt was rejected without contacting it.
+    CircuitOpen,
     /// An error from the local relational engine.
     Engine(String),
+}
+
+impl CmsError {
+    /// Is this a failure a retry or degraded answer could address —
+    /// i.e. a transport-level remote fault rather than a planning or
+    /// evaluation bug?
+    pub fn is_transient(&self) -> bool {
+        match self {
+            CmsError::Remote(e) => e.is_transient(),
+            CmsError::CircuitOpen => true,
+            CmsError::Exhausted { last, .. } => last.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for CmsError {
@@ -33,22 +67,82 @@ impl fmt::Display for CmsError {
             }
             CmsError::UnsafeQuery(q) => write!(f, "unsafe query: {q}"),
             CmsError::Unplannable(m) => write!(f, "cannot plan query: {m}"),
-            CmsError::Remote(m) => write!(f, "remote DBMS error: {m}"),
+            CmsError::Remote(e) => write!(f, "remote DBMS error: {e}"),
+            CmsError::WorkerPanic(m) => write!(f, "remote fetch worker panicked: {m}"),
+            CmsError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+            CmsError::CircuitOpen => write!(f, "circuit breaker open: remote presumed down"),
             CmsError::Engine(m) => write!(f, "engine error: {m}"),
         }
     }
 }
 
-impl std::error::Error for CmsError {}
+impl std::error::Error for CmsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CmsError::Remote(e) => Some(e),
+            CmsError::Exhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
 
-impl From<braid_remote::RemoteError> for CmsError {
-    fn from(e: braid_remote::RemoteError) -> Self {
-        CmsError::Remote(e.to_string())
+impl From<RemoteError> for CmsError {
+    fn from(e: RemoteError) -> Self {
+        CmsError::Remote(e)
     }
 }
 
 impl From<braid_relational::RelationalError> for CmsError {
     fn from(e: braid_relational::RelationalError) -> Self {
         CmsError::Engine(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn remote_errors_keep_structure_and_source() {
+        let e = CmsError::from(RemoteError::Disconnected {
+            tuples_delivered: 7,
+        });
+        assert_eq!(
+            e,
+            CmsError::Remote(RemoteError::Disconnected {
+                tuples_delivered: 7
+            })
+        );
+        let src = e.source().expect("remote source preserved");
+        assert_eq!(
+            src.downcast_ref::<RemoteError>(),
+            Some(&RemoteError::Disconnected {
+                tuples_delivered: 7
+            })
+        );
+    }
+
+    #[test]
+    fn exhausted_chains_to_final_error() {
+        let e = CmsError::Exhausted {
+            attempts: 3,
+            last: Box::new(CmsError::Remote(RemoteError::Timeout)),
+        };
+        assert!(e.is_transient());
+        let src = e.source().expect("exhausted has a source");
+        let inner = src.downcast_ref::<CmsError>().unwrap();
+        assert_eq!(inner.source().unwrap().to_string(), "remote request timed out");
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(CmsError::Remote(RemoteError::Unavailable).is_transient());
+        assert!(CmsError::CircuitOpen.is_transient());
+        assert!(!CmsError::Remote(RemoteError::UnknownRelation("x".into())).is_transient());
+        assert!(!CmsError::UnsafeQuery("q".into()).is_transient());
+        assert!(!CmsError::WorkerPanic("boom".into()).is_transient());
     }
 }

@@ -40,6 +40,7 @@ pub mod model;
 pub mod monitor;
 pub mod planner;
 pub mod rdi;
+pub mod resilience;
 pub mod stream;
 
 pub use cms::Cms;
@@ -48,4 +49,5 @@ pub use element::{CacheElement, ElemId, Repr};
 pub use error::{CmsError, Result};
 pub use metrics::{CmsMetrics, CmsMetricsSnapshot};
 pub use planner::{PartSource, Plan, PlanPart};
-pub use stream::AnswerStream;
+pub use resilience::{Resilience, ResilienceConfig};
+pub use stream::{AnswerStream, Completeness};

@@ -21,6 +21,12 @@ pub struct CmsMetrics {
     evictions: AtomicU64,
     local_tuple_ops: AtomicU64,
     tuples_to_ie: AtomicU64,
+    retries: AtomicU64,
+    retry_backoff_units: AtomicU64,
+    deadline_timeouts: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_rejections: AtomicU64,
+    degraded_answers: AtomicU64,
 }
 
 /// Snapshot of [`CmsMetrics`].
@@ -48,6 +54,19 @@ pub struct CmsMetricsSnapshot {
     pub local_tuple_ops: u64,
     /// Tuples actually delivered to the IE.
     pub tuples_to_ie: u64,
+    /// Remote fetch attempts retried after a transient fault.
+    pub retries: u64,
+    /// Simulated cost units charged as retry backoff.
+    pub retry_backoff_units: u64,
+    /// Attempts abandoned because the per-request deadline was exceeded.
+    pub deadline_timeouts: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_opens: u64,
+    /// Attempts rejected without contacting the remote (breaker open).
+    pub breaker_rejections: u64,
+    /// Queries answered in degraded (cache-only) mode with a
+    /// `Partial` completeness tag.
+    pub degraded_answers: u64,
 }
 
 macro_rules! bump {
@@ -74,6 +93,12 @@ bump! {
     add_evictions => evictions,
     add_local_ops => local_tuple_ops,
     add_tuples_to_ie => tuples_to_ie,
+    add_retries => retries,
+    add_backoff_units => retry_backoff_units,
+    add_deadline_timeouts => deadline_timeouts,
+    add_breaker_opens => breaker_opens,
+    add_breaker_rejections => breaker_rejections,
+    add_degraded => degraded_answers,
 }
 
 impl CmsMetrics {
@@ -96,6 +121,12 @@ impl CmsMetrics {
             evictions: self.evictions.load(Ordering::Relaxed),
             local_tuple_ops: self.local_tuple_ops.load(Ordering::Relaxed),
             tuples_to_ie: self.tuples_to_ie.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            retry_backoff_units: self.retry_backoff_units.load(Ordering::Relaxed),
+            deadline_timeouts: self.deadline_timeouts.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+            degraded_answers: self.degraded_answers.load(Ordering::Relaxed),
         }
     }
 
@@ -113,6 +144,12 @@ impl CmsMetrics {
             &self.evictions,
             &self.local_tuple_ops,
             &self.tuples_to_ie,
+            &self.retries,
+            &self.retry_backoff_units,
+            &self.deadline_timeouts,
+            &self.breaker_opens,
+            &self.breaker_rejections,
+            &self.degraded_answers,
         ] {
             c.store(0, Ordering::Relaxed);
         }

@@ -12,9 +12,10 @@ use crate::cache::CacheManager;
 use crate::error::{CmsError, Result};
 use crate::planner::{PartSource, Plan, PlanPart};
 use crate::rdi;
+use crate::resilience::Resilience;
 use braid_caql::{ArithExpr, Comparison, Term};
 use braid_relational::{ops, Expr, Relation, Schema, Tuple};
-use braid_remote::RemoteDbms;
+use braid_remote::{RemoteDbms, RemoteError};
 
 /// The result of executing a plan: the joined relation (columns named by
 /// query variables) plus workstation-side work accounting.
@@ -33,13 +34,18 @@ pub struct Executed {
 ///
 /// `parallel` runs remote parts concurrently (§5 feature (e)); `pipelined`
 /// and `buffer` control the transfer mode of each remote stream (§5.5).
+/// Every remote fetch goes through `resilience` (retry/backoff, deadline,
+/// circuit breaker) — the breaker state is shared across the parallel
+/// fetch threads.
 ///
 /// # Errors
-/// Propagates translation, remote and local evaluation errors.
+/// Propagates translation, remote and local evaluation errors. Remote
+/// transport faults surface only after the resilience policy gives up.
 pub fn execute(
     plan: &Plan,
     cache: &CacheManager,
     remote: &RemoteDbms,
+    resilience: &Resilience,
     parallel: bool,
     pipelined: bool,
     buffer: usize,
@@ -61,7 +67,7 @@ pub fn execute(
     if parallel && remote_jobs.len() > 1 {
         // Fan the remote fetches out; cache parts run on this thread in
         // the meantime.
-        crossbeam::thread::scope(|s| -> Result<()> {
+        std::thread::scope(|s| -> Result<()> {
             let mut handles = Vec::new();
             for (idx, part) in &remote_jobs {
                 let part = (*part).clone();
@@ -69,7 +75,7 @@ pub fn execute(
                 let idx = *idx;
                 handles.push((
                     idx,
-                    s.spawn(move |_| fetch_remote(&part, &remote, pipelined, buffer)),
+                    s.spawn(move || fetch_remote(&part, &remote, resilience, pipelined, buffer)),
                 ));
             }
             // Cache parts while remote is in flight.
@@ -79,20 +85,19 @@ pub fn execute(
                 }
             }
             for (idx, h) in handles {
-                let r = h
-                    .join()
-                    .map_err(|_| CmsError::Remote("remote fetch thread panicked".into()))??;
+                let r = h.join().map_err(|payload| {
+                    CmsError::WorkerPanic(panic_message(payload.as_ref()))
+                })??;
                 results[idx] = Some(r);
             }
             Ok(())
-        })
-        .map_err(|_| CmsError::Remote("execution scope panicked".into()))??;
+        })?;
     } else {
         for (idx, part) in plan.parts.iter().enumerate() {
             results[idx] = Some(if part.is_cache() {
                 eval_cache_part(part, cache, &mut local_ops)?
             } else {
-                fetch_remote(part, remote, pipelined, buffer)?
+                fetch_remote(part, remote, resilience, pipelined, buffer)?
             });
         }
     }
@@ -142,7 +147,7 @@ pub fn execute(
         let (nvars, nrel) = if part.is_cache() {
             eval_cache_part(part, cache, &mut local_ops)?
         } else {
-            fetch_remote(part, remote, pipelined, buffer)?
+            fetch_remote(part, remote, resilience, pipelined, buffer)?
         };
         let on: Vec<(usize, usize)> = nvars
             .iter()
@@ -187,9 +192,21 @@ fn eval_cache_part(
     Ok((part.vars.clone(), rename(rel, &part.vars)?))
 }
 
+/// Render a worker panic payload as text for [`CmsError::WorkerPanic`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn fetch_remote(
     part: &PlanPart,
     remote: &RemoteDbms,
+    resilience: &Resilience,
     pipelined: bool,
     buffer: usize,
 ) -> Result<(Vec<String>, Relation)> {
@@ -197,24 +214,55 @@ fn fetch_remote(
         unreachable!("fetch_remote called on a cache part");
     };
     let t = rdi::translate(atoms, cmps, &part.vars)?;
-    // Buffered/pipelined transfer (§5.5): the RDI "buffers the data
-    // returned by the DBMS prior to passing buffer control to the Cache
-    // Manager".
-    let mut stream = remote.submit_stream(&t.sql, buffer, pipelined)?;
-    if part.vars.is_empty() {
-        // Fully ground subquery: an existence test. The DML has no
-        // zero-column SELECT, so reduce the stream to a 0-ary relation
-        // holding the empty tuple iff any row matched.
-        let nonempty = stream.next_tuple().is_some();
-        drop(stream);
-        let mut rel = Relation::new(Schema::of_strs("part", &[]));
-        if nonempty {
-            rel.insert(Tuple::empty())?;
+    // One attempt = one round trip; the resilience policy retries
+    // transient faults with backoff charged in cost units, and enforces
+    // the per-attempt latency deadline against the stream's receipt.
+    let rel = resilience.run(|| {
+        // Buffered/pipelined transfer (§5.5): the RDI "buffers the data
+        // returned by the DBMS prior to passing buffer control to the
+        // Cache Manager".
+        let mut stream = remote.submit_stream(&t.sql, buffer, pipelined)?;
+        if part.vars.is_empty() {
+            // Fully ground subquery: an existence test. The DML has no
+            // zero-column SELECT, so reduce the stream to a 0-ary relation
+            // holding the empty tuple iff any row matched.
+            let nonempty = stream.next_tuple().is_some();
+            if !nonempty {
+                // `None` is ambiguous: end-of-stream or mid-stream fault.
+                if let Some(e) = stream.take_error() {
+                    return Err(e.into());
+                }
+            }
+            check_deadline(resilience, stream.units_charged())?;
+            drop(stream);
+            let mut rel = Relation::new(Schema::of_strs("part", &[]));
+            if nonempty {
+                rel.insert(Tuple::empty())?;
+            }
+            return Ok((Vec::new(), rel));
         }
-        return Ok((Vec::new(), rel));
+        let mut rel = Relation::new(stream.schema().clone());
+        while let Some(tuple) = stream.next_tuple() {
+            rel.insert(tuple).map_err(CmsError::from)?;
+        }
+        if let Some(e) = stream.take_error() {
+            return Err(e.into());
+        }
+        check_deadline(resilience, stream.units_charged())?;
+        Ok((part.vars.clone(), rename(rel, &part.vars)?))
+    })?;
+    Ok(rel)
+}
+
+/// Enforce the per-attempt deadline against a request's latency receipt.
+fn check_deadline(resilience: &Resilience, units_charged: u64) -> Result<()> {
+    if let Some(deadline) = resilience.deadline_units() {
+        if units_charged > deadline {
+            resilience.metrics().add_deadline_timeouts(1);
+            return Err(CmsError::Remote(RemoteError::Timeout));
+        }
     }
-    let rel = stream.drain()?;
-    Ok((part.vars.clone(), rename(rel, &part.vars)?))
+    Ok(())
 }
 
 /// Rebuild a relation with columns named by `vars` (types advisory).
@@ -322,6 +370,14 @@ mod tests {
     use braid_relational::tuple;
     use braid_remote::Catalog;
     use braid_subsume::ViewDef;
+    use std::sync::Arc;
+
+    fn res() -> Resilience {
+        Resilience::new(
+            crate::resilience::ResilienceConfig::default(),
+            Arc::new(crate::metrics::CmsMetrics::new()),
+        )
+    }
 
     fn remote() -> RemoteDbms {
         let mut c = Catalog::new();
@@ -352,7 +408,7 @@ mod tests {
         let r = remote();
         let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
         let p = plan(&q, &cache, true).unwrap();
-        let ex = execute(&p, &cache, &r, false, true, 8).unwrap();
+        let ex = execute(&p, &cache, &r, &res(), false, true, 8).unwrap();
         // Only x1/x3 join through z1 to (c2, c6).
         assert_eq!(ex.joined.len(), 2);
         let head = project_head(&ex.joined, &paper_vars(&ex), &q.head).unwrap();
@@ -388,7 +444,7 @@ mod tests {
         let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
         let p = plan(&q, &cache, true).unwrap();
         assert_eq!(p.remote_parts(), 1);
-        let ex = execute(&p, &cache, &r, false, true, 8).unwrap();
+        let ex = execute(&p, &cache, &r, &res(), false, true, 8).unwrap();
         let head = project_head(&ex.joined, &paper_vars(&ex), &q.head).unwrap();
         let mut rows = head.sorted_tuples();
         rows.sort();
@@ -405,8 +461,8 @@ mod tests {
         // separate runs because the middle atom is absent.
         let q = parse_rule("q(X, Y) :- b2(X, Z), b3(W, c2, Y).").unwrap();
         let p = plan(&q, &cache, true).unwrap();
-        let seq = execute(&p, &cache, &r, false, true, 8).unwrap();
-        let par = execute(&p, &cache, &r, true, true, 8).unwrap();
+        let seq = execute(&p, &cache, &r, &res(), false, true, 8).unwrap();
+        let par = execute(&p, &cache, &r, &res(), true, true, 8).unwrap();
         assert_eq!(seq.joined, par.joined);
         assert_eq!(par.remote_subqueries, 1); // contiguous run → 1 request
     }
@@ -433,7 +489,7 @@ mod tests {
         let q = parse_rule("q(A, B) :- nums(A, B), B > A + 2.").unwrap();
         let p = plan(&q, &cache, true).unwrap();
         assert_eq!(p.residual_cmps.len(), 1);
-        let ex = execute(&p, &cache, &r, false, true, 8).unwrap();
+        let ex = execute(&p, &cache, &r, &res(), false, true, 8).unwrap();
         assert_eq!(ex.joined.len(), 2); // (1,5) and (3,10)
     }
 
@@ -448,7 +504,7 @@ mod tests {
             true,
         )
         .unwrap();
-        let ex = execute(&q_yes, &cache, &r, false, true, 8).unwrap();
+        let ex = execute(&q_yes, &cache, &r, &res(), false, true, 8).unwrap();
         assert_eq!(ex.joined.len(), 1, "existence holds: b3 rows survive");
         let q_no = plan(
             &parse_rule("q(V) :- b2(x1, zz), b3(V, c2, c6).").unwrap(),
@@ -456,7 +512,7 @@ mod tests {
             true,
         )
         .unwrap();
-        let ex = execute(&q_no, &cache, &r, false, true, 8).unwrap();
+        let ex = execute(&q_no, &cache, &r, &res(), false, true, 8).unwrap();
         assert_eq!(ex.joined.len(), 0, "existence fails: empty result");
     }
 

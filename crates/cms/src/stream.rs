@@ -9,6 +9,31 @@
 use braid_relational::{RunningGenerator, Schema, Tuple, TupleStream};
 use std::collections::VecDeque;
 
+/// How complete an answer stream is with respect to the query's true
+/// result. Exact is the normal case; Partial arises only in degraded
+/// mode, when the remote DBMS was unreachable and subsumption could
+/// *not* prove the cache covers the query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every answer tuple is present: either the remote cooperated, or
+    /// subsumption proved the cached data fully covers the query.
+    Exact,
+    /// The remote was unreachable and coverage could not be proven; the
+    /// stream holds only the tuples provable from cache. Each listed
+    /// subquery names a plan part that would have needed the remote.
+    Partial {
+        /// Human-readable descriptions of the unanswerable plan parts.
+        missing_subqueries: Vec<String>,
+    },
+}
+
+impl Completeness {
+    /// Is the answer provably complete?
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Completeness::Exact)
+    }
+}
+
 enum Inner {
     Eager(VecDeque<Tuple>),
     Lazy(Box<RunningGenerator>),
@@ -20,6 +45,7 @@ pub struct AnswerStream {
     inner: Inner,
     delivered: usize,
     lazy: bool,
+    completeness: Completeness,
 }
 
 impl AnswerStream {
@@ -30,6 +56,7 @@ impl AnswerStream {
             inner: Inner::Eager(tuples.into()),
             delivered: 0,
             lazy: false,
+            completeness: Completeness::Exact,
         }
     }
 
@@ -41,7 +68,25 @@ impl AnswerStream {
             inner: Inner::Lazy(Box::new(generator)),
             delivered: 0,
             lazy: true,
+            completeness: Completeness::Exact,
         }
+    }
+
+    /// Tag the stream's completeness (degraded-mode answers).
+    #[must_use]
+    pub fn with_completeness(mut self, completeness: Completeness) -> AnswerStream {
+        self.completeness = completeness;
+        self
+    }
+
+    /// How complete this answer is (see [`Completeness`]).
+    pub fn completeness(&self) -> &Completeness {
+        &self.completeness
+    }
+
+    /// Shorthand: is this answer provably complete?
+    pub fn is_exact(&self) -> bool {
+        self.completeness.is_exact()
     }
 
     /// Schema of the answers.
@@ -94,6 +139,7 @@ impl std::fmt::Debug for AnswerStream {
             .field("schema", &self.schema.to_string())
             .field("lazy", &self.lazy)
             .field("delivered", &self.delivered)
+            .field("completeness", &self.completeness)
             .finish()
     }
 }
@@ -112,6 +158,22 @@ mod tests {
         assert_eq!(s.next_tuple(), Some(tuple!["a"]));
         assert_eq!(s.delivered(), 1);
         assert_eq!(s.by_ref().count(), 1);
+    }
+
+    #[test]
+    fn streams_default_to_exact_and_can_be_tagged_partial() {
+        let s = AnswerStream::eager(Schema::of_strs("r", &["x"]), vec![]);
+        assert!(s.is_exact());
+        let s = s.with_completeness(Completeness::Partial {
+            missing_subqueries: vec!["b2(X, Z)".into()],
+        });
+        assert!(!s.is_exact());
+        match s.completeness() {
+            Completeness::Partial { missing_subqueries } => {
+                assert_eq!(missing_subqueries, &["b2(X, Z)".to_string()]);
+            }
+            Completeness::Exact => panic!("expected partial"),
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod metrics;
 pub mod system;
 
 pub use metrics::CombinedMetrics;
-pub use system::{BraidConfig, BraidError, BraidSystem};
+pub use system::{BraidConfig, BraidError, BraidSystem, CheckedSolutions};
 
 // The public API surface, re-exported so applications depend on one crate.
 pub use braid_advice::{Advice, PathExpr, PathTracker, ViewSpec};
@@ -67,7 +67,7 @@ pub use braid_caql::{
     parse_atom, parse_program, parse_query, parse_rule, Atom, CaqlQuery, ConjunctiveQuery, Literal,
     Subst, Term,
 };
-pub use braid_cms::{AnswerStream, Cms, CmsConfig};
-pub use braid_ie::{InferenceEngine, KnowledgeBase, Rule, Soa, Strategy};
+pub use braid_cms::{AnswerStream, Cms, CmsConfig, Completeness, ResilienceConfig};
+pub use braid_ie::{IeError, InferenceEngine, KnowledgeBase, Rule, Soa, Strategy};
 pub use braid_relational::{Relation, Schema, Tuple, Value};
-pub use braid_remote::{Catalog, CostModel, LatencyModel, RemoteDbms};
+pub use braid_remote::{Catalog, CostModel, FaultPlan, LatencyModel, RemoteDbms};

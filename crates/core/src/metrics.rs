@@ -34,8 +34,22 @@ impl CombinedMetrics {
                 evictions: self.cms.evictions - earlier.cms.evictions,
                 local_tuple_ops: self.cms.local_tuple_ops - earlier.cms.local_tuple_ops,
                 tuples_to_ie: self.cms.tuples_to_ie - earlier.cms.tuples_to_ie,
+                retries: self.cms.retries - earlier.cms.retries,
+                retry_backoff_units: self.cms.retry_backoff_units
+                    - earlier.cms.retry_backoff_units,
+                deadline_timeouts: self.cms.deadline_timeouts - earlier.cms.deadline_timeouts,
+                breaker_opens: self.cms.breaker_opens - earlier.cms.breaker_opens,
+                breaker_rejections: self.cms.breaker_rejections - earlier.cms.breaker_rejections,
+                degraded_answers: self.cms.degraded_answers - earlier.cms.degraded_answers,
             },
         }
+    }
+
+    /// Remote cost units charged on attempts that ultimately failed,
+    /// plus the backoff charged while retrying — the price of the
+    /// injected faults.
+    pub fn wasted_cost_units(&self) -> u64 {
+        self.remote.wasted_latency_units + self.cms.retry_backoff_units
     }
 
     /// A single scalar "total cost" in cost units: latency units charged
@@ -56,6 +70,27 @@ impl fmt::Display for CombinedMetrics {
             self.remote.server_tuple_ops,
             self.remote.simulated_latency_units
         )?;
+        if self.remote.faults_injected > 0 || self.cms.retries > 0 {
+            writeln!(
+                f,
+                "faults: {} injected ({} unavailable / {} timeout / {} disconnect / {} spike), \
+                 {} wasted-units, {} wasted-tuples; {} retries ({} backoff-units), \
+                 {} deadline-timeouts, {} breaker-opens, {} breaker-rejections, {} degraded",
+                self.remote.faults_injected,
+                self.remote.unavailable_faults,
+                self.remote.timeout_faults,
+                self.remote.disconnect_faults,
+                self.remote.latency_spike_faults,
+                self.remote.wasted_latency_units,
+                self.remote.wasted_tuples,
+                self.cms.retries,
+                self.cms.retry_backoff_units,
+                self.cms.deadline_timeouts,
+                self.cms.breaker_opens,
+                self.cms.breaker_rejections,
+                self.cms.degraded_answers
+            )?;
+        }
         write!(
             f,
             "cms: {} queries ({} full / {} partial cache), {} remote subqueries, \

@@ -2,11 +2,11 @@
 
 use crate::metrics::CombinedMetrics;
 use braid_caql::{parse_query, Atom};
-use braid_cms::{Cms, CmsConfig, CmsError};
+use braid_cms::{Cms, CmsConfig, CmsError, Completeness};
 use braid_ie::engine::Solutions;
 use braid_ie::{IeError, InferenceEngine, KnowledgeBase, Strategy};
 use braid_relational::Tuple;
-use braid_remote::{Catalog, CostModel, LatencyModel, RemoteDbms};
+use braid_remote::{Catalog, CostModel, FaultPlan, LatencyModel, RemoteDbms};
 use std::fmt;
 
 /// Configuration of the whole bridge.
@@ -18,6 +18,9 @@ pub struct BraidConfig {
     pub cost: CostModel,
     /// Latency realization (counted vs wall-clock).
     pub latency: LatencyModel,
+    /// Fault injection at the remote side (chaos experiments). `None`
+    /// means a perfectly reliable server.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for BraidConfig {
@@ -26,6 +29,7 @@ impl Default for BraidConfig {
             cms: CmsConfig::braid(),
             cost: CostModel::default(),
             latency: LatencyModel::Counted,
+            faults: None,
         }
     }
 }
@@ -37,6 +41,13 @@ impl BraidConfig {
             cms,
             ..BraidConfig::default()
         }
+    }
+
+    /// Install a remote fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> BraidConfig {
+        self.faults = Some(faults);
+        self
     }
 }
 
@@ -61,7 +72,15 @@ impl fmt::Display for BraidError {
     }
 }
 
-impl std::error::Error for BraidError {}
+impl std::error::Error for BraidError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BraidError::Ie(e) => Some(e),
+            BraidError::Cms(e) => Some(e),
+            BraidError::Parse(_) => None,
+        }
+    }
+}
 
 impl From<IeError> for BraidError {
     fn from(e: IeError) -> Self {
@@ -90,6 +109,7 @@ impl BraidSystem {
     /// simulated workstation–server boundary.
     pub fn new(catalog: Catalog, kb: KnowledgeBase, config: BraidConfig) -> BraidSystem {
         let remote = RemoteDbms::new(catalog, config.cost, config.latency);
+        remote.set_fault_plan(config.faults);
         BraidSystem {
             engine: InferenceEngine::new(kb),
             cms: Cms::new(remote, config.cms),
@@ -153,6 +173,53 @@ impl BraidSystem {
     pub fn solve_all(&mut self, query: &str, strategy: Strategy) -> Result<Vec<Tuple>, BraidError> {
         let goal = parse_query(query).map_err(|e| BraidError::Parse(e.to_string()))?;
         Ok(self.engine.solve_all(&mut self.cms, &goal, strategy)?)
+    }
+
+    /// Like [`BraidSystem::solve_all`], additionally reporting whether
+    /// the solutions are provably complete. In degraded mode (remote
+    /// unreachable, cache coverage unprovable) the answer comes back
+    /// [`Completeness::Partial`] with the unanswerable subqueries named.
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve_checked(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<CheckedSolutions, BraidError> {
+        // Clear anything accumulated by earlier queries so the tag
+        // reflects this solve only.
+        let _ = self.cms.take_missing_subqueries();
+        let solutions = self.solve_all(query, strategy)?;
+        let missing = self.cms.take_missing_subqueries();
+        let completeness = if missing.is_empty() {
+            Completeness::Exact
+        } else {
+            Completeness::Partial {
+                missing_subqueries: missing,
+            }
+        };
+        Ok(CheckedSolutions {
+            solutions,
+            completeness,
+        })
+    }
+}
+
+/// Solutions plus the completeness contract they were produced under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckedSolutions {
+    /// Unique, sorted solution tuples.
+    pub solutions: Vec<Tuple>,
+    /// [`Completeness::Exact`] unless a degraded (cache-only) answer
+    /// contributed to the solve.
+    pub completeness: Completeness,
+}
+
+impl CheckedSolutions {
+    /// Shorthand: is the solution set provably complete?
+    pub fn is_exact(&self) -> bool {
+        self.completeness.is_exact()
     }
 }
 

@@ -15,8 +15,13 @@ pub enum IeError {
     /// Inference exceeded the configured depth bound (likely unbounded
     /// recursion over cyclic data in the interpreted strategy).
     DepthExceeded(usize),
-    /// An error reported by the CMS.
-    Cms(String),
+    /// An error reported by the CMS, kept structured so callers can
+    /// inspect transience and walk the `source()` chain down to the
+    /// remote fault that caused it.
+    Cms(braid_cms::CmsError),
+    /// A relational-substrate operation failed mid-inference (schema
+    /// mismatch, arity conflict, ...).
+    Relational(String),
     /// A built-in literal failed to evaluate (e.g. unbound arithmetic).
     Builtin(String),
 }
@@ -27,16 +32,24 @@ impl fmt::Display for IeError {
             IeError::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
             IeError::BadRule { rule, reason } => write!(f, "bad rule `{rule}`: {reason}"),
             IeError::DepthExceeded(d) => write!(f, "inference depth bound {d} exceeded"),
-            IeError::Cms(m) => write!(f, "CMS error: {m}"),
+            IeError::Cms(e) => write!(f, "CMS error: {e}"),
+            IeError::Relational(m) => write!(f, "relational error: {m}"),
             IeError::Builtin(m) => write!(f, "builtin evaluation error: {m}"),
         }
     }
 }
 
-impl std::error::Error for IeError {}
+impl std::error::Error for IeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IeError::Cms(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<braid_cms::CmsError> for IeError {
     fn from(e: braid_cms::CmsError) -> Self {
-        IeError::Cms(e.to_string())
+        IeError::Cms(e)
     }
 }

@@ -110,7 +110,7 @@ pub fn solve_compiled(kb: &KnowledgeBase, cms: &mut Cms, goal: &Atom) -> Result<
             }
         }
         out.insert(t.clone())
-            .map_err(|e| IeError::Cms(e.to_string()))?;
+            .map_err(|e| IeError::Relational(e.to_string()))?;
     }
     Ok(out)
 }
@@ -202,7 +202,7 @@ fn eval_rules_once(
         let rel = eval_rule_body(kb, cms, &rule, memo, ctx)?;
         for t in rel.iter() {
             out.insert(t.clone())
-                .map_err(|e| IeError::Cms(e.to_string()))?;
+                .map_err(|e| IeError::Relational(e.to_string()))?;
         }
     }
     Ok(out)
@@ -238,7 +238,7 @@ fn eval_rule_body(
                             .filter_map(|(j, v)| vars.iter().position(|w| w == v).map(|i| (i, j)))
                             .collect();
                         let joined = ops::equijoin(&prev, &arel, &on)
-                            .map_err(|e| IeError::Cms(e.to_string()))?;
+                            .map_err(|e| IeError::Relational(e.to_string()))?;
                         let prev_len = vars.len();
                         let mut keep: Vec<usize> = (0..prev_len).collect();
                         for (j, v) in avars.iter().enumerate() {
@@ -248,7 +248,7 @@ fn eval_rule_body(
                             }
                         }
                         let projected = ops::project(&joined, &keep)
-                            .map_err(|e| IeError::Cms(e.to_string()))?;
+                            .map_err(|e| IeError::Relational(e.to_string()))?;
                         acc = Some(renamed(projected, &vars));
                     }
                 }
@@ -272,7 +272,7 @@ fn eval_rule_body(
                 .filter_map(|t| t.as_const().cloned())
                 .collect();
             out.insert(Tuple::new(values))
-                .map_err(|e| IeError::Cms(e.to_string()))?;
+                .map_err(|e| IeError::Relational(e.to_string()))?;
         }
         return Ok(out);
     };
@@ -297,7 +297,7 @@ fn eval_rule_body(
                     };
                     if inst.eval().unwrap_or(false) {
                         out.insert(t.clone())
-                            .map_err(|e| IeError::Cms(e.to_string()))?;
+                            .map_err(|e| IeError::Relational(e.to_string()))?;
                     }
                 }
                 Literal::Bind { var, expr } => {
@@ -306,7 +306,7 @@ fn eval_rule_body(
                     if let Some(pos) = vars.iter().position(|v| v == var) {
                         if t.values()[pos] == val {
                             out.insert(t.clone())
-                                .map_err(|e| IeError::Cms(e.to_string()))?;
+                                .map_err(|e| IeError::Relational(e.to_string()))?;
                         }
                     } else {
                         // Extend with the computed column.
@@ -323,7 +323,7 @@ fn eval_rule_body(
                             .as_mut()
                             .expect("created above")
                             .insert(Tuple::new(row))
-                            .map_err(|e| IeError::Cms(e.to_string()))?;
+                            .map_err(|e| IeError::Relational(e.to_string()))?;
                     }
                 }
                 Literal::Neg(_) => {
@@ -372,7 +372,7 @@ fn eval_rule_body(
             })
             .collect();
         out.insert(Tuple::new(row))
-            .map_err(|e| IeError::Cms(e.to_string()))?;
+            .map_err(|e| IeError::Relational(e.to_string()))?;
     }
     Ok(out)
 }
@@ -392,7 +392,7 @@ fn fetch_base(kb: &KnowledgeBase, cms: &mut Cms, pred: &str) -> Result<Relation>
     let stream = cms.query(q).map_err(IeError::from)?;
     let mut rel = Relation::new(Schema::positional(pred, arity));
     for t in stream {
-        rel.insert(t).map_err(|e| IeError::Cms(e.to_string()))?;
+        rel.insert(t).map_err(|e| IeError::Relational(e.to_string()))?;
     }
     Ok(rel)
 }
@@ -434,7 +434,7 @@ fn bind_atom(a: &Atom, ext: &Relation) -> Result<(Vec<String>, Relation)> {
             }
         }
         out.insert(t.project(&keep_cols))
-            .map_err(|e| IeError::Cms(e.to_string()))?;
+            .map_err(|e| IeError::Relational(e.to_string()))?;
     }
     Ok((vars, out))
 }
@@ -475,12 +475,12 @@ fn transitive_closure(base: &Relation) -> Result<Relation> {
     loop {
         let before = total.len();
         let step =
-            ops::equijoin(&total, base, &[(1, 0)]).map_err(|e| IeError::Cms(e.to_string()))?;
-        let new_pairs = ops::project(&step, &[0, 3]).map_err(|e| IeError::Cms(e.to_string()))?;
+            ops::equijoin(&total, base, &[(1, 0)]).map_err(|e| IeError::Relational(e.to_string()))?;
+        let new_pairs = ops::project(&step, &[0, 3]).map_err(|e| IeError::Relational(e.to_string()))?;
         for t in new_pairs.iter() {
             total
                 .insert(t.clone())
-                .map_err(|e| IeError::Cms(e.to_string()))?;
+                .map_err(|e| IeError::Relational(e.to_string()))?;
         }
         if total.len() == before {
             return Ok(total);

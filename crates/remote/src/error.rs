@@ -16,6 +16,30 @@ pub enum RemoteError {
     Malformed(String),
     /// An evaluation error from the relational engine.
     Engine(String),
+    /// The server could not be reached (transient connection failure or a
+    /// sustained-outage window). Retryable.
+    Unavailable,
+    /// The request exceeded its latency budget (injected spike or a
+    /// caller-imposed deadline). Retryable.
+    Timeout,
+    /// The connection dropped mid-stream; `tuples_delivered` result
+    /// tuples had already crossed the wire and must be discarded (the
+    /// stream is not resumable). Retryable.
+    Disconnected {
+        /// Tuples delivered before the cut.
+        tuples_delivered: u64,
+    },
+}
+
+impl RemoteError {
+    /// Is this a transport-level fault that a retry can plausibly fix
+    /// (as opposed to a deterministic planning/evaluation error)?
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            RemoteError::Unavailable | RemoteError::Timeout | RemoteError::Disconnected { .. }
+        )
+    }
 }
 
 impl fmt::Display for RemoteError {
@@ -27,6 +51,12 @@ impl fmt::Display for RemoteError {
             }
             RemoteError::Malformed(m) => write!(f, "malformed DML: {m}"),
             RemoteError::Engine(m) => write!(f, "engine error: {m}"),
+            RemoteError::Unavailable => write!(f, "remote DBMS unavailable"),
+            RemoteError::Timeout => write!(f, "remote request timed out"),
+            RemoteError::Disconnected { tuples_delivered } => write!(
+                f,
+                "connection dropped mid-stream after {tuples_delivered} tuples"
+            ),
         }
     }
 }

@@ -1,0 +1,289 @@
+//! Deterministic fault injection for the simulated remote DBMS.
+//!
+//! A [`FaultPlan`] describes *when* and *how* the remote side misbehaves:
+//! per-request transient failures, mid-stream disconnects, latency
+//! spikes, and sustained-outage windows. All decisions are pure
+//! functions of `(plan.seed, request_index)`, where the request index is
+//! a logical clock the server increments once per submitted request —
+//! the same plan and the same request order always produce the same
+//! faults, which is what makes chaos tests reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One injected fault, decided per request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The connection attempt fails outright; no work is done and no
+    /// cost is charged beyond the attempt itself.
+    Unavailable,
+    /// The request reaches the server but the reply never arrives; the
+    /// request overhead is charged and wasted.
+    Timeout,
+    /// The connection drops after `after_tuples` result tuples have
+    /// been shipped; everything delivered so far is wasted.
+    Disconnect {
+        /// Tuples delivered before the cut.
+        after_tuples: u64,
+    },
+    /// The request succeeds but an extra `units` of simulated latency
+    /// is charged (e.g. server under load). Not an error by itself,
+    /// but can push a request past a caller-imposed deadline.
+    LatencySpike {
+        /// Extra latency units charged on top of the normal cost.
+        units: u64,
+    },
+}
+
+/// A half-open interval `[start, end)` on the logical request clock
+/// during which every request fails with [`RemoteError::Unavailable`]
+/// (a sustained outage).
+///
+/// [`RemoteError::Unavailable`]: crate::RemoteError::Unavailable
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// First request index affected.
+    pub start: u64,
+    /// First request index no longer affected (`u64::MAX` = forever).
+    pub end: u64,
+}
+
+impl OutageWindow {
+    /// Window covering every request from `start` onwards.
+    pub fn from(start: u64) -> Self {
+        OutageWindow {
+            start,
+            end: u64::MAX,
+        }
+    }
+
+    /// Does the window cover this request index?
+    pub fn contains(&self, request: u64) -> bool {
+        self.start <= request && request < self.end
+    }
+}
+
+/// An explicit fault pinned to one request index. Scheduled faults
+/// take precedence over probabilistic draws and outage windows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// The logical request index the fault fires on.
+    pub request: u64,
+    /// What happens to that request.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seeded description of remote-side misbehaviour.
+///
+/// Probabilities are evaluated independently per request with a
+/// SplitMix64 draw keyed on `seed ^ request_index`; they are checked in
+/// the order unavailable → disconnect → latency spike → timeout, and at
+/// most one fault fires per request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all probabilistic draws.
+    pub seed: u64,
+    /// Per-request probability of a transient `Unavailable` failure.
+    pub transient_failure_prob: f64,
+    /// Per-request probability of a mid-stream disconnect.
+    pub disconnect_prob: f64,
+    /// Tuples delivered before a probabilistic disconnect cuts the
+    /// stream.
+    pub disconnect_after_tuples: u64,
+    /// Per-request probability of a latency spike.
+    pub latency_spike_prob: f64,
+    /// Extra latency units charged by a spike.
+    pub latency_spike_units: u64,
+    /// Per-request probability of a hard timeout.
+    pub timeout_prob: f64,
+    /// Sustained-outage windows on the logical request clock.
+    pub outages: Vec<OutageWindow>,
+    /// Explicit per-request faults (highest precedence).
+    pub schedule: Vec<ScheduledFault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient_failure_prob: 0.0,
+            disconnect_prob: 0.0,
+            disconnect_after_tuples: 1,
+            latency_spike_prob: 0.0,
+            latency_spike_units: 0,
+            timeout_prob: 0.0,
+            outages: Vec::new(),
+            schedule: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base for builders).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Start a plan with the given seed and no faults.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Set the per-request transient `Unavailable` probability.
+    #[must_use]
+    pub fn with_transient_failures(mut self, prob: f64) -> Self {
+        self.transient_failure_prob = prob;
+        self
+    }
+
+    /// Set the per-request mid-stream disconnect probability and the
+    /// number of tuples delivered before the cut.
+    #[must_use]
+    pub fn with_disconnects(mut self, prob: f64, after_tuples: u64) -> Self {
+        self.disconnect_prob = prob;
+        self.disconnect_after_tuples = after_tuples;
+        self
+    }
+
+    /// Set the per-request latency-spike probability and magnitude.
+    #[must_use]
+    pub fn with_latency_spikes(mut self, prob: f64, units: u64) -> Self {
+        self.latency_spike_prob = prob;
+        self.latency_spike_units = units;
+        self
+    }
+
+    /// Set the per-request hard-timeout probability.
+    #[must_use]
+    pub fn with_timeouts(mut self, prob: f64) -> Self {
+        self.timeout_prob = prob;
+        self
+    }
+
+    /// Add a sustained-outage window `[start, end)` on the request clock.
+    #[must_use]
+    pub fn with_outage(mut self, start: u64, end: u64) -> Self {
+        self.outages.push(OutageWindow { start, end });
+        self
+    }
+
+    /// Add an explicit fault for one request index.
+    #[must_use]
+    pub fn with_scheduled(mut self, request: u64, kind: FaultKind) -> Self {
+        self.schedule.push(ScheduledFault { request, kind });
+        self
+    }
+
+    /// Decide the fault (if any) for a request index. Pure: the same
+    /// plan and index always return the same decision.
+    pub fn decide(&self, request: u64) -> Option<FaultKind> {
+        if let Some(s) = self.schedule.iter().find(|s| s.request == request) {
+            return Some(s.kind.clone());
+        }
+        if self.outages.iter().any(|w| w.contains(request)) {
+            return Some(FaultKind::Unavailable);
+        }
+        // One generator per request; successive draws decide each
+        // probabilistic fault class independently.
+        let mut state = self.seed ^ request.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut draw = || {
+            state = splitmix64(state);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        if self.transient_failure_prob > 0.0 && draw() < self.transient_failure_prob {
+            return Some(FaultKind::Unavailable);
+        }
+        if self.disconnect_prob > 0.0 && draw() < self.disconnect_prob {
+            return Some(FaultKind::Disconnect {
+                after_tuples: self.disconnect_after_tuples,
+            });
+        }
+        if self.latency_spike_prob > 0.0 && draw() < self.latency_spike_prob {
+            return Some(FaultKind::LatencySpike {
+                units: self.latency_spike_units,
+            });
+        }
+        if self.timeout_prob > 0.0 && draw() < self.timeout_prob {
+            return Some(FaultKind::Timeout);
+        }
+        None
+    }
+}
+
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The server-side logical request clock: one tick per submitted
+/// request, shared by all connections.
+#[derive(Debug, Default)]
+pub(crate) struct RequestClock {
+    next: AtomicU64,
+}
+
+impl RequestClock {
+    /// Claim the next request index.
+    pub(crate) fn tick(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The index the next request will receive.
+    pub(crate) fn peek(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::seeded(42)
+            .with_transient_failures(0.3)
+            .with_disconnects(0.2, 5)
+            .with_latency_spikes(0.2, 100);
+        for req in 0..200 {
+            assert_eq!(plan.decide(req), plan.decide(req));
+        }
+    }
+
+    #[test]
+    fn fault_rate_tracks_probability() {
+        let plan = FaultPlan::seeded(7).with_transient_failures(0.25);
+        let n = 10_000u64;
+        let faults = (0..n).filter(|r| plan.decide(*r).is_some()).count();
+        let rate = faults as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "observed rate {rate}");
+    }
+
+    #[test]
+    fn schedule_overrides_probabilities() {
+        let plan = FaultPlan::seeded(1).with_scheduled(3, FaultKind::Timeout);
+        assert_eq!(plan.decide(3), Some(FaultKind::Timeout));
+        assert_eq!(plan.decide(4), None);
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let plan = FaultPlan::seeded(0).with_outage(10, 20);
+        assert_eq!(plan.decide(9), None);
+        assert_eq!(plan.decide(10), Some(FaultKind::Unavailable));
+        assert_eq!(plan.decide(19), Some(FaultKind::Unavailable));
+        assert_eq!(plan.decide(20), None);
+    }
+
+    #[test]
+    fn clock_ticks_monotonically() {
+        let clock = RequestClock::default();
+        assert_eq!(clock.peek(), 0);
+        assert_eq!(clock.tick(), 0);
+        assert_eq!(clock.tick(), 1);
+        assert_eq!(clock.peek(), 2);
+    }
+}

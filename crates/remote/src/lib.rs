@@ -29,11 +29,13 @@ pub mod catalog;
 pub mod dml;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod server;
 
 pub use catalog::Catalog;
 pub use dml::{ColRef, Predicate, SelectBlock, SqlQuery, TableRef};
 pub use error::{RemoteError, Result};
+pub use fault::{FaultKind, FaultPlan, OutageWindow, ScheduledFault};
 pub use metrics::RemoteMetrics;
 pub use server::{CostModel, LatencyModel, RemoteDbms, RemoteStream};

@@ -14,6 +14,13 @@ pub struct RemoteMetrics {
     bytes_shipped: AtomicU64,
     server_tuple_ops: AtomicU64,
     simulated_latency_units: AtomicU64,
+    faults_injected: AtomicU64,
+    unavailable_faults: AtomicU64,
+    timeout_faults: AtomicU64,
+    disconnect_faults: AtomicU64,
+    latency_spike_faults: AtomicU64,
+    wasted_latency_units: AtomicU64,
+    wasted_tuples: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`RemoteMetrics`].
@@ -29,6 +36,22 @@ pub struct MetricsSnapshot {
     pub server_tuple_ops: u64,
     /// Total simulated latency units charged.
     pub simulated_latency_units: u64,
+    /// Total faults injected (all kinds).
+    pub faults_injected: u64,
+    /// Requests rejected with `Unavailable` (transient or outage).
+    pub unavailable_faults: u64,
+    /// Requests killed by an injected `Timeout`.
+    pub timeout_faults: u64,
+    /// Streams cut mid-delivery (`Disconnected`).
+    pub disconnect_faults: u64,
+    /// Requests that survived but paid a latency spike.
+    pub latency_spike_faults: u64,
+    /// Latency units charged on requests that ultimately failed
+    /// (wasted remote cost: the caller had to retry or give up).
+    pub wasted_latency_units: u64,
+    /// Tuples shipped over the wire and then discarded because the
+    /// stream disconnected before completion.
+    pub wasted_tuples: u64,
 }
 
 impl MetricsSnapshot {
@@ -40,6 +63,13 @@ impl MetricsSnapshot {
             bytes_shipped: self.bytes_shipped - earlier.bytes_shipped,
             server_tuple_ops: self.server_tuple_ops - earlier.server_tuple_ops,
             simulated_latency_units: self.simulated_latency_units - earlier.simulated_latency_units,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            unavailable_faults: self.unavailable_faults - earlier.unavailable_faults,
+            timeout_faults: self.timeout_faults - earlier.timeout_faults,
+            disconnect_faults: self.disconnect_faults - earlier.disconnect_faults,
+            latency_spike_faults: self.latency_spike_faults - earlier.latency_spike_faults,
+            wasted_latency_units: self.wasted_latency_units - earlier.wasted_latency_units,
+            wasted_tuples: self.wasted_tuples - earlier.wasted_tuples,
         }
     }
 }
@@ -68,6 +98,24 @@ impl RemoteMetrics {
             .fetch_add(units, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_fault(&self, kind: &crate::fault::FaultKind) {
+        use crate::fault::FaultKind;
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        let counter = match kind {
+            FaultKind::Unavailable => &self.unavailable_faults,
+            FaultKind::Timeout => &self.timeout_faults,
+            FaultKind::Disconnect { .. } => &self.disconnect_faults,
+            FaultKind::LatencySpike { .. } => &self.latency_spike_faults,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_waste(&self, latency_units: u64, tuples: u64) {
+        self.wasted_latency_units
+            .fetch_add(latency_units, Ordering::Relaxed);
+        self.wasted_tuples.fetch_add(tuples, Ordering::Relaxed);
+    }
+
     /// Read all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -76,6 +124,13 @@ impl RemoteMetrics {
             bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
             server_tuple_ops: self.server_tuple_ops.load(Ordering::Relaxed),
             simulated_latency_units: self.simulated_latency_units.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            unavailable_faults: self.unavailable_faults.load(Ordering::Relaxed),
+            timeout_faults: self.timeout_faults.load(Ordering::Relaxed),
+            disconnect_faults: self.disconnect_faults.load(Ordering::Relaxed),
+            latency_spike_faults: self.latency_spike_faults.load(Ordering::Relaxed),
+            wasted_latency_units: self.wasted_latency_units.load(Ordering::Relaxed),
+            wasted_tuples: self.wasted_tuples.load(Ordering::Relaxed),
         }
     }
 
@@ -86,6 +141,13 @@ impl RemoteMetrics {
         self.bytes_shipped.store(0, Ordering::Relaxed);
         self.server_tuple_ops.store(0, Ordering::Relaxed);
         self.simulated_latency_units.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
+        self.unavailable_faults.store(0, Ordering::Relaxed);
+        self.timeout_faults.store(0, Ordering::Relaxed);
+        self.disconnect_faults.store(0, Ordering::Relaxed);
+        self.latency_spike_faults.store(0, Ordering::Relaxed);
+        self.wasted_latency_units.store(0, Ordering::Relaxed);
+        self.wasted_tuples.store(0, Ordering::Relaxed);
     }
 }
 

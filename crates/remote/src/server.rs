@@ -7,15 +7,22 @@
 //! models both modes: pipelined delivery hands tuples to the consumer as
 //! they are produced, store-and-forward delivery withholds everything
 //! until the result is complete.
+//!
+//! The server can also misbehave on purpose: an installed [`FaultPlan`]
+//! injects transient failures, mid-stream disconnects, latency spikes and
+//! sustained outages, all deterministically keyed to a logical request
+//! clock (see [`crate::fault`]).
 
 use crate::catalog::Catalog;
 use crate::dml::SqlQuery;
 use crate::engine;
-use crate::error::Result;
+use crate::error::{RemoteError, Result};
+use crate::fault::{FaultKind, FaultPlan, RequestClock};
 use crate::metrics::{MetricsSnapshot, RemoteMetrics};
 use braid_relational::{Relation, Schema, Tuple};
-use crossbeam::channel::{bounded, Receiver};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, RwLock};
 use std::thread;
 use std::time::Duration;
 
@@ -84,6 +91,18 @@ struct Inner {
     cost: CostModel,
     latency: LatencyModel,
     metrics: RemoteMetrics,
+    faults: RwLock<Option<FaultPlan>>,
+    clock: RequestClock,
+}
+
+impl Inner {
+    /// Charge `units` of simulated latency against the global counters
+    /// and a per-request receipt.
+    fn charge(&self, units: u64, receipt: &AtomicU64) {
+        self.metrics.record_latency(units);
+        receipt.fetch_add(units, Ordering::Relaxed);
+        self.latency.realize(units);
+    }
 }
 
 impl RemoteDbms {
@@ -95,6 +114,8 @@ impl RemoteDbms {
                 cost,
                 latency,
                 metrics: RemoteMetrics::new(),
+                faults: RwLock::new(None),
+                clock: RequestClock::default(),
             }),
         }
     }
@@ -102,6 +123,20 @@ impl RemoteDbms {
     /// Server with default cost model and counted latency.
     pub fn with_defaults(catalog: Catalog) -> RemoteDbms {
         RemoteDbms::new(catalog, CostModel::default(), LatencyModel::Counted)
+    }
+
+    /// Install (or clear, with `None`) the fault-injection plan. Takes
+    /// effect for the next submitted request; the logical request clock
+    /// is *not* reset, so plans installed mid-run can key outage windows
+    /// off [`RemoteDbms::requests_submitted`].
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.faults.write().expect("fault plan lock poisoned") = plan;
+    }
+
+    /// The logical request clock: how many requests have been submitted
+    /// so far (equivalently, the index the next request will receive).
+    pub fn requests_submitted(&self) -> u64 {
+        self.inner.clock.peek()
     }
 
     /// The catalog (schema access for the CMS; the DBMS never queries
@@ -125,33 +160,102 @@ impl RemoteDbms {
         self.inner.metrics.reset()
     }
 
+    /// Decide the injected fault for a freshly ticked request index.
+    fn decide_fault(&self, request: u64) -> Option<FaultKind> {
+        self.inner
+            .faults
+            .read()
+            .expect("fault plan lock poisoned")
+            .as_ref()
+            .and_then(|p| p.decide(request))
+    }
+
     /// Execute a query and return the complete result ("eager", request /
     /// full-response mode).
     ///
     /// # Errors
-    /// Propagates DML validation and execution errors.
+    /// Propagates DML validation and execution errors, plus any injected
+    /// transport fault ([`RemoteError::Unavailable`], [`RemoteError::Timeout`],
+    /// [`RemoteError::Disconnected`]).
     pub fn submit(&self, query: &SqlQuery) -> Result<Relation> {
+        self.submit_timed(query).map(|(rel, _)| rel)
+    }
+
+    /// Like [`RemoteDbms::submit`], also returning the simulated latency
+    /// units this request was charged (the caller's deadline input).
+    ///
+    /// # Errors
+    /// Same as [`RemoteDbms::submit`].
+    pub fn submit_timed(&self, query: &SqlQuery) -> Result<(Relation, u64)> {
         let inner = &self.inner;
+        let request = inner.clock.tick();
+        let fault = self.decide_fault(request);
         inner.metrics.record_request();
-        let overhead = inner.cost.request_overhead_units;
-        inner.metrics.record_latency(overhead);
-        inner.latency.realize(overhead);
+        let receipt = AtomicU64::new(0);
+
+        let mut disconnect_after: Option<u64> = None;
+        match fault {
+            Some(FaultKind::Unavailable) => {
+                inner.metrics.record_fault(&FaultKind::Unavailable);
+                return Err(RemoteError::Unavailable);
+            }
+            Some(FaultKind::Timeout) => {
+                // The request reached the server (overhead paid) but the
+                // reply never arrives — the whole charge is wasted.
+                inner.charge(inner.cost.request_overhead_units, &receipt);
+                inner.metrics.record_fault(&FaultKind::Timeout);
+                inner
+                    .metrics
+                    .record_waste(receipt.load(Ordering::Relaxed), 0);
+                return Err(RemoteError::Timeout);
+            }
+            Some(FaultKind::LatencySpike { units }) => {
+                inner.metrics.record_fault(&FaultKind::LatencySpike { units });
+                inner.charge(units, &receipt);
+            }
+            Some(FaultKind::Disconnect { after_tuples }) => {
+                disconnect_after = Some(after_tuples);
+            }
+            None => {}
+        }
+
+        inner.charge(inner.cost.request_overhead_units, &receipt);
 
         let ev = engine::evaluate(&inner.catalog, query)?;
         let server_units = ev.server_tuple_ops * inner.cost.server_tuple_op_units;
         inner.metrics.record_server_ops(ev.server_tuple_ops);
-        inner.metrics.record_latency(server_units);
-        inner.latency.realize(server_units);
+        inner.charge(server_units, &receipt);
 
-        let bytes: u64 = ev.relation.iter().map(|t| t.approx_size() as u64).sum();
-        let tuples = ev.relation.len() as u64;
+        let deliverable = match disconnect_after {
+            Some(k) => (k as usize).min(ev.relation.len()),
+            None => ev.relation.len(),
+        };
+        let bytes: u64 = ev
+            .relation
+            .iter()
+            .take(deliverable)
+            .map(|t| t.approx_size() as u64)
+            .sum();
+        let tuples = deliverable as u64;
         let wire_units = tuples * inner.cost.per_tuple_wire_units
             + (bytes / 64) * inner.cost.per_block_wire_units;
         inner.metrics.record_shipment(tuples, bytes);
-        inner.metrics.record_latency(wire_units);
-        inner.latency.realize(wire_units);
+        inner.charge(wire_units, &receipt);
 
-        Ok(ev.relation)
+        if disconnect_after.is_some() {
+            // Everything shipped so far is lost with the connection.
+            inner.metrics.record_fault(&FaultKind::Disconnect {
+                after_tuples: tuples,
+            });
+            inner
+                .metrics
+                .record_waste(receipt.load(Ordering::Relaxed), tuples);
+            return Err(RemoteError::Disconnected {
+                tuples_delivered: tuples,
+            });
+        }
+
+        Ok((ev.relation, receipt.load(Ordering::Relaxed)))
     }
 
     /// Execute a query, delivering the result through a bounded buffer of
@@ -161,7 +265,10 @@ impl RemoteDbms {
     ///
     /// # Errors
     /// The query is validated and executed before the stream is returned,
-    /// so planning errors surface here, not mid-stream.
+    /// so planning errors surface here, not mid-stream — as do injected
+    /// `Unavailable`/`Timeout` faults. Injected *disconnects* surface
+    /// mid-stream, through [`RemoteStream::drain`] /
+    /// [`RemoteStream::take_error`].
     pub fn submit_stream(
         &self,
         query: &SqlQuery,
@@ -169,28 +276,71 @@ impl RemoteDbms {
         pipelined: bool,
     ) -> Result<RemoteStream> {
         let inner = Arc::clone(&self.inner);
+        let request = inner.clock.tick();
+        let fault = self.decide_fault(request);
         inner.metrics.record_request();
-        let overhead = inner.cost.request_overhead_units;
-        inner.metrics.record_latency(overhead);
-        inner.latency.realize(overhead);
+        let receipt = Arc::new(AtomicU64::new(0));
+
+        let mut disconnect_after: Option<u64> = None;
+        match fault {
+            Some(FaultKind::Unavailable) => {
+                inner.metrics.record_fault(&FaultKind::Unavailable);
+                return Err(RemoteError::Unavailable);
+            }
+            Some(FaultKind::Timeout) => {
+                inner.charge(inner.cost.request_overhead_units, &receipt);
+                inner.metrics.record_fault(&FaultKind::Timeout);
+                inner
+                    .metrics
+                    .record_waste(receipt.load(Ordering::Relaxed), 0);
+                return Err(RemoteError::Timeout);
+            }
+            Some(FaultKind::LatencySpike { units }) => {
+                inner.metrics.record_fault(&FaultKind::LatencySpike { units });
+                inner.charge(units, &receipt);
+            }
+            Some(FaultKind::Disconnect { after_tuples }) => {
+                disconnect_after = Some(after_tuples);
+            }
+            None => {}
+        }
+
+        inner.charge(inner.cost.request_overhead_units, &receipt);
 
         // The server computes the result set; the *delivery schedule* is
         // what differs between the two modes.
         let ev = engine::evaluate(&inner.catalog, query)?;
         let schema = ev.relation.schema().clone();
         let server_ops = ev.server_tuple_ops;
-        let tuples: Vec<Tuple> = ev.relation.to_vec();
+        let mut tuples: Vec<Tuple> = ev.relation.to_vec();
         let n = tuples.len().max(1) as u64;
         // Server work attributed per tuple produced.
         let per_tuple_server = (server_ops * inner.cost.server_tuple_op_units) / n;
 
-        let (tx, rx) = bounded::<Tuple>(buffer.max(1));
+        // A pending disconnect truncates the deliverable prefix; the
+        // producer thread reports the fault after shipping it.
+        let cut = disconnect_after.map(|k| (k as usize).min(tuples.len()));
+        if let Some(k) = cut {
+            tuples.truncate(k);
+        }
+
+        let (tx, rx) = sync_channel::<StreamItem>(buffer.max(1));
         let inner2 = Arc::clone(&inner);
+        let receipt2 = Arc::clone(&receipt);
         let handle = thread::Builder::new()
             .name("remote-dbms-stream".into())
             .spawn(move || {
                 let m = &inner2.metrics;
                 m.record_server_ops(server_ops);
+                let report_disconnect = |delivered: u64| {
+                    m.record_fault(&FaultKind::Disconnect {
+                        after_tuples: delivered,
+                    });
+                    m.record_waste(receipt2.load(Ordering::Relaxed), delivered);
+                    let _ = tx.send(StreamItem::Fault(RemoteError::Disconnected {
+                        tuples_delivered: delivered,
+                    }));
+                };
                 if !pipelined {
                     // Store-and-forward: the server produces the complete
                     // result and the full transfer lands in the interface
@@ -203,13 +353,16 @@ impl RemoteDbms {
                                 + (t.approx_size() as u64 / 64) * inner2.cost.per_block_wire_units
                         })
                         .sum();
-                    m.record_latency(server_total + wire_total);
-                    inner2.latency.realize(server_total + wire_total);
+                    inner2.charge(server_total + wire_total, &receipt2);
+                    let total = tuples.len() as u64;
                     for t in tuples {
                         m.record_shipment(1, t.approx_size() as u64);
-                        if tx.send(t).is_err() {
-                            break;
+                        if tx.send(StreamItem::Tuple(t)).is_err() {
+                            return;
                         }
+                    }
+                    if cut.is_some() {
+                        report_disconnect(total);
                     }
                     return;
                 }
@@ -222,6 +375,7 @@ impl RemoteDbms {
                     LatencyModel::Counted => 0,
                 };
                 let mut carry: u64 = 0;
+                let mut delivered: u64 = 0;
                 for t in tuples {
                     let bytes = t.approx_size() as u64;
                     let wire = inner2.cost.per_tuple_wire_units
@@ -229,6 +383,7 @@ impl RemoteDbms {
                     let units = per_tuple_server + wire;
                     m.record_shipment(1, bytes);
                     m.record_latency(units);
+                    receipt2.fetch_add(units, Ordering::Relaxed);
                     if unit_micros > 0 {
                         carry += units;
                         if carry * unit_micros >= 200 {
@@ -236,14 +391,18 @@ impl RemoteDbms {
                             carry = 0;
                         }
                     }
-                    if tx.send(t).is_err() {
+                    if tx.send(StreamItem::Tuple(t)).is_err() {
                         // Consumer hung up: the IE needed only a prefix of
                         // the answers. Stop producing.
-                        break;
+                        return;
                     }
+                    delivered += 1;
                 }
                 if unit_micros > 0 && carry > 0 {
                     thread::sleep(Duration::from_micros(carry * unit_micros));
+                }
+                if cut.is_some() {
+                    report_disconnect(delivered);
                 }
             })
             .expect("spawn remote stream thread");
@@ -251,9 +410,18 @@ impl RemoteDbms {
         Ok(RemoteStream {
             schema,
             rx,
+            units: receipt,
+            fault: None,
             _producer: handle,
         })
     }
+}
+
+/// What travels over a stream's internal channel: data or a mid-stream
+/// transport fault.
+enum StreamItem {
+    Tuple(Tuple),
+    Fault(RemoteError),
 }
 
 /// A stream of result tuples from the remote DBMS, backed by a bounded
@@ -262,7 +430,9 @@ impl RemoteDbms {
 /// the producer.
 pub struct RemoteStream {
     schema: Schema,
-    rx: Receiver<Tuple>,
+    rx: Receiver<StreamItem>,
+    units: Arc<AtomicU64>,
+    fault: Option<RemoteError>,
     _producer: thread::JoinHandle<()>,
 }
 
@@ -272,21 +442,49 @@ impl RemoteStream {
         &self.schema
     }
 
+    /// Simulated latency units charged to this request so far (the
+    /// per-request receipt a caller-imposed deadline is checked against).
+    pub fn units_charged(&self) -> u64 {
+        self.units.load(Ordering::Relaxed)
+    }
+
     /// Pull the next tuple (blocking until the server produces one).
+    /// Returns `None` at end-of-stream *or* on a mid-stream fault; after
+    /// `None`, [`RemoteStream::take_error`] distinguishes the two.
     pub fn next_tuple(&mut self) -> Option<Tuple> {
-        self.rx.recv().ok()
+        if self.fault.is_some() {
+            return None;
+        }
+        match self.rx.recv() {
+            Ok(StreamItem::Tuple(t)) => Some(t),
+            Ok(StreamItem::Fault(e)) => {
+                self.fault = Some(e);
+                None
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The mid-stream fault that terminated the stream, if any.
+    pub fn take_error(&mut self) -> Option<RemoteError> {
+        self.fault.take()
     }
 
     /// Drain the remainder into a relation.
     ///
     /// # Errors
-    /// Propagates relation-construction errors.
-    pub fn drain(mut self) -> braid_relational::Result<Relation> {
+    /// Returns the mid-stream fault if the connection dropped before the
+    /// result was complete; relation-construction errors surface as
+    /// [`RemoteError::Engine`].
+    pub fn drain(mut self) -> Result<Relation> {
         let mut rel = Relation::new(self.schema.clone());
         while let Some(t) = self.next_tuple() {
             rel.insert(t)?;
         }
-        Ok(rel)
+        match self.take_error() {
+            Some(e) => Err(e),
+            None => Ok(rel),
+        }
     }
 }
 
@@ -319,12 +517,14 @@ mod tests {
         RemoteDbms::with_defaults(c)
     }
 
+    fn scan() -> SqlQuery {
+        SqlQuery::single(SelectBlock::scan("parent"))
+    }
+
     #[test]
     fn submit_counts_request_and_shipment() {
         let s = server();
-        let r = s
-            .submit(&SqlQuery::single(SelectBlock::scan("parent")))
-            .unwrap();
+        let r = s.submit(&scan()).unwrap();
         assert_eq!(r.len(), 3);
         let m = s.metrics();
         assert_eq!(m.requests, 1);
@@ -336,9 +536,7 @@ mod tests {
     #[test]
     fn stream_delivers_all_tuples() {
         let s = server();
-        let st = s
-            .submit_stream(&SqlQuery::single(SelectBlock::scan("parent")), 2, true)
-            .unwrap();
+        let st = s.submit_stream(&scan(), 2, true).unwrap();
         let rel = st.drain().unwrap();
         assert_eq!(rel.len(), 3);
         assert_eq!(s.metrics().tuples_shipped, 3);
@@ -347,9 +545,7 @@ mod tests {
     #[test]
     fn early_drop_stops_producer() {
         let s = server();
-        let mut st = s
-            .submit_stream(&SqlQuery::single(SelectBlock::scan("parent")), 1, true)
-            .unwrap();
+        let mut st = s.submit_stream(&scan(), 1, true).unwrap();
         let first = st.next_tuple();
         assert!(first.is_some());
         drop(st);
@@ -361,7 +557,7 @@ mod tests {
     #[test]
     fn store_and_forward_matches_pipelined_content() {
         let s = server();
-        let q = SqlQuery::single(SelectBlock::scan("parent"));
+        let q = scan();
         let a = s.submit_stream(&q, 4, true).unwrap().drain().unwrap();
         let b = s.submit_stream(&q, 4, false).unwrap().drain().unwrap();
         assert_eq!(a, b);
@@ -370,8 +566,7 @@ mod tests {
     #[test]
     fn metrics_reset() {
         let s = server();
-        s.submit(&SqlQuery::single(SelectBlock::scan("parent")))
-            .unwrap();
+        s.submit(&scan()).unwrap();
         s.reset_metrics();
         assert_eq!(s.metrics().requests, 0);
     }
@@ -382,5 +577,106 @@ mod tests {
         assert!(s
             .submit_stream(&SqlQuery::single(SelectBlock::scan("nope")), 1, true)
             .is_err());
+    }
+
+    #[test]
+    fn outage_rejects_then_recovers() {
+        let s = server();
+        s.set_fault_plan(Some(FaultPlan::seeded(0).with_outage(0, 2)));
+        assert_eq!(s.submit(&scan()), Err(RemoteError::Unavailable));
+        assert_eq!(
+            s.submit_stream(&scan(), 2, true).err(),
+            Some(RemoteError::Unavailable)
+        );
+        // Window [0, 2) has passed; request 2 succeeds.
+        assert!(s.submit(&scan()).is_ok());
+        let m = s.metrics();
+        assert_eq!(m.unavailable_faults, 2);
+        assert_eq!(m.faults_injected, 2);
+        assert_eq!(s.requests_submitted(), 3);
+    }
+
+    #[test]
+    fn scheduled_disconnect_cuts_stream() {
+        let s = server();
+        s.set_fault_plan(Some(
+            FaultPlan::seeded(0).with_scheduled(0, FaultKind::Disconnect { after_tuples: 2 }),
+        ));
+        let st = s.submit_stream(&scan(), 4, true).unwrap();
+        let err = st.drain().unwrap_err();
+        assert_eq!(
+            err,
+            RemoteError::Disconnected {
+                tuples_delivered: 2
+            }
+        );
+        let m = s.metrics();
+        assert_eq!(m.disconnect_faults, 1);
+        assert_eq!(m.wasted_tuples, 2);
+        assert!(m.wasted_latency_units > 0);
+    }
+
+    #[test]
+    fn eager_disconnect_reports_delivered_prefix() {
+        let s = server();
+        s.set_fault_plan(Some(
+            FaultPlan::seeded(0).with_scheduled(0, FaultKind::Disconnect { after_tuples: 1 }),
+        ));
+        assert_eq!(
+            s.submit(&scan()),
+            Err(RemoteError::Disconnected {
+                tuples_delivered: 1
+            })
+        );
+    }
+
+    #[test]
+    fn timeout_charges_and_wastes_overhead() {
+        let s = server();
+        s.set_fault_plan(Some(
+            FaultPlan::seeded(0).with_scheduled(0, FaultKind::Timeout),
+        ));
+        assert_eq!(s.submit(&scan()), Err(RemoteError::Timeout));
+        let m = s.metrics();
+        assert_eq!(m.timeout_faults, 1);
+        assert_eq!(m.wasted_latency_units, 50);
+    }
+
+    #[test]
+    fn latency_spike_charges_extra_units() {
+        let s = server();
+        let q = scan();
+        let (_, base_units) = s.submit_timed(&q).unwrap();
+        s.set_fault_plan(Some(
+            FaultPlan::seeded(0).with_scheduled(1, FaultKind::LatencySpike { units: 500 }),
+        ));
+        let (rel, spiked_units) = s.submit_timed(&q).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(spiked_units, base_units + 500);
+        assert_eq!(s.metrics().latency_spike_faults, 1);
+    }
+
+    #[test]
+    fn stream_receipt_tracks_charged_units() {
+        let s = server();
+        let mut st = s.submit_stream(&scan(), 4, true).unwrap();
+        let mut n = 0;
+        while st.next_tuple().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        // Receipt covers at least the request overhead plus one unit of
+        // wire cost per tuple.
+        assert!(st.units_charged() >= 50 + 3, "got {}", st.units_charged());
+        assert!(st.take_error().is_none());
+    }
+
+    #[test]
+    fn clearing_fault_plan_restores_service() {
+        let s = server();
+        s.set_fault_plan(Some(FaultPlan::seeded(0).with_transient_failures(1.0)));
+        assert_eq!(s.submit(&scan()), Err(RemoteError::Unavailable));
+        s.set_fault_plan(None);
+        assert!(s.submit(&scan()).is_ok());
     }
 }

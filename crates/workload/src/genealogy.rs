@@ -68,7 +68,7 @@ pub fn catalog(generations: u32, branching: u32, seed: u64) -> Catalog {
         }
         // Older generations are older people.
         let depth = (i as f64 + 1.0).log(branching.max(2) as f64) as i64;
-        let years = 90 - depth * 25 + rng.gen_range(0..10);
+        let years = 90 - depth * 25 + rng.gen_range(0..10i64);
         age.insert(Tuple::new(vec![Value::str(&name), Value::Int(years)]))
             .expect("arity 2");
     }

@@ -1,0 +1,25 @@
+# Common developer entry points. `just ci` is what the repo gates on.
+
+# Build, test, clippy -D warnings, E11 smoke run.
+ci:
+    ./scripts/ci.sh
+
+build:
+    cargo build --release --workspace
+
+test:
+    cargo test --workspace -q
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Regenerate every EXPERIMENTS.md table (full sizes, markdown).
+report:
+    cargo run --release -p braid-bench --bin report -- --markdown
+
+# Fast smoke run of all experiments.
+report-quick:
+    cargo run -p braid-bench --bin report -- --quick
+
+bench:
+    cargo bench --workspace

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The repo's CI gate: build, full test suite, lint-as-error, and a quick
+# smoke run of the fault-tolerance experiment (E11). Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> E11 smoke report"
+cargo run -p braid-bench --bin report -- --quick --only E11
+
+echo "==> ci OK"

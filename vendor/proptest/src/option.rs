@@ -1,0 +1,26 @@
+//! `Option` strategies (shim).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generate `None` about a quarter of the time, otherwise `Some` of the
+/// inner strategy (upstream's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy produced by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.usize_below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
