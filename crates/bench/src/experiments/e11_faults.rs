@@ -130,7 +130,11 @@ pub fn run(quick: bool) -> Table {
     let outage = FaultPlan::seeded(11).with_outage(0, u64::MAX);
 
     let configs: Vec<(&str, FaultPlan, ResilienceConfig)> = vec![
-        ("healthy link, no resilience", healthy, ResilienceConfig::none()),
+        (
+            "healthy link, no resilience",
+            healthy,
+            ResilienceConfig::none(),
+        ),
         (
             "20% transient faults, no resilience",
             flaky20.clone(),
@@ -144,7 +148,9 @@ pub fn run(quick: bool) -> Table {
         (
             "20% transient faults, 4 retries",
             flaky20,
-            ResilienceConfig::none().with_retries(4).with_backoff(16, 256),
+            ResilienceConfig::none()
+                .with_retries(4)
+                .with_backoff(16, 256),
         ),
         (
             "fault storm, 6 retries + breaker",
@@ -231,7 +237,9 @@ mod tests {
             ROWS,
             QUERIES,
             FaultPlan::seeded(11).with_transient_failures(0.20),
-            ResilienceConfig::none().with_retries(4).with_backoff(16, 256),
+            ResilienceConfig::none()
+                .with_retries(4)
+                .with_backoff(16, 256),
         );
         assert_eq!(o.completed, QUERIES, "retries should recover: {o:?}");
         assert_eq!(o.exact, QUERIES);

@@ -1,0 +1,126 @@
+//! E12 — the unified batched executor: batch-size sweep + projection
+//! hot path.
+//!
+//! Every local plan — eager `materialize()` and demand-driven `open()`
+//! alike — now runs through one batched pull executor. Two questions:
+//! how much does the batch size (the `CmsConfig::with_batch_size` knob)
+//! matter on a join-heavy plan, and what did the `Tuple::project`
+//! rewrite (collect straight into the `Arc` slice instead of building a
+//! `Vec` first) buy on the per-row projection hot path?
+
+use crate::experiments::support::{binary_relation, ms};
+use crate::table::Table;
+use braid_relational::{CmpOp, ExecConfig, Expr, PhysicalPlan, Relation, Tuple, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn join_heavy_plan(l: &Arc<Relation>, r: &Arc<Relation>) -> PhysicalPlan {
+    // `v{i}` values: lexicographically below "v5" ≈ half the rows, so the
+    // fused filter stage prunes the other half (visible as `rows pruned`).
+    PhysicalPlan::scan(Arc::clone(l))
+        .filter(Expr::col_cmp(1, CmpOp::Lt, Value::str("v5")))
+        .hash_join_build_right(PhysicalPlan::scan(Arc::clone(r)), &[(0, 0)])
+        .project(&[0, 1, 3])
+        .expect("projection in range")
+        .dedup()
+}
+
+/// Run E12.
+pub fn run(quick: bool) -> Table {
+    let rows = if quick { 2_000 } else { 20_000 };
+    let keys = rows / 10;
+    let l = Arc::new(binary_relation("l", rows, keys, 7));
+    let r = Arc::new(binary_relation("r", rows, keys, 11));
+
+    let mut t = Table::new(
+        format!("E12 unified batched executor — σ⋈πδ over two {rows}-row relations"),
+        &["batch size", "wall ms", "batches", "tuples", "rows pruned"],
+    );
+
+    let mut last: Option<Relation> = None;
+    for batch_size in [1usize, 16, 256, 4096] {
+        let plan = join_heavy_plan(&l, &r);
+        let start = Instant::now();
+        let (rel, stats) = plan
+            .materialize_with(ExecConfig::with_batch_size(batch_size))
+            .expect("plan executes");
+        let wall = start.elapsed();
+        if let Some(prev) = &last {
+            assert_eq!(prev, &rel, "results must not depend on batch size");
+        }
+        last = Some(rel);
+        t.row(vec![
+            batch_size.to_string(),
+            ms(wall),
+            stats.batches.to_string(),
+            stats.tuples.to_string(),
+            stats.rows_pruned.to_string(),
+        ]);
+    }
+
+    // Projection hot path: the current implementation collects straight
+    // into the Arc-backed slice; the pre-refactor one built a Vec and
+    // then copied it into the Arc (one extra allocation + move per row).
+    let sample: Vec<Tuple> = l.to_vec();
+    let idx = [1usize, 0];
+    let reps = if quick { 20 } else { 200 };
+
+    // Warm the allocator and caches so neither timed loop pays cold-start.
+    let mut warm = 0usize;
+    for tup in &sample {
+        warm += tup.project(&idx).arity();
+        let v: Vec<Value> = idx.iter().map(|&i| tup.values()[i].clone()).collect();
+        warm += Tuple::new(v).arity();
+    }
+    assert_eq!(warm, 4 * sample.len());
+
+    let start = Instant::now();
+    let mut n = 0usize;
+    for _ in 0..reps {
+        for tup in &sample {
+            n += tup.project(&idx).arity();
+        }
+    }
+    let direct = start.elapsed();
+
+    let start = Instant::now();
+    let mut m = 0usize;
+    for _ in 0..reps {
+        for tup in &sample {
+            let v: Vec<Value> = idx.iter().map(|&i| tup.values()[i].clone()).collect();
+            m += Tuple::new(v).arity();
+        }
+    }
+    let via_vec = start.elapsed();
+    assert_eq!(n, m);
+
+    t.row(vec![
+        format!("project×{}", reps * sample.len()),
+        format!("{} (arc) vs {} (vec)", ms(direct), ms(via_vec)),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    t.note(
+        "Identical results at every batch size (asserted); small batches pay \
+         per-batch overhead, large ones amortize it. `rows pruned` counts \
+         tuples dropped by the fused filter stage. The last row times the \
+         Tuple::project hot path: collecting into the Arc slice directly vs \
+         the old collect-to-Vec-then-copy.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn batch_sweep_is_result_stable() {
+        // run() asserts result equality across batch sizes internally.
+        let t = super::run(true);
+        assert_eq!(t.rows.len(), 5);
+        let b1: u64 = t.rows[0][2].parse().unwrap();
+        let b256: u64 = t.rows[2][2].parse().unwrap();
+        assert!(b1 > b256, "batch size 1 must produce more batches");
+    }
+}

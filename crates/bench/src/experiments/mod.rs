@@ -12,5 +12,6 @@ pub mod e08_icrange;
 pub mod e09_parallel;
 pub mod e10_pipeline;
 pub mod e11_faults;
+pub mod e12_executor;
 
 pub(crate) mod support;

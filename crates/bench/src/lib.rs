@@ -35,5 +35,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E9", experiments::e09_parallel::run),
         ("E10", experiments::e10_pipeline::run),
         ("E11", experiments::e11_faults::run),
+        ("E12", experiments::e12_executor::run),
     ]
 }

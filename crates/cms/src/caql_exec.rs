@@ -73,7 +73,9 @@ impl Cms {
         match q {
             CaqlQuery::Conjunctive(c) => self.query(c),
             CaqlQuery::Union(branches) => {
-                let mut acc: Option<Relation> = None;
+                // Answer every branch, then one n-ary union with a single
+                // deduplication pass (no pairwise union(l, r) chain).
+                let mut parts: Vec<Relation> = Vec::with_capacity(branches.len());
                 let mut arity = None;
                 for b in branches {
                     let head_arity = b.head.arity();
@@ -86,13 +88,12 @@ impl Cms {
                             )))
                         }
                     }
-                    let rel = self.collect(self.schema_for(head_arity, "union"), b)?;
-                    acc = Some(match acc {
-                        None => rel,
-                        Some(prev) => ops::union(&prev, &rel)?,
-                    });
+                    parts.push(self.collect(self.schema_for(head_arity, "union"), b)?);
                 }
-                let rel = acc.ok_or_else(|| CmsError::Unplannable("empty union".to_string()))?;
+                if parts.is_empty() {
+                    return Err(CmsError::Unplannable("empty union".to_string()));
+                }
+                let rel = ops::union_all(&parts)?;
                 Ok(Self::stream_of(rel))
             }
             CaqlQuery::Aggregate { name, input, spec } => {

@@ -236,7 +236,7 @@ impl Cms {
                 if plan.residual_cmps.is_empty() && plan.neg_parts.is_empty() {
                     let g = self.cache.derive(*element, derivation, &head_vars)?;
                     self.metrics.add_lazy(1);
-                    return Ok(AnswerStream::lazy(g.open()));
+                    return Ok(AnswerStream::lazy(g.open_with(self.config.exec)));
                 }
             }
         }
@@ -250,6 +250,7 @@ impl Cms {
             self.config.parallel_execution,
             self.config.pipelining,
             self.config.transfer_buffer_tuples,
+            self.config.exec,
         ) {
             Ok(ex) => ex,
             // Graceful degradation (§ failure model, DESIGN.md): the
@@ -261,6 +262,7 @@ impl Cms {
             Err(e) => return Err(e),
         };
         self.metrics.add_local_ops(executed.local_tuple_ops);
+        self.metrics.add_exec_stats(executed.exec_stats);
 
         let vars: Vec<String> = executed
             .joined
@@ -434,8 +436,10 @@ impl Cms {
             self.config.parallel_execution,
             self.config.pipelining,
             self.config.transfer_buffer_tuples,
+            self.config.exec,
         )?;
         self.metrics.add_local_ops(executed.local_tuple_ops);
+        self.metrics.add_exec_stats(executed.exec_stats);
         self.metrics
             .add_remote_subqueries(executed.remote_subqueries);
         let vars: Vec<String> = executed
@@ -502,8 +506,10 @@ impl Cms {
                     self.config.parallel_execution,
                     self.config.pipelining,
                     self.config.transfer_buffer_tuples,
+                    self.config.exec,
                 )?;
                 self.metrics.add_local_ops(executed.local_tuple_ops);
+                self.metrics.add_exec_stats(executed.exec_stats);
                 self.metrics
                     .add_remote_subqueries(executed.remote_subqueries);
                 let vars: Vec<String> = executed

@@ -7,6 +7,7 @@
 //! lazy evaluation, and parallel cache/remote execution.
 
 use crate::resilience::ResilienceConfig;
+use braid_relational::ExecConfig;
 
 /// Tunable CMS behaviour.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +61,10 @@ pub struct CmsConfig {
     /// Remote-fault handling: retries, deadlines, circuit breaking and
     /// cache-only degraded answers (see [`ResilienceConfig`]).
     pub resilience: ResilienceConfig,
+    /// Batched-executor configuration (batch-size knob) used for every
+    /// local plan execution: monitor pipelines, cache derivations, and
+    /// lazy generator opens.
+    pub exec: ExecConfig,
 }
 
 impl Default for CmsConfig {
@@ -82,6 +87,7 @@ impl Default for CmsConfig {
             cost_based_placement: false,
             whole_relation_caching: false,
             resilience: ResilienceConfig::default(),
+            exec: ExecConfig::default(),
         }
     }
 }
@@ -107,6 +113,7 @@ impl CmsConfig {
             cost_based_placement: false,
             whole_relation_caching: false,
             resilience: ResilienceConfig::default(),
+            exec: ExecConfig::default(),
         }
     }
 
@@ -205,6 +212,12 @@ impl CmsConfig {
         self.resilience = resilience;
         self
     }
+
+    /// Set the executor batch size (rows per leaf batch, clamped ≥ 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.exec = ExecConfig::with_batch_size(batch_size);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -229,5 +242,12 @@ mod tests {
         assert!(!c.subsumption);
         assert_eq!(c.cache_capacity_bytes, 1024);
         assert!(c.prefetching);
+    }
+
+    #[test]
+    fn batch_size_knob_clamps_to_one() {
+        assert_eq!(CmsConfig::braid().exec.batch_size, 256);
+        assert_eq!(CmsConfig::braid().with_batch_size(0).exec.batch_size, 1);
+        assert_eq!(CmsConfig::braid().with_batch_size(32).exec.batch_size, 32);
     }
 }

@@ -6,6 +6,14 @@
 //! "frequently maintains co-existing, alternative representations of the
 //! same relation" (§5.2) — here an element may hold a generator *and* a
 //! materialized extension at once, with indices on the extension.
+//!
+//! Since the executor unification, both representations are two execution
+//! modes over **one stored physical plan**: the generator holds the
+//! [`braid_relational::PhysicalPlan`] and opens it incrementally
+//! ([`Generator::open`]), while [`CacheElement::ensure_extension`] runs
+//! the *same* plan through the same batched executor in eager mode
+//! ([`Generator::materialize`]). There is no separate lazy evaluator to
+//! drift out of sync with the eager one.
 
 use crate::error::{CmsError, Result};
 use braid_relational::sort::{SortKey, SortedView};

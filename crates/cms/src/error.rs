@@ -134,7 +134,10 @@ mod tests {
         assert!(e.is_transient());
         let src = e.source().expect("exhausted has a source");
         let inner = src.downcast_ref::<CmsError>().unwrap();
-        assert_eq!(inner.source().unwrap().to_string(), "remote request timed out");
+        assert_eq!(
+            inner.source().unwrap().to_string(),
+            "remote request timed out"
+        );
     }
 
     #[test]

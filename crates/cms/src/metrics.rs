@@ -20,6 +20,9 @@ pub struct CmsMetrics {
     indices_built: AtomicU64,
     evictions: AtomicU64,
     local_tuple_ops: AtomicU64,
+    executor_batches: AtomicU64,
+    executor_tuples: AtomicU64,
+    executor_rows_pruned: AtomicU64,
     tuples_to_ie: AtomicU64,
     retries: AtomicU64,
     retry_backoff_units: AtomicU64,
@@ -52,6 +55,12 @@ pub struct CmsMetricsSnapshot {
     pub evictions: u64,
     /// Tuples processed by local (cache) operators.
     pub local_tuple_ops: u64,
+    /// Batches produced by the local batched executor.
+    pub executor_batches: u64,
+    /// Tuples produced by the local batched executor (all operators).
+    pub executor_tuples: u64,
+    /// Rows pruned by (fused) filter passes in the local executor.
+    pub executor_rows_pruned: u64,
     /// Tuples actually delivered to the IE.
     pub tuples_to_ie: u64,
     /// Remote fetch attempts retried after a transient fault.
@@ -92,6 +101,9 @@ bump! {
     add_indices => indices_built,
     add_evictions => evictions,
     add_local_ops => local_tuple_ops,
+    add_executor_batches => executor_batches,
+    add_executor_tuples => executor_tuples,
+    add_executor_rows_pruned => executor_rows_pruned,
     add_tuples_to_ie => tuples_to_ie,
     add_retries => retries,
     add_backoff_units => retry_backoff_units,
@@ -107,6 +119,13 @@ impl CmsMetrics {
         Self::default()
     }
 
+    /// Fold one plan execution's counters into the running totals.
+    pub(crate) fn add_exec_stats(&self, stats: braid_relational::ExecStats) {
+        self.add_executor_batches(stats.batches);
+        self.add_executor_tuples(stats.tuples);
+        self.add_executor_rows_pruned(stats.rows_pruned);
+    }
+
     /// Read all counters.
     pub fn snapshot(&self) -> CmsMetricsSnapshot {
         CmsMetricsSnapshot {
@@ -120,6 +139,9 @@ impl CmsMetrics {
             indices_built: self.indices_built.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             local_tuple_ops: self.local_tuple_ops.load(Ordering::Relaxed),
+            executor_batches: self.executor_batches.load(Ordering::Relaxed),
+            executor_tuples: self.executor_tuples.load(Ordering::Relaxed),
+            executor_rows_pruned: self.executor_rows_pruned.load(Ordering::Relaxed),
             tuples_to_ie: self.tuples_to_ie.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             retry_backoff_units: self.retry_backoff_units.load(Ordering::Relaxed),
@@ -143,6 +165,9 @@ impl CmsMetrics {
             &self.indices_built,
             &self.evictions,
             &self.local_tuple_ops,
+            &self.executor_batches,
+            &self.executor_tuples,
+            &self.executor_rows_pruned,
             &self.tuples_to_ie,
             &self.retries,
             &self.retry_backoff_units,
@@ -186,5 +211,26 @@ mod tests {
     #[test]
     fn empty_hit_rate_is_zero() {
         assert_eq!(CmsMetricsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn executor_counters_accumulate_and_reset() {
+        let m = CmsMetrics::new();
+        m.add_exec_stats(braid_relational::ExecStats {
+            batches: 3,
+            tuples: 40,
+            rows_pruned: 7,
+        });
+        m.add_exec_stats(braid_relational::ExecStats {
+            batches: 1,
+            tuples: 2,
+            rows_pruned: 0,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.executor_batches, 4);
+        assert_eq!(s.executor_tuples, 42);
+        assert_eq!(s.executor_rows_pruned, 7);
+        m.reset();
+        assert_eq!(m.snapshot().executor_tuples, 0);
     }
 }

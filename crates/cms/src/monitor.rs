@@ -14,7 +14,7 @@ use crate::planner::{PartSource, Plan, PlanPart};
 use crate::rdi;
 use crate::resilience::Resilience;
 use braid_caql::{ArithExpr, Comparison, Term};
-use braid_relational::{ops, Expr, Relation, Schema, Tuple};
+use braid_relational::{ExecConfig, ExecStats, Expr, PhysicalPlan, Relation, Schema, Tuple};
 use braid_remote::{RemoteDbms, RemoteError};
 
 /// The result of executing a plan: the joined relation (columns named by
@@ -28,6 +28,8 @@ pub struct Executed {
     pub local_tuple_ops: u64,
     /// Number of subqueries shipped to the remote DBMS.
     pub remote_subqueries: u64,
+    /// Batched-executor work counters for the local join pipeline.
+    pub exec_stats: ExecStats,
 }
 
 /// Execute every part of a plan and join the results.
@@ -38,9 +40,17 @@ pub struct Executed {
 /// circuit breaker) — the breaker state is shared across the parallel
 /// fetch threads.
 ///
+/// Once all parts are in hand, the local work — joins, residual
+/// selections, negation anti-joins — is assembled into **one**
+/// [`PhysicalPlan`] (a left-deep chain where each later part is the hash
+/// build side and the pipeline streams as probe) and executed by the
+/// batched executor with the configuration in `exec_cfg`; its work
+/// counters come back in [`Executed::exec_stats`].
+///
 /// # Errors
 /// Propagates translation, remote and local evaluation errors. Remote
 /// transport faults surface only after the resilience policy gives up.
+#[allow(clippy::too_many_arguments)]
 pub fn execute(
     plan: &Plan,
     cache: &CacheManager,
@@ -49,6 +59,7 @@ pub fn execute(
     parallel: bool,
     pipelined: bool,
     buffer: usize,
+    exec_cfg: ExecConfig,
 ) -> Result<Executed> {
     let mut local_ops: u64 = 0;
     let mut remote_count: u64 = 0;
@@ -85,9 +96,9 @@ pub fn execute(
                 }
             }
             for (idx, h) in handles {
-                let r = h.join().map_err(|payload| {
-                    CmsError::WorkerPanic(panic_message(payload.as_ref()))
-                })??;
+                let r = h
+                    .join()
+                    .map_err(|payload| CmsError::WorkerPanic(panic_message(payload.as_ref())))??;
                 results[idx] = Some(r);
             }
             Ok(())
@@ -102,20 +113,21 @@ pub fn execute(
         }
     }
 
-    // Join all parts on shared variable names.
+    // Assemble the local work as one physical plan: the first part
+    // streams through a left-deep chain of hash joins on shared variable
+    // names; every later part (already materialized) is the build side.
     let mut parts_iter = results.into_iter().map(|r| r.expect("all parts filled"));
-    let (mut vars, mut acc) = parts_iter
+    let (mut vars, first) = parts_iter
         .next()
         .ok_or_else(|| CmsError::Unplannable("plan has no parts".into()))?;
+    let mut pipeline = part_plan(&first);
     for (nvars, next) in parts_iter {
-        local_ops += acc.len() as u64 + next.len() as u64;
         let on: Vec<(usize, usize)> = nvars
             .iter()
             .enumerate()
             .filter_map(|(j, v)| vars.iter().position(|w| w == v).map(|i| (i, j)))
             .collect();
-        let joined = ops::equijoin(&acc, &next, &on)?;
-        local_ops += joined.len() as u64;
+        pipeline = pipeline.hash_join_build_right(part_plan(&next), &on);
         // Keep one column per variable: all of acc's, plus next's new ones.
         let mut keep: Vec<usize> = (0..vars.len()).collect();
         let mut out_vars = vars.clone();
@@ -125,7 +137,10 @@ pub fn execute(
                 out_vars.push(v.clone());
             }
         }
-        acc = rename(ops::project(&joined, &keep)?, &out_vars)?;
+        // Dedup after the projection so duplicates cannot multiply
+        // through later joins (matches the materializing implementation,
+        // which deduplicated at every intermediate relation).
+        pipeline = pipeline.project(&keep)?.dedup();
         vars = out_vars;
     }
 
@@ -136,8 +151,7 @@ pub fn execute(
             .iter()
             .map(|c| comparison_to_expr(c, &vars))
             .collect::<Result<_>>()?;
-        local_ops += acc.len() as u64;
-        acc = ops::select(&acc, &Expr::And(exprs))?;
+        pipeline = pipeline.filter_strict(Expr::And(exprs));
     }
 
     // Negation: anti-join each negated part on its shared variables —
@@ -158,19 +172,33 @@ pub fn execute(
             // No shared variables: `not p(...)` over a ground/disjoint
             // atom — the whole result survives iff the relation is empty.
             if !nrel.is_empty() {
-                acc = Relation::new(acc.schema().clone());
+                pipeline = PhysicalPlan::rows(pipeline.schema().clone(), Vec::new());
             }
             continue;
         }
-        local_ops += acc.len() as u64 + nrel.len() as u64;
-        acc = ops::antijoin(&acc, &nrel, &on)?;
+        pipeline = pipeline.antijoin(part_plan(&nrel), &on);
     }
 
+    // One batched pull to completion; executor counters feed the
+    // workstation-cost proxy and the CMS metrics.
+    let (joined, exec_stats) = pipeline
+        .materialize_with(exec_cfg)
+        .map_err(CmsError::from)?;
+    local_ops += exec_stats.tuples;
+    let joined = rename(joined, &vars)?;
+
     Ok(Executed {
-        joined: acc,
+        joined,
         local_tuple_ops: local_ops,
         remote_subqueries: remote_count,
+        exec_stats,
     })
+}
+
+/// Leaf plan over a fetched part: shares its tuples without cloning the
+/// relation's bookkeeping.
+fn part_plan(rel: &Relation) -> PhysicalPlan {
+    PhysicalPlan::rows(rel.schema().clone(), rel.to_vec())
 }
 
 fn eval_cache_part(
@@ -408,7 +436,17 @@ mod tests {
         let r = remote();
         let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
         let p = plan(&q, &cache, true).unwrap();
-        let ex = execute(&p, &cache, &r, &res(), false, true, 8).unwrap();
+        let ex = execute(
+            &p,
+            &cache,
+            &r,
+            &res(),
+            false,
+            true,
+            8,
+            ExecConfig::default(),
+        )
+        .unwrap();
         // Only x1/x3 join through z1 to (c2, c6).
         assert_eq!(ex.joined.len(), 2);
         let head = project_head(&ex.joined, &paper_vars(&ex), &q.head).unwrap();
@@ -444,7 +482,17 @@ mod tests {
         let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
         let p = plan(&q, &cache, true).unwrap();
         assert_eq!(p.remote_parts(), 1);
-        let ex = execute(&p, &cache, &r, &res(), false, true, 8).unwrap();
+        let ex = execute(
+            &p,
+            &cache,
+            &r,
+            &res(),
+            false,
+            true,
+            8,
+            ExecConfig::default(),
+        )
+        .unwrap();
         let head = project_head(&ex.joined, &paper_vars(&ex), &q.head).unwrap();
         let mut rows = head.sorted_tuples();
         rows.sort();
@@ -461,8 +509,18 @@ mod tests {
         // separate runs because the middle atom is absent.
         let q = parse_rule("q(X, Y) :- b2(X, Z), b3(W, c2, Y).").unwrap();
         let p = plan(&q, &cache, true).unwrap();
-        let seq = execute(&p, &cache, &r, &res(), false, true, 8).unwrap();
-        let par = execute(&p, &cache, &r, &res(), true, true, 8).unwrap();
+        let seq = execute(
+            &p,
+            &cache,
+            &r,
+            &res(),
+            false,
+            true,
+            8,
+            ExecConfig::default(),
+        )
+        .unwrap();
+        let par = execute(&p, &cache, &r, &res(), true, true, 8, ExecConfig::default()).unwrap();
         assert_eq!(seq.joined, par.joined);
         assert_eq!(par.remote_subqueries, 1); // contiguous run → 1 request
     }
@@ -489,7 +547,17 @@ mod tests {
         let q = parse_rule("q(A, B) :- nums(A, B), B > A + 2.").unwrap();
         let p = plan(&q, &cache, true).unwrap();
         assert_eq!(p.residual_cmps.len(), 1);
-        let ex = execute(&p, &cache, &r, &res(), false, true, 8).unwrap();
+        let ex = execute(
+            &p,
+            &cache,
+            &r,
+            &res(),
+            false,
+            true,
+            8,
+            ExecConfig::default(),
+        )
+        .unwrap();
         assert_eq!(ex.joined.len(), 2); // (1,5) and (3,10)
     }
 
@@ -504,7 +572,17 @@ mod tests {
             true,
         )
         .unwrap();
-        let ex = execute(&q_yes, &cache, &r, &res(), false, true, 8).unwrap();
+        let ex = execute(
+            &q_yes,
+            &cache,
+            &r,
+            &res(),
+            false,
+            true,
+            8,
+            ExecConfig::default(),
+        )
+        .unwrap();
         assert_eq!(ex.joined.len(), 1, "existence holds: b3 rows survive");
         let q_no = plan(
             &parse_rule("q(V) :- b2(x1, zz), b3(V, c2, c6).").unwrap(),
@@ -512,7 +590,17 @@ mod tests {
             true,
         )
         .unwrap();
-        let ex = execute(&q_no, &cache, &r, &res(), false, true, 8).unwrap();
+        let ex = execute(
+            &q_no,
+            &cache,
+            &r,
+            &res(),
+            false,
+            true,
+            8,
+            ExecConfig::default(),
+        )
+        .unwrap();
         assert_eq!(ex.joined.len(), 0, "existence fails: empty result");
     }
 

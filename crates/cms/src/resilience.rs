@@ -319,7 +319,9 @@ mod tests {
 
     #[test]
     fn exhaustion_wraps_final_error_with_attempt_count() {
-        let r = res(ResilienceConfig::default().with_retries(2).with_breaker(0, 0));
+        let r = res(ResilienceConfig::default()
+            .with_retries(2)
+            .with_breaker(0, 0));
         let out: Result<()> = r.run(|| Err(CmsError::Remote(RemoteError::Timeout)));
         match out.unwrap_err() {
             CmsError::Exhausted { attempts, last } => {
@@ -369,7 +371,10 @@ mod tests {
                 Ok(())
             });
             assert!(!called, "op must not run while breaker is open");
-            assert!(matches!(out.unwrap_err(), CmsError::Exhausted { attempts: 0, .. }));
+            assert!(matches!(
+                out.unwrap_err(),
+                CmsError::Exhausted { attempts: 0, .. }
+            ));
         }
         // Cooldown spent: the next attempt is a half-open probe, and its
         // success closes the breaker.
@@ -383,7 +388,9 @@ mod tests {
 
     #[test]
     fn failed_probe_reopens_breaker() {
-        let r = res(ResilienceConfig::default().with_retries(0).with_breaker(1, 1));
+        let r = res(ResilienceConfig::default()
+            .with_retries(0)
+            .with_breaker(1, 1));
         let _: Result<()> = r.run(|| Err(CmsError::Remote(RemoteError::Unavailable)));
         assert!(r.breaker_open());
         // One rejection spends the cooldown...
@@ -397,7 +404,9 @@ mod tests {
     fn retrying_through_open_breaker_earns_probe() {
         // With enough retries in one run() call, the breaker's cooldown
         // is consumed by rejections and the probe succeeds.
-        let r = res(ResilienceConfig::default().with_retries(4).with_breaker(1, 2));
+        let r = res(ResilienceConfig::default()
+            .with_retries(4)
+            .with_breaker(1, 2));
         let _: Result<()> = r.run(|| Err(CmsError::Remote(RemoteError::Unavailable)));
         assert!(r.breaker_open());
         let mut calls = 0;

@@ -5,6 +5,13 @@
 //! running generator, producing "a single solution on demand whenever
 //! possible (i.e., when a query can be solved using only cached data)"
 //! (§5.5).
+//!
+//! The lazy arm is where the batched executor's output is adapted back to
+//! the IE's tuple-at-a-time interface: the underlying
+//! [`braid_relational::RunningPlan`] pulls whole `TupleBatch`es from its
+//! operator tree and hands them out one tuple per [`TupleStream::next_tuple`]
+//! call, so the IE sees single-tuple demand while the executor amortizes
+//! per-operator overhead across the batch.
 
 use braid_relational::{RunningGenerator, Schema, Tuple, TupleStream};
 use std::collections::VecDeque;

@@ -33,10 +33,13 @@ impl CombinedMetrics {
                 indices_built: self.cms.indices_built - earlier.cms.indices_built,
                 evictions: self.cms.evictions - earlier.cms.evictions,
                 local_tuple_ops: self.cms.local_tuple_ops - earlier.cms.local_tuple_ops,
+                executor_batches: self.cms.executor_batches - earlier.cms.executor_batches,
+                executor_tuples: self.cms.executor_tuples - earlier.cms.executor_tuples,
+                executor_rows_pruned: self.cms.executor_rows_pruned
+                    - earlier.cms.executor_rows_pruned,
                 tuples_to_ie: self.cms.tuples_to_ie - earlier.cms.tuples_to_ie,
                 retries: self.cms.retries - earlier.cms.retries,
-                retry_backoff_units: self.cms.retry_backoff_units
-                    - earlier.cms.retry_backoff_units,
+                retry_backoff_units: self.cms.retry_backoff_units - earlier.cms.retry_backoff_units,
                 deadline_timeouts: self.cms.deadline_timeouts - earlier.cms.deadline_timeouts,
                 breaker_opens: self.cms.breaker_opens - earlier.cms.breaker_opens,
                 breaker_rejections: self.cms.breaker_rejections - earlier.cms.breaker_rejections,

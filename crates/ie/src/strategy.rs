@@ -25,7 +25,7 @@ use crate::error::{IeError, Result};
 use crate::kb::KnowledgeBase;
 use braid_caql::{Atom, ConjunctiveQuery, Literal, Subst, Term};
 use braid_cms::Cms;
-use braid_relational::{ops, Relation, Schema, Tuple};
+use braid_relational::{PhysicalPlan, Relation, Schema, Tuple};
 use std::collections::BTreeMap;
 
 /// A point on the interpreted–compiled range.
@@ -210,6 +210,11 @@ fn eval_rules_once(
 
 /// Evaluate one rule body bottom-up: join atom extensions on shared
 /// variables, apply comparisons and binds, project the head.
+///
+/// The atom joins build one left-deep [`PhysicalPlan`] — each bound atom
+/// extension is the hash build side, the accumulated pipeline streams
+/// through as the probe — materialized once at the end instead of
+/// producing an intermediate relation per atom.
 fn eval_rule_body(
     kb: &KnowledgeBase,
     cms: &mut Cms,
@@ -217,19 +222,20 @@ fn eval_rule_body(
     memo: &mut BTreeMap<String, Relation>,
     ctx: &mut EvalCtx,
 ) -> Result<Relation> {
-    // Accumulated bindings relation: columns named by variables.
+    // Accumulated bindings pipeline: columns tracked by variable in `vars`.
     let mut vars: Vec<String> = Vec::new();
-    let mut acc: Option<Relation> = None;
+    let mut acc: Option<PhysicalPlan> = None;
 
     for lit in &rule.body {
         match lit {
             Literal::Atom(a) => {
                 let ext = eval_predicate(kb, cms, &a.pred, memo, ctx)?;
                 let (avars, arel) = bind_atom(a, &ext)?;
+                let apart = PhysicalPlan::rows(arel.schema().clone(), arel.to_vec());
                 match acc.take() {
                     None => {
                         vars = avars;
-                        acc = Some(arel);
+                        acc = Some(apart);
                     }
                     Some(prev) => {
                         let on: Vec<(usize, usize)> = avars
@@ -237,8 +243,7 @@ fn eval_rule_body(
                             .enumerate()
                             .filter_map(|(j, v)| vars.iter().position(|w| w == v).map(|i| (i, j)))
                             .collect();
-                        let joined = ops::equijoin(&prev, &arel, &on)
-                            .map_err(|e| IeError::Relational(e.to_string()))?;
+                        let joined = prev.hash_join_build_right(apart, &on);
                         let prev_len = vars.len();
                         let mut keep: Vec<usize> = (0..prev_len).collect();
                         for (j, v) in avars.iter().enumerate() {
@@ -247,9 +252,10 @@ fn eval_rule_body(
                                 vars.push(v.clone());
                             }
                         }
-                        let projected = ops::project(&joined, &keep)
+                        let projected = joined
+                            .project(&keep)
                             .map_err(|e| IeError::Relational(e.to_string()))?;
-                        acc = Some(renamed(projected, &vars));
+                        acc = Some(projected.dedup());
                     }
                 }
             }
@@ -258,7 +264,14 @@ fn eval_rule_body(
             }
         }
     }
-    let Some(mut rel) = acc else {
+    let Some(mut rel) = acc
+        .map(|plan| {
+            plan.materialize()
+                .map(|r| renamed(r, &vars))
+                .map_err(|e| IeError::Relational(e.to_string()))
+        })
+        .transpose()?
+    else {
         // Fact: ground head.
         let mut out = Relation::new(Schema::positional(
             rule.head.pred.clone(),
@@ -392,7 +405,8 @@ fn fetch_base(kb: &KnowledgeBase, cms: &mut Cms, pred: &str) -> Result<Relation>
     let stream = cms.query(q).map_err(IeError::from)?;
     let mut rel = Relation::new(Schema::positional(pred, arity));
     for t in stream {
-        rel.insert(t).map_err(|e| IeError::Relational(e.to_string()))?;
+        rel.insert(t)
+            .map_err(|e| IeError::Relational(e.to_string()))?;
     }
     Ok(rel)
 }
@@ -472,11 +486,18 @@ fn transitive_closure(base: &Relation) -> Result<Relation> {
         ));
     }
     let mut total = base.clone();
+    let base_plan = PhysicalPlan::rows(base.schema().clone(), base.to_vec());
     loop {
         let before = total.len();
-        let step =
-            ops::equijoin(&total, base, &[(1, 0)]).map_err(|e| IeError::Relational(e.to_string()))?;
-        let new_pairs = ops::project(&step, &[0, 3]).map_err(|e| IeError::Relational(e.to_string()))?;
+        // total ⋈ base, projected to the new (start, end) pairs — one
+        // join+project plan per iteration, no intermediate relation.
+        let step = PhysicalPlan::rows(total.schema().clone(), total.to_vec())
+            .hash_join_build_right(base_plan.clone(), &[(1, 0)])
+            .project(&[0, 3])
+            .map_err(|e| IeError::Relational(e.to_string()))?;
+        let new_pairs = step
+            .materialize()
+            .map_err(|e| IeError::Relational(e.to_string()))?;
         for t in new_pairs.iter() {
             total
                 .insert(t.clone())

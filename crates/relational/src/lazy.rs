@@ -2,82 +2,70 @@
 //!
 //! "The CMS represents a relation as either the full extension of the
 //! relation or as a *generator* which produces a single tuple on demand"
-//! (§5.1). A [`Generator`] is a small algebra tree over shared input
-//! relations; [`Generator::open`] yields a pull-based iterator (the running
-//! generator) and [`Generator::materialize`] computes the full extension —
-//! the eager/lazy duality the paper's CMS chooses between per cache
-//! element.
+//! (§5.1). A [`Generator`] is a thin facade over a
+//! [`PhysicalPlan`]: building one composes plan nodes, and
+//! [`Generator::open`] runs the plan through the shared batched executor
+//! in generator mode (incremental pull, root dedup), while
+//! [`Generator::materialize`] runs the *same* plan in eager mode. There
+//! is no separate lazy operator implementation — eager and lazy are two
+//! drivers over one executor (see [`crate::exec`]).
 //!
-//! Semantics match the eager operators in [`crate::ops`] exactly: the root
-//! of every opened pipeline deduplicates, preserving set semantics. A
-//! selection predicate that fails to evaluate (e.g. division by zero) is
-//! treated as *unknown* and excludes the tuple, mirroring SQL's treatment
-//! of errors-as-unknown in filters; this keeps the demand-driven iterator
-//! infallible.
+//! Semantics match the eager operators in [`crate::ops`] exactly up to
+//! error handling: a selection predicate that fails to evaluate (e.g.
+//! division by zero) is treated as *unknown* and excludes the tuple,
+//! mirroring SQL's treatment of errors-as-unknown in filters; this keeps
+//! the demand-driven iterator infallible.
+//!
+//! Counting semantics: [`RunningPlan::produced`] counts tuples of one
+//! run (a re-open starts at zero); [`Generator::total_produced`]
+//! accumulates across every `open()` of the generator and its clones.
 
 use crate::error::Result;
+use crate::exec::ExecConfig;
 use crate::expr::Expr;
+use crate::plan::PhysicalPlan;
 use crate::relation::Relation;
 use crate::schema::Schema;
-use crate::tuple::Tuple;
-use crate::value::Value;
-use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// A pull-based stream of tuples with a known schema.
-pub trait TupleStream: Send {
-    /// The schema of produced tuples.
-    fn schema(&self) -> &Schema;
-    /// Produce the next tuple, or `None` when exhausted.
-    fn next_tuple(&mut self) -> Option<Tuple>;
-}
+pub use crate::exec::{RunningPlan, TupleStream};
+
+/// An opened (running) generator — alias for the executor's
+/// generator-mode stream. See [`RunningPlan`].
+pub type RunningGenerator = RunningPlan;
 
 /// A resettable, shareable lazy query plan — the paper's *generator form*
-/// of a relation. Cloning a generator is cheap; inputs are shared.
+/// of a relation. Cloning a generator is cheap; inputs and the
+/// lifetime-produced counter are shared.
 #[derive(Debug, Clone)]
 pub struct Generator {
-    node: Node,
-    schema: Schema,
-}
-
-#[derive(Debug, Clone)]
-enum Node {
-    Scan(Arc<Relation>),
-    Filter {
-        pred: Expr,
-        child: Box<Node>,
-    },
-    Project {
-        cols: Vec<usize>,
-        child: Box<Node>,
-    },
-    HashJoin {
-        left: Box<Node>,
-        right: Box<Node>,
-        on: Vec<(usize, usize)>,
-    },
-    Union(Vec<Node>),
+    plan: PhysicalPlan,
+    /// Tuples produced across all `open()` calls of this generator and
+    /// its clones.
+    total: Arc<AtomicUsize>,
 }
 
 impl Generator {
     /// Leaf generator scanning a shared relation.
     pub fn scan(rel: Arc<Relation>) -> Generator {
-        let schema = rel.schema().clone();
+        Generator::from_plan(PhysicalPlan::scan(rel))
+    }
+
+    /// Wrap an arbitrary physical plan as a generator.
+    pub fn from_plan(plan: PhysicalPlan) -> Generator {
         Generator {
-            node: Node::Scan(rel),
-            schema,
+            plan,
+            total: Arc::new(AtomicUsize::new(0)),
         }
     }
 
-    /// σ — filter by a predicate.
+    /// σ — filter by a predicate (errors-as-unknown: a tuple whose
+    /// predicate fails to evaluate is excluded).
     pub fn filter(self, pred: Expr) -> Generator {
-        let schema = self.schema.clone();
         Generator {
-            node: Node::Filter {
-                pred,
-                child: Box::new(self.node),
-            },
-            schema,
+            plan: self.plan.filter(pred),
+            total: self.total,
         }
     }
 
@@ -86,13 +74,9 @@ impl Generator {
     /// # Errors
     /// Returns an error if any index is out of range.
     pub fn project(self, cols: &[usize]) -> Result<Generator> {
-        let schema = self.schema.project(cols)?;
         Ok(Generator {
-            node: Node::Project {
-                cols: cols.to_vec(),
-                child: Box::new(self.node),
-            },
-            schema,
+            plan: self.plan.project(cols)?,
+            total: self.total,
         })
     }
 
@@ -100,179 +84,67 @@ impl Generator {
     /// pipeline is opened; the right (probe) side streams, so tuples are
     /// produced on demand.
     pub fn hash_join(self, right: Generator, on: &[(usize, usize)]) -> Generator {
-        let schema = self.schema.join(&right.schema);
         Generator {
-            node: Node::HashJoin {
-                left: Box::new(self.node),
-                right: Box::new(right.node),
-                on: on.to_vec(),
-            },
-            schema,
+            plan: self.plan.hash_join(right.plan, on),
+            total: self.total,
         }
     }
 
     /// ∪ — concatenate generators (deduplication happens at the root).
     pub fn union(parts: Vec<Generator>) -> Option<Generator> {
-        let first = parts.first()?;
-        let schema = first.schema.clone();
-        Some(Generator {
-            node: Node::Union(parts.into_iter().map(|g| g.node).collect()),
-            schema,
-        })
+        let plan = PhysicalPlan::union(parts.into_iter().map(|g| g.plan).collect())?;
+        Some(Generator::from_plan(plan))
     }
 
     /// The output schema.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        self.plan.schema()
     }
 
-    /// Open the generator: a fresh demand-driven stream over its inputs.
-    /// The stream deduplicates (set semantics).
+    /// The underlying physical plan.
+    pub fn plan(&self) -> &PhysicalPlan {
+        &self.plan
+    }
+
+    /// Unwrap into the underlying physical plan.
+    pub fn into_plan(self) -> PhysicalPlan {
+        self.plan
+    }
+
+    /// Open the generator: a fresh demand-driven stream over its inputs
+    /// with the default batch size. The stream deduplicates (set
+    /// semantics).
     pub fn open(&self) -> RunningGenerator {
-        RunningGenerator {
-            iter: open_node(&self.node),
-            schema: self.schema.clone(),
-            seen: HashSet::new(),
-            produced: 0,
-        }
+        self.open_with(ExecConfig::default())
+    }
+
+    /// Open with an explicit executor configuration (batch-size knob).
+    pub fn open_with(&self, cfg: ExecConfig) -> RunningGenerator {
+        let mut running = self.plan.open_with(cfg);
+        running.attach_lifetime_counter(Arc::clone(&self.total));
+        running
     }
 
     /// Eagerly compute the full extension — identical to draining
-    /// [`Generator::open`] into a relation.
+    /// [`Generator::open`] into a relation, but runs the same plan in
+    /// the executor's eager mode.
     ///
     /// # Errors
     /// Propagates schema errors from relation construction.
     pub fn materialize(&self) -> Result<Relation> {
-        let mut running = self.open();
-        let mut rel = Relation::new(self.schema.clone());
-        while let Some(t) = running.next_tuple() {
-            rel.insert(t)?;
-        }
-        Ok(rel)
+        self.plan.materialize()
+    }
+
+    /// Tuples produced across **all** `open()` calls of this generator
+    /// (and its clones) so far. Complements the per-run
+    /// [`RunningPlan::produced`] counter, which resets on re-open.
+    pub fn total_produced(&self) -> usize {
+        self.total.load(Ordering::Relaxed)
     }
 
     /// Rough depth of the plan tree (cost-model input).
     pub fn depth(&self) -> usize {
-        fn d(n: &Node) -> usize {
-            match n {
-                Node::Scan(_) => 1,
-                Node::Filter { child, .. } | Node::Project { child, .. } => 1 + d(child),
-                Node::HashJoin { left, right, .. } => 1 + d(left).max(d(right)),
-                Node::Union(parts) => 1 + parts.iter().map(d).max().unwrap_or(0),
-            }
-        }
-        d(&self.node)
-    }
-}
-
-/// An opened (running) generator: the paper's "stream \[that\] will produce a
-/// tuple on demand" (§5.5). Tracks how many tuples it has produced so the
-/// CMS can account for lazy work.
-pub struct RunningGenerator {
-    iter: Box<dyn Iterator<Item = Tuple> + Send>,
-    schema: Schema,
-    seen: HashSet<Tuple>,
-    produced: usize,
-}
-
-impl RunningGenerator {
-    /// How many tuples have been pulled so far.
-    pub fn produced(&self) -> usize {
-        self.produced
-    }
-}
-
-impl TupleStream for RunningGenerator {
-    fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    fn next_tuple(&mut self) -> Option<Tuple> {
-        loop {
-            let t = self.iter.next()?;
-            if self.seen.insert(t.clone()) {
-                self.produced += 1;
-                return Some(t);
-            }
-        }
-    }
-}
-
-impl Iterator for RunningGenerator {
-    type Item = Tuple;
-    fn next(&mut self) -> Option<Tuple> {
-        self.next_tuple()
-    }
-}
-
-fn open_node(node: &Node) -> Box<dyn Iterator<Item = Tuple> + Send> {
-    match node {
-        Node::Scan(rel) => {
-            let rel = Arc::clone(rel);
-            let len = rel.len();
-            let mut i = 0;
-            Box::new(std::iter::from_fn(move || {
-                if i < len {
-                    let t = rel.row(i).cloned();
-                    i += 1;
-                    t
-                } else {
-                    None
-                }
-            }))
-        }
-        Node::Filter { pred, child } => {
-            let pred = pred.clone();
-            let inner = open_node(child);
-            Box::new(inner.filter(move |t| pred.eval_bool(t).unwrap_or(false)))
-        }
-        Node::Project { cols, child } => {
-            let cols = cols.clone();
-            let inner = open_node(child);
-            Box::new(inner.map(move |t| t.project(&cols)))
-        }
-        Node::HashJoin { left, right, on } => {
-            let lcols: Vec<usize> = on.iter().map(|&(a, _)| a).collect();
-            let rcols: Vec<usize> = on.iter().map(|&(_, b)| b).collect();
-            // Build side is drained lazily, on first pull.
-            let left = left.clone();
-            let mut right_iter = open_node(right);
-            let mut table: Option<HashMap<Vec<Value>, Vec<Tuple>>> = None;
-            let mut pending: Vec<Tuple> = Vec::new();
-            Box::new(std::iter::from_fn(move || loop {
-                if let Some(t) = pending.pop() {
-                    return Some(t);
-                }
-                let table = table.get_or_insert_with(|| {
-                    let mut m: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
-                    let mut b = open_node(&left);
-                    for t in b.by_ref() {
-                        m.entry(t.key(&lcols)).or_default().push(t);
-                    }
-                    m
-                });
-                let probe = right_iter.next()?;
-                if let Some(matches) = table.get(&probe.key(&rcols)) {
-                    for m in matches {
-                        pending.push(m.concat(&probe));
-                    }
-                }
-            }))
-        }
-        Node::Union(parts) => {
-            let mut iters: Vec<_> = parts.iter().map(open_node).collect();
-            iters.reverse();
-            let mut current = iters.pop();
-            Box::new(std::iter::from_fn(move || loop {
-                match current.as_mut() {
-                    None => return None,
-                    Some(it) => match it.next() {
-                        Some(t) => return Some(t),
-                        None => current = iters.pop(),
-                    },
-                }
-            }))
-        }
+        self.plan.depth()
     }
 }
 
@@ -281,6 +153,7 @@ mod tests {
     use super::*;
     use crate::expr::CmpOp;
     use crate::ops;
+    use crate::tuple::Tuple;
     use crate::{tuple, Schema};
 
     fn parent() -> Arc<Relation> {
@@ -341,6 +214,23 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn total_produced_accumulates_across_opens() {
+        // Regression: the per-run `produced()` counter resets on
+        // re-open; `total_produced()` is the accumulating counter.
+        let p = parent();
+        let g = Generator::scan(p);
+        assert_eq!(g.open().count(), 4);
+        assert_eq!(g.open().count(), 4);
+        assert_eq!(g.total_produced(), 8);
+        let mut third = g.open();
+        assert!(third.next_tuple().is_some());
+        assert_eq!(third.produced(), 1); // per-run, fresh
+        assert_eq!(g.total_produced(), 9); // lifetime, accumulated
+                                           // Clones share the counter.
+        assert_eq!(g.clone().total_produced(), 9);
     }
 
     #[test]

@@ -1,28 +1,36 @@
-//! Eager relational operators.
+//! Eager relational operators — thin wrappers over the physical plan.
 //!
 //! These implement the full set of operations the CMS's Query Processor
 //! must support ("joins, selects, aggregation, indexing, etc.", §5) and the
-//! restricted subset exposed by the simulated remote DBMS. Every operator
-//! consumes and produces materialized [`Relation`]s; the lazy counterparts
-//! used for generators live in [`crate::lazy`].
+//! restricted subset exposed by the simulated remote DBMS. Every function
+//! here builds a one-node [`PhysicalPlan`] over its materialized
+//! [`Relation`] inputs and runs it to completion through the shared
+//! batched executor ([`PhysicalPlan::materialize`]); the lazy generator
+//! API in [`crate::lazy`] opens the same plans incrementally. There is no
+//! second implementation of any operator.
+//!
+//! Error semantics are *strict* (the first predicate-evaluation error
+//! aborts), matching the original eager operators; the generator API uses
+//! errors-as-unknown filters instead.
 
 use crate::error::{RelationalError, Result};
 use crate::expr::Expr;
+use crate::plan::PhysicalPlan;
 use crate::relation::Relation;
-use crate::schema::{Column, Schema};
 use crate::tuple::Tuple;
-use crate::value::{Value, ValueType};
-use std::collections::HashMap;
+use crate::value::Value;
+
+pub use crate::plan::{AggFunc, Aggregate};
+
+/// One-leaf plan over a borrowed relation: shares the tuples (they are
+/// `Arc`-backed) without cloning the relation's dedup set or indices.
+fn plan_of(r: &Relation) -> PhysicalPlan {
+    PhysicalPlan::rows(r.schema().clone(), r.to_vec())
+}
 
 /// σ — tuples of `r` satisfying `pred`.
 pub fn select(r: &Relation, pred: &Expr) -> Result<Relation> {
-    let mut out = Relation::new(r.schema().clone());
-    for t in r.iter() {
-        if pred.eval_bool(t)? {
-            out.insert(t.clone())?;
-        }
-    }
-    Ok(out)
+    plan_of(r).filter_strict(pred.clone()).materialize()
 }
 
 /// Index-assisted selection on a conjunction of column-equals-constant
@@ -35,53 +43,33 @@ pub fn select_eq(
     key: &[Value],
     residual: Option<&Expr>,
 ) -> Result<Relation> {
-    let mut out = Relation::new(r.schema().clone());
-    for row in r.lookup(eq_cols, key) {
-        let t = r.row(row).expect("lookup returned valid row id");
-        if match residual {
-            Some(p) => p.eval_bool(t)?,
-            None => true,
-        } {
-            out.insert(t.clone())?;
-        }
+    let rows: Vec<Tuple> = r
+        .lookup(eq_cols, key)
+        .into_iter()
+        .map(|row| r.row(row).expect("lookup returned valid row id").clone())
+        .collect();
+    let mut plan = PhysicalPlan::rows(r.schema().clone(), rows);
+    if let Some(p) = residual {
+        plan = plan.filter_strict(p.clone());
     }
-    Ok(out)
+    plan.materialize()
 }
 
 /// π — projection onto `cols` (indices may repeat or reorder); result is
 /// deduplicated (set semantics).
 pub fn project(r: &Relation, cols: &[usize]) -> Result<Relation> {
-    let schema = r.schema().project(cols)?;
-    let mut out = Relation::new(schema);
-    for t in r.iter() {
-        out.insert(t.project(cols))?;
-    }
-    Ok(out)
+    plan_of(r).project(cols)?.materialize()
 }
 
 /// × — Cartesian product.
 pub fn product(l: &Relation, r: &Relation) -> Result<Relation> {
-    let schema = l.schema().join(r.schema());
-    let mut out = Relation::new(schema);
-    for a in l.iter() {
-        for b in r.iter() {
-            out.insert(a.concat(b))?;
-        }
-    }
-    Ok(out)
+    plan_of(l).hash_join(plan_of(r), &[]).materialize()
 }
 
 /// ⋈ — equi-join on pairs of (left column, right column), implemented as a
 /// hash join building on the smaller input.
 pub fn equijoin(l: &Relation, r: &Relation, on: &[(usize, usize)]) -> Result<Relation> {
-    let schema = l.schema().join(r.schema());
-    let mut out = Relation::new(schema);
-    if on.is_empty() {
-        return product(l, r);
-    }
-    let lcols: Vec<usize> = on.iter().map(|&(a, _)| a).collect();
-    let rcols: Vec<usize> = on.iter().map(|&(_, b)| b).collect();
-    for &c in &lcols {
+    for &(c, _) in on {
         if c >= l.schema().arity() {
             return Err(RelationalError::ColumnIndexOutOfRange {
                 index: c,
@@ -89,7 +77,7 @@ pub fn equijoin(l: &Relation, r: &Relation, on: &[(usize, usize)]) -> Result<Rel
             });
         }
     }
-    for &c in &rcols {
+    for &(_, c) in on {
         if c >= r.schema().arity() {
             return Err(RelationalError::ColumnIndexOutOfRange {
                 index: c,
@@ -97,80 +85,61 @@ pub fn equijoin(l: &Relation, r: &Relation, on: &[(usize, usize)]) -> Result<Rel
             });
         }
     }
-    // Build on the smaller side.
-    if l.len() <= r.len() {
-        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-        for t in l.iter() {
-            table.entry(t.key(&lcols)).or_default().push(t);
-        }
-        for b in r.iter() {
-            if let Some(matches) = table.get(&b.key(&rcols)) {
-                for a in matches {
-                    out.insert(a.concat(b))?;
-                }
-            }
-        }
+    // Build on the smaller side; output columns stay l-then-r.
+    let plan = if l.len() <= r.len() {
+        plan_of(l).hash_join(plan_of(r), on)
     } else {
-        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-        for t in r.iter() {
-            table.entry(t.key(&rcols)).or_default().push(t);
-        }
-        for a in l.iter() {
-            if let Some(matches) = table.get(&a.key(&lcols)) {
-                for b in matches {
-                    out.insert(a.concat(b))?;
-                }
-            }
-        }
-    }
-    Ok(out)
+        plan_of(l).hash_join_build_right(plan_of(r), on)
+    };
+    plan.materialize()
 }
 
 /// ⋉ — left semi-join: tuples of `l` that join with at least one tuple of
 /// `r` on the given column pairs.
 pub fn semijoin(l: &Relation, r: &Relation, on: &[(usize, usize)]) -> Result<Relation> {
-    let rcols: Vec<usize> = on.iter().map(|&(_, b)| b).collect();
-    let lcols: Vec<usize> = on.iter().map(|&(a, _)| a).collect();
-    let keys: std::collections::HashSet<Vec<Value>> = r.iter().map(|t| t.key(&rcols)).collect();
-    let mut out = Relation::new(l.schema().clone());
-    for t in l.iter() {
-        if keys.contains(&t.key(&lcols)) {
-            out.insert(t.clone())?;
-        }
-    }
-    Ok(out)
+    plan_of(l).semijoin(plan_of(r), on).materialize()
 }
 
 /// ▷ — anti-join: tuples of `l` with no join partner in `r`.
 pub fn antijoin(l: &Relation, r: &Relation, on: &[(usize, usize)]) -> Result<Relation> {
-    let rcols: Vec<usize> = on.iter().map(|&(_, b)| b).collect();
-    let lcols: Vec<usize> = on.iter().map(|&(a, _)| a).collect();
-    let keys: std::collections::HashSet<Vec<Value>> = r.iter().map(|t| t.key(&rcols)).collect();
-    let mut out = Relation::new(l.schema().clone());
-    for t in l.iter() {
-        if !keys.contains(&t.key(&lcols)) {
-            out.insert(t.clone())?;
+    plan_of(l).antijoin(plan_of(r), on).materialize()
+}
+
+/// ∪ — union of two union-compatible relations (wrapper over
+/// [`union_all`]).
+pub fn union(l: &Relation, r: &Relation) -> Result<Relation> {
+    union_all([l, r])
+}
+
+/// n-ary ∪ — union of any number of union-compatible relations with a
+/// *single* dedup pass at the root (the pairwise [`union`] chains used
+/// for remainder/compensation assembly pay one pass per link).
+///
+/// # Errors
+/// Returns [`RelationalError::NotUnionCompatible`] when any part is
+/// incompatible with the first, or a type error for an empty part list.
+pub fn union_all<'a>(parts: impl IntoIterator<Item = &'a Relation>) -> Result<Relation> {
+    let parts: Vec<&Relation> = parts.into_iter().collect();
+    let Some(first) = parts.first() else {
+        return Err(RelationalError::TypeError(
+            "union of zero relations has no schema".into(),
+        ));
+    };
+    for p in &parts[1..] {
+        if !first.schema().union_compatible(p.schema()) {
+            return Err(RelationalError::NotUnionCompatible {
+                left: first.schema().name().to_string(),
+                right: p.schema().name().to_string(),
+            });
         }
     }
-    Ok(out)
+    PhysicalPlan::union(parts.into_iter().map(plan_of).collect())
+        .expect("non-empty part list")
+        .materialize()
 }
 
-/// ∪ — union of union-compatible relations.
-pub fn union(l: &Relation, r: &Relation) -> Result<Relation> {
-    if !l.schema().union_compatible(r.schema()) {
-        return Err(RelationalError::NotUnionCompatible {
-            left: l.schema().name().to_string(),
-            right: r.schema().name().to_string(),
-        });
-    }
-    let mut out = Relation::new(l.schema().clone());
-    for t in l.iter().chain(r.iter()) {
-        out.insert(t.clone())?;
-    }
-    Ok(out)
-}
-
-/// − — set difference of union-compatible relations.
+/// − — set difference of union-compatible relations (anti-join on all
+/// columns).
 pub fn difference(l: &Relation, r: &Relation) -> Result<Relation> {
     if !l.schema().union_compatible(r.schema()) {
         return Err(RelationalError::NotUnionCompatible {
@@ -178,16 +147,12 @@ pub fn difference(l: &Relation, r: &Relation) -> Result<Relation> {
             right: r.schema().name().to_string(),
         });
     }
-    let mut out = Relation::new(l.schema().clone());
-    for t in l.iter() {
-        if !r.contains(t) {
-            out.insert(t.clone())?;
-        }
-    }
-    Ok(out)
+    let all: Vec<(usize, usize)> = (0..l.schema().arity()).map(|i| (i, i)).collect();
+    plan_of(l).antijoin(plan_of(r), &all).materialize()
 }
 
-/// ∩ — set intersection of union-compatible relations.
+/// ∩ — set intersection of union-compatible relations (semi-join on all
+/// columns).
 pub fn intersect(l: &Relation, r: &Relation) -> Result<Relation> {
     if !l.schema().union_compatible(r.schema()) {
         return Err(RelationalError::NotUnionCompatible {
@@ -195,50 +160,8 @@ pub fn intersect(l: &Relation, r: &Relation) -> Result<Relation> {
             right: r.schema().name().to_string(),
         });
     }
-    let mut out = Relation::new(l.schema().clone());
-    for t in l.iter() {
-        if r.contains(t) {
-            out.insert(t.clone())?;
-        }
-    }
-    Ok(out)
-}
-
-/// Aggregate functions supported by the CMS's `AGG` second-order predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AggFunc {
-    /// Number of tuples in the group.
-    Count,
-    /// Sum of a numeric column.
-    Sum,
-    /// Minimum of a column.
-    Min,
-    /// Maximum of a column.
-    Max,
-    /// Arithmetic mean of a numeric column.
-    Avg,
-}
-
-impl AggFunc {
-    /// Name as it appears in CAQL (`AGG(count, ...)`).
-    pub fn name(self) -> &'static str {
-        match self {
-            AggFunc::Count => "count",
-            AggFunc::Sum => "sum",
-            AggFunc::Min => "min",
-            AggFunc::Max => "max",
-            AggFunc::Avg => "avg",
-        }
-    }
-}
-
-/// One aggregate to compute: function over `col` (ignored for `Count`).
-#[derive(Debug, Clone, Copy)]
-pub struct Aggregate {
-    /// The aggregate function.
-    pub func: AggFunc,
-    /// Input column (any column for `Count`).
-    pub col: usize,
+    let all: Vec<(usize, usize)> = (0..l.schema().arity()).map(|i| (i, i)).collect();
+    plan_of(l).semijoin(plan_of(r), &all).materialize()
 }
 
 /// γ — grouped aggregation. Output columns are the `group_by` columns
@@ -246,110 +169,15 @@ pub struct Aggregate {
 /// single row (aggregates over the whole relation; COUNT of an empty
 /// relation is 0, other aggregates error).
 pub fn aggregate(r: &Relation, group_by: &[usize], aggs: &[Aggregate]) -> Result<Relation> {
-    let mut cols: Vec<Column> = Vec::new();
-    let gschema = r.schema().project(group_by)?;
-    cols.extend(gschema.columns().iter().cloned());
-    for (i, a) in aggs.iter().enumerate() {
-        if a.col >= r.schema().arity() {
-            return Err(RelationalError::ColumnIndexOutOfRange {
-                index: a.col,
-                arity: r.schema().arity(),
-            });
-        }
-        let ty = match a.func {
-            AggFunc::Count => ValueType::Int,
-            AggFunc::Avg => ValueType::Float,
-            _ => r.schema().columns()[a.col].ty,
-        };
-        cols.push(Column::new(format!("{}_{i}", a.func.name()), ty));
-    }
-    let schema = Schema::new(format!("agg_{}", r.schema().name()), cols)?;
-
-    let mut groups: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
-    for t in r.iter() {
-        groups.entry(t.key(group_by)).or_default().push(t);
-    }
-    if groups.is_empty() && group_by.is_empty() {
-        // Global aggregate over the empty relation.
-        let mut row: Vec<Value> = Vec::new();
-        for a in aggs {
-            match a.func {
-                AggFunc::Count => row.push(Value::Int(0)),
-                other => return Err(RelationalError::EmptyAggregate(other.name().to_string())),
-            }
-        }
-        let mut out = Relation::new(schema);
-        out.insert(Tuple::new(row))?;
-        return Ok(out);
-    }
-
-    let mut out = Relation::new(schema);
-    for (key, members) in groups {
-        let mut row = key;
-        for a in aggs {
-            row.push(eval_agg(a, &members)?);
-        }
-        out.insert(Tuple::new(row))?;
-    }
-    Ok(out)
-}
-
-fn eval_agg(a: &Aggregate, members: &[&Tuple]) -> Result<Value> {
-    match a.func {
-        AggFunc::Count => Ok(Value::Int(members.len() as i64)),
-        AggFunc::Min => members
-            .iter()
-            .map(|t| t.values()[a.col].clone())
-            .min()
-            .ok_or_else(|| RelationalError::EmptyAggregate("min".into())),
-        AggFunc::Max => members
-            .iter()
-            .map(|t| t.values()[a.col].clone())
-            .max()
-            .ok_or_else(|| RelationalError::EmptyAggregate("max".into())),
-        AggFunc::Sum => {
-            let mut int_sum: i64 = 0;
-            let mut float_sum: f64 = 0.0;
-            let mut any_float = false;
-            for t in members {
-                match &t.values()[a.col] {
-                    Value::Int(i) => int_sum = int_sum.wrapping_add(*i),
-                    Value::Float(f) => {
-                        any_float = true;
-                        float_sum += f;
-                    }
-                    other => {
-                        return Err(RelationalError::TypeError(format!(
-                            "SUM over non-numeric value {other}"
-                        )))
-                    }
-                }
-            }
-            if any_float {
-                Ok(Value::Float(float_sum + int_sum as f64))
-            } else {
-                Ok(Value::Int(int_sum))
-            }
-        }
-        AggFunc::Avg => {
-            if members.is_empty() {
-                return Err(RelationalError::EmptyAggregate("avg".into()));
-            }
-            let mut sum = 0.0;
-            for t in members {
-                sum += t.values()[a.col].as_f64().ok_or_else(|| {
-                    RelationalError::TypeError("AVG over non-numeric value".into())
-                })?;
-            }
-            Ok(Value::Float(sum / members.len() as f64))
-        }
-    }
+    plan_of(r).aggregate(group_by, aggs)?.materialize()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::expr::CmpOp;
+    use crate::schema::Column;
+    use crate::value::ValueType;
     use crate::{tuple, Schema};
 
     fn parent() -> Relation {
@@ -452,6 +280,33 @@ mod tests {
         assert_eq!(union(&p, &q).unwrap().len(), 5);
         assert_eq!(difference(&p, &q).unwrap().len(), 3);
         assert_eq!(intersect(&p, &q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn union_all_matches_pairwise_chain() {
+        let p = parent();
+        let q = Relation::from_tuples(
+            Schema::of_strs("extra", &["p", "c"]),
+            vec![tuple!["ann", "bob"], tuple!["zoe", "yan"]],
+        )
+        .unwrap();
+        let s = Relation::from_tuples(
+            Schema::of_strs("more", &["p", "c"]),
+            vec![tuple!["zoe", "yan"], tuple!["uma", "vic"]],
+        )
+        .unwrap();
+        let chained = union(&union(&p, &q).unwrap(), &s).unwrap();
+        let nary = union_all([&p, &q, &s]).unwrap();
+        assert_eq!(chained, nary);
+        assert_eq!(nary.len(), 6);
+    }
+
+    #[test]
+    fn union_all_rejects_incompatible_and_empty() {
+        let p = parent();
+        let a = age();
+        assert!(union_all([&p, &a]).is_err());
+        assert!(union_all([]).is_err());
     }
 
     #[test]

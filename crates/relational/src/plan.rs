@@ -1,0 +1,462 @@
+//! The physical-plan IR: one algebra, two execution modes.
+//!
+//! [`PhysicalPlan`] is the single intermediate representation behind both
+//! execution styles of the substrate. The eager operators in
+//! [`crate::ops`] wrap one-node plans and run them to completion with
+//! [`PhysicalPlan::materialize`]; the paper's *generators*
+//! ([`crate::lazy::Generator`], §5.1) open the very same plan as an
+//! incremental pull stream with [`PhysicalPlan::open`]. Both modes are
+//! thin drivers over the batched executor in [`crate::exec`]: operators
+//! exchange [`crate::exec::TupleBatch`]es of `Arc`-shared tuples
+//! (default 256 rows, see [`ExecConfig`]) and adjacent filter+project
+//! pairs are fused into a single pass at open time.
+//!
+//! Node set: scan (relation or row vector), filter (strict or
+//! errors-as-unknown), project, hash-join, semi-/anti-join, n-ary union,
+//! dedup, aggregate and limit. Schemas are computed once, at plan build
+//! time; every node carries the schema of its output.
+
+use crate::error::{RelationalError, Result};
+use crate::exec::{self, ExecConfig, ExecCounters, ExecStats, RunningPlan};
+use crate::expr::Expr;
+use crate::relation::Relation;
+use crate::schema::{Column, Schema};
+use crate::tuple::Tuple;
+use crate::value::ValueType;
+use std::sync::Arc;
+
+/// Aggregate functions supported by the CMS's `AGG` second-order predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Number of tuples in the group.
+    Count,
+    /// Sum of a numeric column.
+    Sum,
+    /// Minimum of a column.
+    Min,
+    /// Maximum of a column.
+    Max,
+    /// Arithmetic mean of a numeric column.
+    Avg,
+}
+
+impl AggFunc {
+    /// Name as it appears in CAQL (`AGG(count, ...)`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One aggregate to compute: function over `col` (ignored for `Count`).
+#[derive(Debug, Clone, Copy)]
+pub struct Aggregate {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input column (any column for `Count`).
+    pub col: usize,
+}
+
+/// A physical query plan: an operator tree plus its output schema.
+///
+/// Plans are cheap to clone (inputs are shared) and immutable once
+/// built, so one stored plan can back both of the paper's cache-element
+/// representations: materialize it for the *extension*, open it for the
+/// *generator* (§5.1, §5.4).
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    pub(crate) node: PlanNode,
+    pub(crate) schema: Schema,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum PlanNode {
+    /// Scan a shared relation in row order.
+    ScanRel(Arc<Relation>),
+    /// Scan a plain row vector (used by the eager wrappers, which borrow
+    /// a relation's tuples without cloning its dedup set or indices).
+    ScanRows(Arc<Vec<Tuple>>),
+    /// σ — `strict` propagates predicate-evaluation errors (eager
+    /// semantics); otherwise an error counts as *unknown* and excludes
+    /// the tuple (SQL-style, keeps demand-driven streams infallible).
+    Filter {
+        pred: Expr,
+        strict: bool,
+        child: Box<PhysicalPlan>,
+    },
+    /// π — may repeat or reorder columns.
+    Project {
+        cols: Vec<usize>,
+        child: Box<PhysicalPlan>,
+    },
+    /// ⋈ — hash equi-join. The build side is drained on first pull; the
+    /// probe side streams. `on` pairs are `(build column, probe column)`;
+    /// `probe_first` controls output column order (probe columns first),
+    /// letting callers build on the smaller input without disturbing the
+    /// l-then-r output convention.
+    HashJoin {
+        build: Box<PhysicalPlan>,
+        probe: Box<PhysicalPlan>,
+        on: Vec<(usize, usize)>,
+        probe_first: bool,
+    },
+    /// ⋉ / ▷ — semi-join (`anti == false`) or anti-join (`anti == true`).
+    Semi {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        on: Vec<(usize, usize)>,
+        anti: bool,
+    },
+    /// ∪ — n-ary union: children are concatenated in order; one dedup
+    /// pass happens at the consuming root (or an explicit [`PlanNode::Dedup`]).
+    Union(Vec<PhysicalPlan>),
+    /// δ — explicit duplicate elimination (set semantics mid-plan).
+    Dedup(Box<PhysicalPlan>),
+    /// γ — grouped aggregation (input is treated as a set).
+    Aggregate {
+        group_by: Vec<usize>,
+        aggs: Vec<Aggregate>,
+        child: Box<PhysicalPlan>,
+    },
+    /// Stop after `n` tuples.
+    Limit { n: usize, child: Box<PhysicalPlan> },
+}
+
+impl PhysicalPlan {
+    /// Leaf plan scanning a shared relation.
+    pub fn scan(rel: Arc<Relation>) -> PhysicalPlan {
+        let schema = rel.schema().clone();
+        PhysicalPlan {
+            node: PlanNode::ScanRel(rel),
+            schema,
+        }
+    }
+
+    /// Leaf plan scanning an explicit row vector under the given schema.
+    /// Rows are trusted to match the schema's arity (enforced again when
+    /// a materialized result is rebuilt into a relation).
+    pub fn rows(schema: Schema, rows: Vec<Tuple>) -> PhysicalPlan {
+        PhysicalPlan {
+            node: PlanNode::ScanRows(Arc::new(rows)),
+            schema,
+        }
+    }
+
+    /// σ with errors-as-unknown: a predicate that fails to evaluate
+    /// excludes the tuple (generator semantics).
+    pub fn filter(self, pred: Expr) -> PhysicalPlan {
+        self.filter_mode(pred, false)
+    }
+
+    /// σ with strict errors: the first predicate-evaluation error aborts
+    /// execution (eager `ops::select` semantics).
+    pub fn filter_strict(self, pred: Expr) -> PhysicalPlan {
+        self.filter_mode(pred, true)
+    }
+
+    fn filter_mode(self, pred: Expr, strict: bool) -> PhysicalPlan {
+        let schema = self.schema.clone();
+        PhysicalPlan {
+            node: PlanNode::Filter {
+                pred,
+                strict,
+                child: Box::new(self),
+            },
+            schema,
+        }
+    }
+
+    /// π — project onto columns (indices may repeat or reorder).
+    ///
+    /// # Errors
+    /// Returns an error if any index is out of range.
+    pub fn project(self, cols: &[usize]) -> Result<PhysicalPlan> {
+        let schema = self.schema.project(cols)?;
+        Ok(PhysicalPlan {
+            node: PlanNode::Project {
+                cols: cols.to_vec(),
+                child: Box::new(self),
+            },
+            schema,
+        })
+    }
+
+    /// ⋈ — hash equi-join with `self` as the build side: `self` is
+    /// drained into a hash table on first pull, `probe` streams. `on`
+    /// pairs are `(self column, probe column)`; output columns are
+    /// `self` then `probe`.
+    pub fn hash_join(self, probe: PhysicalPlan, on: &[(usize, usize)]) -> PhysicalPlan {
+        let schema = self.schema.join(&probe.schema);
+        PhysicalPlan {
+            node: PlanNode::HashJoin {
+                build: Box::new(self),
+                probe: Box::new(probe),
+                on: on.to_vec(),
+                probe_first: false,
+            },
+            schema,
+        }
+    }
+
+    /// ⋈ — hash equi-join with `self` as the *probe* side and `build`
+    /// drained into the hash table. `on` pairs are `(self column, build
+    /// column)`; output columns are still `self` then `build`, so this
+    /// is how the eager wrapper builds on the smaller input without
+    /// changing the output convention.
+    pub fn hash_join_build_right(self, build: PhysicalPlan, on: &[(usize, usize)]) -> PhysicalPlan {
+        let schema = self.schema.join(&build.schema);
+        // Stored pairs are always (build column, probe column).
+        let flipped: Vec<(usize, usize)> = on.iter().map(|&(p, b)| (b, p)).collect();
+        PhysicalPlan {
+            node: PlanNode::HashJoin {
+                build: Box::new(build),
+                probe: Box::new(self),
+                on: flipped,
+                probe_first: true,
+            },
+            schema,
+        }
+    }
+
+    /// ⋉ — left semi-join on `(left column, right column)` pairs.
+    pub fn semijoin(self, right: PhysicalPlan, on: &[(usize, usize)]) -> PhysicalPlan {
+        self.semi_mode(right, on, false)
+    }
+
+    /// ▷ — left anti-join on `(left column, right column)` pairs.
+    pub fn antijoin(self, right: PhysicalPlan, on: &[(usize, usize)]) -> PhysicalPlan {
+        self.semi_mode(right, on, true)
+    }
+
+    fn semi_mode(self, right: PhysicalPlan, on: &[(usize, usize)], anti: bool) -> PhysicalPlan {
+        let schema = self.schema.clone();
+        PhysicalPlan {
+            node: PlanNode::Semi {
+                left: Box::new(self),
+                right: Box::new(right),
+                on: on.to_vec(),
+                anti,
+            },
+            schema,
+        }
+    }
+
+    /// ∪ — n-ary union: concatenate plans (one dedup pass happens at the
+    /// consuming root). Returns `None` for an empty part list.
+    pub fn union(parts: Vec<PhysicalPlan>) -> Option<PhysicalPlan> {
+        let first = parts.first()?;
+        let schema = first.schema.clone();
+        Some(PhysicalPlan {
+            node: PlanNode::Union(parts),
+            schema,
+        })
+    }
+
+    /// δ — explicit duplicate elimination.
+    pub fn dedup(self) -> PhysicalPlan {
+        let schema = self.schema.clone();
+        PhysicalPlan {
+            node: PlanNode::Dedup(Box::new(self)),
+            schema,
+        }
+    }
+
+    /// γ — grouped aggregation. Output columns are the `group_by`
+    /// columns followed by one column per aggregate; the input stream is
+    /// treated as a set (duplicates eliminated before grouping), matching
+    /// the eager operators which always aggregate materialized relations.
+    ///
+    /// # Errors
+    /// Returns an error if any referenced column is out of range.
+    pub fn aggregate(self, group_by: &[usize], aggs: &[Aggregate]) -> Result<PhysicalPlan> {
+        let mut cols: Vec<Column> = Vec::new();
+        let gschema = self.schema.project(group_by)?;
+        cols.extend(gschema.columns().iter().cloned());
+        for (i, a) in aggs.iter().enumerate() {
+            if a.col >= self.schema.arity() {
+                return Err(RelationalError::ColumnIndexOutOfRange {
+                    index: a.col,
+                    arity: self.schema.arity(),
+                });
+            }
+            let ty = match a.func {
+                AggFunc::Count => ValueType::Int,
+                AggFunc::Avg => ValueType::Float,
+                _ => self.schema.columns()[a.col].ty,
+            };
+            cols.push(Column::new(format!("{}_{i}", a.func.name()), ty));
+        }
+        let schema = Schema::new(format!("agg_{}", self.schema.name()), cols)?;
+        Ok(PhysicalPlan {
+            node: PlanNode::Aggregate {
+                group_by: group_by.to_vec(),
+                aggs: aggs.to_vec(),
+                child: Box::new(self),
+            },
+            schema,
+        })
+    }
+
+    /// Stop after at most `n` output tuples.
+    pub fn limit(self, n: usize) -> PhysicalPlan {
+        let schema = self.schema.clone();
+        PhysicalPlan {
+            node: PlanNode::Limit {
+                n,
+                child: Box::new(self),
+            },
+            schema,
+        }
+    }
+
+    /// The output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Rough depth of the plan tree (cost-model input).
+    pub fn depth(&self) -> usize {
+        match &self.node {
+            PlanNode::ScanRel(_) | PlanNode::ScanRows(_) => 1,
+            PlanNode::Filter { child, .. }
+            | PlanNode::Project { child, .. }
+            | PlanNode::Dedup(child)
+            | PlanNode::Aggregate { child, .. }
+            | PlanNode::Limit { child, .. } => 1 + child.depth(),
+            PlanNode::HashJoin { build, probe, .. } => 1 + build.depth().max(probe.depth()),
+            PlanNode::Semi { left, right, .. } => 1 + left.depth().max(right.depth()),
+            PlanNode::Union(parts) => 1 + parts.iter().map(PhysicalPlan::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Generator mode: open the plan as a demand-driven stream with the
+    /// default batch size. The stream deduplicates at the root (set
+    /// semantics) and is infallible — strict-filter errors end the
+    /// stream early (see [`RunningPlan::error`]).
+    pub fn open(&self) -> RunningPlan {
+        self.open_with(ExecConfig::default())
+    }
+
+    /// Generator mode with an explicit executor configuration.
+    pub fn open_with(&self, cfg: ExecConfig) -> RunningPlan {
+        let counters = Arc::new(ExecCounters::default());
+        let op = exec::build(self, cfg, &counters);
+        RunningPlan::new(op, self.schema.clone(), counters)
+    }
+
+    /// Eager mode: run the plan to completion and collect the result
+    /// into a relation (deduplicating on insert), using the default
+    /// batch size.
+    ///
+    /// # Errors
+    /// Propagates strict-filter and aggregate evaluation errors.
+    pub fn materialize(&self) -> Result<Relation> {
+        self.materialize_with(ExecConfig::default()).map(|(r, _)| r)
+    }
+
+    /// Eager mode with an explicit executor configuration; also returns
+    /// the executor's work counters for metrics plumbing.
+    ///
+    /// # Errors
+    /// Propagates strict-filter and aggregate evaluation errors.
+    pub fn materialize_with(&self, cfg: ExecConfig) -> Result<(Relation, ExecStats)> {
+        let counters = Arc::new(ExecCounters::default());
+        let mut op = exec::build(self, cfg, &counters);
+        let mut rel = Relation::new(self.schema.clone());
+        while let Some(batch) = op.next_batch()? {
+            for t in batch {
+                rel.insert(t)?;
+            }
+        }
+        Ok((rel, counters.snapshot()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::TupleStream;
+    use crate::expr::CmpOp;
+    use crate::{tuple, Schema};
+
+    fn parent() -> Arc<Relation> {
+        Arc::new(
+            Relation::from_tuples(
+                Schema::of_strs("parent", &["p", "c"]),
+                vec![
+                    tuple!["ann", "bob"],
+                    tuple!["ann", "cal"],
+                    tuple!["bob", "dee"],
+                    tuple!["cal", "eli"],
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn strict_filter_propagates_errors() {
+        let plan = PhysicalPlan::scan(parent()).filter_strict(Expr::col_cmp(9, CmpOp::Eq, "x"));
+        assert!(plan.materialize().is_err());
+    }
+
+    #[test]
+    fn unknown_filter_excludes_erroring_tuples() {
+        let plan = PhysicalPlan::scan(parent()).filter(Expr::col_cmp(9, CmpOp::Eq, "x"));
+        assert_eq!(plan.materialize().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn build_right_join_keeps_left_column_order() {
+        let p = parent();
+        let normal = PhysicalPlan::scan(Arc::clone(&p))
+            .hash_join(PhysicalPlan::scan(Arc::clone(&p)), &[(1, 0)])
+            .materialize()
+            .unwrap();
+        let swapped = PhysicalPlan::scan(Arc::clone(&p))
+            .hash_join_build_right(PhysicalPlan::scan(p), &[(1, 0)])
+            .materialize()
+            .unwrap();
+        assert_eq!(normal, swapped);
+    }
+
+    #[test]
+    fn limit_truncates_output() {
+        let plan = PhysicalPlan::scan(parent()).limit(2);
+        assert_eq!(plan.materialize().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dedup_node_eliminates_duplicates_mid_plan() {
+        let p = parent();
+        let union = PhysicalPlan::union(vec![
+            PhysicalPlan::scan(Arc::clone(&p)),
+            PhysicalPlan::scan(p),
+        ])
+        .unwrap()
+        .dedup()
+        .limit(usize::MAX);
+        // The dedup happens below the limit, so the stream itself is a set.
+        let (rel, stats) = union.materialize_with(ExecConfig::default()).unwrap();
+        assert_eq!(rel.len(), 4);
+        assert!(stats.tuples > 0 && stats.batches > 0);
+    }
+
+    #[test]
+    fn open_reports_stats_and_dedups_at_root() {
+        let p = parent();
+        let plan = PhysicalPlan::scan(p).project(&[0]).unwrap();
+        let mut running = plan.open();
+        let mut n = 0;
+        while running.next_tuple().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3); // ann, bob, cal
+        assert!(running.stats().tuples >= 4);
+    }
+}

@@ -46,8 +46,16 @@ impl Tuple {
     }
 
     /// New tuple holding the fields at `indices` (indices may repeat).
+    ///
+    /// Collects straight into the `Arc`-backed slice: one allocation per
+    /// projected tuple, rather than a `Vec` that is then copied into an
+    /// `Arc`. This is the executor's per-row projection hot path — the
+    /// batch pass in `exec` reuses one index slice per batch and calls
+    /// this per row.
     pub fn project(&self, indices: &[usize]) -> Tuple {
-        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+        Tuple {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
     }
 
     /// Concatenation of `self` and `other` (used by joins).

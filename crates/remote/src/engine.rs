@@ -1,15 +1,19 @@
 //! Query execution for the simulated remote DBMS.
 //!
-//! A deliberately conventional evaluator: per-table selection push-down,
-//! left-deep hash joins in FROM order, residual selection, projection,
-//! union. The execution also *accounts* for server work (tuples flowing
-//! through each operator) so experiments can report "computational demands
-//! made on the database server" (§3).
+//! A deliberately conventional evaluator: each SELECT block compiles to
+//! one [`PhysicalPlan`] — per-table selection push-down (fused with the
+//! scan by the executor), left-deep hash joins in FROM order, residual
+//! selection, projection — and runs through the same batched executor as
+//! the CMS-side operators. Blocks combine with one n-ary union. The
+//! executor's counters *account* for server work (tuples flowing through
+//! each operator) so experiments can report "computational demands made
+//! on the database server" (§3).
 
 use crate::catalog::Catalog;
 use crate::dml::{ColRef, Predicate, SelectBlock, SqlQuery};
 use crate::error::{RemoteError, Result};
-use braid_relational::{ops, CmpOp, Expr, Relation, Schema};
+use braid_relational::{ops, CmpOp, ExecConfig, Expr, PhysicalPlan, Relation, Schema};
+use std::sync::Arc;
 
 /// The result of evaluating a query server-side: the relation plus the
 /// number of tuple-operations the server performed.
@@ -30,26 +34,29 @@ pub fn evaluate(catalog: &Catalog, query: &SqlQuery) -> Result<Evaluated> {
     if query.blocks.is_empty() {
         return Err(RemoteError::Malformed("empty union".into()));
     }
-    let mut acc: Option<Relation> = None;
+    let mut parts: Vec<Relation> = Vec::with_capacity(query.blocks.len());
     let mut ops_count: u64 = 0;
     for block in &query.blocks {
         let ev = evaluate_block(catalog, block)?;
         ops_count += ev.server_tuple_ops;
-        acc = Some(match acc {
-            None => ev.relation,
-            Some(prev) => {
-                if !prev.schema().union_compatible(ev.relation.schema()) {
-                    return Err(RemoteError::Malformed(
-                        "union branches are not compatible".into(),
-                    ));
-                }
-                ops_count += prev.len() as u64 + ev.relation.len() as u64;
-                ops::union(&prev, &ev.relation)?
+        if let Some(first) = parts.first() {
+            if !first.schema().union_compatible(ev.relation.schema()) {
+                return Err(RemoteError::Malformed(
+                    "union branches are not compatible".into(),
+                ));
             }
-        });
+        }
+        parts.push(ev.relation);
     }
+    let relation = if parts.len() == 1 {
+        parts.pop().expect("one block")
+    } else {
+        // One n-ary union: a single deduplication pass over all branches.
+        ops_count += parts.iter().map(|r| r.len() as u64).sum::<u64>();
+        ops::union_all(&parts)?
+    };
     Ok(Evaluated {
-        relation: acc.expect("at least one block"),
+        relation,
         server_tuple_ops: ops_count,
     })
 }
@@ -58,7 +65,6 @@ fn evaluate_block(catalog: &Catalog, block: &SelectBlock) -> Result<Evaluated> {
     if block.from.is_empty() {
         return Err(RemoteError::Malformed("empty FROM list".into()));
     }
-    let mut tuple_ops: u64 = 0;
 
     // Resolve and validate all column references first.
     let rels: Vec<_> = block
@@ -102,8 +108,9 @@ fn evaluate_block(catalog: &Catalog, block: &SelectBlock) -> Result<Evaluated> {
     }
     let global = |c: &ColRef| offsets[c.table] + c.col;
 
-    // 1. Push single-table constant selections down.
-    let mut inputs: Vec<Relation> = Vec::with_capacity(rels.len());
+    // 1. Per-table plans with single-table selections pushed down onto
+    //    the scan (the executor fuses filter passes over each batch).
+    let mut inputs: Vec<PhysicalPlan> = Vec::with_capacity(rels.len());
     for (i, r) in rels.iter().enumerate() {
         let preds: Vec<Expr> = block
             .predicates
@@ -120,20 +127,21 @@ fn evaluate_block(catalog: &Catalog, block: &SelectBlock) -> Result<Evaluated> {
                 _ => None,
             })
             .collect();
-        let filtered = if preds.is_empty() {
-            (**r).clone()
-        } else {
-            tuple_ops += r.len() as u64;
-            ops::select(r, &Expr::And(preds))?
-        };
-        inputs.push(filtered);
+        let mut plan = PhysicalPlan::scan(Arc::clone(r));
+        if !preds.is_empty() {
+            plan = plan.filter_strict(Expr::And(preds));
+        }
+        inputs.push(plan);
     }
 
-    // 2. Left-deep joins in FROM order, using cross-table equality
-    //    predicates that connect the new table to the joined prefix.
-    let mut joined = inputs[0].clone();
+    // 2. Left-deep hash joins in FROM order, using cross-table equality
+    //    predicates that connect the new table to the joined prefix. Each
+    //    new table is the build side; the accumulated pipeline streams
+    //    through as the probe (batch at a time).
+    let mut inputs = inputs.into_iter();
+    let mut joined = inputs.next().expect("non-empty FROM");
     let mut joined_tables = 1usize;
-    for (i, right) in inputs.iter().enumerate().skip(1) {
+    for (i, right) in inputs.enumerate().map(|(i, p)| (i + 1, p)) {
         let on: Vec<(usize, usize)> = block
             .predicates
             .iter()
@@ -150,9 +158,7 @@ fn evaluate_block(catalog: &Catalog, block: &SelectBlock) -> Result<Evaluated> {
                 _ => None,
             })
             .collect();
-        tuple_ops += joined.len() as u64 + right.len() as u64;
-        joined = ops::equijoin(&joined, right, &on)?;
-        tuple_ops += joined.len() as u64;
+        joined = joined.hash_join_build_right(right, &on);
         joined_tables = i + 1;
     }
 
@@ -182,18 +188,21 @@ fn evaluate_block(catalog: &Catalog, block: &SelectBlock) -> Result<Evaluated> {
         })
         .collect();
     if !residual.is_empty() {
-        tuple_ops += joined.len() as u64;
-        joined = ops::select(&joined, &Expr::And(residual))?;
+        joined = joined.filter_strict(Expr::And(residual));
     }
 
     // 4. Projection.
-    let result = if block.select.is_empty() {
-        joined
-    } else {
+    if !block.select.is_empty() {
         let cols: Vec<usize> = block.select.iter().map(&global).collect();
-        tuple_ops += joined.len() as u64;
-        ops::project(&joined, &cols)?
-    };
+        joined = joined.project(&cols)?;
+    }
+
+    // Run the whole block through the batched executor. Every tuple an
+    // operator produces is server work (a pure scan is not free — the
+    // server still reads every tuple it returns), so the executor's
+    // produced-tuple counter is the server CPU proxy.
+    let (result, stats) = joined.materialize_with(ExecConfig::default())?;
+    let tuple_ops = stats.tuples;
 
     // Rename the result after the query shape for debuggability.
     let named = {
@@ -204,10 +213,6 @@ fn evaluate_block(catalog: &Catalog, block: &SelectBlock) -> Result<Evaluated> {
         }
         out
     };
-
-    // Producing the result rows is itself server work (a pure scan is
-    // not free — the server still reads every tuple it returns).
-    tuple_ops += named.len() as u64;
 
     Ok(Evaluated {
         relation: named,

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct RemoteMetrics {
     requests: AtomicU64,
     tuples_shipped: AtomicU64,
+    batches_shipped: AtomicU64,
     bytes_shipped: AtomicU64,
     server_tuple_ops: AtomicU64,
     simulated_latency_units: AtomicU64,
@@ -30,6 +31,9 @@ pub struct MetricsSnapshot {
     pub requests: u64,
     /// Tuples sent over the simulated wire.
     pub tuples_shipped: u64,
+    /// Buffer-sized batches handed to stream consumers (one channel send
+    /// each; eager submits count one batch per result).
+    pub batches_shipped: u64,
     /// Approximate bytes sent over the simulated wire.
     pub bytes_shipped: u64,
     /// Server-side tuple operations (CPU proxy).
@@ -60,6 +64,7 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             requests: self.requests - earlier.requests,
             tuples_shipped: self.tuples_shipped - earlier.tuples_shipped,
+            batches_shipped: self.batches_shipped - earlier.batches_shipped,
             bytes_shipped: self.bytes_shipped - earlier.bytes_shipped,
             server_tuple_ops: self.server_tuple_ops - earlier.server_tuple_ops,
             simulated_latency_units: self.simulated_latency_units - earlier.simulated_latency_units,
@@ -87,6 +92,10 @@ impl RemoteMetrics {
     pub(crate) fn record_shipment(&self, tuples: u64, bytes: u64) {
         self.tuples_shipped.fetch_add(tuples, Ordering::Relaxed);
         self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self) {
+        self.batches_shipped.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_server_ops(&self, ops: u64) {
@@ -121,6 +130,7 @@ impl RemoteMetrics {
         MetricsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             tuples_shipped: self.tuples_shipped.load(Ordering::Relaxed),
+            batches_shipped: self.batches_shipped.load(Ordering::Relaxed),
             bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
             server_tuple_ops: self.server_tuple_ops.load(Ordering::Relaxed),
             simulated_latency_units: self.simulated_latency_units.load(Ordering::Relaxed),
@@ -138,6 +148,7 @@ impl RemoteMetrics {
     pub fn reset(&self) {
         self.requests.store(0, Ordering::Relaxed);
         self.tuples_shipped.store(0, Ordering::Relaxed);
+        self.batches_shipped.store(0, Ordering::Relaxed);
         self.bytes_shipped.store(0, Ordering::Relaxed);
         self.server_tuple_ops.store(0, Ordering::Relaxed);
         self.simulated_latency_units.store(0, Ordering::Relaxed);

@@ -4,9 +4,11 @@
 //! "The interface also allows pipelining if the DBMS supports it. In that
 //! case, the DBMS starts returning the data before the complete result to
 //! the DBMS query has been processed" (§5.5). [`RemoteDbms::submit_stream`]
-//! models both modes: pipelined delivery hands tuples to the consumer as
-//! they are produced, store-and-forward delivery withholds everything
-//! until the result is complete.
+//! models both modes: pipelined delivery hands buffer-sized *batches* to
+//! the consumer as they are produced (one channel send per batch, matching
+//! the batched executor upstream), store-and-forward delivery withholds
+//! everything until the result is complete. [`RemoteStream`] re-adapts the
+//! batches to the tuple-at-a-time interface the CMS consumes.
 //!
 //! The server can also misbehave on purpose: an installed [`FaultPlan`]
 //! injects transient failures, mid-stream disconnects, latency spikes and
@@ -19,7 +21,8 @@ use crate::engine;
 use crate::error::{RemoteError, Result};
 use crate::fault::{FaultKind, FaultPlan, RequestClock};
 use crate::metrics::{MetricsSnapshot, RemoteMetrics};
-use braid_relational::{Relation, Schema, Tuple};
+use braid_relational::{Relation, Schema, Tuple, TupleBatch};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, RwLock};
@@ -210,7 +213,9 @@ impl RemoteDbms {
                 return Err(RemoteError::Timeout);
             }
             Some(FaultKind::LatencySpike { units }) => {
-                inner.metrics.record_fault(&FaultKind::LatencySpike { units });
+                inner
+                    .metrics
+                    .record_fault(&FaultKind::LatencySpike { units });
                 inner.charge(units, &receipt);
             }
             Some(FaultKind::Disconnect { after_tuples }) => {
@@ -240,6 +245,7 @@ impl RemoteDbms {
         let wire_units = tuples * inner.cost.per_tuple_wire_units
             + (bytes / 64) * inner.cost.per_block_wire_units;
         inner.metrics.record_shipment(tuples, bytes);
+        inner.metrics.record_batch(); // eager: the result is one shipment
         inner.charge(wire_units, &receipt);
 
         if disconnect_after.is_some() {
@@ -296,7 +302,9 @@ impl RemoteDbms {
                 return Err(RemoteError::Timeout);
             }
             Some(FaultKind::LatencySpike { units }) => {
-                inner.metrics.record_fault(&FaultKind::LatencySpike { units });
+                inner
+                    .metrics
+                    .record_fault(&FaultKind::LatencySpike { units });
                 inner.charge(units, &receipt);
             }
             Some(FaultKind::Disconnect { after_tuples }) => {
@@ -324,7 +332,10 @@ impl RemoteDbms {
             tuples.truncate(k);
         }
 
-        let (tx, rx) = sync_channel::<StreamItem>(buffer.max(1));
+        // One channel send carries a whole buffer-sized batch; the channel
+        // itself only needs one slot of lookahead per batch.
+        let batch_size = buffer.max(1);
+        let (tx, rx) = sync_channel::<StreamItem>(1);
         let inner2 = Arc::clone(&inner);
         let receipt2 = Arc::clone(&receipt);
         let handle = thread::Builder::new()
@@ -344,7 +355,7 @@ impl RemoteDbms {
                 if !pipelined {
                     // Store-and-forward: the server produces the complete
                     // result and the full transfer lands in the interface
-                    // buffer before the first tuple is handed over.
+                    // buffer before the first batch is handed over.
                     let server_total = per_tuple_server * tuples.len() as u64;
                     let wire_total: u64 = tuples
                         .iter()
@@ -355,9 +366,11 @@ impl RemoteDbms {
                         .sum();
                     inner2.charge(server_total + wire_total, &receipt2);
                     let total = tuples.len() as u64;
-                    for t in tuples {
-                        m.record_shipment(1, t.approx_size() as u64);
-                        if tx.send(StreamItem::Tuple(t)).is_err() {
+                    for chunk in tuples.chunks(batch_size) {
+                        let bytes: u64 = chunk.iter().map(|t| t.approx_size() as u64).sum();
+                        m.record_shipment(chunk.len() as u64, bytes);
+                        m.record_batch();
+                        if tx.send(StreamItem::Batch(chunk.to_vec())).is_err() {
                             return;
                         }
                     }
@@ -367,39 +380,33 @@ impl RemoteDbms {
                     return;
                 }
                 // Pipelined: per-tuple server production and wire cost are
-                // paid as each tuple streams out. Sleeps are batched to a
-                // ~200µs granularity so OS timer overhead does not inflate
-                // the simulation (the counted units stay exact per tuple).
+                // paid as each batch streams out. Sleeps are realized per
+                // batch so OS timer overhead does not inflate the
+                // simulation (the counted units stay exact per tuple).
                 let unit_micros = match inner2.latency {
                     LatencyModel::Real { unit_micros } => unit_micros,
                     LatencyModel::Counted => 0,
                 };
-                let mut carry: u64 = 0;
                 let mut delivered: u64 = 0;
-                for t in tuples {
-                    let bytes = t.approx_size() as u64;
-                    let wire = inner2.cost.per_tuple_wire_units
+                for chunk in tuples.chunks(batch_size) {
+                    let bytes: u64 = chunk.iter().map(|t| t.approx_size() as u64).sum();
+                    let wire = chunk.len() as u64 * inner2.cost.per_tuple_wire_units
                         + (bytes / 64) * inner2.cost.per_block_wire_units;
-                    let units = per_tuple_server + wire;
-                    m.record_shipment(1, bytes);
+                    let units = per_tuple_server * chunk.len() as u64 + wire;
+                    m.record_shipment(chunk.len() as u64, bytes);
+                    m.record_batch();
                     m.record_latency(units);
                     receipt2.fetch_add(units, Ordering::Relaxed);
-                    if unit_micros > 0 {
-                        carry += units;
-                        if carry * unit_micros >= 200 {
-                            thread::sleep(Duration::from_micros(carry * unit_micros));
-                            carry = 0;
-                        }
+                    if unit_micros > 0 && units > 0 {
+                        thread::sleep(Duration::from_micros(units * unit_micros));
                     }
-                    if tx.send(StreamItem::Tuple(t)).is_err() {
+                    let sent = chunk.len() as u64;
+                    if tx.send(StreamItem::Batch(chunk.to_vec())).is_err() {
                         // Consumer hung up: the IE needed only a prefix of
                         // the answers. Stop producing.
                         return;
                     }
-                    delivered += 1;
-                }
-                if unit_micros > 0 && carry > 0 {
-                    thread::sleep(Duration::from_micros(carry * unit_micros));
+                    delivered += sent;
                 }
                 if cut.is_some() {
                     report_disconnect(delivered);
@@ -410,6 +417,7 @@ impl RemoteDbms {
         Ok(RemoteStream {
             schema,
             rx,
+            pending: VecDeque::new(),
             units: receipt,
             fault: None,
             _producer: handle,
@@ -417,20 +425,24 @@ impl RemoteDbms {
     }
 }
 
-/// What travels over a stream's internal channel: data or a mid-stream
-/// transport fault.
+/// What travels over a stream's internal channel: a batch of data or a
+/// mid-stream transport fault.
 enum StreamItem {
-    Tuple(Tuple),
+    Batch(TupleBatch),
     Fault(RemoteError),
 }
 
 /// A stream of result tuples from the remote DBMS, backed by a bounded
 /// buffer ("the CMS's interface to the remote DBMS provides buffers for
-/// the data returned by the DBMS", §5.5). Dropping the stream early stops
-/// the producer.
+/// the data returned by the DBMS", §5.5). Batches arrive whole over the
+/// channel; the stream hands them out one tuple per
+/// [`RemoteStream::next_tuple`] call. Dropping the stream early stops the
+/// producer.
 pub struct RemoteStream {
     schema: Schema,
     rx: Receiver<StreamItem>,
+    /// Tuples of the last received batch not yet handed to the consumer.
+    pending: VecDeque<Tuple>,
     units: Arc<AtomicU64>,
     fault: Option<RemoteError>,
     _producer: thread::JoinHandle<()>,
@@ -452,16 +464,21 @@ impl RemoteStream {
     /// Returns `None` at end-of-stream *or* on a mid-stream fault; after
     /// `None`, [`RemoteStream::take_error`] distinguishes the two.
     pub fn next_tuple(&mut self) -> Option<Tuple> {
-        if self.fault.is_some() {
-            return None;
-        }
-        match self.rx.recv() {
-            Ok(StreamItem::Tuple(t)) => Some(t),
-            Ok(StreamItem::Fault(e)) => {
-                self.fault = Some(e);
-                None
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Some(t);
             }
-            Err(_) => None,
+            if self.fault.is_some() {
+                return None;
+            }
+            match self.rx.recv() {
+                Ok(StreamItem::Batch(batch)) => self.pending.extend(batch),
+                Ok(StreamItem::Fault(e)) => {
+                    self.fault = Some(e);
+                    return None;
+                }
+                Err(_) => return None,
+            }
         }
     }
 
@@ -540,6 +557,19 @@ mod tests {
         let rel = st.drain().unwrap();
         assert_eq!(rel.len(), 3);
         assert_eq!(s.metrics().tuples_shipped, 3);
+    }
+
+    #[test]
+    fn stream_ships_whole_batches_per_send() {
+        let s = server();
+        // 3 tuples with a 2-tuple buffer: one full batch + one remainder.
+        let st = s.submit_stream(&scan(), 2, true).unwrap();
+        st.drain().unwrap();
+        assert_eq!(s.metrics().batches_shipped, 2);
+        // A buffer covering the whole result ships exactly once.
+        let st = s.submit_stream(&scan(), 16, false).unwrap();
+        st.drain().unwrap();
+        assert_eq!(s.metrics().batches_shipped, 3);
     }
 
     #[test]

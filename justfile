@@ -1,8 +1,14 @@
 # Common developer entry points. `just ci` is what the repo gates on.
 
-# Build, test, clippy -D warnings, E11 smoke run.
+# fmt --check, build, test (incl. executor differential), clippy -D warnings, E11 smoke run.
 ci:
     ./scripts/ci.sh
+
+fmt:
+    cargo fmt --all
+
+fmt-check:
+    cargo fmt --all -- --check
 
 build:
     cargo build --release --workspace

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# The repo's CI gate: build, full test suite, lint-as-error, and a quick
-# smoke run of the fault-tolerance experiment (E11). Run from anywhere.
+# The repo's CI gate: formatting, build, full test suite, the executor
+# differential suite, lint-as-error, and a quick smoke run of the
+# fault-tolerance experiment (E11). Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
 
 echo "==> cargo build --release"
 cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> executor differential suite"
+cargo test --test executor_differential -q
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -61,7 +61,10 @@ fn flaky_link_with_retries_completes_the_whole_workload_exactly() {
     }
 
     let m = sys.metrics();
-    assert!(m.remote.faults_injected > 0, "faults were actually injected");
+    assert!(
+        m.remote.faults_injected > 0,
+        "faults were actually injected"
+    );
     assert!(m.cms.retries > 0, "recovery actually retried");
 }
 
@@ -80,7 +83,10 @@ fn flaky_link_recovery_is_deterministic() {
         let mut sys = sc.system(config(resilience, Some(faults)));
         sc.queries
             .iter()
-            .map(|q| sys.solve_checked(q, STRATEGY).expect("degraded mode never errors"))
+            .map(|q| {
+                sys.solve_checked(q, STRATEGY)
+                    .expect("degraded mode never errors")
+            })
             .collect()
     };
     assert_eq!(run(), run(), "same seed, same workload, same outcomes");
