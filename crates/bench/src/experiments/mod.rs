@@ -13,5 +13,6 @@ pub mod e09_parallel;
 pub mod e10_pipeline;
 pub mod e11_faults;
 pub mod e12_executor;
+pub mod e13_concurrency;
 
 pub(crate) mod support;

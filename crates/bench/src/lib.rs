@@ -36,5 +36,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E10", experiments::e10_pipeline::run),
         ("E11", experiments::e11_faults::run),
         ("E12", experiments::e12_executor::run),
+        ("E13", experiments::e13_concurrency::run),
     ]
 }

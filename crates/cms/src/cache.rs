@@ -18,24 +18,45 @@ use std::collections::{BTreeMap, HashMap};
 
 /// The cache: elements, the subsumption index over their definitions, an
 /// exact-match index, and replacement machinery.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CacheManager {
     elements: BTreeMap<ElemId, CacheElement>,
     engine: SubsumptionEngine,
     exact: HashMap<String, ElemId>,
     next_id: ElemId,
+    id_stride: u64,
     clock: u64,
     capacity_bytes: usize,
     used_bytes: usize,
     evictions: u64,
 }
 
+impl Default for CacheManager {
+    fn default() -> CacheManager {
+        CacheManager::new(0)
+    }
+}
+
 impl CacheManager {
     /// A cache with the given capacity (approximate bytes).
     pub fn new(capacity_bytes: usize) -> CacheManager {
+        CacheManager::with_id_sequence(capacity_bytes, 0, 1)
+    }
+
+    /// A cache issuing element ids `start, start+stride, start+2·stride, …`
+    /// — shard `s` of an N-way [`crate::SharedCache`] uses `(s, N)` so ids
+    /// stay globally unique across shards and `id % N` recovers the shard.
+    pub fn with_id_sequence(capacity_bytes: usize, start: ElemId, stride: u64) -> CacheManager {
         CacheManager {
+            elements: BTreeMap::new(),
+            engine: SubsumptionEngine::default(),
+            exact: HashMap::new(),
+            next_id: start,
+            id_stride: stride.max(1),
+            clock: 0,
             capacity_bytes,
-            ..CacheManager::default()
+            used_bytes: 0,
+            evictions: 0,
         }
     }
 
@@ -93,7 +114,7 @@ impl CacheManager {
                 return None;
             }
         }
-        self.next_id += 1;
+        self.next_id += self.id_stride;
         self.used_bytes += bytes;
         self.exact.insert(Self::exact_key(element.def.query()), id);
         self.engine.insert(id, element.def.clone());
@@ -118,12 +139,14 @@ impl CacheManager {
     }
 
     /// Evict the least-recently-used unpinned element. Returns `false`
-    /// when nothing is evictable.
+    /// when nothing is evictable. Elements with open session pins
+    /// (`pin_count > 0`) are never victims: an open generator may still
+    /// be streaming from them.
     fn evict_one(&mut self) -> bool {
         let victim = self
             .elements
             .values()
-            .filter(|e| !e.pinned)
+            .filter(|e| !e.pinned && e.pin_count == 0)
             .min_by_key(|e| e.last_used)
             .map(|e| e.id);
         match victim {
@@ -190,10 +213,35 @@ impl CacheManager {
 
     /// Set the advice-pinned flags: elements in `pinned` survive
     /// replacement scans ("it is clear that d1 is not the best candidate",
-    /// §4.2.2).
+    /// §4.2.2). Pinning an element also refreshes its LRU stamp: advice
+    /// declaring an element worth keeping is a use signal, and without
+    /// the refresh a just-unpinned element would carry stale recency from
+    /// before it was pinned and be evicted first despite having been
+    /// protected (and presumably served) the whole time.
     pub fn set_pins(&mut self, pinned: &[ElemId]) {
+        let now = self.tick();
         for e in self.elements.values_mut() {
-            e.pinned = pinned.contains(&e.id);
+            let pin = pinned.contains(&e.id);
+            if pin && !e.pinned {
+                e.last_used = now;
+            }
+            e.pinned = pin;
+        }
+    }
+
+    /// Take a session pin on an element: while `pin_count > 0` the
+    /// element cannot be evicted. Callers must pair with
+    /// [`CacheManager::unpin`]. No-op for unknown ids.
+    pub fn pin(&mut self, id: ElemId) {
+        if let Some(e) = self.elements.get_mut(&id) {
+            e.pin_count = e.pin_count.saturating_add(1);
+        }
+    }
+
+    /// Release a session pin taken by [`CacheManager::pin`].
+    pub fn unpin(&mut self, id: ElemId) {
+        if let Some(e) = self.elements.get_mut(&id) {
+            e.pin_count = e.pin_count.saturating_sub(1);
         }
     }
 
@@ -281,6 +329,11 @@ impl CacheManager {
             .map_err(crate::error::CmsError::from)
     }
 
+    /// Cardinality of an element's materialized extension, if any.
+    pub fn cardinality_of(&self, id: ElemId) -> Option<usize> {
+        self.elements.get(&id).and_then(|e| e.cardinality())
+    }
+
     /// Cache-model rows for all elements (§5.3.2's `(E_id, E_def, ...)`).
     pub fn model(&self) -> Vec<ModelRow> {
         self.elements.values().map(ModelRow::of).collect()
@@ -289,6 +342,61 @@ impl CacheManager {
     /// Iterate elements (for the advice manager's pin scoring).
     pub fn elements(&self) -> impl Iterator<Item = &CacheElement> {
         self.elements.values()
+    }
+}
+
+/// The read-side cache interface the planner and monitor run against.
+///
+/// Implemented both by the plain [`CacheManager`] (single-session, `&mut`
+/// ownership) and by the sharded, lock-protected [`crate::SharedCache`]
+/// (N concurrent sessions) — planning and execution are written once,
+/// generic over this trait, so the two ownership models cannot drift.
+pub trait CacheRead {
+    /// All `(component, element, derivation)` reuse options for `q`.
+    fn relevant(&self, q: &ConjunctiveQuery) -> Vec<CandidateUse>;
+    /// Elements subsuming the whole of `q`.
+    fn whole_subsumers(&self, q: &ConjunctiveQuery) -> Vec<(ElemId, Derivation)>;
+    /// Exact-match lookup (canonical up to variable renaming).
+    fn exact_lookup(&self, q: &ConjunctiveQuery) -> Option<ElemId>;
+    /// Cardinality of an element's materialized extension, if any.
+    fn cardinality_of(&self, id: ElemId) -> Option<usize>;
+    /// Eagerly evaluate a derivation over an element.
+    ///
+    /// # Errors
+    /// Returns an error if the element is gone or a projection variable
+    /// is unavailable.
+    fn derive_relation(
+        &self,
+        id: ElemId,
+        derivation: &Derivation,
+        vars: &[&str],
+    ) -> Result<braid_relational::Relation>;
+}
+
+impl CacheRead for CacheManager {
+    fn relevant(&self, q: &ConjunctiveQuery) -> Vec<CandidateUse> {
+        CacheManager::relevant(self, q)
+    }
+
+    fn whole_subsumers(&self, q: &ConjunctiveQuery) -> Vec<(ElemId, Derivation)> {
+        CacheManager::whole_subsumers(self, q)
+    }
+
+    fn exact_lookup(&self, q: &ConjunctiveQuery) -> Option<ElemId> {
+        CacheManager::exact_lookup(self, q)
+    }
+
+    fn cardinality_of(&self, id: ElemId) -> Option<usize> {
+        CacheManager::cardinality_of(self, id)
+    }
+
+    fn derive_relation(
+        &self,
+        id: ElemId,
+        derivation: &Derivation,
+        vars: &[&str],
+    ) -> Result<braid_relational::Relation> {
+        CacheManager::derive_relation(self, id, derivation, vars)
     }
 }
 
@@ -395,6 +503,107 @@ mod tests {
             .unwrap();
         assert!(c.get(a).is_some());
         assert!(c.get(b).is_none());
+    }
+
+    #[test]
+    fn pinning_refreshes_recency() {
+        // The touch/set_pins ordering bug: pin bookkeeping used to leave
+        // `last_used` stale, so an element that had just been unpinned
+        // was evicted ahead of elements it outlived while protected.
+        let unit =
+            CacheElement::materialized(0, def("e(X, Y) :- b1(X, Y)."), rel(3), 0).approx_bytes();
+        let mut c = CacheManager::new(unit * 2 + 64);
+        let a = c
+            .insert(
+                def("a(X, Y) :- b1(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        let b = c
+            .insert(
+                def("b(X, Y) :- b2(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        c.touch(b); // b is now more recent than a…
+        c.set_pins(&[a]); // …but pinning a counts as a use of a.
+        c.set_pins(&[]); // advice withdrawn: both unpinned again.
+        let d = c
+            .insert(
+                def("d(X, Y) :- b3(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        assert!(c.get(b).is_none(), "b is LRU once pinning refreshed a");
+        assert!(c.get(a).is_some(), "pinning a refreshed its recency");
+        assert!(c.get(d).is_some());
+    }
+
+    #[test]
+    fn session_pins_block_eviction_until_released() {
+        let unit =
+            CacheElement::materialized(0, def("e(X, Y) :- b1(X, Y)."), rel(3), 0).approx_bytes();
+        let mut c = CacheManager::new(unit * 2 + 64);
+        let a = c
+            .insert(
+                def("a(X, Y) :- b1(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        let b = c
+            .insert(
+                def("b(X, Y) :- b2(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        c.pin(a);
+        c.pin(a); // two concurrent streams over a
+        let d = c
+            .insert(
+                def("d(X, Y) :- b3(X, Y)."),
+                ElementBuilder::Materialized(rel(3)),
+            )
+            .unwrap();
+        assert!(c.get(a).is_some(), "session-pinned element survives");
+        assert!(c.get(b).is_none(), "unpinned LRU element is the victim");
+        c.unpin(a);
+        assert_eq!(c.get(a).unwrap().pin_count, 1, "one stream still open");
+        c.unpin(a);
+        // Fully released: a is evictable again (and is LRU vs d).
+        let e2 = c.insert(
+            def("f(X, Y) :- b1(X, Z), b2(Z, Y)."),
+            ElementBuilder::Materialized(rel(3)),
+        );
+        assert!(e2.is_some());
+        assert!(c.get(a).is_none(), "released element evicts normally");
+        assert!(c.get(d).is_some());
+    }
+
+    #[test]
+    fn strided_id_sequences_never_collide() {
+        let mut shard0 = CacheManager::with_id_sequence(usize::MAX, 0, 4);
+        let mut shard3 = CacheManager::with_id_sequence(usize::MAX, 3, 4);
+        let a = shard0
+            .insert(
+                def("a(X, Y) :- b1(X, Y)."),
+                ElementBuilder::Materialized(rel(1)),
+            )
+            .unwrap();
+        let b = shard0
+            .insert(
+                def("b(X, Y) :- b2(X, Y)."),
+                ElementBuilder::Materialized(rel(1)),
+            )
+            .unwrap();
+        let c = shard3
+            .insert(
+                def("c(X, Y) :- b3(X, Y)."),
+                ElementBuilder::Materialized(rel(1)),
+            )
+            .unwrap();
+        assert_eq!((a, b, c), (0, 4, 3));
+        assert_eq!(a % 4, 0);
+        assert_eq!(c % 4, 3);
     }
 
     #[test]

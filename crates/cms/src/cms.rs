@@ -8,14 +8,15 @@
 //! stream."
 
 use crate::advice_mgr::AdviceManager;
-use crate::cache::{CacheManager, ElementBuilder};
+use crate::cache::{CacheManager, CacheRead, ElementBuilder};
 use crate::config::CmsConfig;
 use crate::error::{CmsError, Result};
 use crate::metrics::{CmsMetrics, CmsMetricsSnapshot};
 use crate::model::ModelRow;
-use crate::monitor;
+use crate::monitor::{self, ExecEnv, RemoteFlight};
 use crate::planner::{self, PartSource, Plan};
 use crate::resilience::Resilience;
+use crate::shared::{PinGuard, SharedCache};
 use crate::stream::{AnswerStream, Completeness};
 use braid_advice::Advice;
 use braid_caql::{Atom, ConjunctiveQuery, Term};
@@ -25,18 +26,36 @@ use braid_subsume::ViewDef;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-/// The Cache Management System.
-pub struct Cms {
-    config: CmsConfig,
-    cache: CacheManager,
+/// State shared by *every* session of one CMS: the sharded cache, the
+/// remote handle, the metrics sink, the remote statistics snapshot, and
+/// the single-flight table deduplicating concurrent remote fetches.
+/// Everything here is usable through `&self` under its own interior
+/// synchronization.
+pub struct CmsShared {
+    cache: Arc<SharedCache>,
     remote: RemoteDbms,
-    advice: AdviceManager,
     metrics: Arc<CmsMetrics>,
-    result_counter: u64,
     // Snapshot of the remote base-relation statistics ("(a copy of) the
     // remote database schema", §5), used by cost-based placement.
     remote_stats: planner::RemoteStats,
-    // Retry/breaker/degradation policy shared across fetch threads.
+    // Sessions missing concurrently on subsumption-equivalent subqueries
+    // share one remote fetch through this table.
+    flight: RemoteFlight,
+}
+
+/// The Cache Management System: one session's view of the shared state.
+///
+/// The public API is `&mut self` per session, but all cross-session
+/// state lives behind [`CmsShared`]; [`Cms::fork_session`] hands out
+/// additional sessions over the same cache.
+pub struct Cms {
+    config: CmsConfig,
+    shared: Arc<CmsShared>,
+    advice: AdviceManager,
+    result_counter: u64,
+    // Retry/breaker/degradation policy. Per-session on purpose: one
+    // session tripping its breaker must not flip sibling sessions into
+    // degraded mode (their faults may be independent).
     resilience: Resilience,
     // Subqueries that went unanswered in degraded mode since the last
     // `take_missing_subqueries` call (session-level completeness).
@@ -48,17 +67,49 @@ impl Cms {
     pub fn new(remote: RemoteDbms, config: CmsConfig) -> Cms {
         let remote_stats = remote.catalog().stats_snapshot();
         let metrics = Arc::new(CmsMetrics::new());
+        let cache = Arc::new(SharedCache::new(
+            config.cache_capacity_bytes,
+            config.cache_shards,
+            Arc::clone(&metrics),
+        ));
+        let shared = Arc::new(CmsShared {
+            cache,
+            remote,
+            metrics: Arc::clone(&metrics),
+            remote_stats,
+            flight: RemoteFlight::new(),
+        });
         Cms {
-            cache: CacheManager::new(config.cache_capacity_bytes),
             advice: AdviceManager::new(),
-            resilience: Resilience::new(config.resilience.clone(), Arc::clone(&metrics)),
-            metrics,
+            resilience: Resilience::new(config.resilience.clone(), metrics),
             result_counter: 0,
             config,
-            remote,
-            remote_stats,
+            shared,
             session_missing: Vec::new(),
         }
+    }
+
+    /// A new session over the *same* shared cache, remote handle, metrics
+    /// and single-flight table: fresh advice tracker, fresh resilience
+    /// view, fresh completeness bookkeeping. This is how `BraidSystem`
+    /// serves N concurrent sessions against one cache.
+    pub fn fork_session(&self) -> Cms {
+        Cms {
+            advice: AdviceManager::new(),
+            resilience: Resilience::new(
+                self.config.resilience.clone(),
+                Arc::clone(&self.shared.metrics),
+            ),
+            result_counter: 0,
+            config: self.config.clone(),
+            shared: Arc::clone(&self.shared),
+            session_missing: Vec::new(),
+        }
+    }
+
+    /// The shared cache handle (invariant checks in tests and benches).
+    pub fn shared_cache(&self) -> &Arc<SharedCache> {
+        &self.shared.cache
     }
 
     /// Start a session: install the advice bundle (§3).
@@ -66,14 +117,14 @@ impl Cms {
         self.advice.begin_session(advice);
     }
 
-    /// Workstation-side metrics.
+    /// Workstation-side metrics (shared across all sessions).
     pub fn metrics(&self) -> CmsMetricsSnapshot {
-        self.metrics.snapshot()
+        self.shared.metrics.snapshot()
     }
 
     /// The remote server handle (shared, cheap to clone).
     pub fn remote(&self) -> &RemoteDbms {
-        &self.remote
+        &self.shared.remote
     }
 
     /// The resilience policy engine (breaker state introspection).
@@ -91,23 +142,23 @@ impl Cms {
     /// The remote database schema — the IE "can access the schema
     /// information from the DBMS (via the CMS)" (§3).
     pub fn remote_schema(&self, relation: &str) -> Result<Schema> {
-        Ok(self.remote.catalog().schema(relation)?.clone())
+        Ok(self.shared.remote.catalog().schema(relation)?.clone())
     }
 
     /// Export the cache model — the IE "can access cache model
     /// information from the CMS" (§3).
     pub fn cache_model(&self) -> Vec<ModelRow> {
-        self.cache.model()
+        self.shared.cache.model()
     }
 
     /// Number of cached elements.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.shared.cache.len()
     }
 
     /// Cache evictions so far.
     pub fn cache_evictions(&self) -> u64 {
-        self.cache.evictions()
+        self.shared.cache.evictions()
     }
 
     /// Active configuration.
@@ -141,7 +192,7 @@ impl Cms {
     /// # Errors
     /// Propagates planning and execution errors.
     pub fn query(&mut self, q: ConjunctiveQuery) -> Result<AnswerStream> {
-        self.metrics.add_queries(1);
+        self.shared.metrics.add_queries(1);
         self.advice.observe(&q.head);
 
         // [CERI86] baseline mode: buffer whole base relations on first
@@ -155,7 +206,7 @@ impl Cms {
         // segment, the cache cannot already answer, and the path
         // expression predicts reuse.
         if self.config.generalization {
-            let already_answerable = !self.cache.whole_subsumers(&q).is_empty();
+            let already_answerable = !self.shared.cache.whole_subsumers(&q).is_empty();
             if !already_answerable {
                 if let Some((gen, source_view)) = self.advice.generalization_candidate(&q) {
                     // The generalized data pays off when the view whose
@@ -167,23 +218,15 @@ impl Cms {
                         || self.config.generalization_min_predicted_reuse == 0)
                         && self.evaluate_into_cache(&gen, false).is_ok()
                     {
-                        self.metrics.add_generalized(1);
+                        self.shared.metrics.add_generalized(1);
                     }
                 }
             }
         }
 
         // ---- Steps 2–3: plan and execute. ----
-        let mut plan = planner::plan(&q, &self.cache, self.config.subsumption)?;
-        if self.config.cost_based_placement {
-            plan = planner::choose_placement(
-                plan,
-                &self.cache,
-                &self.remote_stats,
-                self.remote.cost_model().request_overhead_units as f64,
-            );
-        }
-        let stream = self.answer_with_plan(&q, plan)?;
+        let (plan, pins) = self.plan_pinned(&q, self.config.subsumption, true)?;
+        let stream = self.answer_with_plan(&q, plan, pins)?;
 
         // ---- Advice-driven follow-ups. ----
         self.apply_replacement_advice();
@@ -193,21 +236,86 @@ impl Cms {
         Ok(stream)
     }
 
+    /// Everything a `monitor::execute` call needs from this session.
+    fn exec_env(&self) -> ExecEnv<'_> {
+        ExecEnv {
+            remote: &self.shared.remote,
+            resilience: &self.resilience,
+            flight: Some(&self.shared.flight),
+            parallel: self.config.parallel_execution,
+            pipelined: self.config.pipelining,
+            buffer: self.config.transfer_buffer_tuples,
+            exec: self.config.exec,
+        }
+    }
+
+    /// Plan a query and *pin* every cache element the plan reads, so a
+    /// concurrent session's eviction cannot invalidate the plan between
+    /// planning and execution. When a planned element has already been
+    /// evicted by the time we try to pin it, the stale plan is discarded
+    /// and planning reruns against the current cache; after a bounded
+    /// number of lost races the query falls back to an all-remote plan
+    /// (planned against an empty cache), which needs no pins at all.
+    fn plan_pinned(
+        &self,
+        q: &ConjunctiveQuery,
+        use_subsumption: bool,
+        cost_based: bool,
+    ) -> Result<(Plan, Vec<PinGuard>)> {
+        for _ in 0..3 {
+            let mut plan = planner::plan(q, &*self.shared.cache, use_subsumption)?;
+            if cost_based && self.config.cost_based_placement {
+                plan = planner::choose_placement(
+                    plan,
+                    &*self.shared.cache,
+                    &self.shared.remote_stats,
+                    self.shared.remote.cost_model().request_overhead_units as f64,
+                );
+            }
+            if let Some(pins) = self.pin_plan(&plan) {
+                return Ok((plan, pins));
+            }
+        }
+        let empty = CacheManager::new(0);
+        Ok((planner::plan(q, &empty, false)?, Vec::new()))
+    }
+
+    /// Pin every cache element a plan references. `None` when any element
+    /// has vanished (the pins taken so far release on drop).
+    fn pin_plan(&self, plan: &Plan) -> Option<Vec<PinGuard>> {
+        let mut pins = Vec::new();
+        for part in plan.parts.iter().chain(plan.neg_parts.iter()) {
+            if let PartSource::Cache { element, .. } = &part.source {
+                pins.push(self.shared.cache.try_pin(*element)?);
+            }
+        }
+        Some(pins)
+    }
+
     /// Plan → (lazy | eager) answer, with result caching and index advice.
-    fn answer_with_plan(&mut self, q: &ConjunctiveQuery, plan: Plan) -> Result<AnswerStream> {
+    /// `pins` hold the plan's cache elements resident; the eager path
+    /// releases them once the result is materialized, the lazy path moves
+    /// them into the answer stream so they outlive this call.
+    fn answer_with_plan(
+        &mut self,
+        q: &ConjunctiveQuery,
+        plan: Plan,
+        pins: Vec<PinGuard>,
+    ) -> Result<AnswerStream> {
         let all_cache = plan.all_cache();
         if all_cache {
-            self.metrics.add_full_cache(1);
+            self.shared.metrics.add_full_cache(1);
         } else if plan.parts.iter().any(crate::planner::PlanPart::is_cache) {
-            self.metrics.add_partial_cache(1);
+            self.shared.metrics.add_partial_cache(1);
         }
-        self.metrics
+        self.shared
+            .metrics
             .add_remote_subqueries(plan.remote_parts() as u64);
 
         // Touch used elements (LRU + hit statistics).
         for part in &plan.parts {
             if let crate::planner::PartSource::Cache { element, .. } = &part.source {
-                self.cache.touch(*element);
+                self.shared.cache.touch(*element);
             }
         }
 
@@ -234,24 +342,24 @@ impl Cms {
                 // already (whole-query component carries them) and no
                 // anti-joins may be pending, so the generator is complete.
                 if plan.residual_cmps.is_empty() && plan.neg_parts.is_empty() {
-                    let g = self.cache.derive(*element, derivation, &head_vars)?;
-                    self.metrics.add_lazy(1);
-                    return Ok(AnswerStream::lazy(g.open_with(self.config.exec)));
+                    let g = self.shared.cache.derive(*element, derivation, &head_vars)?;
+                    self.shared.metrics.add_lazy(1);
+                    // The stream keeps the pins: the generator reads the
+                    // element's (Arc-shared) extension, and the pin keeps
+                    // concurrent eviction from dropping the element — and
+                    // with it the cache's claim the data is resident —
+                    // while the IE is still pulling tuples.
+                    return Ok(AnswerStream::lazy_pinned(
+                        g.open_with(self.config.exec),
+                        pins,
+                    ));
                 }
             }
         }
 
-        // Eager path: execute the full plan.
-        let executed = match monitor::execute(
-            &plan,
-            &self.cache,
-            &self.remote,
-            &self.resilience,
-            self.config.parallel_execution,
-            self.config.pipelining,
-            self.config.transfer_buffer_tuples,
-            self.config.exec,
-        ) {
+        // Eager path: execute the full plan (pins stay held across the
+        // execution, then release when this function returns).
+        let executed = match monitor::execute(&plan, &*self.shared.cache, &self.exec_env()) {
             Ok(ex) => ex,
             // Graceful degradation (§ failure model, DESIGN.md): the
             // remote stayed unreachable through every retry. Answer from
@@ -261,8 +369,9 @@ impl Cms {
             }
             Err(e) => return Err(e),
         };
-        self.metrics.add_local_ops(executed.local_tuple_ops);
-        self.metrics.add_exec_stats(executed.exec_stats);
+        drop(pins);
+        self.shared.metrics.add_local_ops(executed.local_tuple_ops);
+        self.shared.metrics.add_exec_stats(executed.exec_stats);
 
         let vars: Vec<String> = executed
             .joined
@@ -280,7 +389,7 @@ impl Cms {
 
         let head = monitor::project_head(&executed.joined, &vars, &q.head)?;
         let tuples = head.to_vec();
-        self.metrics.add_tuples_to_ie(tuples.len() as u64);
+        self.shared.metrics.add_tuples_to_ie(tuples.len() as u64);
         Ok(AnswerStream::eager(head.schema().clone(), tuples))
     }
 
@@ -302,7 +411,7 @@ impl Cms {
                 missing.push(desc.join(" & "));
             }
         }
-        self.metrics.add_degraded(1);
+        self.shared.metrics.add_degraded(1);
         self.session_missing.extend(missing.iter().cloned());
 
         let names: Vec<String> = (0..q.head.arity()).map(|i| format!("h{i}")).collect();
@@ -338,18 +447,15 @@ impl Cms {
             aq.head.pred = "_".to_string();
             aq.canonical_key()
         }];
-        let Some(id) = self.cache.insert_with_aliases(
+        let (id, evicted) = self.shared.cache.insert_with_aliases(
             def,
             ElementBuilder::Materialized(joined.clone()),
             &aliases,
-        ) else {
+        );
+        self.shared.metrics.add_evictions(evicted);
+        let Some(id) = id else {
             return;
         };
-        self.metrics.add_evictions(
-            self.cache
-                .evictions()
-                .saturating_sub(self.metrics.snapshot().evictions),
-        );
 
         // Index advice (§4.2.1/§5.3.3): if this element can serve a view
         // specification's body component whose variables carry consumer
@@ -359,50 +465,60 @@ impl Cms {
         // specifications)".
         if self.config.index_advice {
             let _ = vars;
-            let mut to_index: Vec<usize> = Vec::new();
-            if let Some(e) = self.cache.get(id) {
-                for spec in &self.advice.advice().view_specs {
-                    let consumers: Vec<String> = spec
-                        .params
-                        .iter()
-                        .filter(|(_, a)| *a == braid_advice::Annotation::Consumer)
-                        .filter_map(|(t, _)| t.as_var().map(str::to_string))
-                        .collect();
-                    if consumers.is_empty() {
-                        continue;
-                    }
-                    let sq = spec.to_query();
-                    for comp in braid_subsume::decompose(&sq) {
-                        let comp_vars = comp.vars();
-                        let wanted: Vec<&str> = consumers
+            let advice = self.advice.advice();
+            let to_index: Vec<usize> = self
+                .shared
+                .cache
+                .with_element(id, |e| {
+                    let mut to_index: Vec<usize> = Vec::new();
+                    for spec in &advice.view_specs {
+                        let consumers: Vec<String> = spec
+                            .params
                             .iter()
-                            .map(String::as_str)
-                            .filter(|v| comp_vars.contains(*v))
+                            .filter(|(_, a)| *a == braid_advice::Annotation::Consumer)
+                            .filter_map(|(t, _)| t.as_var().map(str::to_string))
                             .collect();
-                        if wanted.is_empty() {
+                        if consumers.is_empty() {
                             continue;
                         }
-                        if let Some(d) = braid_subsume::subsumes(&e.def, &comp, &wanted) {
-                            for v in &wanted {
-                                if let Some(c) = d.var_cols.get(*v) {
-                                    if !to_index.contains(c) {
-                                        to_index.push(*c);
+                        let sq = spec.to_query();
+                        for comp in braid_subsume::decompose(&sq) {
+                            let comp_vars = comp.vars();
+                            let wanted: Vec<&str> = consumers
+                                .iter()
+                                .map(String::as_str)
+                                .filter(|v| comp_vars.contains(*v))
+                                .collect();
+                            if wanted.is_empty() {
+                                continue;
+                            }
+                            if let Some(d) = braid_subsume::subsumes(&e.def, &comp, &wanted) {
+                                for v in &wanted {
+                                    if let Some(c) = d.var_cols.get(*v) {
+                                        if !to_index.contains(c) {
+                                            to_index.push(*c);
+                                        }
                                     }
                                 }
                             }
                         }
                     }
-                }
-            }
+                    to_index
+                })
+                .unwrap_or_default();
             if !to_index.is_empty() {
-                if let Some(e) = self.cache.get_mut(id) {
+                if let Some((built, evicted)) = self.shared.cache.with_element_mut(id, |e| {
+                    let mut built = 0u64;
                     for c in to_index {
                         if e.ensure_index(&[c]).unwrap_or(false) {
-                            self.metrics.add_indices(1);
+                            built += 1;
                         }
                     }
+                    built
+                }) {
+                    self.shared.metrics.add_indices(built);
+                    self.shared.metrics.add_evictions(evicted);
                 }
-                self.cache.reconcile_bytes();
             }
         }
     }
@@ -411,7 +527,7 @@ impl Cms {
     /// and prefetching). Skips evaluation when the cache already subsumes
     /// it.
     fn evaluate_into_cache(&mut self, q: &ConjunctiveQuery, count_prefetch: bool) -> Result<()> {
-        if !self.cache.whole_subsumers(q).is_empty() {
+        if !self.shared.cache.whole_subsumers(q).is_empty() {
             return Ok(());
         }
         // §5.1's storage criterion (c): do not speculatively fetch an
@@ -419,28 +535,21 @@ impl Cms {
         // available for storage of the extension". Estimated via the
         // remote statistics; ~48 bytes/tuple matches the synthetic data.
         let atoms: Vec<braid_caql::Atom> = q.positive_atoms().into_iter().cloned().collect();
-        let est_tuples = planner::estimate_conjunction(&atoms, &self.remote_stats);
+        let est_tuples = planner::estimate_conjunction(&atoms, &self.shared.remote_stats);
         let est_bytes = est_tuples * 48.0;
         if est_bytes > self.config.cache_capacity_bytes as f64 {
             return Ok(());
         }
-        let plan = planner::plan(q, &self.cache, self.config.subsumption)?;
+        let (plan, pins) = self.plan_pinned(q, self.config.subsumption, false)?;
         if plan.all_cache() {
             return Ok(());
         }
-        let executed = monitor::execute(
-            &plan,
-            &self.cache,
-            &self.remote,
-            &self.resilience,
-            self.config.parallel_execution,
-            self.config.pipelining,
-            self.config.transfer_buffer_tuples,
-            self.config.exec,
-        )?;
-        self.metrics.add_local_ops(executed.local_tuple_ops);
-        self.metrics.add_exec_stats(executed.exec_stats);
-        self.metrics
+        let executed = monitor::execute(&plan, &*self.shared.cache, &self.exec_env())?;
+        drop(pins);
+        self.shared.metrics.add_local_ops(executed.local_tuple_ops);
+        self.shared.metrics.add_exec_stats(executed.exec_stats);
+        self.shared
+            .metrics
             .add_remote_subqueries(executed.remote_subqueries);
         let vars: Vec<String> = executed
             .joined
@@ -451,7 +560,7 @@ impl Cms {
             .collect();
         self.cache_result(q, &executed.joined, &vars);
         if count_prefetch {
-            self.metrics.add_prefetched(1);
+            self.shared.metrics.add_prefetched(1);
         }
         Ok(())
     }
@@ -463,13 +572,11 @@ impl Cms {
             return;
         }
         let views: BTreeSet<String> = self.advice.pinned_views(self.config.pin_horizon);
-        let pinned: Vec<crate::element::ElemId> = self
+        let pinned = self
+            .shared
             .cache
-            .elements()
-            .filter(|e| views.contains(e.def.name()))
-            .map(|e| e.id)
-            .collect();
-        self.cache.set_pins(&pinned);
+            .ids_matching(|e| views.contains(e.def.name()));
+        self.shared.cache.set_pins(&pinned);
     }
 
     /// Fetch-and-cache the full extension of every base relation the
@@ -486,31 +593,24 @@ impl Cms {
             })
             .collect();
         for (pred, arity) in preds {
-            if self.remote.catalog().schema(&pred).is_err() {
+            if self.shared.remote.catalog().schema(&pred).is_err() {
                 continue; // not a base relation
             }
             let args: Vec<Term> = (0..arity).map(|i| Term::Var(format!("W{i}"))).collect();
             let head = Atom::new(format!("whole_{pred}"), args.clone());
             let whole =
                 ConjunctiveQuery::new(head, vec![braid_caql::Literal::Atom(Atom::new(pred, args))]);
-            if self.cache.whole_subsumers(&whole).is_empty() {
-                let plan = planner::plan(&whole, &self.cache, true)?;
+            if self.shared.cache.whole_subsumers(&whole).is_empty() {
+                let (plan, pins) = self.plan_pinned(&whole, true, false)?;
                 if plan.all_cache() {
                     continue;
                 }
-                let executed = monitor::execute(
-                    &plan,
-                    &self.cache,
-                    &self.remote,
-                    &self.resilience,
-                    self.config.parallel_execution,
-                    self.config.pipelining,
-                    self.config.transfer_buffer_tuples,
-                    self.config.exec,
-                )?;
-                self.metrics.add_local_ops(executed.local_tuple_ops);
-                self.metrics.add_exec_stats(executed.exec_stats);
-                self.metrics
+                let executed = monitor::execute(&plan, &*self.shared.cache, &self.exec_env())?;
+                drop(pins);
+                self.shared.metrics.add_local_ops(executed.local_tuple_ops);
+                self.shared.metrics.add_exec_stats(executed.exec_stats);
+                self.shared
+                    .metrics
                     .add_remote_subqueries(executed.remote_subqueries);
                 let vars: Vec<String> = executed
                     .joined
@@ -541,8 +641,8 @@ impl Cms {
 impl std::fmt::Debug for Cms {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cms")
-            .field("cache_elements", &self.cache.len())
-            .field("cache_bytes", &self.cache.used_bytes())
+            .field("cache_elements", &self.shared.cache.len())
+            .field("cache_bytes", &self.shared.cache.used_bytes())
             .field("config", &self.config)
             .finish()
     }

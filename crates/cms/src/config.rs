@@ -14,6 +14,12 @@ use braid_relational::ExecConfig;
 pub struct CmsConfig {
     /// Cache capacity in approximate bytes. `usize::MAX` ⇒ unbounded.
     pub cache_capacity_bytes: usize,
+    /// Number of shared-cache shards (each behind its own `RwLock`),
+    /// with capacity split evenly between them. 1 (the default) keeps
+    /// the whole cache in a single shard so single-session capacity
+    /// behaviour is byte-identical to the unsharded CMS; concurrent
+    /// multi-session runs raise this to reduce lock contention.
+    pub cache_shards: usize,
     /// Cache the results of evaluated queries (§5.3 "result caching").
     pub result_caching: bool,
     /// Reuse cached elements via subsumption and local compensation
@@ -72,6 +78,7 @@ impl Default for CmsConfig {
     fn default() -> Self {
         CmsConfig {
             cache_capacity_bytes: usize::MAX,
+            cache_shards: 1,
             result_caching: true,
             subsumption: true,
             generalization: true,
@@ -98,6 +105,7 @@ impl CmsConfig {
     pub fn loose_coupling() -> Self {
         CmsConfig {
             cache_capacity_bytes: 0,
+            cache_shards: 1,
             result_caching: false,
             subsumption: false,
             generalization: false,
@@ -200,6 +208,12 @@ impl CmsConfig {
         self
     }
 
+    /// Set the shared-cache shard count (clamped ≥ 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
     /// Toggle §5.3.3 cost-based placement.
     pub fn with_cost_based_placement(mut self, on: bool) -> Self {
         self.cost_based_placement = on;
@@ -242,6 +256,14 @@ mod tests {
         assert!(!c.subsumption);
         assert_eq!(c.cache_capacity_bytes, 1024);
         assert!(c.prefetching);
+    }
+
+    #[test]
+    fn shard_knob_defaults_to_one_and_clamps() {
+        assert_eq!(CmsConfig::braid().cache_shards, 1);
+        assert_eq!(CmsConfig::loose_coupling().cache_shards, 1);
+        assert_eq!(CmsConfig::braid().with_shards(0).cache_shards, 1);
+        assert_eq!(CmsConfig::braid().with_shards(4).cache_shards, 4);
     }
 
     #[test]

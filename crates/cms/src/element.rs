@@ -59,6 +59,12 @@ pub struct CacheElement {
     pub hits: u64,
     /// Whether advice pinned this element against replacement.
     pub pinned: bool,
+    /// Count of open sessions streaming from this element. A non-zero
+    /// count blocks eviction so a concurrent replacement scan cannot
+    /// invalidate an open `RunningPlan` mid-stream (snapshot-consistent
+    /// reads). Distinct from the advice `pinned` flag: advice pins are
+    /// policy, session pins are correctness.
+    pub pin_count: u32,
     /// Alternative *sorted* representations over the extension, keyed by
     /// the ascending/descending column spec — "consider, for example, the
     /// case where alternative sortings are required" (§5.2). Views are
@@ -76,6 +82,7 @@ impl CacheElement {
             last_used: now,
             hits: 0,
             pinned: false,
+            pin_count: 0,
             sorted: BTreeMap::new(),
         }
     }
@@ -89,6 +96,7 @@ impl CacheElement {
             last_used: now,
             hits: 0,
             pinned: false,
+            pin_count: 0,
             sorted: BTreeMap::new(),
         }
     }

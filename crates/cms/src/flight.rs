@@ -1,0 +1,234 @@
+//! Single-flight deduplication of remote fetches.
+//!
+//! When two sessions miss the cache on subsumption-equivalent subqueries
+//! at the same time, the translated SQL they would ship to the server is
+//! identical. Issuing it twice doubles the server's tuple operations for
+//! no information gain — so the first session to arrive *leads* the
+//! flight and actually fetches, while later arrivals *join* it: they
+//! block on the same in-flight entry and share the leader's result
+//! (success or error), counted as `dedup_hits` in
+//! [`crate::CmsMetrics`].
+//!
+//! Protocol:
+//! 1. Lock the flight map. If the key is absent, insert a fresh
+//!    [`Flight`] and become leader; otherwise clone its `Arc`, bump the
+//!    waiter count, and become a joiner. The map lock is released before
+//!    any fetching or waiting, so flights for different keys proceed
+//!    fully in parallel.
+//! 2. The leader runs the fetch closure (the *entire* resilience
+//!    retry/breaker loop — joiners share the final outcome, not an
+//!    intermediate failure), publishes the result under the flight's
+//!    mutex, removes the map entry, and notifies the condvar.
+//! 3. Joiners block on the condvar until the result is published.
+//!
+//! The leader removes the key *before* notifying, so a session arriving
+//! after completion starts a fresh flight — results are never reused
+//! across time, only shared within one overlapping window (the cache,
+//! not the flight table, is the store of record).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The outcome shared between a flight's leader and its joiners.
+pub type FlightResult<T, E> = std::result::Result<T, E>;
+
+#[derive(Debug)]
+struct Flight<T, E> {
+    done: Mutex<Option<FlightResult<T, E>>>,
+    cv: Condvar,
+    waiters: Mutex<usize>,
+}
+
+/// The single-flight table, keyed by translated remote-SQL text.
+#[derive(Debug)]
+pub struct SingleFlight<T, E> {
+    inflight: Mutex<HashMap<String, Arc<Flight<T, E>>>>,
+}
+
+impl<T, E> Default for SingleFlight<T, E> {
+    fn default() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<T: Clone, E: Clone> SingleFlight<T, E> {
+    /// Fresh, empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sessions currently waiting on `key`'s flight (0 when no
+    /// flight is open). Deterministic test hook: a leader can hold its
+    /// fetch open until a joiner has provably arrived.
+    pub fn waiter_count(&self, key: &str) -> usize {
+        let map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        map.get(key)
+            .map_or(0, |f| *f.waiters.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Is a flight currently open for `key`? Deterministic test hook: a
+    /// would-be joiner can wait until the leader has registered.
+    pub fn in_flight(&self, key: &str) -> bool {
+        let map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        map.contains_key(key)
+    }
+
+    /// Run `fetch` under single-flight semantics for `key`. Returns the
+    /// result plus `true` when this call led the flight (actually
+    /// fetched) or `false` when it joined an in-flight fetch.
+    pub fn run(
+        &self,
+        key: &str,
+        fetch: impl FnOnce() -> FlightResult<T, E>,
+    ) -> (FlightResult<T, E>, bool) {
+        let flight = {
+            let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(f) = map.get(key) {
+                let f = Arc::clone(f);
+                *f.waiters.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+                Some(f)
+            } else {
+                map.insert(
+                    key.to_string(),
+                    Arc::new(Flight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                        waiters: Mutex::new(0),
+                    }),
+                );
+                None
+            }
+        };
+
+        match flight {
+            None => {
+                // Leader: fetch with no locks held, publish, then retire
+                // the key so later sessions re-fetch fresh data.
+                let result = fetch();
+                let flight = {
+                    let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+                    map.remove(key).expect("leader's flight entry present")
+                };
+                *flight.done.lock().unwrap_or_else(|p| p.into_inner()) = Some(result.clone());
+                flight.cv.notify_all();
+                (result, true)
+            }
+            Some(f) => {
+                // Joiner: block until the leader publishes.
+                let mut done = f.done.lock().unwrap_or_else(|p| p.into_inner());
+                while done.is_none() {
+                    done = f.cv.wait(done).unwrap_or_else(|p| p.into_inner());
+                }
+                (done.clone().expect("published above"), false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn solo_flight_leads_and_returns() {
+        let sf: SingleFlight<u32, String> = SingleFlight::new();
+        let (r, led) = sf.run("k", || Ok(7));
+        assert_eq!(r, Ok(7));
+        assert!(led);
+        assert_eq!(sf.waiter_count("k"), 0, "entry retired after the fetch");
+    }
+
+    #[test]
+    fn sequential_calls_both_lead() {
+        // The flight table shares only *overlapping* fetches: once a
+        // flight lands, the next call re-fetches (the cache is the store
+        // of record, not the flight table).
+        let sf: SingleFlight<u32, String> = SingleFlight::new();
+        let fetches = AtomicUsize::new(0);
+        let mut led_count = 0;
+        for _ in 0..2 {
+            let (_, led) = sf.run("k", || {
+                fetches.fetch_add(1, Ordering::SeqCst);
+                Ok(1)
+            });
+            led_count += usize::from(led);
+        }
+        assert_eq!(fetches.load(Ordering::SeqCst), 2);
+        assert_eq!(led_count, 2);
+    }
+
+    #[test]
+    fn concurrent_joiner_shares_the_leaders_result() {
+        // Deterministic overlap: the leader's fetch refuses to complete
+        // until the joiner has provably joined (waiter_count hook).
+        let sf: Arc<SingleFlight<u32, String>> = Arc::new(SingleFlight::new());
+        let fetches = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let leader = {
+                let sf = Arc::clone(&sf);
+                let fetches = Arc::clone(&fetches);
+                s.spawn(move || {
+                    sf.run("k", || {
+                        fetches.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open until the joiner arrives.
+                        while sf.waiter_count("k") == 0 {
+                            std::thread::yield_now();
+                        }
+                        Ok(42)
+                    })
+                })
+            };
+            // Wait until the leader's flight is registered, then join it.
+            while !sf.in_flight("k") {
+                std::thread::yield_now();
+            }
+            let (r, led) = sf.run("k", || {
+                fetches.fetch_add(1, Ordering::SeqCst);
+                Ok(0) // must never run
+            });
+            let (lr, lled) = leader.join().unwrap();
+            assert_eq!(fetches.load(Ordering::SeqCst), 1, "exactly one fetch");
+            assert_eq!(r, Ok(42), "joiner sees the leader's value");
+            assert_eq!(lr, Ok(42));
+            assert!(lled);
+            assert!(!led, "second session joined, not led");
+        });
+    }
+
+    #[test]
+    fn errors_broadcast_to_joiners() {
+        let sf: Arc<SingleFlight<u32, String>> = Arc::new(SingleFlight::new());
+        std::thread::scope(|s| {
+            let leader = {
+                let sf = Arc::clone(&sf);
+                s.spawn(move || {
+                    sf.run("k", || {
+                        while sf.waiter_count("k") == 0 {
+                            std::thread::yield_now();
+                        }
+                        Err("boom".to_string())
+                    })
+                })
+            };
+            while !sf.in_flight("k") {
+                std::thread::yield_now();
+            }
+            let (r, led) = sf.run("k", || Ok(1));
+            let (lr, _) = leader.join().unwrap();
+            assert_eq!(lr, Err("boom".to_string()));
+            assert!(!led, "arrived while the leader's flight was open");
+            assert_eq!(r, Err("boom".to_string()), "joiners share the error");
+        });
+    }
+
+    #[test]
+    fn distinct_keys_do_not_interfere() {
+        let sf: SingleFlight<u32, String> = SingleFlight::new();
+        let (a, _) = sf.run("a", || Ok(1));
+        let (b, _) = sf.run("b", || Ok(2));
+        assert_eq!((a, b), (Ok(1), Ok(2)));
+    }
+}

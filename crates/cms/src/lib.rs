@@ -35,19 +35,25 @@ pub mod cms;
 pub mod config;
 pub mod element;
 pub mod error;
+pub mod flight;
 pub mod metrics;
 pub mod model;
 pub mod monitor;
 pub mod planner;
 pub mod rdi;
 pub mod resilience;
+pub mod shared;
 pub mod stream;
 
+pub use cache::CacheRead;
 pub use cms::Cms;
 pub use config::CmsConfig;
 pub use element::{CacheElement, ElemId, Repr};
 pub use error::{CmsError, Result};
+pub use flight::SingleFlight;
 pub use metrics::{CmsMetrics, CmsMetricsSnapshot};
+pub use monitor::RemoteFlight;
 pub use planner::{PartSource, Plan, PlanPart};
 pub use resilience::{Resilience, ResilienceConfig};
+pub use shared::{PinGuard, SharedCache};
 pub use stream::{AnswerStream, Completeness};

@@ -30,6 +30,9 @@ pub struct CmsMetrics {
     breaker_opens: AtomicU64,
     breaker_rejections: AtomicU64,
     degraded_answers: AtomicU64,
+    flight_fetches: AtomicU64,
+    dedup_hits: AtomicU64,
+    shard_lock_waits: AtomicU64,
 }
 
 /// Snapshot of [`CmsMetrics`].
@@ -76,6 +79,16 @@ pub struct CmsMetricsSnapshot {
     /// Queries answered in degraded (cache-only) mode with a
     /// `Partial` completeness tag.
     pub degraded_answers: u64,
+    /// Remote fetches actually issued through the single-flight layer
+    /// (each one led a flight other sessions could join).
+    pub flight_fetches: u64,
+    /// Remote fetches avoided because a subsumption-equivalent fetch was
+    /// already in flight — the session joined it instead of duplicating
+    /// the server work.
+    pub dedup_hits: u64,
+    /// Contended shared-cache shard-lock acquisitions (a `try_lock`
+    /// failed before blocking) — the lock-wait proxy reported by E13.
+    pub shard_lock_waits: u64,
 }
 
 macro_rules! bump {
@@ -111,6 +124,9 @@ bump! {
     add_breaker_opens => breaker_opens,
     add_breaker_rejections => breaker_rejections,
     add_degraded => degraded_answers,
+    add_flight_fetches => flight_fetches,
+    add_dedup_hits => dedup_hits,
+    add_shard_lock_waits => shard_lock_waits,
 }
 
 impl CmsMetrics {
@@ -149,6 +165,9 @@ impl CmsMetrics {
             breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
             breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
             degraded_answers: self.degraded_answers.load(Ordering::Relaxed),
+            flight_fetches: self.flight_fetches.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            shard_lock_waits: self.shard_lock_waits.load(Ordering::Relaxed),
         }
     }
 
@@ -175,6 +194,9 @@ impl CmsMetrics {
             &self.breaker_opens,
             &self.breaker_rejections,
             &self.degraded_answers,
+            &self.flight_fetches,
+            &self.dedup_hits,
+            &self.shard_lock_waits,
         ] {
             c.store(0, Ordering::Relaxed);
         }

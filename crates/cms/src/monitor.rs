@@ -8,14 +8,43 @@
 //! while cache parts evaluate locally; the joins, residual selections and
 //! projection happen afterwards on the workstation.
 
-use crate::cache::CacheManager;
+use crate::cache::CacheRead;
 use crate::error::{CmsError, Result};
+use crate::flight::SingleFlight;
 use crate::planner::{PartSource, Plan, PlanPart};
 use crate::rdi;
 use crate::resilience::Resilience;
 use braid_caql::{ArithExpr, Comparison, Term};
 use braid_relational::{ExecConfig, ExecStats, Expr, PhysicalPlan, Relation, Schema, Tuple};
 use braid_remote::{RemoteDbms, RemoteError};
+
+/// The single-flight table specialized to remote part fetches: the shared
+/// value is the `(vars, relation)` a fetch produces, errors are broadcast
+/// to joiners as-is.
+pub type RemoteFlight = SingleFlight<(Vec<String>, Relation), CmsError>;
+
+/// Everything a plan execution needs besides the plan and the cache —
+/// bundling the remote handle, resilience policy, optional single-flight
+/// table and transfer knobs keeps [`execute`]'s signature stable as the
+/// environment grows.
+#[derive(Clone, Copy)]
+pub struct ExecEnv<'a> {
+    /// The remote server handle.
+    pub remote: &'a RemoteDbms,
+    /// Retry/breaker/deadline policy (shared across fetch threads).
+    pub resilience: &'a Resilience,
+    /// Single-flight dedup table; `None` runs every fetch directly
+    /// (single-session mode).
+    pub flight: Option<&'a RemoteFlight>,
+    /// Fan remote fetches out to worker threads.
+    pub parallel: bool,
+    /// Pipelined (vs. buffered) remote transfer.
+    pub pipelined: bool,
+    /// Transfer buffer size in tuples.
+    pub buffer: usize,
+    /// Local batched-executor configuration.
+    pub exec: ExecConfig,
+}
 
 /// The result of executing a plan: the joined relation (columns named by
 /// query variables) plus workstation-side work accounting.
@@ -34,33 +63,29 @@ pub struct Executed {
 
 /// Execute every part of a plan and join the results.
 ///
-/// `parallel` runs remote parts concurrently (§5 feature (e)); `pipelined`
-/// and `buffer` control the transfer mode of each remote stream (§5.5).
-/// Every remote fetch goes through `resilience` (retry/backoff, deadline,
-/// circuit breaker) — the breaker state is shared across the parallel
-/// fetch threads.
+/// `env.parallel` runs remote parts concurrently (§5 feature (e));
+/// `env.pipelined` and `env.buffer` control the transfer mode of each
+/// remote stream (§5.5). Every remote fetch goes through
+/// `env.resilience` (retry/backoff, deadline, circuit breaker) — the
+/// breaker state is shared across the parallel fetch threads — and, when
+/// `env.flight` is set, through the single-flight table so concurrent
+/// sessions fetching the same translated subquery share one round trip.
+///
+/// The cache is any [`CacheRead`] implementation: the single-session
+/// [`crate::cache::CacheManager`] or the concurrent
+/// [`crate::SharedCache`].
 ///
 /// Once all parts are in hand, the local work — joins, residual
 /// selections, negation anti-joins — is assembled into **one**
 /// [`PhysicalPlan`] (a left-deep chain where each later part is the hash
 /// build side and the pipeline streams as probe) and executed by the
-/// batched executor with the configuration in `exec_cfg`; its work
+/// batched executor with the configuration in `env.exec`; its work
 /// counters come back in [`Executed::exec_stats`].
 ///
 /// # Errors
 /// Propagates translation, remote and local evaluation errors. Remote
 /// transport faults surface only after the resilience policy gives up.
-#[allow(clippy::too_many_arguments)]
-pub fn execute(
-    plan: &Plan,
-    cache: &CacheManager,
-    remote: &RemoteDbms,
-    resilience: &Resilience,
-    parallel: bool,
-    pipelined: bool,
-    buffer: usize,
-    exec_cfg: ExecConfig,
-) -> Result<Executed> {
+pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Result<Executed> {
     let mut local_ops: u64 = 0;
     let mut remote_count: u64 = 0;
 
@@ -75,18 +100,28 @@ pub fn execute(
         .collect();
     remote_count += remote_jobs.len() as u64;
 
-    if parallel && remote_jobs.len() > 1 {
+    if env.parallel && remote_jobs.len() > 1 {
         // Fan the remote fetches out; cache parts run on this thread in
         // the meantime.
+        let env = *env;
         std::thread::scope(|s| -> Result<()> {
             let mut handles = Vec::new();
             for (idx, part) in &remote_jobs {
                 let part = (*part).clone();
-                let remote = remote.clone();
+                let remote = env.remote.clone();
                 let idx = *idx;
                 handles.push((
                     idx,
-                    s.spawn(move || fetch_remote(&part, &remote, resilience, pipelined, buffer)),
+                    s.spawn(move || {
+                        fetch_remote(
+                            &part,
+                            &remote,
+                            env.resilience,
+                            env.flight,
+                            env.pipelined,
+                            env.buffer,
+                        )
+                    }),
                 ));
             }
             // Cache parts while remote is in flight.
@@ -108,7 +143,14 @@ pub fn execute(
             results[idx] = Some(if part.is_cache() {
                 eval_cache_part(part, cache, &mut local_ops)?
             } else {
-                fetch_remote(part, remote, resilience, pipelined, buffer)?
+                fetch_remote(
+                    part,
+                    env.remote,
+                    env.resilience,
+                    env.flight,
+                    env.pipelined,
+                    env.buffer,
+                )?
             });
         }
     }
@@ -161,7 +203,14 @@ pub fn execute(
         let (nvars, nrel) = if part.is_cache() {
             eval_cache_part(part, cache, &mut local_ops)?
         } else {
-            fetch_remote(part, remote, resilience, pipelined, buffer)?
+            fetch_remote(
+                part,
+                env.remote,
+                env.resilience,
+                env.flight,
+                env.pipelined,
+                env.buffer,
+            )?
         };
         let on: Vec<(usize, usize)> = nvars
             .iter()
@@ -182,7 +231,7 @@ pub fn execute(
     // One batched pull to completion; executor counters feed the
     // workstation-cost proxy and the CMS metrics.
     let (joined, exec_stats) = pipeline
-        .materialize_with(exec_cfg)
+        .materialize_with(env.exec)
         .map_err(CmsError::from)?;
     local_ops += exec_stats.tuples;
     let joined = rename(joined, &vars)?;
@@ -201,9 +250,9 @@ fn part_plan(rel: &Relation) -> PhysicalPlan {
     PhysicalPlan::rows(rel.schema().clone(), rel.to_vec())
 }
 
-fn eval_cache_part(
+fn eval_cache_part<C: CacheRead>(
     part: &PlanPart,
-    cache: &CacheManager,
+    cache: &C,
     local_ops: &mut u64,
 ) -> Result<(Vec<String>, Relation)> {
     let PartSource::Cache {
@@ -235,6 +284,7 @@ fn fetch_remote(
     part: &PlanPart,
     remote: &RemoteDbms,
     resilience: &Resilience,
+    flight: Option<&RemoteFlight>,
     pipelined: bool,
     buffer: usize,
 ) -> Result<(Vec<String>, Relation)> {
@@ -242,6 +292,36 @@ fn fetch_remote(
         unreachable!("fetch_remote called on a cache part");
     };
     let t = rdi::translate(atoms, cmps, &part.vars)?;
+    // Single-flight dedup: the translated SQL (plus output variables) is
+    // the canonical identity of the round trip — subsumption-equivalent
+    // subqueries from different sessions translate identically, so one
+    // fetch serves them all. The whole resilience loop runs inside the
+    // flight: joiners share the leader's *final* outcome, not a
+    // transient failure it would have retried past.
+    if let Some(f) = flight {
+        let key = format!("{}|{}", t.sql, part.vars.join(","));
+        let (rel, led) = f.run(&key, || {
+            fetch_attempts(part, remote, resilience, &t, pipelined, buffer)
+        });
+        if led {
+            resilience.metrics().add_flight_fetches(1);
+        } else {
+            resilience.metrics().add_dedup_hits(1);
+        }
+        return rel;
+    }
+    fetch_attempts(part, remote, resilience, &t, pipelined, buffer)
+}
+
+/// The resilience-wrapped fetch of one translated remote subquery.
+fn fetch_attempts(
+    part: &PlanPart,
+    remote: &RemoteDbms,
+    resilience: &Resilience,
+    t: &rdi::Translated,
+    pipelined: bool,
+    buffer: usize,
+) -> Result<(Vec<String>, Relation)> {
     // One attempt = one round trip; the resilience policy retries
     // transient faults with backoff charged in cost units, and enforces
     // the per-attempt latency deadline against the stream's receipt.
@@ -392,7 +472,7 @@ pub(crate) fn project_head(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::ElementBuilder;
+    use crate::cache::{CacheManager, ElementBuilder};
     use crate::planner::plan;
     use braid_caql::parse_rule;
     use braid_relational::tuple;
@@ -405,6 +485,18 @@ mod tests {
             crate::resilience::ResilienceConfig::default(),
             Arc::new(crate::metrics::CmsMetrics::new()),
         )
+    }
+
+    fn env<'a>(remote: &'a RemoteDbms, resilience: &'a Resilience, parallel: bool) -> ExecEnv<'a> {
+        ExecEnv {
+            remote,
+            resilience,
+            flight: None,
+            parallel,
+            pipelined: true,
+            buffer: 8,
+            exec: ExecConfig::default(),
+        }
     }
 
     fn remote() -> RemoteDbms {
@@ -436,17 +528,8 @@ mod tests {
         let r = remote();
         let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
         let p = plan(&q, &cache, true).unwrap();
-        let ex = execute(
-            &p,
-            &cache,
-            &r,
-            &res(),
-            false,
-            true,
-            8,
-            ExecConfig::default(),
-        )
-        .unwrap();
+        let rs = res();
+        let ex = execute(&p, &cache, &env(&r, &rs, false)).unwrap();
         // Only x1/x3 join through z1 to (c2, c6).
         assert_eq!(ex.joined.len(), 2);
         let head = project_head(&ex.joined, &paper_vars(&ex), &q.head).unwrap();
@@ -482,17 +565,8 @@ mod tests {
         let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
         let p = plan(&q, &cache, true).unwrap();
         assert_eq!(p.remote_parts(), 1);
-        let ex = execute(
-            &p,
-            &cache,
-            &r,
-            &res(),
-            false,
-            true,
-            8,
-            ExecConfig::default(),
-        )
-        .unwrap();
+        let rs = res();
+        let ex = execute(&p, &cache, &env(&r, &rs, false)).unwrap();
         let head = project_head(&ex.joined, &paper_vars(&ex), &q.head).unwrap();
         let mut rows = head.sorted_tuples();
         rows.sort();
@@ -509,18 +583,9 @@ mod tests {
         // separate runs because the middle atom is absent.
         let q = parse_rule("q(X, Y) :- b2(X, Z), b3(W, c2, Y).").unwrap();
         let p = plan(&q, &cache, true).unwrap();
-        let seq = execute(
-            &p,
-            &cache,
-            &r,
-            &res(),
-            false,
-            true,
-            8,
-            ExecConfig::default(),
-        )
-        .unwrap();
-        let par = execute(&p, &cache, &r, &res(), true, true, 8, ExecConfig::default()).unwrap();
+        let rs = res();
+        let seq = execute(&p, &cache, &env(&r, &rs, false)).unwrap();
+        let par = execute(&p, &cache, &env(&r, &rs, true)).unwrap();
         assert_eq!(seq.joined, par.joined);
         assert_eq!(par.remote_subqueries, 1); // contiguous run → 1 request
     }
@@ -547,17 +612,8 @@ mod tests {
         let q = parse_rule("q(A, B) :- nums(A, B), B > A + 2.").unwrap();
         let p = plan(&q, &cache, true).unwrap();
         assert_eq!(p.residual_cmps.len(), 1);
-        let ex = execute(
-            &p,
-            &cache,
-            &r,
-            &res(),
-            false,
-            true,
-            8,
-            ExecConfig::default(),
-        )
-        .unwrap();
+        let rs = res();
+        let ex = execute(&p, &cache, &env(&r, &rs, false)).unwrap();
         assert_eq!(ex.joined.len(), 2); // (1,5) and (3,10)
     }
 
@@ -572,17 +628,8 @@ mod tests {
             true,
         )
         .unwrap();
-        let ex = execute(
-            &q_yes,
-            &cache,
-            &r,
-            &res(),
-            false,
-            true,
-            8,
-            ExecConfig::default(),
-        )
-        .unwrap();
+        let rs = res();
+        let ex = execute(&q_yes, &cache, &env(&r, &rs, false)).unwrap();
         assert_eq!(ex.joined.len(), 1, "existence holds: b3 rows survive");
         let q_no = plan(
             &parse_rule("q(V) :- b2(x1, zz), b3(V, c2, c6).").unwrap(),
@@ -590,17 +637,7 @@ mod tests {
             true,
         )
         .unwrap();
-        let ex = execute(
-            &q_no,
-            &cache,
-            &r,
-            &res(),
-            false,
-            true,
-            8,
-            ExecConfig::default(),
-        )
-        .unwrap();
+        let ex = execute(&q_no, &cache, &env(&r, &rs, false)).unwrap();
         assert_eq!(ex.joined.len(), 0, "existence fails: empty result");
     }
 

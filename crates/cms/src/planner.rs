@@ -13,7 +13,7 @@
 //! element has to be chosen", §5.3.3), and the split of the query into
 //! cache-local and remote subqueries.
 
-use crate::cache::CacheManager;
+use crate::cache::CacheRead;
 use crate::error::{CmsError, Result};
 use braid_caql::{Atom, Comparison, ConjunctiveQuery, Literal};
 use braid_subsume::{CandidateUse, Derivation};
@@ -100,7 +100,7 @@ impl Plan {
 ///
 /// # Errors
 /// Returns an error for unsafe or unplannable queries.
-pub fn plan(q: &ConjunctiveQuery, cache: &CacheManager, use_subsumption: bool) -> Result<Plan> {
+pub fn plan<C: CacheRead>(q: &ConjunctiveQuery, cache: &C, use_subsumption: bool) -> Result<Plan> {
     if !q.is_safe() {
         return Err(CmsError::UnsafeQuery(q.to_string()));
     }
@@ -141,10 +141,7 @@ pub fn plan(q: &ConjunctiveQuery, cache: &CacheManager, use_subsumption: bool) -
     // cardinality asc), then greedily take candidates over uncovered atom
     // ranges.
     candidates.sort_by_key(|c| {
-        let card = cache
-            .get(c.element)
-            .and_then(|e| e.cardinality())
-            .unwrap_or(usize::MAX);
+        let card = cache.cardinality_of(c.element).unwrap_or(usize::MAX);
         (
             std::cmp::Reverse(c.component.len()),
             c.derivation.filters.len(),
@@ -268,7 +265,7 @@ pub fn plan(q: &ConjunctiveQuery, cache: &CacheManager, use_subsumption: bool) -
 /// The baseline reuse rule: only a whole-query exact match counts
 /// ("cached results must exactly match the query", §5.3.2 on \[SELL87\] and
 /// \[IOAN88\]).
-fn exact_only_candidates(q: &ConjunctiveQuery, cache: &CacheManager) -> Vec<CandidateUse> {
+fn exact_only_candidates<C: CacheRead>(q: &ConjunctiveQuery, cache: &C) -> Vec<CandidateUse> {
     let Some(id) = cache.exact_lookup(q) else {
         return Vec::new();
     };
@@ -339,9 +336,9 @@ pub fn estimate_conjunction(atoms: &[Atom], stats: &RemoteStats) -> f64 {
 /// Estimated cost (in remote cost units) of a plan, per the paper's
 /// metric: per-remote-part request overhead plus shipped tuples, plus
 /// workstation tuple operations for cache parts and the final join.
-pub fn estimate_plan_cost(
+pub fn estimate_plan_cost<C: CacheRead>(
     plan: &Plan,
-    cache: &CacheManager,
+    cache: &C,
     stats: &RemoteStats,
     request_overhead: f64,
 ) -> f64 {
@@ -353,10 +350,7 @@ pub fn estimate_plan_cost(
                 element,
                 derivation,
             } => {
-                let card = cache
-                    .get(*element)
-                    .and_then(|e| e.cardinality())
-                    .unwrap_or(100) as f64;
+                let card = cache.cardinality_of(*element).unwrap_or(100) as f64;
                 // An index probe reads ~selectivity of the extension; a
                 // scan reads it all. Workstation ops are cheap relative to
                 // the wire: weight 1 op = 1 unit (matches CostModel).
@@ -408,9 +402,9 @@ pub fn estimate_all_remote_cost(
 /// Cost-based placement (§5.3.3): given a mixed plan, decide whether
 /// exporting the whole query to the remote DBMS is cheaper — "(b) Export
 /// b2(X,Y) & b3(Z,c2,c6) to the DBMS". Returns the chosen plan.
-pub fn choose_placement(
+pub fn choose_placement<C: CacheRead>(
     plan: Plan,
-    cache: &CacheManager,
+    cache: &C,
     stats: &RemoteStats,
     request_overhead: f64,
 ) -> Plan {
@@ -467,7 +461,7 @@ pub fn choose_placement(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::ElementBuilder;
+    use crate::cache::{CacheManager, ElementBuilder};
     use braid_caql::parse_rule;
     use braid_relational::{Relation, Schema};
     use braid_subsume::ViewDef;

@@ -53,6 +53,10 @@ pub struct AnswerStream {
     delivered: usize,
     lazy: bool,
     completeness: Completeness,
+    // Session pins on the cache elements a lazy generator reads from.
+    // Held only for their Drop impl: while the stream is open, concurrent
+    // sessions cannot evict those elements out from under it.
+    _pins: Vec<crate::shared::PinGuard>,
 }
 
 impl AnswerStream {
@@ -64,6 +68,7 @@ impl AnswerStream {
             delivered: 0,
             lazy: false,
             completeness: Completeness::Exact,
+            _pins: Vec::new(),
         }
     }
 
@@ -76,7 +81,19 @@ impl AnswerStream {
             delivered: 0,
             lazy: true,
             completeness: Completeness::Exact,
+            _pins: Vec::new(),
         }
+    }
+
+    /// A lazy stream holding session pins on the cache elements it reads
+    /// from, released when the stream drops.
+    pub fn lazy_pinned(
+        generator: RunningGenerator,
+        pins: Vec<crate::shared::PinGuard>,
+    ) -> AnswerStream {
+        let mut s = AnswerStream::lazy(generator);
+        s._pins = pins;
+        s
     }
 
     /// Tag the stream's completeness (degraded-mode answers).

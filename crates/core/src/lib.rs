@@ -59,7 +59,7 @@ pub mod metrics;
 pub mod system;
 
 pub use metrics::CombinedMetrics;
-pub use system::{BraidConfig, BraidError, BraidSystem, CheckedSolutions};
+pub use system::{BraidConfig, BraidError, BraidSession, BraidSystem, CheckedSolutions};
 
 // The public API surface, re-exported so applications depend on one crate.
 pub use braid_advice::{Advice, PathExpr, PathTracker, ViewSpec};

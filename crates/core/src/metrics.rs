@@ -44,6 +44,9 @@ impl CombinedMetrics {
                 breaker_opens: self.cms.breaker_opens - earlier.cms.breaker_opens,
                 breaker_rejections: self.cms.breaker_rejections - earlier.cms.breaker_rejections,
                 degraded_answers: self.cms.degraded_answers - earlier.cms.degraded_answers,
+                flight_fetches: self.cms.flight_fetches - earlier.cms.flight_fetches,
+                dedup_hits: self.cms.dedup_hits - earlier.cms.dedup_hits,
+                shard_lock_waits: self.cms.shard_lock_waits - earlier.cms.shard_lock_waits,
             },
         }
     }

@@ -204,6 +204,91 @@ impl BraidSystem {
             completeness,
         })
     }
+
+    /// Open a new session against the shared cache. Takes `&self`, so N
+    /// sessions can be opened from one system and driven on N threads
+    /// (e.g. under `std::thread::scope`): they share the cache, the
+    /// remote handle, the metrics sink and the single-flight fetch table,
+    /// while each keeps its own advice tracker, circuit breaker and
+    /// completeness bookkeeping — the paper's "set of sessions" (§3) made
+    /// concurrent.
+    pub fn session(&self) -> BraidSession<'_> {
+        BraidSession {
+            engine: &self.engine,
+            cms: self.cms.fork_session(),
+        }
+    }
+}
+
+/// One session of a shared [`BraidSystem`] (see [`BraidSystem::session`]).
+/// Mirrors the system's solve API; independent sessions are `Send`, so
+/// they can be moved into scoped threads.
+pub struct BraidSession<'a> {
+    engine: &'a InferenceEngine,
+    cms: Cms,
+}
+
+impl BraidSession<'_> {
+    /// This session's CMS view (shared cache, per-session state).
+    pub fn cms(&self) -> &Cms {
+        &self.cms
+    }
+
+    /// Mutable CMS access (e.g. to submit advice for this session).
+    pub fn cms_mut(&mut self) -> &mut Cms {
+        &mut self.cms
+    }
+
+    /// Solve an AI query given as text, returning the solution stream.
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve(&mut self, query: &str, strategy: Strategy) -> Result<Solutions<'_>, BraidError> {
+        let goal = parse_query(query).map_err(|e| BraidError::Parse(e.to_string()))?;
+        Ok(self.engine.solve(&mut self.cms, &goal, strategy)?)
+    }
+
+    /// Solve and collect unique, sorted solutions.
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve_all(&mut self, query: &str, strategy: Strategy) -> Result<Vec<Tuple>, BraidError> {
+        let goal = parse_query(query).map_err(|e| BraidError::Parse(e.to_string()))?;
+        Ok(self.engine.solve_all(&mut self.cms, &goal, strategy)?)
+    }
+
+    /// Solve with a completeness tag (see [`BraidSystem::solve_checked`]).
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve_checked(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<CheckedSolutions, BraidError> {
+        let _ = self.cms.take_missing_subqueries();
+        let solutions = self.solve_all(query, strategy)?;
+        let missing = self.cms.take_missing_subqueries();
+        let completeness = if missing.is_empty() {
+            Completeness::Exact
+        } else {
+            Completeness::Partial {
+                missing_subqueries: missing,
+            }
+        };
+        Ok(CheckedSolutions {
+            solutions,
+            completeness,
+        })
+    }
+}
+
+impl fmt::Debug for BraidSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BraidSession")
+            .field("cache_elements", &self.cms.cache_len())
+            .finish()
+    }
 }
 
 /// Solutions plus the completeness contract they were produced under.
@@ -303,6 +388,46 @@ mod tests {
             b.solve_all("?- gp(ann", Strategy::Interpreted),
             Err(BraidError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn sessions_share_one_cache() {
+        let b = system(BraidConfig::default());
+        let mut s1 = b.session();
+        s1.solve_all("?- gp(ann, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        let after = b.metrics();
+        // A *different* session sees the first session's cached results.
+        let mut s2 = b.session();
+        let sols = s2
+            .solve_all("?- gp(ann, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        assert_eq!(sols.len(), 1);
+        let delta = b.metrics().since(&after);
+        assert_eq!(delta.remote.requests, 0, "served from the shared cache");
+    }
+
+    #[test]
+    fn concurrent_sessions_all_get_the_same_answer() {
+        let b = system(BraidConfig::default());
+        let expected = b
+            .session()
+            .solve_all("?- anc(ann, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let mut sess = b.session();
+                    s.spawn(move || {
+                        sess.solve_all("?- anc(ann, Y).", Strategy::ConjunctionCompiled)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), expected);
+            }
+        });
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub struct RemoteMetrics {
     latency_spike_faults: AtomicU64,
     wasted_latency_units: AtomicU64,
     wasted_tuples: AtomicU64,
+    inflight_requests: AtomicU64,
+    peak_inflight_requests: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`RemoteMetrics`].
@@ -56,6 +58,10 @@ pub struct MetricsSnapshot {
     /// Tuples shipped over the wire and then discarded because the
     /// stream disconnected before completion.
     pub wasted_tuples: u64,
+    /// High-water mark of requests being served at the same instant —
+    /// the server-side proxy for how many concurrent sessions actually
+    /// overlapped on the wire.
+    pub peak_inflight_requests: u64,
 }
 
 impl MetricsSnapshot {
@@ -75,6 +81,9 @@ impl MetricsSnapshot {
             latency_spike_faults: self.latency_spike_faults - earlier.latency_spike_faults,
             wasted_latency_units: self.wasted_latency_units - earlier.wasted_latency_units,
             wasted_tuples: self.wasted_tuples - earlier.wasted_tuples,
+            // A high-water mark, not a monotone counter: the delta window
+            // inherits the later snapshot's peak.
+            peak_inflight_requests: self.peak_inflight_requests,
         }
     }
 }
@@ -87,6 +96,14 @@ impl RemoteMetrics {
 
     pub(crate) fn record_request(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark a request as being served until the returned guard drops,
+    /// maintaining the `peak_inflight_requests` high-water mark.
+    pub(crate) fn begin_inflight(&self) -> InflightGuard<'_> {
+        let now = self.inflight_requests.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_inflight_requests.fetch_max(now, Ordering::SeqCst);
+        InflightGuard(self)
     }
 
     pub(crate) fn record_shipment(&self, tuples: u64, bytes: u64) {
@@ -141,6 +158,7 @@ impl RemoteMetrics {
             latency_spike_faults: self.latency_spike_faults.load(Ordering::Relaxed),
             wasted_latency_units: self.wasted_latency_units.load(Ordering::Relaxed),
             wasted_tuples: self.wasted_tuples.load(Ordering::Relaxed),
+            peak_inflight_requests: self.peak_inflight_requests.load(Ordering::SeqCst),
         }
     }
 
@@ -159,6 +177,19 @@ impl RemoteMetrics {
         self.latency_spike_faults.store(0, Ordering::Relaxed);
         self.wasted_latency_units.store(0, Ordering::Relaxed);
         self.wasted_tuples.store(0, Ordering::Relaxed);
+        // Deliberately leaves `inflight_requests` alone: requests being
+        // served while metrics reset must still decrement cleanly.
+        self.peak_inflight_requests.store(0, Ordering::SeqCst);
+    }
+}
+
+/// RAII marker for one request being served (see
+/// [`RemoteMetrics::begin_inflight`]).
+pub(crate) struct InflightGuard<'a>(&'a RemoteMetrics);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight_requests.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -181,6 +212,23 @@ mod tests {
         assert_eq!(s.simulated_latency_units, 3);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn peak_inflight_tracks_overlapping_requests() {
+        let m = RemoteMetrics::new();
+        {
+            let _a = m.begin_inflight();
+            {
+                let _b = m.begin_inflight();
+                assert_eq!(m.snapshot().peak_inflight_requests, 2);
+            }
+            let _c = m.begin_inflight(); // back to 2 concurrent, peak stays 2
+        }
+        let _d = m.begin_inflight(); // 1 concurrent, peak unchanged
+        assert_eq!(m.snapshot().peak_inflight_requests, 2);
+        m.reset();
+        assert_eq!(m.snapshot().peak_inflight_requests, 0);
     }
 
     #[test]

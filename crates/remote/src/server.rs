@@ -194,6 +194,7 @@ impl RemoteDbms {
         let request = inner.clock.tick();
         let fault = self.decide_fault(request);
         inner.metrics.record_request();
+        let _inflight = inner.metrics.begin_inflight();
         let receipt = AtomicU64::new(0);
 
         let mut disconnect_after: Option<u64> = None;
@@ -285,6 +286,7 @@ impl RemoteDbms {
         let request = inner.clock.tick();
         let fault = self.decide_fault(request);
         inner.metrics.record_request();
+        let _inflight = inner.metrics.begin_inflight();
         let receipt = Arc::new(AtomicU64::new(0));
 
         let mut disconnect_after: Option<u64> = None;

@@ -11,6 +11,19 @@
 use braid_caql::{Atom, Comparison, ConjunctiveQuery, Literal};
 use std::collections::BTreeSet;
 
+/// The set of base relations a query's positive body touches — its
+/// *footprint*. Subsumption requires a homomorphism from the subsumer's
+/// body onto the component's atoms, so a cache element can only subsume
+/// (part of) `q` if `footprint(element) ⊆ footprint(q)`. Sharding a cache
+/// by footprint therefore routes all candidates for `q` to the shards of
+/// `q`'s own relations.
+pub fn base_footprint(q: &ConjunctiveQuery) -> BTreeSet<String> {
+    q.positive_atoms()
+        .into_iter()
+        .map(|a| a.pred.clone())
+        .collect()
+}
+
 /// One conjunctive component of a query: a contiguous run of its relation
 /// occurrences plus the comparisons applicable within the run.
 #[derive(Debug, Clone, PartialEq)]

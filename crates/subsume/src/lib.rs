@@ -36,7 +36,7 @@ pub mod engine;
 pub mod subsume;
 pub mod view;
 
-pub use decompose::{decompose, Component};
+pub use decompose::{base_footprint, decompose, Component};
 pub use derive::Derivation;
 pub use engine::{CandidateUse, SubsumptionEngine};
 pub use subsume::{cmp_implies, subsumes};

@@ -138,6 +138,12 @@ impl ViewDef {
     pub fn arity(&self) -> usize {
         self.query.head.arity()
     }
+
+    /// The base relations this view reads — see
+    /// [`crate::base_footprint`].
+    pub fn footprint(&self) -> std::collections::BTreeSet<String> {
+        crate::base_footprint(&self.query)
+    }
 }
 
 impl fmt::Display for ViewDef {

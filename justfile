@@ -29,3 +29,11 @@ report-quick:
 
 bench:
     cargo bench --workspace
+
+# Seeded concurrency stress: loom is not vendorable offline (DESIGN.md §7),
+# so schedule coverage comes from repetition — the ignored stress test
+# re-runs the concurrent differential harness across many seeds and shard
+# counts, in release so threads genuinely interleave.
+stress:
+    cargo test --release --test concurrent_sessions -q -- --ignored
+    cargo test --release --test concurrent_sessions -q

@@ -17,6 +17,12 @@ cargo test --workspace -q
 echo "==> executor differential suite"
 cargo test --test executor_differential -q
 
+echo "==> concurrent sessions suite (parallel harness)"
+cargo test --test concurrent_sessions -q
+
+echo "==> concurrent sessions suite (serialized harness)"
+RUST_TEST_THREADS=1 cargo test --test concurrent_sessions -q -- --test-threads=1
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -176,6 +176,88 @@ fn outage_without_degraded_mode_surfaces_typed_errors() {
     assert!(depth >= 2, "source() chain reaches the remote fault");
 }
 
+#[test]
+fn concurrent_sessions_survive_chaos_with_honest_completeness() {
+    // Faults fire while N sessions drive the workload over one shared
+    // cache. Invariants, per session: every query terminates (answer or
+    // typed error — the scope join itself rules out hangs and panics),
+    // every Exact answer is byte-identical to the fault-free run, and
+    // every degraded answer is honestly tagged Partial.
+    let sc = scenario();
+    let truth = fault_free_answers(&sc);
+    let faults = FaultPlan::seeded(23)
+        .with_transient_failures(0.25)
+        .with_disconnects(0.10, 3)
+        .with_latency_spikes(0.05, 100);
+    let resilience = ResilienceConfig::none()
+        .with_retries(4)
+        .with_backoff(16, 128)
+        .with_breaker(5, 2)
+        .with_degraded_mode(true);
+    let mut cfg = config(resilience, Some(faults));
+    cfg.cms = cfg.cms.with_shards(4);
+    let system = sc.system(cfg);
+
+    const SESSIONS: usize = 4;
+    let outcomes: Vec<Vec<Result<CheckedSolutions, BraidError>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|_| {
+                let mut sess = system.session();
+                let queries = &sc.queries;
+                s.spawn(move || {
+                    queries
+                        .iter()
+                        .map(|q| sess.solve_checked(q, STRATEGY))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut exact = 0usize;
+    for (si, session) in outcomes.iter().enumerate() {
+        for (qi, outcome) in session.iter().enumerate() {
+            match outcome {
+                Ok(got) => {
+                    if got.is_exact() {
+                        exact += 1;
+                        assert_eq!(
+                            &got.solutions, &truth[qi],
+                            "session {si}: Exact answer for `{}` diverged",
+                            sc.queries[qi]
+                        );
+                    } else {
+                        // Honest degradation: a Partial answer names
+                        // what is missing.
+                        match &got.completeness {
+                            Completeness::Partial { missing_subqueries } => {
+                                assert!(
+                                    !missing_subqueries.is_empty(),
+                                    "session {si}: Partial without missing subqueries"
+                                );
+                            }
+                            Completeness::Exact => unreachable!(),
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Degraded mode absorbs transient faults; only
+                    // typed, non-parse errors may surface.
+                    assert!(
+                        !matches!(e, BraidError::Parse(_)),
+                        "session {si}: workload queries always parse: {e}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        exact > 0,
+        "with retries and a shared cache, some answers recover to Exact"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
     #[test]
