@@ -1,0 +1,272 @@
+//! E14 — structured-tracing overhead and per-query EXPLAIN.
+//!
+//! The observability layer must be effectively free when disabled (the
+//! default `NoopSink` short-circuits every instrumentation site — span
+//! labels are built lazily, so the disabled path pays one branch and no
+//! allocation) and cheap when enabled. Two workloads bound the cost:
+//!
+//! * **E12-style join workload** — the σ⋈ plan of E12 driven through the
+//!   full IE→CMS pipeline: each query streams a key's join group through
+//!   the batched executor. Per-query work is real, so this is the
+//!   representative number; the budget is ≤ ~5% with a ring sink.
+//! * **worst case** — repeated cache-hit lookups that do almost no work
+//!   per query (p50 in the tens of microseconds), so the fixed ~6-event
+//!   cost per query is maximally visible.
+//!
+//! Wall time is best-of-3; the query-latency histogram percentiles come
+//! from the always-on `cms.query_latency_us` metric.
+
+use crate::experiments::support::{binary_relation, ms};
+use crate::table::Table;
+use braid::{BraidConfig, BraidSystem, RingSink, Strategy};
+use braid_cms::CmsConfig;
+use braid_ie::KnowledgeBase;
+use braid_relational::{Relation, Schema, Tuple, Value};
+use braid_remote::Catalog;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const STRATEGY: Strategy = Strategy::ConjunctionCompiled;
+
+fn config() -> CmsConfig {
+    CmsConfig::braid()
+        .with_prefetching(false)
+        .with_generalization(false)
+}
+
+/// Catalog for the join workload: `l(k, v)` groups `rows/keys` values
+/// under each key, and `r(v, w)` maps every value to one row, so
+/// `pair(K, W) :- l(K, V), r(V, W)` streams a full join group per query.
+fn join_catalog(rows: usize, keys: usize) -> Catalog {
+    let mut c = Catalog::new();
+    c.install(binary_relation("l", rows, keys, 7));
+    let mut r = Relation::new(Schema::of_strs("r", &["v", "w"]));
+    for i in 0..rows {
+        r.insert(Tuple::new(vec![
+            Value::str(format!("v{i}")),
+            Value::str(format!("w{i}")),
+        ]))
+        .expect("arity 2");
+    }
+    c.install(r);
+    c
+}
+
+fn join_kb() -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.declare_base("l", 2);
+    kb.declare_base("r", 2);
+    kb.add_program("pair(K, W) :- l(K, V), r(V, W).").unwrap();
+    kb
+}
+
+fn lookup_kb() -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.declare_base("fam", 2);
+    kb.add_program("look(K, V) :- fam(K, V).").unwrap();
+    kb
+}
+
+/// Build a system; optionally install `ring` as the shared trace sink.
+fn system(db: Catalog, kb: KnowledgeBase, ring: Option<Arc<RingSink>>) -> BraidSystem {
+    let mut bc = BraidConfig::with_cms(config());
+    if let Some(r) = ring {
+        bc = bc.with_trace(r);
+    }
+    BraidSystem::new(db, kb, bc)
+}
+
+/// Drive `queries` key lookups against `head` (cache hits after the
+/// first pass over the key set) and return the loop's wall time.
+fn run_queries(
+    system: &mut BraidSystem,
+    head: &str,
+    queries: usize,
+    keys: usize,
+    explain: bool,
+) -> Duration {
+    let start = Instant::now();
+    for i in 0..queries {
+        let q = format!("?- {head}(k{}, V).", i % keys);
+        if explain {
+            system.solve_explained(&q, STRATEGY).expect("healthy link");
+        } else {
+            system.solve_all(&q, STRATEGY).expect("healthy link");
+        }
+    }
+    start.elapsed()
+}
+
+/// Best-of-`reps` wall time, rebuilding the system each rep so cache
+/// state is identical across configurations.
+fn best_of(reps: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    (0..reps).map(|_| f()).min().unwrap_or_default()
+}
+
+fn percent_over(base: Duration, d: Duration) -> String {
+    if base.is_zero() {
+        return "n/a".to_string();
+    }
+    format!(
+        "{:+.1}%",
+        (d.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0
+    )
+}
+
+struct Workload {
+    name: &'static str,
+    head: &'static str,
+    queries: usize,
+    keys: usize,
+    build: Box<dyn Fn(Option<Arc<RingSink>>) -> BraidSystem>,
+}
+
+/// Measure one workload under the three configurations and append its
+/// rows; returns the shared-ring event count.
+fn measure(t: &mut Table, w: &Workload, reps: usize) -> usize {
+    let base = best_of(reps, || {
+        let mut s = (w.build)(None);
+        run_queries(&mut s, w.head, w.queries, w.keys, false)
+    });
+
+    let ring = Arc::new(RingSink::new(1 << 16));
+    let mut traced_events = 0usize;
+    let traced = best_of(reps, || {
+        let mut s = (w.build)(Some(Arc::clone(&ring)));
+        let d = run_queries(&mut s, w.head, w.queries, w.keys, false);
+        traced_events = ring.len();
+        ring.drain();
+        d
+    });
+
+    let explained = best_of(reps, || {
+        let mut s = (w.build)(None);
+        run_queries(&mut s, w.head, w.queries, w.keys, true)
+    });
+
+    t.row(vec![
+        format!("{}: disabled (NoopSink)", w.name),
+        ms(base),
+        "—".to_string(),
+        "0".to_string(),
+    ]);
+    t.row(vec![
+        format!("{}: ring sink", w.name),
+        ms(traced),
+        percent_over(base, traced),
+        traced_events.to_string(),
+    ]);
+    t.row(vec![
+        format!("{}: per-query EXPLAIN", w.name),
+        ms(explained),
+        percent_over(base, explained),
+        "per-query report".to_string(),
+    ]);
+    traced_events
+}
+
+/// Run E14.
+pub fn run(quick: bool) -> Table {
+    let keys = 16;
+    let reps = 3;
+    let join_rows = if quick { 2_000 } else { 20_000 };
+    let join_queries = if quick { 96 } else { 512 };
+    let lookup_rows = if quick { 160 } else { 480 };
+    let lookup_queries = if quick { 400 } else { 2000 };
+
+    let mut t = Table::new(
+        format!(
+            "E14 tracing overhead — E12-style join workload \
+             ({join_queries} queries, {join_rows}-row σ⋈ per key set) and \
+             worst-case cache-hit lookups ({lookup_queries} queries); \
+             best of {reps}"
+        ),
+        &[
+            "workload: config",
+            "wall ms",
+            "vs disabled",
+            "events captured",
+        ],
+    );
+
+    measure(
+        &mut t,
+        &Workload {
+            name: "E12 join",
+            head: "pair",
+            queries: join_queries,
+            keys,
+            build: Box::new(move |ring| system(join_catalog(join_rows, keys), join_kb(), ring)),
+        },
+        reps,
+    );
+    measure(
+        &mut t,
+        &Workload {
+            name: "worst case",
+            head: "look",
+            queries: lookup_queries,
+            keys,
+            build: Box::new(move |ring| {
+                let mut c = Catalog::new();
+                c.install(binary_relation("fam", lookup_rows, keys, 13));
+                system(c, lookup_kb(), ring)
+            }),
+        },
+        reps,
+    );
+
+    // The always-on latency histogram, from a fresh untraced join run.
+    let mut hist_sys = system(join_catalog(join_rows, keys), join_kb(), None);
+    run_queries(&mut hist_sys, "pair", join_queries, keys, false);
+    let latency = hist_sys.metrics().cms.query_latency_us;
+
+    t.note(format!(
+        "join-workload query latency histogram (always on, sink or not): \
+         {latency}. The ≤ ~5% ring-sink budget applies to the join rows, \
+         where per-query work is real; the worst-case rows do near-zero \
+         work per query (fixed ~6 events against a tens-of-microseconds \
+         query), bounding the per-event cost itself. Disabled tracing \
+         costs one branch per site — span labels are built lazily, so \
+         the NoopSink rows are the true no-instrumentation baseline. \
+         EXPLAIN adds a per-query ring attach/drain plus report \
+         construction; it is meant for interactive debugging, not the \
+         hot path."
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_structure() {
+        let t = run(true);
+        assert_eq!(t.headers.len(), 4);
+        assert_eq!(t.rows.len(), 6);
+        assert!(t.rows[0][0].contains("disabled"));
+        assert!(t.rows[2][0].contains("EXPLAIN"));
+        assert!(t.rows[3][0].contains("worst case"));
+    }
+
+    #[test]
+    fn ring_sink_captures_spans_for_the_workload() {
+        let ring = Arc::new(RingSink::new(4096));
+        let mut s = system(join_catalog(400, 8), join_kb(), Some(Arc::clone(&ring)));
+        run_queries(&mut s, "pair", 16, 8, false);
+        assert!(!ring.is_empty(), "enabled run must record spans");
+        let events = ring.drain();
+        assert!(events.iter().any(|e| e.kind == braid::TraceKind::Query));
+    }
+
+    #[test]
+    fn latency_histogram_records_without_a_sink() {
+        let mut s = system(join_catalog(400, 8), join_kb(), None);
+        run_queries(&mut s, "pair", 16, 8, false);
+        let h = s.metrics().cms.query_latency_us;
+        // Every Cms::query records, sink or not; one solve may issue
+        // several CMS queries, so the count is at least the solve count.
+        assert!(h.count() >= 16, "count = {}", h.count());
+    }
+}

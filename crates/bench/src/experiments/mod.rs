@@ -14,5 +14,6 @@ pub mod e10_pipeline;
 pub mod e11_faults;
 pub mod e12_executor;
 pub mod e13_concurrency;
+pub mod e14_tracing;
 
 pub(crate) mod support;

@@ -37,5 +37,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E11", experiments::e11_faults::run),
         ("E12", experiments::e12_executor::run),
         ("E13", experiments::e13_concurrency::run),
+        ("E14", experiments::e14_tracing::run),
     ]
 }

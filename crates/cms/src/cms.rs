@@ -23,8 +23,10 @@ use braid_caql::{Atom, ConjunctiveQuery, Term};
 use braid_relational::Schema;
 use braid_remote::RemoteDbms;
 use braid_subsume::ViewDef;
+use braid_trace::{TraceKind, TraceSink, Tracer};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// State shared by *every* session of one CMS: the sharded cache, the
 /// remote handle, the metrics sink, the remote statistics snapshot, and
@@ -41,7 +43,15 @@ pub struct CmsShared {
     // Sessions missing concurrently on subsumption-equivalent subqueries
     // share one remote fetch through this table.
     flight: RemoteFlight,
+    // The CMS-wide trace sink from `CmsConfig::trace`; each session's
+    // tracer fans out to it (plus any per-session sink attached for
+    // EXPLAIN capture).
+    trace: braid_trace::SinkHandle,
 }
+
+/// Cached-view names and remote-remainder labels of a plan — the trace
+/// payload shared by the `cms.subsumption` and `cms.plan` events.
+type ViewsAndRemainder = (Vec<String>, Vec<String>);
 
 /// The Cache Management System: one session's view of the shared state.
 ///
@@ -60,6 +70,11 @@ pub struct Cms {
     // Subqueries that went unanswered in degraded mode since the last
     // `take_missing_subqueries` call (session-level completeness).
     session_missing: Vec<String>,
+    // Per-session tracer over the shared sink (plus an optional attached
+    // session sink, used by `solve_explained` to capture one query's
+    // span tree). Disabled tracers cost one branch per instrumentation
+    // site.
+    tracer: Tracer,
 }
 
 impl Cms {
@@ -78,14 +93,19 @@ impl Cms {
             metrics: Arc::clone(&metrics),
             remote_stats,
             flight: RemoteFlight::new(),
+            trace: config.trace.clone(),
         });
+        let tracer = Tracer::new(shared.trace.sink());
+        let mut resilience = Resilience::new(config.resilience.clone(), metrics);
+        resilience.set_tracer(tracer.clone());
         Cms {
             advice: AdviceManager::new(),
-            resilience: Resilience::new(config.resilience.clone(), metrics),
+            resilience,
             result_counter: 0,
             config,
             shared,
             session_missing: Vec::new(),
+            tracer,
         }
     }
 
@@ -94,17 +114,42 @@ impl Cms {
     /// view, fresh completeness bookkeeping. This is how `BraidSystem`
     /// serves N concurrent sessions against one cache.
     pub fn fork_session(&self) -> Cms {
+        let tracer = Tracer::new(self.shared.trace.sink());
+        let mut resilience = Resilience::new(
+            self.config.resilience.clone(),
+            Arc::clone(&self.shared.metrics),
+        );
+        resilience.set_tracer(tracer.clone());
         Cms {
             advice: AdviceManager::new(),
-            resilience: Resilience::new(
-                self.config.resilience.clone(),
-                Arc::clone(&self.shared.metrics),
-            ),
+            resilience,
             result_counter: 0,
             config: self.config.clone(),
             shared: Arc::clone(&self.shared),
             session_missing: Vec::new(),
+            tracer,
         }
+    }
+
+    /// This session's tracer (the IE opens its own spans on it so IE →
+    /// CMS → remote stages share one span tree).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Fan this session's trace out to `sink` *in addition to* the
+    /// CMS-wide sink, until [`Cms::detach_session_sink`]. This is how
+    /// per-query EXPLAIN captures one query's spans without disturbing
+    /// the shared log.
+    pub fn attach_session_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.tracer = Tracer::fanout(vec![self.shared.trace.sink(), sink]);
+        self.resilience.set_tracer(self.tracer.clone());
+    }
+
+    /// Drop any per-session sink and return to the CMS-wide sink alone.
+    pub fn detach_session_sink(&mut self) {
+        self.tracer = Tracer::new(self.shared.trace.sink());
+        self.resilience.set_tracer(self.tracer.clone());
     }
 
     /// The shared cache handle (invariant checks in tests and benches).
@@ -192,13 +237,32 @@ impl Cms {
     /// # Errors
     /// Propagates planning and execution errors.
     pub fn query(&mut self, q: ConjunctiveQuery) -> Result<AnswerStream> {
+        let started = Instant::now();
+        let mut span = self
+            .tracer
+            .span_lazy(TraceKind::Query, || q.head.to_string());
+        let result = self.query_inner(&q);
+        if span.is_live() {
+            match &result {
+                Ok(stream) => span.field("lazy", if stream.is_lazy() { "true" } else { "false" }),
+                Err(e) => span.field("error", e.to_string()),
+            }
+        }
+        drop(span);
+        self.shared
+            .metrics
+            .record_query_latency(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        result
+    }
+
+    fn query_inner(&mut self, q: &ConjunctiveQuery) -> Result<AnswerStream> {
         self.shared.metrics.add_queries(1);
         self.advice.observe(&q.head);
 
         // [CERI86] baseline mode: buffer whole base relations on first
         // touch, then answer every query from the local copies.
         if self.config.whole_relation_caching {
-            self.buffer_whole_relations(&q)?;
+            self.buffer_whole_relations(q)?;
         }
 
         // ---- Step 1 (§5.3.1): determine the query to be evaluated. ----
@@ -206,9 +270,9 @@ impl Cms {
         // segment, the cache cannot already answer, and the path
         // expression predicts reuse.
         if self.config.generalization {
-            let already_answerable = !self.shared.cache.whole_subsumers(&q).is_empty();
+            let already_answerable = !self.shared.cache.whole_subsumers(q).is_empty();
             if !already_answerable {
-                if let Some((gen, source_view)) = self.advice.generalization_candidate(&q) {
+                if let Some((gen, source_view)) = self.advice.generalization_candidate(q) {
                     // The generalized data pays off when the view whose
                     // body subsumed us (e.g. d3 for the b1 generalization
                     // of §5.3.1) is predicted to be queried later.
@@ -219,14 +283,19 @@ impl Cms {
                         && self.evaluate_into_cache(&gen, false).is_ok()
                     {
                         self.shared.metrics.add_generalized(1);
+                        self.tracer.event(
+                            TraceKind::Generalize,
+                            gen.head.to_string(),
+                            vec![("source_view", source_view)],
+                        );
                     }
                 }
             }
         }
 
         // ---- Steps 2–3: plan and execute. ----
-        let (plan, pins) = self.plan_pinned(&q, self.config.subsumption, true)?;
-        let stream = self.answer_with_plan(&q, plan, pins)?;
+        let (plan, pins, trace_info) = self.plan_pinned(q, self.config.subsumption, true)?;
+        let stream = self.answer_with_plan(q, plan, pins, trace_info)?;
 
         // ---- Advice-driven follow-ups. ----
         self.apply_replacement_advice();
@@ -246,7 +315,30 @@ impl Cms {
             pipelined: self.config.pipelining,
             buffer: self.config.transfer_buffer_tuples,
             exec: self.config.exec,
+            trace: &self.tracer,
         }
+    }
+
+    /// Cached-view names and remote-remainder descriptions of a plan —
+    /// the payload of the `cms.subsumption` / `cms.plan` trace events and
+    /// of EXPLAIN reports. Only called when tracing is enabled.
+    fn plan_views_and_remainder(&self, plan: &Plan) -> ViewsAndRemainder {
+        let mut views = Vec::new();
+        let mut remainder = Vec::new();
+        for part in plan.parts.iter().chain(plan.neg_parts.iter()) {
+            match &part.source {
+                PartSource::Cache { element, .. } => {
+                    let name = self
+                        .shared
+                        .cache
+                        .with_element(*element, |e| e.def.name().to_string())
+                        .unwrap_or_else(|| format!("element #{element}"));
+                    views.push(name);
+                }
+                PartSource::Remote { .. } => remainder.push(monitor::part_label(part)),
+            }
+        }
+        (views, remainder)
     }
 
     /// Plan a query and *pin* every cache element the plan reads, so a
@@ -261,8 +353,8 @@ impl Cms {
         q: &ConjunctiveQuery,
         use_subsumption: bool,
         cost_based: bool,
-    ) -> Result<(Plan, Vec<PinGuard>)> {
-        for _ in 0..3 {
+    ) -> Result<(Plan, Vec<PinGuard>, Option<ViewsAndRemainder>)> {
+        for attempt in 0..3 {
             let mut plan = planner::plan(q, &*self.shared.cache, use_subsumption)?;
             if cost_based && self.config.cost_based_placement {
                 plan = planner::choose_placement(
@@ -273,11 +365,38 @@ impl Cms {
                 );
             }
             if let Some(pins) = self.pin_plan(&plan) {
-                return Ok((plan, pins));
+                // Views/remainder are computed once here and handed to
+                // `answer_with_plan` so the `cms.plan` event does not pay
+                // the cache lookups a second time.
+                let trace_info = if self.tracer.enabled() {
+                    let (views, remainder) = self.plan_views_and_remainder(&plan);
+                    self.tracer.event(
+                        TraceKind::Subsumption,
+                        q.head.to_string(),
+                        vec![
+                            ("candidates", self.shared.cache.len().to_string()),
+                            ("matched_views", views.join(", ")),
+                            ("remainder", remainder.join("; ")),
+                            ("pins", pins.len().to_string()),
+                            ("replans", attempt.to_string()),
+                        ],
+                    );
+                    Some((views, remainder))
+                } else {
+                    None
+                };
+                return Ok((plan, pins, trace_info));
             }
         }
+        // Lost the planning/pinning race three times: a concurrent session
+        // evicted a planned element each time. Fall back to all-remote.
+        self.tracer.event(
+            TraceKind::PinFallback,
+            q.head.to_string(),
+            vec![("replans", "3".to_string())],
+        );
         let empty = CacheManager::new(0);
-        Ok((planner::plan(q, &empty, false)?, Vec::new()))
+        Ok((planner::plan(q, &empty, false)?, Vec::new(), None))
     }
 
     /// Pin every cache element a plan references. `None` when any element
@@ -301,16 +420,47 @@ impl Cms {
         q: &ConjunctiveQuery,
         plan: Plan,
         pins: Vec<PinGuard>,
+        trace_info: Option<ViewsAndRemainder>,
     ) -> Result<AnswerStream> {
         let all_cache = plan.all_cache();
+        let any_cache = plan.parts.iter().any(crate::planner::PlanPart::is_cache);
         if all_cache {
             self.shared.metrics.add_full_cache(1);
-        } else if plan.parts.iter().any(crate::planner::PlanPart::is_cache) {
+        } else if any_cache {
             self.shared.metrics.add_partial_cache(1);
         }
         self.shared
             .metrics
             .add_remote_subqueries(plan.remote_parts() as u64);
+
+        // Planner-decision trace record: where the answer will come from,
+        // which cached views serve it, and what remains for the remote.
+        let mut decision_fields = if self.tracer.enabled() {
+            let (views, remainder) =
+                trace_info.unwrap_or_else(|| self.plan_views_and_remainder(&plan));
+            Some(vec![
+                (
+                    "decision",
+                    if all_cache {
+                        "full_cache".to_string()
+                    } else if any_cache {
+                        "mixed".to_string()
+                    } else {
+                        "all_remote".to_string()
+                    },
+                ),
+                (
+                    "cache_parts",
+                    (plan.parts.len() - plan.remote_parts()).to_string(),
+                ),
+                ("remote_parts", plan.remote_parts().to_string()),
+                ("matched_views", views.join(", ")),
+                ("remainder", remainder.join("; ")),
+                ("pins", pins.len().to_string()),
+            ])
+        } else {
+            None
+        };
 
         // Touch used elements (LRU + hit statistics).
         for part in &plan.parts {
@@ -342,6 +492,11 @@ impl Cms {
                 // already (whole-query component carries them) and no
                 // anti-joins may be pending, so the generator is complete.
                 if plan.residual_cmps.is_empty() && plan.neg_parts.is_empty() {
+                    if let Some(mut fields) = decision_fields.take() {
+                        fields.push(("mode", "lazy".to_string()));
+                        self.tracer
+                            .event(TraceKind::PlanDecision, q.head.to_string(), fields);
+                    }
                     let g = self.shared.cache.derive(*element, derivation, &head_vars)?;
                     self.shared.metrics.add_lazy(1);
                     // The stream keeps the pins: the generator reads the
@@ -359,6 +514,11 @@ impl Cms {
 
         // Eager path: execute the full plan (pins stay held across the
         // execution, then release when this function returns).
+        if let Some(mut fields) = decision_fields.take() {
+            fields.push(("mode", "eager".to_string()));
+            self.tracer
+                .event(TraceKind::PlanDecision, q.head.to_string(), fields);
+        }
         let executed = match monitor::execute(&plan, &*self.shared.cache, &self.exec_env()) {
             Ok(ex) => ex,
             // Graceful degradation (§ failure model, DESIGN.md): the
@@ -413,6 +573,11 @@ impl Cms {
         }
         self.shared.metrics.add_degraded(1);
         self.session_missing.extend(missing.iter().cloned());
+        self.tracer.event(
+            TraceKind::Degraded,
+            q.head.to_string(),
+            vec![("missing_subqueries", missing.join("; "))],
+        );
 
         let names: Vec<String> = (0..q.head.arity()).map(|i| format!("h{i}")).collect();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
@@ -453,9 +618,26 @@ impl Cms {
             &aliases,
         );
         self.shared.metrics.add_evictions(evicted);
+        if evicted > 0 {
+            self.tracer.event(
+                TraceKind::Eviction,
+                q.head.pred.clone(),
+                vec![("evicted", evicted.to_string())],
+            );
+        }
         let Some(id) = id else {
             return;
         };
+        if self.tracer.enabled() {
+            self.tracer.event(
+                TraceKind::CacheInsert,
+                q.head.pred.clone(),
+                vec![
+                    ("element", id.to_string()),
+                    ("rows", joined.len().to_string()),
+                ],
+            );
+        }
 
         // Index advice (§4.2.1/§5.3.3): if this element can serve a view
         // specification's body component whose variables carry consumer
@@ -518,6 +700,13 @@ impl Cms {
                 }) {
                     self.shared.metrics.add_indices(built);
                     self.shared.metrics.add_evictions(evicted);
+                    if built > 0 {
+                        self.tracer.event(
+                            TraceKind::IndexBuild,
+                            q.head.pred.clone(),
+                            vec![("element", id.to_string()), ("indices", built.to_string())],
+                        );
+                    }
                 }
             }
         }
@@ -540,7 +729,7 @@ impl Cms {
         if est_bytes > self.config.cache_capacity_bytes as f64 {
             return Ok(());
         }
-        let (plan, pins) = self.plan_pinned(q, self.config.subsumption, false)?;
+        let (plan, pins, _) = self.plan_pinned(q, self.config.subsumption, false)?;
         if plan.all_cache() {
             return Ok(());
         }
@@ -601,7 +790,7 @@ impl Cms {
             let whole =
                 ConjunctiveQuery::new(head, vec![braid_caql::Literal::Atom(Atom::new(pred, args))]);
             if self.shared.cache.whole_subsumers(&whole).is_empty() {
-                let (plan, pins) = self.plan_pinned(&whole, true, false)?;
+                let (plan, pins, _) = self.plan_pinned(&whole, true, false)?;
                 if plan.all_cache() {
                     continue;
                 }
@@ -633,7 +822,10 @@ impl Cms {
             let Some(q) = self.advice.expand(&head) else {
                 continue;
             };
-            let _ = self.evaluate_into_cache(&q, true);
+            if self.evaluate_into_cache(&q, true).is_ok() {
+                self.tracer
+                    .event(TraceKind::Prefetch, head.to_string(), Vec::new());
+            }
         }
     }
 }

@@ -8,6 +8,8 @@
 
 use crate::resilience::ResilienceConfig;
 use braid_relational::ExecConfig;
+use braid_trace::{SinkHandle, TraceSink};
+use std::sync::Arc;
 
 /// Tunable CMS behaviour.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +73,12 @@ pub struct CmsConfig {
     /// local plan execution: monitor pipelines, cache derivations, and
     /// lazy generator opens.
     pub exec: ExecConfig,
+    /// Structured-tracing sink shared by every session of this CMS. The
+    /// default no-op sink disables all instrumentation sites (at
+    /// effectively zero cost); install a
+    /// [`RingSink`](braid_trace::RingSink) via
+    /// [`CmsConfig::with_trace`] to capture span/event logs.
+    pub trace: SinkHandle,
 }
 
 impl Default for CmsConfig {
@@ -95,6 +103,7 @@ impl Default for CmsConfig {
             whole_relation_caching: false,
             resilience: ResilienceConfig::default(),
             exec: ExecConfig::default(),
+            trace: SinkHandle::noop(),
         }
     }
 }
@@ -122,6 +131,7 @@ impl CmsConfig {
             whole_relation_caching: false,
             resilience: ResilienceConfig::default(),
             exec: ExecConfig::default(),
+            trace: SinkHandle::noop(),
         }
     }
 
@@ -230,6 +240,13 @@ impl CmsConfig {
     /// Set the executor batch size (rows per leaf batch, clamped ≥ 1).
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.exec = ExecConfig::with_batch_size(batch_size);
+        self
+    }
+
+    /// Install a structured-tracing sink shared by every session of this
+    /// CMS (see [`braid_trace`]). Replaces the default no-op sink.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = SinkHandle::new(sink);
         self
     }
 }

@@ -57,3 +57,8 @@ pub use planner::{PartSource, Plan, PlanPart};
 pub use resilience::{Resilience, ResilienceConfig};
 pub use shared::{PinGuard, SharedCache};
 pub use stream::{AnswerStream, Completeness};
+
+// The structured-tracing subsystem the CMS is instrumented with, re-exported
+// so downstream crates (IE, core) share one span tree without a direct
+// `braid-trace` dependency.
+pub use braid_trace as trace;

@@ -4,129 +4,149 @@
 //! cost metric (§3): communication volume and server demand live in
 //! `braid-remote`; "computation that needs to be done by the workstation"
 //! is counted here.
+//!
+//! Every field — monotone counter or log2 histogram — is declared once,
+//! in the [`cms_metrics!`] invocation below. The macro generates the
+//! atomic struct, the `Copy` snapshot struct, the bump methods,
+//! `snapshot`/`reset`, and the field-by-field [`CmsMetricsSnapshot::since`]
+//! delta, so a new counter cannot silently miss delta accounting: adding
+//! a field to the list wires all five at once, and the size-of guard
+//! test below fails if the snapshot ever grows a field outside the list.
 
+use braid_trace::{Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counters maintained by the CMS.
-#[derive(Debug, Default)]
-pub struct CmsMetrics {
-    queries: AtomicU64,
-    full_cache_answers: AtomicU64,
-    partial_cache_answers: AtomicU64,
-    remote_subqueries: AtomicU64,
-    generalized_queries: AtomicU64,
-    prefetched_queries: AtomicU64,
-    lazy_answers: AtomicU64,
-    indices_built: AtomicU64,
-    evictions: AtomicU64,
-    local_tuple_ops: AtomicU64,
-    executor_batches: AtomicU64,
-    executor_tuples: AtomicU64,
-    executor_rows_pruned: AtomicU64,
-    tuples_to_ie: AtomicU64,
-    retries: AtomicU64,
-    retry_backoff_units: AtomicU64,
-    deadline_timeouts: AtomicU64,
-    breaker_opens: AtomicU64,
-    breaker_rejections: AtomicU64,
-    degraded_answers: AtomicU64,
-    flight_fetches: AtomicU64,
-    dedup_hits: AtomicU64,
-    shard_lock_waits: AtomicU64,
-}
+/// Declares the full CMS metrics surface in one place. Generates:
+/// `CmsMetrics` (atomics), `CmsMetricsSnapshot` (`Copy` values),
+/// per-field bump/record methods, `snapshot()`, `reset()`,
+/// `CmsMetricsSnapshot::since()`, and the `COUNTER_FIELDS` /
+/// `HISTOGRAM_FIELDS` counts backing the completeness guard test.
+macro_rules! cms_metrics {
+    (
+        counters { $($(#[$cmeta:meta])* $cname:ident => $cbump:ident,)+ }
+        histograms { $($(#[$hmeta:meta])* $hname:ident => $hbump:ident,)+ }
+    ) => {
+        /// Counters and histograms maintained by the CMS.
+        #[derive(Debug, Default)]
+        pub struct CmsMetrics {
+            $($cname: AtomicU64,)+
+            $($hname: Histogram,)+
+        }
 
-/// Snapshot of [`CmsMetrics`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CmsMetricsSnapshot {
-    /// IE-queries received.
-    pub queries: u64,
-    /// Queries answered entirely from the cache.
-    pub full_cache_answers: u64,
-    /// Queries answered partly from the cache.
-    pub partial_cache_answers: u64,
-    /// Subqueries shipped to the remote DBMS.
-    pub remote_subqueries: u64,
-    /// Queries evaluated in a generalized form.
-    pub generalized_queries: u64,
-    /// CMS-generated prefetch queries.
-    pub prefetched_queries: u64,
-    /// Queries answered with a lazy generator.
-    pub lazy_answers: u64,
-    /// Hash indices built from advice.
-    pub indices_built: u64,
-    /// Cache elements evicted.
-    pub evictions: u64,
-    /// Tuples processed by local (cache) operators.
-    pub local_tuple_ops: u64,
-    /// Batches produced by the local batched executor.
-    pub executor_batches: u64,
-    /// Tuples produced by the local batched executor (all operators).
-    pub executor_tuples: u64,
-    /// Rows pruned by (fused) filter passes in the local executor.
-    pub executor_rows_pruned: u64,
-    /// Tuples actually delivered to the IE.
-    pub tuples_to_ie: u64,
-    /// Remote fetch attempts retried after a transient fault.
-    pub retries: u64,
-    /// Simulated cost units charged as retry backoff.
-    pub retry_backoff_units: u64,
-    /// Attempts abandoned because the per-request deadline was exceeded.
-    pub deadline_timeouts: u64,
-    /// Times the circuit breaker tripped open.
-    pub breaker_opens: u64,
-    /// Attempts rejected without contacting the remote (breaker open).
-    pub breaker_rejections: u64,
-    /// Queries answered in degraded (cache-only) mode with a
-    /// `Partial` completeness tag.
-    pub degraded_answers: u64,
-    /// Remote fetches actually issued through the single-flight layer
-    /// (each one led a flight other sessions could join).
-    pub flight_fetches: u64,
-    /// Remote fetches avoided because a subsumption-equivalent fetch was
-    /// already in flight — the session joined it instead of duplicating
-    /// the server work.
-    pub dedup_hits: u64,
-    /// Contended shared-cache shard-lock acquisitions (a `try_lock`
-    /// failed before blocking) — the lock-wait proxy reported by E13.
-    pub shard_lock_waits: u64,
-}
+        /// Snapshot of [`CmsMetrics`].
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct CmsMetricsSnapshot {
+            $($(#[$cmeta])* pub $cname: u64,)+
+            $($(#[$hmeta])* pub $hname: HistogramSnapshot,)+
+        }
 
-macro_rules! bump {
-    ($($name:ident => $field:ident),* $(,)?) => {
         impl CmsMetrics {
             $(
-                pub(crate) fn $name(&self, n: u64) {
-                    self.$field.fetch_add(n, Ordering::Relaxed);
+                pub(crate) fn $cbump(&self, n: u64) {
+                    self.$cname.fetch_add(n, Ordering::Relaxed);
                 }
-            )*
+            )+
+            $(
+                pub(crate) fn $hbump(&self, value: u64) {
+                    self.$hname.record(value);
+                }
+            )+
+
+            /// Read all counters and histograms.
+            pub fn snapshot(&self) -> CmsMetricsSnapshot {
+                CmsMetricsSnapshot {
+                    $($cname: self.$cname.load(Ordering::Relaxed),)+
+                    $($hname: self.$hname.snapshot(),)+
+                }
+            }
+
+            /// Zero all counters and histograms.
+            pub fn reset(&self) {
+                $(self.$cname.store(0, Ordering::Relaxed);)+
+                $(self.$hname.reset();)+
+            }
+        }
+
+        impl CmsMetricsSnapshot {
+            /// Number of scalar counter fields the macro generated.
+            pub const COUNTER_FIELDS: usize = [$(stringify!($cname)),+].len();
+            /// Number of histogram fields the macro generated.
+            pub const HISTOGRAM_FIELDS: usize = [$(stringify!($hname)),+].len();
+
+            /// Field-by-field delta (`self - earlier`). Counters
+            /// subtract; histograms subtract bucketwise.
+            #[must_use]
+            pub fn since(&self, earlier: &CmsMetricsSnapshot) -> CmsMetricsSnapshot {
+                CmsMetricsSnapshot {
+                    $($cname: self.$cname - earlier.$cname,)+
+                    $($hname: self.$hname.since(&earlier.$hname),)+
+                }
+            }
         }
     };
 }
 
-bump! {
-    add_queries => queries,
-    add_full_cache => full_cache_answers,
-    add_partial_cache => partial_cache_answers,
-    add_remote_subqueries => remote_subqueries,
-    add_generalized => generalized_queries,
-    add_prefetched => prefetched_queries,
-    add_lazy => lazy_answers,
-    add_indices => indices_built,
-    add_evictions => evictions,
-    add_local_ops => local_tuple_ops,
-    add_executor_batches => executor_batches,
-    add_executor_tuples => executor_tuples,
-    add_executor_rows_pruned => executor_rows_pruned,
-    add_tuples_to_ie => tuples_to_ie,
-    add_retries => retries,
-    add_backoff_units => retry_backoff_units,
-    add_deadline_timeouts => deadline_timeouts,
-    add_breaker_opens => breaker_opens,
-    add_breaker_rejections => breaker_rejections,
-    add_degraded => degraded_answers,
-    add_flight_fetches => flight_fetches,
-    add_dedup_hits => dedup_hits,
-    add_shard_lock_waits => shard_lock_waits,
+cms_metrics! {
+    counters {
+        /// IE-queries received.
+        queries => add_queries,
+        /// Queries answered entirely from the cache.
+        full_cache_answers => add_full_cache,
+        /// Queries answered partly from the cache.
+        partial_cache_answers => add_partial_cache,
+        /// Subqueries shipped to the remote DBMS.
+        remote_subqueries => add_remote_subqueries,
+        /// Queries evaluated in a generalized form.
+        generalized_queries => add_generalized,
+        /// CMS-generated prefetch queries.
+        prefetched_queries => add_prefetched,
+        /// Queries answered with a lazy generator.
+        lazy_answers => add_lazy,
+        /// Hash indices built from advice.
+        indices_built => add_indices,
+        /// Cache elements evicted.
+        evictions => add_evictions,
+        /// Tuples processed by local (cache) operators.
+        local_tuple_ops => add_local_ops,
+        /// Batches produced by the local batched executor.
+        executor_batches => add_executor_batches,
+        /// Tuples produced by the local batched executor (all operators).
+        executor_tuples => add_executor_tuples,
+        /// Rows pruned by (fused) filter passes in the local executor.
+        executor_rows_pruned => add_executor_rows_pruned,
+        /// Tuples actually delivered to the IE.
+        tuples_to_ie => add_tuples_to_ie,
+        /// Remote fetch attempts retried after a transient fault.
+        retries => add_retries,
+        /// Simulated cost units charged as retry backoff.
+        retry_backoff_units => add_backoff_units,
+        /// Attempts abandoned because the per-request deadline was exceeded.
+        deadline_timeouts => add_deadline_timeouts,
+        /// Times the circuit breaker tripped open.
+        breaker_opens => add_breaker_opens,
+        /// Attempts rejected without contacting the remote (breaker open).
+        breaker_rejections => add_breaker_rejections,
+        /// Queries answered in degraded (cache-only) mode with a
+        /// `Partial` completeness tag.
+        degraded_answers => add_degraded,
+        /// Remote fetches actually issued through the single-flight layer
+        /// (each one led a flight other sessions could join).
+        flight_fetches => add_flight_fetches,
+        /// Remote fetches avoided because a subsumption-equivalent fetch was
+        /// already in flight — the session joined it instead of duplicating
+        /// the server work.
+        dedup_hits => add_dedup_hits,
+        /// Contended shared-cache shard-lock acquisitions (a `try_lock`
+        /// failed before blocking) — the lock-wait proxy reported by E13.
+        shard_lock_waits => add_shard_lock_waits,
+    }
+    histograms {
+        /// Wall-clock latency of [`Cms::query`](crate::Cms::query) calls,
+        /// in microseconds (log2 buckets; p50/p90/p99 accessors).
+        query_latency_us => record_query_latency,
+        /// Simulated cost units charged per individual retry backoff.
+        retry_backoff => record_retry_backoff,
+    }
 }
 
 impl CmsMetrics {
@@ -140,66 +160,6 @@ impl CmsMetrics {
         self.add_executor_batches(stats.batches);
         self.add_executor_tuples(stats.tuples);
         self.add_executor_rows_pruned(stats.rows_pruned);
-    }
-
-    /// Read all counters.
-    pub fn snapshot(&self) -> CmsMetricsSnapshot {
-        CmsMetricsSnapshot {
-            queries: self.queries.load(Ordering::Relaxed),
-            full_cache_answers: self.full_cache_answers.load(Ordering::Relaxed),
-            partial_cache_answers: self.partial_cache_answers.load(Ordering::Relaxed),
-            remote_subqueries: self.remote_subqueries.load(Ordering::Relaxed),
-            generalized_queries: self.generalized_queries.load(Ordering::Relaxed),
-            prefetched_queries: self.prefetched_queries.load(Ordering::Relaxed),
-            lazy_answers: self.lazy_answers.load(Ordering::Relaxed),
-            indices_built: self.indices_built.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            local_tuple_ops: self.local_tuple_ops.load(Ordering::Relaxed),
-            executor_batches: self.executor_batches.load(Ordering::Relaxed),
-            executor_tuples: self.executor_tuples.load(Ordering::Relaxed),
-            executor_rows_pruned: self.executor_rows_pruned.load(Ordering::Relaxed),
-            tuples_to_ie: self.tuples_to_ie.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            retry_backoff_units: self.retry_backoff_units.load(Ordering::Relaxed),
-            deadline_timeouts: self.deadline_timeouts.load(Ordering::Relaxed),
-            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
-            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
-            degraded_answers: self.degraded_answers.load(Ordering::Relaxed),
-            flight_fetches: self.flight_fetches.load(Ordering::Relaxed),
-            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
-            shard_lock_waits: self.shard_lock_waits.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Zero all counters.
-    pub fn reset(&self) {
-        for c in [
-            &self.queries,
-            &self.full_cache_answers,
-            &self.partial_cache_answers,
-            &self.remote_subqueries,
-            &self.generalized_queries,
-            &self.prefetched_queries,
-            &self.lazy_answers,
-            &self.indices_built,
-            &self.evictions,
-            &self.local_tuple_ops,
-            &self.executor_batches,
-            &self.executor_tuples,
-            &self.executor_rows_pruned,
-            &self.tuples_to_ie,
-            &self.retries,
-            &self.retry_backoff_units,
-            &self.deadline_timeouts,
-            &self.breaker_opens,
-            &self.breaker_rejections,
-            &self.degraded_answers,
-            &self.flight_fetches,
-            &self.dedup_hits,
-            &self.shard_lock_waits,
-        ] {
-            c.store(0, Ordering::Relaxed);
-        }
     }
 }
 
@@ -254,5 +214,45 @@ mod tests {
         assert_eq!(s.executor_rows_pruned, 7);
         m.reset();
         assert_eq!(m.snapshot().executor_tuples, 0);
+    }
+
+    #[test]
+    fn since_subtracts_every_field() {
+        let m = CmsMetrics::new();
+        m.add_queries(3);
+        m.record_query_latency(100);
+        let earlier = m.snapshot();
+        m.add_queries(2);
+        m.add_retries(1);
+        m.record_query_latency(100);
+        m.record_retry_backoff(16);
+        let d = m.snapshot().since(&earlier);
+        assert_eq!(d.queries, 2);
+        assert_eq!(d.retries, 1);
+        assert_eq!(d.query_latency_us.count(), 1);
+        assert_eq!(d.retry_backoff.count(), 1);
+    }
+
+    /// Completeness guard: the snapshot struct may only hold fields the
+    /// `cms_metrics!` list generated — a field added by hand (bypassing
+    /// the macro, and therefore missing from `since`/`reset`) changes
+    /// the struct's size and fails here.
+    #[test]
+    fn every_snapshot_field_is_macro_generated() {
+        assert_eq!(
+            std::mem::size_of::<CmsMetricsSnapshot>(),
+            CmsMetricsSnapshot::COUNTER_FIELDS * std::mem::size_of::<u64>()
+                + CmsMetricsSnapshot::HISTOGRAM_FIELDS * std::mem::size_of::<HistogramSnapshot>(),
+        );
+        assert_eq!(CmsMetricsSnapshot::COUNTER_FIELDS, 23);
+        assert_eq!(CmsMetricsSnapshot::HISTOGRAM_FIELDS, 2);
+    }
+
+    #[test]
+    fn histograms_reset_with_counters() {
+        let m = CmsMetrics::new();
+        m.record_query_latency(50);
+        m.reset();
+        assert!(m.snapshot().query_latency_us.is_empty());
     }
 }

@@ -17,6 +17,7 @@ use crate::resilience::Resilience;
 use braid_caql::{ArithExpr, Comparison, Term};
 use braid_relational::{ExecConfig, ExecStats, Expr, PhysicalPlan, Relation, Schema, Tuple};
 use braid_remote::{RemoteDbms, RemoteError};
+use braid_trace::{TraceKind, Tracer};
 
 /// The single-flight table specialized to remote part fetches: the shared
 /// value is the `(vars, relation)` a fetch produces, errors are broadcast
@@ -44,6 +45,9 @@ pub struct ExecEnv<'a> {
     pub buffer: usize,
     /// Local batched-executor configuration.
     pub exec: ExecConfig,
+    /// Session tracer: the monitor opens an `exec.run` span per plan and
+    /// one `exec.remote_fetch`/`exec.cache_part` record per part.
+    pub trace: &'a Tracer,
 }
 
 /// The result of executing a plan: the joined relation (columns named by
@@ -89,6 +93,17 @@ pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Resul
     let mut local_ops: u64 = 0;
     let mut remote_count: u64 = 0;
 
+    // The span every per-part record nests under. Worker threads attach
+    // through the explicit parent id, never the control-path stack.
+    let mut exec_span = env.trace.span_lazy(TraceKind::Execute, || {
+        format!(
+            "{} part(s), {} negated",
+            plan.parts.len(),
+            plan.neg_parts.len()
+        )
+    });
+    let exec_parent = exec_span.id();
+
     // Split parts: remote ones may run on threads.
     let mut results: Vec<Option<(Vec<String>, Relation)>> = vec![None; plan.parts.len()];
 
@@ -108,26 +123,15 @@ pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Resul
             let mut handles = Vec::new();
             for (idx, part) in &remote_jobs {
                 let part = (*part).clone();
-                let remote = env.remote.clone();
                 let idx = *idx;
-                handles.push((
-                    idx,
-                    s.spawn(move || {
-                        fetch_remote(
-                            &part,
-                            &remote,
-                            env.resilience,
-                            env.flight,
-                            env.pipelined,
-                            env.buffer,
-                        )
-                    }),
-                ));
+                handles.push((idx, s.spawn(move || fetch_remote(&part, &env, exec_parent))));
             }
             // Cache parts while remote is in flight.
             for (idx, part) in plan.parts.iter().enumerate() {
                 if part.is_cache() {
-                    results[idx] = Some(eval_cache_part(part, cache, &mut local_ops)?);
+                    let r = eval_cache_part(part, cache, &mut local_ops)?;
+                    trace_cache_part(&env, exec_parent, part, &r.1);
+                    results[idx] = Some(r);
                 }
             }
             for (idx, h) in handles {
@@ -141,16 +145,11 @@ pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Resul
     } else {
         for (idx, part) in plan.parts.iter().enumerate() {
             results[idx] = Some(if part.is_cache() {
-                eval_cache_part(part, cache, &mut local_ops)?
+                let r = eval_cache_part(part, cache, &mut local_ops)?;
+                trace_cache_part(env, exec_parent, part, &r.1);
+                r
             } else {
-                fetch_remote(
-                    part,
-                    env.remote,
-                    env.resilience,
-                    env.flight,
-                    env.pipelined,
-                    env.buffer,
-                )?
+                fetch_remote(part, env, exec_parent)?
             });
         }
     }
@@ -201,16 +200,11 @@ pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Resul
     for part in &plan.neg_parts {
         remote_count += u64::from(!part.is_cache());
         let (nvars, nrel) = if part.is_cache() {
-            eval_cache_part(part, cache, &mut local_ops)?
+            let r = eval_cache_part(part, cache, &mut local_ops)?;
+            trace_cache_part(env, exec_parent, part, &r.1);
+            r
         } else {
-            fetch_remote(
-                part,
-                env.remote,
-                env.resilience,
-                env.flight,
-                env.pipelined,
-                env.buffer,
-            )?
+            fetch_remote(part, env, exec_parent)?
         };
         let on: Vec<(usize, usize)> = nvars
             .iter()
@@ -235,6 +229,12 @@ pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Resul
         .map_err(CmsError::from)?;
     local_ops += exec_stats.tuples;
     let joined = rename(joined, &vars)?;
+
+    if exec_span.is_live() {
+        exec_span.field("rows", joined.len().to_string());
+        exec_span.field("local_tuple_ops", local_ops.to_string());
+        exec_span.field("exec_batches", exec_stats.batches.to_string());
+    }
 
     Ok(Executed {
         joined,
@@ -269,6 +269,32 @@ fn eval_cache_part<C: CacheRead>(
     Ok((part.vars.clone(), rename(rel, &part.vars)?))
 }
 
+/// Record one cache-served part under the `exec.run` span.
+fn trace_cache_part(env: &ExecEnv<'_>, parent: Option<u64>, part: &PlanPart, rel: &Relation) {
+    if !env.trace.enabled() {
+        return;
+    }
+    env.trace.event_under(
+        parent,
+        TraceKind::CachePart,
+        part_label(part),
+        vec![("rows", rel.len().to_string())],
+    );
+}
+
+/// Human-readable description of a plan part (atoms & comparisons, or
+/// the cached element id).
+pub(crate) fn part_label(part: &PlanPart) -> String {
+    match &part.source {
+        PartSource::Cache { element, .. } => format!("element #{element}"),
+        PartSource::Remote { atoms, cmps } => {
+            let mut desc: Vec<String> = atoms.iter().map(ToString::to_string).collect();
+            desc.extend(cmps.iter().map(ToString::to_string));
+            desc.join(" & ")
+        }
+    }
+}
+
 /// Render a worker panic payload as text for [`CmsError::WorkerPanic`].
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -282,35 +308,47 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 fn fetch_remote(
     part: &PlanPart,
-    remote: &RemoteDbms,
-    resilience: &Resilience,
-    flight: Option<&RemoteFlight>,
-    pipelined: bool,
-    buffer: usize,
+    env: &ExecEnv<'_>,
+    parent: Option<u64>,
 ) -> Result<(Vec<String>, Relation)> {
     let PartSource::Remote { atoms, cmps } = &part.source else {
         unreachable!("fetch_remote called on a cache part");
     };
+    let (remote, resilience) = (env.remote, env.resilience);
     let t = rdi::translate(atoms, cmps, &part.vars)?;
+    // Worker-thread span: attached under the exec.run span by explicit
+    // parent id (never via the session's control-path stack).
+    let mut span = env
+        .trace
+        .span_under(parent, TraceKind::RemoteFetch, t.sql.to_string());
     // Single-flight dedup: the translated SQL (plus output variables) is
     // the canonical identity of the round trip — subsumption-equivalent
     // subqueries from different sessions translate identically, so one
     // fetch serves them all. The whole resilience loop runs inside the
     // flight: joiners share the leader's *final* outcome, not a
     // transient failure it would have retried past.
-    if let Some(f) = flight {
+    let result = if let Some(f) = env.flight {
         let key = format!("{}|{}", t.sql, part.vars.join(","));
         let (rel, led) = f.run(&key, || {
-            fetch_attempts(part, remote, resilience, &t, pipelined, buffer)
+            fetch_attempts(part, remote, resilience, &t, env.pipelined, env.buffer)
         });
         if led {
             resilience.metrics().add_flight_fetches(1);
         } else {
             resilience.metrics().add_dedup_hits(1);
         }
-        return rel;
+        span.field("flight", if led { "led" } else { "joined" });
+        rel
+    } else {
+        fetch_attempts(part, remote, resilience, &t, env.pipelined, env.buffer)
+    };
+    if span.is_live() {
+        match &result {
+            Ok((_, rel)) => span.field("rows", rel.len().to_string()),
+            Err(e) => span.field("error", e.to_string()),
+        }
     }
-    fetch_attempts(part, remote, resilience, &t, pipelined, buffer)
+    result
 }
 
 /// The resilience-wrapped fetch of one translated remote subquery.
@@ -367,6 +405,14 @@ fn check_deadline(resilience: &Resilience, units_charged: u64) -> Result<()> {
     if let Some(deadline) = resilience.deadline_units() {
         if units_charged > deadline {
             resilience.metrics().add_deadline_timeouts(1);
+            resilience.tracer().event(
+                TraceKind::DeadlineTimeout,
+                "latency receipt exceeded per-attempt deadline",
+                vec![
+                    ("units_charged", units_charged.to_string()),
+                    ("deadline_units", deadline.to_string()),
+                ],
+            );
             return Err(CmsError::Remote(RemoteError::Timeout));
         }
     }
@@ -487,7 +533,12 @@ mod tests {
         )
     }
 
-    fn env<'a>(remote: &'a RemoteDbms, resilience: &'a Resilience, parallel: bool) -> ExecEnv<'a> {
+    fn env<'a>(
+        remote: &'a RemoteDbms,
+        resilience: &'a Resilience,
+        trace: &'a Tracer,
+        parallel: bool,
+    ) -> ExecEnv<'a> {
         ExecEnv {
             remote,
             resilience,
@@ -496,6 +547,7 @@ mod tests {
             pipelined: true,
             buffer: 8,
             exec: ExecConfig::default(),
+            trace,
         }
     }
 
@@ -529,7 +581,8 @@ mod tests {
         let q = parse_rule("d2(X) :- b2(X, Z), b3(Z, c2, c6).").unwrap();
         let p = plan(&q, &cache, true).unwrap();
         let rs = res();
-        let ex = execute(&p, &cache, &env(&r, &rs, false)).unwrap();
+        let tr = Tracer::disabled();
+        let ex = execute(&p, &cache, &env(&r, &rs, &tr, false)).unwrap();
         // Only x1/x3 join through z1 to (c2, c6).
         assert_eq!(ex.joined.len(), 2);
         let head = project_head(&ex.joined, &paper_vars(&ex), &q.head).unwrap();
@@ -566,7 +619,8 @@ mod tests {
         let p = plan(&q, &cache, true).unwrap();
         assert_eq!(p.remote_parts(), 1);
         let rs = res();
-        let ex = execute(&p, &cache, &env(&r, &rs, false)).unwrap();
+        let tr = Tracer::disabled();
+        let ex = execute(&p, &cache, &env(&r, &rs, &tr, false)).unwrap();
         let head = project_head(&ex.joined, &paper_vars(&ex), &q.head).unwrap();
         let mut rows = head.sorted_tuples();
         rows.sort();
@@ -584,8 +638,9 @@ mod tests {
         let q = parse_rule("q(X, Y) :- b2(X, Z), b3(W, c2, Y).").unwrap();
         let p = plan(&q, &cache, true).unwrap();
         let rs = res();
-        let seq = execute(&p, &cache, &env(&r, &rs, false)).unwrap();
-        let par = execute(&p, &cache, &env(&r, &rs, true)).unwrap();
+        let tr = Tracer::disabled();
+        let seq = execute(&p, &cache, &env(&r, &rs, &tr, false)).unwrap();
+        let par = execute(&p, &cache, &env(&r, &rs, &tr, true)).unwrap();
         assert_eq!(seq.joined, par.joined);
         assert_eq!(par.remote_subqueries, 1); // contiguous run → 1 request
     }
@@ -613,7 +668,8 @@ mod tests {
         let p = plan(&q, &cache, true).unwrap();
         assert_eq!(p.residual_cmps.len(), 1);
         let rs = res();
-        let ex = execute(&p, &cache, &env(&r, &rs, false)).unwrap();
+        let tr = Tracer::disabled();
+        let ex = execute(&p, &cache, &env(&r, &rs, &tr, false)).unwrap();
         assert_eq!(ex.joined.len(), 2); // (1,5) and (3,10)
     }
 
@@ -629,7 +685,8 @@ mod tests {
         )
         .unwrap();
         let rs = res();
-        let ex = execute(&q_yes, &cache, &env(&r, &rs, false)).unwrap();
+        let tr = Tracer::disabled();
+        let ex = execute(&q_yes, &cache, &env(&r, &rs, &tr, false)).unwrap();
         assert_eq!(ex.joined.len(), 1, "existence holds: b3 rows survive");
         let q_no = plan(
             &parse_rule("q(V) :- b2(x1, zz), b3(V, c2, c6).").unwrap(),
@@ -637,7 +694,7 @@ mod tests {
             true,
         )
         .unwrap();
-        let ex = execute(&q_no, &cache, &env(&r, &rs, false)).unwrap();
+        let ex = execute(&q_no, &cache, &env(&r, &rs, &tr, false)).unwrap();
         assert_eq!(ex.joined.len(), 0, "existence fails: empty result");
     }
 

@@ -11,6 +11,7 @@
 
 use crate::error::{CmsError, Result};
 use crate::metrics::CmsMetrics;
+use braid_trace::{TraceKind, Tracer};
 use std::sync::{Arc, Mutex};
 
 /// Tunable resilience policy, carried on
@@ -132,6 +133,7 @@ pub struct Resilience {
     config: ResilienceConfig,
     metrics: Arc<CmsMetrics>,
     breaker: Mutex<BreakerState>,
+    tracer: Tracer,
 }
 
 impl Resilience {
@@ -145,7 +147,20 @@ impl Resilience {
                 consecutive_failures: 0,
                 rejects_left: 0,
             }),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Point this policy engine's fault events at a session tracer.
+    /// Retries, breaker transitions and deadline timeouts surface as
+    /// point events under the session's current span.
+    pub(crate) fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer fault events are reported through.
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The active policy.
@@ -177,6 +192,11 @@ impl Resilience {
                 if b.rejects_left > 0 {
                     b.rejects_left -= 1;
                     self.metrics.add_breaker_rejections(1);
+                    self.tracer.event(
+                        TraceKind::BreakerReject,
+                        "attempt rejected while breaker open",
+                        vec![("rejects_left", b.rejects_left.to_string())],
+                    );
                     Err(CmsError::CircuitOpen)
                 } else {
                     b.phase = BreakerPhase::HalfOpen;
@@ -206,6 +226,11 @@ impl Resilience {
                 b.phase = BreakerPhase::Open;
                 b.rejects_left = self.config.breaker_cooldown;
                 self.metrics.add_breaker_opens(1);
+                self.tracer.event(
+                    TraceKind::BreakerOpen,
+                    "half-open probe failed",
+                    vec![("cooldown", self.config.breaker_cooldown.to_string())],
+                );
             }
             BreakerPhase::Closed => {
                 b.consecutive_failures += 1;
@@ -213,6 +238,14 @@ impl Resilience {
                     b.phase = BreakerPhase::Open;
                     b.rejects_left = self.config.breaker_cooldown;
                     self.metrics.add_breaker_opens(1);
+                    self.tracer.event(
+                        TraceKind::BreakerOpen,
+                        "consecutive transient failures reached threshold",
+                        vec![
+                            ("failures", b.consecutive_failures.to_string()),
+                            ("cooldown", self.config.breaker_cooldown.to_string()),
+                        ],
+                    );
                 }
             }
             BreakerPhase::Open => {}
@@ -260,6 +293,15 @@ impl Resilience {
                             .min(self.config.backoff_cap_units);
                         self.metrics.add_retries(1);
                         self.metrics.add_backoff_units(backoff);
+                        self.metrics.record_retry_backoff(backoff);
+                        self.tracer.event(
+                            TraceKind::Retry,
+                            e.to_string(),
+                            vec![
+                                ("attempt", (attempt + 1).to_string()),
+                                ("backoff_units", backoff.to_string()),
+                            ],
+                        );
                     }
                     last = Some(e);
                 }

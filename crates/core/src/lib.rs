@@ -55,11 +55,15 @@
 //! | PSJ subsumption | `braid-subsume` |
 //! | relational substrate | `braid-relational` |
 
+pub mod explain;
 pub mod metrics;
 pub mod system;
 
+pub use explain::{ExplainReport, ExplainSummary, PlanExplain};
 pub use metrics::CombinedMetrics;
-pub use system::{BraidConfig, BraidError, BraidSession, BraidSystem, CheckedSolutions};
+pub use system::{
+    BraidConfig, BraidError, BraidSession, BraidSystem, CheckedSolutions, ExplainedSolutions,
+};
 
 // The public API surface, re-exported so applications depend on one crate.
 pub use braid_advice::{Advice, PathExpr, PathTracker, ViewSpec};
@@ -71,3 +75,5 @@ pub use braid_cms::{AnswerStream, Cms, CmsConfig, Completeness, ResilienceConfig
 pub use braid_ie::{IeError, InferenceEngine, KnowledgeBase, Rule, Soa, Strategy};
 pub use braid_relational::{Relation, Schema, Tuple, Value};
 pub use braid_remote::{Catalog, CostModel, FaultPlan, LatencyModel, RemoteDbms};
+pub use braid_trace as trace;
+pub use braid_trace::{Histogram, HistogramSnapshot, RingSink, SinkHandle, TraceEvent, TraceKind};

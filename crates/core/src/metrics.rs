@@ -17,38 +17,87 @@ pub struct CombinedMetrics {
 }
 
 impl CombinedMetrics {
-    /// Differences between two snapshots (self - earlier).
+    /// Differences between two snapshots (self - earlier). Both sides
+    /// delegate to their own generated `since`, so a counter added to
+    /// either metrics list is delta-accounted automatically.
     pub fn since(&self, earlier: &CombinedMetrics) -> CombinedMetrics {
         CombinedMetrics {
             remote: self.remote.since(&earlier.remote),
-            cms: CmsMetricsSnapshot {
-                queries: self.cms.queries - earlier.cms.queries,
-                full_cache_answers: self.cms.full_cache_answers - earlier.cms.full_cache_answers,
-                partial_cache_answers: self.cms.partial_cache_answers
-                    - earlier.cms.partial_cache_answers,
-                remote_subqueries: self.cms.remote_subqueries - earlier.cms.remote_subqueries,
-                generalized_queries: self.cms.generalized_queries - earlier.cms.generalized_queries,
-                prefetched_queries: self.cms.prefetched_queries - earlier.cms.prefetched_queries,
-                lazy_answers: self.cms.lazy_answers - earlier.cms.lazy_answers,
-                indices_built: self.cms.indices_built - earlier.cms.indices_built,
-                evictions: self.cms.evictions - earlier.cms.evictions,
-                local_tuple_ops: self.cms.local_tuple_ops - earlier.cms.local_tuple_ops,
-                executor_batches: self.cms.executor_batches - earlier.cms.executor_batches,
-                executor_tuples: self.cms.executor_tuples - earlier.cms.executor_tuples,
-                executor_rows_pruned: self.cms.executor_rows_pruned
-                    - earlier.cms.executor_rows_pruned,
-                tuples_to_ie: self.cms.tuples_to_ie - earlier.cms.tuples_to_ie,
-                retries: self.cms.retries - earlier.cms.retries,
-                retry_backoff_units: self.cms.retry_backoff_units - earlier.cms.retry_backoff_units,
-                deadline_timeouts: self.cms.deadline_timeouts - earlier.cms.deadline_timeouts,
-                breaker_opens: self.cms.breaker_opens - earlier.cms.breaker_opens,
-                breaker_rejections: self.cms.breaker_rejections - earlier.cms.breaker_rejections,
-                degraded_answers: self.cms.degraded_answers - earlier.cms.degraded_answers,
-                flight_fetches: self.cms.flight_fetches - earlier.cms.flight_fetches,
-                dedup_hits: self.cms.dedup_hits - earlier.cms.dedup_hits,
-                shard_lock_waits: self.cms.shard_lock_waits - earlier.cms.shard_lock_waits,
-            },
+            cms: self.cms.since(&earlier.cms),
         }
+    }
+
+    /// Render the full cost picture as an aligned two-column table —
+    /// the shared presentation used by the benchmark binaries and the
+    /// examples. Histogram rows report `n`/p50/p90/p99/max.
+    pub fn render_table(&self) -> String {
+        let rows: Vec<(&str, String)> = vec![
+            ("remote.requests", self.remote.requests.to_string()),
+            (
+                "remote.tuples_shipped",
+                self.remote.tuples_shipped.to_string(),
+            ),
+            (
+                "remote.bytes_shipped",
+                self.remote.bytes_shipped.to_string(),
+            ),
+            (
+                "remote.server_tuple_ops",
+                self.remote.server_tuple_ops.to_string(),
+            ),
+            (
+                "remote.simulated_latency_units",
+                self.remote.simulated_latency_units.to_string(),
+            ),
+            (
+                "remote.faults_injected",
+                self.remote.faults_injected.to_string(),
+            ),
+            ("remote.rtt_units", self.remote.rtt_units.to_string()),
+            ("remote.batch_tuples", self.remote.batch_tuples.to_string()),
+            ("cms.queries", self.cms.queries.to_string()),
+            (
+                "cms.full_cache_answers",
+                self.cms.full_cache_answers.to_string(),
+            ),
+            (
+                "cms.partial_cache_answers",
+                self.cms.partial_cache_answers.to_string(),
+            ),
+            (
+                "cms.remote_subqueries",
+                self.cms.remote_subqueries.to_string(),
+            ),
+            (
+                "cms.generalized_queries",
+                self.cms.generalized_queries.to_string(),
+            ),
+            (
+                "cms.prefetched_queries",
+                self.cms.prefetched_queries.to_string(),
+            ),
+            ("cms.lazy_answers", self.cms.lazy_answers.to_string()),
+            ("cms.evictions", self.cms.evictions.to_string()),
+            ("cms.local_tuple_ops", self.cms.local_tuple_ops.to_string()),
+            ("cms.retries", self.cms.retries.to_string()),
+            (
+                "cms.degraded_answers",
+                self.cms.degraded_answers.to_string(),
+            ),
+            (
+                "cms.query_latency_us",
+                self.cms.query_latency_us.to_string(),
+            ),
+            ("cms.retry_backoff", self.cms.retry_backoff.to_string()),
+            ("total_cost_units", self.total_cost_units().to_string()),
+            ("wasted_cost_units", self.wasted_cost_units().to_string()),
+        ];
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in rows {
+            out.push_str(&format!("{k:width$}  {v}\n"));
+        }
+        out
     }
 
     /// Remote cost units charged on attempts that ultimately failed,
@@ -130,5 +179,35 @@ mod tests {
         assert_eq!(d.total_cost_units(), 15);
         let s = a.to_string();
         assert!(s.contains("local-ops"));
+    }
+
+    #[test]
+    fn since_covers_histograms() {
+        let mut a = CombinedMetrics::default();
+        a.cms.query_latency_us.buckets[5] = 3;
+        a.remote.rtt_units.buckets[7] = 2;
+        let mut b = CombinedMetrics::default();
+        b.cms.query_latency_us.buckets[5] = 1;
+        let d = a.since(&b);
+        assert_eq!(d.cms.query_latency_us.count(), 2);
+        assert_eq!(d.remote.rtt_units.count(), 2);
+    }
+
+    #[test]
+    fn table_renders_aligned_rows() {
+        let mut m = CombinedMetrics::default();
+        m.cms.queries = 7;
+        let t = m.render_table();
+        assert!(t
+            .lines()
+            .any(|l| l.starts_with("cms.queries") && l.ends_with('7')));
+        assert!(t.contains("cms.query_latency_us"));
+        assert!(t.contains("n=0"));
+        // Two-column alignment: every value starts at the same offset.
+        let offsets: Vec<usize> = t
+            .lines()
+            .map(|l| l.len() - l.trim_start_matches(|c| c != ' ').trim_start().len())
+            .collect();
+        assert!(offsets.windows(2).all(|w| w[0] == w[1]), "{t}");
     }
 }

@@ -1,13 +1,16 @@
 //! The assembled BrAID system: IE + CMS + remote DBMS per Figure 3.
 
+use crate::explain::ExplainReport;
 use crate::metrics::CombinedMetrics;
 use braid_caql::{parse_query, Atom};
+use braid_cms::trace::{RingSink, TraceSink};
 use braid_cms::{Cms, CmsConfig, CmsError, Completeness};
 use braid_ie::engine::Solutions;
 use braid_ie::{IeError, InferenceEngine, KnowledgeBase, Strategy};
 use braid_relational::Tuple;
 use braid_remote::{Catalog, CostModel, FaultPlan, LatencyModel, RemoteDbms};
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of the whole bridge.
 #[derive(Debug, Clone)]
@@ -47,6 +50,14 @@ impl BraidConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> BraidConfig {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Install a structured-tracing sink shared by every session (and the
+    /// remote server) of the assembled system.
+    #[must_use]
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> BraidConfig {
+        self.cms = self.cms.with_trace(sink);
         self
     }
 }
@@ -110,6 +121,9 @@ impl BraidSystem {
     pub fn new(catalog: Catalog, kb: KnowledgeBase, config: BraidConfig) -> BraidSystem {
         let remote = RemoteDbms::new(catalog, config.cost, config.latency);
         remote.set_fault_plan(config.faults);
+        // The server emits its own (parentless) remote.request events
+        // into the same shared sink.
+        remote.set_trace(config.cms.trace.clone());
         BraidSystem {
             engine: InferenceEngine::new(kb),
             cms: Cms::new(remote, config.cms),
@@ -205,6 +219,22 @@ impl BraidSystem {
         })
     }
 
+    /// Like [`BraidSystem::solve_checked`], additionally capturing this
+    /// solve's span tree and folding it into a per-query EXPLAIN report:
+    /// advice consulted, planner decisions, cached views matched by
+    /// subsumption, remainder subqueries shipped remote, faults survived,
+    /// and the completeness verdict.
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve_explained(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<ExplainedSolutions, BraidError> {
+        solve_explained_impl(&self.engine, &mut self.cms, query, strategy)
+    }
+
     /// Open a new session against the shared cache. Takes `&self`, so N
     /// sessions can be opened from one system and driven on N threads
     /// (e.g. under `std::thread::scope`): they share the cache, the
@@ -281,6 +311,74 @@ impl BraidSession<'_> {
             completeness,
         })
     }
+
+    /// Per-query EXPLAIN for this session (see
+    /// [`BraidSystem::solve_explained`]).
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve_explained(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<ExplainedSolutions, BraidError> {
+        solve_explained_impl(self.engine, &mut self.cms, query, strategy)
+    }
+}
+
+/// Shared implementation of `solve_explained`: attach a private ring
+/// sink to the session tracer, solve with a completeness check, then
+/// fold the drained spans into the report.
+fn solve_explained_impl(
+    engine: &InferenceEngine,
+    cms: &mut Cms,
+    query: &str,
+    strategy: Strategy,
+) -> Result<ExplainedSolutions, BraidError> {
+    let ring = Arc::new(RingSink::new(4096));
+    cms.attach_session_sink(Arc::clone(&ring) as Arc<dyn TraceSink>);
+    let result = (|| -> Result<CheckedSolutions, BraidError> {
+        let _ = cms.take_missing_subqueries();
+        let goal = parse_query(query).map_err(|e| BraidError::Parse(e.to_string()))?;
+        let solutions = engine.solve_all(cms, &goal, strategy)?;
+        let missing = cms.take_missing_subqueries();
+        let completeness = if missing.is_empty() {
+            Completeness::Exact
+        } else {
+            Completeness::Partial {
+                missing_subqueries: missing,
+            }
+        };
+        Ok(CheckedSolutions {
+            solutions,
+            completeness,
+        })
+    })();
+    cms.detach_session_sink();
+    let checked = result?;
+    let report = ExplainReport::from_events(
+        query,
+        checked.solutions.len(),
+        checked.completeness.clone(),
+        ring.drain(),
+    );
+    Ok(ExplainedSolutions {
+        solutions: checked.solutions,
+        completeness: checked.completeness,
+        report,
+    })
+}
+
+/// Solutions, completeness, and the EXPLAIN report describing how they
+/// were produced (see [`BraidSystem::solve_explained`]).
+#[derive(Debug, Clone)]
+pub struct ExplainedSolutions {
+    /// Unique, sorted solution tuples.
+    pub solutions: Vec<Tuple>,
+    /// Completeness verdict for this solve.
+    pub completeness: Completeness,
+    /// The reconstructed per-query EXPLAIN report.
+    pub report: ExplainReport,
 }
 
 impl fmt::Debug for BraidSession<'_> {

@@ -19,6 +19,7 @@ use braid_advice::Advice;
 use braid_caql::Atom;
 use braid_cms::Cms;
 use braid_relational::Tuple;
+use braid_trace::TraceKind;
 
 /// The inference engine.
 #[derive(Debug, Clone)]
@@ -119,7 +120,22 @@ impl InferenceEngine {
         goal: &Atom,
         strategy: Strategy,
     ) -> Result<Solutions<'a>> {
-        let query = translate::translate_atom(&self.kb, goal.clone())?;
+        // Root of the query's span tree: every CMS/remote span below
+        // nests under it. Closes when this call returns — streamed
+        // strategies do their per-solution work under later `cms.query`
+        // spans.
+        let mut span = cms
+            .tracer()
+            .span_lazy(TraceKind::IeSolve, || goal.to_string());
+        if span.is_live() {
+            span.field("strategy", format!("{strategy:?}"));
+        }
+        let query = {
+            let _t = cms
+                .tracer()
+                .span_lazy(TraceKind::Translate, || goal.to_string());
+            translate::translate_atom(&self.kb, goal.clone())?
+        };
         let stats = cms.remote().catalog().stats_snapshot();
         if query.kind == crate::kb::GoalKind::Base {
             // Direct base probe: a one-goal problem.
@@ -142,7 +158,17 @@ impl InferenceEngine {
         }
 
         let (graph, spec, advice) = self.prepare(goal, strategy, &stats)?;
+        let n_specs = advice.view_specs.len();
+        let has_path = advice.path.is_some();
         cms.begin_session(advice);
+        cms.tracer().event(
+            TraceKind::AdviceInstalled,
+            goal.to_string(),
+            vec![
+                ("view_specs", n_specs.to_string()),
+                ("path", has_path.to_string()),
+            ],
+        );
 
         match strategy {
             Strategy::FullyCompiled => {

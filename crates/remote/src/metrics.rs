@@ -1,5 +1,6 @@
 //! Cost accounting for the simulated workstation–server boundary.
 
+use braid_trace::{Histogram, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters accumulated by the remote DBMS across all requests. These
@@ -24,6 +25,8 @@ pub struct RemoteMetrics {
     wasted_tuples: AtomicU64,
     inflight_requests: AtomicU64,
     peak_inflight_requests: AtomicU64,
+    rtt_units: Histogram,
+    batch_tuples: Histogram,
 }
 
 /// A point-in-time snapshot of [`RemoteMetrics`].
@@ -62,9 +65,21 @@ pub struct MetricsSnapshot {
     /// the server-side proxy for how many concurrent sessions actually
     /// overlapped on the wire.
     pub peak_inflight_requests: u64,
+    /// Per-request round-trip cost distribution, in simulated latency
+    /// units (log2 buckets; includes faulted requests' wasted charges).
+    pub rtt_units: HistogramSnapshot,
+    /// Tuples per shipped batch (log2 buckets) — the effective transfer
+    /// granularity the buffer setting actually achieved.
+    pub batch_tuples: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
+    /// Number of scalar counter fields (histograms excluded); backs the
+    /// completeness guard test below.
+    pub const COUNTER_FIELDS: usize = 14;
+    /// Number of histogram fields.
+    pub const HISTOGRAM_FIELDS: usize = 2;
+
     /// Difference between two snapshots (self - earlier).
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -84,6 +99,8 @@ impl MetricsSnapshot {
             // A high-water mark, not a monotone counter: the delta window
             // inherits the later snapshot's peak.
             peak_inflight_requests: self.peak_inflight_requests,
+            rtt_units: self.rtt_units.since(&earlier.rtt_units),
+            batch_tuples: self.batch_tuples.since(&earlier.batch_tuples),
         }
     }
 }
@@ -111,8 +128,15 @@ impl RemoteMetrics {
         self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_batch(&self) {
+    pub(crate) fn record_batch(&self, tuples: u64) {
         self.batches_shipped.fetch_add(1, Ordering::Relaxed);
+        self.batch_tuples.record(tuples);
+    }
+
+    /// Fold one request's total simulated-latency charge into the
+    /// round-trip distribution.
+    pub(crate) fn record_rtt(&self, units: u64) {
+        self.rtt_units.record(units);
     }
 
     pub(crate) fn record_server_ops(&self, ops: u64) {
@@ -159,6 +183,8 @@ impl RemoteMetrics {
             wasted_latency_units: self.wasted_latency_units.load(Ordering::Relaxed),
             wasted_tuples: self.wasted_tuples.load(Ordering::Relaxed),
             peak_inflight_requests: self.peak_inflight_requests.load(Ordering::SeqCst),
+            rtt_units: self.rtt_units.snapshot(),
+            batch_tuples: self.batch_tuples.snapshot(),
         }
     }
 
@@ -180,6 +206,8 @@ impl RemoteMetrics {
         // Deliberately leaves `inflight_requests` alone: requests being
         // served while metrics reset must still decrement cleanly.
         self.peak_inflight_requests.store(0, Ordering::SeqCst);
+        self.rtt_units.reset();
+        self.batch_tuples.reset();
     }
 }
 
@@ -235,11 +263,28 @@ mod tests {
     fn since_computes_deltas() {
         let m = RemoteMetrics::new();
         m.record_request();
+        m.record_rtt(10);
         let before = m.snapshot();
         m.record_request();
         m.record_shipment(5, 100);
+        m.record_rtt(20);
+        m.record_batch(5);
         let delta = m.snapshot().since(&before);
         assert_eq!(delta.requests, 1);
         assert_eq!(delta.tuples_shipped, 5);
+        assert_eq!(delta.rtt_units.count(), 1);
+        assert_eq!(delta.batch_tuples.count(), 1);
+    }
+
+    /// Completeness guard: every snapshot field must be one of the
+    /// declared counters or histograms, so a hand-added field (missing
+    /// from `since`/`reset`) changes the struct size and fails here.
+    #[test]
+    fn every_snapshot_field_is_declared() {
+        assert_eq!(
+            std::mem::size_of::<MetricsSnapshot>(),
+            MetricsSnapshot::COUNTER_FIELDS * std::mem::size_of::<u64>()
+                + MetricsSnapshot::HISTOGRAM_FIELDS * std::mem::size_of::<HistogramSnapshot>(),
+        );
     }
 }

@@ -22,6 +22,7 @@ use crate::error::{RemoteError, Result};
 use crate::fault::{FaultKind, FaultPlan, RequestClock};
 use crate::metrics::{MetricsSnapshot, RemoteMetrics};
 use braid_relational::{Relation, Schema, Tuple, TupleBatch};
+use braid_trace::{SinkHandle, TraceKind, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
@@ -96,6 +97,11 @@ struct Inner {
     metrics: RemoteMetrics,
     faults: RwLock<Option<FaultPlan>>,
     clock: RequestClock,
+    // Server-side tracer (installed via `set_trace`): one
+    // `remote.request` event per submitted request. Its spans are
+    // parentless — the server is a separate component and never sees
+    // client span ids (§3's top-down rule).
+    trace: RwLock<Tracer>,
 }
 
 impl Inner {
@@ -119,6 +125,7 @@ impl RemoteDbms {
                 metrics: RemoteMetrics::new(),
                 faults: RwLock::new(None),
                 clock: RequestClock::default(),
+                trace: RwLock::new(Tracer::disabled()),
             }),
         }
     }
@@ -134,6 +141,21 @@ impl RemoteDbms {
     /// off [`RemoteDbms::requests_submitted`].
     pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
         *self.inner.faults.write().expect("fault plan lock poisoned") = plan;
+    }
+
+    /// Install a trace sink; every subsequent request emits one
+    /// `remote.request` event (sql, units charged, tuples, fault).
+    pub fn set_trace(&self, sink: SinkHandle) {
+        *self.inner.trace.write().expect("trace lock poisoned") = Tracer::new(sink.sink());
+    }
+
+    /// The current server-side tracer (cheap clone of shared state).
+    fn tracer(&self) -> Tracer {
+        self.inner
+            .trace
+            .read()
+            .expect("trace lock poisoned")
+            .clone()
     }
 
     /// The logical request clock: how many requests have been submitted
@@ -196,11 +218,26 @@ impl RemoteDbms {
         inner.metrics.record_request();
         let _inflight = inner.metrics.begin_inflight();
         let receipt = AtomicU64::new(0);
+        let tracer = self.tracer();
+        let trace_request = |outcome: &str, units: u64, tuples: u64| {
+            tracer.event(
+                TraceKind::RemoteRequest,
+                query.to_string(),
+                vec![
+                    ("request", request.to_string()),
+                    ("outcome", outcome.to_string()),
+                    ("units", units.to_string()),
+                    ("tuples", tuples.to_string()),
+                ],
+            );
+        };
 
         let mut disconnect_after: Option<u64> = None;
         match fault {
             Some(FaultKind::Unavailable) => {
                 inner.metrics.record_fault(&FaultKind::Unavailable);
+                inner.metrics.record_rtt(0);
+                trace_request("unavailable", 0, 0);
                 return Err(RemoteError::Unavailable);
             }
             Some(FaultKind::Timeout) => {
@@ -208,9 +245,10 @@ impl RemoteDbms {
                 // reply never arrives — the whole charge is wasted.
                 inner.charge(inner.cost.request_overhead_units, &receipt);
                 inner.metrics.record_fault(&FaultKind::Timeout);
-                inner
-                    .metrics
-                    .record_waste(receipt.load(Ordering::Relaxed), 0);
+                let wasted = receipt.load(Ordering::Relaxed);
+                inner.metrics.record_waste(wasted, 0);
+                inner.metrics.record_rtt(wasted);
+                trace_request("timeout", wasted, 0);
                 return Err(RemoteError::Timeout);
             }
             Some(FaultKind::LatencySpike { units }) => {
@@ -246,7 +284,7 @@ impl RemoteDbms {
         let wire_units = tuples * inner.cost.per_tuple_wire_units
             + (bytes / 64) * inner.cost.per_block_wire_units;
         inner.metrics.record_shipment(tuples, bytes);
-        inner.metrics.record_batch(); // eager: the result is one shipment
+        inner.metrics.record_batch(tuples); // eager: the result is one shipment
         inner.charge(wire_units, &receipt);
 
         if disconnect_after.is_some() {
@@ -254,15 +292,19 @@ impl RemoteDbms {
             inner.metrics.record_fault(&FaultKind::Disconnect {
                 after_tuples: tuples,
             });
-            inner
-                .metrics
-                .record_waste(receipt.load(Ordering::Relaxed), tuples);
+            let wasted = receipt.load(Ordering::Relaxed);
+            inner.metrics.record_waste(wasted, tuples);
+            inner.metrics.record_rtt(wasted);
+            trace_request("disconnected", wasted, tuples);
             return Err(RemoteError::Disconnected {
                 tuples_delivered: tuples,
             });
         }
 
-        Ok((ev.relation, receipt.load(Ordering::Relaxed)))
+        let total_units = receipt.load(Ordering::Relaxed);
+        inner.metrics.record_rtt(total_units);
+        trace_request("ok", total_units, tuples);
+        Ok((ev.relation, total_units))
     }
 
     /// Execute a query, delivering the result through a bounded buffer of
@@ -288,19 +330,38 @@ impl RemoteDbms {
         inner.metrics.record_request();
         let _inflight = inner.metrics.begin_inflight();
         let receipt = Arc::new(AtomicU64::new(0));
+        let tracer = self.tracer();
 
         let mut disconnect_after: Option<u64> = None;
         match fault {
             Some(FaultKind::Unavailable) => {
                 inner.metrics.record_fault(&FaultKind::Unavailable);
+                inner.metrics.record_rtt(0);
+                tracer.event(
+                    TraceKind::RemoteRequest,
+                    query.to_string(),
+                    vec![
+                        ("request", request.to_string()),
+                        ("outcome", "unavailable".to_string()),
+                    ],
+                );
                 return Err(RemoteError::Unavailable);
             }
             Some(FaultKind::Timeout) => {
                 inner.charge(inner.cost.request_overhead_units, &receipt);
                 inner.metrics.record_fault(&FaultKind::Timeout);
-                inner
-                    .metrics
-                    .record_waste(receipt.load(Ordering::Relaxed), 0);
+                let wasted = receipt.load(Ordering::Relaxed);
+                inner.metrics.record_waste(wasted, 0);
+                inner.metrics.record_rtt(wasted);
+                tracer.event(
+                    TraceKind::RemoteRequest,
+                    query.to_string(),
+                    vec![
+                        ("request", request.to_string()),
+                        ("outcome", "timeout".to_string()),
+                        ("units", wasted.to_string()),
+                    ],
+                );
                 return Err(RemoteError::Timeout);
             }
             Some(FaultKind::LatencySpike { units }) => {
@@ -340,10 +401,47 @@ impl RemoteDbms {
         let (tx, rx) = sync_channel::<StreamItem>(1);
         let inner2 = Arc::clone(&inner);
         let receipt2 = Arc::clone(&receipt);
+        let sql = query.to_string();
+        let n_tuples = tuples.len() as u64;
         let handle = thread::Builder::new()
             .name("remote-dbms-stream".into())
             .spawn(move || {
                 let m = &inner2.metrics;
+                // Record the request's total charge (and its trace event)
+                // however the producer exits: completion, consumer
+                // hang-up, or mid-stream disconnect.
+                struct Finish {
+                    tracer: Tracer,
+                    inner: Arc<Inner>,
+                    receipt: Arc<AtomicU64>,
+                    sql: String,
+                    request: u64,
+                    tuples: u64,
+                }
+                impl Drop for Finish {
+                    fn drop(&mut self) {
+                        let units = self.receipt.load(Ordering::Relaxed);
+                        self.inner.metrics.record_rtt(units);
+                        self.tracer.event(
+                            TraceKind::RemoteRequest,
+                            self.sql.clone(),
+                            vec![
+                                ("request", self.request.to_string()),
+                                ("outcome", "streamed".to_string()),
+                                ("units", units.to_string()),
+                                ("tuples", self.tuples.to_string()),
+                            ],
+                        );
+                    }
+                }
+                let _finish = Finish {
+                    tracer,
+                    inner: Arc::clone(&inner2),
+                    receipt: Arc::clone(&receipt2),
+                    sql,
+                    request,
+                    tuples: n_tuples,
+                };
                 m.record_server_ops(server_ops);
                 let report_disconnect = |delivered: u64| {
                     m.record_fault(&FaultKind::Disconnect {
@@ -371,7 +469,7 @@ impl RemoteDbms {
                     for chunk in tuples.chunks(batch_size) {
                         let bytes: u64 = chunk.iter().map(|t| t.approx_size() as u64).sum();
                         m.record_shipment(chunk.len() as u64, bytes);
-                        m.record_batch();
+                        m.record_batch(chunk.len() as u64);
                         if tx.send(StreamItem::Batch(chunk.to_vec())).is_err() {
                             return;
                         }
@@ -396,7 +494,7 @@ impl RemoteDbms {
                         + (bytes / 64) * inner2.cost.per_block_wire_units;
                     let units = per_tuple_server * chunk.len() as u64 + wire;
                     m.record_shipment(chunk.len() as u64, bytes);
-                    m.record_batch();
+                    m.record_batch(chunk.len() as u64);
                     m.record_latency(units);
                     receipt2.fetch_add(units, Ordering::Relaxed);
                     if unit_micros > 0 && units > 0 {

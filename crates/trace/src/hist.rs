@@ -1,0 +1,270 @@
+//! Log2-bucketed histograms for latency/size distributions.
+//!
+//! Bucket 0 holds the value 0; bucket *i* (1 ≤ i ≤ 63) holds values in
+//! `[2^(i-1), 2^i)`. Recording is one relaxed atomic increment, so the
+//! live [`Histogram`] can sit behind an `Arc` and take hits from every
+//! session thread; [`HistogramSnapshot`] is a plain `Copy` array with
+//! percentile accessors, bucketwise `merge` (associative and
+//! commutative — it's vector addition) and `since` deltas, so metric
+//! snapshot structs that embed one stay `Copy + PartialEq + Eq`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+pub const HIST_BUCKETS: usize = 64;
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket (the value percentiles report).
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        63 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A live, thread-safe log2 histogram.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zero every bucket.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram({})", self.snapshot())
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s buckets.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see module docs for the ranges).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// No observations?
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The value at percentile `p` (0 < p ≤ 100), reported as the upper
+    /// bound of the bucket holding that rank. 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HIST_BUCKETS - 1)
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile (bucket upper bound).
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Largest recorded value's bucket upper bound. 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, bucket_upper)
+    }
+
+    /// Bucketwise sum — vector addition, so `merge` is associative and
+    /// commutative with [`HistogramSnapshot::default`] as identity.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+        }
+    }
+
+    /// Bucketwise delta (`self - earlier`). Each bucket of a live
+    /// histogram is monotone, so a later snapshot dominates an earlier
+    /// one bucket by bucket.
+    #[must_use]
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] - earlier.buckets[i]),
+        }
+    }
+}
+
+impl fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} max={}",
+            self.count(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+impl fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HistogramSnapshot({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_ranges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(63), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(5); // bucket 3, upper 7
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10, upper 1023
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.p50(), 7);
+        assert_eq!(s.p90(), 7);
+        assert_eq!(s.p99(), 1023);
+        assert_eq!(s.max(), 1023);
+        assert_eq!(s.percentile(100.0), 1023);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        let s = HistogramSnapshot::default();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn merge_and_since_are_inverse() {
+        let a = {
+            let h = Histogram::new();
+            h.record(3);
+            h.record(100);
+            h.snapshot()
+        };
+        let b = {
+            let h = Histogram::new();
+            h.record(3);
+            h.record(0);
+            h.snapshot()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.count(), 4);
+        assert_eq!(m.since(&b), a);
+        assert_eq!(m.since(&a), b);
+        // Identity.
+        assert_eq!(a.merge(&HistogramSnapshot::default()), a);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = Histogram::new();
+        h.record(7);
+        h.reset();
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let h = Histogram::new();
+        h.record(5);
+        let s = h.snapshot().to_string();
+        assert!(s.starts_with("n=1 p50=7"), "{s}");
+    }
+}

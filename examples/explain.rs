@@ -1,0 +1,64 @@
+//! EXPLAIN: show how one AI query was answered — advice consulted,
+//! planner decisions, subsumption matches, remainder subqueries shipped
+//! to the DBMS — reconstructed from the solve's span tree.
+//!
+//! ```sh
+//! cargo run --example explain
+//! ```
+
+use braid::{BraidConfig, BraidSystem, Catalog, KnowledgeBase, Strategy};
+use braid_relational::{tuple, Relation, Schema};
+
+fn main() {
+    // The remote DBMS: one base relation of parent facts.
+    let mut db = Catalog::new();
+    db.install(
+        Relation::from_tuples(
+            Schema::of_strs("parent", &["parent", "child"]),
+            vec![
+                tuple!["ann", "bob"],
+                tuple!["ann", "cal"],
+                tuple!["bob", "dee"],
+                tuple!["cal", "eli"],
+                tuple!["dee", "fay"],
+            ],
+        )
+        .expect("valid tuples"),
+    );
+
+    // The knowledge base: genealogy rules over the base relation.
+    let mut kb = KnowledgeBase::new();
+    kb.declare_base("parent", 2);
+    kb.add_program(
+        "grandparent(X, Y) :- parent(X, Z), parent(Z, Y).\n\
+         ancestor(X, Y) :- parent(X, Y).\n\
+         ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).",
+    )
+    .expect("valid program");
+
+    let mut braid = BraidSystem::new(db, kb, BraidConfig::default());
+
+    // First solve: the cache is cold, so the planner ships remainder
+    // subqueries to the DBMS. The report shows each decision.
+    let cold = braid
+        .solve_explained("?- grandparent(ann, Y).", Strategy::ConjunctionCompiled)
+        .expect("query solves");
+    println!("--- cold cache ---");
+    print!("{}", cold.report);
+
+    // Second solve: subsumption matches the cached views and the whole
+    // answer is assembled locally — compare the plan lines.
+    let warm = braid
+        .solve_explained("?- grandparent(ann, Y).", Strategy::ConjunctionCompiled)
+        .expect("query solves");
+    println!("\n--- warm cache ---");
+    print!("{}", warm.report);
+
+    for s in &warm.solutions {
+        println!("    {s}");
+    }
+
+    // The always-on metrics (histograms included), as an aligned table.
+    println!("\n--- cumulative metrics ---");
+    print!("{}", braid.metrics().render_table());
+}

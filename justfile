@@ -1,6 +1,7 @@
 # Common developer entry points. `just ci` is what the repo gates on.
 
-# fmt --check, build, test (incl. executor differential), clippy -D warnings, E11 smoke run.
+# fmt --check, build, test (incl. executor differential and trace/EXPLAIN
+# suites), clippy -D warnings, E11 + E14 smoke runs.
 ci:
     ./scripts/ci.sh
 
@@ -29,6 +30,13 @@ report-quick:
 
 bench:
     cargo bench --workspace
+
+# The observability invariants (monotone counters, span forests,
+# histogram algebra, EXPLAIN stability) plus the tracing-overhead smoke.
+trace-check:
+    cargo test --test trace_observability -q
+    cargo test -p braid-trace -q
+    cargo run -p braid-bench --bin report -- --quick --only E14
 
 # Seeded concurrency stress: loom is not vendorable offline (DESIGN.md §7),
 # so schedule coverage comes from repetition — the ignored stress test

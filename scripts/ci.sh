@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # The repo's CI gate: formatting, build, full test suite, the executor
-# differential suite, lint-as-error, and a quick smoke run of the
-# fault-tolerance experiment (E11). Run from anywhere.
+# differential suite, the trace/EXPLAIN suite, lint-as-error, and quick
+# smoke runs of the fault-tolerance (E11) and tracing-overhead (E14)
+# experiments. Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,10 +24,17 @@ cargo test --test concurrent_sessions -q
 echo "==> concurrent sessions suite (serialized harness)"
 RUST_TEST_THREADS=1 cargo test --test concurrent_sessions -q -- --test-threads=1
 
+echo "==> trace/EXPLAIN observability suite"
+cargo test --test trace_observability -q
+cargo test -p braid-trace -q
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> E11 smoke report"
 cargo run -p braid-bench --bin report -- --quick --only E11
+
+echo "==> E14 tracing-overhead smoke report"
+cargo run -p braid-bench --bin report -- --quick --only E14
 
 echo "==> ci OK"

@@ -1,0 +1,297 @@
+//! Observability invariants across the IE→CMS→remote pipeline.
+//!
+//! 1. Monotonicity: metrics counters and histogram counts never move
+//!    backwards, no matter how many sessions hammer the shared CMS.
+//! 2. Well-formedness: the drained span log forms a forest — ids are
+//!    unique, every recorded parent id names a recorded span, and a
+//!    child's interval nests inside its parent's.
+//! 3. Histogram algebra: snapshot merge is associative and commutative,
+//!    and `since` inverts `merge` (proptest).
+//! 4. EXPLAIN stability: the timing-free [`ExplainSummary`] of a
+//!    deterministic workload is identical across independent runs — the
+//!    golden-comparison contract the report is designed for.
+
+use braid::{
+    BraidConfig, BraidSystem, Catalog, CmsConfig, Histogram, KnowledgeBase, RingSink, Strategy,
+    TraceEvent, TraceKind,
+};
+use braid_relational::{tuple, Relation, Schema};
+use braid_workload::genealogy;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const STRATEGY: Strategy = Strategy::ConjunctionCompiled;
+
+fn genealogy_system(trace: Option<Arc<RingSink>>) -> (BraidSystem, Vec<String>) {
+    let sc = genealogy::scenario(3, 2, 42, 12);
+    let mut config = BraidConfig::with_cms(CmsConfig::braid());
+    if let Some(ring) = trace {
+        config = config.with_trace(ring);
+    }
+    (sc.system(config), sc.queries.clone())
+}
+
+// ---------------------------------------------------------------------
+// 1. Counter monotonicity under concurrency
+// ---------------------------------------------------------------------
+
+#[test]
+fn counters_are_monotone_under_concurrent_sessions() {
+    let (system, queries) = genealogy_system(None);
+    let system = &system;
+    let queries = &queries;
+
+    std::thread::scope(|s| {
+        // Four sessions drive the workload repeatedly...
+        let workers: Vec<_> = (0..4)
+            .map(|si| {
+                s.spawn(move || {
+                    let mut sess = system.session();
+                    for round in 0..3 {
+                        for (qi, q) in queries.iter().enumerate() {
+                            let _ = (round, si, qi);
+                            sess.solve_all(q, STRATEGY).expect("session solves");
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // ...while an observer snapshots mid-flight. Every successive
+        // snapshot must dominate the previous one field by field.
+        let mut prev = system.metrics();
+        for _ in 0..50 {
+            let now = system.metrics();
+            assert!(now.cms.queries >= prev.cms.queries);
+            assert!(now.cms.full_cache_answers >= prev.cms.full_cache_answers);
+            assert!(now.cms.remote_subqueries >= prev.cms.remote_subqueries);
+            assert!(now.cms.tuples_to_ie >= prev.cms.tuples_to_ie);
+            assert!(now.cms.query_latency_us.count() >= prev.cms.query_latency_us.count());
+            assert!(now.remote.requests >= prev.remote.requests);
+            assert!(now.remote.rtt_units.count() >= prev.remote.rtt_units.count());
+            // `since` of a later snapshot against an earlier one must
+            // never underflow — that is the monotonicity contract.
+            let delta = now.since(&prev);
+            assert!(delta.cms.queries <= now.cms.queries);
+            prev = now;
+            std::thread::yield_now();
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+
+    let end = system.metrics();
+    // 4 sessions × 3 rounds × |queries| top-level solves, each of which
+    // issues at least one CMS query (and records its latency).
+    assert!(end.cms.queries >= (4 * 3 * queries.len()) as u64);
+    assert_eq!(end.cms.query_latency_us.count(), end.cms.queries);
+}
+
+// ---------------------------------------------------------------------
+// 2. Span tree well-formedness
+// ---------------------------------------------------------------------
+
+fn span_events(events: &[TraceEvent]) -> Vec<&TraceEvent> {
+    // Spans carry a duration; point events reuse their parent's id space
+    // but never appear as parents themselves.
+    events
+        .iter()
+        .filter(|e| e.dur_us > 0 || is_span(e))
+        .collect()
+}
+
+fn is_span(e: &TraceEvent) -> bool {
+    matches!(
+        e.kind,
+        TraceKind::IeSolve
+            | TraceKind::Translate
+            | TraceKind::Query
+            | TraceKind::Execute
+            | TraceKind::RemoteFetch
+    )
+}
+
+#[test]
+fn span_log_forms_a_well_nested_forest() {
+    let ring = Arc::new(RingSink::new(1 << 16));
+    let (mut system, queries) = {
+        let (s, q) = genealogy_system(Some(Arc::clone(&ring)));
+        (s, q)
+    };
+    for q in &queries {
+        system.solve_all(q, STRATEGY).expect("query solves");
+    }
+    let events = ring.drain();
+    assert_eq!(ring.dropped(), 0, "ring must be large enough for the run");
+    assert!(!events.is_empty());
+
+    // Unique ids among span events.
+    let spans = span_events(&events);
+    let mut ids: Vec<u64> = spans.iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    let n = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "span ids must be unique");
+
+    // Every parent id names a recorded span, and the child's interval
+    // nests inside the parent's (parents close after their children, so
+    // a drained complete run contains every parent).
+    let by_id: std::collections::HashMap<u64, &TraceEvent> =
+        spans.iter().map(|e| (e.id, *e)).collect();
+    let mut checked = 0usize;
+    for e in &events {
+        if let Some(pid) = e.parent {
+            let p = by_id
+                .get(&pid)
+                .unwrap_or_else(|| panic!("parent {pid} of `{}` not recorded", e.label));
+            assert!(
+                p.start_us <= e.start_us,
+                "child `{}` starts before parent `{}`",
+                e.label,
+                p.label
+            );
+            assert!(
+                e.start_us + e.dur_us <= p.start_us + p.dur_us,
+                "child `{}` outlives parent `{}`",
+                e.label,
+                p.label
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "workload must produce nested spans");
+
+    // The pipeline stages all appear.
+    for kind in [
+        TraceKind::IeSolve,
+        TraceKind::Query,
+        TraceKind::PlanDecision,
+        TraceKind::Execute,
+        TraceKind::RemoteFetch,
+        TraceKind::CacheInsert,
+        TraceKind::RemoteRequest,
+    ] {
+        assert!(
+            events.iter().any(|e| e.kind == kind),
+            "expected at least one {} event",
+            kind.as_str()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Histogram merge algebra
+// ---------------------------------------------------------------------
+
+fn hist_of(values: &[u64]) -> braid::HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1 << 40, 0..24),
+        b in proptest::collection::vec(0u64..1 << 40, 0..24),
+        c in proptest::collection::vec(0u64..1 << 40, 0..24),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(ha.merge(&hb).merge(&hc), ha.merge(&hb.merge(&hc)));
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+        prop_assert_eq!(ha.merge(&hb).count(), ha.count() + hb.count());
+        // `since` inverts `merge`: (a ∪ b) − a = b.
+        prop_assert_eq!(ha.merge(&hb).since(&ha), hb);
+        // Merging matches recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(ha.merge(&hb), hist_of(&all));
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. EXPLAIN golden stability
+// ---------------------------------------------------------------------
+
+#[test]
+fn explain_summary_is_stable_across_identical_runs() {
+    let run = || {
+        let (mut system, queries) = genealogy_system(None);
+        queries
+            .iter()
+            .map(|q| {
+                system
+                    .solve_explained(q, STRATEGY)
+                    .expect("query solves")
+                    .report
+                    .summary()
+            })
+            .collect::<Vec<_>>()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "summaries must be timing-free");
+    assert!(first.iter().all(|s| s.exact));
+}
+
+#[test]
+fn explain_names_matched_views_and_remainder() {
+    // Hand-built genealogy: cold solve ships the remainder, warm solve
+    // names the matched view — the paper's §5.3.2 reuse story, visible
+    // per query.
+    let mut db = Catalog::new();
+    db.install(
+        Relation::from_tuples(
+            Schema::of_strs("parent", &["p", "c"]),
+            vec![
+                tuple!["ann", "bob"],
+                tuple!["bob", "dee"],
+                tuple!["dee", "fay"],
+            ],
+        )
+        .unwrap(),
+    );
+    let mut kb = KnowledgeBase::new();
+    kb.declare_base("parent", 2);
+    kb.add_program("grandparent(X, Y) :- parent(X, Z), parent(Z, Y).")
+        .unwrap();
+    let mut braid = BraidSystem::new(db, kb, BraidConfig::default());
+
+    let cold = braid
+        .solve_explained("?- grandparent(ann, Y).", STRATEGY)
+        .expect("query solves");
+    assert_eq!(cold.solutions.len(), 1);
+    assert!(cold.report.summary().exact);
+    assert_eq!(cold.report.plans.len(), 1);
+    let plan = &cold.report.plans[0];
+    assert_eq!(plan.decision, "all_remote");
+    assert!(plan.matched_views.is_empty());
+    assert!(
+        plan.remainder.iter().any(|r| r.contains("parent")),
+        "cold remainder must name the shipped subquery, got {:?}",
+        plan.remainder
+    );
+    assert!(cold.report.remote_fetches > 0);
+    assert_eq!(cold.report.advice_view_specs, Some(1));
+
+    let warm = braid
+        .solve_explained("?- grandparent(ann, Y).", STRATEGY)
+        .expect("query solves");
+    assert_eq!(warm.solutions, cold.solutions);
+    let plan = &warm.report.plans[0];
+    assert_eq!(plan.decision, "full_cache");
+    assert!(
+        !plan.matched_views.is_empty(),
+        "warm plan must name the matched cached view"
+    );
+    assert!(plan.remainder.is_empty());
+    assert_eq!(warm.report.remote_fetches, 0);
+
+    // The rendered report carries the same story for humans.
+    let text = warm.report.to_string();
+    assert!(text.contains("matched views:"));
+    assert!(text.contains("completeness: exact"));
+}
