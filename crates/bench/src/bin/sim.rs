@@ -1,0 +1,160 @@
+//! Seeded simulation runner: generate scenarios, drive them through the
+//! deterministic step scheduler, oracle-check every answer, and shrink
+//! any failure to a minimal replayable repro.
+//!
+//! ```sh
+//! cargo run --release -p braid-bench --bin sim -- --rounds 200
+//! cargo run --release -p braid-bench --bin sim -- --seed 42          # one scenario, verbose
+//! cargo run --release -p braid-bench --bin sim -- --rounds 50 --soak # + threaded runner
+//! cargo run -p braid-bench --bin sim -- --replay scenario.json
+//! ```
+//!
+//! `SIM_SEED_START` and `SIM_ROUNDS` set the defaults (the `just soak`
+//! lane drives seed ranges through them). Exit status is non-zero iff
+//! any scenario fails its oracle.
+
+use braid_sim::SimScenario;
+use braid_sim::{regression_test, run_scenario, run_scenario_threaded, shrink, SimOptions};
+use std::time::Instant;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_u64(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let soak = args.iter().any(|a| a == "--soak");
+    let single = args.iter().any(|a| a == "--seed") && !args.iter().any(|a| a == "--rounds");
+    let seed_start = arg_u64(&args, "--seed").unwrap_or_else(|| env_u64("SIM_SEED_START", 0));
+    let rounds = if single {
+        1
+    } else {
+        arg_u64(&args, "--rounds").unwrap_or_else(|| env_u64("SIM_ROUNDS", 200))
+    };
+    let replay: Option<&String> = args
+        .iter()
+        .position(|a| a == "--replay")
+        .and_then(|i| args.get(i + 1));
+
+    let opts = SimOptions::default();
+
+    if let Some(path) = replay {
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("sim: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let sc = SimScenario::from_json(&json).unwrap_or_else(|e| {
+            eprintln!("sim: cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        std::process::exit(run_one(&sc, &opts, true, soak));
+    }
+
+    eprintln!(
+        "sim: seeds {seed_start}..{} ({rounds} rounds{})",
+        seed_start + rounds,
+        if soak {
+            ", deterministic + threaded"
+        } else {
+            ""
+        }
+    );
+    let start = Instant::now();
+    let mut solves = 0usize;
+    let mut failed = 0usize;
+    for seed in seed_start..seed_start + rounds {
+        let sc = SimScenario::generate(seed);
+        solves += sc.query_count();
+        if run_one(&sc, &opts, single, soak) != 0 {
+            failed += 1;
+        }
+    }
+    let dt = start.elapsed().as_secs_f64();
+    let runs_per_seed = if soak { 2.0 } else { 1.0 };
+    eprintln!(
+        "sim: {rounds} scenarios, {solves} solves, {:.1} scenarios/s, {failed} failed",
+        (rounds as f64 * runs_per_seed) / dt.max(1e-9)
+    );
+    std::process::exit(i32::from(failed > 0));
+}
+
+/// Run one scenario (optionally also threaded); on failure, shrink it and
+/// print a replayable repro. Returns the exit status contribution.
+fn run_one(sc: &SimScenario, opts: &SimOptions, verbose: bool, soak: bool) -> i32 {
+    let report = match run_scenario(sc, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sim: seed {}: harness error: {e}", sc.seed);
+            return 1;
+        }
+    };
+    if verbose {
+        eprintln!(
+            "sim: seed {}: {} solves ({} exact, {} partial, {} tolerated errors), digest {:016x}",
+            sc.seed,
+            report.solves,
+            report.exact,
+            report.partial,
+            report.tolerated_errors,
+            report.digest
+        );
+    }
+    let mut status = 0;
+    if !report.passed() {
+        status = 1;
+        report_failure(sc, opts, &report.violations, "deterministic");
+    }
+    if soak {
+        match run_scenario_threaded(sc, opts) {
+            Ok(r) if !r.passed() => {
+                status = 1;
+                // Threaded runs are not replayable; print the scenario so
+                // the deterministic runner can chase it.
+                eprintln!(
+                    "sim: seed {}: THREADED run failed:\n{:#?}\nscenario: {}",
+                    sc.seed,
+                    r.violations,
+                    sc.to_json()
+                );
+            }
+            Ok(_) => {}
+            Err(e) => {
+                status = 1;
+                eprintln!("sim: seed {}: threaded harness error: {e}", sc.seed);
+            }
+        }
+    }
+    status
+}
+
+fn report_failure(
+    sc: &SimScenario,
+    opts: &SimOptions,
+    violations: &[braid_sim::Violation],
+    lane: &str,
+) {
+    eprintln!("sim: seed {}: {lane} run FAILED:\n{violations:#?}", sc.seed);
+    eprintln!("sim: shrinking ...");
+    let out = shrink(sc, opts);
+    eprintln!(
+        "sim: shrunk to {} queries / {} sessions in {} runs",
+        out.scenario.query_count(),
+        out.scenario.sessions.len(),
+        out.runs
+    );
+    eprintln!("sim: replayable scenario:\n{}", out.scenario.to_json());
+    eprintln!(
+        "sim: regression test:\n{}",
+        regression_test(&format!("repro_seed_{}", sc.seed), &out.scenario)
+    );
+}

@@ -15,5 +15,6 @@ pub mod e11_faults;
 pub mod e12_executor;
 pub mod e13_concurrency;
 pub mod e14_tracing;
+pub mod e15_sim;
 
 pub(crate) mod support;

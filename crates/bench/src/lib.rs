@@ -38,5 +38,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E12", experiments::e12_executor::run),
         ("E13", experiments::e13_concurrency::run),
         ("E14", experiments::e14_tracing::run),
+        ("E15", experiments::e15_sim::run),
     ]
 }

@@ -212,6 +212,22 @@ impl CmsConfig {
         self
     }
 
+    /// Toggle pipelined (streaming) transfer from the remote DBMS.
+    pub fn with_pipelining(mut self, on: bool) -> Self {
+        self.pipelining = on;
+        self
+    }
+
+    /// Make execution deterministic for simulation/replay: remote parts
+    /// run serially on the driving thread, so the remote request clock —
+    /// and with it every seeded `FaultPlan` decision — is a pure function
+    /// of the order queries are dispatched in. Used by the braid-sim
+    /// step scheduler; every other technique keeps its configured value.
+    pub fn deterministic(mut self) -> Self {
+        self.parallel_execution = false;
+        self
+    }
+
     /// Set the cache capacity.
     pub fn with_capacity(mut self, bytes: usize) -> Self {
         self.cache_capacity_bytes = bytes;

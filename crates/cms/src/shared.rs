@@ -268,6 +268,14 @@ impl SharedCache {
         rows
     }
 
+    /// Ids of elements still carrying a session pin. After every
+    /// [`AnswerStream`](crate::AnswerStream) of every session has been
+    /// dropped this must be empty — the pin-balance invariant the
+    /// simulation oracle (and the concurrency tests) check.
+    pub fn leaked_session_pins(&self) -> Vec<ElemId> {
+        self.ids_matching(|e| e.pin_count > 0)
+    }
+
     /// Ids of elements matching a predicate (for advice pin scoring).
     pub fn ids_matching(&self, f: impl Fn(&CacheElement) -> bool) -> Vec<ElemId> {
         let mut ids: Vec<ElemId> = Vec::new();

@@ -1,0 +1,50 @@
+//! # braid-sim — deterministic simulation harness for BrAID
+//!
+//! FoundationDB-style simulation testing for the IE → CMS → remote
+//! pipeline, with a SQLancer-style model-based differential oracle:
+//!
+//! * [`model::RefModel`] — a naive, cache-free, subsumption-free CAQL
+//!   evaluator (stratified bottom-up Datalog fixpoint) over the same
+//!   ground-truth database the simulated remote serves. Whatever the
+//!   full system answers is checked against it.
+//! * [`scenario::SimScenario`] — a declarative scenario: dataset,
+//!   per-session query streams, an explicit interleaving schedule,
+//!   cache-capacity pressure, batch/shard/technique knobs, and a seeded
+//!   [`scenario::FaultSpec`]. Scenarios round-trip through JSON
+//!   ([`SimScenario::to_json`]/[`SimScenario::from_json`]) so failures
+//!   replay from a pasted string.
+//! * [`gen`] — a fully deterministic generator: one `u64` seed ⇒ one
+//!   scenario, byte-stable across runs and platforms (SplitMix64, no
+//!   external RNG crate).
+//! * [`run`] — the step scheduler. [`run::run_scenario`] drives every
+//!   session on the calling thread in schedule order with parallel
+//!   execution disabled ([`braid_cms::CmsConfig::deterministic`]), so
+//!   the remote request clock — and every seeded fault decision — is a
+//!   pure function of the scenario. [`run::run_scenario_threaded`]
+//!   trades that replayability for real-thread schedule diversity.
+//! * [`shrink`] — delta-debugging minimization of failing scenarios
+//!   (drop queries, then faults, then sessions; capacity last) plus
+//!   [`shrink::regression_test`] to emit a ready-to-paste test.
+//!
+//! The oracle checks after every solve: `Exact` answers must be
+//! byte-identical to the model, `Partial` answers must be a subset with
+//! a non-empty `missing_subqueries` explanation, and end-of-run
+//! invariants (pin balance, metrics conservation, span-forest
+//! well-formedness) must hold.
+
+pub mod gen;
+pub mod json;
+pub mod model;
+pub mod run;
+pub mod scenario;
+pub mod shrink;
+
+pub use gen::SimRng;
+pub use json::Json;
+pub use model::RefModel;
+pub use run::{
+    build_system, run_scenario, run_scenario_threaded, SimBug, SimOptions, SimReport, Violation,
+    ViolationKind,
+};
+pub use scenario::{Dataset, FaultSpec, SimScenario};
+pub use shrink::{regression_test, shrink, ShrinkOutcome};

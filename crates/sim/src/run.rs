@@ -1,0 +1,618 @@
+//! Scenario execution: a step-based scheduler over [`BraidSession`]s,
+//! with the model-based differential oracle checked after every solve
+//! and cross-cutting invariants checked at the end of the run.
+//!
+//! Determinism rules (see DESIGN.md §10): sessions are driven one step
+//! at a time on the *calling* thread in the order fixed by
+//! `scenario.schedule`, and the CMS runs with
+//! [`CmsConfig::deterministic`] (serial remote parts). The remote
+//! request clock then ticks in program order, every seeded `FaultPlan`
+//! decision is a pure function of the scenario, and a failing seed
+//! replays exactly. [`run_scenario_threaded`] trades that determinism
+//! for real-thread schedule diversity (the soak lane runs both).
+
+use crate::model::RefModel;
+use crate::scenario::SimScenario;
+use braid::{
+    BraidConfig, BraidSession, BraidSystem, CheckedSolutions, CmsConfig, Completeness, RingSink,
+    Tuple,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A deliberately-injected defect, used by meta-tests to prove the
+/// oracle catches real bugs and the shrinker minimizes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimBug {
+    /// No injected defect (normal operation).
+    #[default]
+    None,
+    /// Drop the last tuple from every `every`-th non-empty answer —
+    /// the observable signature of a planner that skipped one remainder
+    /// subquery's contribution.
+    DropLastTuple {
+        /// Sabotage every n-th non-empty answer (1 ⇒ all of them).
+        every: usize,
+    },
+}
+
+/// Runner options.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Injected defect (meta-testing only).
+    pub bug: SimBug,
+    /// Ring capacity for the span log (events beyond it disable the
+    /// span-forest check rather than failing it).
+    pub trace_events: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            bug: SimBug::None,
+            trace_events: 1 << 16,
+        }
+    }
+}
+
+/// What went wrong, attributed to the step that exposed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// An `Exact` answer differed from the reference model.
+    AnswerMismatch,
+    /// A `Partial` answer contained tuples the model does not derive.
+    PartialNotSubset,
+    /// A `Partial` answer named no missing subqueries (or appeared in a
+    /// fault-free scenario).
+    CompletenessContract,
+    /// A solve errored although no faults were injected.
+    UnexpectedError,
+    /// A cache element kept a session pin after every stream was dropped.
+    PinLeak,
+    /// Cache byte accounting drifted, or metrics counters disagree with
+    /// each other (tuple/fault conservation).
+    MetricsConservation,
+    /// The drained trace log is not a well-nested span forest.
+    SpanForest,
+}
+
+/// One oracle violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Scheduler step (usize::MAX for end-of-run invariants).
+    pub step: usize,
+    /// Session that solved the offending query (usize::MAX at end).
+    pub session: usize,
+    /// The query text ("<end-of-run>" for invariants).
+    pub query: String,
+    /// What property failed.
+    pub kind: ViolationKind,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// Outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Solves executed (= schedule length).
+    pub solves: usize,
+    /// Answers tagged `Exact`.
+    pub exact: usize,
+    /// Answers tagged `Partial`.
+    pub partial: usize,
+    /// Typed errors tolerated because faults were active.
+    pub tolerated_errors: usize,
+    /// Answers with at least one tuple (meta-test support: a scenario
+    /// with none gives an injected answer-dropping bug nothing to bite).
+    pub nonempty_answers: usize,
+    /// FNV-1a digest over every (query, completeness, answers) triple in
+    /// step order — two runs of the same scenario must agree bit-for-bit.
+    pub digest: u64,
+    /// Everything the oracle caught (empty ⇒ the scenario passed).
+    pub violations: Vec<Violation>,
+}
+
+impl SimReport {
+    /// Did the scenario pass every check?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= u64::from(b);
+        *digest = digest.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn digest_answer(digest: &mut u64, query: &str, checked: &CheckedSolutions) {
+    fnv1a(digest, query.as_bytes());
+    match &checked.completeness {
+        Completeness::Exact => fnv1a(digest, b"|exact"),
+        Completeness::Partial { missing_subqueries } => {
+            fnv1a(digest, b"|partial");
+            for m in missing_subqueries {
+                fnv1a(digest, m.as_bytes());
+            }
+        }
+    }
+    for t in &checked.solutions {
+        fnv1a(digest, format!("{t:?}").as_bytes());
+    }
+}
+
+/// Build the system under test exactly as the scenario prescribes.
+/// Public so differential tests can drive the *same* configuration
+/// through other entry points (`solve_explained`, lazy streams) and
+/// compare against the step scheduler's answers.
+///
+/// The system-wide trace sink stays no-op: span ids are allocated per
+/// session tracer, so each session gets its *own* [`RingSink`] (via
+/// `attach_session_sink`) and its forest is verified independently.
+pub fn build_system(sc: &SimScenario) -> BraidSystem {
+    let mut cms = CmsConfig::braid()
+        .with_shards(sc.shards as usize)
+        .with_batch_size(sc.batch_size as usize)
+        .with_lazy(sc.lazy)
+        .with_prefetching(sc.prefetch)
+        .with_generalization(sc.generalization)
+        .with_subsumption(sc.subsumption)
+        .deterministic();
+    if let Some(cap) = sc.capacity_bytes {
+        cms = cms.with_capacity(cap as usize);
+    }
+    let mut config = BraidConfig::with_cms(cms);
+    if let Some(f) = &sc.faults {
+        config = config.with_faults(f.plan());
+    }
+    BraidSystem::new(sc.dataset.catalog(), sc.dataset.knowledge_base(), config)
+}
+
+/// Check one solve's answer against the model; returns the violation, if
+/// any. `bug_state` counts non-empty answers for [`SimBug`] pacing.
+#[allow(clippy::too_many_arguments)]
+fn check_answer(
+    model: &RefModel,
+    sc: &SimScenario,
+    step: usize,
+    session: usize,
+    query: &str,
+    checked: &CheckedSolutions,
+    violations: &mut Vec<Violation>,
+) {
+    let expected = match model.solve_text(query) {
+        Ok(t) => t,
+        Err(e) => {
+            violations.push(Violation {
+                step,
+                session,
+                query: query.to_string(),
+                kind: ViolationKind::AnswerMismatch,
+                detail: format!("reference model failed: {e}"),
+            });
+            return;
+        }
+    };
+    match &checked.completeness {
+        Completeness::Exact => {
+            if checked.solutions != expected {
+                violations.push(Violation {
+                    step,
+                    session,
+                    query: query.to_string(),
+                    kind: ViolationKind::AnswerMismatch,
+                    detail: diff_detail(&checked.solutions, &expected),
+                });
+            }
+        }
+        Completeness::Partial { missing_subqueries } => {
+            if !sc.faults_active() {
+                violations.push(Violation {
+                    step,
+                    session,
+                    query: query.to_string(),
+                    kind: ViolationKind::CompletenessContract,
+                    detail: "answer tagged Partial although no faults are injected".into(),
+                });
+            }
+            if missing_subqueries.is_empty() {
+                violations.push(Violation {
+                    step,
+                    session,
+                    query: query.to_string(),
+                    kind: ViolationKind::CompletenessContract,
+                    detail: "Partial answer names no missing subqueries".into(),
+                });
+            }
+            let full: BTreeSet<&Tuple> = expected.iter().collect();
+            if let Some(extra) = checked.solutions.iter().find(|t| !full.contains(t)) {
+                violations.push(Violation {
+                    step,
+                    session,
+                    query: query.to_string(),
+                    kind: ViolationKind::PartialNotSubset,
+                    detail: format!(
+                        "partial answer contains {extra:?} which the model does not derive"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn diff_detail(got: &[Tuple], want: &[Tuple]) -> String {
+    let got_set: BTreeSet<&Tuple> = got.iter().collect();
+    let want_set: BTreeSet<&Tuple> = want.iter().collect();
+    let missing: Vec<_> = want_set.difference(&got_set).take(3).collect();
+    let extra: Vec<_> = got_set.difference(&want_set).take(3).collect();
+    format!(
+        "system returned {} tuples, model {}; missing e.g. {missing:?}; extra e.g. {extra:?}",
+        got.len(),
+        want.len()
+    )
+}
+
+/// End-of-run invariants: pin balance, cache byte accounting, metric
+/// conservation, span-forest well-formedness. `sessions` must already be
+/// dropped (their streams release pins on drop).
+fn check_invariants(
+    sc: &SimScenario,
+    system: &BraidSystem,
+    rings: &[Arc<RingSink>],
+    tolerated_errors: usize,
+    violations: &mut Vec<Violation>,
+) {
+    let end = |kind: ViolationKind, detail: String| Violation {
+        step: usize::MAX,
+        session: usize::MAX,
+        query: "<end-of-run>".into(),
+        kind,
+        detail,
+    };
+
+    // Pin balance: every AnswerStream is gone, so no session pin may
+    // survive.
+    let leaked = system.cms().shared_cache().leaked_session_pins();
+    if !leaked.is_empty() {
+        violations.push(end(
+            ViolationKind::PinLeak,
+            format!("elements {leaked:?} still session-pinned after all streams dropped"),
+        ));
+    }
+
+    // Cache byte accounting must be exact: recomputing it from scratch
+    // must neither change the footprint nor trigger evictions.
+    let drift = system.cms().shared_cache().reconcile_all();
+    if drift != 0 {
+        violations.push(end(
+            ViolationKind::MetricsConservation,
+            format!("byte-accounting reconciliation evicted {drift} elements"),
+        ));
+    }
+
+    // Metric conservation across the remote/cache/answer pipeline.
+    let m = system.metrics();
+    if m.remote.faults_injected
+        != m.remote.unavailable_faults
+            + m.remote.timeout_faults
+            + m.remote.disconnect_faults
+            + m.remote.latency_spike_faults
+    {
+        violations.push(end(
+            ViolationKind::MetricsConservation,
+            format!(
+                "faults_injected {} != sum of per-kind fault counters",
+                m.remote.faults_injected
+            ),
+        ));
+    }
+    if m.remote.wasted_tuples > m.remote.tuples_shipped {
+        violations.push(end(
+            ViolationKind::MetricsConservation,
+            format!(
+                "wasted_tuples {} exceeds tuples_shipped {}",
+                m.remote.wasted_tuples, m.remote.tuples_shipped
+            ),
+        ));
+    }
+    if m.cms.full_cache_answers + m.cms.partial_cache_answers > m.cms.queries {
+        violations.push(end(
+            ViolationKind::MetricsConservation,
+            "cache-answer counters exceed total CMS queries".into(),
+        ));
+    }
+    let lat = m.cms.query_latency_us.count();
+    if tolerated_errors == 0 && lat != m.cms.queries {
+        violations.push(end(
+            ViolationKind::MetricsConservation,
+            format!(
+                "query_latency_us count {lat} != cms queries {}",
+                m.cms.queries
+            ),
+        ));
+    }
+    if !sc.faults_active() {
+        if m.remote.faults_injected != 0 {
+            violations.push(end(
+                ViolationKind::MetricsConservation,
+                format!(
+                    "{} faults injected in a fault-free scenario",
+                    m.remote.faults_injected
+                ),
+            ));
+        }
+        if m.cms.degraded_answers != 0 {
+            violations.push(end(
+                ViolationKind::MetricsConservation,
+                format!(
+                    "{} degraded answers in a fault-free scenario",
+                    m.cms.degraded_answers
+                ),
+            ));
+        }
+    }
+
+    // Span-forest well-formedness (reused from braid-trace), checked per
+    // session — span ids are allocated by the session's tracer, so each
+    // session's ring is its own forest. Only meaningful when the ring
+    // kept every event.
+    for (si, ring) in rings.iter().enumerate() {
+        if ring.dropped() == 0 {
+            let events = ring.snapshot();
+            if let Err(e) = braid_trace::verify_span_forest(&events) {
+                violations.push(end(ViolationKind::SpanForest, format!("session {si}: {e}")));
+            }
+        }
+    }
+}
+
+/// Run a scenario deterministically and check every oracle.
+///
+/// # Errors
+/// Harness-level failures only (invalid scenario, model construction):
+/// oracle *violations* are reported in the returned [`SimReport`], not
+/// as errors.
+pub fn run_scenario(sc: &SimScenario, opts: &SimOptions) -> Result<SimReport, String> {
+    sc.validate()?;
+    let model = RefModel::new(&sc.dataset.catalog(), &sc.dataset.knowledge_base())?;
+    let system = build_system(sc);
+
+    let rings: Vec<Arc<RingSink>> = sc
+        .sessions
+        .iter()
+        .map(|_| Arc::new(RingSink::new(opts.trace_events)))
+        .collect();
+    let mut sessions: Vec<BraidSession<'_>> = sc
+        .sessions
+        .iter()
+        .zip(&rings)
+        .map(|(_, ring)| {
+            let mut sess = system.session();
+            sess.cms_mut().attach_session_sink(Arc::clone(ring) as _);
+            sess
+        })
+        .collect();
+    let mut cursors = vec![0usize; sc.sessions.len()];
+    let mut violations = Vec::new();
+    let mut report = SimReport {
+        solves: 0,
+        exact: 0,
+        partial: 0,
+        tolerated_errors: 0,
+        nonempty_answers: 0,
+        digest: 0xcbf2_9ce4_8422_2325,
+        violations: Vec::new(),
+    };
+
+    for (step, &s) in sc.schedule.iter().enumerate() {
+        let query = &sc.sessions[s][cursors[s]];
+        cursors[s] += 1;
+        report.solves += 1;
+        match sessions[s].solve_checked(query, sc.strategy) {
+            Ok(mut checked) => {
+                if !checked.solutions.is_empty() {
+                    report.nonempty_answers += 1;
+                    if let SimBug::DropLastTuple { every } = opts.bug {
+                        if every > 0 && report.nonempty_answers.is_multiple_of(every) {
+                            checked.solutions.pop();
+                        }
+                    }
+                }
+                match checked.completeness {
+                    Completeness::Exact => report.exact += 1,
+                    Completeness::Partial { .. } => report.partial += 1,
+                }
+                digest_answer(&mut report.digest, query, &checked);
+                check_answer(&model, sc, step, s, query, &checked, &mut violations);
+            }
+            Err(e) => {
+                fnv1a(&mut report.digest, format!("{query}|error").as_bytes());
+                if sc.faults_active() {
+                    report.tolerated_errors += 1;
+                } else {
+                    violations.push(Violation {
+                        step,
+                        session: s,
+                        query: query.clone(),
+                        kind: ViolationKind::UnexpectedError,
+                        detail: format!("solve failed without injected faults: {e}"),
+                    });
+                }
+            }
+        }
+    }
+
+    drop(sessions);
+    check_invariants(
+        sc,
+        &system,
+        &rings,
+        report.tolerated_errors,
+        &mut violations,
+    );
+    report.violations = violations;
+    Ok(report)
+}
+
+/// Run a scenario with each session on its own OS thread, ignoring the
+/// step schedule: real-thread schedule diversity over the same shared
+/// cache. Answers are still oracle-checked (an `Exact` answer must match
+/// the model under *any* interleaving), but the run is not replayable —
+/// the soak lane pairs it with the deterministic runner.
+///
+/// # Errors
+/// Harness-level failures only, as for [`run_scenario`].
+pub fn run_scenario_threaded(sc: &SimScenario, opts: &SimOptions) -> Result<SimReport, String> {
+    sc.validate()?;
+    let model = RefModel::new(&sc.dataset.catalog(), &sc.dataset.knowledge_base())?;
+    let system = build_system(sc);
+
+    type SolveLog = Vec<(usize, String, Result<CheckedSolutions, String>)>;
+    let outcomes: Vec<(SolveLog, Arc<RingSink>)> = std::thread::scope(|scope| {
+        let system = &system;
+        let handles: Vec<_> = sc
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(si, queries)| {
+                scope.spawn(move || {
+                    let ring = Arc::new(RingSink::new(opts.trace_events));
+                    let mut sess = system.session();
+                    sess.cms_mut().attach_session_sink(Arc::clone(&ring) as _);
+                    let log = queries
+                        .iter()
+                        .map(|q| {
+                            (
+                                si,
+                                q.clone(),
+                                sess.solve_checked(q, sc.strategy)
+                                    .map_err(|e| e.to_string()),
+                            )
+                        })
+                        .collect::<SolveLog>();
+                    (log, ring)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread"))
+            .collect()
+    });
+    let (results, rings): (Vec<SolveLog>, Vec<Arc<RingSink>>) = outcomes.into_iter().unzip();
+
+    let mut violations = Vec::new();
+    let mut report = SimReport {
+        solves: 0,
+        exact: 0,
+        partial: 0,
+        tolerated_errors: 0,
+        nonempty_answers: 0,
+        digest: 0,
+        violations: Vec::new(),
+    };
+    for log in results {
+        for (step, (si, query, outcome)) in log.into_iter().enumerate() {
+            report.solves += 1;
+            match outcome {
+                Ok(checked) => {
+                    report.nonempty_answers += usize::from(!checked.solutions.is_empty());
+                    match checked.completeness {
+                        Completeness::Exact => report.exact += 1,
+                        Completeness::Partial { .. } => report.partial += 1,
+                    }
+                    check_answer(&model, sc, step, si, &query, &checked, &mut violations);
+                }
+                Err(e) => {
+                    if sc.faults_active() {
+                        report.tolerated_errors += 1;
+                    } else {
+                        violations.push(Violation {
+                            step,
+                            session: si,
+                            query,
+                            kind: ViolationKind::UnexpectedError,
+                            detail: format!("solve failed without injected faults: {e}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    check_invariants(
+        sc,
+        &system,
+        &rings,
+        report.tolerated_errors,
+        &mut violations,
+    );
+    report.violations = violations;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First generated seed without faults and with data-bearing answers:
+    /// the canvas for bug-injection meta-tests.
+    fn quiet_seed_with_answers() -> (SimScenario, SimReport) {
+        for seed in 0..100u64 {
+            let sc = SimScenario::generate(seed);
+            if sc.faults_active() {
+                continue;
+            }
+            let report = run_scenario(&sc, &SimOptions::default()).expect("harness runs");
+            if report.nonempty_answers > 0 {
+                return (sc, report);
+            }
+        }
+        panic!("no fault-free scenario with non-empty answers in seeds 0..100");
+    }
+
+    #[test]
+    fn a_simple_scenario_passes_clean() {
+        let sc = SimScenario::generate(3);
+        let report = run_scenario(&sc, &SimOptions::default()).expect("harness runs");
+        assert!(report.passed(), "violations: {:#?}", report.violations);
+        assert_eq!(report.solves, sc.query_count());
+    }
+
+    #[test]
+    fn runs_are_bit_for_bit_deterministic() {
+        // Pick a seed with faults active so the fault path is under test.
+        let sc = (0..200u64)
+            .map(SimScenario::generate)
+            .find(|s| s.faults_active() && s.sessions.len() > 1)
+            .expect("generator produces faulted multi-session scenarios");
+        let opts = SimOptions::default();
+        let a = run_scenario(&sc, &opts).expect("harness runs");
+        let b = run_scenario(&sc, &opts).expect("harness runs");
+        assert_eq!(a, b, "same scenario must replay identically");
+    }
+
+    #[test]
+    fn injected_bug_is_caught() {
+        let (sc, clean) = quiet_seed_with_answers();
+        assert!(
+            clean.passed(),
+            "clean run must pass: {:#?}",
+            clean.violations
+        );
+        let opts = SimOptions {
+            bug: SimBug::DropLastTuple { every: 1 },
+            ..SimOptions::default()
+        };
+        let report = run_scenario(&sc, &opts).expect("harness runs");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::AnswerMismatch),
+            "oracle must catch the dropped tuple, got {:#?}",
+            report.violations
+        );
+    }
+}

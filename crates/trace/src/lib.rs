@@ -181,7 +181,10 @@ impl TraceEvent {
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding in a JSON double-quoted literal (used
+/// by [`TraceEvent::to_json`] and by downstream crates that hand-roll
+/// JSON, e.g. the simulation harness's scenario serializer).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -686,6 +689,69 @@ pub fn render_json_lines(events: &[TraceEvent]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Verify that a *complete* drained event log forms a well-nested span
+/// forest:
+///
+/// 1. span ids are unique;
+/// 2. every recorded parent id names a recorded span;
+/// 3. a child's `[start, start+dur]` interval nests inside its parent's.
+///
+/// "Span" means any event that carries a duration, plus the pipeline
+/// stages that are always emitted as spans even when they finish within
+/// a microsecond (`ie.solve`, `ie.translate`, `cms.query`, `exec.run`,
+/// `exec.remote_fetch`). Point events may reference a span as parent but
+/// are never parents themselves.
+///
+/// Returns the number of parent/child edges checked. Only meaningful on
+/// a ring that dropped nothing — an evicted parent looks like a missing
+/// one.
+///
+/// # Errors
+/// A message naming the first violated property and the offending event.
+pub fn verify_span_forest(events: &[TraceEvent]) -> Result<usize, String> {
+    let is_span = |e: &TraceEvent| {
+        e.dur_us > 0
+            || matches!(
+                e.kind,
+                TraceKind::IeSolve
+                    | TraceKind::Translate
+                    | TraceKind::Query
+                    | TraceKind::Execute
+                    | TraceKind::RemoteFetch
+            )
+    };
+    let spans: Vec<&TraceEvent> = events.iter().filter(|e| is_span(e)).collect();
+    let mut by_id: std::collections::HashMap<u64, &TraceEvent> =
+        std::collections::HashMap::with_capacity(spans.len());
+    for s in &spans {
+        if by_id.insert(s.id, s).is_some() {
+            return Err(format!("span id {} (`{}`) is not unique", s.id, s.label));
+        }
+    }
+    let mut checked = 0usize;
+    for e in events {
+        if let Some(pid) = e.parent {
+            let p = by_id
+                .get(&pid)
+                .ok_or_else(|| format!("parent {pid} of `{}` not recorded as a span", e.label))?;
+            if p.start_us > e.start_us {
+                return Err(format!(
+                    "child `{}` starts before its parent `{}`",
+                    e.label, p.label
+                ));
+            }
+            if e.start_us + e.dur_us > p.start_us + p.dur_us {
+                return Err(format!(
+                    "child `{}` outlives its parent `{}`",
+                    e.label, p.label
+                ));
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
 }
 
 #[cfg(test)]

@@ -38,10 +38,23 @@ trace-check:
     cargo test -p braid-trace -q
     cargo run -p braid-bench --bin report -- --quick --only E14
 
-# Seeded concurrency stress: loom is not vendorable offline (DESIGN.md §7),
-# so schedule coverage comes from repetition — the ignored stress test
-# re-runs the concurrent differential harness across many seeds and shard
-# counts, in release so threads genuinely interleave.
-stress:
-    cargo test --release --test concurrent_sessions -q -- --ignored
+# Deterministic simulation sweep (DESIGN.md §10): seeded scenarios through
+# the step scheduler, every answer oracle-checked against the reference
+# model; failures are shrunk to a replayable repro. Override the seed
+# range with `just sim 500 100` (start, rounds).
+sim start="0" rounds="200":
+    SIM_SEED_START={{start}} SIM_ROUNDS={{rounds}} \
+        cargo run --release -p braid-bench --bin sim
+
+# Soak lane: the same seeds through BOTH the deterministic scheduler and
+# the threaded runner (one OS thread per session over the shared cache),
+# in release so threads genuinely interleave. This subsumes the old
+# 25-round `stress` loop: loom is not vendorable offline (DESIGN.md §7),
+# so schedule coverage comes from seeded repetition.
+soak start="0" rounds="400":
+    SIM_SEED_START={{start}} SIM_ROUNDS={{rounds}} \
+        cargo run --release -p braid-bench --bin sim -- --soak
     cargo test --release --test concurrent_sessions -q
+
+# Back-compat alias for the old stress entry point.
+stress: soak

@@ -28,6 +28,13 @@ echo "==> trace/EXPLAIN observability suite"
 cargo test --test trace_observability -q
 cargo test -p braid-trace -q
 
+echo "==> simulation oracle suite (differential + golden EXPLAIN)"
+cargo test --test sim_oracle -q
+cargo test -p braid-sim -q
+
+echo "==> simulation smoke (fixed seed set, 50 scenarios)"
+SIM_SEED_START=0 SIM_ROUNDS=50 cargo run --release -p braid-bench --bin sim
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -105,17 +105,13 @@ fn one_shard_concurrent_sessions_match_serial() {
     assert_concurrent_matches_serial(&sc, 4, 1);
 }
 
-#[test]
-#[ignore = "schedule-diversity stress; run via `just stress`"]
-fn stress_schedule_diversity() {
-    // Loom is not vendorable offline, so schedule coverage comes from
-    // repetition: many seeds × shard counts, each round a fresh thread
-    // interleaving of the same differential harness.
-    for round in 0..25u64 {
-        let sc = genealogy::scenario(3, 2, 100 + round, 8);
-        assert_concurrent_matches_serial(&sc, 4, (round as usize % 4) + 1);
-    }
-}
+// Schedule-diversity stress now lives in the simulation harness: `just
+// soak` drives seeded scenarios (SIM_SEED_START/SIM_ROUNDS env vars)
+// through both the deterministic step scheduler and the threaded runner
+// of braid-sim, oracle-checking every answer against the reference
+// model — strictly stronger than the fixed 25-round loop that used to
+// sit here behind #[ignore]. A cheap fixed-seed smoke stays in
+// scripts/ci.sh.
 
 // ---------------------------------------------------------------------
 // Invariant 2: single-flight deduplication across sessions.
@@ -340,7 +336,7 @@ proptest! {
 
         // No session pins are left behind.
         prop_assert!(
-            cache.ids_matching(|e| e.pin_count > 0).is_empty(),
+            cache.leaked_session_pins().is_empty(),
             "leaked session pins"
         );
     }

@@ -1,0 +1,237 @@
+//! Integration suite for the deterministic simulation harness (DESIGN.md
+//! §10): a seeded smoke sweep, the seed-stability guard pinning the
+//! generator's output, the bug-injection meta-test proving the oracle +
+//! shrinker actually work, and the EXPLAIN differential (answers through
+//! `solve_explained` must be byte-identical to `solve_checked`, faults
+//! included) with a golden `ExplainSummary` for a degraded-mode solve.
+
+use braid::Strategy;
+use braid_sim::{
+    build_system, regression_test, run_scenario, shrink, Dataset, FaultSpec, SimBug, SimOptions,
+    SimReport, SimScenario, ViolationKind,
+};
+
+// ---------------------------------------------------------------------
+// Seeded smoke sweep (a disjoint seed range from the ci.sh sweep).
+// ---------------------------------------------------------------------
+
+#[test]
+fn forty_seeded_scenarios_pass_every_oracle() {
+    let opts = SimOptions::default();
+    for seed in 1000..1040u64 {
+        let sc = SimScenario::generate(seed);
+        let report = run_scenario(&sc, &opts).expect("harness runs");
+        assert!(
+            report.passed(),
+            "seed {seed} failed:\n{:#?}\nscenario: {}",
+            report.violations,
+            sc.to_json()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seed stability: the scenario generated for a fixed seed is pinned, so
+// any change to the generator (new knobs, reordered draws) is a visible,
+// deliberate diff — otherwise every "replayable" seed silently changes
+// meaning.
+// ---------------------------------------------------------------------
+
+#[test]
+fn generated_scenario_for_seed_42_is_pinned() {
+    let golden = r#"{"seed":42,"dataset":{"kind":"genealogy","generations":3,"branching":2,"seed":3858},"strategy":"interpreted","sessions":[["?- ancestor(X, p14).","?- elder_parent(p10, Y).","?- grandparent(p6, Y).","?- uncle(p1, Y)."],["?- uncle(X, Y).","?- sibling(X, Y)."],["?- grandparent(p13, p10).","?- grandparent(p4, Y).","?- uncle(X, Y)."]],"schedule":[1,1,2,0,0,2,0,2,0],"capacity_bytes":null,"shards":4,"batch_size":7,"lazy":true,"prefetch":true,"generalization":false,"subsumption":false,"faults":null}"#;
+    let sc = SimScenario::generate(42);
+    assert_eq!(
+        sc.to_json(),
+        golden,
+        "the scenario for seed 42 changed — if the generator change is \
+         deliberate, update this golden and note it in CHANGES.md"
+    );
+    // And the pinned text replays into the identical scenario.
+    assert_eq!(SimScenario::from_json(golden).expect("golden parses"), sc);
+}
+
+// ---------------------------------------------------------------------
+// Meta-test: a known bug (drop one tuple from every non-empty answer, the
+// signature of a skipped remainder subquery) must be *caught* by the
+// oracle and *shrunk* to a tiny repro — deterministically.
+// ---------------------------------------------------------------------
+
+/// First generated fault-free scenario with enough queries and data-bearing
+/// answers to make shrinking meaningful.
+fn meaty_quiet_scenario() -> SimScenario {
+    let opts = SimOptions::default();
+    (0..200u64)
+        .map(SimScenario::generate)
+        .find(|sc| {
+            !sc.faults_active()
+                && sc.query_count() >= 6
+                && run_scenario(sc, &opts).is_ok_and(|r| r.passed() && r.nonempty_answers > 1)
+        })
+        .expect("seeds 0..200 contain a meaty fault-free scenario")
+}
+
+#[test]
+fn injected_bug_is_caught_and_shrunk_to_a_tiny_repro() {
+    let sc = meaty_quiet_scenario();
+    let opts = SimOptions {
+        bug: SimBug::DropLastTuple { every: 1 },
+        ..SimOptions::default()
+    };
+
+    let buggy: SimReport = run_scenario(&sc, &opts).expect("harness runs");
+    assert!(
+        buggy
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::AnswerMismatch),
+        "oracle must flag the dropped tuple, got {:#?}",
+        buggy.violations
+    );
+
+    let shrunk = shrink(&sc, &opts);
+    assert!(
+        shrunk.scenario.query_count() <= 3,
+        "shrinker must reduce the repro to <=3 queries, got {} ({})",
+        shrunk.scenario.query_count(),
+        shrunk.scenario.to_json()
+    );
+    let final_report = shrunk.report.as_ref().expect("shrunk scenario re-ran");
+    assert!(!final_report.passed(), "shrunk scenario must still fail");
+
+    // Fully deterministic: catching and shrinking again is identical.
+    let buggy2 = run_scenario(&sc, &opts).expect("harness runs");
+    assert_eq!(buggy, buggy2, "bug detection must replay bit-for-bit");
+    let shrunk2 = shrink(&sc, &opts);
+    assert_eq!(shrunk2.scenario, shrunk.scenario);
+    assert_eq!(shrunk2.runs, shrunk.runs);
+
+    // The emitted regression test embeds the shrunk scenario verbatim.
+    let src = regression_test("repro_meta", &shrunk.scenario);
+    let start = src.find("r##\"").expect("raw string open") + 4;
+    let end = src.find("\"##").expect("raw string close");
+    assert_eq!(
+        SimScenario::from_json(&src[start..end]).expect("embedded JSON parses"),
+        shrunk.scenario
+    );
+}
+
+// ---------------------------------------------------------------------
+// EXPLAIN differential: `solve_explained` must return byte-identical
+// answers (solutions AND completeness) to `solve_checked` when driving
+// two identically-configured systems through the same faulted schedule —
+// attaching the explain ring must never change what is answered.
+// ---------------------------------------------------------------------
+
+#[test]
+fn solve_explained_matches_solve_checked_under_faults() {
+    let sc = (0..200u64)
+        .map(SimScenario::generate)
+        .find(|s| s.faults_active() && s.query_count() >= 4)
+        .expect("generator produces faulted scenarios");
+
+    let checked_sys = build_system(&sc);
+    let explained_sys = build_system(&sc);
+    let mut checked_sessions: Vec<_> = sc.sessions.iter().map(|_| checked_sys.session()).collect();
+    let mut explained_sessions: Vec<_> = sc
+        .sessions
+        .iter()
+        .map(|_| explained_sys.session())
+        .collect();
+
+    let mut cursors = vec![0usize; sc.sessions.len()];
+    for &s in &sc.schedule {
+        let query = &sc.sessions[s][cursors[s]];
+        cursors[s] += 1;
+        let a = checked_sessions[s].solve_checked(query, sc.strategy);
+        let b = explained_sessions[s].solve_explained(query, sc.strategy);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.solutions, b.solutions, "`{query}` answers diverged");
+                assert_eq!(
+                    a.completeness, b.completeness,
+                    "`{query}` completeness diverged"
+                );
+                assert_eq!(a.solutions.len(), b.report.solutions);
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "`{query}` errors diverged");
+            }
+            (a, b) => panic!(
+                "`{query}`: solve_checked -> {:?}, solve_explained -> {:?}",
+                a.map(|x| x.completeness),
+                b.map(|x| x.completeness)
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden EXPLAIN summary for a faulted, degraded-mode scenario: a total
+// outage from the first remote request forces the cache-only path, and
+// the summary (timing-free by construction) must be pinned exactly.
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_explain_summary_for_a_degraded_solve() {
+    let sc = SimScenario {
+        seed: 7,
+        dataset: Dataset::Genealogy {
+            generations: 3,
+            branching: 2,
+            seed: 7,
+        },
+        strategy: Strategy::ConjunctionCompiled,
+        sessions: vec![vec!["?- grandparent(p0, Y).".into()]],
+        schedule: vec![0],
+        capacity_bytes: None,
+        shards: 1,
+        batch_size: 32,
+        lazy: false,
+        prefetch: false,
+        generalization: false,
+        subsumption: true,
+        faults: Some(FaultSpec {
+            seed: 7,
+            transient_permille: 0,
+            timeout_permille: 0,
+            latency_spike_permille: 0,
+            latency_spike_units: 0,
+            disconnect_permille: 0,
+            disconnect_after_tuples: 0,
+            outages: vec![(0, u64::MAX)],
+        }),
+    };
+    let system = build_system(&sc);
+    let mut session = system.session();
+    let got = session
+        .solve_explained("?- grandparent(p0, Y).", sc.strategy)
+        .expect("degraded mode answers instead of erroring")
+        .report
+        .summary();
+
+    // Degraded mode: no remote, empty cache => zero solutions, Partial.
+    assert_eq!(got.goal, "?- grandparent(p0, Y).");
+    assert_eq!(got.solutions, 0);
+    assert!(!got.exact, "an outage from request 0 cannot be Exact");
+    assert!(
+        !got.degraded.is_empty(),
+        "the degraded path must be visible in EXPLAIN, got {got:#?}"
+    );
+    for plan in &got.plans {
+        assert!(
+            plan.matched_views.is_empty(),
+            "nothing can be matched in a cold cache, got {got:#?}"
+        );
+    }
+
+    // The run is deterministic, so the whole summary golden-compares.
+    let replay_system = build_system(&sc);
+    let again = replay_system
+        .session()
+        .solve_explained("?- grandparent(p0, Y).", sc.strategy)
+        .expect("replay answers")
+        .report
+        .summary();
+    assert_eq!(got, again, "ExplainSummary must be stable across replays");
+}

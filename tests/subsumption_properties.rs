@@ -163,6 +163,207 @@ fn path_expr_strategy() -> impl Strategy<Value = PathExpr> {
     })
 }
 
+// ---------- edge cases, checked against the braid-sim reference model ----------
+//
+// Three corners the instance-subsumption properties above cannot reach:
+// views with negated literals (outside the PSJ fragment — they must
+// bypass reuse, not corrupt it), comparison ranges that abut without
+// overlapping (`Y < s` next to `Y >= s` shares no tuple, so reuse would
+// be wrong), and disjunctive remainders (a cached mid-range splits the
+// uncovered part of a wider query into two intervals). Each is driven
+// through the full system and compared against the naive reference
+// evaluator from braid-sim.
+
+use braid::{BraidConfig, BraidSystem, CmsConfig, KnowledgeBase, Strategy as SolveStrategy};
+use braid_relational::{Relation, Schema, Tuple, Value};
+use braid_remote::Catalog;
+use braid_sim::RefModel;
+
+/// `num(x<i>, i)` for i in 0..n — a numeric column for range views.
+fn num_catalog(n: i64) -> Catalog {
+    let mut r = Relation::new(Schema::of_strs("num", &["x", "y"]));
+    for i in 0..n {
+        r.insert(Tuple::new(vec![Value::str(format!("x{i}")), Value::int(i)]))
+            .expect("arity 2");
+    }
+    let mut c = Catalog::new();
+    c.install(r);
+    c
+}
+
+fn num_kb(rules: &[String]) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.declare_base("num", 2);
+    for r in rules {
+        kb.add_program(r).expect("rule parses");
+    }
+    kb
+}
+
+/// A system (subsumption on, the speculative techniques off so metric
+/// deltas attribute cleanly) plus the reference model over the same data.
+fn system_and_model(n: i64, rules: &[String]) -> (BraidSystem, RefModel) {
+    let model = RefModel::new(&num_catalog(n), &num_kb(rules)).expect("model builds");
+    let config = BraidConfig::with_cms(
+        CmsConfig::braid()
+            .with_prefetching(false)
+            .with_generalization(false),
+    );
+    (
+        BraidSystem::new(num_catalog(n), num_kb(rules), config),
+        model,
+    )
+}
+
+fn assert_matches_model(sys: &mut BraidSystem, model: &RefModel, query: &str) {
+    let got = sys
+        .solve_all(query, SolveStrategy::ConjunctionCompiled)
+        .expect("system solves");
+    let want = model.solve_text(query).expect("model solves");
+    assert_eq!(got, want, "`{query}` diverged from the reference model");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Engine level: an element holding `y < split` answers any narrower
+    /// upper range, and never the abutting complement `y >= split` —
+    /// adjacent intervals share no tuple, so "close" must not count.
+    #[test]
+    fn abutting_ranges_never_subsume_narrower_ones_always_do(
+        split in 1i64..8,
+        narrow in 1i64..8,
+    ) {
+        let element = ViewDef::new(
+            parse_rule(&format!("e(X, Y) :- num(X, Y), Y < {split}.")).unwrap(),
+        )
+        .unwrap();
+
+        let abut = parse_rule(&format!("q(X, Y) :- num(X, Y), Y >= {split}.")).unwrap();
+        prop_assert!(
+            subsumes(&element, &Component::whole(&abut), &["X", "Y"]).is_none(),
+            "abutting range y >= {split} reused an element holding y < {split}"
+        );
+
+        let narrower = parse_rule(&format!("q(X, Y) :- num(X, Y), Y < {narrow}.")).unwrap();
+        let d = subsumes(&element, &Component::whole(&narrower), &["X", "Y"]);
+        if narrow <= split {
+            prop_assert!(d.is_some(), "y < {narrow} fits inside y < {split}");
+        } else {
+            prop_assert!(d.is_none(), "y < {narrow} exceeds the cached y < {split}");
+        }
+    }
+
+    /// System level: warm `y < split`, then ask the abutting complement
+    /// and a contained range. The contained query must be answered from
+    /// the cache (no new remote requests); the abutting one must go back
+    /// to the remote; and both answers must match the reference model.
+    #[test]
+    fn abutting_ranges_refetch_and_contained_ranges_reuse(
+        split in 2i64..7,
+        n in 8i64..14,
+    ) {
+        let rules = vec![
+            format!("lo(X, Y) :- num(X, Y), Y < {split}."),
+            format!("sub(X, Y) :- num(X, Y), Y < {}.", split - 1),
+            format!("hi(X, Y) :- num(X, Y), Y >= {split}."),
+        ];
+        let (mut sys, model) = system_and_model(n, &rules);
+
+        assert_matches_model(&mut sys, &model, "?- lo(X, Y).");
+        let warmed = sys.metrics().remote.requests;
+
+        assert_matches_model(&mut sys, &model, "?- sub(X, Y).");
+        let after_sub = sys.metrics().remote.requests;
+        prop_assert_eq!(
+            after_sub, warmed,
+            "contained range should be a pure cache answer"
+        );
+
+        assert_matches_model(&mut sys, &model, "?- hi(X, Y).");
+        prop_assert!(
+            sys.metrics().remote.requests > after_sub,
+            "abutting range cannot be served from the cached interval"
+        );
+    }
+
+    /// Disjunctive remainder: with a mid-range `lo <= y < hi` cached, a
+    /// full scan's uncovered part is `y < lo OR y >= hi` — two disjoint
+    /// intervals. Whatever plan the CMS picks (compensate + refetch or
+    /// full refetch), the answer must equal the model's.
+    #[test]
+    fn disjunctive_remainders_stay_correct(
+        lo in 1i64..4,
+        width in 1i64..4,
+        n in 8i64..14,
+    ) {
+        let hi = lo + width;
+        let rules = vec![
+            format!("mid(X, Y) :- num(X, Y), Y >= {lo}, Y < {hi}."),
+            "all(X, Y) :- num(X, Y).".to_string(),
+            format!("rim(X, Y) :- num(X, Y), Y < {lo}."),
+        ];
+        let (mut sys, model) = system_and_model(n, &rules);
+
+        assert_matches_model(&mut sys, &model, "?- mid(X, Y).");
+        // The full scan's remainder around the cached mid-range is
+        // disjunctive; then the left rim alone must also stay exact.
+        assert_matches_model(&mut sys, &model, "?- all(X, Y).");
+        assert_matches_model(&mut sys, &model, "?- rim(X, Y).");
+        // And a second pass over everything, now fully warm.
+        assert_matches_model(&mut sys, &model, "?- all(X, Y).");
+        assert_matches_model(&mut sys, &model, "?- mid(X, Y).");
+    }
+}
+
+#[test]
+fn negated_literal_views_are_rejected_from_reuse_but_answer_correctly() {
+    // A body with negation is outside the PSJ fragment: it must never
+    // become a reusable view definition ...
+    let neg_rule = parse_rule("v(X) :- num(X, Y), not even(Y).").unwrap();
+    assert!(
+        ViewDef::new(neg_rule).is_err(),
+        "negated-literal bodies must not enter the subsumption engine"
+    );
+
+    // ... and at system level the negated parts are planned separately
+    // (anti-join compensation), so answers must still match the model —
+    // cold, warm, and for a subsequent query that could only be answered
+    // by (wrongly) reusing the negation-bearing result.
+    let mut kb = KnowledgeBase::new();
+    kb.declare_base("num", 2);
+    kb.declare_base("flag", 1);
+    kb.add_program("odd_only(X, Y) :- num(X, Y), not flag(Y).")
+        .unwrap();
+    kb.add_program("narrow(X, Y) :- num(X, Y), not flag(Y), Y < 4.")
+        .unwrap();
+    kb.add_program("plain(X, Y) :- num(X, Y), Y < 4.").unwrap();
+
+    let build_catalog = || {
+        let mut c = num_catalog(10);
+        let mut f = Relation::new(Schema::of_strs("flag", &["y"]));
+        for i in (0..10i64).step_by(2) {
+            f.insert(Tuple::new(vec![Value::int(i)])).expect("arity 1");
+        }
+        c.install(f);
+        c
+    };
+    let model = RefModel::new(&build_catalog(), &kb).expect("model builds");
+    let config = BraidConfig::with_cms(
+        CmsConfig::braid()
+            .with_prefetching(false)
+            .with_generalization(false),
+    );
+    let mut sys = BraidSystem::new(build_catalog(), kb, config);
+
+    assert_matches_model(&mut sys, &model, "?- odd_only(X, Y).");
+    assert_matches_model(&mut sys, &model, "?- odd_only(X, Y)."); // warm
+    assert_matches_model(&mut sys, &model, "?- narrow(X, Y).");
+    // `plain` keeps the flagged tuples the negated views filtered out: if
+    // either negated result were wrongly reused, these would be missing.
+    assert_matches_model(&mut sys, &model, "?- plain(X, Y).");
+}
+
 proptest! {
     #[test]
     fn path_expression_display_parse_round_trip(e in path_expr_strategy()) {

@@ -13,7 +13,7 @@
 
 use braid::{
     BraidConfig, BraidSystem, Catalog, CmsConfig, Histogram, KnowledgeBase, RingSink, Strategy,
-    TraceEvent, TraceKind,
+    TraceKind,
 };
 use braid_relational::{tuple, Relation, Schema};
 use braid_workload::genealogy;
@@ -92,26 +92,6 @@ fn counters_are_monotone_under_concurrent_sessions() {
 // 2. Span tree well-formedness
 // ---------------------------------------------------------------------
 
-fn span_events(events: &[TraceEvent]) -> Vec<&TraceEvent> {
-    // Spans carry a duration; point events reuse their parent's id space
-    // but never appear as parents themselves.
-    events
-        .iter()
-        .filter(|e| e.dur_us > 0 || is_span(e))
-        .collect()
-}
-
-fn is_span(e: &TraceEvent) -> bool {
-    matches!(
-        e.kind,
-        TraceKind::IeSolve
-            | TraceKind::Translate
-            | TraceKind::Query
-            | TraceKind::Execute
-            | TraceKind::RemoteFetch
-    )
-}
-
 #[test]
 fn span_log_forms_a_well_nested_forest() {
     let ring = Arc::new(RingSink::new(1 << 16));
@@ -126,40 +106,12 @@ fn span_log_forms_a_well_nested_forest() {
     assert_eq!(ring.dropped(), 0, "ring must be large enough for the run");
     assert!(!events.is_empty());
 
-    // Unique ids among span events.
-    let spans = span_events(&events);
-    let mut ids: Vec<u64> = spans.iter().map(|e| e.id).collect();
-    ids.sort_unstable();
-    let n = ids.len();
-    ids.dedup();
-    assert_eq!(ids.len(), n, "span ids must be unique");
-
-    // Every parent id names a recorded span, and the child's interval
-    // nests inside the parent's (parents close after their children, so
-    // a drained complete run contains every parent).
-    let by_id: std::collections::HashMap<u64, &TraceEvent> =
-        spans.iter().map(|e| (e.id, *e)).collect();
-    let mut checked = 0usize;
-    for e in &events {
-        if let Some(pid) = e.parent {
-            let p = by_id
-                .get(&pid)
-                .unwrap_or_else(|| panic!("parent {pid} of `{}` not recorded", e.label));
-            assert!(
-                p.start_us <= e.start_us,
-                "child `{}` starts before parent `{}`",
-                e.label,
-                p.label
-            );
-            assert!(
-                e.start_us + e.dur_us <= p.start_us + p.dur_us,
-                "child `{}` outlives parent `{}`",
-                e.label,
-                p.label
-            );
-            checked += 1;
-        }
-    }
+    // Forest well-formedness — unique span ids, every parent recorded,
+    // child intervals nested — is the shared `verify_span_forest`
+    // checker (braid-trace), which the simulation harness also runs
+    // after every scenario.
+    let checked = braid_trace::verify_span_forest(&events)
+        .unwrap_or_else(|e| panic!("span log is not a well-nested forest: {e}"));
     assert!(checked > 0, "workload must produce nested spans");
 
     // The pipeline stages all appear.
