@@ -14,7 +14,9 @@
 //! any scenario fails its oracle.
 
 use braid_sim::SimScenario;
-use braid_sim::{regression_test, run_scenario, run_scenario_threaded, shrink, SimOptions};
+use braid_sim::{
+    regression_test, run_scenario, run_scenario_socket, run_scenario_threaded, shrink, SimOptions,
+};
 use std::time::Instant;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -64,7 +66,7 @@ fn main() {
         "sim: seeds {seed_start}..{} ({rounds} rounds{})",
         seed_start + rounds,
         if soak {
-            ", deterministic + threaded"
+            ", deterministic + threaded + socket"
         } else {
             ""
         }
@@ -80,7 +82,7 @@ fn main() {
         }
     }
     let dt = start.elapsed().as_secs_f64();
-    let runs_per_seed = if soak { 2.0 } else { 1.0 };
+    let runs_per_seed = if soak { 3.0 } else { 1.0 };
     eprintln!(
         "sim: {rounds} scenarios, {solves} solves, {:.1} scenarios/s, {failed} failed",
         (rounds as f64 * runs_per_seed) / dt.max(1e-9)
@@ -131,6 +133,25 @@ fn run_one(sc: &SimScenario, opts: &SimOptions, verbose: bool, soak: bool) -> i3
             Err(e) => {
                 status = 1;
                 eprintln!("sim: seed {}: threaded harness error: {e}", sc.seed);
+            }
+        }
+        // Socket lane: same sessions over a real TCP listener behind the
+        // fault proxy. Like the threaded lane, failures are not
+        // replayable step-for-step — print the scenario instead.
+        match run_scenario_socket(sc, opts) {
+            Ok(r) if !r.passed() => {
+                status = 1;
+                eprintln!(
+                    "sim: seed {}: SOCKET run failed:\n{:#?}\nscenario: {}",
+                    sc.seed,
+                    r.violations,
+                    sc.to_json()
+                );
+            }
+            Ok(_) => {}
+            Err(e) => {
+                status = 1;
+                eprintln!("sim: seed {}: socket harness error: {e}", sc.seed);
             }
         }
     }

@@ -16,5 +16,6 @@ pub mod e12_executor;
 pub mod e13_concurrency;
 pub mod e14_tracing;
 pub mod e15_sim;
+pub mod e16_net;
 
 pub(crate) mod support;

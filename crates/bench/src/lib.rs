@@ -39,5 +39,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E13", experiments::e13_concurrency::run),
         ("E14", experiments::e14_tracing::run),
         ("E15", experiments::e15_sim::run),
+        ("E16", experiments::e16_net::run),
     ]
 }

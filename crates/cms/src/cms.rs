@@ -21,7 +21,7 @@ use crate::stream::{AnswerStream, Completeness};
 use braid_advice::Advice;
 use braid_caql::{Atom, ConjunctiveQuery, Term};
 use braid_relational::Schema;
-use braid_remote::RemoteDbms;
+use braid_remote::{PoolStats, RemoteDbms, RemoteTransport, TcpClientPool, TransportConfig};
 use braid_subsume::ViewDef;
 use braid_trace::{TraceKind, TraceSink, Tracer};
 use std::collections::BTreeSet;
@@ -36,6 +36,11 @@ use std::time::Instant;
 pub struct CmsShared {
     cache: Arc<SharedCache>,
     remote: RemoteDbms,
+    // The fetch path every monitor execution uses: the in-process engine
+    // (default — same handle as `remote`) or a pooled TCP client. Schema
+    // and statistics lookups stay on the in-process handle either way;
+    // only tuple fetches travel the transport.
+    transport: Arc<dyn RemoteTransport>,
     metrics: Arc<CmsMetrics>,
     // Snapshot of the remote base-relation statistics ("(a copy of) the
     // remote database schema", §5), used by cost-based placement.
@@ -87,9 +92,21 @@ impl Cms {
             config.cache_shards,
             Arc::clone(&metrics),
         ));
+        let transport: Arc<dyn RemoteTransport> = match &config.transport {
+            // In-process: the transport *is* the engine handle (cheap
+            // clone — RemoteDbms shares its catalog internally), keeping
+            // the default path byte-identical to the pre-network CMS.
+            TransportConfig::InProcess => Arc::new(remote.clone()),
+            TransportConfig::Tcp(c) => {
+                let pool = TcpClientPool::new(c.clone());
+                pool.set_trace(config.trace.clone());
+                Arc::new(pool)
+            }
+        };
         let shared = Arc::new(CmsShared {
             cache,
             remote,
+            transport,
             metrics: Arc::clone(&metrics),
             remote_stats,
             flight: RemoteFlight::new(),
@@ -170,6 +187,12 @@ impl Cms {
     /// The remote server handle (shared, cheap to clone).
     pub fn remote(&self) -> &RemoteDbms {
         &self.shared.remote
+    }
+
+    /// Connection-pool gauges when the fetch path is TCP; `None` on the
+    /// in-process transport. Tests assert `in_use` drains to zero here.
+    pub fn transport_pool_stats(&self) -> Option<PoolStats> {
+        self.shared.transport.pool_stats()
     }
 
     /// The resilience policy engine (breaker state introspection).
@@ -308,7 +331,7 @@ impl Cms {
     /// Everything a `monitor::execute` call needs from this session.
     fn exec_env(&self) -> ExecEnv<'_> {
         ExecEnv {
-            remote: &self.shared.remote,
+            transport: &*self.shared.transport,
             resilience: &self.resilience,
             flight: Some(&self.shared.flight),
             parallel: self.config.parallel_execution,

@@ -8,6 +8,7 @@
 
 use crate::resilience::ResilienceConfig;
 use braid_relational::ExecConfig;
+use braid_remote::TransportConfig;
 use braid_trace::{SinkHandle, TraceSink};
 use std::sync::Arc;
 
@@ -69,6 +70,11 @@ pub struct CmsConfig {
     /// Remote-fault handling: retries, deadlines, circuit breaking and
     /// cache-only degraded answers (see [`ResilienceConfig`]).
     pub resilience: ResilienceConfig,
+    /// How remote fetches reach the DBMS engine: the default in-process
+    /// call path (byte-identical to the pre-network CMS), or a pooled
+    /// TCP client speaking the length-prefixed wire protocol to a
+    /// [`RemoteTcpServer`](braid_remote::RemoteTcpServer).
+    pub transport: TransportConfig,
     /// Batched-executor configuration (batch-size knob) used for every
     /// local plan execution: monitor pipelines, cache derivations, and
     /// lazy generator opens.
@@ -102,6 +108,7 @@ impl Default for CmsConfig {
             cost_based_placement: false,
             whole_relation_caching: false,
             resilience: ResilienceConfig::default(),
+            transport: TransportConfig::InProcess,
             exec: ExecConfig::default(),
             trace: SinkHandle::noop(),
         }
@@ -130,6 +137,7 @@ impl CmsConfig {
             cost_based_placement: false,
             whole_relation_caching: false,
             resilience: ResilienceConfig::default(),
+            transport: TransportConfig::InProcess,
             exec: ExecConfig::default(),
             trace: SinkHandle::noop(),
         }
@@ -250,6 +258,14 @@ impl CmsConfig {
     /// degraded mode).
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
         self.resilience = resilience;
+        self
+    }
+
+    /// Set the remote transport: [`TransportConfig::InProcess`] (the
+    /// default) or [`TransportConfig::Tcp`] with a client-pool config
+    /// pointed at a listening [`RemoteTcpServer`](braid_remote::RemoteTcpServer).
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
         self
     }
 

@@ -23,6 +23,17 @@ pub enum CmsError {
     /// can distinguish transient transport faults from hard errors
     /// (available through [`std::error::Error::source`] as well).
     Remote(RemoteError),
+    /// A connection-level fault from the network transport (TCP path):
+    /// the socket-level [`std::io::ErrorKind`] is lifted out of the
+    /// underlying [`RemoteError::Io`] so callers can classify without
+    /// digging, while the full remote error stays reachable through
+    /// [`std::error::Error::source`].
+    Transport {
+        /// Socket-level failure class (reset, timeout, refused, ...).
+        kind: std::io::ErrorKind,
+        /// The underlying remote error, boxed to keep the variant small.
+        source: Box<RemoteError>,
+    },
     /// A parallel fetch worker panicked; the panic payload is captured
     /// as text. Distinct from [`CmsError::Remote`]: the remote side did
     /// nothing wrong, the workstation-side worker died.
@@ -51,6 +62,7 @@ impl CmsError {
     pub fn is_transient(&self) -> bool {
         match self {
             CmsError::Remote(e) => e.is_transient(),
+            CmsError::Transport { kind, .. } => braid_remote::transient_io_kind(*kind),
             CmsError::CircuitOpen => true,
             CmsError::Exhausted { last, .. } => last.is_transient(),
             _ => false,
@@ -68,6 +80,9 @@ impl fmt::Display for CmsError {
             CmsError::UnsafeQuery(q) => write!(f, "unsafe query: {q}"),
             CmsError::Unplannable(m) => write!(f, "cannot plan query: {m}"),
             CmsError::Remote(e) => write!(f, "remote DBMS error: {e}"),
+            CmsError::Transport { kind, source } => {
+                write!(f, "transport fault ({kind:?}): {source}")
+            }
             CmsError::WorkerPanic(m) => write!(f, "remote fetch worker panicked: {m}"),
             CmsError::Exhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempt(s): {last}")
@@ -82,6 +97,7 @@ impl std::error::Error for CmsError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CmsError::Remote(e) => Some(e),
+            CmsError::Transport { source, .. } => Some(source.as_ref()),
             CmsError::Exhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
@@ -90,6 +106,15 @@ impl std::error::Error for CmsError {
 
 impl From<RemoteError> for CmsError {
     fn from(e: RemoteError) -> Self {
+        // Socket-level faults get their own variant so the io::ErrorKind
+        // is one match arm away; everything else stays `Remote`.
+        if let RemoteError::Io { kind, .. } = &e {
+            let kind = *kind;
+            return CmsError::Transport {
+                kind,
+                source: Box::new(e),
+            };
+        }
         CmsError::Remote(e)
     }
 }
@@ -147,5 +172,41 @@ mod tests {
         assert!(!CmsError::Remote(RemoteError::UnknownRelation("x".into())).is_transient());
         assert!(!CmsError::UnsafeQuery("q".into()).is_transient());
         assert!(!CmsError::WorkerPanic("boom".into()).is_transient());
+    }
+
+    #[test]
+    fn socket_faults_lift_into_transport_variant() {
+        use std::io::ErrorKind;
+        let e = CmsError::from(RemoteError::Io {
+            kind: ErrorKind::ConnectionReset,
+            detail: "peer reset".into(),
+        });
+        let CmsError::Transport { kind, ref source } = e else {
+            panic!("expected Transport, got {e:?}");
+        };
+        assert_eq!(kind, ErrorKind::ConnectionReset);
+        assert!(e.is_transient(), "connection reset is retryable");
+        assert!(matches!(**source, RemoteError::Io { .. }));
+        // The io chain survives through source().
+        let src = e.source().expect("transport has a source");
+        assert!(src.to_string().contains("peer reset"), "{src}");
+    }
+
+    #[test]
+    fn transport_transience_follows_error_kind() {
+        use std::io::ErrorKind;
+        let transient = CmsError::from(RemoteError::Io {
+            kind: ErrorKind::TimedOut,
+            detail: String::new(),
+        });
+        assert!(transient.is_transient());
+        let permanent = CmsError::from(RemoteError::Io {
+            kind: ErrorKind::InvalidData,
+            detail: "corrupt frame".into(),
+        });
+        assert!(
+            matches!(permanent, CmsError::Transport { .. }) && !permanent.is_transient(),
+            "corrupt frames must not be retried: {permanent:?}"
+        );
     }
 }

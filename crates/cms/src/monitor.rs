@@ -16,7 +16,7 @@ use crate::rdi;
 use crate::resilience::Resilience;
 use braid_caql::{ArithExpr, Comparison, Term};
 use braid_relational::{ExecConfig, ExecStats, Expr, PhysicalPlan, Relation, Schema, Tuple};
-use braid_remote::{RemoteDbms, RemoteError};
+use braid_remote::{RemoteError, RemoteTransport};
 use braid_trace::{TraceKind, Tracer};
 
 /// The single-flight table specialized to remote part fetches: the shared
@@ -30,8 +30,11 @@ pub type RemoteFlight = SingleFlight<(Vec<String>, Relation), CmsError>;
 /// environment grows.
 #[derive(Clone, Copy)]
 pub struct ExecEnv<'a> {
-    /// The remote server handle.
-    pub remote: &'a RemoteDbms,
+    /// The remote fetch path: the in-process engine handle, or a pooled
+    /// TCP client speaking the wire protocol to a remote listener. The
+    /// monitor is transport-agnostic — resume/reconnect behaviour lives
+    /// inside the transport implementation.
+    pub transport: &'a dyn RemoteTransport,
     /// Retry/breaker/deadline policy (shared across fetch threads).
     pub resilience: &'a Resilience,
     /// Single-flight dedup table; `None` runs every fetch directly
@@ -314,7 +317,7 @@ fn fetch_remote(
     let PartSource::Remote { atoms, cmps } = &part.source else {
         unreachable!("fetch_remote called on a cache part");
     };
-    let (remote, resilience) = (env.remote, env.resilience);
+    let (transport, resilience) = (env.transport, env.resilience);
     let t = rdi::translate(atoms, cmps, &part.vars)?;
     // Worker-thread span: attached under the exec.run span by explicit
     // parent id (never via the session's control-path stack).
@@ -330,7 +333,7 @@ fn fetch_remote(
     let result = if let Some(f) = env.flight {
         let key = format!("{}|{}", t.sql, part.vars.join(","));
         let (rel, led) = f.run(&key, || {
-            fetch_attempts(part, remote, resilience, &t, env.pipelined, env.buffer)
+            fetch_attempts(part, transport, resilience, &t, env.pipelined, env.buffer)
         });
         if led {
             resilience.metrics().add_flight_fetches(1);
@@ -340,7 +343,7 @@ fn fetch_remote(
         span.field("flight", if led { "led" } else { "joined" });
         rel
     } else {
-        fetch_attempts(part, remote, resilience, &t, env.pipelined, env.buffer)
+        fetch_attempts(part, transport, resilience, &t, env.pipelined, env.buffer)
     };
     if span.is_live() {
         match &result {
@@ -354,7 +357,7 @@ fn fetch_remote(
 /// The resilience-wrapped fetch of one translated remote subquery.
 fn fetch_attempts(
     part: &PlanPart,
-    remote: &RemoteDbms,
+    transport: &dyn RemoteTransport,
     resilience: &Resilience,
     t: &rdi::Translated,
     pipelined: bool,
@@ -367,7 +370,7 @@ fn fetch_attempts(
         // Buffered/pipelined transfer (§5.5): the RDI "buffers the data
         // returned by the DBMS prior to passing buffer control to the
         // Cache Manager".
-        let mut stream = remote.submit_stream(&t.sql, buffer, pipelined)?;
+        let mut stream = transport.open_stream(&t.sql, buffer, pipelined)?;
         if part.vars.is_empty() {
             // Fully ground subquery: an existence test. The DML has no
             // zero-column SELECT, so reduce the stream to a 0-ary relation
@@ -522,7 +525,7 @@ mod tests {
     use crate::planner::plan;
     use braid_caql::parse_rule;
     use braid_relational::tuple;
-    use braid_remote::Catalog;
+    use braid_remote::{Catalog, RemoteDbms};
     use braid_subsume::ViewDef;
     use std::sync::Arc;
 
@@ -540,7 +543,7 @@ mod tests {
         parallel: bool,
     ) -> ExecEnv<'a> {
         ExecEnv {
-            remote,
+            transport: remote,
             resilience,
             flight: None,
             parallel,

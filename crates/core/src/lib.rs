@@ -74,6 +74,9 @@ pub use braid_caql::{
 pub use braid_cms::{AnswerStream, Cms, CmsConfig, Completeness, ResilienceConfig};
 pub use braid_ie::{IeError, InferenceEngine, KnowledgeBase, Rule, Soa, Strategy};
 pub use braid_relational::{Relation, Schema, Tuple, Value};
-pub use braid_remote::{Catalog, CostModel, FaultPlan, LatencyModel, RemoteDbms};
+pub use braid_remote::{
+    Catalog, CostModel, FaultPlan, LatencyModel, PoolStats, RemoteDbms, RemoteTcpServer,
+    TcpClientConfig, TcpServerConfig, TransportConfig,
+};
 pub use braid_trace as trace;
 pub use braid_trace::{Histogram, HistogramSnapshot, RingSink, SinkHandle, TraceEvent, TraceKind};

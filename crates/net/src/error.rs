@@ -1,0 +1,106 @@
+//! Typed errors for the wire codec and framing layer.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong on the wire.
+///
+/// `io::Error` itself is neither `Clone` nor `Eq`, so OS-level failures
+/// are reduced to their [`io::ErrorKind`] — which is exactly the part
+/// that drives retry classification upstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// An OS-level socket error, reduced to its kind.
+    Io(io::ErrorKind),
+    /// The stream or buffer ended in the middle of a frame or field
+    /// (a torn write): `needed` bytes were required, `got` were left.
+    Truncated { needed: usize, got: usize },
+    /// The bytes were all there but did not decode into anything
+    /// meaningful (bad tag, bad UTF-8, trailing garbage, …).
+    Corrupt(String),
+    /// A frame header announced a length above the negotiated cap —
+    /// treated as corruption, not as a request to allocate `len` bytes.
+    FrameTooLarge { len: u64, max: u64 },
+}
+
+impl NetError {
+    /// Shorthand for a corruption error.
+    pub fn corrupt(msg: impl Into<String>) -> NetError {
+        NetError::Corrupt(msg.into())
+    }
+
+    /// Reduce an `io::Error` to its kind.
+    pub fn from_io(e: &io::Error) -> NetError {
+        NetError::Io(e.kind())
+    }
+
+    /// The `io::ErrorKind` this error maps to when it crosses into the
+    /// `RemoteError`/`CmsError` taxonomy: real socket errors keep their
+    /// kind; torn frames read as `UnexpectedEof` (the peer vanished
+    /// mid-frame — transient); corruption reads as `InvalidData`
+    /// (the bytes are wrong, retrying the same bytes cannot help).
+    pub fn io_kind(&self) -> io::ErrorKind {
+        match self {
+            NetError::Io(kind) => *kind,
+            NetError::Truncated { .. } => io::ErrorKind::UnexpectedEof,
+            NetError::Corrupt(_) | NetError::FrameTooLarge { .. } => io::ErrorKind::InvalidData,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(kind) => write!(f, "socket error: {kind:?}"),
+            NetError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            NetError::Corrupt(msg) => write!(f, "corrupt frame: {msg}"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> NetError {
+        NetError::Io(e.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NetError::Io(io::ErrorKind::ConnectionReset)
+            .to_string()
+            .contains("ConnectionReset"));
+        assert!(NetError::Truncated { needed: 8, got: 3 }
+            .to_string()
+            .contains("needed 8"));
+        assert!(NetError::corrupt("bad tag 9")
+            .to_string()
+            .contains("bad tag 9"));
+        assert!(NetError::FrameTooLarge { len: 99, max: 16 }
+            .to_string()
+            .contains("cap 16"));
+    }
+
+    #[test]
+    fn io_kind_classification() {
+        assert_eq!(
+            NetError::Truncated { needed: 4, got: 0 }.io_kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        assert_eq!(NetError::corrupt("x").io_kind(), io::ErrorKind::InvalidData);
+        assert_eq!(
+            NetError::Io(io::ErrorKind::TimedOut).io_kind(),
+            io::ErrorKind::TimedOut
+        );
+    }
+}

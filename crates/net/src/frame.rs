@@ -1,0 +1,201 @@
+//! Length-prefixed framing over any `Read`/`Write` pair.
+//!
+//! A frame on the wire is `[len: u32 BE][kind: u8][payload: len bytes]`.
+//! The length covers the payload only; `kind` is a protocol-level tag
+//! the layers above assign meaning to. A maximum-frame-size cap is
+//! enforced *before* any allocation, so a corrupt or hostile length
+//! prefix cannot balloon memory.
+//!
+//! Read contract (important for pollers):
+//!
+//! - `Ok(Some(frame))` — a whole frame arrived.
+//! - `Ok(None)` — the peer closed cleanly at a frame boundary.
+//! - `Err(Io(WouldBlock))` — a read timeout fired with **zero** bytes
+//!   consumed; the stream is still aligned and retrying later is safe.
+//! - `Err(Io(TimedOut))` — a read timeout fired **mid-frame**; framing
+//!   alignment is lost and the connection must be discarded.
+//! - `Err(Truncated{..})` — the peer vanished mid-frame (torn write).
+//! - `Err(FrameTooLarge{..})`/`Err(Io(kind))` — corruption / socket error.
+
+use std::io::{self, Read, Write};
+
+use crate::error::NetError;
+
+/// Default cap on a single frame's payload (16 MiB).
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol-level frame type tag.
+    pub kind: u8,
+    /// The frame body.
+    pub payload: Vec<u8>,
+}
+
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Read exactly `buf.len()` bytes, reporting how many arrived before a
+/// clean EOF. Timeouts are normalized per the module contract: with
+/// zero bytes consumed they surface as `WouldBlock` (retry-safe), with
+/// partial bytes as `TimedOut` (alignment lost).
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, NetError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Ok(got),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(e.kind()) => {
+                return Err(NetError::Io(if got == 0 {
+                    io::ErrorKind::WouldBlock
+                } else {
+                    io::ErrorKind::TimedOut
+                }));
+            }
+            Err(e) => return Err(NetError::Io(e.kind())),
+        }
+    }
+    Ok(got)
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), NetError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(NetError::FrameTooLarge {
+            len: payload.len() as u64,
+            max: MAX_FRAME_BYTES as u64,
+        });
+    }
+    // One write for header + payload: a reader never observes a gap
+    // between them (Nagle-delayed payloads would otherwise trip strict
+    // mid-frame timeouts on the peer).
+    let mut buf = Vec::with_capacity(5 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.push(kind);
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame, capping the announced payload length at `max`.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Frame>, NetError> {
+    let mut header = [0u8; 5];
+    match read_full(r, &mut header)? {
+        0 => return Ok(None), // clean close at a frame boundary
+        5 => {}
+        got => return Err(NetError::Truncated { needed: 5, got }),
+    }
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    if len > max {
+        return Err(NetError::FrameTooLarge {
+            len: len as u64,
+            max: max as u64,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let got = read_full(r, &mut payload).map_err(|e| match e {
+        // A timeout between header and payload is mid-frame even when
+        // zero payload bytes arrived: the header is already consumed.
+        NetError::Io(k) if is_timeout(k) => NetError::Io(io::ErrorKind::TimedOut),
+        other => other,
+    })?;
+    if got < len {
+        return Err(NetError::Truncated { needed: len, got });
+    }
+    Ok(Some(Frame {
+        kind: header[4],
+        payload,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    fn encode(kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, kind, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let bytes = encode(0x42, b"hello");
+        let f = read_frame(&mut Cursor::new(&bytes), MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(f.kind, 0x42);
+        assert_eq!(f.payload, b"hello");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let empty: &[u8] = &[];
+        assert_eq!(read_frame(&mut Cursor::new(empty), 64).unwrap(), None);
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let bytes = encode(7, b"payload");
+        for cut in 1..bytes.len() {
+            let r = read_frame(&mut Cursor::new(&bytes[..cut]), MAX_FRAME_BYTES);
+            assert!(
+                matches!(r, Err(NetError::Truncated { .. })),
+                "cut at {cut}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        // Announces a 3 GiB payload; the cap rejects it from the header
+        // alone — no allocation happens.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(3u32 << 30).to_be_bytes());
+        bytes.push(1);
+        let r = read_frame(&mut Cursor::new(&bytes), MAX_FRAME_BYTES);
+        assert!(matches!(r, Err(NetError::FrameTooLarge { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn writer_refuses_oversized_payload() {
+        let payload = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut out = Vec::new();
+        let r = write_frame(&mut out, 1, &payload);
+        assert!(matches!(r, Err(NetError::FrameTooLarge { .. })));
+        assert!(out.is_empty(), "nothing hit the wire");
+    }
+
+    proptest! {
+        /// Any frame round-trips; any strict prefix of its encoding is a
+        /// typed truncation error, never a panic or a bogus frame.
+        #[test]
+        fn round_trip_and_torn_prefixes(kind in 0u8..=255,
+                                        payload in proptest::collection::vec(0u8..=255, 0..256)) {
+            let bytes = encode(kind, &payload);
+            let f = read_frame(&mut Cursor::new(&bytes), MAX_FRAME_BYTES).unwrap().unwrap();
+            prop_assert_eq!(f.kind, kind);
+            prop_assert_eq!(&f.payload, &payload);
+            for cut in 1..bytes.len() {
+                let r = read_frame(&mut Cursor::new(&bytes[..cut]), MAX_FRAME_BYTES);
+                prop_assert!(matches!(r, Err(NetError::Truncated { .. })));
+            }
+        }
+
+        /// A single flipped bit in the header either still decodes (a
+        /// changed kind), or yields a typed error — never a panic.
+        #[test]
+        fn bit_flips_never_panic(payload in proptest::collection::vec(0u8..=255, 0..64),
+                                 bit in 0usize..40) {
+            let mut bytes = encode(9, &payload);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            let _ = read_frame(&mut Cursor::new(&bytes), 1024);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Ephemeral-port allocation for network tests and servers.
+//!
+//! Binding port 0 lets the OS pick a free port; the bound address is
+//! then passed around explicitly. Tests built this way can run in
+//! parallel and never flake on a fixed port being taken.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+
+/// Bind a listener on `127.0.0.1` with an OS-assigned port and return
+/// it together with the address actually bound.
+pub fn bind_ephemeral() -> io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    Ok((listener, addr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_binds_get_distinct_ports() {
+        let (_l1, a1) = bind_ephemeral().unwrap();
+        let (_l2, a2) = bind_ephemeral().unwrap();
+        assert_ne!(a1.port(), 0);
+        assert_ne!(a2.port(), 0);
+        assert_ne!(a1, a2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Primitive wire encoders and decoders.
+//!
+//! Big-endian fixed-width integers, IEEE-754 floats via their bit
+//! pattern, and `u32`-length-prefixed UTF-8 strings and byte slices.
+//! The reader is bounds-checked on every access and returns typed
+//! [`NetError`]s — a malformed buffer can never panic or read past the
+//! end, in the same spirit as `braid-sim`'s JSON codec.
+
+use crate::error::NetError;
+
+/// Appends primitives to a growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter { buf: Vec::new() }
+    }
+
+    /// A writer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> WireWriter {
+        WireWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Floats travel as their IEEE-754 bit pattern, so NaN payloads and
+    /// signed zeros round-trip bit-exactly.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+
+    /// `u32` byte length, then the UTF-8 bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// `u32` byte length, then the raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Reads primitives back out of a byte slice, bounds-checked.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the whole buffer has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.remaining() < n {
+            return Err(NetError::Truncated {
+                needed: n,
+                got: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, NetError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, NetError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, NetError> {
+        Ok(self.u64()? as i64)
+    }
+
+    pub fn f64(&mut self) -> Result<f64, NetError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, NetError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|e| NetError::corrupt(format!("bad utf-8: {e}")))
+    }
+
+    /// A `u32`-length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], NetError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Assert the buffer is fully consumed; trailing bytes mean the
+    /// encoder and decoder disagree about the shape of the message.
+    pub fn finish(&self) -> Result<(), NetError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(NetError::corrupt(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_f64(-0.0);
+        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut w = WireWriter::new();
+        w.put_u64(7);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            assert_eq!(
+                r.u64(),
+                Err(NetError::Truncated {
+                    needed: 8,
+                    got: cut
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn string_length_prefix_is_bounds_checked() {
+        // Claims 100 bytes, provides 2.
+        let mut w = WireWriter::new();
+        w.put_u32(100);
+        w.put_u8(b'h');
+        w.put_u8(b'i');
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(
+            r.str(),
+            Err(NetError::Truncated {
+                needed: 100,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn bad_utf8_is_corrupt_not_panic() {
+        let mut w = WireWriter::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.str(), Err(NetError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let mut w = WireWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        r.u8().unwrap();
+        assert!(matches!(r.finish(), Err(NetError::Corrupt(_))));
+    }
+
+    proptest! {
+        /// Any (u64, i64, f64-bits, string, bytes) tuple round-trips
+        /// bit-exactly through the writer/reader pair.
+        #[test]
+        fn scalar_round_trip(a in 0..u64::MAX, b in i64::MIN..i64::MAX, bits in 0..u64::MAX,
+                             sv in proptest::collection::vec(32u8..127, 0..32),
+                             raw in proptest::collection::vec(0u8..=255, 0..64)) {
+            let s = String::from_utf8(sv).unwrap();
+            let mut w = WireWriter::new();
+            w.put_u64(a);
+            w.put_i64(b);
+            w.put_f64(f64::from_bits(bits));
+            w.put_str(&s);
+            w.put_bytes(&raw);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            prop_assert_eq!(r.u64().unwrap(), a);
+            prop_assert_eq!(r.i64().unwrap(), b);
+            prop_assert_eq!(r.f64().unwrap().to_bits(), bits);
+            prop_assert_eq!(r.str().unwrap(), s.as_str());
+            prop_assert_eq!(r.bytes().unwrap(), raw.as_slice());
+            r.finish().unwrap();
+        }
+
+        /// Reading any random garbage never panics: every outcome is a
+        /// value or a typed error.
+        #[test]
+        fn garbage_never_panics(raw in proptest::collection::vec(0u8..=255, 0..64)) {
+            let mut r = WireReader::new(&raw);
+            let _ = r.u8();
+            let _ = r.u32();
+            let _ = r.str();
+            let _ = r.bytes();
+            let _ = r.f64();
+            let _ = r.finish();
+        }
+    }
+}

@@ -29,17 +29,50 @@ pub enum RemoteError {
         /// Tuples delivered before the cut.
         tuples_delivered: u64,
     },
+    /// A real socket-level failure from the TCP transport, reduced to
+    /// its [`std::io::ErrorKind`] (an `io::Error` is neither `Clone`
+    /// nor `Eq`). Transience follows the kind: resets, timeouts, and
+    /// torn streams are retryable; address and data errors are not.
+    Io {
+        /// The OS-level failure class.
+        kind: std::io::ErrorKind,
+        /// Human-readable context (peer address, protocol stage, …).
+        detail: String,
+    },
 }
 
 impl RemoteError {
     /// Is this a transport-level fault that a retry can plausibly fix
     /// (as opposed to a deterministic planning/evaluation error)?
     pub fn is_transient(&self) -> bool {
-        matches!(
-            self,
-            RemoteError::Unavailable | RemoteError::Timeout | RemoteError::Disconnected { .. }
-        )
+        match self {
+            RemoteError::Unavailable | RemoteError::Timeout | RemoteError::Disconnected { .. } => {
+                true
+            }
+            RemoteError::Io { kind, .. } => transient_io_kind(*kind),
+            _ => false,
+        }
     }
+}
+
+/// Which socket failures a reconnect/retry can plausibly fix. Connection
+/// churn and timeouts: yes. Configuration errors (`AddrInUse`,
+/// `AddrNotAvailable`) and corrupt bytes (`InvalidData`): no — retrying
+/// the same thing cannot help.
+pub fn transient_io_kind(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind::*;
+    matches!(
+        kind,
+        ConnectionReset
+            | ConnectionAborted
+            | ConnectionRefused
+            | NotConnected
+            | BrokenPipe
+            | TimedOut
+            | WouldBlock
+            | Interrupted
+            | UnexpectedEof
+    )
 }
 
 impl fmt::Display for RemoteError {
@@ -57,6 +90,7 @@ impl fmt::Display for RemoteError {
                 f,
                 "connection dropped mid-stream after {tuples_delivered} tuples"
             ),
+            RemoteError::Io { kind, detail } => write!(f, "socket error ({kind:?}): {detail}"),
         }
     }
 }
@@ -66,5 +100,47 @@ impl std::error::Error for RemoteError {}
 impl From<braid_relational::RelationalError> for RemoteError {
     fn from(e: braid_relational::RelationalError) -> Self {
         RemoteError::Engine(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::ErrorKind;
+
+    fn io(kind: ErrorKind) -> RemoteError {
+        RemoteError::Io {
+            kind,
+            detail: "test".into(),
+        }
+    }
+
+    #[test]
+    fn io_transience_follows_the_kind() {
+        for kind in [
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionRefused,
+            ErrorKind::BrokenPipe,
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert!(io(kind).is_transient(), "{kind:?} should be transient");
+        }
+        for kind in [
+            ErrorKind::AddrInUse,
+            ErrorKind::AddrNotAvailable,
+            ErrorKind::InvalidData,
+            ErrorKind::PermissionDenied,
+        ] {
+            assert!(!io(kind).is_transient(), "{kind:?} should be permanent");
+        }
+    }
+
+    #[test]
+    fn io_display_names_kind_and_context() {
+        let e = io(ErrorKind::ConnectionReset);
+        assert!(e.to_string().contains("ConnectionReset"));
+        assert!(e.to_string().contains("test"));
     }
 }

@@ -25,17 +25,32 @@
 //! boundary with counted per-request / per-tuple / per-byte costs and an
 //! optional real-time latency injector for wall-clock experiments.
 
+//! Since then the simulated boundary has grown a *real* network option
+//! (DESIGN.md §11): [`tcp::RemoteTcpServer`] puts the same engine
+//! behind a TCP listener speaking the [`proto`] framing over
+//! `braid-net`, and [`transport::RemoteTransport`] lets the CMS speak
+//! either to the in-process engine (the default, byte-identical) or to
+//! a pooled TCP client with health checks, reconnect-with-backoff, and
+//! resume of interrupted streams.
+
 pub mod catalog;
 pub mod dml;
 pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod metrics;
+pub mod proto;
 pub mod server;
+pub mod tcp;
+pub mod transport;
 
 pub use catalog::Catalog;
 pub use dml::{ColRef, Predicate, SelectBlock, SqlQuery, TableRef};
-pub use error::{RemoteError, Result};
+pub use error::{transient_io_kind, RemoteError, Result};
 pub use fault::{FaultKind, FaultPlan, OutageWindow, ScheduledFault};
 pub use metrics::RemoteMetrics;
 pub use server::{CostModel, LatencyModel, RemoteDbms, RemoteStream};
+pub use tcp::{RemoteTcpServer, TcpServerConfig, TcpServerStats};
+pub use transport::{
+    PoolStats, RemoteTransport, TcpClientConfig, TcpClientPool, TransportConfig, TransportStream,
+};

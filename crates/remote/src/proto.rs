@@ -1,0 +1,605 @@
+//! Wire codec for the remote protocol (DESIGN.md §11).
+//!
+//! Message framing is `braid-net`'s `[len][kind][payload]`; this module
+//! defines the frame kinds and the payload encodings for the
+//! request/response protocol between the pooled TCP client and
+//! `RemoteTcpServer`:
+//!
+//! | kind | frame     | payload                                              |
+//! |------|-----------|------------------------------------------------------|
+//! | 0x01 | `REQUEST` | skip `u64`, buffer `u32`, pipelined `u8`, [`SqlQuery`] |
+//! | 0x02 | `PING`    | empty (connection health check)                      |
+//! | 0x03 | `PONG`    | empty                                                |
+//! | 0x10 | `SCHEMA`  | result [`Schema`] (name + typed columns)             |
+//! | 0x11 | `BATCH`   | tuple count `u32`, then that many [`Tuple`]s         |
+//! | 0x12 | `END`     | latency units `u64`, total tuples sent `u64`         |
+//! | 0x13 | `ERROR`   | encoded [`RemoteError`]                              |
+//!
+//! One stream response is `SCHEMA`, zero or more `BATCH`es, then
+//! exactly one of `END` (success) or `ERROR` (the server-side fault,
+//! including mid-stream ones). All decoding is bounds-checked through
+//! `WireReader` and ends with `finish()`, so truncated or bit-flipped
+//! payloads yield typed [`NetError`]s — never panics.
+//!
+//! The `skip` field is what makes interrupted streams resumable: a
+//! client that already received `n` tuples re-requests the same query
+//! with `skip = n`, and the server (deterministic evaluation over an
+//! immutable catalog) replays only the suffix.
+
+use braid_net::{NetError, WireReader, WireWriter};
+use braid_relational::{CmpOp, Column, Schema, Tuple, Value, ValueType};
+
+use crate::dml::{ColRef, Predicate, SelectBlock, SqlQuery, TableRef};
+use crate::error::RemoteError;
+
+/// Frame kind tags.
+pub mod kind {
+    pub const REQUEST: u8 = 0x01;
+    pub const PING: u8 = 0x02;
+    pub const PONG: u8 = 0x03;
+    pub const SCHEMA: u8 = 0x10;
+    pub const BATCH: u8 = 0x11;
+    pub const END: u8 = 0x12;
+    pub const ERROR: u8 = 0x13;
+}
+
+/// One query request as it travels client → server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The query to evaluate.
+    pub query: SqlQuery,
+    /// Tuples already delivered on a previous attempt; the server skips
+    /// this many before streaming (resume-after-interruption).
+    pub skip: u64,
+    /// Client-requested batch size (tuples per `BATCH` frame).
+    pub buffer: u32,
+    /// Whether the server should pipeline (stream while evaluating).
+    pub pipelined: bool,
+}
+
+// ---- request --------------------------------------------------------------
+
+/// Encode a [`Request`] payload.
+pub fn encode_request(r: &Request) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u64(r.skip);
+    w.put_u32(r.buffer);
+    w.put_u8(r.pipelined as u8);
+    put_query(&mut w, &r.query);
+    w.into_bytes()
+}
+
+/// Decode a [`Request`] payload.
+pub fn decode_request(buf: &[u8]) -> Result<Request, NetError> {
+    let mut r = WireReader::new(buf);
+    let skip = r.u64()?;
+    let buffer = r.u32()?;
+    let pipelined = match r.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(NetError::corrupt(format!("bad pipelined flag {other}"))),
+    };
+    let query = take_query(&mut r)?;
+    r.finish()?;
+    Ok(Request {
+        query,
+        skip,
+        buffer,
+        pipelined,
+    })
+}
+
+fn put_query(w: &mut WireWriter, q: &SqlQuery) {
+    w.put_u32(q.blocks.len() as u32);
+    for b in &q.blocks {
+        w.put_u32(b.from.len() as u32);
+        for t in &b.from {
+            w.put_str(&t.relation);
+        }
+        w.put_u32(b.predicates.len() as u32);
+        for p in &b.predicates {
+            match p {
+                Predicate::ColConst(c, op, v) => {
+                    w.put_u8(0);
+                    put_colref(w, c);
+                    w.put_u8(cmp_to_u8(*op));
+                    put_value(w, v);
+                }
+                Predicate::ColCol(a, op, b) => {
+                    w.put_u8(1);
+                    put_colref(w, a);
+                    w.put_u8(cmp_to_u8(*op));
+                    put_colref(w, b);
+                }
+            }
+        }
+        w.put_u32(b.select.len() as u32);
+        for c in &b.select {
+            put_colref(w, c);
+        }
+    }
+}
+
+fn take_query(r: &mut WireReader<'_>) -> Result<SqlQuery, NetError> {
+    let nblocks = bounded_len(r.u32()?, "query blocks")?;
+    let mut blocks = Vec::with_capacity(nblocks);
+    for _ in 0..nblocks {
+        let nfrom = bounded_len(r.u32()?, "from tables")?;
+        let mut from = Vec::with_capacity(nfrom);
+        for _ in 0..nfrom {
+            from.push(TableRef {
+                relation: r.str()?.to_string(),
+            });
+        }
+        let npreds = bounded_len(r.u32()?, "predicates")?;
+        let mut predicates = Vec::with_capacity(npreds);
+        for _ in 0..npreds {
+            predicates.push(match r.u8()? {
+                0 => Predicate::ColConst(take_colref(r)?, u8_to_cmp(r.u8()?)?, take_value(r)?),
+                1 => Predicate::ColCol(take_colref(r)?, u8_to_cmp(r.u8()?)?, take_colref(r)?),
+                t => return Err(NetError::corrupt(format!("bad predicate tag {t}"))),
+            });
+        }
+        let nselect = bounded_len(r.u32()?, "select columns")?;
+        let mut select = Vec::with_capacity(nselect);
+        for _ in 0..nselect {
+            select.push(take_colref(r)?);
+        }
+        blocks.push(SelectBlock {
+            from,
+            predicates,
+            select,
+        });
+    }
+    Ok(SqlQuery { blocks })
+}
+
+fn put_colref(w: &mut WireWriter, c: &ColRef) {
+    w.put_u32(c.table as u32);
+    w.put_u32(c.col as u32);
+}
+
+fn take_colref(r: &mut WireReader<'_>) -> Result<ColRef, NetError> {
+    Ok(ColRef {
+        table: r.u32()? as usize,
+        col: r.u32()? as usize,
+    })
+}
+
+fn cmp_to_u8(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn u8_to_cmp(t: u8) -> Result<CmpOp, NetError> {
+    Ok(match t {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        other => return Err(NetError::corrupt(format!("bad cmp op tag {other}"))),
+    })
+}
+
+// ---- values, schema, tuples ----------------------------------------------
+
+fn put_value(w: &mut WireWriter, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(0),
+        Value::Bool(b) => {
+            w.put_u8(1);
+            w.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            w.put_u8(2);
+            w.put_i64(*i);
+        }
+        Value::Float(x) => {
+            w.put_u8(3);
+            w.put_f64(*x);
+        }
+        Value::Str(s) => {
+            w.put_u8(4);
+            w.put_str(s);
+        }
+    }
+}
+
+fn take_value(r: &mut WireReader<'_>) -> Result<Value, NetError> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => match r.u8()? {
+            0 => Value::Bool(false),
+            1 => Value::Bool(true),
+            other => return Err(NetError::corrupt(format!("bad bool byte {other}"))),
+        },
+        2 => Value::Int(r.i64()?),
+        3 => Value::Float(r.f64()?),
+        4 => Value::str(r.str()?),
+        other => return Err(NetError::corrupt(format!("bad value tag {other}"))),
+    })
+}
+
+fn type_to_u8(t: ValueType) -> u8 {
+    match t {
+        ValueType::Int => 0,
+        ValueType::Float => 1,
+        ValueType::Str => 2,
+        ValueType::Bool => 3,
+        ValueType::Null => 4,
+    }
+}
+
+fn u8_to_type(t: u8) -> Result<ValueType, NetError> {
+    Ok(match t {
+        0 => ValueType::Int,
+        1 => ValueType::Float,
+        2 => ValueType::Str,
+        3 => ValueType::Bool,
+        4 => ValueType::Null,
+        other => return Err(NetError::corrupt(format!("bad column type tag {other}"))),
+    })
+}
+
+/// Encode a `SCHEMA` payload.
+pub fn encode_schema(s: &Schema) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_str(s.name());
+    w.put_u32(s.arity() as u32);
+    for c in s.columns() {
+        w.put_str(&c.name);
+        w.put_u8(type_to_u8(c.ty));
+    }
+    w.into_bytes()
+}
+
+/// Decode a `SCHEMA` payload.
+pub fn decode_schema(buf: &[u8]) -> Result<Schema, NetError> {
+    let mut r = WireReader::new(buf);
+    let name = r.str()?.to_string();
+    let ncols = bounded_len(r.u32()?, "schema columns")?;
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let cname = r.str()?.to_string();
+        let ty = u8_to_type(r.u8()?)?;
+        cols.push(Column::new(cname, ty));
+    }
+    r.finish()?;
+    Schema::new(name, cols).map_err(|e| NetError::corrupt(format!("bad schema: {e}")))
+}
+
+/// Encode a `BATCH` payload.
+pub fn encode_batch(tuples: &[Tuple]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u32(tuples.len() as u32);
+    for t in tuples {
+        w.put_u32(t.arity() as u32);
+        for v in t.values() {
+            put_value(&mut w, v);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a `BATCH` payload.
+pub fn decode_batch(buf: &[u8]) -> Result<Vec<Tuple>, NetError> {
+    let mut r = WireReader::new(buf);
+    let n = bounded_len(r.u32()?, "batch tuples")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let arity = bounded_len(r.u32()?, "tuple arity")?;
+        let mut vals = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            vals.push(take_value(&mut r)?);
+        }
+        out.push(Tuple::new(vals));
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Encode an `END` payload.
+pub fn encode_end(units: u64, total: u64) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u64(units);
+    w.put_u64(total);
+    w.into_bytes()
+}
+
+/// Decode an `END` payload into `(units, total_tuples)`.
+pub fn decode_end(buf: &[u8]) -> Result<(u64, u64), NetError> {
+    let mut r = WireReader::new(buf);
+    let units = r.u64()?;
+    let total = r.u64()?;
+    r.finish()?;
+    Ok((units, total))
+}
+
+// ---- errors ---------------------------------------------------------------
+
+/// Encode an `ERROR` payload.
+pub fn encode_error(e: &RemoteError) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    match e {
+        RemoteError::UnknownRelation(r) => {
+            w.put_u8(0);
+            w.put_str(r);
+        }
+        RemoteError::BadColumn { table, index } => {
+            w.put_u8(1);
+            w.put_str(table);
+            w.put_u64(*index as u64);
+        }
+        RemoteError::Malformed(m) => {
+            w.put_u8(2);
+            w.put_str(m);
+        }
+        RemoteError::Engine(m) => {
+            w.put_u8(3);
+            w.put_str(m);
+        }
+        RemoteError::Unavailable => w.put_u8(4),
+        RemoteError::Timeout => w.put_u8(5),
+        RemoteError::Disconnected { tuples_delivered } => {
+            w.put_u8(6);
+            w.put_u64(*tuples_delivered);
+        }
+        RemoteError::Io { kind, detail } => {
+            w.put_u8(7);
+            w.put_u8(io_kind_to_u8(*kind));
+            w.put_str(detail);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode an `ERROR` payload.
+pub fn decode_error(buf: &[u8]) -> Result<RemoteError, NetError> {
+    let mut r = WireReader::new(buf);
+    let e = match r.u8()? {
+        0 => RemoteError::UnknownRelation(r.str()?.to_string()),
+        1 => RemoteError::BadColumn {
+            table: r.str()?.to_string(),
+            index: r.u64()? as usize,
+        },
+        2 => RemoteError::Malformed(r.str()?.to_string()),
+        3 => RemoteError::Engine(r.str()?.to_string()),
+        4 => RemoteError::Unavailable,
+        5 => RemoteError::Timeout,
+        6 => RemoteError::Disconnected {
+            tuples_delivered: r.u64()?,
+        },
+        7 => RemoteError::Io {
+            kind: u8_to_io_kind(r.u8()?),
+            detail: r.str()?.to_string(),
+        },
+        other => return Err(NetError::corrupt(format!("bad error tag {other}"))),
+    };
+    r.finish()?;
+    Ok(e)
+}
+
+fn io_kind_to_u8(kind: std::io::ErrorKind) -> u8 {
+    use std::io::ErrorKind::*;
+    match kind {
+        NotFound => 0,
+        PermissionDenied => 1,
+        ConnectionRefused => 2,
+        ConnectionReset => 3,
+        ConnectionAborted => 4,
+        NotConnected => 5,
+        AddrInUse => 6,
+        AddrNotAvailable => 7,
+        BrokenPipe => 8,
+        AlreadyExists => 9,
+        WouldBlock => 10,
+        InvalidInput => 11,
+        InvalidData => 12,
+        TimedOut => 13,
+        WriteZero => 14,
+        Interrupted => 15,
+        Unsupported => 16,
+        UnexpectedEof => 17,
+        OutOfMemory => 18,
+        // `ErrorKind` is non-exhaustive; anything newer collapses.
+        _ => 255,
+    }
+}
+
+fn u8_to_io_kind(t: u8) -> std::io::ErrorKind {
+    use std::io::ErrorKind::*;
+    match t {
+        0 => NotFound,
+        1 => PermissionDenied,
+        2 => ConnectionRefused,
+        3 => ConnectionReset,
+        4 => ConnectionAborted,
+        5 => NotConnected,
+        6 => AddrInUse,
+        7 => AddrNotAvailable,
+        8 => BrokenPipe,
+        9 => AlreadyExists,
+        10 => WouldBlock,
+        11 => InvalidInput,
+        12 => InvalidData,
+        13 => TimedOut,
+        14 => WriteZero,
+        15 => Interrupted,
+        16 => Unsupported,
+        17 => UnexpectedEof,
+        18 => OutOfMemory,
+        _ => Other,
+    }
+}
+
+/// A `u32` length field used to pre-size a `Vec`. Capped so a corrupt
+/// count cannot trigger a giant allocation before element decoding
+/// fails naturally.
+fn bounded_len(n: u32, what: &str) -> Result<usize, NetError> {
+    const MAX_ELEMS: u32 = 1 << 22;
+    if n > MAX_ELEMS {
+        return Err(NetError::corrupt(format!("{what} count {n} too large")));
+    }
+    Ok(n as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dml::SelectBlock;
+    use proptest::prelude::*;
+
+    fn sample_query() -> SqlQuery {
+        let mut b = SelectBlock::scan("person");
+        b.predicates.push(Predicate::ColConst(
+            ColRef { table: 0, col: 1 },
+            CmpOp::Eq,
+            Value::str("ada"),
+        ));
+        b.predicates.push(Predicate::ColCol(
+            ColRef { table: 0, col: 0 },
+            CmpOp::Ne,
+            ColRef { table: 0, col: 1 },
+        ));
+        b.select = vec![ColRef { table: 0, col: 0 }];
+        SqlQuery {
+            blocks: vec![b, SelectBlock::scan("parent")],
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            query: sample_query(),
+            skip: 42,
+            buffer: 128,
+            pipelined: true,
+        };
+        let got = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(got, req);
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let s = Schema::new(
+            "out",
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("name", ValueType::Str),
+                Column::new("score", ValueType::Float),
+                Column::new("ok", ValueType::Bool),
+                Column::new("gap", ValueType::Null),
+            ],
+        )
+        .unwrap();
+        assert_eq!(decode_schema(&encode_schema(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn batch_round_trips_every_value_shape() {
+        let tuples = vec![
+            Tuple::new(vec![
+                Value::Int(-7),
+                Value::Float(-0.0),
+                Value::str("héllo"),
+                Value::Bool(true),
+                Value::Null,
+            ]),
+            Tuple::empty(),
+        ];
+        assert_eq!(decode_batch(&encode_batch(&tuples)).unwrap(), tuples);
+    }
+
+    #[test]
+    fn errors_round_trip() {
+        let cases = vec![
+            RemoteError::UnknownRelation("x".into()),
+            RemoteError::BadColumn {
+                table: "t".into(),
+                index: 3,
+            },
+            RemoteError::Malformed("m".into()),
+            RemoteError::Engine("e".into()),
+            RemoteError::Unavailable,
+            RemoteError::Timeout,
+            RemoteError::Disconnected {
+                tuples_delivered: 9,
+            },
+            RemoteError::Io {
+                kind: std::io::ErrorKind::ConnectionReset,
+                detail: "reset by proxy".into(),
+            },
+        ];
+        for e in cases {
+            assert_eq!(decode_error(&encode_error(&e)).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors() {
+        let req = Request {
+            query: sample_query(),
+            skip: 0,
+            buffer: 64,
+            pipelined: false,
+        };
+        let full = encode_request(&req);
+        for cut in 0..full.len() {
+            assert!(
+                decode_request(&full[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_end(1, 2);
+        bytes.push(0xEE);
+        assert!(matches!(decode_end(&bytes), Err(NetError::Corrupt(_))));
+    }
+
+    #[test]
+    fn absurd_counts_are_rejected_before_allocation() {
+        // A batch claiming 2^30 tuples in a 4-byte payload.
+        let mut w = WireWriter::new();
+        w.put_u32(1 << 30);
+        assert!(matches!(
+            decode_batch(&w.into_bytes()),
+            Err(NetError::Corrupt(_))
+        ));
+    }
+
+    proptest! {
+        /// Bit-flipping any single bit of an encoded request either
+        /// still decodes (into some request) or yields a typed error —
+        /// never a panic, never an over-allocation.
+        #[test]
+        fn request_bit_flips_never_panic(byte_seed in 0usize..4096, bit in 0usize..8) {
+            let req = Request { query: sample_query(), skip: 7, buffer: 32, pipelined: true };
+            let mut bytes = encode_request(&req);
+            let idx = byte_seed % bytes.len();
+            bytes[idx] ^= 1 << bit;
+            let _ = decode_request(&bytes);
+        }
+
+        /// Same for batches of scalar tuples.
+        #[test]
+        fn batch_bit_flips_never_panic(byte_seed in 0usize..4096, bit in 0usize..8,
+                                       k in 0i64..100) {
+            let tuples = vec![Tuple::new(vec![Value::Int(k), Value::str("v")])];
+            let mut bytes = encode_batch(&tuples);
+            let idx = byte_seed % bytes.len();
+            bytes[idx] ^= 1 << bit;
+            let _ = decode_batch(&bytes);
+        }
+    }
+}

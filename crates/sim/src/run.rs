@@ -14,9 +14,10 @@
 use crate::model::RefModel;
 use crate::scenario::SimScenario;
 use braid::{
-    BraidConfig, BraidSession, BraidSystem, CheckedSolutions, CmsConfig, Completeness, RingSink,
-    Tuple,
+    BraidConfig, BraidSession, BraidSystem, CheckedSolutions, CmsConfig, Completeness, RemoteDbms,
+    RemoteTcpServer, RingSink, TcpClientConfig, TcpServerConfig, TransportConfig, Tuple,
 };
+use braid_net::{FaultProxy, ProxyPlan};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -151,6 +152,13 @@ fn digest_answer(digest: &mut u64, query: &str, checked: &CheckedSolutions) {
 /// session tracer, so each session gets its *own* [`RingSink`] (via
 /// `attach_session_sink`) and its forest is verified independently.
 pub fn build_system(sc: &SimScenario) -> BraidSystem {
+    build_system_with_transport(sc, TransportConfig::InProcess)
+}
+
+/// [`build_system`] with an explicit remote transport: the socket soak
+/// lane points this at a [`RemoteTcpServer`] (through a [`FaultProxy`]);
+/// every other scenario knob is applied unchanged.
+pub fn build_system_with_transport(sc: &SimScenario, transport: TransportConfig) -> BraidSystem {
     let mut cms = CmsConfig::braid()
         .with_shards(sc.shards as usize)
         .with_batch_size(sc.batch_size as usize)
@@ -158,6 +166,7 @@ pub fn build_system(sc: &SimScenario) -> BraidSystem {
         .with_prefetching(sc.prefetch)
         .with_generalization(sc.generalization)
         .with_subsumption(sc.subsumption)
+        .with_transport(transport)
         .deterministic();
     if let Some(cap) = sc.capacity_bytes {
         cms = cms.with_capacity(cap as usize);
@@ -465,12 +474,22 @@ pub fn run_scenario(sc: &SimScenario, opts: &SimOptions) -> Result<SimReport, St
 /// Harness-level failures only, as for [`run_scenario`].
 pub fn run_scenario_threaded(sc: &SimScenario, opts: &SimOptions) -> Result<SimReport, String> {
     sc.validate()?;
-    let model = RefModel::new(&sc.dataset.catalog(), &sc.dataset.knowledge_base())?;
     let system = build_system(sc);
+    run_threaded_over(&system, sc, opts)
+}
+
+/// Drive `sc`'s sessions on OS threads over an already-built system and
+/// run every oracle check — the shared body of the threaded and socket
+/// soak lanes.
+fn run_threaded_over(
+    system: &BraidSystem,
+    sc: &SimScenario,
+    opts: &SimOptions,
+) -> Result<SimReport, String> {
+    let model = RefModel::new(&sc.dataset.catalog(), &sc.dataset.knowledge_base())?;
 
     type SolveLog = Vec<(usize, String, Result<CheckedSolutions, String>)>;
     let outcomes: Vec<(SolveLog, Arc<RingSink>)> = std::thread::scope(|scope| {
-        let system = &system;
         let handles: Vec<_> = sc
             .sessions
             .iter()
@@ -541,14 +560,81 @@ pub fn run_scenario_threaded(sc: &SimScenario, opts: &SimOptions) -> Result<SimR
         }
     }
 
-    check_invariants(
-        sc,
-        &system,
-        &rings,
-        report.tolerated_errors,
-        &mut violations,
-    );
+    check_invariants(sc, system, &rings, report.tolerated_errors, &mut violations);
     report.violations = violations;
+    Ok(report)
+}
+
+/// The wire-fault plan a scenario implies: quiet scenarios get a clean
+/// pass-through proxy; faulted ones add connection resets and torn
+/// frames, seeded from the scenario's fault seed so per-connection
+/// decisions replay.
+fn proxy_plan(sc: &SimScenario) -> ProxyPlan {
+    match &sc.faults {
+        Some(f) if f.is_active() => ProxyPlan::seeded(f.seed)
+            .with_resets(0.05)
+            .with_truncation(0.05, 300),
+        _ => ProxyPlan::healthy(),
+    }
+}
+
+/// Run a scenario with each session on its own OS thread *and* the
+/// remote behind a real TCP listener, reached through a fault-injecting
+/// proxy: the engine-level `FaultPlan` moves to the server side (its
+/// typed errors now travel the wire), and scenarios with faults active
+/// additionally suffer connection resets and torn frames on the link.
+/// Oracle checks are identical to the other lanes; on top of them the
+/// lane asserts that no connection leaks — the client pool's `in_use`
+/// gauge and the server's `active` gauge must both drain to zero.
+///
+/// # Errors
+/// Harness-level failures only (socket setup included), as for
+/// [`run_scenario`].
+pub fn run_scenario_socket(sc: &SimScenario, opts: &SimOptions) -> Result<SimReport, String> {
+    sc.validate()?;
+    let engine = RemoteDbms::with_defaults(sc.dataset.catalog());
+    if let Some(f) = &sc.faults {
+        engine.set_fault_plan(Some(f.plan()));
+    }
+    let mut server = RemoteTcpServer::serve(engine, TcpServerConfig::default())
+        .map_err(|e| format!("socket lane: listen failed: {e}"))?;
+    let mut proxy = FaultProxy::start(server.addr(), proxy_plan(sc))
+        .map_err(|e| format!("socket lane: proxy failed: {e}"))?;
+    let mut client = TcpClientConfig::to(proxy.addr().to_string());
+    client.connect_timeout_ms = 500;
+    client.backoff_base_ms = 2;
+    client.backoff_cap_ms = 16;
+    let system = build_system_with_transport(sc, TransportConfig::Tcp(client));
+
+    let mut report = run_threaded_over(&system, sc, opts)?;
+
+    // Socket-lane invariants: every connection accounted for.
+    let leak = |detail: String| Violation {
+        step: usize::MAX,
+        session: usize::MAX,
+        query: "<end-of-run>".into(),
+        kind: ViolationKind::MetricsConservation,
+        detail,
+    };
+    let pool = system
+        .cms()
+        .transport_pool_stats()
+        .expect("socket lane runs over TCP");
+    if pool.in_use != 0 {
+        report.violations.push(leak(format!(
+            "client pool still has {} connection(s) checked out",
+            pool.in_use
+        )));
+    }
+    drop(system);
+    proxy.shutdown();
+    server.shutdown();
+    let active = server.stats().active;
+    if active != 0 {
+        report.violations.push(leak(format!(
+            "server still counts {active} active connection(s) after shutdown"
+        )));
+    }
     Ok(report)
 }
 
@@ -591,6 +677,21 @@ mod tests {
         let a = run_scenario(&sc, &opts).expect("harness runs");
         let b = run_scenario(&sc, &opts).expect("harness runs");
         assert_eq!(a, b, "same scenario must replay identically");
+    }
+
+    #[test]
+    fn socket_lane_passes_clean_and_faulted() {
+        let quiet = SimScenario::generate(3);
+        let r = run_scenario_socket(&quiet, &SimOptions::default()).expect("harness runs");
+        assert!(r.passed(), "quiet violations: {:#?}", r.violations);
+        assert_eq!(r.solves, quiet.query_count());
+
+        let faulted = (0..200u64)
+            .map(SimScenario::generate)
+            .find(|s| s.faults_active())
+            .expect("generator produces faulted scenarios");
+        let r = run_scenario_socket(&faulted, &SimOptions::default()).expect("harness runs");
+        assert!(r.passed(), "faulted violations: {:#?}", r.violations);
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub enum TraceKind {
     Prefetch,
     /// A request served by the remote DBMS (server side).
     RemoteRequest,
+    /// A TCP transport connection established (client side).
+    NetConnect,
+    /// A request frame sent over the TCP transport.
+    NetRequest,
+    /// A mid-stream resume: reconnect + re-request with a skip offset.
+    NetResume,
 }
 
 impl TraceKind {
@@ -108,6 +114,9 @@ impl TraceKind {
             TraceKind::IndexBuild => "cache.index",
             TraceKind::Prefetch => "cms.prefetch",
             TraceKind::RemoteRequest => "remote.request",
+            TraceKind::NetConnect => "net.connect",
+            TraceKind::NetRequest => "net.request",
+            TraceKind::NetResume => "net.resume",
         }
     }
 }

@@ -38,6 +38,14 @@ trace-check:
     cargo test -p braid-trace -q
     cargo run -p braid-bench --bin report -- --quick --only E14
 
+# The network suites (DESIGN.md §11): frame codec + fault proxy
+# (braid-net), TCP server/client-pool/transport (braid-remote), and the
+# socket chaos suite driving real workloads through the fault proxy.
+net:
+    cargo test -p braid-net -q
+    cargo test -p braid-remote -q
+    cargo test --release --test net_chaos -q
+
 # Deterministic simulation sweep (DESIGN.md §10): seeded scenarios through
 # the step scheduler, every answer oracle-checked against the reference
 # model; failures are shrunk to a replayable repro. Override the seed
@@ -46,11 +54,13 @@ sim start="0" rounds="200":
     SIM_SEED_START={{start}} SIM_ROUNDS={{rounds}} \
         cargo run --release -p braid-bench --bin sim
 
-# Soak lane: the same seeds through BOTH the deterministic scheduler and
-# the threaded runner (one OS thread per session over the shared cache),
-# in release so threads genuinely interleave. This subsumes the old
-# 25-round `stress` loop: loom is not vendorable offline (DESIGN.md §7),
-# so schedule coverage comes from seeded repetition.
+# Soak lane: the same seeds through the deterministic scheduler, the
+# threaded runner (one OS thread per session over the shared cache), AND
+# the socket runner (same sessions over a real TCP listener behind the
+# fault proxy), in release so threads genuinely interleave. This
+# subsumes the old 25-round `stress` loop: loom is not vendorable
+# offline (DESIGN.md §7), so schedule coverage comes from seeded
+# repetition.
 soak start="0" rounds="400":
     SIM_SEED_START={{start}} SIM_ROUNDS={{rounds}} \
         cargo run --release -p braid-bench --bin sim -- --soak

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # The repo's CI gate: formatting, build, full test suite, the executor
-# differential suite, the trace/EXPLAIN suite, lint-as-error, and quick
+# differential suite, the trace/EXPLAIN suite, the network suite (frame
+# codec, fault proxy, socket chaos round), lint-as-error, and quick
 # smoke runs of the fault-tolerance (E11) and tracing-overhead (E14)
 # experiments. Run from anywhere.
 set -euo pipefail
@@ -34,6 +35,11 @@ cargo test -p braid-sim -q
 
 echo "==> simulation smoke (fixed seed set, 50 scenarios)"
 SIM_SEED_START=0 SIM_ROUNDS=50 cargo run --release -p braid-bench --bin sim
+
+echo "==> network suite (codec, proxy, pool) + one proxy chaos round"
+cargo test -p braid-net -q
+cargo test --release --test net_chaos -q
+cargo run --release --example tcp_session > /dev/null
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,271 @@
+//! Chaos over real sockets: the genealogy workload driven through a
+//! `RemoteTcpServer` behind a fault-injecting network proxy.
+//!
+//! This is the socket-level twin of `fault_tolerance.rs`: where that
+//! suite injects faults inside the simulated engine (`FaultPlan`), this
+//! one injects them *on the wire* — connection refusals, resets, torn
+//! frames, outage windows — and checks the same invariants:
+//!
+//! 1. Every query terminates — answer or typed error, never a hang or
+//!    a panic.
+//! 2. Every `Completeness::Exact` answer is byte-identical to the
+//!    fault-free (in-process) run.
+//! 3. Degraded answers are honest: `Partial` names its missing
+//!    subqueries.
+//! 4. Same proxy seed, same workload → same per-query outcomes.
+//! 5. Nothing leaks: the client pool's `in_use` gauge and the server's
+//!    `active` gauge drain to zero.
+
+use braid::{
+    BraidConfig, CheckedSolutions, CmsConfig, Completeness, RemoteDbms, RemoteTcpServer,
+    ResilienceConfig, Strategy, TcpClientConfig, TcpServerConfig, TransportConfig, Tuple,
+};
+use braid_net::{FaultProxy, ProxyPlan};
+use braid_workload::genealogy;
+
+const STRATEGY: Strategy = Strategy::ConjunctionCompiled;
+
+fn scenario() -> braid_workload::Scenario {
+    genealogy::scenario(3, 2, 42, 12)
+}
+
+/// The ground truth: the workload answered entirely in-process.
+fn fault_free_answers(sc: &braid_workload::Scenario) -> Vec<Vec<Tuple>> {
+    let mut sys = sc.system(BraidConfig::with_cms(
+        CmsConfig::braid().with_resilience(ResilienceConfig::none()),
+    ));
+    sc.queries
+        .iter()
+        .map(|q| sys.solve_all(q, STRATEGY).expect("fault-free run solves"))
+        .collect()
+}
+
+/// Spin up the remote engine behind a TCP listener over the scenario's
+/// own catalog (same seed ⇒ same data as the local system's handle).
+fn serve(sc: &braid_workload::Scenario) -> RemoteTcpServer {
+    RemoteTcpServer::serve(
+        RemoteDbms::with_defaults(sc.catalog.clone()),
+        TcpServerConfig::default(),
+    )
+    .expect("bind loopback listener")
+}
+
+/// Client-pool config tuned for test speed: fast connect verdicts and
+/// short backoffs, but an unhurried read deadline (loopback is quick;
+/// the deadline only matters for black-hole stalls).
+fn client_cfg(addr: &str) -> TcpClientConfig {
+    let mut c = TcpClientConfig::to(addr);
+    c.connect_timeout_ms = 500;
+    c.backoff_base_ms = 5;
+    c.backoff_cap_ms = 40;
+    c
+}
+
+fn tcp_config(addr: &str, resilience: ResilienceConfig) -> BraidConfig {
+    BraidConfig::with_cms(
+        CmsConfig::braid()
+            .with_resilience(resilience)
+            .with_transport(TransportConfig::Tcp(client_cfg(addr))),
+    )
+}
+
+#[test]
+fn tcp_transport_matches_in_process_exactly() {
+    let sc = scenario();
+    let truth = fault_free_answers(&sc);
+    let mut server = serve(&sc);
+
+    let mut sys = sc.system(tcp_config(
+        &server.addr().to_string(),
+        ResilienceConfig::none(),
+    ));
+    for (q, expected) in sc.queries.iter().zip(&truth) {
+        let got = sys
+            .solve_checked(q, STRATEGY)
+            .unwrap_or_else(|e| panic!("query `{q}` failed over TCP: {e}"));
+        assert!(got.is_exact(), "healthy link answers Exact for `{q}`");
+        assert_eq!(&got.solutions, expected, "TCP answer for `{q}` diverged");
+    }
+
+    let pool = sys.cms().transport_pool_stats().expect("TCP pool present");
+    assert_eq!(pool.in_use, 0, "every connection returned to the pool");
+    assert!(pool.connects >= 1, "the workload actually used the wire");
+    assert_eq!(pool.resumes, 0, "healthy link needs no resumes");
+
+    drop(sys);
+    server.shutdown();
+    let s = server.stats();
+    assert_eq!(s.active, 0, "no connection leaked on the server");
+    assert!(s.requests > 0, "the server actually served the workload");
+}
+
+#[test]
+fn resets_torn_frames_and_an_outage_still_answer_honestly() {
+    let sc = scenario();
+    let truth = fault_free_answers(&sc);
+    let mut server = serve(&sc);
+
+    // The acceptance chaos mix: connection resets, torn frames (truncate
+    // replies a few hundred bytes in), and an outage window during which
+    // the proxy drops every new connection.
+    let plan = ProxyPlan::seeded(7)
+        .with_resets(0.15)
+        .with_truncation(0.15, 300)
+        .with_outage(6, 10);
+    let mut proxy = FaultProxy::start(server.addr(), plan).expect("start proxy");
+
+    let resilience = ResilienceConfig::none()
+        .with_retries(5)
+        .with_backoff(4, 32)
+        .with_degraded_mode(true);
+    let mut cfg = tcp_config(&proxy.addr().to_string(), resilience);
+    // No idle pooling: every request dials a fresh connection, so the
+    // proxy's per-connection fault clock advances with the workload and
+    // the probabilistic faults actually fire.
+    if let TransportConfig::Tcp(ref mut c) = cfg.cms.transport {
+        c.pool_size = 0;
+    }
+    let mut sys = sc.system(cfg);
+
+    let mut exact = 0usize;
+    for (qi, q) in sc.queries.iter().enumerate() {
+        // Invariant 1: terminates with an answer (degraded mode absorbs
+        // transport faults the retries cannot clear).
+        let got = sys
+            .solve_checked(q, STRATEGY)
+            .unwrap_or_else(|e| panic!("query `{q}` failed under chaos: {e}"));
+        match got.completeness {
+            Completeness::Exact => {
+                exact += 1;
+                assert_eq!(
+                    &got.solutions, &truth[qi],
+                    "Exact answer for `{q}` diverged"
+                );
+            }
+            Completeness::Partial {
+                ref missing_subqueries,
+            } => {
+                assert!(
+                    !missing_subqueries.is_empty(),
+                    "Partial answer for `{q}` names nothing"
+                );
+            }
+        }
+    }
+    assert!(
+        exact > 0,
+        "retries and resumes recover some answers to Exact"
+    );
+
+    let stats = proxy.stats();
+    assert!(
+        stats.resets + stats.truncated + stats.refused > 0,
+        "chaos actually fired: {stats:?}"
+    );
+
+    // Invariant 5: nothing leaks.
+    let pool = sys.cms().transport_pool_stats().expect("TCP pool present");
+    assert_eq!(pool.in_use, 0, "pool gauge drained to zero");
+    drop(sys);
+    proxy.shutdown();
+    server.shutdown();
+    assert_eq!(server.stats().active, 0, "server gauge drained to zero");
+}
+
+#[test]
+fn socket_chaos_outcomes_are_deterministic() {
+    let sc = scenario();
+    let run = || -> Vec<CheckedSolutions> {
+        let mut server = serve(&sc);
+        let plan = ProxyPlan::seeded(23)
+            .with_resets(0.20)
+            .with_truncation(0.15, 250)
+            .with_outage(4, 7);
+        let mut proxy = FaultProxy::start(server.addr(), plan).expect("start proxy");
+        let resilience = ResilienceConfig::none()
+            .with_retries(6)
+            .with_backoff(4, 32)
+            .with_degraded_mode(true);
+        let mut cfg = tcp_config(&proxy.addr().to_string(), resilience);
+        // Serial remote parts + a fresh connection per request: the
+        // proxy's connection clock — and with it every fault decision —
+        // becomes a pure function of query order.
+        cfg.cms = cfg.cms.deterministic();
+        if let TransportConfig::Tcp(ref mut c) = cfg.cms.transport {
+            c.pool_size = 0;
+        }
+        let mut sys = sc.system(cfg);
+        let out = sc
+            .queries
+            .iter()
+            .map(|q| {
+                sys.solve_checked(q, STRATEGY)
+                    .expect("degraded mode never errors")
+            })
+            .collect();
+        drop(sys);
+        proxy.shutdown();
+        server.shutdown();
+        out
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "same proxy seed, same workload, same outcomes"
+    );
+}
+
+#[test]
+fn outage_window_degrades_cold_cache_then_recovers() {
+    let sc = scenario();
+    let truth = fault_free_answers(&sc);
+    let mut server = serve(&sc);
+
+    // The first 12 upstream connections are refused; everything after
+    // succeeds. Retries burn through the window deterministically.
+    let plan = ProxyPlan::seeded(1).with_outage(0, 12);
+    let mut proxy = FaultProxy::start(server.addr(), plan).expect("start proxy");
+
+    let resilience = ResilienceConfig::none()
+        .with_retries(6)
+        .with_backoff(4, 32)
+        .with_degraded_mode(true);
+    let mut sys = sc.system(tcp_config(&proxy.addr().to_string(), resilience));
+
+    // Cold cache + dead window: the first answers may be Partial, but
+    // each one must say so; once the window passes, answers are Exact
+    // and byte-identical.
+    let mut saw_exact_after_recovery = false;
+    for (qi, q) in sc.queries.iter().enumerate() {
+        let got = sys
+            .solve_checked(q, STRATEGY)
+            .unwrap_or_else(|e| panic!("query `{q}` failed during outage: {e}"));
+        match got.completeness {
+            Completeness::Exact => {
+                assert_eq!(
+                    &got.solutions, &truth[qi],
+                    "Exact answer for `{q}` diverged"
+                );
+                saw_exact_after_recovery = true;
+            }
+            Completeness::Partial {
+                ref missing_subqueries,
+            } => assert!(!missing_subqueries.is_empty()),
+        }
+    }
+    assert!(
+        saw_exact_after_recovery,
+        "the outage window ends and service recovers"
+    );
+    assert!(proxy.stats().refused > 0, "the outage actually refused");
+
+    let pool = sys.cms().transport_pool_stats().expect("TCP pool present");
+    assert_eq!(pool.in_use, 0);
+    // A refused upstream shows up as a dead connection on first use
+    // (the handshake itself succeeds against the proxy's listener).
+    assert!(pool.discards > 0, "refused connections were discarded");
+    drop(sys);
+    proxy.shutdown();
+    server.shutdown();
+    assert_eq!(server.stats().active, 0);
+}
