@@ -15,7 +15,8 @@
 
 use braid_sim::SimScenario;
 use braid_sim::{
-    regression_test, run_scenario, run_scenario_socket, run_scenario_threaded, shrink, SimOptions,
+    regression_test, run_scenario, run_scenario_coop, run_scenario_socket, run_scenario_threaded,
+    shrink, SimOptions,
 };
 use std::time::Instant;
 
@@ -66,7 +67,7 @@ fn main() {
         "sim: seeds {seed_start}..{} ({rounds} rounds{})",
         seed_start + rounds,
         if soak {
-            ", deterministic + threaded + socket"
+            ", deterministic + threaded + socket + coop"
         } else {
             ""
         }
@@ -82,7 +83,7 @@ fn main() {
         }
     }
     let dt = start.elapsed().as_secs_f64();
-    let runs_per_seed = if soak { 3.0 } else { 1.0 };
+    let runs_per_seed = if soak { 4.0 } else { 1.0 };
     eprintln!(
         "sim: {rounds} scenarios, {solves} solves, {:.1} scenarios/s, {failed} failed",
         (rounds as f64 * runs_per_seed) / dt.max(1e-9)
@@ -152,6 +153,25 @@ fn run_one(sc: &SimScenario, opts: &SimOptions, verbose: bool, soak: bool) -> i3
             Err(e) => {
                 status = 1;
                 eprintln!("sim: seed {}: socket harness error: {e}", sc.seed);
+            }
+        }
+        // Cooperative lane: the same sessions as resumable state machines
+        // on a fixed worker pool (`SIM_WORKERS` sets the pool size).
+        // Failures print the scenario for the deterministic runner.
+        match run_scenario_coop(sc, opts) {
+            Ok(r) if !r.passed() => {
+                status = 1;
+                eprintln!(
+                    "sim: seed {}: COOP run failed:\n{:#?}\nscenario: {}",
+                    sc.seed,
+                    r.violations,
+                    sc.to_json()
+                );
+            }
+            Ok(_) => {}
+            Err(e) => {
+                status = 1;
+                eprintln!("sim: seed {}: coop harness error: {e}", sc.seed);
             }
         }
     }

@@ -17,5 +17,6 @@ pub mod e13_concurrency;
 pub mod e14_tracing;
 pub mod e15_sim;
 pub mod e16_net;
+pub mod e17_sessions;
 
 pub(crate) mod support;

@@ -40,5 +40,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E14", experiments::e14_tracing::run),
         ("E15", experiments::e15_sim::run),
         ("E16", experiments::e16_net::run),
+        ("E17", experiments::e17_sessions::run),
     ]
 }

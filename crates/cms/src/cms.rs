@@ -13,7 +13,7 @@ use crate::config::CmsConfig;
 use crate::error::{CmsError, Result};
 use crate::metrics::{CmsMetrics, CmsMetricsSnapshot};
 use crate::model::ModelRow;
-use crate::monitor::{self, ExecEnv, RemoteFlight};
+use crate::monitor::{self, CoopCtx, ExecEnv, RemoteFlight};
 use crate::planner::{self, PartSource, Plan};
 use crate::resilience::Resilience;
 use crate::shared::{PinGuard, SharedCache};
@@ -26,7 +26,7 @@ use braid_subsume::ViewDef;
 use braid_trace::{TraceKind, TraceSink, Tracer};
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// State shared by *every* session of one CMS: the sharded cache, the
 /// remote handle, the metrics sink, the remote statistics snapshot, and
@@ -80,6 +80,11 @@ pub struct Cms {
     // span tree). Disabled tracers cost one branch per instrumentation
     // site.
     tracer: Tracer,
+    // Cooperative-scheduling context: when set, single-flight joins
+    // unwind with `WouldBlock` (parking the session on the worker pool)
+    // instead of blocking the thread. `None` (the default) keeps every
+    // existing blocking path byte-identical.
+    coop: Option<Arc<CoopCtx>>,
 }
 
 impl Cms {
@@ -123,6 +128,7 @@ impl Cms {
             shared,
             session_missing: Vec::new(),
             tracer,
+            coop: None,
         }
     }
 
@@ -145,6 +151,7 @@ impl Cms {
             shared: Arc::clone(&self.shared),
             session_missing: Vec::new(),
             tracer,
+            coop: None,
         }
     }
 
@@ -182,6 +189,28 @@ impl Cms {
     /// Workstation-side metrics (shared across all sessions).
     pub fn metrics(&self) -> CmsMetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// The live shared metrics handle — for wiring the same counters
+    /// into a [`crate::WorkerPool`] scheduling this CMS's sessions.
+    pub fn metrics_handle(&self) -> Arc<CmsMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Install (or clear) the cooperative-scheduling context for this
+    /// session. With a context set, a fetch that would join an in-flight
+    /// single-flight entry surfaces [`CmsError::WouldBlock`] instead of
+    /// blocking; the worker pool parks the session and re-runs the query
+    /// when the flight's waker fires.
+    pub fn set_coop(&mut self, coop: Option<Arc<CoopCtx>>) {
+        self.coop = coop;
+    }
+
+    /// Flights currently open in the shared single-flight table — the
+    /// "no leaked wakers" quiescence check (must be 0 once every session
+    /// has completed).
+    pub fn open_flights(&self) -> usize {
+        self.shared.flight.open_flights()
     }
 
     /// The remote server handle (shared, cheap to clone).
@@ -301,16 +330,26 @@ impl Cms {
                     // of §5.3.1) is predicted to be queried later.
                     let predicted =
                         usize::from(self.advice.predicted_distance(&source_view).is_some());
-                    if (predicted >= self.config.generalization_min_predicted_reuse
-                        || self.config.generalization_min_predicted_reuse == 0)
-                        && self.evaluate_into_cache(&gen, false).is_ok()
+                    if predicted >= self.config.generalization_min_predicted_reuse
+                        || self.config.generalization_min_predicted_reuse == 0
                     {
-                        self.shared.metrics.add_generalized(1);
-                        self.tracer.event(
-                            TraceKind::Generalize,
-                            gen.head.to_string(),
-                            vec![("source_view", source_view)],
-                        );
+                        match self.evaluate_into_cache(&gen, false) {
+                            Ok(()) => {
+                                self.shared.metrics.add_generalized(1);
+                                self.tracer.event(
+                                    TraceKind::Generalize,
+                                    gen.head.to_string(),
+                                    vec![("source_view", source_view)],
+                                );
+                            }
+                            // The park signal must reach the scheduler:
+                            // swallowing it here would leave the session's
+                            // registered waker with no matching park.
+                            Err(e) if e.is_would_block() => return Err(e),
+                            // Speculative evaluation: any other failure
+                            // just means no generalized fetch.
+                            Err(_) => {}
+                        }
                     }
                 }
             }
@@ -323,7 +362,7 @@ impl Cms {
         // ---- Advice-driven follow-ups. ----
         self.apply_replacement_advice();
         if self.config.prefetching {
-            self.run_prefetches();
+            self.run_prefetches()?;
         }
         Ok(stream)
     }
@@ -334,6 +373,9 @@ impl Cms {
             transport: &*self.shared.transport,
             resilience: &self.resilience,
             flight: Some(&self.shared.flight),
+            coop: self.coop.as_deref(),
+            flight_join_timeout: (self.config.flight_join_timeout_ms > 0)
+                .then(|| Duration::from_millis(self.config.flight_join_timeout_ms)),
             parallel: self.config.parallel_execution,
             pipelined: self.config.pipelining,
             buffer: self.config.transfer_buffer_tuples,
@@ -839,17 +881,24 @@ impl Cms {
 
     /// §5.3.1 prefetching: evaluate predicted-next queries (with observed
     /// constants) into the cache before the IE asks.
-    fn run_prefetches(&mut self) {
+    fn run_prefetches(&mut self) -> Result<()> {
         let heads = self.advice.prefetch_heads();
         for head in heads {
             let Some(q) = self.advice.expand(&head) else {
                 continue;
             };
-            if self.evaluate_into_cache(&q, true).is_ok() {
-                self.tracer
-                    .event(TraceKind::Prefetch, head.to_string(), Vec::new());
+            match self.evaluate_into_cache(&q, true) {
+                Ok(()) => {
+                    self.tracer
+                        .event(TraceKind::Prefetch, head.to_string(), Vec::new());
+                }
+                // Parks propagate (see the generalization arm); any
+                // other prefetch failure is silently skipped as before.
+                Err(e) if e.is_would_block() => return Err(e),
+                Err(_) => {}
             }
         }
+        Ok(())
     }
 }
 

@@ -52,6 +52,13 @@ pub struct CmsConfig {
     /// How many predicted queries ahead an element is pinned against
     /// replacement (the paper's "d1 is not the best candidate" horizon).
     pub pin_horizon: usize,
+    /// Upper bound, in milliseconds, on how long a single-flight *joiner*
+    /// waits for its leader to publish before presuming the leader
+    /// wedged, evicting the stale flight entry, and surfacing a
+    /// transient [`CmsError::FlightStranded`](crate::CmsError). 0 ⇒ wait
+    /// forever (pre-timeout behaviour). Only the blocking join path is
+    /// bounded; cooperative sessions park instead of waiting.
+    pub flight_join_timeout_ms: u64,
     /// Estimated number of future hits needed to make generalization
     /// worthwhile (cost heuristic of §5.3.1 step 1).
     pub generalization_min_predicted_reuse: usize,
@@ -104,6 +111,7 @@ impl Default for CmsConfig {
             pipelining: true,
             transfer_buffer_tuples: 64,
             pin_horizon: 2,
+            flight_join_timeout_ms: 30_000,
             generalization_min_predicted_reuse: 1,
             cost_based_placement: false,
             whole_relation_caching: false,
@@ -133,6 +141,7 @@ impl CmsConfig {
             pipelining: false,
             transfer_buffer_tuples: 1,
             pin_horizon: 0,
+            flight_join_timeout_ms: 30_000,
             generalization_min_predicted_reuse: usize::MAX,
             cost_based_placement: false,
             whole_relation_caching: false,
@@ -251,6 +260,13 @@ impl CmsConfig {
     /// Toggle §5.3.3 cost-based placement.
     pub fn with_cost_based_placement(mut self, on: bool) -> Self {
         self.cost_based_placement = on;
+        self
+    }
+
+    /// Bound how long a single-flight joiner waits for its leader
+    /// (milliseconds; 0 ⇒ wait forever).
+    pub fn with_flight_join_timeout_ms(mut self, ms: u64) -> Self {
+        self.flight_join_timeout_ms = ms;
         self
     }
 

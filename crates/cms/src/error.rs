@@ -51,6 +51,21 @@ pub enum CmsError {
     /// The circuit breaker is open: the remote is presumed down and the
     /// attempt was rejected without contacting it.
     CircuitOpen,
+    /// A single-flight joiner waited longer than the configured deadline
+    /// for its leader to publish — the leader is presumed wedged. The
+    /// stale flight entry has been evicted; a retry starts a fresh
+    /// flight, so this is transient.
+    FlightStranded {
+        /// How long the joiner waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
+    /// Cooperative-scheduler control flow, not a real failure: the
+    /// session joined an in-flight fetch and must park until its waker
+    /// fires, then re-run the query (the joined result is stashed and
+    /// consumed on retry). Never `is_transient` — degraded mode must not
+    /// swallow it — and never shown to end users; the worker pool
+    /// intercepts it before results surface.
+    WouldBlock,
     /// An error from the local relational engine.
     Engine(String),
 }
@@ -64,9 +79,18 @@ impl CmsError {
             CmsError::Remote(e) => e.is_transient(),
             CmsError::Transport { kind, .. } => braid_remote::transient_io_kind(*kind),
             CmsError::CircuitOpen => true,
+            CmsError::FlightStranded { .. } => true,
             CmsError::Exhausted { last, .. } => last.is_transient(),
             _ => false,
         }
+    }
+
+    /// Is this the cooperative scheduler's park signal? (Checked by the
+    /// worker pool and by call sites that would otherwise swallow
+    /// evaluation errors, e.g. speculative generalizations and
+    /// prefetches, which must let the park propagate.)
+    pub fn is_would_block(&self) -> bool {
+        matches!(self, CmsError::WouldBlock)
     }
 }
 
@@ -88,6 +112,15 @@ impl fmt::Display for CmsError {
                 write!(f, "gave up after {attempts} attempt(s): {last}")
             }
             CmsError::CircuitOpen => write!(f, "circuit breaker open: remote presumed down"),
+            CmsError::FlightStranded { waited_ms } => {
+                write!(
+                    f,
+                    "single-flight join abandoned after {waited_ms}ms: leader presumed wedged"
+                )
+            }
+            CmsError::WouldBlock => {
+                write!(f, "session would block (cooperative scheduler internal)")
+            }
             CmsError::Engine(m) => write!(f, "engine error: {m}"),
         }
     }
@@ -172,6 +205,16 @@ mod tests {
         assert!(!CmsError::Remote(RemoteError::UnknownRelation("x".into())).is_transient());
         assert!(!CmsError::UnsafeQuery("q".into()).is_transient());
         assert!(!CmsError::WorkerPanic("boom".into()).is_transient());
+        assert!(
+            CmsError::FlightStranded { waited_ms: 50 }.is_transient(),
+            "a fresh flight can be led on retry"
+        );
+        assert!(
+            !CmsError::WouldBlock.is_transient(),
+            "degraded mode must not swallow the park signal"
+        );
+        assert!(CmsError::WouldBlock.is_would_block());
+        assert!(!CmsError::CircuitOpen.is_would_block());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! identical. Issuing it twice doubles the server's tuple operations for
 //! no information gain — so the first session to arrive *leads* the
 //! flight and actually fetches, while later arrivals *join* it: they
-//! block on the same in-flight entry and share the leader's result
+//! wait on the same in-flight entry and share the leader's result
 //! (success or error), counted as `dedup_hits` in
 //! [`crate::CmsMetrics`].
 //!
@@ -17,26 +17,185 @@
 //!    fully in parallel.
 //! 2. The leader runs the fetch closure (the *entire* resilience
 //!    retry/breaker loop — joiners share the final outcome, not an
-//!    intermediate failure), publishes the result under the flight's
-//!    mutex, removes the map entry, and notifies the condvar.
-//! 3. Joiners block on the condvar until the result is published.
+//!    intermediate failure), retires the map entry, publishes the result
+//!    under the flight's state mutex, notifies the condvar, and fires
+//!    every registered [`Waker`].
+//! 3. Joiners either block on the condvar until the result is published
+//!    ([`SingleFlight::run`] / [`SingleFlight::run_with_timeout`]) or —
+//!    on the cooperative scheduler path — register a waker via
+//!    [`SingleFlight::subscribe`] and park the *session* instead of the
+//!    OS thread, resuming when the waker fires.
 //!
 //! The leader removes the key *before* notifying, so a session arriving
 //! after completion starts a fresh flight — results are never reused
 //! across time, only shared within one overlapping window (the cache,
 //! not the flight table, is the store of record).
+//!
+//! Leader failure is survivable in both directions:
+//! - A *panicking* leader unwinds through a drop guard that retires the
+//!   map entry, marks the flight abandoned, and wakes every joiner; the
+//!   joiners retry and one of them becomes the new leader. Nobody is
+//!   stranded.
+//! - A *wedged* leader (stuck in a hung transport call) is bounded by
+//!   [`SingleFlight::run_with_timeout`]: a joiner gives up after the
+//!   deadline, evicts the stale map entry (only if it is still the same
+//!   flight) so later arrivals can lead fresh, and surfaces a typed
+//!   timeout to the caller.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// The outcome shared between a flight's leader and its joiners.
 pub type FlightResult<T, E> = std::result::Result<T, E>;
 
+/// A callback fired exactly once when a subscribed flight publishes or
+/// is abandoned. Cloneable so the flight can hold it while the
+/// scheduler keeps its own handle; firing is idempotent from the
+/// flight's side (each registered clone is invoked once, then dropped).
+#[derive(Clone)]
+pub struct Waker(Arc<dyn Fn() + Send + Sync>);
+
+impl Waker {
+    /// Wrap a callback as a waker.
+    pub fn new(f: impl Fn() + Send + Sync + 'static) -> Waker {
+        Waker(Arc::new(f))
+    }
+
+    /// Fire the callback.
+    pub fn wake(&self) {
+        (self.0)();
+    }
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Waker")
+    }
+}
+
+#[derive(Debug)]
+struct FlightState<T, E> {
+    /// The published outcome; `None` while the leader is still fetching.
+    result: Option<FlightResult<T, E>>,
+    /// Set when the leader unwound without publishing: joiners must
+    /// retry (one of them re-leads a fresh flight).
+    abandoned: bool,
+    /// Cooperative joiners to fire on publish/abandon.
+    wakers: Vec<Waker>,
+}
+
 #[derive(Debug)]
 struct Flight<T, E> {
-    done: Mutex<Option<FlightResult<T, E>>>,
+    state: Mutex<FlightState<T, E>>,
     cv: Condvar,
     waiters: Mutex<usize>,
+}
+
+impl<T, E> Flight<T, E> {
+    fn new() -> Flight<T, E> {
+        Flight {
+            state: Mutex::new(FlightState {
+                result: None,
+                abandoned: false,
+                wakers: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            waiters: Mutex::new(0),
+        }
+    }
+}
+
+/// What a blocking joiner's wait ended with.
+enum WaitOutcome<T, E> {
+    /// The leader published; here is the shared result.
+    Ready(FlightResult<T, E>),
+    /// The leader unwound without publishing; retry (and maybe lead).
+    Abandoned,
+    /// The deadline elapsed before the leader published.
+    TimedOut,
+}
+
+/// A joiner's wait exceeded the configured deadline — the leader is
+/// presumed wedged. Carries how long the joiner actually waited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinTimedOut {
+    /// Wall-clock time spent waiting before giving up.
+    pub waited: Duration,
+}
+
+/// Outcome of a non-blocking [`SingleFlight::subscribe`] attempt.
+pub enum Subscribe<T, E> {
+    /// No flight is open for the key — the caller should lead one via
+    /// [`SingleFlight::run`] / [`SingleFlight::run_with_timeout`].
+    Lead,
+    /// A flight was open and has already published: share its result
+    /// without waiting.
+    Ready(FlightResult<T, E>),
+    /// Joined an open flight. The waker fires exactly once when the
+    /// leader publishes or abandons; the ticket then resolves to the
+    /// shared result (or `None` after abandonment — retry and lead).
+    Parked(FlightTicket<T, E>),
+}
+
+/// A handle onto a joined flight, redeemed after the waker fires.
+#[derive(Debug, Clone)]
+pub struct FlightTicket<T, E>(Arc<Flight<T, E>>);
+
+impl<T: Clone, E: Clone> FlightTicket<T, E> {
+    /// The published result, or `None` if the flight has not published
+    /// (still in progress, or abandoned by a failed leader).
+    pub fn result(&self) -> Option<FlightResult<T, E>> {
+        let st = self.0.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.result.clone()
+    }
+}
+
+/// Retires the leader's map entry and wakes joiners even when the
+/// leader's fetch panics: joiners observe `abandoned`, retry, and one
+/// of them leads a fresh flight instead of waiting forever.
+struct LeaderGuard<'a, T, E> {
+    table: &'a SingleFlight<T, E>,
+    key: &'a str,
+    flight: &'a Arc<Flight<T, E>>,
+    published: bool,
+}
+
+impl<T: Clone, E: Clone> LeaderGuard<'_, T, E> {
+    fn publish(mut self, result: &FlightResult<T, E>) {
+        self.published = true;
+        self.table.retire(self.key, self.flight);
+        let wakers = {
+            let mut st = self.flight.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.result = Some(result.clone());
+            std::mem::take(&mut st.wakers)
+        };
+        self.flight.cv.notify_all();
+        for w in wakers {
+            w.wake();
+        }
+    }
+}
+
+impl<T, E> Drop for LeaderGuard<'_, T, E> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        // The leader unwound mid-fetch. Retire the entry first so a
+        // retrying joiner can immediately lead fresh, then mark the
+        // flight abandoned and wake everyone.
+        self.table.retire(self.key, self.flight);
+        let wakers = {
+            let mut st = self.flight.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.abandoned = true;
+            std::mem::take(&mut st.wakers)
+        };
+        self.flight.cv.notify_all();
+        for w in wakers {
+            w.wake();
+        }
+    }
 }
 
 /// The single-flight table, keyed by translated remote-SQL text.
@@ -49,6 +208,18 @@ impl<T, E> Default for SingleFlight<T, E> {
     fn default() -> Self {
         SingleFlight {
             inflight: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<T, E> SingleFlight<T, E> {
+    /// Remove `key`'s entry *only if* it is still `flight` — tolerant of
+    /// the entry having already been evicted by a timed-out joiner or
+    /// replaced by a newer flight for the same key.
+    fn retire(&self, key: &str, flight: &Arc<Flight<T, E>>) {
+        let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        if map.get(key).is_some_and(|f| Arc::ptr_eq(f, flight)) {
+            map.remove(key);
         }
     }
 }
@@ -75,55 +246,144 @@ impl<T: Clone, E: Clone> SingleFlight<T, E> {
         map.contains_key(key)
     }
 
+    /// Number of flights currently open — the "no leaked wakers"
+    /// invariant check: at quiescence every flight has published (firing
+    /// its wakers) and retired its entry, so this must be zero.
+    pub fn open_flights(&self) -> usize {
+        let map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        map.len()
+    }
+
+    /// Atomically become the leader (inserting a fresh flight) or a
+    /// joiner (cloning the open one and bumping its waiter count when
+    /// `count_waiter`).
+    fn enter(&self, key: &str, count_waiter: bool) -> (Arc<Flight<T, E>>, bool) {
+        let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(f) = map.get(key) {
+            let f = Arc::clone(f);
+            if count_waiter {
+                *f.waiters.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+            }
+            (f, false)
+        } else {
+            let f = Arc::new(Flight::new());
+            map.insert(key.to_string(), Arc::clone(&f));
+            (f, true)
+        }
+    }
+
+    /// Block until `flight` publishes, is abandoned, or `deadline`
+    /// elapses (`None` waits forever).
+    fn wait(flight: &Flight<T, E>, deadline: Option<Duration>) -> WaitOutcome<T, E> {
+        let start = Instant::now();
+        let mut st = flight.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(r) = st.result.clone() {
+                return WaitOutcome::Ready(r);
+            }
+            if st.abandoned {
+                return WaitOutcome::Abandoned;
+            }
+            match deadline {
+                None => {
+                    st = flight.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+                Some(d) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= d {
+                        return WaitOutcome::TimedOut;
+                    }
+                    let (guard, _timeout) = flight
+                        .cv
+                        .wait_timeout(st, d - elapsed)
+                        .unwrap_or_else(|p| p.into_inner());
+                    st = guard;
+                }
+            }
+        }
+    }
+
     /// Run `fetch` under single-flight semantics for `key`. Returns the
     /// result plus `true` when this call led the flight (actually
-    /// fetched) or `false` when it joined an in-flight fetch.
+    /// fetched) or `false` when it joined an in-flight fetch. Joiners
+    /// wait with no deadline; if the leader unwinds without publishing
+    /// they retry, and one of them leads a fresh flight.
     pub fn run(
         &self,
         key: &str,
         fetch: impl FnOnce() -> FlightResult<T, E>,
     ) -> (FlightResult<T, E>, bool) {
-        let flight = {
-            let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
-            if let Some(f) = map.get(key) {
-                let f = Arc::clone(f);
-                *f.waiters.lock().unwrap_or_else(|p| p.into_inner()) += 1;
-                Some(f)
-            } else {
-                map.insert(
-                    key.to_string(),
-                    Arc::new(Flight {
-                        done: Mutex::new(None),
-                        cv: Condvar::new(),
-                        waiters: Mutex::new(0),
-                    }),
-                );
-                None
-            }
-        };
+        match self.run_with_timeout(key, None, fetch) {
+            Ok(out) => out,
+            Err(_) => unreachable!("no deadline, so a join can never time out"),
+        }
+    }
 
-        match flight {
-            None => {
-                // Leader: fetch with no locks held, publish, then retire
-                // the key so later sessions re-fetch fresh data.
-                let result = fetch();
-                let flight = {
-                    let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
-                    map.remove(key).expect("leader's flight entry present")
+    /// [`SingleFlight::run`] with a bound on how long a *joiner* waits
+    /// for the leader. On timeout the joiner evicts the stale map entry
+    /// (if it is still the same flight) so later arrivals can lead
+    /// fresh, and returns [`JoinTimedOut`]. The leader path is never
+    /// bounded here — its own fetch closure carries the resilience
+    /// timeouts.
+    pub fn run_with_timeout(
+        &self,
+        key: &str,
+        join_deadline: Option<Duration>,
+        fetch: impl FnOnce() -> FlightResult<T, E>,
+    ) -> Result<(FlightResult<T, E>, bool), JoinTimedOut> {
+        let mut fetch = Some(fetch);
+        let start = Instant::now();
+        loop {
+            let (flight, leads) = self.enter(key, true);
+            if leads {
+                let guard = LeaderGuard {
+                    table: self,
+                    key,
+                    flight: &flight,
+                    published: false,
                 };
-                *flight.done.lock().unwrap_or_else(|p| p.into_inner()) = Some(result.clone());
-                flight.cv.notify_all();
-                (result, true)
+                let result = (fetch.take().expect("fetch unconsumed until we lead"))();
+                guard.publish(&result);
+                return Ok((result, true));
             }
-            Some(f) => {
-                // Joiner: block until the leader publishes.
-                let mut done = f.done.lock().unwrap_or_else(|p| p.into_inner());
-                while done.is_none() {
-                    done = f.cv.wait(done).unwrap_or_else(|p| p.into_inner());
+            match Self::wait(&flight, join_deadline) {
+                WaitOutcome::Ready(r) => return Ok((r, false)),
+                WaitOutcome::Abandoned => continue,
+                WaitOutcome::TimedOut => {
+                    self.retire(key, &flight);
+                    return Err(JoinTimedOut {
+                        waited: start.elapsed(),
+                    });
                 }
-                (done.clone().expect("published above"), false)
             }
         }
+    }
+
+    /// Non-blocking join for the cooperative scheduler: if a flight is
+    /// open for `key`, register `waker` (fired exactly once on publish
+    /// or abandonment) and return a ticket; if it has already published,
+    /// return the result immediately; if no flight is open, tell the
+    /// caller to lead. Never blocks and never runs a fetch.
+    pub fn subscribe(&self, key: &str, waker: Waker) -> Subscribe<T, E> {
+        let flight = {
+            let map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+            match map.get(key) {
+                Some(f) => Arc::clone(f),
+                None => return Subscribe::Lead,
+            }
+        };
+        let mut st = flight.state.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(r) = st.result.clone() {
+            return Subscribe::Ready(r);
+        }
+        if st.abandoned {
+            // The leader died between our map lookup and the state lock;
+            // the entry is already retired, so lead fresh.
+            return Subscribe::Lead;
+        }
+        st.wakers.push(waker);
+        drop(st);
+        Subscribe::Parked(FlightTicket(flight))
     }
 }
 
@@ -230,5 +490,201 @@ mod tests {
         let (a, _) = sf.run("a", || Ok(1));
         let (b, _) = sf.run("b", || Ok(2));
         assert_eq!((a, b), (Ok(1), Ok(2)));
+    }
+
+    #[test]
+    fn panicking_leader_does_not_strand_joiners() {
+        // A leader whose fetch panics unwinds through the drop guard:
+        // the joiner observes abandonment, retries, and leads fresh —
+        // no condvar deadline is ever needed for this failure mode.
+        let sf: Arc<SingleFlight<u32, String>> = Arc::new(SingleFlight::new());
+        std::thread::scope(|s| {
+            let leader = {
+                let sf = Arc::clone(&sf);
+                s.spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        sf.run("k", || {
+                            while sf.waiter_count("k") == 0 {
+                                std::thread::yield_now();
+                            }
+                            panic!("leader killed mid-flight");
+                        })
+                    }));
+                    assert!(result.is_err(), "leader must have panicked");
+                })
+            };
+            while !sf.in_flight("k") {
+                std::thread::yield_now();
+            }
+            // Joins the doomed flight; after the leader dies, retries
+            // and leads its own fetch.
+            let (r, led) = sf.run("k", || Ok(99));
+            leader.join().unwrap();
+            assert_eq!(r, Ok(99), "rescued joiner re-led and fetched");
+            assert!(led, "the rescued joiner became the new leader");
+            assert_eq!(sf.open_flights(), 0, "no stale entry left behind");
+        });
+    }
+
+    #[test]
+    fn wedged_leader_times_out_joiner_and_evicts_entry() {
+        // A leader stuck in a hung fetch never publishes; the joiner's
+        // deadline fires, the stale entry is evicted so later arrivals
+        // can lead fresh, and the caller sees a typed timeout.
+        let sf: Arc<SingleFlight<u32, String>> = Arc::new(SingleFlight::new());
+        let release = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let leader = {
+                let sf = Arc::clone(&sf);
+                let release = Arc::clone(&release);
+                s.spawn(move || {
+                    sf.run("k", || {
+                        // Wedge until the test releases us.
+                        while release.load(Ordering::SeqCst) == 0 {
+                            std::thread::yield_now();
+                        }
+                        Ok(1)
+                    })
+                })
+            };
+            while !sf.in_flight("k") {
+                std::thread::yield_now();
+            }
+            let err = sf
+                .run_with_timeout("k", Some(Duration::from_millis(20)), || Ok(2))
+                .expect_err("wedged leader must time the joiner out");
+            assert!(err.waited >= Duration::from_millis(20));
+            assert!(
+                !sf.in_flight("k"),
+                "timed-out joiner evicts the stale entry"
+            );
+            // A fresh arrival now leads immediately instead of joining
+            // the wedged flight.
+            let (r, led) = sf.run("k", || Ok(3));
+            assert_eq!((r, led), (Ok(3), true));
+            // Unwedge the original leader; its publish must tolerate the
+            // entry being gone (ptr_eq-guarded retire).
+            release.store(1, Ordering::SeqCst);
+            let (lr, lled) = leader.join().unwrap();
+            assert_eq!((lr, lled), (Ok(1), true));
+            assert_eq!(sf.open_flights(), 0);
+        });
+    }
+
+    #[test]
+    fn subscribe_with_no_flight_says_lead() {
+        let sf: SingleFlight<u32, String> = SingleFlight::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        match sf.subscribe(
+            "k",
+            Waker::new(move || {
+                f.fetch_add(1, Ordering::SeqCst);
+            }),
+        ) {
+            Subscribe::Lead => {}
+            _ => panic!("no flight open: caller must lead"),
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "waker never registered");
+    }
+
+    #[test]
+    fn subscriber_waker_fires_on_publish_and_ticket_resolves() {
+        let sf: Arc<SingleFlight<u32, String>> = Arc::new(SingleFlight::new());
+        let fired = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let leader = {
+                let sf = Arc::clone(&sf);
+                let fired = Arc::clone(&fired);
+                s.spawn(move || {
+                    sf.run("k", || {
+                        // Hold the flight open until the blocking joiner
+                        // arrives — the test subscribes *before* spawning
+                        // it, so the waker is provably registered first.
+                        while sf.waiter_count("k") == 0 {
+                            std::thread::yield_now();
+                        }
+                        assert_eq!(fired.load(Ordering::SeqCst), 0, "not fired before publish");
+                        Ok(7)
+                    })
+                })
+            };
+            while !sf.in_flight("k") {
+                std::thread::yield_now();
+            }
+            let f = Arc::clone(&fired);
+            let ticket = match sf.subscribe(
+                "k",
+                Waker::new(move || {
+                    f.fetch_add(1, Ordering::SeqCst);
+                }),
+            ) {
+                Subscribe::Parked(t) => t,
+                _ => panic!("flight open and unpublished: must park"),
+            };
+            assert_eq!(ticket.result(), None, "nothing published yet");
+            // Let the leader see a waiter via the blocking-path hook.
+            let sf2 = Arc::clone(&sf);
+            let join = s.spawn(move || sf2.run("k", || Ok(0)));
+            let (lr, _) = leader.join().unwrap();
+            assert_eq!(lr, Ok(7));
+            assert_eq!(fired.load(Ordering::SeqCst), 1, "waker fired exactly once");
+            assert_eq!(
+                ticket.result(),
+                Some(Ok(7)),
+                "ticket resolves to shared result"
+            );
+            assert_eq!(join.join().unwrap(), (Ok(7), false));
+        });
+    }
+
+    #[test]
+    fn subscriber_waker_fires_on_abandonment() {
+        let sf: Arc<SingleFlight<u32, String>> = Arc::new(SingleFlight::new());
+        let fired = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let leader = {
+                let sf = Arc::clone(&sf);
+                s.spawn(move || {
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        sf.run("k", || -> FlightResult<u32, String> {
+                            while sf.waiter_count("k") == 0 {
+                                std::thread::yield_now();
+                            }
+                            panic!("abandon ship");
+                        })
+                    }));
+                })
+            };
+            while !sf.in_flight("k") {
+                std::thread::yield_now();
+            }
+            let f = Arc::clone(&fired);
+            let ticket = match sf.subscribe(
+                "k",
+                Waker::new(move || {
+                    f.fetch_add(1, Ordering::SeqCst);
+                }),
+            ) {
+                Subscribe::Parked(t) => t,
+                _ => panic!("flight open: must park"),
+            };
+            // A blocking joiner gives the leader its waiter signal and
+            // exercises the retry-and-re-lead path at the same time.
+            let sf2 = Arc::clone(&sf);
+            let join = s.spawn(move || sf2.run("k", || Ok(5)));
+            leader.join().unwrap();
+            assert_eq!(join.join().unwrap(), (Ok(5), true), "joiner re-led");
+            assert_eq!(
+                fired.load(Ordering::SeqCst),
+                1,
+                "abandonment fired the waker"
+            );
+            assert_eq!(
+                ticket.result(),
+                None,
+                "abandoned ticket resolves to nothing: caller retries"
+            );
+        });
     }
 }

@@ -42,6 +42,7 @@ pub mod monitor;
 pub mod planner;
 pub mod rdi;
 pub mod resilience;
+pub mod sched;
 pub mod shared;
 pub mod stream;
 
@@ -50,11 +51,12 @@ pub use cms::Cms;
 pub use config::CmsConfig;
 pub use element::{CacheElement, ElemId, Repr};
 pub use error::{CmsError, Result};
-pub use flight::SingleFlight;
+pub use flight::{SingleFlight, Subscribe, Waker};
 pub use metrics::{CmsMetrics, CmsMetricsSnapshot};
-pub use monitor::RemoteFlight;
+pub use monitor::{CoopCtx, RemoteFlight};
 pub use planner::{PartSource, Plan, PlanPart};
 pub use resilience::{Resilience, ResilienceConfig};
+pub use sched::{PoolConfig, PoolSnapshot, Step, Task, TaskId, WorkerPool};
 pub use shared::{PinGuard, SharedCache};
 pub use stream::{AnswerStream, Completeness};
 

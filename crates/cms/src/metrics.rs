@@ -20,16 +20,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// `CmsMetrics` (atomics), `CmsMetricsSnapshot` (`Copy` values),
 /// per-field bump/record methods, `snapshot()`, `reset()`,
 /// `CmsMetricsSnapshot::since()`, and the `COUNTER_FIELDS` /
-/// `HISTOGRAM_FIELDS` counts backing the completeness guard test.
+/// `GAUGE_FIELDS` / `HISTOGRAM_FIELDS` counts backing the completeness
+/// guard test. Counters bump with `fetch_add`; gauges are monotone
+/// high-water marks recorded with `fetch_max` (so `since` deltas stay
+/// non-negative); histograms record log2-bucketed values.
 macro_rules! cms_metrics {
     (
         counters { $($(#[$cmeta:meta])* $cname:ident => $cbump:ident,)+ }
+        gauges { $($(#[$gmeta:meta])* $gname:ident => $gbump:ident,)+ }
         histograms { $($(#[$hmeta:meta])* $hname:ident => $hbump:ident,)+ }
     ) => {
-        /// Counters and histograms maintained by the CMS.
+        /// Counters, high-water gauges and histograms maintained by the CMS.
         #[derive(Debug, Default)]
         pub struct CmsMetrics {
             $($cname: AtomicU64,)+
+            $($gname: AtomicU64,)+
             $($hname: Histogram,)+
         }
 
@@ -37,6 +42,7 @@ macro_rules! cms_metrics {
         #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
         pub struct CmsMetricsSnapshot {
             $($(#[$cmeta])* pub $cname: u64,)+
+            $($(#[$gmeta])* pub $gname: u64,)+
             $($(#[$hmeta])* pub $hname: HistogramSnapshot,)+
         }
 
@@ -47,22 +53,29 @@ macro_rules! cms_metrics {
                 }
             )+
             $(
+                pub(crate) fn $gbump(&self, value: u64) {
+                    self.$gname.fetch_max(value, Ordering::Relaxed);
+                }
+            )+
+            $(
                 pub(crate) fn $hbump(&self, value: u64) {
                     self.$hname.record(value);
                 }
             )+
 
-            /// Read all counters and histograms.
+            /// Read all counters, gauges and histograms.
             pub fn snapshot(&self) -> CmsMetricsSnapshot {
                 CmsMetricsSnapshot {
                     $($cname: self.$cname.load(Ordering::Relaxed),)+
+                    $($gname: self.$gname.load(Ordering::Relaxed),)+
                     $($hname: self.$hname.snapshot(),)+
                 }
             }
 
-            /// Zero all counters and histograms.
+            /// Zero all counters, gauges and histograms.
             pub fn reset(&self) {
                 $(self.$cname.store(0, Ordering::Relaxed);)+
+                $(self.$gname.store(0, Ordering::Relaxed);)+
                 $(self.$hname.reset();)+
             }
         }
@@ -70,15 +83,19 @@ macro_rules! cms_metrics {
         impl CmsMetricsSnapshot {
             /// Number of scalar counter fields the macro generated.
             pub const COUNTER_FIELDS: usize = [$(stringify!($cname)),+].len();
+            /// Number of high-water gauge fields the macro generated.
+            pub const GAUGE_FIELDS: usize = [$(stringify!($gname)),+].len();
             /// Number of histogram fields the macro generated.
             pub const HISTOGRAM_FIELDS: usize = [$(stringify!($hname)),+].len();
 
-            /// Field-by-field delta (`self - earlier`). Counters
-            /// subtract; histograms subtract bucketwise.
+            /// Field-by-field delta (`self - earlier`). Counters and
+            /// gauges subtract (both are monotone); histograms subtract
+            /// bucketwise.
             #[must_use]
             pub fn since(&self, earlier: &CmsMetricsSnapshot) -> CmsMetricsSnapshot {
                 CmsMetricsSnapshot {
                     $($cname: self.$cname - earlier.$cname,)+
+                    $($gname: self.$gname - earlier.$gname,)+
                     $($hname: self.$hname.since(&earlier.$hname),)+
                 }
             }
@@ -139,6 +156,19 @@ cms_metrics! {
         /// Contended shared-cache shard-lock acquisitions (a `try_lock`
         /// failed before blocking) — the lock-wait proxy reported by E13.
         shard_lock_waits => add_shard_lock_waits,
+        /// Cooperative sessions parked on a pending single-flight join
+        /// (the worker pool suspended them instead of blocking a thread).
+        sessions_parked => add_sessions_parked,
+        /// Waker firings that re-enqueued (or flagged) a parked session.
+        /// At quiescence with all flights closed this equals
+        /// `sessions_parked` — the "no leaked wakers" invariant.
+        wakes => add_wakes,
+        /// Cooperative scheduler steps executed across all pool workers.
+        steps_executed => add_steps_executed,
+    }
+    gauges {
+        /// High-water mark of the worker pool's run-queue depth.
+        run_queue_depth => record_run_queue_depth,
     }
     histograms {
         /// Wall-clock latency of [`Cms::query`](crate::Cms::query) calls,
@@ -241,11 +271,25 @@ mod tests {
     fn every_snapshot_field_is_macro_generated() {
         assert_eq!(
             std::mem::size_of::<CmsMetricsSnapshot>(),
-            CmsMetricsSnapshot::COUNTER_FIELDS * std::mem::size_of::<u64>()
+            (CmsMetricsSnapshot::COUNTER_FIELDS + CmsMetricsSnapshot::GAUGE_FIELDS)
+                * std::mem::size_of::<u64>()
                 + CmsMetricsSnapshot::HISTOGRAM_FIELDS * std::mem::size_of::<HistogramSnapshot>(),
         );
-        assert_eq!(CmsMetricsSnapshot::COUNTER_FIELDS, 23);
+        assert_eq!(CmsMetricsSnapshot::COUNTER_FIELDS, 26);
+        assert_eq!(CmsMetricsSnapshot::GAUGE_FIELDS, 1);
         assert_eq!(CmsMetricsSnapshot::HISTOGRAM_FIELDS, 2);
+    }
+
+    #[test]
+    fn run_queue_depth_is_a_high_water_mark() {
+        let m = CmsMetrics::new();
+        m.record_run_queue_depth(3);
+        m.record_run_queue_depth(9);
+        m.record_run_queue_depth(5);
+        assert_eq!(m.snapshot().run_queue_depth, 9, "fetch_max, not fetch_add");
+        let earlier = m.snapshot();
+        m.record_run_queue_depth(12);
+        assert_eq!(m.snapshot().since(&earlier).run_queue_depth, 3);
     }
 
     #[test]

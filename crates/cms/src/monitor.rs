@@ -10,7 +10,7 @@
 
 use crate::cache::CacheRead;
 use crate::error::{CmsError, Result};
-use crate::flight::SingleFlight;
+use crate::flight::{FlightTicket, SingleFlight, Subscribe, Waker};
 use crate::planner::{PartSource, Plan, PlanPart};
 use crate::rdi;
 use crate::resilience::Resilience;
@@ -18,11 +18,135 @@ use braid_caql::{ArithExpr, Comparison, Term};
 use braid_relational::{ExecConfig, ExecStats, Expr, PhysicalPlan, Relation, Schema, Tuple};
 use braid_remote::{RemoteError, RemoteTransport};
 use braid_trace::{TraceKind, Tracer};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The `(vars, relation)` pair one remote part fetch produces.
+pub type FetchedPart = (Vec<String>, Relation);
 
 /// The single-flight table specialized to remote part fetches: the shared
 /// value is the `(vars, relation)` a fetch produces, errors are broadcast
 /// to joiners as-is.
-pub type RemoteFlight = SingleFlight<(Vec<String>, Relation), CmsError>;
+pub type RemoteFlight = SingleFlight<FetchedPart, CmsError>;
+
+/// One fetched part a cooperative session holds across a park/retry
+/// cycle, keyed by the flight key.
+enum Share {
+    /// A result in hand (led ourselves, or redeemed from a joined
+    /// ticket). `counted` records whether the consume-time `dedup_hits`
+    /// bump already happened, so re-consumes across multiple retries of
+    /// the same query don't inflate the metric.
+    Resolved {
+        part: FetchedPart,
+        led: bool,
+        counted: bool,
+    },
+    /// A joined flight that had not published when we parked.
+    Joined(FlightTicket<FetchedPart, CmsError>),
+}
+
+/// Per-query context for a cooperatively scheduled session.
+///
+/// When a session's fetch would join an in-flight flight, the monitor
+/// registers `waker` with the flight, stashes the ticket here, and
+/// unwinds with [`CmsError::WouldBlock`] — the worker pool parks the
+/// session (RAII pin guards release on the way out). On resume the whole
+/// query re-plans and re-executes; every fetch first consults this stash
+/// so work already done (flights we led, flights we joined that have now
+/// published) is reused instead of re-fetched. Reuse is sound because
+/// the remote is immutable: a part's bytes don't depend on when the
+/// retry happens. The owner clears the stash between queries.
+pub struct CoopCtx {
+    waker: Waker,
+    shares: Mutex<HashMap<String, Share>>,
+}
+
+impl CoopCtx {
+    /// A context whose parks re-enqueue through `waker`.
+    pub fn new(waker: Waker) -> CoopCtx {
+        CoopCtx {
+            waker,
+            shares: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The waker handed to every flight this session joins.
+    pub fn waker(&self) -> &Waker {
+        &self.waker
+    }
+
+    /// A stashed result for `key`, if one is redeemable:
+    /// `(part, led, first_consume)`. A joined ticket that never
+    /// published (leader abandoned) is dropped — the caller leads fresh.
+    fn take(&self, key: &str) -> Option<(Result<FetchedPart>, bool, bool)> {
+        let mut shares = self.shares.lock().unwrap_or_else(|p| p.into_inner());
+        match shares.remove(key)? {
+            Share::Resolved { part, led, counted } => {
+                shares.insert(
+                    key.to_string(),
+                    Share::Resolved {
+                        part: part.clone(),
+                        led,
+                        counted: true,
+                    },
+                );
+                Some((Ok(part), led, !counted))
+            }
+            Share::Joined(ticket) => match ticket.result() {
+                Some(Ok(part)) => {
+                    shares.insert(
+                        key.to_string(),
+                        Share::Resolved {
+                            part: part.clone(),
+                            led: false,
+                            counted: true,
+                        },
+                    );
+                    Some((Ok(part), false, true))
+                }
+                // Shared errors propagate once and are not re-stashed:
+                // the query fails and will not be retried for them.
+                Some(Err(e)) => Some((Err(e), false, true)),
+                None => None,
+            },
+        }
+    }
+
+    /// Remember a result this session fetched itself.
+    fn stash_led(&self, key: &str, part: FetchedPart) {
+        let mut shares = self.shares.lock().unwrap_or_else(|p| p.into_inner());
+        shares.insert(
+            key.to_string(),
+            Share::Resolved {
+                part,
+                led: true,
+                counted: true,
+            },
+        );
+    }
+
+    /// Remember a joined flight to redeem after the park.
+    fn stash_joined(&self, key: &str, ticket: FlightTicket<FetchedPart, CmsError>) {
+        let mut shares = self.shares.lock().unwrap_or_else(|p| p.into_inner());
+        shares.insert(key.to_string(), Share::Joined(ticket));
+    }
+
+    /// Drop all stashed work — called by the session driver when a query
+    /// completes (successfully or with a non-park error), so results are
+    /// never reused across *logical* queries, only across retries of one.
+    pub fn reset(&self) {
+        self.shares
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+    }
+
+    /// Number of stashed shares (test/invariant hook).
+    pub fn pending_shares(&self) -> usize {
+        self.shares.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
 
 /// Everything a plan execution needs besides the plan and the cache —
 /// bundling the remote handle, resilience policy, optional single-flight
@@ -40,6 +164,15 @@ pub struct ExecEnv<'a> {
     /// Single-flight dedup table; `None` runs every fetch directly
     /// (single-session mode).
     pub flight: Option<&'a RemoteFlight>,
+    /// Cooperative-session context: when set, a fetch that would *join*
+    /// an open flight registers the session's waker and unwinds with
+    /// [`CmsError::WouldBlock`] instead of blocking the worker thread;
+    /// results already in hand are consumed from the stash on retry.
+    pub coop: Option<&'a CoopCtx>,
+    /// Bound on how long a blocking single-flight joiner waits for its
+    /// leader before surfacing [`CmsError::FlightStranded`]; `None`
+    /// waits forever.
+    pub flight_join_timeout: Option<Duration>,
     /// Fan remote fetches out to worker threads.
     pub parallel: bool,
     /// Pipelined (vs. buffered) remote transfer.
@@ -108,7 +241,7 @@ pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Resul
     let exec_parent = exec_span.id();
 
     // Split parts: remote ones may run on threads.
-    let mut results: Vec<Option<(Vec<String>, Relation)>> = vec![None; plan.parts.len()];
+    let mut results: Vec<Option<FetchedPart>> = vec![None; plan.parts.len()];
 
     let remote_jobs: Vec<(usize, &PlanPart)> = plan
         .parts
@@ -118,7 +251,10 @@ pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Resul
         .collect();
     remote_count += remote_jobs.len() as u64;
 
-    if env.parallel && remote_jobs.len() > 1 {
+    // Cooperative sessions run parts serially: a park unwinds the whole
+    // plan, so at most one flight subscription (⇒ one waker) exists per
+    // park, keeping the parks:wakes ledger 1:1.
+    if env.parallel && env.coop.is_none() && remote_jobs.len() > 1 {
         // Fan the remote fetches out; cache parts run on this thread in
         // the meantime.
         let env = *env;
@@ -257,7 +393,7 @@ fn eval_cache_part<C: CacheRead>(
     part: &PlanPart,
     cache: &C,
     local_ops: &mut u64,
-) -> Result<(Vec<String>, Relation)> {
+) -> Result<FetchedPart> {
     let PartSource::Cache {
         element,
         derivation,
@@ -313,7 +449,7 @@ fn fetch_remote(
     part: &PlanPart,
     env: &ExecEnv<'_>,
     parent: Option<u64>,
-) -> Result<(Vec<String>, Relation)> {
+) -> Result<FetchedPart> {
     let PartSource::Remote { atoms, cmps } = &part.source else {
         unreachable!("fetch_remote called on a cache part");
     };
@@ -332,16 +468,59 @@ fn fetch_remote(
     // transient failure it would have retried past.
     let result = if let Some(f) = env.flight {
         let key = format!("{}|{}", t.sql, part.vars.join(","));
-        let (rel, led) = f.run(&key, || {
-            fetch_attempts(part, transport, resilience, &t, env.pipelined, env.buffer)
-        });
-        if led {
-            resilience.metrics().add_flight_fetches(1);
+        if let Some(coop) = env.coop {
+            // Cooperative path: never block the worker thread on another
+            // session's fetch. Consume stashed work from a previous
+            // attempt of this query first; otherwise subscribe, and park
+            // the *session* if the flight is still in progress.
+            match coop.take(&key) {
+                Some((rel, led, first)) => {
+                    if !led && first {
+                        resilience.metrics().add_dedup_hits(1);
+                    }
+                    span.field("flight", if led { "stashed-led" } else { "stashed-joined" });
+                    rel
+                }
+                None => match f.subscribe(&key, coop.waker().clone()) {
+                    Subscribe::Ready(rel) => {
+                        resilience.metrics().add_dedup_hits(1);
+                        span.field("flight", "joined");
+                        rel
+                    }
+                    Subscribe::Parked(ticket) => {
+                        coop.stash_joined(&key, ticket);
+                        span.field("flight", "parked");
+                        return Err(CmsError::WouldBlock);
+                    }
+                    Subscribe::Lead => {
+                        // Leading is real work this session does inline on
+                        // its worker. (A racing session may have led in the
+                        // meantime, making us a blocking joiner — bounded
+                        // by the join timeout like the threaded path.)
+                        let (rel, led) = run_flight(f, &key, part, &t, env)?;
+                        if led {
+                            resilience.metrics().add_flight_fetches(1);
+                            if let Ok(part_rel) = &rel {
+                                coop.stash_led(&key, part_rel.clone());
+                            }
+                        } else {
+                            resilience.metrics().add_dedup_hits(1);
+                        }
+                        span.field("flight", if led { "led" } else { "joined" });
+                        rel
+                    }
+                },
+            }
         } else {
-            resilience.metrics().add_dedup_hits(1);
+            let (rel, led) = run_flight(f, &key, part, &t, env)?;
+            if led {
+                resilience.metrics().add_flight_fetches(1);
+            } else {
+                resilience.metrics().add_dedup_hits(1);
+            }
+            span.field("flight", if led { "led" } else { "joined" });
+            rel
         }
-        span.field("flight", if led { "led" } else { "joined" });
-        rel
     } else {
         fetch_attempts(part, transport, resilience, &t, env.pipelined, env.buffer)
     };
@@ -354,6 +533,31 @@ fn fetch_remote(
     result
 }
 
+/// Run one part's fetch through the single-flight table with the
+/// configured joiner deadline; a stranded join (leader wedged past the
+/// deadline) surfaces as the transient [`CmsError::FlightStranded`].
+fn run_flight(
+    f: &RemoteFlight,
+    key: &str,
+    part: &PlanPart,
+    t: &rdi::Translated,
+    env: &ExecEnv<'_>,
+) -> Result<(Result<FetchedPart>, bool)> {
+    f.run_with_timeout(key, env.flight_join_timeout, || {
+        fetch_attempts(
+            part,
+            env.transport,
+            env.resilience,
+            t,
+            env.pipelined,
+            env.buffer,
+        )
+    })
+    .map_err(|to| CmsError::FlightStranded {
+        waited_ms: to.waited.as_millis() as u64,
+    })
+}
+
 /// The resilience-wrapped fetch of one translated remote subquery.
 fn fetch_attempts(
     part: &PlanPart,
@@ -362,7 +566,7 @@ fn fetch_attempts(
     t: &rdi::Translated,
     pipelined: bool,
     buffer: usize,
-) -> Result<(Vec<String>, Relation)> {
+) -> Result<FetchedPart> {
     // One attempt = one round trip; the resilience policy retries
     // transient faults with backoff charged in cost units, and enforces
     // the per-attempt latency deadline against the stream's receipt.
@@ -546,6 +750,8 @@ mod tests {
             transport: remote,
             resilience,
             flight: None,
+            coop: None,
+            flight_join_timeout: None,
             parallel,
             pipelined: true,
             buffer: 8,

@@ -56,6 +56,10 @@ pub struct ExplainReport {
     pub faults: Vec<String>,
     /// Queries answered in degraded (cache-only) mode.
     pub degraded: Vec<String>,
+    /// Cooperative-scheduler incidents: each park and resume of the
+    /// session, rendered as `kind: label` (resumes carry the parked
+    /// duration in their event fields; see [`ExplainReport::render_trace`]).
+    pub sched: Vec<String>,
     /// Remote fetch spans opened by the execution monitor.
     pub remote_fetches: u64,
     /// Plan parts served from the cache by the execution monitor.
@@ -114,6 +118,7 @@ impl ExplainReport {
             prefetches: Vec::new(),
             faults: Vec::new(),
             degraded: Vec::new(),
+            sched: Vec::new(),
             remote_fetches: 0,
             cache_parts: 0,
             events,
@@ -144,6 +149,13 @@ impl ExplainReport {
                         .push(format!("{}: {}", e.kind.as_str(), e.label));
                 }
                 TraceKind::Degraded => report.degraded.push(e.label.clone()),
+                TraceKind::SchedPark | TraceKind::SchedResume => {
+                    let mut line = format!("{}: {}", e.kind.as_str(), e.label);
+                    if let Some(w) = e.field("waited_us") {
+                        line.push_str(&format!(" (waited {w}us)"));
+                    }
+                    report.sched.push(line);
+                }
                 TraceKind::RemoteFetch => report.remote_fetches += 1,
                 TraceKind::CachePart => report.cache_parts += 1,
                 _ => {}
@@ -225,6 +237,9 @@ impl fmt::Display for ExplainReport {
         for fault in &self.faults {
             writeln!(f, "  fault: {fault}")?;
         }
+        for s in &self.sched {
+            writeln!(f, "  sched: {s}")?;
+        }
         writeln!(
             f,
             "  monitor: {} remote fetch(es), {} cache part(s)",
@@ -298,6 +313,28 @@ mod tests {
             ExplainReport::from_events("?- q(X).", 1, Completeness::Exact, vec![e]).summary()
         };
         assert_eq!(mk(10), mk(99_999));
+    }
+
+    #[test]
+    fn sched_parks_and_resumes_surface_with_timing() {
+        let mut resume = event(
+            TraceKind::SchedResume,
+            "?- q(X).",
+            vec![("waited_us", "120".into())],
+        );
+        resume.start_us = 120;
+        let events = vec![event(TraceKind::SchedPark, "?- q(X).", vec![]), resume];
+        let r = ExplainReport::from_events("?- q(X).", 1, Completeness::Exact, events);
+        assert_eq!(
+            r.sched,
+            vec![
+                "sched.park: ?- q(X).",
+                "sched.resume: ?- q(X). (waited 120us)"
+            ]
+        );
+        let text = r.to_string();
+        assert!(text.contains("sched: sched.park: ?- q(X)."));
+        assert!(text.contains("(waited 120us)"));
     }
 
     #[test]

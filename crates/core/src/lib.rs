@@ -57,13 +57,18 @@
 
 pub mod explain;
 pub mod metrics;
+pub mod server;
 pub mod system;
+pub mod task;
 
 pub use explain::{ExplainReport, ExplainSummary, PlanExplain};
 pub use metrics::CombinedMetrics;
+pub use server::{BraidClient, BraidServer, BraidServerConfig, BraidServerStats};
 pub use system::{
     BraidConfig, BraidError, BraidSession, BraidSystem, CheckedSolutions, ExplainedSolutions,
+    SessionHandle,
 };
+pub use task::{SessionState, SessionTask};
 
 // The public API surface, re-exported so applications depend on one crate.
 pub use braid_advice::{Advice, PathExpr, PathTracker, ViewSpec};
@@ -71,7 +76,9 @@ pub use braid_caql::{
     parse_atom, parse_program, parse_query, parse_rule, Atom, CaqlQuery, ConjunctiveQuery, Literal,
     Subst, Term,
 };
-pub use braid_cms::{AnswerStream, Cms, CmsConfig, Completeness, ResilienceConfig};
+pub use braid_cms::{
+    AnswerStream, Cms, CmsConfig, Completeness, CoopCtx, PoolConfig, ResilienceConfig, WorkerPool,
+};
 pub use braid_ie::{IeError, InferenceEngine, KnowledgeBase, Rule, Soa, Strategy};
 pub use braid_relational::{Relation, Schema, Tuple, Value};
 pub use braid_remote::{

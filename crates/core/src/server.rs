@@ -1,0 +1,586 @@
+//! The braid server front-end: N client connections multiplexed onto a
+//! fixed worker pool.
+//!
+//! [`BraidServer`] binds a TCP listener and speaks the length-prefixed
+//! [`clientproto`](braid_remote::clientproto) protocol: a client sends
+//! `QUERY` frames (CAQL text plus a strategy tag) and receives zero or
+//! more `BATCH` frames followed by `END` (with the completeness
+//! verdict) or `ERROR`. Each connection becomes one [`ConnTask`] — a
+//! resumable state machine spawned onto a shared
+//! [`WorkerPool`](braid_cms::sched::WorkerPool) — so 10k connections
+//! cost 10k small heap objects, not 10k OS threads. Only the socket
+//! *readers* are threads (blocking `read` has no cooperative form over
+//! std TCP); they push decoded queries into the connection's inbox and
+//! fire the pool waker, which is exactly the "external event source"
+//! case [`WorkerPool::waker`] exists for.
+//!
+//! Inside a task, query execution is the same cooperative path
+//! [`SessionTask`](crate::SessionTask) uses: a single-flight join led by
+//! another connection parks the *task*, the worker thread moves on, and
+//! the flight's publish wakes it back up.
+
+use crate::system::{BraidError, BraidSystem, CheckedSolutions, SessionHandle};
+use braid_cms::sched::{PoolConfig, Step, Task, WorkerPool};
+use braid_cms::{Completeness, CoopCtx, Waker};
+use braid_ie::Strategy;
+use braid_net::{read_frame, write_frame, NetError, MAX_FRAME_BYTES};
+use braid_relational::Tuple;
+use braid_remote::clientproto::{self, kind, ClientQuery};
+use braid_remote::proto::{decode_batch, encode_batch};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuples per `BATCH` frame on the answer stream.
+const BATCH_TUPLES: usize = 256;
+
+/// Sizing knobs for [`BraidServer`].
+#[derive(Debug, Clone)]
+pub struct BraidServerConfig {
+    /// Listen address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads in the shared session pool.
+    pub workers: usize,
+    /// Per-session step budget (fairness bound) of the pool.
+    pub step_budget: usize,
+}
+
+impl Default for BraidServerConfig {
+    fn default() -> Self {
+        BraidServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            step_budget: 8,
+        }
+    }
+}
+
+/// Point-in-time server introspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BraidServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections currently open (their task has not finished).
+    pub active: usize,
+    /// Queries answered (including ones answered with `ERROR`).
+    pub queries: u64,
+}
+
+struct ServerShared {
+    accepted: AtomicU64,
+    active: AtomicUsize,
+    queries: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// One connection's mailbox, filled by its reader thread and drained by
+/// its [`ConnTask`] on the pool.
+struct ConnInbox {
+    queue: Mutex<VecDeque<ClientQuery>>,
+    /// Set when the peer closed (or the stream broke); the task finishes
+    /// after draining what is left.
+    closed: AtomicBool,
+}
+
+/// Where a [`ConnTask`] is between steps.
+enum ConnState {
+    /// Waiting for the inbox to yield the next query.
+    Idle,
+    /// Executing `query`; may park on a would-block and be retried.
+    Solving(ClientQuery),
+}
+
+/// One client connection as a resumable task: pop a query from the
+/// inbox, solve it cooperatively, stream the answer frames back, repeat
+/// until the peer closes.
+struct ConnTask {
+    session: SessionHandle,
+    inbox: Arc<ConnInbox>,
+    writer: TcpStream,
+    shared: Arc<ServerShared>,
+    coop: Option<Arc<CoopCtx>>,
+    state: ConnState,
+}
+
+fn strategy_from_tag(tag: u8) -> Strategy {
+    match tag {
+        clientproto::strategy::INTERPRETED => Strategy::Interpreted,
+        clientproto::strategy::CONJUNCTION_COMPILED => Strategy::ConjunctionCompiled,
+        _ => Strategy::FullyCompiled,
+    }
+}
+
+fn strategy_to_tag(s: Strategy) -> u8 {
+    match s {
+        Strategy::Interpreted => clientproto::strategy::INTERPRETED,
+        Strategy::ConjunctionCompiled => clientproto::strategy::CONJUNCTION_COMPILED,
+        Strategy::FullyCompiled => clientproto::strategy::FULLY_COMPILED,
+    }
+}
+
+impl ConnTask {
+    /// Stream one finished answer back to the client. An I/O error means
+    /// the peer is gone; the caller drops the connection.
+    fn send_answer(&mut self, checked: &CheckedSolutions) -> Result<(), NetError> {
+        for chunk in checked.solutions.chunks(BATCH_TUPLES.max(1)) {
+            write_frame(&mut self.writer, kind::BATCH, &encode_batch(chunk))?;
+        }
+        let (exact, missing): (bool, &[String]) = match &checked.completeness {
+            Completeness::Exact => (true, &[]),
+            Completeness::Partial { missing_subqueries } => (false, missing_subqueries),
+        };
+        write_frame(
+            &mut self.writer,
+            kind::END,
+            &clientproto::encode_answer_end(exact, missing),
+        )
+    }
+
+    fn finish(&mut self) -> Step {
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        Step::Done
+    }
+}
+
+impl Task for ConnTask {
+    fn step(&mut self, waker: &Waker) -> Step {
+        match &self.state {
+            ConnState::Idle => {
+                let next = self
+                    .inbox
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .pop_front();
+                match next {
+                    Some(q) => {
+                        self.state = ConnState::Solving(q);
+                        Step::Yield
+                    }
+                    // Check `closed` only after a failed pop: the reader
+                    // pushes before it sets the flag, so a closed inbox
+                    // with queued work still drains.
+                    None if self.inbox.closed.load(Ordering::SeqCst) => self.finish(),
+                    None => Step::Pending,
+                }
+            }
+            ConnState::Solving(q) => {
+                let (query, strategy) = (q.query.clone(), strategy_from_tag(q.strategy));
+                if self.coop.is_none() {
+                    self.coop = Some(Arc::new(CoopCtx::new(waker.clone())));
+                }
+                let coop = Arc::clone(self.coop.as_ref().expect("just created"));
+                match self.session.solve_checked_coop(&query, strategy, &coop) {
+                    Err(e) if e.is_would_block() => Step::Pending,
+                    result => {
+                        coop.reset();
+                        self.state = ConnState::Idle;
+                        self.shared.queries.fetch_add(1, Ordering::SeqCst);
+                        let sent = match result {
+                            Ok(checked) => self.send_answer(&checked),
+                            Err(e) => write_frame(
+                                &mut self.writer,
+                                kind::ERROR,
+                                &clientproto::encode_client_error(&e.to_string()),
+                            ),
+                        };
+                        match sent {
+                            Ok(()) => Step::Yield,
+                            Err(_) => self.finish(), // peer gone
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A TCP front-end mapping N client connections onto one shared
+/// [`WorkerPool`] of cooperative sessions (see the module docs).
+pub struct BraidServer {
+    local_addr: SocketAddr,
+    pool: Arc<WorkerPool>,
+    shared: Arc<ServerShared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl BraidServer {
+    /// Bind, start the pool and the accept loop, and return immediately.
+    /// The server owns `system`; sessions forked per connection share
+    /// its cache, single-flight table and metrics.
+    ///
+    /// # Errors
+    /// Socket bind/listen failures.
+    pub fn start(system: BraidSystem, config: BraidServerConfig) -> io::Result<BraidServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let pool = Arc::new(WorkerPool::with_metrics(
+            PoolConfig {
+                workers: config.workers,
+                step_budget: config.step_budget,
+            },
+            system.cms().metrics_handle(),
+        ));
+        let shared = Arc::new(ServerShared {
+            accepted: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            queries: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_handle = {
+            let (pool, shared) = (Arc::clone(&pool), Arc::clone(&shared));
+            let system = Arc::new(system);
+            std::thread::Builder::new()
+                .name("braid-accept".into())
+                .spawn(move || accept_loop(&listener, &system, &pool, &shared))?
+        };
+        Ok(BraidServer {
+            local_addr,
+            pool,
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (resolve `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Scheduler-level introspection of the shared session pool.
+    pub fn pool_snapshot(&self) -> braid_cms::sched::PoolSnapshot {
+        self.pool.snapshot()
+    }
+
+    /// Lifetime counters and current occupancy.
+    pub fn stats(&self) -> BraidServerStats {
+        BraidServerStats {
+            accepted: self.shared.accepted.load(Ordering::SeqCst),
+            active: self.shared.active.load(Ordering::SeqCst),
+            queries: self.shared.queries.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stop accepting, then stop the pool. Open connections are dropped;
+    /// clients see EOF.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BraidServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for BraidServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BraidServer")
+            .field("local_addr", &self.local_addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    system: &Arc<BraidSystem>,
+    pool: &Arc<WorkerPool>,
+    shared: &Arc<ServerShared>,
+) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let reader_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.accepted.fetch_add(1, Ordering::SeqCst);
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let inbox = Arc::new(ConnInbox {
+            queue: Mutex::new(VecDeque::new()),
+            closed: AtomicBool::new(false),
+        });
+        let id = pool.spawn(Box::new(ConnTask {
+            session: system.session_owned(),
+            inbox: Arc::clone(&inbox),
+            writer: stream,
+            shared: Arc::clone(shared),
+            coop: None,
+            state: ConnState::Idle,
+        }));
+        let waker = pool.waker(id);
+        std::thread::Builder::new()
+            .name("braid-conn-reader".into())
+            .spawn(move || reader_loop(reader_stream, &inbox, &waker))
+            .ok();
+    }
+}
+
+/// Per-connection reader: decode `QUERY` frames into the inbox and fire
+/// the task's waker. Exits (marking the inbox closed) on EOF, a client
+/// `END` goodbye, or any framing/decoding error.
+fn reader_loop(mut stream: TcpStream, inbox: &Arc<ConnInbox>, waker: &Waker) {
+    loop {
+        match read_frame(&mut stream, MAX_FRAME_BYTES) {
+            Ok(Some(f)) if f.kind == kind::QUERY => match clientproto::decode_query(&f.payload) {
+                Ok(q) => {
+                    inbox
+                        .queue
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push_back(q);
+                    waker.wake();
+                }
+                Err(_) => break,
+            },
+            // A client END frame is a polite goodbye; anything else
+            // (unknown kind, EOF, torn frame, socket error) also ends
+            // the conversation.
+            Ok(_) | Err(_) => break,
+        }
+    }
+    inbox.closed.store(true, Ordering::SeqCst);
+    waker.wake();
+}
+
+/// A blocking client for [`BraidServer`]: submit one query, collect the
+/// whole answer.
+#[derive(Debug)]
+pub struct BraidClient {
+    stream: TcpStream,
+}
+
+impl BraidClient {
+    /// Connect to a running server.
+    ///
+    /// # Errors
+    /// Socket connect failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<BraidClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(BraidClient { stream })
+    }
+
+    /// Like `connect`, failing after `timeout`.
+    ///
+    /// # Errors
+    /// Socket connect failures or timeout.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<BraidClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        Ok(BraidClient { stream })
+    }
+
+    /// Submit one query and collect the full answer with its
+    /// completeness verdict.
+    ///
+    /// # Errors
+    /// [`BraidError::Server`] on transport failures or a server-reported
+    /// error (which includes remote parse errors).
+    pub fn solve_checked(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<CheckedSolutions, BraidError> {
+        let q = ClientQuery {
+            strategy: strategy_to_tag(strategy),
+            query: query.to_string(),
+        };
+        write_frame(
+            &mut self.stream,
+            kind::QUERY,
+            &clientproto::encode_query(&q),
+        )
+        .map_err(|e| BraidError::Server(format!("send failed: {e}")))?;
+        let mut solutions: Vec<Tuple> = Vec::new();
+        loop {
+            let frame = read_frame(&mut self.stream, MAX_FRAME_BYTES)
+                .map_err(|e| BraidError::Server(format!("receive failed: {e}")))?
+                .ok_or_else(|| BraidError::Server("server closed mid-answer".into()))?;
+            match frame.kind {
+                kind::BATCH => {
+                    let tuples = decode_batch(&frame.payload)
+                        .map_err(|e| BraidError::Server(format!("bad batch: {e}")))?;
+                    solutions.extend(tuples);
+                }
+                kind::END => {
+                    let (exact, missing) = clientproto::decode_answer_end(&frame.payload)
+                        .map_err(|e| BraidError::Server(format!("bad end frame: {e}")))?;
+                    let completeness = if exact {
+                        Completeness::Exact
+                    } else {
+                        Completeness::Partial {
+                            missing_subqueries: missing,
+                        }
+                    };
+                    return Ok(CheckedSolutions {
+                        solutions,
+                        completeness,
+                    });
+                }
+                kind::ERROR => {
+                    let msg = clientproto::decode_client_error(&frame.payload)
+                        .map_err(|e| BraidError::Server(format!("bad error frame: {e}")))?;
+                    return Err(BraidError::Server(msg));
+                }
+                other => {
+                    return Err(BraidError::Server(format!(
+                        "unexpected frame kind {other:#x}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Send a polite `END` goodbye so the server finishes the
+    /// connection's task promptly (dropping the client works too — the
+    /// reader sees EOF).
+    pub fn goodbye(mut self) {
+        let _ = write_frame(&mut self.stream, kind::END, &[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::BraidConfig;
+    use braid_ie::KnowledgeBase;
+    use braid_relational::{tuple, Relation, Schema};
+    use braid_remote::Catalog;
+
+    fn system() -> BraidSystem {
+        let mut db = Catalog::new();
+        db.install(
+            Relation::from_tuples(
+                Schema::of_strs("parent", &["p", "c"]),
+                vec![
+                    tuple!["ann", "bob"],
+                    tuple!["bob", "cal"],
+                    tuple!["cal", "dee"],
+                ],
+            )
+            .unwrap(),
+        );
+        let mut kb = KnowledgeBase::new();
+        kb.declare_base("parent", 2);
+        kb.add_program(
+            "gp(X, Y) :- parent(X, Z), parent(Z, Y).\n\
+             anc(X, Y) :- parent(X, Y).\n\
+             anc(X, Y) :- parent(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        BraidSystem::new(db, kb, BraidConfig::default())
+    }
+
+    #[test]
+    fn client_round_trips_queries_over_tcp() {
+        let expected = {
+            let mut b = system();
+            b.solve_all("?- anc(ann, Y).", Strategy::ConjunctionCompiled)
+                .unwrap()
+        };
+        let server = BraidServer::start(system(), BraidServerConfig::default()).unwrap();
+        let mut client = BraidClient::connect(server.local_addr()).unwrap();
+        let got = client
+            .solve_checked("?- anc(ann, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        assert_eq!(got.solutions, expected);
+        assert!(got.is_exact());
+        // Second query on the same connection (session cache is warm).
+        let again = client
+            .solve_checked("?- anc(ann, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        assert_eq!(again.solutions, expected);
+        client.goodbye();
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.queries, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn parse_errors_travel_as_error_frames() {
+        let server = BraidServer::start(system(), BraidServerConfig::default()).unwrap();
+        let mut client = BraidClient::connect(server.local_addr()).unwrap();
+        let err = client
+            .solve_checked("?- gp(ann", Strategy::Interpreted)
+            .unwrap_err();
+        assert!(matches!(err, BraidError::Server(_)), "{err:?}");
+        // The connection survives the error.
+        let ok = client
+            .solve_checked("?- gp(ann, Y).", Strategy::ConjunctionCompiled)
+            .unwrap();
+        assert_eq!(ok.solutions.len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_connections_share_the_pool() {
+        let server = BraidServer::start(
+            system(),
+            BraidServerConfig {
+                workers: 2,
+                ..BraidServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let expected = {
+            let mut b = system();
+            b.solve_all("?- anc(ann, Y).", Strategy::ConjunctionCompiled)
+                .unwrap()
+        };
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let expected = expected.clone();
+                    s.spawn(move || {
+                        let mut c = BraidClient::connect(addr).unwrap();
+                        let got = c
+                            .solve_checked("?- anc(ann, Y).", Strategy::ConjunctionCompiled)
+                            .unwrap();
+                        assert_eq!(got.solutions, expected);
+                        assert!(got.is_exact());
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 8);
+        assert_eq!(stats.queries, 8);
+        // Wait for the connection tasks to observe the closed inboxes.
+        for _ in 0..1000 {
+            if server.stats().active == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.stats().active, 0, "all connection tasks drained");
+        server.shutdown();
+    }
+}

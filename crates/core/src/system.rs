@@ -4,7 +4,7 @@ use crate::explain::ExplainReport;
 use crate::metrics::CombinedMetrics;
 use braid_caql::{parse_query, Atom};
 use braid_cms::trace::{RingSink, TraceSink};
-use braid_cms::{Cms, CmsConfig, CmsError, Completeness};
+use braid_cms::{Cms, CmsConfig, CmsError, Completeness, CoopCtx};
 use braid_ie::engine::Solutions;
 use braid_ie::{IeError, InferenceEngine, KnowledgeBase, Strategy};
 use braid_relational::Tuple;
@@ -71,6 +71,9 @@ pub enum BraidError {
     Cms(CmsError),
     /// A query parse error.
     Parse(String),
+    /// A braid-server transport failure or server-reported error (see
+    /// [`crate::server::BraidClient`]).
+    Server(String),
 }
 
 impl fmt::Display for BraidError {
@@ -79,6 +82,7 @@ impl fmt::Display for BraidError {
             BraidError::Ie(e) => write!(f, "{e}"),
             BraidError::Cms(e) => write!(f, "{e}"),
             BraidError::Parse(m) => write!(f, "{m}"),
+            BraidError::Server(m) => write!(f, "server error: {m}"),
         }
     }
 }
@@ -88,7 +92,7 @@ impl std::error::Error for BraidError {
         match self {
             BraidError::Ie(e) => Some(e),
             BraidError::Cms(e) => Some(e),
-            BraidError::Parse(_) => None,
+            BraidError::Parse(_) | BraidError::Server(_) => None,
         }
     }
 }
@@ -105,12 +109,26 @@ impl From<CmsError> for BraidError {
     }
 }
 
+impl BraidError {
+    /// Is this the cooperative scheduler's internal "park me" signal
+    /// ([`CmsError::WouldBlock`]), possibly wrapped by the IE? The worker
+    /// pool treats it as "suspend the session", never as a user-visible
+    /// failure.
+    pub fn is_would_block(&self) -> bool {
+        match self {
+            BraidError::Cms(e) => e.is_would_block(),
+            BraidError::Ie(IeError::Cms(e)) => e.is_would_block(),
+            _ => false,
+        }
+    }
+}
+
 /// The assembled BrAID system (Figure 3): "BrAID consists of three major
 /// components, an inference engine (IE), a Cache Management System (CMS),
 /// and a remote DBMS. The first two are realized on a workstation and the
 /// third is realized on a separate system."
 pub struct BraidSystem {
-    engine: InferenceEngine,
+    engine: Arc<InferenceEngine>,
     cms: Cms,
 }
 
@@ -125,7 +143,7 @@ impl BraidSystem {
         // into the same shared sink.
         remote.set_trace(config.cms.trace.clone());
         BraidSystem {
-            engine: InferenceEngine::new(kb),
+            engine: Arc::new(InferenceEngine::new(kb)),
             cms: Cms::new(remote, config.cms),
         }
     }
@@ -248,6 +266,18 @@ impl BraidSystem {
             cms: self.cms.fork_session(),
         }
     }
+
+    /// Open an *owned* session: like [`BraidSystem::session`] but holding
+    /// the inference engine by `Arc`, so the handle is `'static` and can
+    /// be boxed into a scheduler task or moved to a detached thread
+    /// without borrowing the system. Shares the same cache, remote handle,
+    /// metrics sink and single-flight table as every other session.
+    pub fn session_owned(&self) -> SessionHandle {
+        SessionHandle {
+            engine: Arc::clone(&self.engine),
+            cms: self.cms.fork_session(),
+        }
+    }
 }
 
 /// One session of a shared [`BraidSystem`] (see [`BraidSystem::session`]).
@@ -323,6 +353,121 @@ impl BraidSession<'_> {
         strategy: Strategy,
     ) -> Result<ExplainedSolutions, BraidError> {
         solve_explained_impl(self.engine, &mut self.cms, query, strategy)
+    }
+}
+
+/// An owned session of a shared [`BraidSystem`] (see
+/// [`BraidSystem::session_owned`]): the `'static` sibling of
+/// [`BraidSession`], holding the inference engine by `Arc` so it can be
+/// boxed into a [`braid_cms::sched::Task`] or moved across threads
+/// without borrowing the system. The solve surface is byte-identical to
+/// `BraidSession`'s; `solve_checked_coop` additionally threads a
+/// cooperative context through the CMS so blocking points park the
+/// *session* instead of the OS thread.
+pub struct SessionHandle {
+    engine: Arc<InferenceEngine>,
+    cms: Cms,
+}
+
+impl SessionHandle {
+    /// This session's CMS view (shared cache, per-session state).
+    pub fn cms(&self) -> &Cms {
+        &self.cms
+    }
+
+    /// Mutable CMS access (e.g. to submit advice for this session).
+    pub fn cms_mut(&mut self) -> &mut Cms {
+        &mut self.cms
+    }
+
+    /// Solve an AI query given as text, returning the solution stream.
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve(&mut self, query: &str, strategy: Strategy) -> Result<Solutions<'_>, BraidError> {
+        let goal = parse_query(query).map_err(|e| BraidError::Parse(e.to_string()))?;
+        Ok(self.engine.solve(&mut self.cms, &goal, strategy)?)
+    }
+
+    /// Solve and collect unique, sorted solutions.
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve_all(&mut self, query: &str, strategy: Strategy) -> Result<Vec<Tuple>, BraidError> {
+        let goal = parse_query(query).map_err(|e| BraidError::Parse(e.to_string()))?;
+        Ok(self.engine.solve_all(&mut self.cms, &goal, strategy)?)
+    }
+
+    /// Solve with a completeness tag (see [`BraidSystem::solve_checked`]).
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve_checked(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<CheckedSolutions, BraidError> {
+        let _ = self.cms.take_missing_subqueries();
+        let solutions = self.solve_all(query, strategy)?;
+        let missing = self.cms.take_missing_subqueries();
+        let completeness = if missing.is_empty() {
+            Completeness::Exact
+        } else {
+            Completeness::Partial {
+                missing_subqueries: missing,
+            }
+        };
+        Ok(CheckedSolutions {
+            solutions,
+            completeness,
+        })
+    }
+
+    /// Like [`SessionHandle::solve_checked`], but cooperative: blocking
+    /// points inside the CMS (single-flight joins on fetches another
+    /// session is already leading) return a
+    /// [`would-block`](BraidError::is_would_block) error instead of
+    /// parking the OS thread. The caller (normally a
+    /// [`SessionTask`](crate::SessionTask) on a worker pool) parks the
+    /// session and retries the same query after `coop`'s waker fires; the
+    /// context's stash makes the retry consume the joined result instead
+    /// of re-fetching, so the answer stays byte-identical to the
+    /// thread-per-session path.
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors — including the would-block
+    /// signal, which the caller must treat as "park", not "fail".
+    pub fn solve_checked_coop(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+        coop: &Arc<CoopCtx>,
+    ) -> Result<CheckedSolutions, BraidError> {
+        self.cms.set_coop(Some(Arc::clone(coop)));
+        let result = self.solve_checked(query, strategy);
+        self.cms.set_coop(None);
+        result
+    }
+
+    /// Per-query EXPLAIN for this session (see
+    /// [`BraidSystem::solve_explained`]).
+    ///
+    /// # Errors
+    /// Propagates parse, IE and CMS errors.
+    pub fn solve_explained(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<ExplainedSolutions, BraidError> {
+        solve_explained_impl(&self.engine, &mut self.cms, query, strategy)
+    }
+}
+
+impl fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("cache_elements", &self.cms.cache_len())
+            .finish()
     }
 }
 

@@ -1,0 +1,195 @@
+//! Wire codec for the *braid server* protocol — the front door through
+//! which remote clients submit AI queries (CAQL text plus a strategy
+//! tag) to a braid-level server, rather than SQL to the DBMS.
+//!
+//! Message framing is `braid-net`'s `[len][kind][payload]`, sharing the
+//! transport layer (and the [`proto`](crate::proto) tuple/batch payload
+//! encodings) with the DBMS protocol but using a disjoint kind range so
+//! the two can never be confused on a misrouted socket:
+//!
+//! | kind | frame   | payload                                            |
+//! |------|---------|----------------------------------------------------|
+//! | 0x20 | `QUERY` | strategy `u8`, query text (CAQL, e.g. `?- gp(ann, Y).`) |
+//! | 0x21 | `BATCH` | tuple count `u32`, then tuples ([`proto`] encoding) |
+//! | 0x22 | `END`   | exact `u8`, missing-subquery count `u32`, strings  |
+//! | 0x23 | `ERROR` | message string                                     |
+//!
+//! One answer is zero or more `BATCH`es then exactly one of `END`
+//! (success, with the completeness verdict) or `ERROR`. All decoding is
+//! bounds-checked through `WireReader` and ends with `finish()`, so
+//! truncated or bit-flipped payloads yield typed `NetError`s — never
+//! panics.
+
+use braid_net::{NetError, WireReader, WireWriter};
+
+/// Frame kind tags (disjoint from [`proto::kind`](crate::proto::kind)).
+pub mod kind {
+    pub const QUERY: u8 = 0x20;
+    pub const BATCH: u8 = 0x21;
+    pub const END: u8 = 0x22;
+    pub const ERROR: u8 = 0x23;
+}
+
+/// Solve-strategy tags carried in a `QUERY` frame. This crate cannot
+/// name `braid_ie::Strategy` (the dependency points the other way), so
+/// the mapping lives at the server layer; the codec just checks range.
+pub mod strategy {
+    pub const INTERPRETED: u8 = 0;
+    pub const CONJUNCTION_COMPILED: u8 = 1;
+    pub const FULLY_COMPILED: u8 = 2;
+}
+
+/// One AI query as it travels client → braid server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientQuery {
+    /// Strategy tag (see [`strategy`]).
+    pub strategy: u8,
+    /// The CAQL query text, e.g. `?- anc(ann, Y).`.
+    pub query: String,
+}
+
+/// Encode a `QUERY` payload.
+pub fn encode_query(q: &ClientQuery) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(q.strategy);
+    w.put_str(&q.query);
+    w.into_bytes()
+}
+
+/// Decode a `QUERY` payload.
+pub fn decode_query(buf: &[u8]) -> Result<ClientQuery, NetError> {
+    let mut r = WireReader::new(buf);
+    let strat = r.u8()?;
+    if strat > strategy::FULLY_COMPILED {
+        return Err(NetError::corrupt(format!("bad strategy tag {strat}")));
+    }
+    let query = r.str()?.to_string();
+    r.finish()?;
+    Ok(ClientQuery {
+        strategy: strat,
+        query,
+    })
+}
+
+/// Encode an `END` payload: the completeness verdict for the answer the
+/// preceding `BATCH`es carried.
+pub fn encode_answer_end(exact: bool, missing: &[String]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(exact as u8);
+    w.put_u32(missing.len() as u32);
+    for m in missing {
+        w.put_str(m);
+    }
+    w.into_bytes()
+}
+
+/// Decode an `END` payload into `(exact, missing_subqueries)`.
+pub fn decode_answer_end(buf: &[u8]) -> Result<(bool, Vec<String>), NetError> {
+    let mut r = WireReader::new(buf);
+    let exact = match r.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(NetError::corrupt(format!("bad exact flag {other}"))),
+    };
+    let n = r.u32()?;
+    if n > 1 << 16 {
+        return Err(NetError::corrupt(format!("missing count {n} too large")));
+    }
+    let mut missing = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        missing.push(r.str()?.to_string());
+    }
+    r.finish()?;
+    Ok((exact, missing))
+}
+
+/// Encode an `ERROR` payload.
+pub fn encode_client_error(message: &str) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_str(message);
+    w.into_bytes()
+}
+
+/// Decode an `ERROR` payload.
+pub fn decode_client_error(buf: &[u8]) -> Result<String, NetError> {
+    let mut r = WireReader::new(buf);
+    let msg = r.str()?.to_string();
+    r.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn query_round_trips() {
+        let q = ClientQuery {
+            strategy: strategy::CONJUNCTION_COMPILED,
+            query: "?- anc(ann, Y).".into(),
+        };
+        assert_eq!(decode_query(&encode_query(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn bad_strategy_tag_rejected() {
+        let mut bytes = encode_query(&ClientQuery {
+            strategy: 0,
+            query: "?- q(X).".into(),
+        });
+        bytes[0] = 9;
+        assert!(matches!(decode_query(&bytes), Err(NetError::Corrupt(_))));
+    }
+
+    #[test]
+    fn answer_end_round_trips() {
+        let cases: Vec<(bool, Vec<String>)> = vec![
+            (true, vec![]),
+            (false, vec!["b1(X, Y)".into(), "b2(Y)".into()]),
+        ];
+        for (exact, missing) in cases {
+            let got = decode_answer_end(&encode_answer_end(exact, &missing)).unwrap();
+            assert_eq!(got, (exact, missing));
+        }
+    }
+
+    #[test]
+    fn error_round_trips() {
+        let got = decode_client_error(&encode_client_error("parse error: ...")).unwrap();
+        assert_eq!(got, "parse error: ...");
+    }
+
+    #[test]
+    fn kind_range_is_disjoint_from_dbms_protocol() {
+        use crate::proto::kind as dbms;
+        for k in [kind::QUERY, kind::BATCH, kind::END, kind::ERROR] {
+            for d in [
+                dbms::REQUEST,
+                dbms::PING,
+                dbms::PONG,
+                dbms::SCHEMA,
+                dbms::BATCH,
+                dbms::END,
+                dbms::ERROR,
+            ] {
+                assert_ne!(k, d);
+            }
+        }
+    }
+
+    proptest! {
+        /// Any (strategy, text) query round-trips; truncations are typed
+        /// errors, never panics.
+        #[test]
+        fn query_round_trip_and_truncation(strat in 0u8..=2,
+                                           qv in proptest::collection::vec(32u8..127, 0..64)) {
+            let q = ClientQuery { strategy: strat, query: String::from_utf8(qv).unwrap() };
+            let bytes = encode_query(&q);
+            prop_assert_eq!(decode_query(&bytes).unwrap(), q);
+            for cut in 0..bytes.len() {
+                prop_assert!(decode_query(&bytes[..cut]).is_err());
+            }
+        }
+    }
+}

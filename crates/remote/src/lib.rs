@@ -34,6 +34,7 @@
 //! resume of interrupted streams.
 
 pub mod catalog;
+pub mod clientproto;
 pub mod dml;
 pub mod engine;
 pub mod error;

@@ -14,12 +14,13 @@
 use crate::model::RefModel;
 use crate::scenario::SimScenario;
 use braid::{
-    BraidConfig, BraidSession, BraidSystem, CheckedSolutions, CmsConfig, Completeness, RemoteDbms,
-    RemoteTcpServer, RingSink, TcpClientConfig, TcpServerConfig, TransportConfig, Tuple,
+    BraidConfig, BraidSession, BraidSystem, CheckedSolutions, CmsConfig, Completeness, PoolConfig,
+    RemoteDbms, RemoteTcpServer, RingSink, SessionTask, TcpClientConfig, TcpServerConfig,
+    TransportConfig, Tuple, WorkerPool,
 };
 use braid_net::{FaultProxy, ProxyPlan};
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A deliberately-injected defect, used by meta-tests to prove the
 /// oracle catches real bugs and the shrinker minimizes them.
@@ -565,6 +566,199 @@ fn run_threaded_over(
     Ok(report)
 }
 
+/// Worker count for the cooperative lane: the `SIM_WORKERS` env knob,
+/// defaulting to 4.
+fn sim_workers() -> usize {
+    std::env::var("SIM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or(4)
+}
+
+/// Run a scenario's sessions as [`SessionTask`] state machines on a
+/// fixed [`WorkerPool`] (`SIM_WORKERS` threads, default 4) instead of a
+/// thread per session — the cooperative lane. Oracle checks are the
+/// ones every lane runs; on top of them this lane asserts the
+/// scheduler's own conservation laws:
+///
+/// - no flight left open on the shared single-flight table,
+/// - `wakes == sessions_parked` in the CMS metrics (no leaked wakers),
+/// - for fault-free scenarios, a session-major answer digest that must
+///   match the reference model bit-for-bit — cooperative scheduling may
+///   reorder *between* sessions but must not perturb a single session's
+///   answers.
+///
+/// # Errors
+/// Harness-level failures only, as for [`run_scenario`].
+pub fn run_scenario_coop(sc: &SimScenario, opts: &SimOptions) -> Result<SimReport, String> {
+    sc.validate()?;
+    let model = RefModel::new(&sc.dataset.catalog(), &sc.dataset.knowledge_base())?;
+    let system = build_system(sc);
+    let pool = WorkerPool::with_metrics(
+        PoolConfig {
+            workers: sim_workers(),
+            step_budget: 8,
+        },
+        system.cms().metrics_handle(),
+    );
+
+    type SolveLog = Vec<(String, Result<CheckedSolutions, String>)>;
+    let mut logs: Vec<Arc<Mutex<SolveLog>>> = Vec::with_capacity(sc.sessions.len());
+    let mut rings: Vec<Arc<RingSink>> = Vec::with_capacity(sc.sessions.len());
+    for queries in &sc.sessions {
+        let ring = Arc::new(RingSink::new(opts.trace_events));
+        let log: Arc<Mutex<SolveLog>> = Arc::new(Mutex::new(Vec::new()));
+        let mut sess = system.session_owned();
+        sess.cms_mut().attach_session_sink(Arc::clone(&ring) as _);
+        let (sink, texts) = (Arc::clone(&log), queries.clone());
+        pool.spawn(Box::new(SessionTask::new(
+            sess,
+            queries.clone(),
+            sc.strategy,
+            move |i, r| {
+                sink.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push((texts[i].clone(), r.map_err(|e| e.to_string())));
+            },
+        )));
+        logs.push(log);
+        rings.push(ring);
+    }
+    pool.join();
+    let pool_snap = pool.snapshot();
+    // Stop the workers before inspecting invariants; finished tasks have
+    // already dropped their sessions (and with them any stream pins).
+    pool.shutdown();
+
+    let results: Vec<SolveLog> = logs
+        .into_iter()
+        .map(|l| {
+            Arc::try_unwrap(l)
+                .expect("pool drained, no task holds the log")
+                .into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+        })
+        .collect();
+
+    let mut violations = Vec::new();
+    let mut report = SimReport {
+        solves: 0,
+        exact: 0,
+        partial: 0,
+        tolerated_errors: 0,
+        nonempty_answers: 0,
+        digest: 0xcbf2_9ce4_8422_2325,
+        violations: Vec::new(),
+    };
+    // Session-major digest of what the model expects; only compared in
+    // fault-free scenarios, where every answer must be Exact.
+    let mut expected_digest = report.digest;
+    for (si, log) in results.iter().enumerate() {
+        if log.len() != sc.sessions[si].len() {
+            violations.push(Violation {
+                step: usize::MAX,
+                session: si,
+                query: "<end-of-run>".into(),
+                kind: ViolationKind::UnexpectedError,
+                detail: format!(
+                    "session ran {} of {} queries",
+                    log.len(),
+                    sc.sessions[si].len()
+                ),
+            });
+        }
+        for (step, (query, outcome)) in log.iter().enumerate() {
+            report.solves += 1;
+            if !sc.faults_active() {
+                if let Ok(tuples) = model.solve_text(query) {
+                    digest_answer(
+                        &mut expected_digest,
+                        query,
+                        &CheckedSolutions {
+                            solutions: tuples,
+                            completeness: Completeness::Exact,
+                        },
+                    );
+                }
+            }
+            match outcome {
+                Ok(checked) => {
+                    report.nonempty_answers += usize::from(!checked.solutions.is_empty());
+                    match checked.completeness {
+                        Completeness::Exact => report.exact += 1,
+                        Completeness::Partial { .. } => report.partial += 1,
+                    }
+                    digest_answer(&mut report.digest, query, checked);
+                    check_answer(&model, sc, step, si, query, checked, &mut violations);
+                }
+                Err(e) => {
+                    fnv1a(&mut report.digest, format!("{query}|error").as_bytes());
+                    if sc.faults_active() {
+                        report.tolerated_errors += 1;
+                    } else {
+                        violations.push(Violation {
+                            step,
+                            session: si,
+                            query: query.clone(),
+                            kind: ViolationKind::UnexpectedError,
+                            detail: format!("solve failed without injected faults: {e}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Scheduler conservation laws.
+    let end = |kind: ViolationKind, detail: String| Violation {
+        step: usize::MAX,
+        session: usize::MAX,
+        query: "<end-of-run>".into(),
+        kind,
+        detail,
+    };
+    if pool_snap.panicked != 0 {
+        violations.push(end(
+            ViolationKind::UnexpectedError,
+            format!("{} session task(s) panicked", pool_snap.panicked),
+        ));
+    }
+    let open = system.cms().open_flights();
+    if open != 0 {
+        violations.push(end(
+            ViolationKind::MetricsConservation,
+            format!("{open} single-flight entr(ies) still open after quiescence"),
+        ));
+    }
+    let m = system.cms().metrics();
+    if m.wakes != m.sessions_parked {
+        violations.push(end(
+            ViolationKind::MetricsConservation,
+            format!(
+                "leaked wakers: {} wakes for {} parks",
+                m.wakes, m.sessions_parked
+            ),
+        ));
+    }
+    if !sc.faults_active() && report.digest != expected_digest {
+        violations.push(end(
+            ViolationKind::AnswerMismatch,
+            "session-major digest diverged from the reference model".into(),
+        ));
+    }
+
+    check_invariants(
+        sc,
+        &system,
+        &rings,
+        report.tolerated_errors,
+        &mut violations,
+    );
+    report.violations = violations;
+    Ok(report)
+}
+
 /// The wire-fault plan a scenario implies: quiet scenarios get a clean
 /// pass-through proxy; faulted ones add connection resets and torn
 /// frames, seeded from the scenario's fault seed so per-connection
@@ -692,6 +886,43 @@ mod tests {
             .expect("generator produces faulted scenarios");
         let r = run_scenario_socket(&faulted, &SimOptions::default()).expect("harness runs");
         assert!(r.passed(), "faulted violations: {:#?}", r.violations);
+    }
+
+    #[test]
+    fn coop_lane_passes_clean_and_faulted() {
+        let quiet = (0..100u64)
+            .map(SimScenario::generate)
+            .find(|s| !s.faults_active() && s.sessions.len() > 1)
+            .expect("generator produces quiet multi-session scenarios");
+        let r = run_scenario_coop(&quiet, &SimOptions::default()).expect("harness runs");
+        assert!(r.passed(), "quiet violations: {:#?}", r.violations);
+        assert_eq!(r.solves, quiet.query_count());
+        assert_eq!(r.partial, 0, "fault-free coop answers are all Exact");
+
+        let faulted = (0..200u64)
+            .map(SimScenario::generate)
+            .find(|s| s.faults_active())
+            .expect("generator produces faulted scenarios");
+        let r = run_scenario_coop(&faulted, &SimOptions::default()).expect("harness runs");
+        assert!(r.passed(), "faulted violations: {:#?}", r.violations);
+    }
+
+    #[test]
+    fn coop_digest_is_schedule_independent_on_quiet_seeds() {
+        // The session-major digest orders answers per session, so for a
+        // fault-free scenario it must be identical across runs even
+        // though the pool interleaves sessions differently each time —
+        // and identical to what the model predicts (checked inside the
+        // lane itself).
+        let (sc, _) = quiet_seed_with_answers();
+        let opts = SimOptions::default();
+        let a = run_scenario_coop(&sc, &opts).expect("harness runs");
+        let b = run_scenario_coop(&sc, &opts).expect("harness runs");
+        assert!(a.passed(), "violations: {:#?}", a.violations);
+        assert_eq!(
+            a.digest, b.digest,
+            "coop digest must not depend on interleaving"
+        );
     }
 
     #[test]

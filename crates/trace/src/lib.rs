@@ -87,6 +87,12 @@ pub enum TraceKind {
     NetRequest,
     /// A mid-stream resume: reconnect + re-request with a skip offset.
     NetResume,
+    /// A cooperative session parked by the worker pool (pending
+    /// single-flight join).
+    SchedPark,
+    /// A parked session resumed after its waker fired; carries the
+    /// waited time so EXPLAIN shows park/resume latency.
+    SchedResume,
 }
 
 impl TraceKind {
@@ -117,6 +123,8 @@ impl TraceKind {
             TraceKind::NetConnect => "net.connect",
             TraceKind::NetRequest => "net.request",
             TraceKind::NetResume => "net.resume",
+            TraceKind::SchedPark => "sched.park",
+            TraceKind::SchedResume => "sched.resume",
         }
     }
 }

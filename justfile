@@ -55,16 +55,24 @@ sim start="0" rounds="200":
         cargo run --release -p braid-bench --bin sim
 
 # Soak lane: the same seeds through the deterministic scheduler, the
-# threaded runner (one OS thread per session over the shared cache), AND
+# threaded runner (one OS thread per session over the shared cache),
 # the socket runner (same sessions over a real TCP listener behind the
-# fault proxy), in release so threads genuinely interleave. This
+# fault proxy), AND the cooperative runner (same sessions as resumable
+# state machines on a fixed worker pool — `workers` sets the pool size
+# via SIM_WORKERS), in release so threads genuinely interleave. This
 # subsumes the old 25-round `stress` loop: loom is not vendorable
 # offline (DESIGN.md §7), so schedule coverage comes from seeded
 # repetition.
-soak start="0" rounds="400":
-    SIM_SEED_START={{start}} SIM_ROUNDS={{rounds}} \
+soak start="0" rounds="400" workers="4":
+    SIM_SEED_START={{start}} SIM_ROUNDS={{rounds}} SIM_WORKERS={{workers}} \
         cargo run --release -p braid-bench --bin sim -- --soak
     cargo test --release --test concurrent_sessions -q
+    cargo test --release --test cooperative_sessions -q
 
 # Back-compat alias for the old stress entry point.
 stress: soak
+
+# Narrated braid-server demo: N TCP clients multiplexed as resumable
+# session state machines on a fixed worker pool (DESIGN.md §12).
+serve:
+    cargo run --release --example serve

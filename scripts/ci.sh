@@ -25,6 +25,9 @@ cargo test --test concurrent_sessions -q
 echo "==> concurrent sessions suite (serialized harness)"
 RUST_TEST_THREADS=1 cargo test --test concurrent_sessions -q -- --test-threads=1
 
+echo "==> cooperative sessions suite (fixed worker pool)"
+cargo test --test cooperative_sessions -q
+
 echo "==> trace/EXPLAIN observability suite"
 cargo test --test trace_observability -q
 cargo test -p braid-trace -q
@@ -36,10 +39,16 @@ cargo test -p braid-sim -q
 echo "==> simulation smoke (fixed seed set, 50 scenarios)"
 SIM_SEED_START=0 SIM_ROUNDS=50 cargo run --release -p braid-bench --bin sim
 
+echo "==> cooperative soak smoke (10 seeds, all four lanes)"
+SIM_SEED_START=0 SIM_ROUNDS=10 cargo run --release -p braid-bench --bin sim -- --soak
+
 echo "==> network suite (codec, proxy, pool) + one proxy chaos round"
 cargo test -p braid-net -q
 cargo test --release --test net_chaos -q
 cargo run --release --example tcp_session > /dev/null
+
+echo "==> braid server round trip (serve example)"
+cargo run --release --example serve > /dev/null
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -49,5 +58,8 @@ cargo run -p braid-bench --bin report -- --quick --only E11
 
 echo "==> E14 tracing-overhead smoke report"
 cargo run -p braid-bench --bin report -- --quick --only E14
+
+echo "==> E17 session-scheduling smoke report"
+cargo run -p braid-bench --bin report -- --quick --only E17
 
 echo "==> ci OK"

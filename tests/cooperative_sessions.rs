@@ -1,0 +1,162 @@
+//! Cooperative multi-session tests: N resumable [`SessionTask`] state
+//! machines multiplexed onto a fixed [`WorkerPool`], sharing ONE CMS
+//! cache — the pool-backed sibling of `concurrent_sessions.rs`.
+//!
+//! Invariants:
+//!
+//! 1. Differential: every session of a pool run gets answers
+//!    byte-identical to a serial single-session run of the same queries,
+//!    whatever the worker count, step budget, or park/resume schedule.
+//! 2. Liveness: no session starves — even a ONE-worker pool with a
+//!    step budget of 1 finishes every session of every workload (the
+//!    FIFO ready queue guarantees each parked-then-woken session gets
+//!    its turn).
+//! 3. Conservation: at quiescence every coop park was matched by exactly
+//!    one wake (no leaked wakers) and no single-flight entry stays open.
+
+use std::sync::{Arc, Mutex};
+
+use braid::{BraidConfig, CmsConfig, PoolConfig, SessionTask, Strategy, Tuple, WorkerPool};
+use braid_workload::{genealogy, suppliers, Scenario};
+use proptest::prelude::*;
+
+const STRATEGY: Strategy = Strategy::ConjunctionCompiled;
+
+fn shared_config(shards: usize) -> BraidConfig {
+    BraidConfig::with_cms(CmsConfig::braid().with_shards(shards))
+}
+
+/// Serial ground truth: a fresh single-session system answers the
+/// workload alone.
+fn serial_answers(sc: &Scenario, config: &BraidConfig) -> Vec<Vec<Tuple>> {
+    let mut sys = sc.system(config.clone());
+    sc.queries
+        .iter()
+        .map(|q| sys.solve_all(q, STRATEGY).expect("serial run solves"))
+        .collect()
+}
+
+/// Drive `sessions` [`SessionTask`]s over one shared cache, each issuing
+/// the whole workload from a rotated offset. Returns per-session answers
+/// indexed back to canonical query positions, after asserting the
+/// scheduler's conservation invariants.
+fn run_coop(
+    sc: &Scenario,
+    config: BraidConfig,
+    sessions: usize,
+    workers: usize,
+    step_budget: usize,
+) -> Vec<Vec<Vec<Tuple>>> {
+    let system = sc.system(config);
+    let n = sc.queries.len();
+    let pool = WorkerPool::with_metrics(
+        PoolConfig {
+            workers,
+            step_budget,
+        },
+        system.cms().metrics_handle(),
+    );
+
+    // One slot per (session, canonical query); `None` = never answered,
+    // so a starved or dropped query is distinguishable from an empty
+    // answer set.
+    type SessionLog = Arc<Mutex<Vec<Option<Vec<Tuple>>>>>;
+    let logs: Vec<SessionLog> = (0..sessions)
+        .map(|_| Arc::new(Mutex::new(vec![None; n])))
+        .collect();
+
+    for (si, slot) in logs.iter().enumerate() {
+        let list: Vec<String> = (0..n)
+            .map(|off| sc.queries[(si + off) % n].clone())
+            .collect();
+        let log = Arc::clone(slot);
+        pool.spawn(Box::new(SessionTask::new(
+            system.session_owned(),
+            list,
+            STRATEGY,
+            move |off, result| {
+                let qi = (si + off) % n;
+                let a = result.expect("coop session solves");
+                log.lock().unwrap()[qi] = Some(a.solutions);
+            },
+        )));
+    }
+
+    pool.join();
+    let snap = pool.snapshot();
+    pool.shutdown();
+    assert_eq!(snap.panicked, 0, "a session task panicked");
+    assert_eq!(system.cms().open_flights(), 0, "leaked single-flight entry");
+    let m = system.metrics().cms;
+    assert_eq!(m.wakes, m.sessions_parked, "leaked or duplicated wakers");
+
+    logs.into_iter()
+        .map(|l| {
+            let got = Arc::try_unwrap(l)
+                .expect("finished task still holds its log")
+                .into_inner()
+                .unwrap();
+            got.into_iter()
+                .enumerate()
+                .map(|(qi, a)| a.unwrap_or_else(|| panic!("query {qi} never answered")))
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_coop_matches_serial(
+    sc: &Scenario,
+    sessions: usize,
+    workers: usize,
+    step_budget: usize,
+    shards: usize,
+) {
+    let config = shared_config(shards);
+    let truth = serial_answers(sc, &config);
+    let per_session = run_coop(sc, config, sessions, workers, step_budget);
+    for (si, got) in per_session.iter().enumerate() {
+        for (qi, answers) in got.iter().enumerate() {
+            assert_eq!(
+                answers, &truth[qi],
+                "session {si}, query `{}` diverged from the serial run",
+                sc.queries[qi]
+            );
+        }
+    }
+}
+
+#[test]
+fn genealogy_coop_sessions_match_serial() {
+    let sc = genealogy::scenario(3, 2, 42, 10);
+    assert_coop_matches_serial(&sc, 8, 3, 4, 4);
+}
+
+#[test]
+fn suppliers_coop_sessions_match_serial() {
+    let sc = suppliers::scenario(24, 8, 7, 10);
+    assert_coop_matches_serial(&sc, 6, 2, 8, 2);
+}
+
+#[test]
+fn more_sessions_than_workers_match_serial() {
+    // 16 sessions on a single worker: pure cooperative interleaving,
+    // every park must round-trip through the ready queue.
+    let sc = genealogy::scenario(3, 2, 9, 8);
+    assert_coop_matches_serial(&sc, 16, 1, 2, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// Invariant 2: a one-worker pool with the smallest legal step budget
+    /// still finishes every session (run_coop panics on any unanswered
+    /// query) and still matches the serial run byte-for-byte.
+    #[test]
+    fn no_session_starves_on_a_one_worker_pool(
+        seed in 0u64..200,
+        sessions in 2usize..7,
+        queries in 3usize..8,
+    ) {
+        let sc = genealogy::scenario(2, 2, seed, queries);
+        assert_coop_matches_serial(&sc, sessions, 1, 1, 2);
+    }
+}
