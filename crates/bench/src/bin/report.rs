@@ -10,6 +10,9 @@
 use braid_bench::all_experiments;
 
 fn main() {
+    // E18 forks this binary as its load-worker processes.
+    braid_load::maybe_worker();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");

@@ -10,9 +10,14 @@
 //! ```
 //!
 //! `SIM_SEED_START` and `SIM_ROUNDS` set the defaults (the `just soak`
-//! lane drives seed ranges through them). Exit status is non-zero iff
-//! any scenario fails its oracle.
+//! lane drives seed ranges through them). `SIM_PROCS > 0` additionally
+//! routes a sample of quiet (fault-free) scenarios through the
+//! multi-process harness: sessions split across that many real forked
+//! client processes against a `BraidServer`, per-session digests
+//! checked against the same reference model. Exit status is non-zero
+//! iff any scenario fails its oracle.
 
+use braid_load::{run_scenario_procs, SpawnMode};
 use braid_sim::SimScenario;
 use braid_sim::{
     regression_test, run_scenario, run_scenario_coop, run_scenario_socket, run_scenario_threaded,
@@ -35,6 +40,9 @@ fn arg_u64(args: &[String], flag: &str) -> Option<u64> {
 }
 
 fn main() {
+    // The SIM_PROCS lane forks this binary as its worker processes.
+    braid_load::maybe_worker();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let soak = args.iter().any(|a| a == "--soak");
     let single = args.iter().any(|a| a == "--seed") && !args.iter().any(|a| a == "--rounds");
@@ -50,6 +58,7 @@ fn main() {
         .and_then(|i| args.get(i + 1));
 
     let opts = SimOptions::default();
+    let procs = env_u64("SIM_PROCS", 0) as usize;
 
     if let Some(path) = replay {
         let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -60,16 +69,21 @@ fn main() {
             eprintln!("sim: cannot parse {path}: {e}");
             std::process::exit(2);
         });
-        std::process::exit(run_one(&sc, &opts, true, soak));
+        std::process::exit(run_one(&sc, &opts, true, soak, procs));
     }
 
     eprintln!(
-        "sim: seeds {seed_start}..{} ({rounds} rounds{})",
+        "sim: seeds {seed_start}..{} ({rounds} rounds{}{})",
         seed_start + rounds,
         if soak {
             ", deterministic + threaded + socket + coop"
         } else {
             ""
+        },
+        if procs > 0 {
+            format!(", procs lane x{procs}")
+        } else {
+            String::new()
         }
     );
     let start = Instant::now();
@@ -78,7 +92,7 @@ fn main() {
     for seed in seed_start..seed_start + rounds {
         let sc = SimScenario::generate(seed);
         solves += sc.query_count();
-        if run_one(&sc, &opts, single, soak) != 0 {
+        if run_one(&sc, &opts, single, soak, procs) != 0 {
             failed += 1;
         }
     }
@@ -93,7 +107,7 @@ fn main() {
 
 /// Run one scenario (optionally also threaded); on failure, shrink it and
 /// print a replayable repro. Returns the exit status contribution.
-fn run_one(sc: &SimScenario, opts: &SimOptions, verbose: bool, soak: bool) -> i32 {
+fn run_one(sc: &SimScenario, opts: &SimOptions, verbose: bool, soak: bool, procs: usize) -> i32 {
     let report = match run_scenario(sc, opts) {
         Ok(r) => r,
         Err(e) => {
@@ -172,6 +186,33 @@ fn run_one(sc: &SimScenario, opts: &SimOptions, verbose: bool, soak: bool) -> i3
             Err(e) => {
                 status = 1;
                 eprintln!("sim: seed {}: coop harness error: {e}", sc.seed);
+            }
+        }
+    }
+    // Process lane (SIM_PROCS knob): a sample of quiet scenarios with
+    // their sessions split across real forked client processes against
+    // a braid server, per-session digests checked against the same
+    // model. Fault scenarios stay out — this lane has no fault
+    // tolerance, so an injected error would read as a bug.
+    if procs > 0 && !sc.faults_active() && sc.seed.is_multiple_of(8) {
+        let spawn = match std::env::current_exe() {
+            Ok(exe) => SpawnMode::Process(exe),
+            Err(_) => SpawnMode::Thread,
+        };
+        match run_scenario_procs(sc, procs, 4, &spawn) {
+            Ok(out) if !out.passed() => {
+                status = 1;
+                eprintln!(
+                    "sim: seed {}: PROCS run failed:\n{:#?}\nscenario: {}",
+                    sc.seed,
+                    out.violations,
+                    sc.to_json()
+                );
+            }
+            Ok(_) => {}
+            Err(e) => {
+                status = 1;
+                eprintln!("sim: seed {}: procs harness error: {e}", sc.seed);
             }
         }
     }

@@ -18,5 +18,6 @@ pub mod e14_tracing;
 pub mod e15_sim;
 pub mod e16_net;
 pub mod e17_sessions;
+pub mod e18_load;
 
 pub(crate) mod support;

@@ -41,5 +41,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E15", experiments::e15_sim::run),
         ("E16", experiments::e16_net::run),
         ("E17", experiments::e17_sessions::run),
+        ("E18", experiments::e18_load::run),
     ]
 }

@@ -445,11 +445,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn fetch_remote(
-    part: &PlanPart,
-    env: &ExecEnv<'_>,
-    parent: Option<u64>,
-) -> Result<FetchedPart> {
+fn fetch_remote(part: &PlanPart, env: &ExecEnv<'_>, parent: Option<u64>) -> Result<FetchedPart> {
     let PartSource::Remote { atoms, cmps } = &part.source else {
         unreachable!("fetch_remote called on a cache part");
     };

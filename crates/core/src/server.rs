@@ -29,7 +29,7 @@ use braid_remote::clientproto::{self, kind, ClientQuery};
 use braid_remote::proto::{decode_batch, encode_batch};
 use std::collections::VecDeque;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -70,11 +70,23 @@ pub struct BraidServerStats {
     pub queries: u64,
 }
 
+/// One accepted connection as the *server* tracks it for shutdown: a
+/// clone of the socket (so `stop` can cut it out from under both the
+/// reader thread and the connection task) plus the reader's join handle.
+struct ConnReg {
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+}
+
 struct ServerShared {
     accepted: AtomicU64,
     active: AtomicUsize,
     queries: AtomicU64,
     shutdown: AtomicBool,
+    /// Live-connection registry, pruned as readers finish. `stop` drains
+    /// it, cuts every socket, and joins every reader, so shutdown cannot
+    /// strand a connection task mid-conversation.
+    conns: Mutex<Vec<ConnReg>>,
 }
 
 /// One connection's mailbox, filled by its reader thread and drained by
@@ -205,6 +217,7 @@ pub struct BraidServer {
     local_addr: SocketAddr,
     pool: Arc<WorkerPool>,
     shared: Arc<ServerShared>,
+    system: Arc<BraidSystem>,
     accept_handle: Option<JoinHandle<()>>,
 }
 
@@ -230,10 +243,12 @@ impl BraidServer {
             active: AtomicUsize::new(0),
             queries: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
         });
+        let system = Arc::new(system);
         let accept_handle = {
             let (pool, shared) = (Arc::clone(&pool), Arc::clone(&shared));
-            let system = Arc::new(system);
+            let system = Arc::clone(&system);
             std::thread::Builder::new()
                 .name("braid-accept".into())
                 .spawn(move || accept_loop(&listener, &system, &pool, &shared))?
@@ -242,6 +257,7 @@ impl BraidServer {
             local_addr,
             pool,
             shared,
+            system,
             accept_handle: Some(accept_handle),
         })
     }
@@ -265,8 +281,22 @@ impl BraidServer {
         }
     }
 
-    /// Stop accepting, then stop the pool. Open connections are dropped;
-    /// clients see EOF.
+    /// Point-in-time metrics of the owned [`BraidSystem`]: the shared
+    /// query-latency histogram, run-queue high-water and session
+    /// park/wake counters that load experiments report server-side.
+    pub fn metrics(&self) -> crate::CombinedMetrics {
+        self.system.metrics()
+    }
+
+    /// The owned system, for oracle-side inspection in tests and
+    /// benchmarks (read-only access through `&self` methods).
+    pub fn system(&self) -> &BraidSystem {
+        &self.system
+    }
+
+    /// Stop accepting, cut every open connection, and drain the pool.
+    /// When this returns, no connection task or reader thread is left
+    /// running and `stats().active == 0`.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -275,10 +305,27 @@ impl BraidServer {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
+        // Unblock the accept loop with a throwaway connection. The loop
+        // re-checks the flag *before* dispatching whatever `accept`
+        // returns, so a real client racing this dial is dropped rather
+        // than spawned-and-stranded.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
+        }
+        // With the accept loop gone the registry is stable: cut every
+        // live socket so blocking readers unblock (marking inboxes
+        // closed and waking tasks) and task writes fail fast.
+        let regs: Vec<ConnReg> =
+            std::mem::take(&mut *self.shared.conns.lock().unwrap_or_else(|p| p.into_inner()));
+        for reg in &regs {
+            let _ = reg.stream.shutdown(Shutdown::Both);
+        }
+        // Every spawned task now runs to Done (closed inbox or failed
+        // write), so join() terminates; afterwards active == 0.
+        self.pool.join();
+        for reg in regs {
+            let _ = reg.reader.join();
         }
     }
 }
@@ -312,6 +359,10 @@ fn accept_loop(
             Ok(s) => s,
             Err(_) => continue,
         };
+        // Answers go out as a BATCH frame followed by a small END frame;
+        // without nodelay the END sits in Nagle's buffer waiting for the
+        // client's delayed ACK, adding ~40ms to every round trip.
+        stream.set_nodelay(true).ok();
         let reader_stream = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => continue,
@@ -322,6 +373,9 @@ fn accept_loop(
             queue: Mutex::new(VecDeque::new()),
             closed: AtomicBool::new(false),
         });
+        // A second clone goes into the shutdown registry so `stop` can
+        // cut the socket out from under the reader and the task.
+        let reg_stream = stream.try_clone().ok();
         let id = pool.spawn(Box::new(ConnTask {
             session: system.session_owned(),
             inbox: Arc::clone(&inbox),
@@ -331,10 +385,17 @@ fn accept_loop(
             state: ConnState::Idle,
         }));
         let waker = pool.waker(id);
-        std::thread::Builder::new()
+        let reader = std::thread::Builder::new()
             .name("braid-conn-reader".into())
             .spawn(move || reader_loop(reader_stream, &inbox, &waker))
             .ok();
+        if let (Some(stream), Some(reader)) = (reg_stream, reader) {
+            let mut conns = shared.conns.lock().unwrap_or_else(|p| p.into_inner());
+            // Prune finished conversations so the registry tracks live
+            // connections, not the server's whole accept history.
+            conns.retain(|reg| !reg.reader.is_finished());
+            conns.push(ConnReg { stream, reader });
+        }
     }
 }
 
@@ -582,5 +643,56 @@ mod tests {
         }
         assert_eq!(server.stats().active, 0, "all connection tasks drained");
         server.shutdown();
+    }
+
+    /// Shutdown is deterministic: whatever clients are doing — idle,
+    /// mid-answer, or connecting concurrently with the unblocking dummy
+    /// dial — `stop` returns only after every connection task has
+    /// finished and every reader thread has exited.
+    #[test]
+    fn shutdown_never_strands_connection_tasks() {
+        for round in 0..25u32 {
+            let mut server = BraidServer::start(
+                system(),
+                BraidServerConfig {
+                    workers: 2,
+                    ..BraidServerConfig::default()
+                },
+            )
+            .unwrap();
+            let addr = server.local_addr();
+            let racers: Vec<_> = (0..4)
+                .map(|i| {
+                    std::thread::spawn(move || {
+                        // Results are deliberately ignored: the server may
+                        // cut the conversation at any point. The property
+                        // under test is that it never panics or hangs.
+                        if let Ok(mut c) = BraidClient::connect(addr) {
+                            let _ = c.solve_checked("?- anc(ann, Y).", Strategy::Interpreted);
+                            if i % 2 == 0 {
+                                let _ = c.solve_checked("?- gp(ann, Y).", Strategy::FullyCompiled);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // Vary the interleaving: even rounds let conversations start,
+            // odd rounds shut down while connects are still in flight.
+            if round % 2 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            server.stop();
+            let stats = server.stats();
+            assert_eq!(stats.active, 0, "round {round}: stranded tasks: {stats:?}");
+            let snap = server.pool_snapshot();
+            assert_eq!(
+                snap.spawned, snap.finished,
+                "round {round}: pool not drained: {snap:?}"
+            );
+            assert_eq!(snap.parked, 0, "round {round}: parked tasks: {snap:?}");
+            for r in racers {
+                r.join().unwrap();
+            }
+        }
     }
 }

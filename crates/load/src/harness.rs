@@ -1,0 +1,330 @@
+//! The parent side: start a [`BraidServer`], fan out worker processes,
+//! collect their report frames, merge histograms, and check every
+//! process digest against the reference model.
+
+use crate::spec::{query_pool, LoadSpec};
+use crate::worker::{run_load_worker, WORKER_FLAG};
+use braid::{
+    BraidConfig, BraidServer, BraidServerConfig, BraidServerStats, CheckedSolutions,
+    CombinedMetrics, Completeness, Strategy,
+};
+use braid_cms::sched::PoolSnapshot;
+use braid_net::{read_frame, write_frame, MAX_FRAME_BYTES};
+use braid_remote::clientproto::{decode_load_report, encode_spec, kind, LoadReport};
+use braid_sim::{digest_answer, Dataset, RefModel, DIGEST_SEED};
+use braid_trace::HistogramSnapshot;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How the harness runs its workers.
+#[derive(Debug, Clone)]
+pub enum SpawnMode {
+    /// In-process threads calling [`run_load_worker`] directly. No
+    /// process isolation, but usable from unit tests (whose libtest
+    /// binary cannot be re-executed as a worker) and cheap for smoke
+    /// runs.
+    Thread,
+    /// Fork real worker processes by re-executing the given binary with
+    /// [`WORKER_FLAG`]. The binary's `main` must call
+    /// [`crate::maybe_worker`] first. Use
+    /// `std::env::current_exe()` for self-exec.
+    Process(PathBuf),
+}
+
+/// One load run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Ground-truth database parameters (shared by server and oracle).
+    pub dataset: Dataset,
+    /// Inference strategy every query uses.
+    pub strategy: Strategy,
+    /// Worker processes to fork.
+    pub procs: u32,
+    /// Connections (client threads) per process.
+    pub conns: u32,
+    /// Queries per process.
+    pub queries_per_proc: u32,
+    /// Per-process open-loop arrival rate (queries/second); `0` runs the
+    /// closed loop.
+    pub rate_per_sec: u32,
+    /// Harness seed (schedules and query pools derive from it).
+    pub seed: u64,
+    /// Server worker-pool threads.
+    pub workers: usize,
+    /// Server per-task step budget.
+    pub step_budget: usize,
+    /// Thread or process workers.
+    pub spawn: SpawnMode,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            dataset: Dataset::Genealogy {
+                generations: 3,
+                branching: 2,
+                seed: 11,
+            },
+            strategy: Strategy::ConjunctionCompiled,
+            procs: 4,
+            conns: 2,
+            queries_per_proc: 200,
+            rate_per_sec: 800,
+            seed: 0,
+            workers: 4,
+            step_budget: 8,
+            spawn: SpawnMode::Thread,
+        }
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// Per-process reports, in process order.
+    pub reports: Vec<LoadReport>,
+    /// All processes' latency buckets merged (client-observed,
+    /// open-loop-charged when a rate was set).
+    pub merged: HistogramSnapshot,
+    /// Process indices whose digest disagreed with the reference model
+    /// (empty ⇒ every answer of every process was oracle-correct).
+    pub digest_mismatches: Vec<u32>,
+    /// Server-side metrics at quiescence (latency histogram, run-queue
+    /// high water, park/wake counters).
+    pub metrics: CombinedMetrics,
+    /// Server counters at quiescence (before shutdown).
+    pub stats: BraidServerStats,
+    /// Pool counters at quiescence (before shutdown).
+    pub pool: PoolSnapshot,
+    /// Wall-clock time from first fork to last report.
+    pub elapsed: Duration,
+}
+
+impl LoadOutcome {
+    /// Did every process finish every query with oracle-correct answers
+    /// and did the server drain completely?
+    pub fn passed(&self) -> bool {
+        self.digest_mismatches.is_empty()
+            && self.reports.iter().all(|r| r.errors == 0 && r.ok == r.sent)
+            && self.stats.active == 0
+            && self.pool.spawned == self.pool.finished
+            && self.pool.parked == 0
+    }
+
+    /// Total queries answered successfully across processes.
+    pub fn total_ok(&self) -> u64 {
+        self.reports.iter().map(|r| r.ok).sum()
+    }
+}
+
+/// The expected digest for one process: replay its seeded query pool
+/// through the reference model and combine per-query digests exactly as
+/// the worker does (wrapping add; every answer Exact, since load runs
+/// are fault-free).
+fn expected_digest(model: &RefModel, spec: &LoadSpec) -> Result<u64, String> {
+    let mut total = 0u64;
+    for q in query_pool(&spec.dataset, spec.stream_seed(), spec.queries as usize) {
+        let checked = CheckedSolutions {
+            solutions: model.solve_text(&q)?,
+            completeness: Completeness::Exact,
+        };
+        let mut d = DIGEST_SEED;
+        digest_answer(&mut d, &q, &checked);
+        total = total.wrapping_add(d);
+    }
+    Ok(total)
+}
+
+fn spawn_process(program: &PathBuf, spec: &LoadSpec) -> Result<std::process::Child, String> {
+    let mut child = Command::new(program)
+        .arg(WORKER_FLAG)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn {program:?} failed: {e}"))?;
+    let mut stdin = child.stdin.take().ok_or("child stdin missing")?;
+    write_frame(&mut stdin, kind::LOAD_SPEC, &encode_spec(&spec.to_json()))
+        .map_err(|e| format!("spec write to worker {} failed: {e}", spec.proc))?;
+    // Dropping stdin closes the pipe; the worker has its spec.
+    Ok(child)
+}
+
+fn collect_process(mut child: std::process::Child, proc: u32) -> Result<LoadReport, String> {
+    let mut stdout = child.stdout.take().ok_or("child stdout missing")?;
+    let frame = read_frame(&mut stdout, MAX_FRAME_BYTES)
+        .map_err(|e| format!("report read from worker {proc} failed: {e}"))?
+        .ok_or_else(|| format!("worker {proc} exited without a report"))?;
+    let status = child
+        .wait()
+        .map_err(|e| format!("wait on worker {proc} failed: {e}"))?;
+    if !status.success() {
+        return Err(format!("worker {proc} exited with {status}"));
+    }
+    if frame.kind != kind::LOAD_REPORT {
+        return Err(format!(
+            "worker {proc} sent frame kind {:#x}, want LOAD_REPORT",
+            frame.kind
+        ));
+    }
+    decode_load_report(&frame.payload).map_err(|e| format!("worker {proc} report corrupt: {e}"))
+}
+
+/// Run one load configuration end to end: server up, workers out,
+/// reports in, digests checked, gauges drained, server down.
+///
+/// # Errors
+/// Worker spawn/pipe failures, a worker dying without a report, or the
+/// reference model rejecting the workload (never answer mismatches —
+/// those are reported in [`LoadOutcome::digest_mismatches`]).
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, String> {
+    let catalog = cfg.dataset.catalog();
+    let kb = cfg.dataset.knowledge_base();
+    let model = RefModel::new(&catalog, &kb)?;
+    let system = braid::BraidSystem::new(catalog, kb, BraidConfig::default());
+    let server = BraidServer::start(
+        system,
+        BraidServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: cfg.workers,
+            step_budget: cfg.step_budget,
+        },
+    )
+    .map_err(|e| format!("server start failed: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    let specs: Vec<LoadSpec> = (0..cfg.procs.max(1))
+        .map(|p| LoadSpec {
+            addr: addr.clone(),
+            proc: p,
+            seed: cfg.seed,
+            dataset: cfg.dataset.clone(),
+            strategy: cfg.strategy,
+            conns: cfg.conns,
+            queries: cfg.queries_per_proc,
+            rate_per_sec: cfg.rate_per_sec,
+        })
+        .collect();
+
+    let start = Instant::now();
+    let reports: Vec<LoadReport> = match &cfg.spawn {
+        SpawnMode::Thread => std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| scope.spawn(move || run_load_worker(spec)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| "worker thread panicked".to_string()))
+                .collect::<Result<Vec<_>, String>>()
+        })?,
+        SpawnMode::Process(program) => {
+            // Fork every worker before collecting any, so processes
+            // genuinely overlap.
+            let children: Vec<_> = specs
+                .iter()
+                .map(|spec| spawn_process(program, spec))
+                .collect::<Result<_, _>>()?;
+            children
+                .into_iter()
+                .zip(&specs)
+                .map(|(child, spec)| collect_process(child, spec.proc))
+                .collect::<Result<_, _>>()?
+        }
+    };
+    let elapsed = start.elapsed();
+
+    let mut digest_mismatches = Vec::new();
+    for (report, spec) in reports.iter().zip(&specs) {
+        if report.digest != expected_digest(&model, spec)? {
+            digest_mismatches.push(report.proc);
+        }
+    }
+
+    let merged = reports.iter().fold(HistogramSnapshot::default(), |acc, r| {
+        acc.merge(&HistogramSnapshot {
+            buckets: r.latency_us,
+        })
+    });
+
+    // Every client said goodbye; give the connection tasks a bounded
+    // moment to observe their closed inboxes before reading the gauges.
+    let quiesce = Instant::now();
+    while server.stats().active != 0 && quiesce.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = server.stats();
+    let pool = server.pool_snapshot();
+    let metrics = server.metrics();
+    server.shutdown();
+
+    Ok(LoadOutcome {
+        reports,
+        merged,
+        digest_mismatches,
+        metrics,
+        stats,
+        pool,
+        elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_mode_closed_loop_run_passes_the_oracle() {
+        let out = run_load(&LoadConfig {
+            procs: 2,
+            conns: 2,
+            queries_per_proc: 24,
+            rate_per_sec: 0,
+            workers: 2,
+            ..LoadConfig::default()
+        })
+        .expect("harness runs");
+        assert!(out.passed(), "run failed: {out:?}");
+        assert_eq!(out.total_ok(), 48);
+        assert_eq!(out.merged.count(), 48);
+        assert_eq!(out.stats.accepted, 4, "2 procs x 2 conns");
+    }
+
+    #[test]
+    fn thread_mode_open_loop_charges_the_schedule() {
+        let out = run_load(&LoadConfig {
+            procs: 2,
+            conns: 1,
+            queries_per_proc: 16,
+            rate_per_sec: 2_000,
+            workers: 2,
+            ..LoadConfig::default()
+        })
+        .expect("harness runs");
+        assert!(out.passed(), "run failed: {out:?}");
+        // The schedule spans ~8ms per process; the run cannot finish
+        // faster than its last scheduled arrival.
+        assert_eq!(out.merged.count(), 32);
+    }
+
+    #[test]
+    fn suppliers_dataset_is_oracle_checkable_too() {
+        let out = run_load(&LoadConfig {
+            dataset: Dataset::Suppliers {
+                parts: 12,
+                fanout: 3,
+                suppliers: 4,
+                cities: 4,
+                seed: 3,
+            },
+            procs: 2,
+            conns: 1,
+            queries_per_proc: 16,
+            rate_per_sec: 0,
+            workers: 2,
+            ..LoadConfig::default()
+        })
+        .expect("harness runs");
+        assert!(out.passed(), "run failed: {out:?}");
+    }
+}

@@ -1,0 +1,54 @@
+//! # braid-load — multi-process load generation for the braid server
+//!
+//! PR 7's [`BraidServer`](braid::BraidServer) multiplexes N TCP
+//! connections onto a fixed worker pool, but a load test that lives in
+//! the server's own process shares its allocator, its scheduler run
+//! queue and its page cache — exactly the contention it is supposed to
+//! measure from the outside. This crate forks **real client
+//! processes**: the harness re-executes its own binary with
+//! [`WORKER_FLAG`], ships each child a [`LoadSpec`] as a
+//! length-prefixed frame over stdin (pipes tear the same way sockets
+//! do, so the PR-6 codec covers both), and reads one
+//! [`LoadReport`](braid_remote::clientproto::LoadReport) frame back
+//! over stdout.
+//!
+//! Three properties make a run a *measurement* rather than a demo:
+//!
+//! * **Open-loop arrivals** ([`arrival_offsets_us`]): each process
+//!   precomputes a seeded exponential arrival schedule and charges
+//!   latency from the *scheduled* arrival time, not the send time, so a
+//!   stalled server accrues the queueing delay it caused
+//!   (coordination-omission-free). `rate_per_sec == 0` degrades to the
+//!   classic closed loop for comparison.
+//! * **Oracle-checked answers**: every worker folds each answer into an
+//!   FNV digest with the exact shape the simulation harness uses
+//!   ([`braid_sim::digest_answer`]); the parent recomputes the expected
+//!   digest from the [`RefModel`](braid_sim::RefModel) over the same
+//!   seeded query pool. Throughput numbers over wrong answers are
+//!   worthless.
+//! * **Mergeable latency** ([`braid_trace::Histogram`]): log2 buckets
+//!   travel in the report frame and merge associatively, so the
+//!   cross-process p99 is computed from data, not averaged from
+//!   per-process percentiles.
+//!
+//! [`run_scenario_procs`] reuses the same pipe protocol to route whole
+//! simulation scenarios through real processes: each scenario session
+//! becomes one client connection in some worker process, and the
+//! per-session step-ordered digests are checked against the reference
+//! model — the soak lane's `SIM_PROCS` knob ends here.
+//!
+//! Call [`maybe_worker`] first thing in `main` of any binary that wants
+//! to act as a fork target (the `load` bin and the bench `report`/`sim`
+//! bins all do).
+
+pub mod harness;
+pub mod schedule;
+pub mod simproc;
+pub mod spec;
+pub mod worker;
+
+pub use harness::{run_load, LoadConfig, LoadOutcome, SpawnMode};
+pub use schedule::arrival_offsets_us;
+pub use simproc::{run_scenario_procs, SimProcsOutcome};
+pub use spec::{query_pool, LoadSpec};
+pub use worker::{maybe_worker, run_load_worker, WORKER_FLAG};

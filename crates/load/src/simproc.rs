@@ -1,0 +1,393 @@
+//! The multi-process simulation lane: route a (fault-free) sim scenario
+//! through real client processes against a [`BraidServer`], with every
+//! per-session digest checked against the reference model.
+//!
+//! This is the `SIM_PROCS` soak knob: the same scenarios the
+//! deterministic/threaded/socket/coop lanes run, but with process
+//! isolation between sessions — each scenario session becomes one
+//! client connection in some worker process, running its queries in
+//! stream order. Step-level interleaving across sessions is not
+//! replayable here (real processes race), which is exactly the schedule
+//! diversity the lane exists to add; per-session answer streams stay
+//! deterministic, so per-session digests are.
+
+use crate::harness::SpawnMode;
+use crate::worker::WORKER_FLAG;
+use braid::{BraidServer, BraidServerConfig, BraidServerStats, CheckedSolutions, Completeness};
+use braid_cms::sched::PoolSnapshot;
+use braid_net::{read_frame, write_frame, MAX_FRAME_BYTES};
+use braid_remote::clientproto::{
+    decode_sim_report, encode_spec, kind, SimProcReport, SimSessionDigest,
+};
+use braid_sim::{build_system, digest_answer, Json, RefModel, SimScenario, DIGEST_SEED};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// One sim worker process's marching orders: which scenario, which of
+/// its sessions, and where the server listens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimProcSpec {
+    /// Server address.
+    pub addr: String,
+    /// Worker process index.
+    pub proc: u32,
+    /// Scenario session indices assigned to this worker.
+    pub sessions: Vec<u32>,
+    /// The full scenario (self-describing; the worker only reads its
+    /// assigned sessions' query streams and the strategy).
+    pub scenario: SimScenario,
+}
+
+impl SimProcSpec {
+    /// Serialize to compact JSON.
+    pub fn to_json(&self) -> String {
+        let scenario = Json::parse(&self.scenario.to_json()).expect("scenario JSON parses");
+        Json::Obj(vec![
+            ("addr".into(), Json::Str(self.addr.clone())),
+            ("proc".into(), Json::UInt(self.proc.into())),
+            (
+                "sessions".into(),
+                Json::Arr(
+                    self.sessions
+                        .iter()
+                        .map(|&s| Json::UInt(s.into()))
+                        .collect(),
+                ),
+            ),
+            ("scenario".into(), scenario),
+        ])
+        .render()
+    }
+
+    /// Parse a spec serialized by [`SimProcSpec::to_json`].
+    ///
+    /// # Errors
+    /// JSON syntax errors, missing fields, or an invalid scenario.
+    pub fn from_json(src: &str) -> Result<SimProcSpec, String> {
+        let v = Json::parse(src)?;
+        let mut sessions = Vec::new();
+        for s in v
+            .req("sessions")?
+            .as_arr()
+            .ok_or("sessions must be an array")?
+        {
+            sessions.push(
+                s.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("session indices must be u32s")?,
+            );
+        }
+        Ok(SimProcSpec {
+            addr: v
+                .req("addr")?
+                .as_str()
+                .ok_or("addr must be a string")?
+                .to_string(),
+            proc: v
+                .req("proc")?
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or("proc must be a u32")?,
+            sessions,
+            scenario: SimScenario::from_json(&v.req("scenario")?.render())?,
+        })
+    }
+}
+
+/// Chain one session's query stream into a step-ordered digest, exactly
+/// as [`run_sim_worker`] does against the live server.
+fn expected_session_digest(model: &RefModel, queries: &[String]) -> Result<u64, String> {
+    let mut digest = DIGEST_SEED;
+    for q in queries {
+        let checked = CheckedSolutions {
+            solutions: model.solve_text(q)?,
+            completeness: Completeness::Exact,
+        };
+        digest_answer(&mut digest, q, &checked);
+    }
+    Ok(digest)
+}
+
+/// Worker side: run every assigned session (one connection each, its
+/// queries in stream order) and report per-session digests.
+pub fn run_sim_worker(spec: &SimProcSpec) -> SimProcReport {
+    let sc = &spec.scenario;
+    let addr: Option<std::net::SocketAddr> = spec.addr.parse().ok();
+    let mut out = Vec::with_capacity(spec.sessions.len());
+    for &session in &spec.sessions {
+        let queries = sc.sessions.get(session as usize).map_or(&[][..], |q| q);
+        let mut digest = DIGEST_SEED;
+        let mut solves = 0u64;
+        let mut errors = 0u64;
+        let client =
+            addr.and_then(|a| braid::BraidClient::connect_timeout(a, Duration::from_secs(10)).ok());
+        match client {
+            Some(mut client) => {
+                for q in queries {
+                    match client.solve_checked(q, sc.strategy) {
+                        Ok(checked) => {
+                            solves += 1;
+                            digest_answer(&mut digest, q, &checked);
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "braid-load sim worker {}: session {session}: {e}",
+                                spec.proc
+                            );
+                            errors += 1;
+                            break;
+                        }
+                    }
+                }
+                client.goodbye();
+            }
+            None => errors += queries.len() as u64,
+        }
+        out.push(SimSessionDigest {
+            session,
+            solves,
+            errors,
+            digest,
+        });
+    }
+    SimProcReport {
+        proc: spec.proc,
+        sessions: out,
+    }
+}
+
+/// Outcome of one multi-process scenario run.
+#[derive(Debug)]
+pub struct SimProcsOutcome {
+    /// Sessions executed (across all worker processes).
+    pub sessions: usize,
+    /// Successful solves across all sessions.
+    pub solves: u64,
+    /// Oracle complaints (empty ⇒ passed).
+    pub violations: Vec<String>,
+    /// Server counters at quiescence.
+    pub stats: BraidServerStats,
+    /// Pool counters at quiescence.
+    pub pool: PoolSnapshot,
+}
+
+impl SimProcsOutcome {
+    /// Did every session's digest match the model and did the server
+    /// drain completely?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn spawn_sim_process(program: &PathBuf, spec: &SimProcSpec) -> Result<std::process::Child, String> {
+    let mut child = Command::new(program)
+        .arg(WORKER_FLAG)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn {program:?} failed: {e}"))?;
+    let mut stdin = child.stdin.take().ok_or("child stdin missing")?;
+    write_frame(&mut stdin, kind::SIM_SPEC, &encode_spec(&spec.to_json()))
+        .map_err(|e| format!("spec write to sim worker {} failed: {e}", spec.proc))?;
+    Ok(child)
+}
+
+fn collect_sim_process(mut child: std::process::Child, proc: u32) -> Result<SimProcReport, String> {
+    let mut stdout = child.stdout.take().ok_or("child stdout missing")?;
+    let frame = read_frame(&mut stdout, MAX_FRAME_BYTES)
+        .map_err(|e| format!("report read from sim worker {proc} failed: {e}"))?
+        .ok_or_else(|| format!("sim worker {proc} exited without a report"))?;
+    let status = child
+        .wait()
+        .map_err(|e| format!("wait on sim worker {proc} failed: {e}"))?;
+    if !status.success() {
+        return Err(format!("sim worker {proc} exited with {status}"));
+    }
+    if frame.kind != kind::SIM_REPORT {
+        return Err(format!(
+            "sim worker {proc} sent frame kind {:#x}, want SIM_REPORT",
+            frame.kind
+        ));
+    }
+    decode_sim_report(&frame.payload).map_err(|e| format!("sim worker {proc} report corrupt: {e}"))
+}
+
+/// Run one scenario's sessions across `procs` worker processes against
+/// a shared [`BraidServer`], checking every per-session digest against
+/// the reference model and that all server gauges drain.
+///
+/// # Errors
+/// Fault-injecting scenarios (this lane has no fault tolerance — errors
+/// would be indistinguishable from bugs), spawn/pipe failures, or a
+/// reference-model failure. Answer mismatches are *violations* in the
+/// returned outcome, not errors.
+pub fn run_scenario_procs(
+    sc: &SimScenario,
+    procs: usize,
+    workers: usize,
+    spawn: &SpawnMode,
+) -> Result<SimProcsOutcome, String> {
+    if sc.faults_active() {
+        return Err("fault-injecting scenarios cannot run in the process lane".into());
+    }
+    let catalog = sc.dataset.catalog();
+    let kb = sc.dataset.knowledge_base();
+    let model = RefModel::new(&catalog, &kb)?;
+    let server = BraidServer::start(
+        build_system(sc),
+        BraidServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            step_budget: 8,
+        },
+    )
+    .map_err(|e| format!("server start failed: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    let procs = procs.max(1).min(sc.sessions.len().max(1));
+    let specs: Vec<SimProcSpec> = (0..procs)
+        .map(|p| SimProcSpec {
+            addr: addr.clone(),
+            proc: p as u32,
+            sessions: (0..sc.sessions.len() as u32)
+                .filter(|s| *s as usize % procs == p)
+                .collect(),
+            scenario: sc.clone(),
+        })
+        .collect();
+
+    let reports: Vec<SimProcReport> = match spawn {
+        SpawnMode::Thread => std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|spec| scope.spawn(move || run_sim_worker(spec)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| "sim worker thread panicked".to_string())
+                })
+                .collect::<Result<Vec<_>, String>>()
+        })?,
+        SpawnMode::Process(program) => {
+            let children: Vec<_> = specs
+                .iter()
+                .map(|spec| spawn_sim_process(program, spec))
+                .collect::<Result<_, _>>()?;
+            children
+                .into_iter()
+                .zip(&specs)
+                .map(|(child, spec)| collect_sim_process(child, spec.proc))
+                .collect::<Result<_, _>>()?
+        }
+    };
+
+    let mut violations = Vec::new();
+    let mut sessions = 0usize;
+    let mut solves = 0u64;
+    for report in &reports {
+        for s in &report.sessions {
+            sessions += 1;
+            solves += s.solves;
+            let queries = sc.sessions.get(s.session as usize).ok_or_else(|| {
+                format!(
+                    "report names session {} of {}",
+                    s.session,
+                    sc.sessions.len()
+                )
+            })?;
+            if s.errors > 0 {
+                violations.push(format!(
+                    "proc {} session {}: {} errors in a fault-free scenario",
+                    report.proc, s.session, s.errors
+                ));
+                continue;
+            }
+            if s.solves != queries.len() as u64 {
+                violations.push(format!(
+                    "proc {} session {}: {} of {} queries completed",
+                    report.proc,
+                    s.session,
+                    s.solves,
+                    queries.len()
+                ));
+                continue;
+            }
+            let want = expected_session_digest(&model, queries)?;
+            if s.digest != want {
+                violations.push(format!(
+                    "proc {} session {}: digest {:016x} != model {want:016x}",
+                    report.proc, s.session, s.digest
+                ));
+            }
+        }
+    }
+
+    let quiesce = Instant::now();
+    while server.stats().active != 0 && quiesce.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = server.stats();
+    let pool = server.pool_snapshot();
+    if stats.active != 0 {
+        violations.push(format!("{} connection tasks still active", stats.active));
+    }
+    if pool.spawned != pool.finished || pool.parked != 0 {
+        violations.push(format!("pool not drained: {pool:?}"));
+    }
+    server.shutdown();
+
+    Ok(SimProcsOutcome {
+        sessions,
+        solves,
+        violations,
+        stats,
+        pool,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_scenario() -> SimScenario {
+        // First generated scenario without active faults: the lane
+        // refuses fault injection by design.
+        (0..64)
+            .map(SimScenario::generate)
+            .find(|sc| !sc.faults_active() && sc.sessions.len() >= 2)
+            .expect("a quiet multi-session scenario exists in the first 64 seeds")
+    }
+
+    #[test]
+    fn sim_spec_json_round_trips() {
+        let spec = SimProcSpec {
+            addr: "127.0.0.1:9".into(),
+            proc: 1,
+            sessions: vec![1, 3],
+            scenario: quiet_scenario(),
+        };
+        let back = SimProcSpec::from_json(&spec.to_json()).expect("parses");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn thread_mode_scenario_run_matches_the_model() {
+        let sc = quiet_scenario();
+        let out = run_scenario_procs(&sc, 2, 2, &SpawnMode::Thread).expect("lane runs");
+        assert!(out.passed(), "violations: {:?}", out.violations);
+        assert_eq!(out.sessions, sc.sessions.len());
+        assert_eq!(out.solves as usize, sc.query_count());
+    }
+
+    #[test]
+    fn fault_scenarios_are_refused() {
+        let sc = (0..200)
+            .map(SimScenario::generate)
+            .find(SimScenario::faults_active)
+            .expect("a faulty scenario exists");
+        assert!(run_scenario_procs(&sc, 2, 2, &SpawnMode::Thread).is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! The worker spec: everything one load-generator process needs, as
+//! plain data with an exact JSON round trip (the same hand-rolled
+//! dialect the simulation scenarios use, so a failing run can be
+//! replayed from a pasted string).
+
+use braid::Strategy;
+use braid_sim::{Dataset, Json, SimRng};
+
+/// One worker process's marching orders, shipped as the text payload of
+/// a `LOAD_SPEC` frame over the child's stdin pipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadSpec {
+    /// Server address (`host:port`, already resolved by the parent).
+    pub addr: String,
+    /// This worker's 0-based process index.
+    pub proc: u32,
+    /// Harness seed; the worker derives its query pool and arrival
+    /// schedule from `seed` and `proc`, and the parent re-derives both
+    /// for the oracle check.
+    pub seed: u64,
+    /// Ground-truth database parameters (rebuilt, never shipped).
+    pub dataset: Dataset,
+    /// Inference strategy for every query.
+    pub strategy: Strategy,
+    /// Client connections (threads) this process opens.
+    pub conns: u32,
+    /// Total queries this process submits across its connections.
+    pub queries: u32,
+    /// Open-loop arrival rate in queries/second; `0` means closed loop
+    /// (each connection fires back-to-back).
+    pub rate_per_sec: u32,
+}
+
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Interpreted => "interpreted",
+        Strategy::ConjunctionCompiled => "conjunction_compiled",
+        Strategy::FullyCompiled => "fully_compiled",
+    }
+}
+
+fn strategy_from_name(name: &str) -> Result<Strategy, String> {
+    match name {
+        "interpreted" => Ok(Strategy::Interpreted),
+        "conjunction_compiled" => Ok(Strategy::ConjunctionCompiled),
+        "fully_compiled" => Ok(Strategy::FullyCompiled),
+        other => Err(format!("unknown strategy `{other}`")),
+    }
+}
+
+impl LoadSpec {
+    /// The stream seed this worker's query pool and arrival schedule
+    /// draw from — distinct per process so processes do not replay each
+    /// other's traffic, deterministic so the parent can re-derive it.
+    pub fn stream_seed(&self) -> u64 {
+        self.seed ^ (u64::from(self.proc).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Serialize to compact JSON.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("addr".into(), Json::Str(self.addr.clone())),
+            ("proc".into(), Json::UInt(self.proc.into())),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("dataset".into(), self.dataset.to_json()),
+            (
+                "strategy".into(),
+                Json::Str(strategy_name(self.strategy).into()),
+            ),
+            ("conns".into(), Json::UInt(self.conns.into())),
+            ("queries".into(), Json::UInt(self.queries.into())),
+            ("rate_per_sec".into(), Json::UInt(self.rate_per_sec.into())),
+        ])
+        .render()
+    }
+
+    /// Parse a spec serialized by [`LoadSpec::to_json`].
+    ///
+    /// # Errors
+    /// JSON syntax errors, missing fields, or out-of-range values.
+    pub fn from_json(src: &str) -> Result<LoadSpec, String> {
+        let v = Json::parse(src)?;
+        let u32_field = |key: &str| -> Result<u32, String> {
+            v.req(key)?
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| format!("spec field `{key}` must be a u32"))
+        };
+        Ok(LoadSpec {
+            addr: v
+                .req("addr")?
+                .as_str()
+                .ok_or("spec addr must be a string")?
+                .to_string(),
+            proc: u32_field("proc")?,
+            seed: v.req("seed")?.as_u64().ok_or("spec seed must be a u64")?,
+            dataset: Dataset::from_json(v.req("dataset")?)?,
+            strategy: strategy_from_name(
+                v.req("strategy")?
+                    .as_str()
+                    .ok_or("spec strategy must be a string")?,
+            )?,
+            conns: u32_field("conns")?,
+            queries: u32_field("queries")?,
+            rate_per_sec: u32_field("rate_per_sec")?,
+        })
+    }
+}
+
+/// A probe-able derived view: name plus the constant domain each
+/// argument position draws bound values from (mirrors the simulation
+/// generator's view tables for the two workloads).
+struct View {
+    name: &'static str,
+    arg_domains: &'static [usize],
+}
+
+fn views(dataset: &Dataset) -> (Vec<View>, Vec<Vec<String>>) {
+    match *dataset {
+        Dataset::Genealogy {
+            generations,
+            branching,
+            ..
+        } => {
+            let n = braid_workload::genealogy::person_count(generations, branching);
+            let persons = (0..n).map(|i| format!("p{i}")).collect();
+            (
+                vec![
+                    View {
+                        name: "grandparent",
+                        arg_domains: &[0, 0],
+                    },
+                    View {
+                        name: "sibling",
+                        arg_domains: &[0, 0],
+                    },
+                    View {
+                        name: "ancestor",
+                        arg_domains: &[0, 0],
+                    },
+                    View {
+                        name: "cousin",
+                        arg_domains: &[0, 0],
+                    },
+                    View {
+                        name: "uncle",
+                        arg_domains: &[0, 0],
+                    },
+                    View {
+                        name: "elder_parent",
+                        arg_domains: &[0, 0],
+                    },
+                    View {
+                        name: "adult",
+                        arg_domains: &[0],
+                    },
+                ],
+                vec![persons],
+            )
+        }
+        Dataset::Suppliers {
+            parts, suppliers, ..
+        } => {
+            let part_names = (0..parts).map(|i| format!("part{i}")).collect();
+            let sup_names = (0..suppliers).map(|i| format!("sup{i}")).collect();
+            (
+                vec![
+                    View {
+                        name: "component",
+                        arg_domains: &[0, 0],
+                    },
+                    View {
+                        name: "bulk_supplier",
+                        arg_domains: &[1, 0],
+                    },
+                    View {
+                        name: "supplies_component",
+                        arg_domains: &[1, 0],
+                    },
+                    View {
+                        name: "colocated",
+                        arg_domains: &[1, 1],
+                    },
+                ],
+                vec![part_names, sup_names],
+            )
+        }
+    }
+}
+
+/// The deterministic query pool one worker submits: `n` derived-view
+/// probes, mostly first-argument-bound (the paper's instance-query
+/// pattern) with occasional whole-view scans. Same `(dataset, seed, n)`
+/// ⇒ byte-identical pool, which is what lets the parent recompute a
+/// worker's expected digest from the reference model.
+pub fn query_pool(dataset: &Dataset, seed: u64, n: usize) -> Vec<String> {
+    let (view_list, domains) = views(dataset);
+    let mut rng = SimRng::new(seed);
+    let vars = ["X", "Y"];
+    (0..n)
+        .map(|_| {
+            let view = &view_list[rng.below(view_list.len() as u64) as usize];
+            let bind_first = rng.chance(700);
+            let bind_rest = rng.chance(250);
+            let args: Vec<String> = view
+                .arg_domains
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    let bound = if i == 0 { bind_first } else { bind_rest };
+                    if bound {
+                        rng.pick(&domains[d]).clone()
+                    } else {
+                        vars[i].to_string()
+                    }
+                })
+                .collect();
+            format!("?- {}({}).", view.name, args.join(", "))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LoadSpec {
+        LoadSpec {
+            addr: "127.0.0.1:4321".into(),
+            proc: 3,
+            seed: 99,
+            dataset: Dataset::Genealogy {
+                generations: 3,
+                branching: 2,
+                seed: 7,
+            },
+            strategy: Strategy::ConjunctionCompiled,
+            conns: 2,
+            queries: 40,
+            rate_per_sec: 500,
+        }
+    }
+
+    #[test]
+    fn spec_json_round_trip_is_exact() {
+        let spec = sample();
+        let text = spec.to_json();
+        let back = LoadSpec::from_json(&text).expect("round trip parses");
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn query_pool_is_deterministic_and_well_formed() {
+        let d = Dataset::Suppliers {
+            parts: 12,
+            fanout: 3,
+            suppliers: 4,
+            cities: 4,
+            seed: 5,
+        };
+        let a = query_pool(&d, 42, 64);
+        let b = query_pool(&d, 42, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().all(|q| q.starts_with("?- ") && q.ends_with(").")));
+        // A different seed gives a different pool.
+        assert_ne!(a, query_pool(&d, 43, 64));
+    }
+
+    #[test]
+    fn stream_seeds_differ_per_process() {
+        let mut spec = sample();
+        let s0 = spec.stream_seed();
+        spec.proc = 4;
+        assert_ne!(s0, spec.stream_seed());
+    }
+}

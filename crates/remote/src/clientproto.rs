@@ -19,6 +19,19 @@
 //! bounds-checked through `WireReader` and ends with `finish()`, so
 //! truncated or bit-flipped payloads yield typed `NetError`s — never
 //! panics.
+//!
+//! A second kind range (0x24–0x27) carries the **load-generator pipe
+//! protocol**: a load harness forks worker *processes* and talks to
+//! each over its stdin/stdout pipes using the same length-prefixed
+//! framing (pipes tear exactly like sockets, so the torn-frame
+//! handling is shared):
+//!
+//! | kind | frame        | payload                                    |
+//! |------|--------------|--------------------------------------------|
+//! | 0x24 | `LOAD_SPEC`  | spec text (JSON), harness → worker stdin   |
+//! | 0x25 | `LOAD_REPORT`| [`LoadReport`], worker stdout → harness    |
+//! | 0x26 | `SIM_SPEC`   | scenario text (JSON), harness → worker     |
+//! | 0x27 | `SIM_REPORT` | [`SimProcReport`], worker → harness        |
 
 use braid_net::{NetError, WireReader, WireWriter};
 
@@ -28,6 +41,10 @@ pub mod kind {
     pub const BATCH: u8 = 0x21;
     pub const END: u8 = 0x22;
     pub const ERROR: u8 = 0x23;
+    pub const LOAD_SPEC: u8 = 0x24;
+    pub const LOAD_REPORT: u8 = 0x25;
+    pub const SIM_SPEC: u8 = 0x26;
+    pub const SIM_REPORT: u8 = 0x27;
 }
 
 /// Solve-strategy tags carried in a `QUERY` frame. This crate cannot
@@ -103,6 +120,166 @@ pub fn decode_answer_end(buf: &[u8]) -> Result<(bool, Vec<String>), NetError> {
     Ok((exact, missing))
 }
 
+/// Log2 latency-bucket count carried in a [`LoadReport`] — must equal
+/// `braid_trace::HIST_BUCKETS` (this crate sits below `braid-trace` in
+/// the DAG, so the agreement is pinned by a test at the load layer).
+pub const LOAD_HIST_BUCKETS: usize = 64;
+
+/// Cap on the per-session digest list of a [`SimProcReport`]; a count
+/// above it is rejected as corrupt before any allocation happens.
+pub const MAX_REPORT_SESSIONS: u32 = 1 << 16;
+
+/// One worker process's merged outcome, shipped back to the load
+/// harness as a `LOAD_REPORT` frame over the worker's stdout pipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Worker process index (0-based).
+    pub proc: u32,
+    /// Queries submitted.
+    pub sent: u64,
+    /// Queries answered successfully.
+    pub ok: u64,
+    /// Queries that came back as typed errors.
+    pub errors: u64,
+    /// Successful answers tagged `Exact`.
+    pub exact: u64,
+    /// Successful answers tagged `Partial`.
+    pub partial: u64,
+    /// Order-insensitive FNV-1a digest over (query, completeness,
+    /// answers) — commutative merge, so the value is deterministic no
+    /// matter how the worker's connections interleaved.
+    pub digest: u64,
+    /// Log2 histogram buckets of per-query latency in µs (the
+    /// `braid-trace` layout: bucket 0 = value 0, bucket i = [2^(i-1), 2^i)).
+    pub latency_us: [u64; LOAD_HIST_BUCKETS],
+}
+
+/// Encode a `LOAD_REPORT` payload.
+pub fn encode_load_report(r: &LoadReport) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(8 * LOAD_HIST_BUCKETS + 64);
+    w.put_u32(r.proc);
+    w.put_u64(r.sent);
+    w.put_u64(r.ok);
+    w.put_u64(r.errors);
+    w.put_u64(r.exact);
+    w.put_u64(r.partial);
+    w.put_u64(r.digest);
+    w.put_u32(LOAD_HIST_BUCKETS as u32);
+    for &b in &r.latency_us {
+        w.put_u64(b);
+    }
+    w.into_bytes()
+}
+
+/// Decode a `LOAD_REPORT` payload.
+pub fn decode_load_report(buf: &[u8]) -> Result<LoadReport, NetError> {
+    let mut r = WireReader::new(buf);
+    let proc = r.u32()?;
+    let sent = r.u64()?;
+    let ok = r.u64()?;
+    let errors = r.u64()?;
+    let exact = r.u64()?;
+    let partial = r.u64()?;
+    let digest = r.u64()?;
+    let n = r.u32()? as usize;
+    if n != LOAD_HIST_BUCKETS {
+        return Err(NetError::corrupt(format!(
+            "load report carries {n} histogram buckets, expected {LOAD_HIST_BUCKETS}"
+        )));
+    }
+    let mut latency_us = [0u64; LOAD_HIST_BUCKETS];
+    for b in &mut latency_us {
+        *b = r.u64()?;
+    }
+    r.finish()?;
+    Ok(LoadReport {
+        proc,
+        sent,
+        ok,
+        errors,
+        exact,
+        partial,
+        digest,
+        latency_us,
+    })
+}
+
+/// One simulated session's outcome inside a [`SimProcReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimSessionDigest {
+    /// Scenario session index this worker ran.
+    pub session: u32,
+    /// Queries the session completed.
+    pub solves: u64,
+    /// Typed errors the session observed.
+    pub errors: u64,
+    /// Step-ordered FNV-1a answer digest (the sim harness layout).
+    pub digest: u64,
+}
+
+/// A sim worker process's outcome: one digest per session it was
+/// assigned, shipped back as a `SIM_REPORT` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimProcReport {
+    /// Worker process index (0-based).
+    pub proc: u32,
+    /// Per-session outcomes, in assignment order.
+    pub sessions: Vec<SimSessionDigest>,
+}
+
+/// Encode a `SIM_REPORT` payload.
+pub fn encode_sim_report(r: &SimProcReport) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(8 + 28 * r.sessions.len());
+    w.put_u32(r.proc);
+    w.put_u32(r.sessions.len() as u32);
+    for s in &r.sessions {
+        w.put_u32(s.session);
+        w.put_u64(s.solves);
+        w.put_u64(s.errors);
+        w.put_u64(s.digest);
+    }
+    w.into_bytes()
+}
+
+/// Decode a `SIM_REPORT` payload.
+pub fn decode_sim_report(buf: &[u8]) -> Result<SimProcReport, NetError> {
+    let mut r = WireReader::new(buf);
+    let proc = r.u32()?;
+    let n = r.u32()?;
+    if n > MAX_REPORT_SESSIONS {
+        return Err(NetError::corrupt(format!(
+            "sim report session count {n} too large"
+        )));
+    }
+    let mut sessions = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        sessions.push(SimSessionDigest {
+            session: r.u32()?,
+            solves: r.u64()?,
+            errors: r.u64()?,
+            digest: r.u64()?,
+        });
+    }
+    r.finish()?;
+    Ok(SimProcReport { proc, sessions })
+}
+
+/// Encode a `LOAD_SPEC`/`SIM_SPEC` payload: spec text as the harness
+/// hands it to a worker process.
+pub fn encode_spec(text: &str) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_str(text);
+    w.into_bytes()
+}
+
+/// Decode a `LOAD_SPEC`/`SIM_SPEC` payload.
+pub fn decode_spec(buf: &[u8]) -> Result<String, NetError> {
+    let mut r = WireReader::new(buf);
+    let text = r.str()?.to_string();
+    r.finish()?;
+    Ok(text)
+}
+
 /// Encode an `ERROR` payload.
 pub fn encode_client_error(message: &str) -> Vec<u8> {
     let mut w = WireWriter::new();
@@ -161,9 +338,98 @@ mod tests {
     }
 
     #[test]
+    fn load_report_round_trips() {
+        let mut latency_us = [0u64; LOAD_HIST_BUCKETS];
+        latency_us[0] = 3;
+        latency_us[17] = 41;
+        latency_us[63] = 1;
+        let r = LoadReport {
+            proc: 3,
+            sent: 1000,
+            ok: 998,
+            errors: 2,
+            exact: 990,
+            partial: 8,
+            digest: 0xDEAD_BEEF_CAFE_F00D,
+            latency_us,
+        };
+        assert_eq!(decode_load_report(&encode_load_report(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn load_report_bucket_count_is_checked() {
+        let r = LoadReport {
+            proc: 0,
+            sent: 0,
+            ok: 0,
+            errors: 0,
+            exact: 0,
+            partial: 0,
+            digest: 0,
+            latency_us: [0; LOAD_HIST_BUCKETS],
+        };
+        let mut bytes = encode_load_report(&r);
+        // The bucket-count word sits right after proc + six u64s.
+        let off = 4 + 6 * 8;
+        bytes[off..off + 4].copy_from_slice(&65u32.to_be_bytes());
+        assert!(matches!(
+            decode_load_report(&bytes),
+            Err(NetError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn sim_report_round_trips() {
+        let r = SimProcReport {
+            proc: 1,
+            sessions: vec![
+                SimSessionDigest {
+                    session: 0,
+                    solves: 12,
+                    errors: 0,
+                    digest: 7,
+                },
+                SimSessionDigest {
+                    session: 3,
+                    solves: 4,
+                    errors: 1,
+                    digest: u64::MAX,
+                },
+            ],
+        };
+        assert_eq!(decode_sim_report(&encode_sim_report(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn sim_report_session_count_is_bounded() {
+        let mut w = braid_net::WireWriter::new();
+        w.put_u32(0);
+        w.put_u32(MAX_REPORT_SESSIONS + 1);
+        assert!(matches!(
+            decode_sim_report(&w.into_bytes()),
+            Err(NetError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let text = r#"{"seed": 7, "procs": 4}"#;
+        assert_eq!(decode_spec(&encode_spec(text)).unwrap(), text);
+    }
+
+    #[test]
     fn kind_range_is_disjoint_from_dbms_protocol() {
         use crate::proto::kind as dbms;
-        for k in [kind::QUERY, kind::BATCH, kind::END, kind::ERROR] {
+        for k in [
+            kind::QUERY,
+            kind::BATCH,
+            kind::END,
+            kind::ERROR,
+            kind::LOAD_SPEC,
+            kind::LOAD_REPORT,
+            kind::SIM_SPEC,
+            kind::SIM_REPORT,
+        ] {
             for d in [
                 dbms::REQUEST,
                 dbms::PING,
@@ -190,6 +456,72 @@ mod tests {
             for cut in 0..bytes.len() {
                 prop_assert!(decode_query(&bytes[..cut]).is_err());
             }
+        }
+
+        /// Any load report round-trips; every strict prefix is a typed
+        /// error, never a panic.
+        #[test]
+        fn load_report_round_trip_and_truncation(
+            proc in 0u32..16,
+            counters in proptest::collection::vec(0u64..u64::MAX, 6),
+            hits in proptest::collection::vec((0usize..LOAD_HIST_BUCKETS, 0u64..1 << 20), 0..8),
+        ) {
+            let mut latency_us = [0u64; LOAD_HIST_BUCKETS];
+            for (i, n) in hits {
+                latency_us[i] = n;
+            }
+            let r = LoadReport {
+                proc,
+                sent: counters[0],
+                ok: counters[1],
+                errors: counters[2],
+                exact: counters[3],
+                partial: counters[4],
+                digest: counters[5],
+                latency_us,
+            };
+            let bytes = encode_load_report(&r);
+            prop_assert_eq!(decode_load_report(&bytes).unwrap(), r);
+            for cut in (0..bytes.len()).step_by(7) {
+                prop_assert!(decode_load_report(&bytes[..cut]).is_err());
+            }
+        }
+
+        /// Any sim report round-trips; truncations are typed errors.
+        #[test]
+        fn sim_report_round_trip_and_truncation(
+            proc in 0u32..16,
+            sessions in proptest::collection::vec(
+                (0u32..64, 0u64..1 << 20, 0u64..64, 0u64..u64::MAX), 0..6),
+        ) {
+            let r = SimProcReport {
+                proc,
+                sessions: sessions
+                    .into_iter()
+                    .map(|(session, solves, errors, digest)| SimSessionDigest {
+                        session, solves, errors, digest,
+                    })
+                    .collect(),
+            };
+            let bytes = encode_sim_report(&r);
+            prop_assert_eq!(decode_sim_report(&bytes).unwrap(), r);
+            for cut in (0..bytes.len()).step_by(5) {
+                prop_assert!(decode_sim_report(&bytes[..cut]).is_err());
+            }
+        }
+
+        /// The reader-thread decode path: arbitrary garbage through every
+        /// payload decoder yields a value or a typed error — never a
+        /// panic. This is exactly what a server reader faces when a
+        /// client ships malformed frames.
+        #[test]
+        fn garbage_payloads_never_panic(raw in proptest::collection::vec(0u8..=255, 0..256)) {
+            let _ = decode_query(&raw);
+            let _ = decode_answer_end(&raw);
+            let _ = decode_client_error(&raw);
+            let _ = decode_load_report(&raw);
+            let _ = decode_sim_report(&raw);
+            let _ = decode_spec(&raw);
         }
     }
 }

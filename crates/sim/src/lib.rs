@@ -43,9 +43,9 @@ pub use gen::SimRng;
 pub use json::Json;
 pub use model::RefModel;
 pub use run::{
-    build_system, build_system_with_transport, run_scenario, run_scenario_coop,
+    build_system, build_system_with_transport, digest_answer, run_scenario, run_scenario_coop,
     run_scenario_socket, run_scenario_threaded, SimBug, SimOptions, SimReport, Violation,
-    ViolationKind,
+    ViolationKind, DIGEST_SEED,
 };
 pub use scenario::{Dataset, FaultSpec, SimScenario};
 pub use shrink::{regression_test, shrink, ShrinkOutcome};

@@ -121,6 +121,9 @@ impl SimReport {
     }
 }
 
+/// FNV-1a offset basis every simulation digest chain starts from.
+pub const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
 fn fnv1a(digest: &mut u64, bytes: &[u8]) {
     for &b in bytes {
         *digest ^= u64::from(b);
@@ -128,7 +131,12 @@ fn fnv1a(digest: &mut u64, bytes: &[u8]) {
     }
 }
 
-fn digest_answer(digest: &mut u64, query: &str, checked: &CheckedSolutions) {
+/// Fold one answered query into a digest chain: FNV-1a over the query
+/// text, the completeness verdict (with any missing subqueries), and
+/// every solution tuple in answer order. Start chains from
+/// [`DIGEST_SEED`]. The load harness reuses this exact shape so a
+/// worker process's digest is recomputable from the [`RefModel`].
+pub fn digest_answer(digest: &mut u64, query: &str, checked: &CheckedSolutions) {
     fnv1a(digest, query.as_bytes());
     match &checked.completeness {
         Completeness::Exact => fnv1a(digest, b"|exact"),
@@ -411,7 +419,7 @@ pub fn run_scenario(sc: &SimScenario, opts: &SimOptions) -> Result<SimReport, St
         partial: 0,
         tolerated_errors: 0,
         nonempty_answers: 0,
-        digest: 0xcbf2_9ce4_8422_2325,
+        digest: DIGEST_SEED,
         violations: Vec::new(),
     };
 
@@ -648,7 +656,7 @@ pub fn run_scenario_coop(sc: &SimScenario, opts: &SimOptions) -> Result<SimRepor
         partial: 0,
         tolerated_errors: 0,
         nonempty_answers: 0,
-        digest: 0xcbf2_9ce4_8422_2325,
+        digest: DIGEST_SEED,
         violations: Vec::new(),
     };
     // Session-major digest of what the model expects; only compared in

@@ -75,7 +75,9 @@ impl Dataset {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// Serialize as a JSON value (used by [`SimScenario::to_json`] and
+    /// by the load harness's worker specs).
+    pub fn to_json(&self) -> Json {
         match *self {
             Dataset::Genealogy {
                 generations,
@@ -104,7 +106,11 @@ impl Dataset {
         }
     }
 
-    fn from_json(v: &Json) -> Result<Dataset, String> {
+    /// Parse a dataset serialized by [`Dataset::to_json`].
+    ///
+    /// # Errors
+    /// Missing fields, wrong types, or an unknown dataset kind.
+    pub fn from_json(v: &Json) -> Result<Dataset, String> {
         let kind = v
             .req("kind")?
             .as_str()

@@ -39,12 +39,14 @@ trace-check:
     cargo run -p braid-bench --bin report -- --quick --only E14
 
 # The network suites (DESIGN.md §11): frame codec + fault proxy
-# (braid-net), TCP server/client-pool/transport (braid-remote), and the
-# socket chaos suite driving real workloads through the fault proxy.
+# (braid-net), TCP server/client-pool/transport (braid-remote), the
+# socket chaos suite driving real workloads through the fault proxy,
+# and the server-side chaos suite (proxy pointed at BraidServer).
 net:
     cargo test -p braid-net -q
     cargo test -p braid-remote -q
     cargo test --release --test net_chaos -q
+    cargo test --release --test server_chaos -q
 
 # Deterministic simulation sweep (DESIGN.md §10): seeded scenarios through
 # the step scheduler, every answer oracle-checked against the reference
@@ -63,14 +65,28 @@ sim start="0" rounds="200":
 # subsumes the old 25-round `stress` loop: loom is not vendorable
 # offline (DESIGN.md §7), so schedule coverage comes from seeded
 # repetition.
-soak start="0" rounds="400" workers="4":
-    SIM_SEED_START={{start}} SIM_ROUNDS={{rounds}} SIM_WORKERS={{workers}} \
+soak start="0" rounds="400" workers="4" procs="0":
+    SIM_SEED_START={{start}} SIM_ROUNDS={{rounds}} SIM_WORKERS={{workers}} SIM_PROCS={{procs}} \
         cargo run --release -p braid-bench --bin sim -- --soak
     cargo test --release --test concurrent_sessions -q
     cargo test --release --test cooperative_sessions -q
 
 # Back-compat alias for the old stress entry point.
 stress: soak
+
+# Multi-process load generator (DESIGN.md §13): fork real client
+# processes against a braid server, closed- or open-loop, every digest
+# checked against the reference model. `just load 8 4000` runs 8
+# processes at 4000 arrivals/s per process; rate 0 is closed loop.
+load procs="4" rate="800" queries="200":
+    cargo run --release -p braid-load --bin load -- \
+        --procs {{procs}} --rate {{rate}} --queries {{queries}}
+
+# Server-side chaos suite: the fault proxy pointed at BraidServer —
+# resets, torn frames, outage windows, protocol garbage — asserting
+# typed errors and drained gauges after every scenario.
+server-chaos:
+    cargo test --release --test server_chaos -q
 
 # Narrated braid-server demo: N TCP clients multiplexed as resumable
 # session state machines on a fixed worker pool (DESIGN.md §12).

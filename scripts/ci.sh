@@ -39,13 +39,20 @@ cargo test -p braid-sim -q
 echo "==> simulation smoke (fixed seed set, 50 scenarios)"
 SIM_SEED_START=0 SIM_ROUNDS=50 cargo run --release -p braid-bench --bin sim
 
-echo "==> cooperative soak smoke (10 seeds, all four lanes)"
-SIM_SEED_START=0 SIM_ROUNDS=10 cargo run --release -p braid-bench --bin sim -- --soak
+echo "==> cooperative soak smoke (10 seeds, all four lanes + procs lane)"
+SIM_SEED_START=0 SIM_ROUNDS=10 SIM_PROCS=2 cargo run --release -p braid-bench --bin sim -- --soak
 
 echo "==> network suite (codec, proxy, pool) + one proxy chaos round"
 cargo test -p braid-net -q
 cargo test --release --test net_chaos -q
 cargo run --release --example tcp_session > /dev/null
+
+echo "==> server chaos suite (fault proxy pointed at BraidServer)"
+cargo test --release --test server_chaos -q
+
+echo "==> multi-process load smoke (2 forked clients, oracle-checked)"
+cargo run --release -p braid-load --bin load -- --procs 2 --conns 1 --queries 40 --rate 0 > /dev/null
+cargo run --release -p braid-load --bin load -- --procs 2 --conns 1 --queries 40 --rate 2000 > /dev/null
 
 echo "==> braid server round trip (serve example)"
 cargo run --release --example serve > /dev/null
@@ -61,5 +68,8 @@ cargo run -p braid-bench --bin report -- --quick --only E14
 
 echo "==> E17 session-scheduling smoke report"
 cargo run -p braid-bench --bin report -- --quick --only E17
+
+echo "==> E18 multi-process load smoke report"
+cargo run -p braid-bench --bin report -- --quick --only E18
 
 echo "==> ci OK"
