@@ -74,7 +74,7 @@ fn row(t: &mut Table, label: &str, procs: u32, conns: u32, rate: u32, out: &Load
         out.merged.p99().to_string(),
         out.metrics.cms.run_queue_depth.to_string(),
         out.metrics.cms.sessions_parked.to_string(),
-        out.stats.accepted.to_string(),
+        out.stats.connections_accepted.to_string(),
         out.elapsed.as_millis().to_string(),
     ]);
 }

@@ -19,5 +19,6 @@ pub mod e15_sim;
 pub mod e16_net;
 pub mod e17_sessions;
 pub mod e18_load;
+pub mod e19_wireobs;
 
 pub(crate) mod support;

@@ -42,5 +42,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E16", experiments::e16_net::run),
         ("E17", experiments::e17_sessions::run),
         ("E18", experiments::e18_load::run),
+        ("E19", experiments::e19_wireobs::run),
     ]
 }

@@ -54,9 +54,20 @@ pub struct CmsShared {
     trace: braid_trace::SinkHandle,
 }
 
-/// Cached-view names and remote-remainder labels of a plan — the trace
-/// payload shared by the `cms.subsumption` and `cms.plan` events.
+/// Cached-view names and remote-remainder labels of a plan.
 type ViewsAndRemainder = (Vec<String>, Vec<String>);
+
+/// Trace context captured at plan time (tracer enabled only). Folded
+/// into the single `cms.plan` event so one wire query carries one
+/// planner record per subquery instead of two with duplicate fields.
+struct PlanTrace {
+    views: Vec<String>,
+    remainder: Vec<String>,
+    /// Cache elements the subsumption probe examined.
+    candidates: usize,
+    /// Planning/pinning races lost before this plan pinned cleanly.
+    replans: usize,
+}
 
 /// The Cache Management System: one session's view of the shared state.
 ///
@@ -166,7 +177,16 @@ impl Cms {
     /// per-query EXPLAIN captures one query's spans without disturbing
     /// the shared log.
     pub fn attach_session_sink(&mut self, sink: Arc<dyn TraceSink>) {
-        self.tracer = Tracer::fanout(vec![self.shared.trace.sink(), sink]);
+        self.attach_session_sink_at(sink, std::time::Instant::now());
+    }
+
+    /// Like [`Cms::attach_session_sink`], but span timestamps are
+    /// measured from `epoch` instead of the attach instant. A server
+    /// shipping spans across the wire pins every session's tracer to
+    /// one server-wide epoch so a single clock-offset exchange
+    /// normalizes all of them on the client.
+    pub fn attach_session_sink_at(&mut self, sink: Arc<dyn TraceSink>, epoch: std::time::Instant) {
+        self.tracer = Tracer::fanout_at(vec![self.shared.trace.sink(), sink], epoch);
         self.resilience.set_tracer(self.tracer.clone());
     }
 
@@ -385,8 +405,8 @@ impl Cms {
     }
 
     /// Cached-view names and remote-remainder descriptions of a plan —
-    /// the payload of the `cms.subsumption` / `cms.plan` trace events and
-    /// of EXPLAIN reports. Only called when tracing is enabled.
+    /// the payload of the `cms.plan` trace event and of EXPLAIN reports.
+    /// Only called when tracing is enabled.
     fn plan_views_and_remainder(&self, plan: &Plan) -> ViewsAndRemainder {
         let mut views = Vec::new();
         let mut remainder = Vec::new();
@@ -418,7 +438,7 @@ impl Cms {
         q: &ConjunctiveQuery,
         use_subsumption: bool,
         cost_based: bool,
-    ) -> Result<(Plan, Vec<PinGuard>, Option<ViewsAndRemainder>)> {
+    ) -> Result<(Plan, Vec<PinGuard>, Option<PlanTrace>)> {
         for attempt in 0..3 {
             let mut plan = planner::plan(q, &*self.shared.cache, use_subsumption)?;
             if cost_based && self.config.cost_based_placement {
@@ -435,18 +455,12 @@ impl Cms {
                 // the cache lookups a second time.
                 let trace_info = if self.tracer.enabled() {
                     let (views, remainder) = self.plan_views_and_remainder(&plan);
-                    self.tracer.event(
-                        TraceKind::Subsumption,
-                        q.head.to_string(),
-                        vec![
-                            ("candidates", self.shared.cache.len().to_string()),
-                            ("matched_views", views.join(", ")),
-                            ("remainder", remainder.join("; ")),
-                            ("pins", pins.len().to_string()),
-                            ("replans", attempt.to_string()),
-                        ],
-                    );
-                    Some((views, remainder))
+                    Some(PlanTrace {
+                        views,
+                        remainder,
+                        candidates: self.shared.cache.len(),
+                        replans: attempt,
+                    })
                 } else {
                     None
                 };
@@ -485,7 +499,7 @@ impl Cms {
         q: &ConjunctiveQuery,
         plan: Plan,
         pins: Vec<PinGuard>,
-        trace_info: Option<ViewsAndRemainder>,
+        trace_info: Option<PlanTrace>,
     ) -> Result<AnswerStream> {
         let all_cache = plan.all_cache();
         let any_cache = plan.parts.iter().any(crate::planner::PlanPart::is_cache);
@@ -501,8 +515,15 @@ impl Cms {
         // Planner-decision trace record: where the answer will come from,
         // which cached views serve it, and what remains for the remote.
         let mut decision_fields = if self.tracer.enabled() {
-            let (views, remainder) =
-                trace_info.unwrap_or_else(|| self.plan_views_and_remainder(&plan));
+            let info = trace_info.unwrap_or_else(|| {
+                let (views, remainder) = self.plan_views_and_remainder(&plan);
+                PlanTrace {
+                    views,
+                    remainder,
+                    candidates: self.shared.cache.len(),
+                    replans: 0,
+                }
+            });
             Some(vec![
                 (
                     "decision",
@@ -519,9 +540,11 @@ impl Cms {
                     (plan.parts.len() - plan.remote_parts()).to_string(),
                 ),
                 ("remote_parts", plan.remote_parts().to_string()),
-                ("matched_views", views.join(", ")),
-                ("remainder", remainder.join("; ")),
+                ("matched_views", info.views.join(", ")),
+                ("remainder", info.remainder.join("; ")),
                 ("pins", pins.len().to_string()),
+                ("candidates", info.candidates.to_string()),
+                ("replans", info.replans.to_string()),
             ])
         } else {
             None
@@ -883,22 +906,47 @@ impl Cms {
     /// constants) into the cache before the IE asks.
     fn run_prefetches(&mut self) -> Result<()> {
         let heads = self.advice.prefetch_heads();
+        if heads.is_empty() {
+            return Ok(());
+        }
+        // Prefetch evaluation is speculative cache warming, not part of
+        // the answer the caller asked about: mute span recording while
+        // each prediction evaluates, so a traced query records one
+        // `Prefetch` event per prediction instead of every prediction's
+        // whole nested solve — the difference between shipping a handful
+        // of spans per query over the wire and shipping dozens.
+        let muted = self.tracer.enabled();
+        let loud = self.tracer.clone();
+        if muted {
+            self.tracer = Tracer::new(Arc::new(braid_trace::NoopSink));
+            self.resilience.set_tracer(self.tracer.clone());
+        }
+        let mut fetched = Vec::new();
+        let mut parked = None;
         for head in heads {
             let Some(q) = self.advice.expand(&head) else {
                 continue;
             };
             match self.evaluate_into_cache(&q, true) {
-                Ok(()) => {
-                    self.tracer
-                        .event(TraceKind::Prefetch, head.to_string(), Vec::new());
-                }
+                Ok(()) => fetched.push(head),
                 // Parks propagate (see the generalization arm); any
                 // other prefetch failure is silently skipped as before.
-                Err(e) if e.is_would_block() => return Err(e),
+                Err(e) if e.is_would_block() => {
+                    parked = Some(e);
+                    break;
+                }
                 Err(_) => {}
             }
         }
-        Ok(())
+        if muted {
+            self.tracer = loud;
+            self.resilience.set_tracer(self.tracer.clone());
+        }
+        for head in fetched {
+            self.tracer
+                .event(TraceKind::Prefetch, head.to_string(), Vec::new());
+        }
+        parked.map_or(Ok(()), Err)
     }
 }
 

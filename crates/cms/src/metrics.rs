@@ -88,6 +88,22 @@ macro_rules! cms_metrics {
             /// Number of histogram fields the macro generated.
             pub const HISTOGRAM_FIELDS: usize = [$(stringify!($hname)),+].len();
 
+            /// Every counter and gauge as a `("cms.<name>", value)`
+            /// entry, in declaration order — the flattening the wire
+            /// STATS protocol ships, generated here so a new metric is
+            /// exported automatically.
+            pub fn counter_entries(&self) -> Vec<(&'static str, u64)> {
+                vec![
+                    $((concat!("cms.", stringify!($cname)), self.$cname),)+
+                    $((concat!("cms.", stringify!($gname)), self.$gname),)+
+                ]
+            }
+
+            /// Every histogram as a `("cms.<name>", snapshot)` entry.
+            pub fn histogram_entries(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+                vec![$((concat!("cms.", stringify!($hname)), self.$hname),)+]
+            }
+
             /// Field-by-field delta (`self - earlier`). Counters and
             /// gauges subtract (both are monotone); histograms subtract
             /// bucketwise.
@@ -278,6 +294,28 @@ mod tests {
         assert_eq!(CmsMetricsSnapshot::COUNTER_FIELDS, 26);
         assert_eq!(CmsMetricsSnapshot::GAUGE_FIELDS, 1);
         assert_eq!(CmsMetricsSnapshot::HISTOGRAM_FIELDS, 2);
+    }
+
+    /// The flattened entry lists cover every macro-declared field, so
+    /// the wire STATS export can never silently miss a metric.
+    #[test]
+    fn entry_lists_cover_every_field() {
+        let m = CmsMetrics::new();
+        m.add_queries(5);
+        m.record_run_queue_depth(2);
+        let s = m.snapshot();
+        let counters = s.counter_entries();
+        assert_eq!(
+            counters.len(),
+            CmsMetricsSnapshot::COUNTER_FIELDS + CmsMetricsSnapshot::GAUGE_FIELDS
+        );
+        assert!(counters.contains(&("cms.queries", 5)));
+        assert!(counters.contains(&("cms.run_queue_depth", 2)));
+        assert_eq!(
+            s.histogram_entries().len(),
+            CmsMetricsSnapshot::HISTOGRAM_FIELDS
+        );
+        assert_eq!(s.histogram_entries()[0].0, "cms.query_latency_us");
     }
 
     #[test]

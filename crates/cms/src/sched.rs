@@ -253,7 +253,7 @@ fn waker_for(inner: Weak<PoolInner>, id: TaskId) -> Waker {
 }
 
 /// Point-in-time pool introspection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolSnapshot {
     /// Tasks ever spawned.
     pub spawned: u64,

@@ -186,9 +186,31 @@ impl ExplainReport {
         }
     }
 
-    /// The indented span tree, as captured (includes timings).
+    /// The indented span tree, as captured (includes timings). Spans
+    /// grafted from across the wire (tagged `origin=server` by
+    /// [`crate::BraidClient::solve_explained`]) render with a
+    /// `server:` label prefix so the process boundary stays visible in
+    /// the tree.
     pub fn render_trace(&self) -> String {
-        render_text(&self.events)
+        if self
+            .events
+            .iter()
+            .all(|e| e.field("origin") != Some("server"))
+        {
+            return render_text(&self.events);
+        }
+        let marked: Vec<TraceEvent> = self
+            .events
+            .iter()
+            .cloned()
+            .map(|mut e| {
+                if e.field("origin") == Some("server") {
+                    e.label = format!("server: {}", e.label);
+                }
+                e
+            })
+            .collect();
+        render_text(&marked)
     }
 
     /// The raw event log as JSON lines.

@@ -27,6 +27,22 @@ impl CombinedMetrics {
         }
     }
 
+    /// Every scalar counter of both sides as `(name, value)` entries
+    /// (`remote.*` then `cms.*`) — the flattening the wire STATS
+    /// protocol ships to dashboards.
+    pub fn counter_entries(&self) -> Vec<(&'static str, u64)> {
+        let mut entries = self.remote.counter_entries();
+        entries.extend(self.cms.counter_entries());
+        entries
+    }
+
+    /// Every histogram of both sides as `(name, snapshot)` entries.
+    pub fn histogram_entries(&self) -> Vec<(&'static str, braid_trace::HistogramSnapshot)> {
+        let mut entries = self.remote.histogram_entries();
+        entries.extend(self.cms.histogram_entries());
+        entries
+    }
+
     /// Render the full cost picture as an aligned two-column table —
     /// the shared presentation used by the benchmark binaries and the
     /// examples. Histogram rows report `n`/p50/p90/p99/max.
@@ -191,6 +207,19 @@ mod tests {
         let d = a.since(&b);
         assert_eq!(d.cms.query_latency_us.count(), 2);
         assert_eq!(d.remote.rtt_units.count(), 2);
+    }
+
+    #[test]
+    fn entry_lists_concatenate_both_sides() {
+        let mut m = CombinedMetrics::default();
+        m.cms.queries = 7;
+        m.remote.requests = 3;
+        let counters = m.counter_entries();
+        assert!(counters.contains(&("remote.requests", 3)));
+        assert!(counters.contains(&("cms.queries", 7)));
+        let names: Vec<&str> = m.histogram_entries().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"cms.query_latency_us"));
+        assert!(names.contains(&"remote.rtt_units"));
     }
 
     #[test]

@@ -19,24 +19,41 @@
 //! another connection parks the *task*, the worker thread moves on, and
 //! the flight's publish wakes it back up.
 
-use crate::system::{BraidError, BraidSystem, CheckedSolutions, SessionHandle};
+use crate::explain::ExplainReport;
+use crate::system::{BraidError, BraidSystem, CheckedSolutions, ExplainedSolutions, SessionHandle};
 use braid_cms::sched::{PoolConfig, Step, Task, WorkerPool};
 use braid_cms::{Completeness, CoopCtx, Waker};
 use braid_ie::Strategy;
 use braid_net::{read_frame, write_frame, NetError, MAX_FRAME_BYTES};
 use braid_relational::Tuple;
-use braid_remote::clientproto::{self, kind, ClientQuery};
+use braid_remote::clientproto::{self, admin_op, kind, ClientQuery, StatsReport};
 use braid_remote::proto::{decode_batch, encode_batch};
+use braid_trace::{json_escape, RingSink, TraceEvent, TraceKind, TraceSink, Tracer};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuples per `BATCH` frame on the answer stream.
 const BATCH_TUPLES: usize = 256;
+
+/// Events the server-side flight recorder retains (oldest evicted
+/// first, with a drop counter surfaced in STATS).
+const RECORDER_CAP: usize = 1024;
+
+/// Per-traced-query explain ring capacity (matches the in-process
+/// EXPLAIN path).
+const EXPLAIN_RING: usize = 4096;
+
+/// How often the stats sampler thread records a rate sample.
+const SAMPLER_PERIOD: Duration = Duration::from_millis(100);
+
+/// Rate samples retained — at [`SAMPLER_PERIOD`] this is a ~6 s window
+/// for qps / wakes-per-second rates.
+const SAMPLE_RING: usize = 64;
 
 /// Sizing knobs for [`BraidServer`].
 #[derive(Debug, Clone)]
@@ -62,12 +79,68 @@ impl Default for BraidServerConfig {
 /// Point-in-time server introspection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BraidServerStats {
-    /// Connections accepted over the server's lifetime.
-    pub accepted: u64,
+    /// Connections accepted over the server's lifetime (monotone —
+    /// never decremented when connections close).
+    pub connections_accepted: u64,
     /// Connections currently open (their task has not finished).
     pub active: usize,
     /// Queries answered (including ones answered with `ERROR`).
     pub queries: u64,
+    /// Time since the server bound its listener.
+    pub uptime: Duration,
+}
+
+/// Bounded ring of pre-rendered JSON-line events — the server's flight
+/// recorder, drained over `ADMIN`/`ADMIN_REPORT`. Oldest events are
+/// evicted first; the drop count is surfaced in `STATS_REPORT`.
+struct FlightRecorder {
+    ring: Mutex<VecDeque<String>>,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    fn new() -> FlightRecorder {
+        FlightRecorder {
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, epoch: Instant, event: &str, detail: &str) {
+        let t_us = epoch.elapsed().as_micros() as u64;
+        let line = format!(
+            "{{\"t_us\":{t_us},\"event\":\"{}\",\"detail\":\"{}\"}}",
+            json_escape(event),
+            json_escape(detail)
+        );
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() >= RECORDER_CAP {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(line);
+    }
+
+    /// Consume everything recorded so far as one newline-joined string.
+    fn drain(&self) -> String {
+        let lines: Vec<String> = self
+            .ring
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect();
+        lines.join("\n")
+    }
+}
+
+/// One rate sample: cumulative counters at `t_us` since the server
+/// epoch. Rates in `STATS_REPORT` are deltas against the oldest
+/// retained sample.
+#[derive(Clone, Copy)]
+struct RateSample {
+    t_us: u64,
+    queries: u64,
+    wakes: u64,
 }
 
 /// One accepted connection as the *server* tracks it for shutdown: a
@@ -79,6 +152,11 @@ struct ConnReg {
 }
 
 struct ServerShared {
+    /// The server-wide monotonic epoch: every timestamp the server puts
+    /// on the wire (trace `start_us`, recorder `t_us`, `CLOCK_INFO`) is
+    /// microseconds since this instant, so one clock-offset exchange per
+    /// connection normalizes all of them.
+    epoch: Instant,
     accepted: AtomicU64,
     active: AtomicUsize,
     queries: AtomicU64,
@@ -87,12 +165,114 @@ struct ServerShared {
     /// it, cuts every socket, and joins every reader, so shutdown cannot
     /// strand a connection task mid-conversation.
     conns: Mutex<Vec<ConnReg>>,
+    /// The owned system, for STATS snapshots built inside connection
+    /// tasks (which only hold `ServerShared`).
+    system: Arc<BraidSystem>,
+    /// Weak to break the cycle pool → ConnTask → ServerShared → pool.
+    pool: Weak<WorkerPool>,
+    recorder: FlightRecorder,
+    /// Rate-sample ring fed by the sampler thread (~[`SAMPLER_PERIOD`]).
+    samples: Mutex<VecDeque<RateSample>>,
+}
+
+impl ServerShared {
+    fn record(&self, event: &str, detail: &str) {
+        self.recorder.record(self.epoch, event, detail);
+    }
+
+    fn sample_now(&self) -> RateSample {
+        RateSample {
+            t_us: self.epoch.elapsed().as_micros() as u64,
+            queries: self.queries.load(Ordering::SeqCst),
+            wakes: self.system.metrics().cms.wakes,
+        }
+    }
+
+    fn push_sample(&self) {
+        let sample = self.sample_now();
+        let mut ring = self.samples.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() >= SAMPLE_RING {
+            ring.pop_front();
+        }
+        ring.push_back(sample);
+    }
+
+    /// Assemble the fixed-layout `STATS_REPORT` snapshot: lifetime
+    /// counters, pool occupancy, windowed rates against the oldest
+    /// retained sample, and the flattened metrics/histogram entries.
+    fn stats_report(&self) -> StatsReport {
+        let now = self.sample_now();
+        let metrics = self.system.metrics();
+        let pool = self
+            .pool
+            .upgrade()
+            .map(|p| p.snapshot())
+            .unwrap_or_default();
+        let oldest = self
+            .samples
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .front()
+            .copied();
+        let rate_milli = |delta: u64, dt_us: u64| {
+            delta
+                .saturating_mul(1_000_000_000)
+                .checked_div(dt_us)
+                .unwrap_or(0)
+        };
+        let (qps_milli, wakes_per_sec_milli) = match oldest {
+            Some(s) if now.t_us > s.t_us => {
+                let dt = now.t_us - s.t_us;
+                (
+                    rate_milli(now.queries.saturating_sub(s.queries), dt),
+                    rate_milli(now.wakes.saturating_sub(s.wakes), dt),
+                )
+            }
+            _ => (0, 0),
+        };
+        StatsReport {
+            uptime_us: now.t_us,
+            connections_accepted: self.accepted.load(Ordering::SeqCst),
+            active_connections: self.active.load(Ordering::SeqCst) as u64,
+            queries: now.queries,
+            qps_milli,
+            wakes_per_sec_milli,
+            hit_rate_milli: metrics.cms.full_cache_answers * 1000 / metrics.cms.queries.max(1),
+            pool_spawned: pool.spawned,
+            pool_finished: pool.finished,
+            pool_panicked: pool.panicked,
+            pool_queue_len: pool.queue_len as u64,
+            pool_parked: pool.parked as u64,
+            recorder_dropped: self.recorder.dropped.load(Ordering::Relaxed),
+            counters: metrics
+                .counter_entries()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            hists: metrics
+                .histogram_entries()
+                .into_iter()
+                .map(|(k, h)| (k.to_string(), h.buckets))
+                .collect(),
+        }
+    }
+}
+
+/// One decoded client frame, routed from the reader thread to the
+/// connection task (the single writer on the socket — replies never
+/// race an in-flight answer stream).
+enum InboxMsg {
+    Query(ClientQuery),
+    /// `CLOCK_SYNC` carrying the client's timestamp to echo.
+    ClockSync(u64),
+    Stats,
+    Admin(u8),
 }
 
 /// One connection's mailbox, filled by its reader thread and drained by
 /// its [`ConnTask`] on the pool.
 struct ConnInbox {
-    queue: Mutex<VecDeque<ClientQuery>>,
+    queue: Mutex<VecDeque<InboxMsg>>,
     /// Set when the peer closed (or the stream broke); the task finishes
     /// after draining what is left.
     closed: AtomicBool,
@@ -100,9 +280,11 @@ struct ConnInbox {
 
 /// Where a [`ConnTask`] is between steps.
 enum ConnState {
-    /// Waiting for the inbox to yield the next query.
+    /// Waiting for the inbox to yield the next message.
     Idle,
-    /// Executing `query`; may park on a would-block and be retried.
+    /// Executing `query`; may park on a would-block and be retried. For
+    /// traced queries the connection's ring collects this query's span
+    /// records for the `TRACE` frame.
     Solving(ClientQuery),
 }
 
@@ -116,6 +298,11 @@ struct ConnTask {
     shared: Arc<ServerShared>,
     coop: Option<Arc<CoopCtx>>,
     state: ConnState,
+    /// The per-connection span ring, attached to the session tracer
+    /// while the client is sending traced queries. Kept across queries
+    /// (attach/detach happens only when the trace flag flips) so a
+    /// stream of traced queries pays one attach, not one per query.
+    trace_ring: Option<Arc<RingSink>>,
 }
 
 fn strategy_from_tag(tag: u8) -> Strategy {
@@ -153,8 +340,44 @@ impl ConnTask {
     }
 
     fn finish(&mut self) -> Step {
+        if self.trace_ring.take().is_some() {
+            self.session.cms_mut().detach_session_sink();
+        }
         self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        self.shared.record("conn.close", "");
         Step::Done
+    }
+
+    /// Reply to a control message while idle. `Err` means the peer is
+    /// gone.
+    fn reply_control(&mut self, msg: &InboxMsg) -> Result<(), NetError> {
+        match msg {
+            InboxMsg::ClockSync(client_now_us) => {
+                let server_now_us = self.shared.epoch.elapsed().as_micros() as u64;
+                write_frame(
+                    &mut self.writer,
+                    kind::CLOCK_INFO,
+                    &clientproto::encode_clock_info(*client_now_us, server_now_us),
+                )
+            }
+            InboxMsg::Stats => write_frame(
+                &mut self.writer,
+                kind::STATS_REPORT,
+                &clientproto::encode_stats_report(&self.shared.stats_report()),
+            ),
+            InboxMsg::Admin(op) => {
+                let text = match *op {
+                    admin_op::FLIGHT_RECORDER => self.shared.recorder.drain(),
+                    _ => String::new(),
+                };
+                write_frame(
+                    &mut self.writer,
+                    kind::ADMIN_REPORT,
+                    &clientproto::encode_admin_report(*op, &text),
+                )
+            }
+            InboxMsg::Query(_) => Ok(()),
+        }
     }
 }
 
@@ -169,10 +392,33 @@ impl Task for ConnTask {
                     .unwrap_or_else(|p| p.into_inner())
                     .pop_front();
                 match next {
-                    Some(q) => {
+                    Some(InboxMsg::Query(q)) => {
+                        // Traced queries get the connection's ring fanned
+                        // into the session tracer, pinned to the *server*
+                        // epoch so shipped `start_us` offsets are all on
+                        // the one clock `CLOCK_INFO` advertised. The
+                        // attachment persists until the client sends an
+                        // untraced query, so back-to-back traced queries
+                        // skip the attach/detach churn.
+                        if q.trace {
+                            if self.trace_ring.is_none() {
+                                let ring = Arc::new(RingSink::new(EXPLAIN_RING));
+                                self.session.cms_mut().attach_session_sink_at(
+                                    Arc::clone(&ring) as Arc<dyn TraceSink>,
+                                    self.shared.epoch,
+                                );
+                                self.trace_ring = Some(ring);
+                            }
+                        } else if self.trace_ring.take().is_some() {
+                            self.session.cms_mut().detach_session_sink();
+                        }
                         self.state = ConnState::Solving(q);
                         Step::Yield
                     }
+                    Some(msg) => match self.reply_control(&msg) {
+                        Ok(()) => Step::Yield,
+                        Err(_) => self.finish(), // peer gone
+                    },
                     // Check `closed` only after a failed pop: the reader
                     // pushes before it sets the flag, so a closed inbox
                     // with queued work still drains.
@@ -182,6 +428,14 @@ impl Task for ConnTask {
             }
             ConnState::Solving(q) => {
                 let (query, strategy) = (q.query.clone(), strategy_from_tag(q.strategy));
+                let query_id = q.query_id;
+                let ring = self.trace_ring.clone();
+                // A would-block retry re-runs the solve from scratch, so
+                // span records from the aborted attempt are stale —
+                // discard them before every attempt.
+                if let Some(ring) = &ring {
+                    let _ = ring.drain();
+                }
                 if self.coop.is_none() {
                     self.coop = Some(Arc::new(CoopCtx::new(waker.clone())));
                 }
@@ -193,12 +447,28 @@ impl Task for ConnTask {
                         self.state = ConnState::Idle;
                         self.shared.queries.fetch_add(1, Ordering::SeqCst);
                         let sent = match result {
-                            Ok(checked) => self.send_answer(&checked),
-                            Err(e) => write_frame(
-                                &mut self.writer,
-                                kind::ERROR,
-                                &clientproto::encode_client_error(&e.to_string()),
-                            ),
+                            Ok(checked) => {
+                                // Ship the query's span records first so
+                                // the client has the full forest by the
+                                // time END lands.
+                                let traced = match &ring {
+                                    Some(ring) => write_frame(
+                                        &mut self.writer,
+                                        kind::TRACE,
+                                        &clientproto::encode_trace(query_id, &ring.drain()),
+                                    ),
+                                    None => Ok(()),
+                                };
+                                traced.and_then(|()| self.send_answer(&checked))
+                            }
+                            Err(e) => {
+                                self.shared.record("query.error", &e.to_string());
+                                write_frame(
+                                    &mut self.writer,
+                                    kind::ERROR,
+                                    &clientproto::encode_client_error(&e.to_string()),
+                                )
+                            }
                         };
                         match sent {
                             Ok(()) => Step::Yield,
@@ -219,6 +489,7 @@ pub struct BraidServer {
     shared: Arc<ServerShared>,
     system: Arc<BraidSystem>,
     accept_handle: Option<JoinHandle<()>>,
+    sampler_handle: Option<JoinHandle<()>>,
 }
 
 impl BraidServer {
@@ -238,14 +509,21 @@ impl BraidServer {
             },
             system.cms().metrics_handle(),
         ));
+        let system = Arc::new(system);
         let shared = Arc::new(ServerShared {
+            epoch: Instant::now(),
             accepted: AtomicU64::new(0),
             active: AtomicUsize::new(0),
             queries: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
+            system: Arc::clone(&system),
+            pool: Arc::downgrade(&pool),
+            recorder: FlightRecorder::new(),
+            samples: Mutex::new(VecDeque::new()),
         });
-        let system = Arc::new(system);
+        shared.record("server.start", &local_addr.to_string());
+        shared.push_sample();
         let accept_handle = {
             let (pool, shared) = (Arc::clone(&pool), Arc::clone(&shared));
             let system = Arc::clone(&system);
@@ -253,12 +531,32 @@ impl BraidServer {
                 .name("braid-accept".into())
                 .spawn(move || accept_loop(&listener, &system, &pool, &shared))?
         };
+        // The sampler keeps the rate ring warm so STATS_REPORT can quote
+        // qps / wakes-per-second over a real window instead of lifetime
+        // averages. It naps in short slices to keep shutdown prompt.
+        let sampler_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("braid-stats-sampler".into())
+                .spawn(move || {
+                    while !shared.shutdown.load(Ordering::SeqCst) {
+                        let mut slept = Duration::ZERO;
+                        while slept < SAMPLER_PERIOD && !shared.shutdown.load(Ordering::SeqCst) {
+                            let nap = Duration::from_millis(5);
+                            std::thread::sleep(nap);
+                            slept += nap;
+                        }
+                        shared.push_sample();
+                    }
+                })?
+        };
         Ok(BraidServer {
             local_addr,
             pool,
             shared,
             system,
             accept_handle: Some(accept_handle),
+            sampler_handle: Some(sampler_handle),
         })
     }
 
@@ -275,10 +573,17 @@ impl BraidServer {
     /// Lifetime counters and current occupancy.
     pub fn stats(&self) -> BraidServerStats {
         BraidServerStats {
-            accepted: self.shared.accepted.load(Ordering::SeqCst),
+            connections_accepted: self.shared.accepted.load(Ordering::SeqCst),
             active: self.shared.active.load(Ordering::SeqCst),
             queries: self.shared.queries.load(Ordering::SeqCst),
+            uptime: self.shared.epoch.elapsed(),
         }
+    }
+
+    /// The same snapshot `STATS_REPORT` ships on the wire, for in-process
+    /// consumers (tests, `top --demo`).
+    pub fn stats_report(&self) -> StatsReport {
+        self.shared.stats_report()
     }
 
     /// Point-in-time metrics of the owned [`BraidSystem`]: the shared
@@ -304,6 +609,10 @@ impl BraidServer {
     fn stop(&mut self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
+        }
+        self.shared.record("shutdown", "");
+        if let Some(h) = self.sampler_handle.take() {
+            let _ = h.join();
         }
         // Unblock the accept loop with a throwaway connection. The loop
         // re-checks the flag *before* dispatching whatever `accept`
@@ -369,6 +678,13 @@ fn accept_loop(
         };
         shared.accepted.fetch_add(1, Ordering::SeqCst);
         shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.record(
+            "conn.accept",
+            &stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_default(),
+        );
         let inbox = Arc::new(ConnInbox {
             queue: Mutex::new(VecDeque::new()),
             closed: AtomicBool::new(false),
@@ -383,6 +699,7 @@ fn accept_loop(
             shared: Arc::clone(shared),
             coop: None,
             state: ConnState::Idle,
+            trace_ring: None,
         }));
         let waker = pool.waker(id);
         let reader = std::thread::Builder::new()
@@ -399,27 +716,40 @@ fn accept_loop(
     }
 }
 
-/// Per-connection reader: decode `QUERY` frames into the inbox and fire
-/// the task's waker. Exits (marking the inbox closed) on EOF, a client
-/// `END` goodbye, or any framing/decoding error.
+/// Per-connection reader: decode `QUERY`/`CLOCK_SYNC`/`STATS_REQUEST`/
+/// `ADMIN` frames into the inbox and fire the task's waker. Exits
+/// (marking the inbox closed) on EOF, a client `END` goodbye, or any
+/// framing/decoding error.
 fn reader_loop(mut stream: TcpStream, inbox: &Arc<ConnInbox>, waker: &Waker) {
     loop {
-        match read_frame(&mut stream, MAX_FRAME_BYTES) {
-            Ok(Some(f)) if f.kind == kind::QUERY => match clientproto::decode_query(&f.payload) {
-                Ok(q) => {
-                    inbox
-                        .queue
-                        .lock()
-                        .unwrap_or_else(|p| p.into_inner())
-                        .push_back(q);
-                    waker.wake();
-                }
-                Err(_) => break,
-            },
+        let msg = match read_frame(&mut stream, MAX_FRAME_BYTES) {
+            Ok(Some(f)) if f.kind == kind::QUERY => {
+                clientproto::decode_query(&f.payload).map(InboxMsg::Query)
+            }
+            Ok(Some(f)) if f.kind == kind::CLOCK_SYNC => {
+                clientproto::decode_clock_sync(&f.payload).map(InboxMsg::ClockSync)
+            }
+            Ok(Some(f)) if f.kind == kind::STATS_REQUEST => {
+                clientproto::decode_stats_request(&f.payload).map(|()| InboxMsg::Stats)
+            }
+            Ok(Some(f)) if f.kind == kind::ADMIN => {
+                clientproto::decode_admin(&f.payload).map(InboxMsg::Admin)
+            }
             // A client END frame is a polite goodbye; anything else
             // (unknown kind, EOF, torn frame, socket error) also ends
             // the conversation.
             Ok(_) | Err(_) => break,
+        };
+        match msg {
+            Ok(msg) => {
+                inbox
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push_back(msg);
+                waker.wake();
+            }
+            Err(_) => break,
         }
     }
     inbox.closed.store(true, Ordering::SeqCst);
@@ -428,30 +758,88 @@ fn reader_loop(mut stream: TcpStream, inbox: &Arc<ConnInbox>, waker: &Waker) {
 
 /// A blocking client for [`BraidServer`]: submit one query, collect the
 /// whole answer.
+///
+/// `connect` performs a one-round-trip clock exchange (`CLOCK_SYNC` /
+/// `CLOCK_INFO`): both sides run on private monotonic epochs, and the
+/// measured offset is what lets [`BraidClient::solve_explained`] graft
+/// server-side span records into the client's own trace timeline.
 #[derive(Debug)]
 pub struct BraidClient {
     stream: TcpStream,
+    /// This client's monotonic epoch; all local trace offsets are
+    /// microseconds since here.
+    epoch: Instant,
+    /// `server_time_us - client_time_us` estimated at connect: subtract
+    /// it from a server `start_us` to land on this client's timeline.
+    server_offset_us: i64,
+    next_query_id: u64,
+    /// Lazily built ring + tracer reused across `solve_explained` calls.
+    explain: Option<(Arc<RingSink>, Tracer)>,
 }
 
 impl BraidClient {
-    /// Connect to a running server.
+    /// Connect to a running server and exchange clocks.
     ///
     /// # Errors
-    /// Socket connect failures.
+    /// Socket connect failures, or a garbled clock exchange.
     pub fn connect(addr: SocketAddr) -> io::Result<BraidClient> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(BraidClient { stream })
+        Self::finish_connect(stream)
     }
 
     /// Like `connect`, failing after `timeout`.
     ///
     /// # Errors
-    /// Socket connect failures or timeout.
+    /// Socket connect failures or timeout, or a garbled clock exchange.
     pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<BraidClient> {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        Self::finish_connect(stream)
+    }
+
+    fn finish_connect(stream: TcpStream) -> io::Result<BraidClient> {
         stream.set_nodelay(true).ok();
-        Ok(BraidClient { stream })
+        let mut client = BraidClient {
+            stream,
+            epoch: Instant::now(),
+            server_offset_us: 0,
+            next_query_id: 1,
+            explain: None,
+        };
+        client.server_offset_us = client.clock_exchange().map_err(io::Error::other)?;
+        Ok(client)
+    }
+
+    /// One `CLOCK_SYNC` round trip: the classic midpoint estimate
+    /// `offset = server_now - (t0 + t1) / 2`, good to about half the
+    /// connection RTT.
+    fn clock_exchange(&mut self) -> Result<i64, NetError> {
+        let t0 = self.now_us();
+        write_frame(
+            &mut self.stream,
+            kind::CLOCK_SYNC,
+            &clientproto::encode_clock_sync(t0),
+        )?;
+        let frame = read_frame(&mut self.stream, MAX_FRAME_BYTES)?
+            .ok_or_else(|| NetError::corrupt("server closed during clock exchange"))?;
+        if frame.kind != kind::CLOCK_INFO {
+            return Err(NetError::corrupt("expected CLOCK_INFO"));
+        }
+        let (echo, server_now) = clientproto::decode_clock_info(&frame.payload)?;
+        if echo != t0 {
+            return Err(NetError::corrupt("CLOCK_INFO echoed a different timestamp"));
+        }
+        let t1 = self.now_us();
+        Ok(server_now as i64 - (t0 as i64 + t1 as i64) / 2)
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The connect-time estimate of `server_clock - client_clock` in
+    /// microseconds.
+    pub fn server_offset_us(&self) -> i64 {
+        self.server_offset_us
     }
 
     /// Submit one query and collect the full answer with its
@@ -465,22 +853,144 @@ impl BraidClient {
         query: &str,
         strategy: Strategy,
     ) -> Result<CheckedSolutions, BraidError> {
-        let q = ClientQuery {
-            strategy: strategy_to_tag(strategy),
-            query: query.to_string(),
-        };
+        let q = ClientQuery::plain(strategy_to_tag(strategy), query);
         write_frame(
             &mut self.stream,
             kind::QUERY,
             &clientproto::encode_query(&q),
         )
         .map_err(|e| BraidError::Server(format!("send failed: {e}")))?;
+        Ok(self.read_answer()?.0)
+    }
+
+    /// Like [`BraidClient::solve_checked`], but with wire tracing on:
+    /// the server ships the query's span records in a `TRACE` frame, and
+    /// the result carries a full cross-process EXPLAIN report — server
+    /// spans (tagged `origin=server`) grafted under this client's own
+    /// request span, on one normalized timeline.
+    ///
+    /// # Errors
+    /// [`BraidError::Server`] on transport failures or a server-reported
+    /// error.
+    pub fn solve_explained(
+        &mut self,
+        query: &str,
+        strategy: Strategy,
+    ) -> Result<ExplainedSolutions, BraidError> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        // One ring + tracer per client, built on first use: repeated
+        // traced queries reuse them (the ring is drained per query).
+        let (ring, tracer) = self
+            .explain
+            .get_or_insert_with(|| {
+                let ring = Arc::new(RingSink::new(EXPLAIN_RING));
+                let tracer = Tracer::new_at(Arc::clone(&ring) as Arc<dyn TraceSink>, self.epoch);
+                (ring, tracer)
+            })
+            .clone();
+        let _ = ring.drain();
+        let q = ClientQuery {
+            strategy: strategy_to_tag(strategy),
+            trace: true,
+            query_id,
+            query: query.to_string(),
+        };
+        let result = {
+            let _request = tracer.span_lazy(TraceKind::Query, || format!("remote {query}"));
+            tracer.event(
+                TraceKind::NetRequest,
+                "query",
+                vec![("query_id", query_id.to_string())],
+            );
+            write_frame(
+                &mut self.stream,
+                kind::QUERY,
+                &clientproto::encode_query(&q),
+            )
+            .map_err(|e| BraidError::Server(format!("send failed: {e}")))?;
+            self.read_answer()
+        };
+        let (checked, server_events) = result?;
+        let events = graft_forest(ring.drain(), server_events, self.server_offset_us);
+        let report = ExplainReport::from_events(
+            query,
+            checked.solutions.len(),
+            checked.completeness.clone(),
+            events,
+        );
+        Ok(ExplainedSolutions {
+            solutions: checked.solutions,
+            completeness: checked.completeness,
+            report,
+        })
+    }
+
+    /// Fetch the server's live `STATS_REPORT` snapshot.
+    ///
+    /// # Errors
+    /// [`BraidError::Server`] on transport failures.
+    pub fn stats(&mut self) -> Result<StatsReport, BraidError> {
+        write_frame(
+            &mut self.stream,
+            kind::STATS_REQUEST,
+            &clientproto::encode_stats_request(),
+        )
+        .map_err(|e| BraidError::Server(format!("send failed: {e}")))?;
+        let frame = self.read_one_frame()?;
+        if frame.kind != kind::STATS_REPORT {
+            return Err(BraidError::Server(format!(
+                "expected STATS_REPORT, got kind {:#x}",
+                frame.kind
+            )));
+        }
+        clientproto::decode_stats_report(&frame.payload)
+            .map_err(|e| BraidError::Server(format!("bad stats report: {e}")))
+    }
+
+    /// Drain the server's flight recorder: newline-separated JSON event
+    /// lines (empty string when nothing happened since the last drain).
+    ///
+    /// # Errors
+    /// [`BraidError::Server`] on transport failures.
+    pub fn flight_recorder(&mut self) -> Result<String, BraidError> {
+        write_frame(
+            &mut self.stream,
+            kind::ADMIN,
+            &clientproto::encode_admin(admin_op::FLIGHT_RECORDER),
+        )
+        .map_err(|e| BraidError::Server(format!("send failed: {e}")))?;
+        let frame = self.read_one_frame()?;
+        if frame.kind != kind::ADMIN_REPORT {
+            return Err(BraidError::Server(format!(
+                "expected ADMIN_REPORT, got kind {:#x}",
+                frame.kind
+            )));
+        }
+        let (_op, text) = clientproto::decode_admin_report(&frame.payload)
+            .map_err(|e| BraidError::Server(format!("bad admin report: {e}")))?;
+        Ok(text)
+    }
+
+    fn read_one_frame(&mut self) -> Result<braid_net::Frame, BraidError> {
+        read_frame(&mut self.stream, MAX_FRAME_BYTES)
+            .map_err(|e| BraidError::Server(format!("receive failed: {e}")))?
+            .ok_or_else(|| BraidError::Server("server closed mid-answer".into()))
+    }
+
+    /// Collect one answer stream: zero or one `TRACE`, any `BATCH`es,
+    /// then `END` or `ERROR`.
+    fn read_answer(&mut self) -> Result<(CheckedSolutions, Vec<TraceEvent>), BraidError> {
         let mut solutions: Vec<Tuple> = Vec::new();
+        let mut server_events: Vec<TraceEvent> = Vec::new();
         loop {
-            let frame = read_frame(&mut self.stream, MAX_FRAME_BYTES)
-                .map_err(|e| BraidError::Server(format!("receive failed: {e}")))?
-                .ok_or_else(|| BraidError::Server("server closed mid-answer".into()))?;
+            let frame = self.read_one_frame()?;
             match frame.kind {
+                kind::TRACE => {
+                    let (_query_id, events) = clientproto::decode_trace(&frame.payload)
+                        .map_err(|e| BraidError::Server(format!("bad trace: {e}")))?;
+                    server_events = events;
+                }
                 kind::BATCH => {
                     let tuples = decode_batch(&frame.payload)
                         .map_err(|e| BraidError::Server(format!("bad batch: {e}")))?;
@@ -496,10 +1006,13 @@ impl BraidClient {
                             missing_subqueries: missing,
                         }
                     };
-                    return Ok(CheckedSolutions {
-                        solutions,
-                        completeness,
-                    });
+                    return Ok((
+                        CheckedSolutions {
+                            solutions,
+                            completeness,
+                        },
+                        server_events,
+                    ));
                 }
                 kind::ERROR => {
                     let msg = clientproto::decode_client_error(&frame.payload)
@@ -521,6 +1034,76 @@ impl BraidClient {
     pub fn goodbye(mut self) {
         let _ = write_frame(&mut self.stream, kind::END, &[]);
     }
+}
+
+/// Merge server-side span records into the client's own trace so the
+/// combined list is one well-formed span forest:
+///
+/// 1. ids and seqs are shifted past the client's to stay unique;
+/// 2. server roots are re-parented under the client's request span;
+/// 3. `start_us` offsets move onto the client timeline via the
+///    connect-time clock offset, with a final nudge (and a request-span
+///    stretch) absorbing the estimate's half-RTT error so child
+///    intervals stay inside their parents;
+/// 4. every server event is tagged `origin=server` (which is also what
+///    `EXPLAIN` rendering keys its `server:` label prefix on).
+fn graft_forest(
+    client_events: Vec<TraceEvent>,
+    server_events: Vec<TraceEvent>,
+    server_offset_us: i64,
+) -> Vec<TraceEvent> {
+    let mut events = client_events;
+    // The request span is the client's only Query-kind span; fall back
+    // to "no graft root" (keep server roots as forest roots) if absent.
+    let request = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Query && e.dur_us > 0)
+        .max_by_key(|e| e.dur_us)
+        .map(|e| (e.id, e.start_us, e.start_us + e.dur_us));
+    if server_events.is_empty() {
+        return events;
+    }
+    let id_base = events.iter().map(|e| e.id).max().unwrap_or(0);
+    let seq_base = events.iter().map(|e| e.seq).max().unwrap_or(0);
+    // One uniform shift onto the client timeline preserves the nesting
+    // the server events already satisfy among themselves.
+    let mapped_start = |e: &TraceEvent| e.start_us as i64 - server_offset_us;
+    let min_start = server_events.iter().map(&mapped_start).min().unwrap_or(0);
+    let max_end = server_events
+        .iter()
+        .map(|e| mapped_start(e) + e.dur_us as i64)
+        .max()
+        .unwrap_or(0);
+    let nudge = match request {
+        // Pull the server window back inside the request span if the
+        // offset estimate overshot either edge.
+        Some((_, rs, re)) if min_start < rs as i64 || min_start > re as i64 => {
+            rs as i64 - min_start
+        }
+        None if min_start < 0 => -min_start,
+        _ => 0,
+    };
+    if let Some((request_id, rs, _)) = request {
+        // Stretch the request span to cover whatever remains outside it
+        // (clock noise): growing our own synthetic span is safe, while
+        // clamping individual server spans could break *their* nesting.
+        let span_end = (max_end + nudge).max(rs as i64) as u64;
+        if let Some(req) = events.iter_mut().find(|e| e.id == request_id) {
+            req.dur_us = req.dur_us.max(span_end - rs);
+        }
+    }
+    for mut e in server_events {
+        e.id += id_base;
+        e.seq += seq_base;
+        e.parent = match e.parent {
+            Some(p) => Some(p + id_base),
+            None => request.map(|(id, _, _)| id),
+        };
+        e.start_us = (mapped_start(&e) + nudge).max(0) as u64;
+        e.fields.push(("origin", "server".to_string()));
+        events.push(e);
+    }
+    events
 }
 
 #[cfg(test)]
@@ -576,7 +1159,7 @@ mod tests {
         assert_eq!(again.solutions, expected);
         client.goodbye();
         let stats = server.stats();
-        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.connections_accepted, 1);
         assert_eq!(stats.queries, 2);
         server.shutdown();
     }
@@ -632,7 +1215,7 @@ mod tests {
             }
         });
         let stats = server.stats();
-        assert_eq!(stats.accepted, 8);
+        assert_eq!(stats.connections_accepted, 8);
         assert_eq!(stats.queries, 8);
         // Wait for the connection tasks to observe the closed inboxes.
         for _ in 0..1000 {

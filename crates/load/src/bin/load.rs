@@ -40,6 +40,9 @@ fn main() {
     let rate = arg_u64(&args, "--rate").unwrap_or(800) as u32;
     let workers = arg_u64(&args, "--workers").unwrap_or(4) as usize;
     let seed = arg_u64(&args, "--seed").unwrap_or(0);
+    let wire_trace = args.iter().any(|a| a == "--trace");
+    let trace_sample = arg_u64(&args, "--trace-sample").unwrap_or(1).max(1) as u32;
+    let stats_poll_hz = arg_u64(&args, "--stats-poll-hz").unwrap_or(0) as u32;
     let dataset = match arg_str(&args, "--dataset").unwrap_or("genealogy") {
         "suppliers" => Dataset::Suppliers {
             parts: 16,
@@ -70,6 +73,9 @@ fn main() {
         workers,
         step_budget: 8,
         spawn: SpawnMode::Process(program),
+        wire_trace,
+        trace_sample,
+        stats_poll_hz,
     };
     eprintln!(
         "load: {procs} processes x {conns} conns x {queries} queries, {} ({} server workers)",
@@ -104,12 +110,18 @@ fn main() {
         out.merged.p90(),
         out.merged.p99(),
         out.merged.max(),
-        out.stats.accepted,
+        out.stats.connections_accepted,
         out.stats.queries,
         out.metrics.cms.run_queue_depth,
         out.metrics.cms.sessions_parked,
         out.metrics.cms.wakes,
     );
+    if out.stats_polls > 0 {
+        println!(
+            "load: stats poller: {} polls | peak run-queue {} | peak inflight {}",
+            out.stats_polls, out.peak_run_queue, out.peak_inflight
+        );
+    }
     if !out.digest_mismatches.is_empty() {
         eprintln!(
             "load: DIGEST MISMATCH in processes {:?}",

@@ -5,7 +5,7 @@
 use crate::spec::{query_pool, LoadSpec};
 use crate::worker::{run_load_worker, WORKER_FLAG};
 use braid::{
-    BraidConfig, BraidServer, BraidServerConfig, BraidServerStats, CheckedSolutions,
+    BraidClient, BraidConfig, BraidServer, BraidServerConfig, BraidServerStats, CheckedSolutions,
     CombinedMetrics, Completeness, Strategy,
 };
 use braid_cms::sched::PoolSnapshot;
@@ -15,6 +15,8 @@ use braid_sim::{digest_answer, Dataset, RefModel, DIGEST_SEED};
 use braid_trace::HistogramSnapshot;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How the harness runs its workers.
@@ -56,6 +58,19 @@ pub struct LoadConfig {
     pub step_budget: usize,
     /// Thread or process workers.
     pub spawn: SpawnMode,
+    /// Run queries with wire tracing on (TRACE frames + client-side
+    /// grafting) — the E19 overhead knob.
+    pub wire_trace: bool,
+    /// Head-sampling period when `wire_trace` is set: trace one query
+    /// slot in every `trace_sample` (`1` = every query; clamped to ≥ 1).
+    /// Production tracers sample for exactly this reason — E19's
+    /// deployed lane runs 1-in-8, its audit lane runs 1-in-1.
+    pub trace_sample: u32,
+    /// Poll the server's STATS protocol at this rate (Hz) on a side
+    /// connection while the run is in flight; `0` disables polling.
+    /// The polled snapshots feed [`LoadOutcome::peak_run_queue`] and
+    /// [`LoadOutcome::peak_inflight`].
+    pub stats_poll_hz: u32,
 }
 
 impl Default for LoadConfig {
@@ -75,6 +90,9 @@ impl Default for LoadConfig {
             workers: 4,
             step_budget: 8,
             spawn: SpawnMode::Thread,
+            wire_trace: false,
+            trace_sample: 1,
+            stats_poll_hz: 0,
         }
     }
 }
@@ -99,6 +117,15 @@ pub struct LoadOutcome {
     pub pool: PoolSnapshot,
     /// Wall-clock time from first fork to last report.
     pub elapsed: Duration,
+    /// STATS snapshots the in-flight poller collected (0 when
+    /// `stats_poll_hz` was 0).
+    pub stats_polls: u64,
+    /// Highest `pool_queue_len` any polled snapshot saw — the run-queue
+    /// high-water as a live dashboard would have observed it.
+    pub peak_run_queue: u64,
+    /// Highest `active_connections` any polled snapshot saw (the
+    /// poller's own side connection included).
+    pub peak_inflight: u64,
 }
 
 impl LoadOutcome {
@@ -203,8 +230,36 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, String> {
             conns: cfg.conns,
             queries: cfg.queries_per_proc,
             rate_per_sec: cfg.rate_per_sec,
+            trace: cfg.wire_trace,
+            trace_sample: cfg.trace_sample.max(1),
         })
         .collect();
+
+    // The optional in-flight poller: a side connection hitting the
+    // STATS protocol at `stats_poll_hz` for the whole run, exactly the
+    // traffic a live `top` dashboard adds.
+    let polling = Arc::new(AtomicBool::new(true));
+    let poller = (cfg.stats_poll_hz > 0).then(|| {
+        let polling = Arc::clone(&polling);
+        let addr = server.local_addr();
+        let period = Duration::from_micros(1_000_000 / u64::from(cfg.stats_poll_hz));
+        std::thread::spawn(move || {
+            let (mut polls, mut peak_q, mut peak_in) = (0u64, 0u64, 0u64);
+            let Ok(mut client) = BraidClient::connect_timeout(addr, Duration::from_secs(5)) else {
+                return (polls, peak_q, peak_in);
+            };
+            while polling.load(Ordering::SeqCst) {
+                if let Ok(s) = client.stats() {
+                    polls += 1;
+                    peak_q = peak_q.max(s.pool_queue_len);
+                    peak_in = peak_in.max(s.active_connections);
+                }
+                std::thread::sleep(period);
+            }
+            client.goodbye();
+            (polls, peak_q, peak_in)
+        })
+    });
 
     let start = Instant::now();
     let reports: Vec<LoadReport> = match &cfg.spawn {
@@ -233,6 +288,10 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, String> {
         }
     };
     let elapsed = start.elapsed();
+    polling.store(false, Ordering::SeqCst);
+    let (stats_polls, peak_run_queue, peak_inflight) = poller
+        .map(|h| h.join().unwrap_or((0, 0, 0)))
+        .unwrap_or((0, 0, 0));
 
     let mut digest_mismatches = Vec::new();
     for (report, spec) in reports.iter().zip(&specs) {
@@ -266,6 +325,9 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadOutcome, String> {
         stats,
         pool,
         elapsed,
+        stats_polls,
+        peak_run_queue,
+        peak_inflight,
     })
 }
 
@@ -287,7 +349,28 @@ mod tests {
         assert!(out.passed(), "run failed: {out:?}");
         assert_eq!(out.total_ok(), 48);
         assert_eq!(out.merged.count(), 48);
-        assert_eq!(out.stats.accepted, 4, "2 procs x 2 conns");
+        assert_eq!(out.stats.connections_accepted, 4, "2 procs x 2 conns");
+    }
+
+    #[test]
+    fn traced_run_with_stats_polling_passes_the_oracle() {
+        let out = run_load(&LoadConfig {
+            procs: 2,
+            conns: 2,
+            queries_per_proc: 24,
+            rate_per_sec: 0,
+            workers: 2,
+            wire_trace: true,
+            stats_poll_hz: 50,
+            ..LoadConfig::default()
+        })
+        .expect("harness runs");
+        assert!(out.passed(), "run failed: {out:?}");
+        assert_eq!(out.total_ok(), 48, "tracing must not change answers");
+        // The poller fires at least once before checking its stop flag,
+        // and its own side connection keeps the inflight gauge nonzero.
+        assert!(out.stats_polls >= 1);
+        assert!(out.peak_inflight >= 1, "{out:?}");
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub struct LoadSpec {
     /// Open-loop arrival rate in queries/second; `0` means closed loop
     /// (each connection fires back-to-back).
     pub rate_per_sec: u32,
+    /// Run queries with wire tracing on (`solve_explained`): the server
+    /// ships each traced query's span records in a `TRACE` frame and the
+    /// worker grafts them client-side — the E19 overhead knob.
+    pub trace: bool,
+    /// Head-sampling period for traced runs: when `trace` is set, query
+    /// slot `i` is traced iff `i % trace_sample == 0` (so `1` traces
+    /// every query, `8` one in eight — the production-tracer pattern
+    /// that keeps observability overhead proportional). Clamped to ≥ 1.
+    pub trace_sample: u32,
 }
 
 fn strategy_name(s: Strategy) -> &'static str {
@@ -70,6 +79,8 @@ impl LoadSpec {
             ("conns".into(), Json::UInt(self.conns.into())),
             ("queries".into(), Json::UInt(self.queries.into())),
             ("rate_per_sec".into(), Json::UInt(self.rate_per_sec.into())),
+            ("trace".into(), Json::Bool(self.trace)),
+            ("trace_sample".into(), Json::UInt(self.trace_sample.into())),
         ])
         .render()
     }
@@ -103,6 +114,11 @@ impl LoadSpec {
             conns: u32_field("conns")?,
             queries: u32_field("queries")?,
             rate_per_sec: u32_field("rate_per_sec")?,
+            trace: v
+                .req("trace")?
+                .as_bool()
+                .ok_or("spec trace must be a bool")?,
+            trace_sample: u32_field("trace_sample")?,
         })
     }
 }
@@ -238,6 +254,8 @@ mod tests {
             conns: 2,
             queries: 40,
             rate_per_sec: 500,
+            trace: true,
+            trace_sample: 4,
         }
     }
 

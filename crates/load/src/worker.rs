@@ -164,7 +164,23 @@ pub fn run_load_worker(spec: &LoadSpec) -> LoadReport {
                         start.elapsed()
                     };
                     sent.fetch_add(1, Ordering::Relaxed);
-                    match client.solve_checked(&queries[i], spec.strategy) {
+                    // Traced slots exercise the whole observability path —
+                    // TRACE frame, graft, report build — so E19 measures
+                    // the cost a real dashboarded client would pay. The
+                    // slot index decides sampling (deterministic under
+                    // connection races; the digest is trace-agnostic).
+                    let sample = spec.trace_sample.max(1) as usize;
+                    let result = if spec.trace && i.is_multiple_of(sample) {
+                        client
+                            .solve_explained(&queries[i], spec.strategy)
+                            .map(|explained| braid::CheckedSolutions {
+                                solutions: explained.solutions,
+                                completeness: explained.completeness,
+                            })
+                    } else {
+                        client.solve_checked(&queries[i], spec.strategy)
+                    };
+                    match result {
                         Ok(checked) => {
                             hist.record(
                                 start

@@ -14,6 +14,9 @@ fn worker_binary() -> PathBuf {
 
 #[test]
 fn forked_processes_pass_the_oracle_open_loop() {
+    // Wire tracing on and a live STATS poller running: real worker
+    // processes exercise the full observability path while the oracle
+    // still checks every answer.
     let out = run_load(&LoadConfig {
         procs: 2,
         conns: 2,
@@ -21,15 +24,23 @@ fn forked_processes_pass_the_oracle_open_loop() {
         rate_per_sec: 2_000,
         workers: 2,
         spawn: SpawnMode::Process(worker_binary()),
+        wire_trace: true,
+        stats_poll_hz: 20,
         ..LoadConfig::default()
     })
     .expect("harness runs");
     assert!(out.passed(), "run failed: {out:?}");
     assert_eq!(out.total_ok(), 60);
     assert_eq!(out.merged.count(), 60, "histograms merged across processes");
-    assert_eq!(out.stats.accepted, 4, "2 procs x 2 conns");
+    // 2 procs x 2 conns, plus the poller's side connection.
+    assert_eq!(out.stats.connections_accepted, 5);
     assert_eq!(out.stats.active, 0, "connections drained");
     assert_eq!(out.pool.spawned, out.pool.finished, "pool drained");
+    assert!(out.stats_polls >= 1, "poller sampled the run: {out:?}");
+    assert!(
+        out.peak_inflight >= 1,
+        "polled snapshots saw live connections: {out:?}"
+    );
 }
 
 #[test]

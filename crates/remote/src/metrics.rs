@@ -80,6 +80,40 @@ impl MetricsSnapshot {
     /// Number of histogram fields.
     pub const HISTOGRAM_FIELDS: usize = 2;
 
+    /// Every scalar counter as a `("remote.<name>", value)` entry, in
+    /// declaration order — the flattening the wire STATS protocol
+    /// ships. A completeness test pins the length to `COUNTER_FIELDS`,
+    /// so a new snapshot field cannot silently miss the export.
+    pub fn counter_entries(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("remote.requests", self.requests),
+            ("remote.tuples_shipped", self.tuples_shipped),
+            ("remote.batches_shipped", self.batches_shipped),
+            ("remote.bytes_shipped", self.bytes_shipped),
+            ("remote.server_tuple_ops", self.server_tuple_ops),
+            (
+                "remote.simulated_latency_units",
+                self.simulated_latency_units,
+            ),
+            ("remote.faults_injected", self.faults_injected),
+            ("remote.unavailable_faults", self.unavailable_faults),
+            ("remote.timeout_faults", self.timeout_faults),
+            ("remote.disconnect_faults", self.disconnect_faults),
+            ("remote.latency_spike_faults", self.latency_spike_faults),
+            ("remote.wasted_latency_units", self.wasted_latency_units),
+            ("remote.wasted_tuples", self.wasted_tuples),
+            ("remote.peak_inflight_requests", self.peak_inflight_requests),
+        ]
+    }
+
+    /// Every histogram as a `("remote.<name>", snapshot)` entry.
+    pub fn histogram_entries(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        vec![
+            ("remote.rtt_units", self.rtt_units),
+            ("remote.batch_tuples", self.batch_tuples),
+        ]
+    }
+
     /// Difference between two snapshots (self - earlier).
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -274,6 +308,22 @@ mod tests {
         assert_eq!(delta.tuples_shipped, 5);
         assert_eq!(delta.rtt_units.count(), 1);
         assert_eq!(delta.batch_tuples.count(), 1);
+    }
+
+    /// The flattened entry lists cover every snapshot field — a field
+    /// added without an export entry fails here.
+    #[test]
+    fn entry_lists_cover_every_field() {
+        let m = RemoteMetrics::new();
+        m.record_request();
+        let s = m.snapshot();
+        let counters = s.counter_entries();
+        assert_eq!(counters.len(), MetricsSnapshot::COUNTER_FIELDS);
+        assert!(counters.contains(&("remote.requests", 1)));
+        assert_eq!(
+            s.histogram_entries().len(),
+            MetricsSnapshot::HISTOGRAM_FIELDS
+        );
     }
 
     /// Completeness guard: every snapshot field must be one of the

@@ -49,9 +49,12 @@ pub enum TraceKind {
     Query,
     /// §5.3.1 generalization applied to the incoming query.
     Generalize,
-    /// Subsumption probe: candidates examined, matched views, remainder.
+    /// Subsumption probe. Retained in the closed wire registry; the CMS
+    /// folds the probe stats into [`TraceKind::PlanDecision`] so each
+    /// subquery ships one planner record instead of two.
     Subsumption,
-    /// Planner decision: cache/remote/mixed, lazy/eager, pins taken.
+    /// Planner decision: cache/remote/mixed, lazy/eager, pins taken,
+    /// plus the subsumption probe (candidates examined, replans).
     PlanDecision,
     /// Pin race lost three times: fell back to an all-remote plan.
     PinFallback,
@@ -96,6 +99,44 @@ pub enum TraceKind {
 }
 
 impl TraceKind {
+    /// Every kind, in declaration order — the wire codec and the
+    /// name-lookup tests iterate this so a new variant cannot be added
+    /// without updating its dotted name.
+    pub const ALL: [TraceKind; 26] = [
+        TraceKind::IeSolve,
+        TraceKind::Translate,
+        TraceKind::AdviceInstalled,
+        TraceKind::Query,
+        TraceKind::Generalize,
+        TraceKind::Subsumption,
+        TraceKind::PlanDecision,
+        TraceKind::PinFallback,
+        TraceKind::Execute,
+        TraceKind::CachePart,
+        TraceKind::RemoteFetch,
+        TraceKind::Retry,
+        TraceKind::BreakerOpen,
+        TraceKind::BreakerReject,
+        TraceKind::DeadlineTimeout,
+        TraceKind::Degraded,
+        TraceKind::CacheInsert,
+        TraceKind::Eviction,
+        TraceKind::IndexBuild,
+        TraceKind::Prefetch,
+        TraceKind::RemoteRequest,
+        TraceKind::NetConnect,
+        TraceKind::NetRequest,
+        TraceKind::NetResume,
+        TraceKind::SchedPark,
+        TraceKind::SchedResume,
+    ];
+
+    /// Inverse of [`TraceKind::as_str`] — used when trace events cross a
+    /// process boundary as their dotted names.
+    pub fn from_name(name: &str) -> Option<TraceKind> {
+        TraceKind::ALL.iter().copied().find(|k| k.as_str() == name)
+    }
+
     /// Stable dotted name for rendering and log matching.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -215,6 +256,78 @@ pub fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Every field key the pipeline's instrumentation sites use today.
+/// [`intern_field_key`] resolves wire-decoded keys against this table
+/// first, so round-tripping a span over TCP allocates nothing.
+const KNOWN_FIELD_KEYS: &[&str] = &[
+    "addr",
+    "backoff",
+    "batch_size",
+    "cache_bytes",
+    "cache_elements",
+    "candidates",
+    "completeness",
+    "config",
+    "decision",
+    "delivered",
+    "disconnect_after_tuples",
+    "error",
+    "exec_batches",
+    "flight",
+    "generalization",
+    "i",
+    "k",
+    "latency_spike_units",
+    "lazy",
+    "local_addr",
+    "local_tuple_ops",
+    "matched_views",
+    "mode",
+    "next",
+    "origin",
+    "parts",
+    "pins",
+    "prefetch",
+    "queries",
+    "remainder",
+    "replans",
+    "rows",
+    "schema",
+    "state",
+    "stats",
+    "strategy",
+    "subsumption",
+    "view_specs",
+    "waited_us",
+];
+
+/// Unknown keys seen by [`intern_field_key`] beyond the known table are
+/// leak-interned at most this many times process-wide; past the cap they
+/// all collapse to `"field"`. Bounds memory even against adversarial
+/// wire input (the codec fuzz tests decode arbitrary bytes).
+const INTERN_POOL_CAP: usize = 256;
+
+/// Resolve an owned field key (e.g. decoded from a TRACE wire frame)
+/// to the `&'static str` that [`TraceEvent::fields`] requires. Known
+/// keys cost a table scan; novel keys are interned by leaking, with a
+/// hard cap after which they degrade to the literal `"field"`.
+pub fn intern_field_key(key: &str) -> &'static str {
+    if let Some(k) = KNOWN_FIELD_KEYS.iter().find(|k| **k == key) {
+        return k;
+    }
+    static POOL: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut pool = POOL.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(k) = pool.iter().find(|k| **k == key) {
+        return k;
+    }
+    if pool.len() >= INTERN_POOL_CAP {
+        return "field";
+    }
+    let leaked: &'static str = Box::leak(key.to_string().into_boxed_str());
+    pool.push(leaked);
+    leaked
 }
 
 /// Where trace events go. Implementations must be cheap when disabled:
@@ -396,20 +509,39 @@ impl Tracer {
         Tracer::fanout(vec![sink])
     }
 
+    /// Like [`Tracer::new`], but timestamps are measured from a caller-
+    /// supplied epoch instead of "now".
+    pub fn new_at(sink: Arc<dyn TraceSink>, epoch: Instant) -> Tracer {
+        Tracer::fanout_at(vec![sink], epoch)
+    }
+
     /// A tracer duplicating every event to several sinks (e.g. the
     /// process-wide shared sink plus a per-query explain ring).
     pub fn fanout(sinks: Vec<Arc<dyn TraceSink>>) -> Tracer {
+        Tracer::fanout_at(sinks, Instant::now())
+    }
+
+    /// Like [`Tracer::fanout`], but with an explicit epoch. A server
+    /// shipping spans across a process boundary pins every per-session
+    /// tracer to one server-wide epoch, so the peer can normalize all of
+    /// them with a single clock-offset exchange.
+    pub fn fanout_at(sinks: Vec<Arc<dyn TraceSink>>, epoch: Instant) -> Tracer {
         let enabled = sinks.iter().any(|s| s.enabled());
         Tracer {
             inner: Arc::new(TracerInner {
                 sinks,
                 enabled,
-                epoch: Instant::now(),
+                epoch,
                 next_id: AtomicU64::new(1),
                 next_seq: AtomicU64::new(1),
                 stack: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// The instant this tracer's `start_us` offsets are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.inner.epoch
     }
 
     /// A tracer whose spans and events all short-circuit.
@@ -442,13 +574,17 @@ impl Tracer {
     }
 
     fn record(&self, event: TraceEvent) {
-        for (i, sink) in self.inner.sinks.iter().enumerate() {
-            if i + 1 == self.inner.sinks.len() {
-                sink.record(event);
-                break;
-            }
+        // Skip disabled sinks entirely so a fanout of [shared noop,
+        // per-query ring] — the common EXPLAIN shape — moves the event
+        // instead of cloning its label and field strings for a sink
+        // that would only discard them.
+        let Some(last) = self.inner.sinks.iter().rposition(|s| s.enabled()) else {
+            return;
+        };
+        for sink in self.inner.sinks[..last].iter().filter(|s| s.enabled()) {
             sink.record(event.clone());
         }
+        self.inner.sinks[last].record(event);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -910,6 +1046,45 @@ mod tests {
         let r = SinkHandle::new(Arc::new(RingSink::new(4)));
         assert!(r.is_enabled());
         assert_eq!(format!("{a:?}"), "SinkHandle(disabled)");
+    }
+
+    #[test]
+    fn kind_names_round_trip_and_are_unique() {
+        let mut names: Vec<&str> = TraceKind::ALL.iter().map(|k| k.as_str()).collect();
+        for k in TraceKind::ALL {
+            assert_eq!(TraceKind::from_name(k.as_str()), Some(k));
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TraceKind::ALL.len(), "dotted names collide");
+        assert_eq!(TraceKind::from_name("no.such.kind"), None);
+    }
+
+    #[test]
+    fn field_keys_intern_to_stable_pointers() {
+        // Known keys come back as the table entry itself.
+        let a = intern_field_key("rows");
+        assert_eq!(a, "rows");
+        // Novel keys leak once and are reused after.
+        let b1 = intern_field_key("wire_test_novel_key");
+        let b2 = intern_field_key("wire_test_novel_key");
+        assert_eq!(b1, "wire_test_novel_key");
+        assert!(std::ptr::eq(b1, b2), "novel key must intern, not re-leak");
+    }
+
+    #[test]
+    fn explicit_epoch_shifts_start_offsets() {
+        let ring = Arc::new(RingSink::new(4));
+        let epoch = Instant::now() - std::time::Duration::from_millis(50);
+        let t = Tracer::new_at(ring.clone(), epoch);
+        assert_eq!(t.epoch(), epoch);
+        drop(t.span(TraceKind::Query, "q"));
+        let evs = ring.drain();
+        assert!(
+            evs[0].start_us >= 50_000,
+            "span must be timed from the supplied epoch, got {}",
+            evs[0].start_us
+        );
     }
 
     #[test]

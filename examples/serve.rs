@@ -73,7 +73,7 @@ fn main() {
     let pool = server.pool_snapshot();
     println!(
         "\nserver: {} connections accepted, {} queries answered, {} still active",
-        stats.accepted, stats.queries, stats.active
+        stats.connections_accepted, stats.queries, stats.active
     );
     println!(
         "pool: {} tasks spawned, {} finished, {} panicked",

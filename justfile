@@ -38,6 +38,18 @@ trace-check:
     cargo test -p braid-trace -q
     cargo run -p braid-bench --bin report -- --quick --only E14
 
+# Live server dashboard over the wire STATS protocol (DESIGN.md §14).
+# `just top` attaches to a running server; `just top-demo` brings its
+# own server + traffic; `just top-smoke` is the one-shot CI check.
+top addr="127.0.0.1:7878":
+    cargo run --release -p braid-load --bin top -- --addr {{addr}}
+
+top-demo:
+    cargo run --release -p braid-load --bin top -- --demo --interval-ms 500
+
+top-smoke:
+    cargo run --release -p braid-load --bin top -- --demo --once
+
 # The network suites (DESIGN.md §11): frame codec + fault proxy
 # (braid-net), TCP server/client-pool/transport (braid-remote), the
 # socket chaos suite driving real workloads through the fault proxy,

@@ -54,6 +54,15 @@ echo "==> multi-process load smoke (2 forked clients, oracle-checked)"
 cargo run --release -p braid-load --bin load -- --procs 2 --conns 1 --queries 40 --rate 0 > /dev/null
 cargo run --release -p braid-load --bin load -- --procs 2 --conns 1 --queries 40 --rate 2000 > /dev/null
 
+echo "==> wire observability suite (trace propagation, STATS, flight recorder)"
+cargo test --release --test wire_observability -q
+
+echo "==> top dashboard smoke (demo server, one STATS snapshot)"
+cargo run --release -p braid-load --bin top -- --demo --once | grep -q "braid top"
+
+echo "==> traced load smoke (wire tracing + 10 Hz STATS poller)"
+cargo run --release -p braid-load --bin load -- --procs 2 --conns 1 --queries 40 --rate 0 --trace --stats-poll-hz 10 > /dev/null
+
 echo "==> braid server round trip (serve example)"
 cargo run --release --example serve > /dev/null
 
@@ -71,5 +80,8 @@ cargo run -p braid-bench --bin report -- --quick --only E17
 
 echo "==> E18 multi-process load smoke report"
 cargo run -p braid-bench --bin report -- --quick --only E18
+
+echo "==> E19 observability-overhead smoke report"
+cargo run -p braid-bench --bin report -- --quick --only E19
 
 echo "==> ci OK"

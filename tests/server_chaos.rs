@@ -99,20 +99,27 @@ fn resets_surface_as_typed_errors_and_drain() {
     .unwrap();
 
     for conn in 0..4u64 {
-        let mut client = BraidClient::connect(proxy.addr()).unwrap();
-        let result = client.solve_checked("?- anc(ann, Y).", Strategy::ConjunctionCompiled);
-        match result {
-            Ok(checked) => {
-                assert!(conn == 1 || conn >= 3, "conn {conn} should have been reset");
-                assert_eq!(checked.solutions.len(), 4);
-                client.goodbye();
+        // `connect` performs the clock exchange, so a reset before any
+        // downstream byte surfaces right there as an `io::Error`.
+        match BraidClient::connect(proxy.addr()) {
+            Ok(mut client) => {
+                match client.solve_checked("?- anc(ann, Y).", Strategy::ConjunctionCompiled) {
+                    Ok(checked) => {
+                        assert!(conn == 1 || conn >= 3, "conn {conn} should have been reset");
+                        assert_eq!(checked.solutions.len(), 4);
+                        client.goodbye();
+                    }
+                    Err(e) => {
+                        assert!(
+                            conn == 0 || conn == 2,
+                            "conn {conn} failed unexpectedly: {e}"
+                        );
+                        assert!(is_typed_server_error(&e), "untyped error: {e:?}");
+                    }
+                }
             }
             Err(e) => {
-                assert!(
-                    conn == 0 || conn == 2,
-                    "conn {conn} failed unexpectedly: {e}"
-                );
-                assert!(is_typed_server_error(&e), "untyped error: {e:?}");
+                assert!(conn == 0 || conn == 2, "conn {conn} refused connect: {e}");
             }
         }
     }
@@ -125,20 +132,27 @@ fn resets_surface_as_typed_errors_and_drain() {
 #[test]
 fn torn_frames_mid_batch_surface_as_typed_errors() {
     let server = server();
-    // Truncation budgets that land inside the first BATCH frame of the
-    // answer stream (the frame header alone is 5 bytes), plus one that
-    // tears the stream before even the header completes.
+    // Truncation budgets that land inside the clock exchange (the
+    // CLOCK_INFO reply is 5 header + 16 payload bytes, so 2 and 9 tear
+    // `connect` itself) or inside the first BATCH frame of the answer
+    // stream (40).
     for after_bytes in [2u64, 9, 40] {
         let mut proxy = FaultProxy::start(
             server.local_addr(),
             ProxyPlan::seeded(7).with_scheduled(0, ProxyFault::Truncate { after_bytes }),
         )
         .unwrap();
-        let mut client = BraidClient::connect(proxy.addr()).unwrap();
-        let err = client
-            .solve_checked("?- anc(ann, Y).", Strategy::ConjunctionCompiled)
-            .expect_err("torn answer stream must error");
-        assert!(is_typed_server_error(&err), "untyped error: {err:?}");
+        match BraidClient::connect(proxy.addr()) {
+            Ok(mut client) => {
+                let err = client
+                    .solve_checked("?- anc(ann, Y).", Strategy::ConjunctionCompiled)
+                    .expect_err("torn answer stream must error");
+                assert!(is_typed_server_error(&err), "untyped error: {err:?}");
+            }
+            // The tear landed inside the clock exchange — still a typed
+            // error, just at connect time.
+            Err(_) => assert!(after_bytes < 21, "late tear broke connect"),
+        }
         // The next connection through the same proxy is healthy: the
         // tear hurt one conversation, not the server.
         let mut client = BraidClient::connect(proxy.addr()).unwrap();
@@ -162,11 +176,10 @@ fn outage_window_refuses_then_recovers() {
         FaultProxy::start(server.local_addr(), ProxyPlan::seeded(3).with_outage(0, 3)).unwrap();
 
     for _ in 0..3 {
-        let mut client = BraidClient::connect(proxy.addr()).unwrap();
-        let err = client
-            .solve_checked("?- anc(ann, Y).", Strategy::Interpreted)
+        // A connection inside the window is accepted then closed, which
+        // the clock exchange at connect time turns into an `io::Error`.
+        BraidClient::connect(proxy.addr())
             .expect_err("connection inside the outage window must fail");
-        assert!(is_typed_server_error(&err), "untyped error: {err:?}");
     }
     let mut client = BraidClient::connect(proxy.addr()).unwrap();
     let ok = client
@@ -225,10 +238,7 @@ fn client_abandoning_mid_answer_drains() {
     // write hits a dead socket and the connection task must finish.
     for _ in 0..4 {
         let mut s = TcpStream::connect(server.local_addr()).unwrap();
-        let q = ClientQuery {
-            strategy: clientproto::strategy::CONJUNCTION_COMPILED,
-            query: "?- anc(X, Y).".into(),
-        };
+        let q = ClientQuery::plain(clientproto::strategy::CONJUNCTION_COMPILED, "?- anc(X, Y).");
         write_frame(&mut s, kind::QUERY, &clientproto::encode_query(&q)).unwrap();
         drop(s);
     }
