@@ -76,7 +76,7 @@ fn main() {
         "sim: seeds {seed_start}..{} ({rounds} rounds{}{})",
         seed_start + rounds,
         if soak {
-            ", deterministic + threaded + socket + coop"
+            ", deterministic + columnar + threaded + socket + coop"
         } else {
             ""
         },
@@ -97,7 +97,7 @@ fn main() {
         }
     }
     let dt = start.elapsed().as_secs_f64();
-    let runs_per_seed = if soak { 4.0 } else { 1.0 };
+    let runs_per_seed = if soak { 5.0 } else { 1.0 };
     eprintln!(
         "sim: {rounds} scenarios, {solves} solves, {:.1} scenarios/s, {failed} failed",
         (rounds as f64 * runs_per_seed) / dt.max(1e-9)
@@ -132,6 +132,36 @@ fn run_one(sc: &SimScenario, opts: &SimOptions, verbose: bool, soak: bool, procs
         report_failure(sc, opts, &report.violations, "deterministic");
     }
     if soak {
+        // Columnar lane: the identical scenario with the column-major
+        // representation forced on. Fully deterministic and replayable,
+        // and the answer digest must agree bit-for-bit with the row run
+        // — representation invariance checked at soak scale.
+        if !sc.columnar {
+            let mut forced = sc.clone();
+            forced.columnar = true;
+            match run_scenario(&forced, opts) {
+                Ok(r) if !r.passed() => {
+                    status = 1;
+                    report_failure(&forced, opts, &r.violations, "columnar");
+                }
+                Ok(r) => {
+                    if r.digest != report.digest {
+                        status = 1;
+                        eprintln!(
+                            "sim: seed {}: COLUMNAR digest {:016x} != row digest {:016x}\nscenario: {}",
+                            sc.seed,
+                            r.digest,
+                            report.digest,
+                            forced.to_json()
+                        );
+                    }
+                }
+                Err(e) => {
+                    status = 1;
+                    eprintln!("sim: seed {}: columnar harness error: {e}", sc.seed);
+                }
+            }
+        }
         match run_scenario_threaded(sc, opts) {
             Ok(r) if !r.passed() => {
                 status = 1;

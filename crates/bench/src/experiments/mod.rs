@@ -20,5 +20,6 @@ pub mod e16_net;
 pub mod e17_sessions;
 pub mod e18_load;
 pub mod e19_wireobs;
+pub mod e20_columnar;
 
 pub(crate) mod support;

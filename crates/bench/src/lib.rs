@@ -43,5 +43,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("E17", experiments::e17_sessions::run),
         ("E18", experiments::e18_load::run),
         ("E19", experiments::e19_wireobs::run),
+        ("E20", experiments::e20_columnar::run),
     ]
 }

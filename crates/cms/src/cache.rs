@@ -334,6 +334,11 @@ impl CacheManager {
         self.elements.get(&id).and_then(|e| e.cardinality())
     }
 
+    /// Whether an element currently holds the column-major representation.
+    pub fn is_columnar(&self, id: ElemId) -> bool {
+        self.elements.get(&id).is_some_and(|e| e.is_columnar())
+    }
+
     /// Cache-model rows for all elements (§5.3.2's `(E_id, E_def, ...)`).
     pub fn model(&self) -> Vec<ModelRow> {
         self.elements.values().map(ModelRow::of).collect()
@@ -360,6 +365,10 @@ pub trait CacheRead {
     fn exact_lookup(&self, q: &ConjunctiveQuery) -> Option<ElemId>;
     /// Cardinality of an element's materialized extension, if any.
     fn cardinality_of(&self, id: ElemId) -> Option<usize>;
+    /// Whether an element currently holds the column-major representation
+    /// (served by the vectorized kernels — feeds the `columnar_hits`
+    /// metric and the EXPLAIN `repr` field).
+    fn is_columnar(&self, id: ElemId) -> bool;
     /// Eagerly evaluate a derivation over an element.
     ///
     /// # Errors
@@ -388,6 +397,10 @@ impl CacheRead for CacheManager {
 
     fn cardinality_of(&self, id: ElemId) -> Option<usize> {
         CacheManager::cardinality_of(self, id)
+    }
+
+    fn is_columnar(&self, id: ElemId) -> bool {
+        CacheManager::is_columnar(self, id)
     }
 
     fn derive_relation(

@@ -587,6 +587,9 @@ impl Cms {
                     }
                     let g = self.shared.cache.derive(*element, derivation, &head_vars)?;
                     self.shared.metrics.add_lazy(1);
+                    self.shared
+                        .metrics
+                        .add_columnar_hits(u64::from(self.shared.cache.is_columnar(*element)));
                     // The stream keeps the pins: the generator reads the
                     // element's (Arc-shared) extension, and the pin keeps
                     // concurrent eviction from dropping the element — and
@@ -620,6 +623,9 @@ impl Cms {
         drop(pins);
         self.shared.metrics.add_local_ops(executed.local_tuple_ops);
         self.shared.metrics.add_exec_stats(executed.exec_stats);
+        self.shared
+            .metrics
+            .add_columnar_hits(executed.columnar_parts);
 
         let vars: Vec<String> = executed
             .joined
@@ -733,6 +739,7 @@ impl Cms {
         // indexing" — the paper's "index E12 on the third attribute
         // (because it was annotated as a consumer variable in the view
         // specifications)".
+        let mut wants_index = false;
         if self.config.index_advice {
             let _ = vars;
             let advice = self.advice.advice();
@@ -776,6 +783,7 @@ impl Cms {
                     to_index
                 })
                 .unwrap_or_default();
+            wants_index = !to_index.is_empty();
             if !to_index.is_empty() {
                 if let Some((built, evicted)) = self.shared.cache.with_element_mut(id, |e| {
                     let mut built = 0u64;
@@ -795,6 +803,44 @@ impl Cms {
                             vec![("element", id.to_string()), ("indices", built.to_string())],
                         );
                     }
+                }
+            }
+        }
+
+        // Representation choice (§5.2's co-existing alternative
+        // representations): under columnar mode, producer-style elements
+        // — no consumer-annotated columns asking for an index — convert
+        // to the column-major form so sequential scans and aggregates
+        // compile to the vectorized kernels. Elements whose advice
+        // predicts point probes keep the (indexed) row extension.
+        if self.config.columnar {
+            if wants_index {
+                self.shared.metrics.add_columnar_fallbacks(1);
+                self.tracer.event(
+                    TraceKind::ColumnarRepr,
+                    q.head.pred.clone(),
+                    vec![
+                        ("element", id.to_string()),
+                        ("repr", "rows".to_string()),
+                        ("reason", "consumer_annotations".to_string()),
+                    ],
+                );
+            } else if let Some((converted, evicted)) = self
+                .shared
+                .cache
+                .with_element_mut(id, |e| e.ensure_columnar().is_ok())
+            {
+                self.shared.metrics.add_evictions(evicted);
+                if converted {
+                    self.shared.metrics.add_columnar_conversions(1);
+                    self.tracer.event(
+                        TraceKind::ColumnarRepr,
+                        q.head.pred.clone(),
+                        vec![
+                            ("element", id.to_string()),
+                            ("repr", "columnar".to_string()),
+                        ],
+                    );
                 }
             }
         }
@@ -828,6 +874,9 @@ impl Cms {
         self.shared
             .metrics
             .add_remote_subqueries(executed.remote_subqueries);
+        self.shared
+            .metrics
+            .add_columnar_hits(executed.columnar_parts);
         let vars: Vec<String> = executed
             .joined
             .schema()
@@ -889,6 +938,9 @@ impl Cms {
                 self.shared
                     .metrics
                     .add_remote_subqueries(executed.remote_subqueries);
+                self.shared
+                    .metrics
+                    .add_columnar_hits(executed.columnar_parts);
                 let vars: Vec<String> = executed
                     .joined
                     .schema()
@@ -1184,6 +1236,77 @@ mod tests {
             .unwrap()
             .drain();
         assert_eq!(cms.metrics().indices_built, before);
+    }
+
+    #[test]
+    fn columnar_mode_answers_identically_and_counts_repr_decisions() {
+        let cfg = CmsConfig::braid()
+            .with_prefetching(false)
+            .with_generalization(false);
+        let q = parse_rule("q(X) :- b2(X, Z), b3(Z, c2, y1).").unwrap();
+        let mut row = Cms::new(remote(), cfg.clone());
+        let mut col = Cms::new(remote(), cfg.with_columnar(true));
+        let sorted = |mut ts: Vec<braid_relational::Tuple>| {
+            ts.sort();
+            ts
+        };
+        let a = sorted(row.query(q.clone()).unwrap().drain());
+        let b = sorted(col.query(q.clone()).unwrap().drain());
+        assert_eq!(a, b, "columnar mode must be answer-invariant");
+        // No consumer annotations in play: the cached result went
+        // column-major.
+        assert!(col.metrics().columnar_conversions >= 1);
+        assert_eq!(col.metrics().columnar_fallbacks, 0);
+        // The repeat is served from the columnar element (vectorized
+        // kernels), still bit-identical.
+        let before = col.remote().metrics().requests;
+        let c = sorted(col.query(q).unwrap().drain());
+        assert_eq!(c, a);
+        assert_eq!(col.remote().metrics().requests, before);
+        assert!(col.metrics().columnar_hits >= 1);
+    }
+
+    #[test]
+    fn columnar_mode_keeps_indexed_rows_for_consumer_annotated_elements() {
+        let mut cms = Cms::new(
+            remote(),
+            CmsConfig::braid()
+                .with_prefetching(false)
+                .with_columnar(true),
+        );
+        cms.begin_session(example1_advice());
+        // This extension serves d2's b3(Z, c2, Y?) component: the
+        // consumer annotation predicts point probes, so the element
+        // keeps its (indexed) row representation.
+        let e12 = parse_rule("e12(A, B) :- b3(A, c2, B).").unwrap();
+        cms.query(e12).unwrap().drain();
+        assert!(cms.metrics().indices_built >= 1);
+        assert!(cms.metrics().columnar_fallbacks >= 1);
+        let model = cms.cache_model();
+        assert!(
+            model
+                .iter()
+                .any(|r| r.repr == "extension" || r.repr == "both"),
+            "consumer-annotated element stays row-form: {model:?}"
+        );
+    }
+
+    #[test]
+    fn cache_model_reports_columnar_repr() {
+        let mut cms = Cms::new(
+            remote(),
+            CmsConfig::braid()
+                .with_prefetching(false)
+                .with_generalization(false)
+                .with_columnar(true),
+        );
+        let q = parse_rule("q(X, Y) :- b2(X, Y).").unwrap();
+        cms.query(q).unwrap().drain();
+        let model = cms.cache_model();
+        assert!(
+            model.iter().any(|r| r.repr == "columnar"),
+            "producer-style element converts: {model:?}"
+        );
     }
 
     #[test]

@@ -69,6 +69,16 @@ pub struct CmsConfig {
     /// for shipped-result size, which only pays when cached fractions are
     /// small and unselective.
     pub cost_based_placement: bool,
+    /// Hold producer-style cache elements in the column-major
+    /// representation (§5.2's co-existing alternative representations,
+    /// third form): per-column typed vectors with dictionary-encoded
+    /// strings, served by the executor's vectorized kernels. Elements
+    /// with consumer (`?`) annotations keep indexed rows — point probes
+    /// want the hash index, sequential scans and aggregates want
+    /// columns. Conversion is lossless both ways; answers are
+    /// bit-identical either way. Off by default so the representation
+    /// choice is an explicit ablation knob.
+    pub columnar: bool,
     /// Cache *whole base relations* on first touch and answer locally —
     /// the single-relation buffering strategy of Ceri, Gottlob &
     /// Wiederhold \[CERI86\] that the paper contrasts with ("in \[CERI86\],
@@ -114,6 +124,7 @@ impl Default for CmsConfig {
             flight_join_timeout_ms: 30_000,
             generalization_min_predicted_reuse: 1,
             cost_based_placement: false,
+            columnar: false,
             whole_relation_caching: false,
             resilience: ResilienceConfig::default(),
             transport: TransportConfig::InProcess,
@@ -144,6 +155,7 @@ impl CmsConfig {
             flight_join_timeout_ms: 30_000,
             generalization_min_predicted_reuse: usize::MAX,
             cost_based_placement: false,
+            columnar: false,
             whole_relation_caching: false,
             resilience: ResilienceConfig::default(),
             transport: TransportConfig::InProcess,
@@ -260,6 +272,14 @@ impl CmsConfig {
     /// Toggle §5.3.3 cost-based placement.
     pub fn with_cost_based_placement(mut self, on: bool) -> Self {
         self.cost_based_placement = on;
+        self
+    }
+
+    /// Toggle the column-major cache representation for producer-style
+    /// elements (vectorized scans/aggregates; consumer-annotated
+    /// elements keep indexed rows).
+    pub fn with_columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
         self
     }
 

@@ -17,7 +17,7 @@
 
 use crate::error::{CmsError, Result};
 use braid_relational::sort::{SortKey, SortedView};
-use braid_relational::{Generator, Relation, RelationStats, Schema, Tuple};
+use braid_relational::{ColumnarRelation, Generator, Relation, RelationStats, Schema, Tuple};
 use braid_subsume::ViewDef;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -41,6 +41,12 @@ pub enum Repr {
         /// The materialized form.
         extension: Arc<Relation>,
     },
+    /// A column-major extension — the third representation: per-column
+    /// typed vectors with dictionary-encoded strings and validity masks.
+    /// Sequential scans and aggregates over it compile to the executor's
+    /// vectorized kernels; point probes convert back to indexed rows
+    /// first ([`CacheElement::ensure_extension`] is lossless both ways).
+    Columnar(Arc<ColumnarRelation>),
 }
 
 /// A cache element: definition, representation(s), statistics and
@@ -106,6 +112,7 @@ impl CacheElement {
         match &self.repr {
             Repr::Extension(r) | Repr::Both { extension: r, .. } => r.schema().clone(),
             Repr::Generator(g) => g.schema().clone(),
+            Repr::Columnar(c) => c.schema().clone(),
         }
     }
 
@@ -113,7 +120,7 @@ impl CacheElement {
     pub fn extension(&self) -> Option<&Arc<Relation>> {
         match &self.repr {
             Repr::Extension(r) | Repr::Both { extension: r, .. } => Some(r),
-            Repr::Generator(_) => None,
+            Repr::Generator(_) | Repr::Columnar(_) => None,
         }
     }
 
@@ -121,8 +128,21 @@ impl CacheElement {
     pub fn generator(&self) -> Option<&Generator> {
         match &self.repr {
             Repr::Generator(g) | Repr::Both { generator: g, .. } => Some(g),
-            Repr::Extension(_) => None,
+            Repr::Extension(_) | Repr::Columnar(_) => None,
         }
+    }
+
+    /// The column-major extension, if that is the current representation.
+    pub fn columnar(&self) -> Option<&Arc<ColumnarRelation>> {
+        match &self.repr {
+            Repr::Columnar(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Whether this element is currently held column-major.
+    pub fn is_columnar(&self) -> bool {
+        matches!(self.repr, Repr::Columnar(_))
     }
 
     /// A generator over this element's stored columns, whichever
@@ -131,6 +151,9 @@ impl CacheElement {
         match &self.repr {
             Repr::Extension(r) | Repr::Both { extension: r, .. } => Generator::scan(Arc::clone(r)),
             Repr::Generator(g) => g.clone(),
+            // Filters/aggregates composed on top of this scan compile to
+            // the executor's vectorized kernels.
+            Repr::Columnar(c) => Generator::scan_columnar(Arc::clone(c)),
         }
     }
 
@@ -150,7 +173,33 @@ impl CacheElement {
                 };
                 Ok(rel)
             }
+            // Lossless conversion back to rows — a point-probe consumer
+            // needs the indexable row extension.
+            Repr::Columnar(c) => {
+                let rel = Arc::new(c.to_relation().map_err(CmsError::from)?);
+                self.repr = Repr::Extension(Arc::clone(&rel));
+                self.sorted.clear();
+                Ok(rel)
+            }
         }
+    }
+
+    /// Convert the element to the column-major representation
+    /// (materializing a generator first if needed) and return it. No-op
+    /// when already columnar. Lossless: [`CacheElement::ensure_extension`]
+    /// recovers the identical row relation.
+    ///
+    /// # Errors
+    /// Propagates materialization errors.
+    pub fn ensure_columnar(&mut self) -> Result<Arc<ColumnarRelation>> {
+        if let Repr::Columnar(c) = &self.repr {
+            return Ok(Arc::clone(c));
+        }
+        let rel = self.ensure_extension()?;
+        let col = Arc::new(ColumnarRelation::from_relation(&rel));
+        self.repr = Repr::Columnar(Arc::clone(&col));
+        self.sorted.clear();
+        Ok(col)
     }
 
     /// Build (or reuse) a hash index on the extension's `cols`.
@@ -216,19 +265,34 @@ impl CacheElement {
     }
 
     /// Approximate bytes held (extension + definition overhead; a pure
-    /// generator is nearly free — that is its point).
+    /// generator is nearly free — that is its point; a columnar extension
+    /// reports its dictionary-compressed footprint).
     pub fn approx_bytes(&self) -> usize {
-        128 + self.extension().map(|r| r.approx_size()).unwrap_or(64)
+        128 + match &self.repr {
+            Repr::Extension(r) | Repr::Both { extension: r, .. } => r.approx_size(),
+            Repr::Generator(_) => 64,
+            Repr::Columnar(c) => c.approx_size(),
+        }
     }
 
-    /// Statistics of the materialized extension, if any.
+    /// Statistics of the materialized extension (row or columnar), if
+    /// any. Both representations report identical logical statistics
+    /// (see [`RelationStats::same_logical_stats`]).
     pub fn stats(&self) -> Option<RelationStats> {
-        self.extension().map(|r| RelationStats::of(r))
+        match &self.repr {
+            Repr::Extension(r) | Repr::Both { extension: r, .. } => Some(RelationStats::of(r)),
+            Repr::Generator(_) => None,
+            Repr::Columnar(c) => Some(RelationStats::of_columnar(c)),
+        }
     }
 
-    /// Cardinality if materialized.
+    /// Cardinality if materialized (row or columnar).
     pub fn cardinality(&self) -> Option<usize> {
-        self.extension().map(|r| r.len())
+        match &self.repr {
+            Repr::Extension(r) | Repr::Both { extension: r, .. } => Some(r.len()),
+            Repr::Generator(_) => None,
+            Repr::Columnar(c) => Some(c.len()),
+        }
     }
 }
 
@@ -289,6 +353,41 @@ mod tests {
         // Both views coexist (§5.2) alongside the unsorted extension.
         assert_eq!(e.sorted_view_count(), 2);
         assert!(e.extension().is_some());
+    }
+
+    #[test]
+    fn columnar_element_round_trips_losslessly() {
+        let mut e = CacheElement::materialized(7, def(), rel(), 0);
+        let col = e.ensure_columnar().unwrap();
+        assert!(e.is_columnar());
+        assert!(e.extension().is_none());
+        assert_eq!(e.cardinality(), Some(2));
+        assert_eq!(col.len(), 2);
+        // The uniform access path serves the same tuples.
+        assert_eq!(e.as_generator().materialize().unwrap(), rel());
+        // And converting back recovers the identical row relation.
+        let back = e.ensure_extension().unwrap();
+        assert_eq!(*back, rel());
+        assert!(!e.is_columnar());
+    }
+
+    #[test]
+    fn columnar_element_reports_row_identical_stats() {
+        let row = CacheElement::materialized(8, def(), rel(), 0);
+        let mut col = CacheElement::materialized(9, def(), rel(), 0);
+        col.ensure_columnar().unwrap();
+        let rs = row.stats().unwrap();
+        let cs = col.stats().unwrap();
+        assert!(rs.same_logical_stats(&cs), "row {rs:?} vs columnar {cs:?}");
+    }
+
+    #[test]
+    fn ensure_columnar_from_lazy_materializes_first() {
+        let g = Generator::scan(Arc::new(rel())).filter(Expr::always());
+        let mut e = CacheElement::lazy(10, def(), g, 0);
+        e.ensure_columnar().unwrap();
+        assert!(e.is_columnar());
+        assert_eq!(e.as_generator().materialize().unwrap(), rel());
     }
 
     #[test]

@@ -181,6 +181,15 @@ cms_metrics! {
         wakes => add_wakes,
         /// Cooperative scheduler steps executed across all pool workers.
         steps_executed => add_steps_executed,
+        /// Cache parts served from a column-major element (the plan leaf
+        /// compiled to the vectorized kernels).
+        columnar_hits => add_columnar_hits,
+        /// Elements converted to the column-major representation after
+        /// caching (producer-style elements, no consumer annotations).
+        columnar_conversions => add_columnar_conversions,
+        /// Elements kept as indexed rows despite columnar mode, because
+        /// consumer (`?`) annotations predicted point probes.
+        columnar_fallbacks => add_columnar_fallbacks,
     }
     gauges {
         /// High-water mark of the worker pool's run-queue depth.
@@ -291,7 +300,7 @@ mod tests {
                 * std::mem::size_of::<u64>()
                 + CmsMetricsSnapshot::HISTOGRAM_FIELDS * std::mem::size_of::<HistogramSnapshot>(),
         );
-        assert_eq!(CmsMetricsSnapshot::COUNTER_FIELDS, 26);
+        assert_eq!(CmsMetricsSnapshot::COUNTER_FIELDS, 29);
         assert_eq!(CmsMetricsSnapshot::GAUGE_FIELDS, 1);
         assert_eq!(CmsMetricsSnapshot::HISTOGRAM_FIELDS, 2);
     }

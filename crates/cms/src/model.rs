@@ -16,7 +16,8 @@ pub struct ModelRow {
     pub id: u64,
     /// `E_def` — printed view definition.
     pub def: String,
-    /// Representation kind: `"extension"`, `"generator"` or `"both"`.
+    /// Representation kind: `"extension"`, `"generator"`, `"both"` or
+    /// `"columnar"`.
     pub repr: &'static str,
     /// Cardinality when materialized.
     pub cardinality: Option<usize>,
@@ -40,6 +41,7 @@ impl ModelRow {
                 Repr::Extension(_) => "extension",
                 Repr::Generator(_) => "generator",
                 Repr::Both { .. } => "both",
+                Repr::Columnar(_) => "columnar",
             },
             cardinality: e.cardinality(),
             bytes: e.approx_bytes(),

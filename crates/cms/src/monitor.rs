@@ -197,6 +197,9 @@ pub struct Executed {
     pub local_tuple_ops: u64,
     /// Number of subqueries shipped to the remote DBMS.
     pub remote_subqueries: u64,
+    /// Cache parts served from a column-major element (the derivation
+    /// compiled to the vectorized kernels).
+    pub columnar_parts: u64,
     /// Batched-executor work counters for the local join pipeline.
     pub exec_stats: ExecStats,
 }
@@ -228,6 +231,7 @@ pub struct Executed {
 pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Result<Executed> {
     let mut local_ops: u64 = 0;
     let mut remote_count: u64 = 0;
+    let mut columnar_parts: u64 = 0;
 
     // The span every per-part record nests under. Worker threads attach
     // through the explicit parent id, never the control-path stack.
@@ -268,8 +272,8 @@ pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Resul
             // Cache parts while remote is in flight.
             for (idx, part) in plan.parts.iter().enumerate() {
                 if part.is_cache() {
-                    let r = eval_cache_part(part, cache, &mut local_ops)?;
-                    trace_cache_part(&env, exec_parent, part, &r.1);
+                    let r = eval_cache_part(part, cache, &mut local_ops, &mut columnar_parts)?;
+                    trace_cache_part(&env, exec_parent, part, cache, &r.1);
                     results[idx] = Some(r);
                 }
             }
@@ -284,8 +288,8 @@ pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Resul
     } else {
         for (idx, part) in plan.parts.iter().enumerate() {
             results[idx] = Some(if part.is_cache() {
-                let r = eval_cache_part(part, cache, &mut local_ops)?;
-                trace_cache_part(env, exec_parent, part, &r.1);
+                let r = eval_cache_part(part, cache, &mut local_ops, &mut columnar_parts)?;
+                trace_cache_part(env, exec_parent, part, cache, &r.1);
                 r
             } else {
                 fetch_remote(part, env, exec_parent)?
@@ -339,8 +343,8 @@ pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Resul
     for part in &plan.neg_parts {
         remote_count += u64::from(!part.is_cache());
         let (nvars, nrel) = if part.is_cache() {
-            let r = eval_cache_part(part, cache, &mut local_ops)?;
-            trace_cache_part(env, exec_parent, part, &r.1);
+            let r = eval_cache_part(part, cache, &mut local_ops, &mut columnar_parts)?;
+            trace_cache_part(env, exec_parent, part, cache, &r.1);
             r
         } else {
             fetch_remote(part, env, exec_parent)?
@@ -379,6 +383,7 @@ pub fn execute<C: CacheRead>(plan: &Plan, cache: &C, env: &ExecEnv<'_>) -> Resul
         joined,
         local_tuple_ops: local_ops,
         remote_subqueries: remote_count,
+        columnar_parts,
         exec_stats,
     })
 }
@@ -393,6 +398,7 @@ fn eval_cache_part<C: CacheRead>(
     part: &PlanPart,
     cache: &C,
     local_ops: &mut u64,
+    columnar_parts: &mut u64,
 ) -> Result<FetchedPart> {
     let PartSource::Cache {
         element,
@@ -402,22 +408,35 @@ fn eval_cache_part<C: CacheRead>(
         unreachable!("eval_cache_part called on a remote part");
     };
     let var_refs: Vec<&str> = part.vars.iter().map(String::as_str).collect();
-    // Index-aware eager derivation (§5.4's hash-index use).
+    *columnar_parts += u64::from(cache.is_columnar(*element));
+    // Index-aware eager derivation (§5.4's hash-index use); columnar
+    // elements compile to the vectorized kernels instead.
     let rel = cache.derive_relation(*element, derivation, &var_refs)?;
     *local_ops += rel.len() as u64;
     Ok((part.vars.clone(), rename(rel, &part.vars)?))
 }
 
-/// Record one cache-served part under the `exec.run` span.
-fn trace_cache_part(env: &ExecEnv<'_>, parent: Option<u64>, part: &PlanPart, rel: &Relation) {
+/// Record one cache-served part under the `exec.run` span, including
+/// which representation served it (EXPLAIN's `repr` column).
+fn trace_cache_part<C: CacheRead>(
+    env: &ExecEnv<'_>,
+    parent: Option<u64>,
+    part: &PlanPart,
+    cache: &C,
+    rel: &Relation,
+) {
     if !env.trace.enabled() {
         return;
     }
+    let repr = match &part.source {
+        PartSource::Cache { element, .. } if cache.is_columnar(*element) => "columnar",
+        _ => "rows",
+    };
     env.trace.event_under(
         parent,
         TraceKind::CachePart,
         part_label(part),
-        vec![("rows", rel.len().to_string())],
+        vec![("rows", rel.len().to_string()), ("repr", repr.to_string())],
     );
 }
 

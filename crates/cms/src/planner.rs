@@ -668,6 +668,8 @@ mod tests {
             braid_relational::RelationStats {
                 cardinality: 100_000,
                 distinct: vec![50, 50],
+                min: vec![],
+                max: vec![],
                 approx_bytes: 1_000_000,
             },
         );
@@ -676,6 +678,8 @@ mod tests {
             braid_relational::RelationStats {
                 cardinality: 4,
                 distinct: vec![4, 4],
+                min: vec![],
+                max: vec![],
                 approx_bytes: 100,
             },
         );
@@ -708,6 +712,8 @@ mod tests {
             braid_relational::RelationStats {
                 cardinality: 100_000,
                 distinct: vec![50, 50_000, 50],
+                min: vec![],
+                max: vec![],
                 approx_bytes: 1_000_000,
             },
         );
@@ -716,6 +722,8 @@ mod tests {
             braid_relational::RelationStats {
                 cardinality: 4,
                 distinct: vec![4, 4],
+                min: vec![],
+                max: vec![],
                 approx_bytes: 100,
             },
         );
@@ -755,6 +763,8 @@ mod tests {
             braid_relational::RelationStats {
                 cardinality: 1000,
                 distinct: vec![100, 10],
+                min: vec![],
+                max: vec![],
                 approx_bytes: 10_000,
             },
         );

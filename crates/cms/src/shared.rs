@@ -313,6 +313,10 @@ impl CacheRead for SharedCache {
         self.read(self.shard_of_id(id)).cardinality_of(id)
     }
 
+    fn is_columnar(&self, id: ElemId) -> bool {
+        self.read(self.shard_of_id(id)).is_columnar(id)
+    }
+
     fn derive_relation(
         &self,
         id: ElemId,

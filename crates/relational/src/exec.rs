@@ -22,8 +22,9 @@
 //! CMS and the simulated remote DBMS fold these counters into their own
 //! metrics.
 
+use crate::columnar::{ColData, ColVec, ColumnarRelation};
 use crate::error::{RelationalError, Result};
-use crate::expr::Expr;
+use crate::expr::{CmpOp, Expr};
 use crate::plan::{AggFunc, Aggregate, PhysicalPlan, PlanNode};
 use crate::relation::Relation;
 use crate::schema::Schema;
@@ -147,7 +148,24 @@ pub(crate) fn build(
             cfg,
             counters: Arc::clone(counters),
         }),
+        PlanNode::ScanCol(rel) => Box::new(ColScanOp {
+            rel: Arc::clone(rel),
+            pos: 0,
+            cfg,
+            counters: Arc::clone(counters),
+        }),
         PlanNode::Project { cols, child } => {
+            // Vectorized fusion: project over a columnar filter chain
+            // runs the whole σ+π as one column-at-a-time pass.
+            if let Some((rel, preds)) = columnar_chain(child) {
+                return Box::new(ColFilterProjectOp::new(
+                    rel,
+                    preds,
+                    Some(cols.clone().into_boxed_slice()),
+                    cfg,
+                    counters,
+                ));
+            }
             // Fusion: project-over-filter becomes one pass per batch.
             if let PlanNode::Filter {
                 pred,
@@ -175,13 +193,22 @@ pub(crate) fn build(
             pred,
             strict,
             child,
-        } => Box::new(FilterProjectOp {
-            pred: Some(pred.clone()),
-            strict: *strict,
-            cols: None,
-            child: build(child, cfg, counters),
-            counters: Arc::clone(counters),
-        }),
+        } => {
+            // Vectorized path: a filter chain over a columnar scan with
+            // total (never-erroring) predicates computes a selection
+            // bitmap column-at-a-time. Strictness is moot for such
+            // predicates, so both filter modes take this path.
+            if let Some((rel, preds)) = columnar_chain(plan) {
+                return Box::new(ColFilterProjectOp::new(rel, preds, None, cfg, counters));
+            }
+            Box::new(FilterProjectOp {
+                pred: Some(pred.clone()),
+                strict: *strict,
+                cols: None,
+                child: build(child, cfg, counters),
+                counters: Arc::clone(counters),
+            })
+        }
         PlanNode::HashJoin {
             build: b,
             probe,
@@ -227,12 +254,26 @@ pub(crate) fn build(
             group_by,
             aggs,
             child,
-        } => Box::new(AggregateOp {
-            child: Some(build(child, cfg, counters)),
-            group_by: group_by.clone(),
-            aggs: aggs.clone(),
-            counters: Arc::clone(counters),
-        }),
+        } => {
+            // Vectorized path: aggregate directly over a columnar filter
+            // chain in one fused loop. The chain's rows are duplicate-free
+            // (a columnar scan of a set through filters only), so the row
+            // operator's dedup pass is skipped soundly.
+            if let Some((rel, preds)) = columnar_chain(child) {
+                return Box::new(ColAggregateOp {
+                    input: Some((rel, preds)),
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                    counters: Arc::clone(counters),
+                });
+            }
+            Box::new(AggregateOp {
+                child: Some(build(child, cfg, counters)),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+                counters: Arc::clone(counters),
+            })
+        }
         PlanNode::Limit { n, child } => Box::new(LimitOp {
             child: build(child, cfg, counters),
             remaining: *n,
@@ -588,6 +629,411 @@ impl Operator for LimitOp {
 }
 
 // ---------------------------------------------------------------------
+// Vectorized (columnar) kernels
+// ---------------------------------------------------------------------
+
+/// Match a `Filter*(ScanCol)` chain whose predicates are all
+/// *vectorizable*: boolean trees of comparisons over in-range columns
+/// and constants. Such predicates can never error, so the selection can
+/// be computed column-at-a-time as a bitmap with semantics identical to
+/// per-tuple evaluation in either filter mode.
+fn columnar_chain(plan: &PhysicalPlan) -> Option<(Arc<ColumnarRelation>, Vec<Expr>)> {
+    fn walk(plan: &PhysicalPlan, preds: &mut Vec<Expr>) -> Option<Arc<ColumnarRelation>> {
+        match &plan.node {
+            PlanNode::ScanCol(rel) => Some(Arc::clone(rel)),
+            PlanNode::Filter { pred, child, .. } => {
+                let rel = walk(child, preds)?;
+                preds.push(pred.clone());
+                Some(rel)
+            }
+            _ => None,
+        }
+    }
+    let mut preds = Vec::new();
+    let rel = walk(plan, &mut preds)?;
+    let arity = rel.arity();
+    preds
+        .iter()
+        .all(|p| vectorizable_pred(p, arity))
+        .then_some((rel, preds))
+}
+
+/// A boolean expression the bitmap kernel can evaluate: comparisons,
+/// conjunctions, disjunctions and negations over columns (in range) and
+/// constants. Every node yields a boolean and no node can error, which
+/// is what makes strict and errors-as-unknown filters coincide.
+fn vectorizable_pred(e: &Expr, arity: usize) -> bool {
+    fn scalar(e: &Expr, arity: usize) -> bool {
+        match e {
+            Expr::Col(i) => *i < arity,
+            Expr::Const(_) => true,
+            _ => false,
+        }
+    }
+    match e {
+        Expr::Const(Value::Bool(_)) => true,
+        Expr::Cmp(_, a, b) => scalar(a, arity) && scalar(b, arity),
+        Expr::And(es) | Expr::Or(es) => es.iter().all(|e| vectorizable_pred(e, arity)),
+        Expr::Not(inner) => vectorizable_pred(inner, arity),
+        _ => false,
+    }
+}
+
+/// AND together the bitmaps of a filter chain's predicates.
+fn selection_bitmap(rel: &ColumnarRelation, preds: &[Expr]) -> Vec<bool> {
+    let mut sel = vec![true; rel.len()];
+    for p in preds {
+        for (s, v) in sel.iter_mut().zip(pred_bitmap(rel, p)) {
+            *s &= v;
+        }
+    }
+    sel
+}
+
+/// One predicate as a bitmap over all rows. Logical connectives combine
+/// child bitmaps; in the vectorizable subset no operand can error, so
+/// eager bitwise combination equals the row evaluator's short-circuit.
+fn pred_bitmap(rel: &ColumnarRelation, e: &Expr) -> Vec<bool> {
+    let n = rel.len();
+    match e {
+        Expr::Const(Value::Bool(b)) => vec![*b; n],
+        Expr::And(es) => {
+            let mut acc = vec![true; n];
+            for e in es {
+                for (a, v) in acc.iter_mut().zip(pred_bitmap(rel, e)) {
+                    *a &= v;
+                }
+            }
+            acc
+        }
+        Expr::Or(es) => {
+            let mut acc = vec![false; n];
+            for e in es {
+                for (a, v) in acc.iter_mut().zip(pred_bitmap(rel, e)) {
+                    *a |= v;
+                }
+            }
+            acc
+        }
+        Expr::Not(inner) => {
+            let mut acc = pred_bitmap(rel, inner);
+            for v in &mut acc {
+                *v = !*v;
+            }
+            acc
+        }
+        Expr::Cmp(op, a, b) => cmp_bitmap(rel, *op, a, b),
+        _ => unreachable!("guarded by vectorizable_pred"),
+    }
+}
+
+fn cmp_bitmap(rel: &ColumnarRelation, op: CmpOp, a: &Expr, b: &Expr) -> Vec<bool> {
+    match (a, b) {
+        (Expr::Col(i), Expr::Const(v)) => col_const_bitmap(rel.col(*i), op, v),
+        // `const op col` flips to `col flipped(op) const`.
+        (Expr::Const(v), Expr::Col(i)) => col_const_bitmap(rel.col(*i), op.flipped(), v),
+        (Expr::Col(i), Expr::Col(j)) => (0..rel.len())
+            .map(|r| op.eval(&rel.value_at(r, *i), &rel.value_at(r, *j)))
+            .collect(),
+        (Expr::Const(u), Expr::Const(v)) => vec![op.eval(u, v); rel.len()],
+        _ => unreachable!("guarded by vectorizable_pred"),
+    }
+}
+
+/// `column op constant` over every row. Typed columns compared against a
+/// numeric constant run a tight loop replicating [`CmpOp::eval`]'s
+/// numeric path exactly (ints widen to f64, `total_cmp`); string columns
+/// compare once per *dictionary entry* and map codes through the table;
+/// everything else falls back to per-slot [`CmpOp::eval`]. Null slots
+/// are patched afterwards with the null-vs-constant result.
+fn col_const_bitmap(col: &ColVec, op: CmpOp, v: &Value) -> Vec<bool> {
+    let mut out: Vec<bool> = match (&col.data, v.as_f64()) {
+        (ColData::Ints(xs), Some(y)) => xs
+            .iter()
+            .map(|&x| op.holds((x as f64).total_cmp(&y)))
+            .collect(),
+        (ColData::Floats(xs), Some(y)) => xs.iter().map(|&x| op.holds(x.total_cmp(&y))).collect(),
+        (ColData::Strs { dict, codes }, _) => {
+            let table: Vec<bool> = dict
+                .iter()
+                .map(|s| op.eval(&Value::Str(Arc::clone(s)), v))
+                .collect();
+            codes.iter().map(|&c| table[c as usize]).collect()
+        }
+        (ColData::Mixed(vals), _) => vals.iter().map(|x| op.eval(x, v)).collect(),
+        // Bool columns, and typed numerics against a non-numeric
+        // constant: row semantics bottom out in the total value order;
+        // evaluate per raw slot (null slots are patched below).
+        _ => (0..col.len())
+            .map(|i| op.eval(&col.raw_value_at(i), v))
+            .collect(),
+    };
+    if let Some(valid) = &col.validity {
+        let null_result = op.eval(&Value::Null, v);
+        for (o, &ok) in out.iter_mut().zip(valid) {
+            if !ok {
+                *o = null_result;
+            }
+        }
+    }
+    out
+}
+
+/// Leaf scan over a columnar relation, emitting ordinary row batches —
+/// the universal fallback that lets every row operator (joins, unions,
+/// dedup, non-vectorizable filters) consume columnar inputs unchanged.
+struct ColScanOp {
+    rel: Arc<ColumnarRelation>,
+    pos: usize,
+    cfg: ExecConfig,
+    counters: Arc<ExecCounters>,
+}
+
+impl Operator for ColScanOp {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
+        let len = self.rel.len();
+        if self.pos >= len {
+            return Ok(None);
+        }
+        let end = (self.pos + self.cfg.batch_size.max(1)).min(len);
+        let batch: TupleBatch = (self.pos..end).map(|i| self.rel.tuple_at(i)).collect();
+        self.pos = end;
+        self.counters.produced(batch.len());
+        Ok(Some(batch))
+    }
+}
+
+/// Vectorized σ(+π): the whole filter chain becomes one selection bitmap
+/// (computed on first pull), and only surviving rows are materialized as
+/// tuples — pruned rows never pay tuple construction.
+struct ColFilterProjectOp {
+    rel: Arc<ColumnarRelation>,
+    preds: Vec<Expr>,
+    cols: Option<Box<[usize]>>,
+    /// Surviving row ids, computed on first pull.
+    sel: Option<Vec<u32>>,
+    pos: usize,
+    cfg: ExecConfig,
+    counters: Arc<ExecCounters>,
+}
+
+impl ColFilterProjectOp {
+    fn new(
+        rel: Arc<ColumnarRelation>,
+        preds: Vec<Expr>,
+        cols: Option<Box<[usize]>>,
+        cfg: ExecConfig,
+        counters: &Arc<ExecCounters>,
+    ) -> ColFilterProjectOp {
+        ColFilterProjectOp {
+            rel,
+            preds,
+            cols,
+            sel: None,
+            pos: 0,
+            cfg,
+            counters: Arc::clone(counters),
+        }
+    }
+}
+
+impl Operator for ColFilterProjectOp {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
+        if self.sel.is_none() {
+            let bitmap = selection_bitmap(&self.rel, &self.preds);
+            let sel: Vec<u32> = bitmap
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &keep)| keep.then_some(i as u32))
+                .collect();
+            self.counters.pruned(self.rel.len() - sel.len());
+            self.sel = Some(sel);
+        }
+        let sel = self.sel.as_ref().expect("computed above");
+        if self.pos >= sel.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + self.cfg.batch_size.max(1)).min(sel.len());
+        let batch: TupleBatch = sel[self.pos..end]
+            .iter()
+            .map(|&r| {
+                let r = r as usize;
+                match &self.cols {
+                    Some(cols) => {
+                        Tuple::new(cols.iter().map(|&c| self.rel.value_at(r, c)).collect())
+                    }
+                    None => self.rel.tuple_at(r),
+                }
+            })
+            .collect();
+        self.pos = end;
+        self.counters.produced(batch.len());
+        Ok(Some(batch))
+    }
+}
+
+/// Per-group accumulator mirroring [`eval_agg`] exactly: same wrapping
+/// integer sums, same int-then-float widening, same error messages —
+/// but fed one value at a time in row order instead of from a collected
+/// member vector.
+enum AggAcc {
+    Count(i64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Sum {
+        int_sum: i64,
+        float_sum: f64,
+        any_float: bool,
+    },
+    Avg {
+        sum: f64,
+        n: usize,
+    },
+}
+
+impl AggAcc {
+    fn new(func: AggFunc) -> AggAcc {
+        match func {
+            AggFunc::Count => AggAcc::Count(0),
+            AggFunc::Min => AggAcc::Min(None),
+            AggFunc::Max => AggAcc::Max(None),
+            AggFunc::Sum => AggAcc::Sum {
+                int_sum: 0,
+                float_sum: 0.0,
+                any_float: false,
+            },
+            AggFunc::Avg => AggAcc::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, v: Value) -> Result<()> {
+        match self {
+            AggAcc::Count(n) => *n += 1,
+            // `Iterator::min` keeps the first of equals, `max` the last;
+            // mirror that with `<` and `>=` (equal values are
+            // interchangeable, but stay pedantic).
+            AggAcc::Min(cur) => {
+                if cur.as_ref().is_none_or(|c| v < *c) {
+                    *cur = Some(v);
+                }
+            }
+            AggAcc::Max(cur) => {
+                if cur.as_ref().is_none_or(|c| v >= *c) {
+                    *cur = Some(v);
+                }
+            }
+            AggAcc::Sum {
+                int_sum,
+                float_sum,
+                any_float,
+            } => match v {
+                Value::Int(i) => *int_sum = int_sum.wrapping_add(i),
+                Value::Float(f) => {
+                    *any_float = true;
+                    *float_sum += f;
+                }
+                other => {
+                    return Err(RelationalError::TypeError(format!(
+                        "SUM over non-numeric value {other}"
+                    )))
+                }
+            },
+            AggAcc::Avg { sum, n } => {
+                *sum += v.as_f64().ok_or_else(|| {
+                    RelationalError::TypeError("AVG over non-numeric value".into())
+                })?;
+                *n += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Value> {
+        match self {
+            AggAcc::Count(n) => Ok(Value::Int(n)),
+            AggAcc::Min(v) => v.ok_or_else(|| RelationalError::EmptyAggregate("min".into())),
+            AggAcc::Max(v) => v.ok_or_else(|| RelationalError::EmptyAggregate("max".into())),
+            AggAcc::Sum {
+                int_sum,
+                float_sum,
+                any_float,
+            } => {
+                if any_float {
+                    Ok(Value::Float(float_sum + int_sum as f64))
+                } else {
+                    Ok(Value::Int(int_sum))
+                }
+            }
+            AggAcc::Avg { sum, n } => {
+                if n == 0 {
+                    return Err(RelationalError::EmptyAggregate("avg".into()));
+                }
+                Ok(Value::Float(sum / n as f64))
+            }
+        }
+    }
+}
+
+/// Fused vectorized σ→γ: selection bitmap first, then a single
+/// accumulate pass over surviving rows — no intermediate tuples, no
+/// dedup hashing (the input is duplicate-free by construction).
+struct ColAggregateOp {
+    /// `Some` until the single output batch has been produced.
+    input: Option<(Arc<ColumnarRelation>, Vec<Expr>)>,
+    group_by: Vec<usize>,
+    aggs: Vec<Aggregate>,
+    counters: Arc<ExecCounters>,
+}
+
+impl Operator for ColAggregateOp {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
+        let Some((rel, preds)) = self.input.take() else {
+            return Ok(None);
+        };
+        let bitmap = selection_bitmap(&rel, &preds);
+        let mut groups: HashMap<Vec<Value>, Vec<AggAcc>> = HashMap::new();
+        let mut selected = 0usize;
+        for (r, keep) in bitmap.into_iter().enumerate() {
+            if !keep {
+                continue;
+            }
+            selected += 1;
+            let key: Vec<Value> = self.group_by.iter().map(|&c| rel.value_at(r, c)).collect();
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| self.aggs.iter().map(|a| AggAcc::new(a.func)).collect());
+            for (acc, a) in accs.iter_mut().zip(&self.aggs) {
+                acc.update(rel.value_at(r, a.col))?;
+            }
+        }
+        self.counters.pruned(rel.len() - selected);
+        let mut out: TupleBatch = Vec::with_capacity(groups.len());
+        if groups.is_empty() && self.group_by.is_empty() {
+            // Global aggregate over the empty input: COUNT is 0, other
+            // aggregates are undefined — identical to the row operator.
+            let mut row: Vec<Value> = Vec::new();
+            for a in &self.aggs {
+                match a.func {
+                    AggFunc::Count => row.push(Value::Int(0)),
+                    other => return Err(RelationalError::EmptyAggregate(other.name().to_string())),
+                }
+            }
+            out.push(Tuple::new(row));
+        } else {
+            for (key, accs) in groups {
+                let mut row = key;
+                for acc in accs {
+                    row.push(acc.finish()?);
+                }
+                out.push(Tuple::new(row));
+            }
+        }
+        self.counters.produced(out.len());
+        Ok(Some(out))
+    }
+}
+
+// ---------------------------------------------------------------------
 // Generator mode
 // ---------------------------------------------------------------------
 
@@ -756,6 +1202,116 @@ mod tests {
         assert_eq!(rel.len(), 5);
         // Only the first scan batch was pulled.
         assert_eq!(stats.tuples, 10);
+    }
+
+    #[test]
+    fn columnar_filter_is_one_fused_pass() {
+        use crate::columnar::ColumnarRelation;
+        let rel = nums(100);
+        let col = Arc::new(ColumnarRelation::from_relation(&rel));
+        let pred = Expr::col_cmp(0, CmpOp::Lt, 10);
+
+        let row_plan = PhysicalPlan::scan(Arc::clone(&rel)).filter(pred.clone());
+        let col_plan = PhysicalPlan::scan_columnar(Arc::clone(&col)).filter(pred.clone());
+        let (row_rel, row_stats) = row_plan.materialize_with(ExecConfig::default()).unwrap();
+        let (col_rel, col_stats) = col_plan.materialize_with(ExecConfig::default()).unwrap();
+
+        assert_eq!(row_rel, col_rel);
+        assert_eq!(col_stats.rows_pruned, 90);
+        // The vectorized operator emits only its own output batches —
+        // no separate scan batches — so it does strictly less batch work.
+        assert!(col_stats.batches < row_stats.batches);
+
+        // Strict mode takes the same vectorized path (the predicate is
+        // total) and agrees too.
+        let strict = PhysicalPlan::scan_columnar(col)
+            .filter_strict(pred)
+            .materialize()
+            .unwrap();
+        assert_eq!(strict, col_rel);
+    }
+
+    #[test]
+    fn columnar_aggregate_fuses_filter_and_skips_dedup() {
+        use crate::columnar::ColumnarRelation;
+        let rel = nums(50);
+        let col = Arc::new(ColumnarRelation::from_relation(&rel));
+        let agg = [Aggregate {
+            func: AggFunc::Sum,
+            col: 0,
+        }];
+        let pred = Expr::col_cmp(0, CmpOp::Ge, 40);
+        let row = PhysicalPlan::scan(rel)
+            .filter(pred.clone())
+            .aggregate(&[], &agg)
+            .unwrap()
+            .materialize()
+            .unwrap();
+        let fused = PhysicalPlan::scan_columnar(col)
+            .filter(pred)
+            .aggregate(&[], &agg)
+            .unwrap()
+            .materialize()
+            .unwrap();
+        assert_eq!(row, fused);
+        assert_eq!(
+            fused.to_vec(),
+            vec![tuple![40 + 41 + 42 + 43 + 44 + 45 + 46 + 47 + 48 + 49]]
+        );
+    }
+
+    #[test]
+    fn columnar_empty_global_count_matches_row_semantics() {
+        use crate::columnar::ColumnarRelation;
+        let rel = nums(0);
+        let col = Arc::new(ColumnarRelation::from_relation(&rel));
+        let count = [Aggregate {
+            func: AggFunc::Count,
+            col: 0,
+        }];
+        let got = PhysicalPlan::scan_columnar(Arc::clone(&col))
+            .aggregate(&[], &count)
+            .unwrap()
+            .materialize()
+            .unwrap();
+        assert_eq!(got.to_vec(), vec![tuple![0]]);
+        // Non-count aggregates over an empty input error, like row mode.
+        let sum = [Aggregate {
+            func: AggFunc::Sum,
+            col: 0,
+        }];
+        assert!(PhysicalPlan::scan_columnar(col)
+            .aggregate(&[], &sum)
+            .unwrap()
+            .materialize()
+            .is_err());
+    }
+
+    #[test]
+    fn non_vectorizable_predicate_falls_back_to_row_filter() {
+        use crate::columnar::ColumnarRelation;
+        let rel = nums(10);
+        let col = Arc::new(ColumnarRelation::from_relation(&rel));
+        // x + 0 >= 5 involves arithmetic: not vectorizable, so the plan
+        // runs ColScanOp + row FilterProjectOp — and still agrees.
+        let pred = Expr::Cmp(
+            CmpOp::Ge,
+            Box::new(Expr::Add(
+                Box::new(Expr::Col(0)),
+                Box::new(Expr::Const(Value::Int(0))),
+            )),
+            Box::new(Expr::Const(Value::Int(5))),
+        );
+        let row = PhysicalPlan::scan(rel)
+            .filter(pred.clone())
+            .materialize()
+            .unwrap();
+        let colr = PhysicalPlan::scan_columnar(col)
+            .filter(pred)
+            .materialize()
+            .unwrap();
+        assert_eq!(row, colr);
+        assert_eq!(colr.len(), 5);
     }
 
     #[test]

@@ -32,11 +32,19 @@ impl CmpOp {
     /// Apply the comparison to two values. Numeric comparands compare
     /// numerically; other comparands use the total value order.
     pub fn eval(self, a: &Value, b: &Value) -> bool {
-        use std::cmp::Ordering::*;
         let ord = match (a.as_f64(), b.as_f64()) {
             (Some(x), Some(y)) => x.total_cmp(&y),
             _ => a.cmp(b),
         };
+        self.holds(ord)
+    }
+
+    /// Whether the comparison holds for an already-computed ordering of
+    /// its operands. The vectorized kernels compare column-at-a-time and
+    /// share this mapping with [`CmpOp::eval`] so the two paths cannot
+    /// drift.
+    pub fn holds(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
         match self {
             CmpOp::Eq => ord == Equal,
             CmpOp::Ne => ord != Equal,

@@ -52,6 +52,12 @@ impl Generator {
         Generator::from_plan(PhysicalPlan::scan(rel))
     }
 
+    /// Leaf generator scanning a shared column-major relation; filters
+    /// composed on top compile to the executor's vectorized kernels.
+    pub fn scan_columnar(rel: Arc<crate::columnar::ColumnarRelation>) -> Generator {
+        Generator::from_plan(PhysicalPlan::scan_columnar(rel))
+    }
+
     /// Wrap an arbitrary physical plan as a generator.
     pub fn from_plan(plan: PhysicalPlan) -> Generator {
         Generator {

@@ -22,6 +22,7 @@
 //! BrAID architecture treats both stores as main-memory systems and models
 //! remote access cost separately (see the `braid-remote` crate).
 
+pub mod columnar;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -36,6 +37,7 @@ pub mod stats;
 pub mod tuple;
 pub mod value;
 
+pub use columnar::{ColVec, ColumnarRelation};
 pub use error::{RelationalError, Result};
 pub use exec::{ExecConfig, ExecStats, RunningPlan, TupleBatch};
 pub use expr::{CmpOp, Expr};

@@ -16,6 +16,7 @@
 //! dedup, aggregate and limit. Schemas are computed once, at plan build
 //! time; every node carries the schema of its output.
 
+use crate::columnar::ColumnarRelation;
 use crate::error::{RelationalError, Result};
 use crate::exec::{self, ExecConfig, ExecCounters, ExecStats, RunningPlan};
 use crate::expr::Expr;
@@ -81,6 +82,10 @@ pub(crate) enum PlanNode {
     /// Scan a plain row vector (used by the eager wrappers, which borrow
     /// a relation's tuples without cloning its dedup set or indices).
     ScanRows(Arc<Vec<Tuple>>),
+    /// Scan a column-major relation. Filters and aggregates directly
+    /// above this node compile to vectorized kernels (see
+    /// [`crate::exec`]); any other parent receives ordinary row batches.
+    ScanCol(Arc<ColumnarRelation>),
     /// σ — `strict` propagates predicate-evaluation errors (eager
     /// semantics); otherwise an error counts as *unknown* and excludes
     /// the tuple (SQL-style, keeps demand-driven streams infallible).
@@ -143,6 +148,16 @@ impl PhysicalPlan {
     pub fn rows(schema: Schema, rows: Vec<Tuple>) -> PhysicalPlan {
         PhysicalPlan {
             node: PlanNode::ScanRows(Arc::new(rows)),
+            schema,
+        }
+    }
+
+    /// Leaf plan scanning a shared column-major relation. Filters and
+    /// aggregates placed directly above compile to vectorized kernels.
+    pub fn scan_columnar(rel: Arc<ColumnarRelation>) -> PhysicalPlan {
+        let schema = rel.schema().clone();
+        PhysicalPlan {
+            node: PlanNode::ScanCol(rel),
             schema,
         }
     }
@@ -322,7 +337,7 @@ impl PhysicalPlan {
     /// Rough depth of the plan tree (cost-model input).
     pub fn depth(&self) -> usize {
         match &self.node {
-            PlanNode::ScanRel(_) | PlanNode::ScanRows(_) => 1,
+            PlanNode::ScanRel(_) | PlanNode::ScanRows(_) | PlanNode::ScanCol(_) => 1,
             PlanNode::Filter { child, .. }
             | PlanNode::Project { child, .. }
             | PlanNode::Dedup(child)

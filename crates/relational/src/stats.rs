@@ -5,20 +5,35 @@
 //! relationships", §4.1) and the CMS's Query Planner/Optimizer consume
 //! these statistics.
 
+use crate::columnar::ColumnarRelation;
 use crate::relation::Relation;
 use crate::value::Value;
 use std::collections::HashSet;
 
-/// Summary statistics of a relation: cardinality and per-column distinct
-/// counts, from which equality selectivities are estimated with the
-/// classical uniform-distribution assumption.
+/// Summary statistics of a relation: cardinality, per-column distinct
+/// counts and min/max bounds, from which equality selectivities are
+/// estimated with the classical uniform-distribution assumption.
+///
+/// Statistics are representation-independent: [`RelationStats::of`]
+/// (row extension) and [`RelationStats::of_columnar`] compute identical
+/// cardinality / NDV / min / max for the same logical relation — only
+/// `approx_bytes` reflects the physical format. The cost-based planner
+/// can therefore price plans without caring which representation backs
+/// a cache element.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RelationStats {
     /// Number of tuples.
     pub cardinality: usize,
     /// Distinct value count per column.
     pub distinct: Vec<usize>,
-    /// Approximate bytes held by the relation.
+    /// Per-column minimum under the total value order (`None` when the
+    /// relation is empty). Nulls sort below everything, so a nullable
+    /// column's minimum is `Null`.
+    pub min: Vec<Option<Value>>,
+    /// Per-column maximum under the total value order (`None` when the
+    /// relation is empty).
+    pub max: Vec<Option<Value>>,
+    /// Approximate bytes held by the relation (representation-specific).
     pub approx_bytes: usize,
 }
 
@@ -27,16 +42,109 @@ impl RelationStats {
     pub fn of(rel: &Relation) -> Self {
         let arity = rel.schema().arity();
         let mut sets: Vec<HashSet<&Value>> = vec![HashSet::new(); arity];
+        let mut min: Vec<Option<Value>> = vec![None; arity];
+        let mut max: Vec<Option<Value>> = vec![None; arity];
         for t in rel.iter() {
             for (i, v) in t.values().iter().enumerate() {
                 sets[i].insert(v);
+                if min[i].as_ref().is_none_or(|m| v < m) {
+                    min[i] = Some(v.clone());
+                }
+                if max[i].as_ref().is_none_or(|m| v > m) {
+                    max[i] = Some(v.clone());
+                }
             }
         }
         RelationStats {
             cardinality: rel.len(),
             distinct: sets.into_iter().map(|s| s.len()).collect(),
+            min,
+            max,
             approx_bytes: rel.approx_size(),
         }
+    }
+
+    /// Compute exact statistics from a columnar extension — same
+    /// cardinality / NDV / min / max as [`RelationStats::of`] over the
+    /// equivalent row relation, without materializing tuples. String
+    /// columns count and bound over the *dictionary* (once per distinct
+    /// value) instead of once per row.
+    pub fn of_columnar(rel: &ColumnarRelation) -> Self {
+        use crate::columnar::ColData;
+        let arity = rel.arity();
+        let mut distinct = Vec::with_capacity(arity);
+        let mut min: Vec<Option<Value>> = Vec::with_capacity(arity);
+        let mut max: Vec<Option<Value>> = Vec::with_capacity(arity);
+        for c in 0..arity {
+            let col = rel.col(c);
+            let nulls = (0..rel.len()).filter(|&r| col.is_null(r)).count();
+            let (mut lo, mut hi, ndv): (Option<Value>, Option<Value>, usize) = match &col.data {
+                ColData::Strs { dict, codes } => {
+                    // Each used dictionary entry is one distinct value;
+                    // bounds come from the used entries, not all rows.
+                    let used: HashSet<u32> = codes
+                        .iter()
+                        .enumerate()
+                        .filter(|&(r, _)| !col.is_null(r))
+                        .map(|(_, &code)| code)
+                        .collect();
+                    let lo = used
+                        .iter()
+                        .map(|&u| &dict[u as usize])
+                        .min()
+                        .map(|s| Value::Str(std::sync::Arc::clone(s)));
+                    let hi = used
+                        .iter()
+                        .map(|&u| &dict[u as usize])
+                        .max()
+                        .map(|s| Value::Str(std::sync::Arc::clone(s)));
+                    (lo, hi, used.len())
+                }
+                _ => {
+                    let mut set: HashSet<Value> = HashSet::new();
+                    let mut lo: Option<Value> = None;
+                    let mut hi: Option<Value> = None;
+                    for r in 0..rel.len() {
+                        if col.is_null(r) {
+                            continue;
+                        }
+                        let v = col.value_at(r);
+                        if lo.as_ref().is_none_or(|m| v < *m) {
+                            lo = Some(v.clone());
+                        }
+                        if hi.as_ref().is_none_or(|m| v > *m) {
+                            hi = Some(v.clone());
+                        }
+                        set.insert(v);
+                    }
+                    (lo, hi, set.len())
+                }
+            };
+            if nulls > 0 {
+                // Null is a distinct value that sorts below everything.
+                lo = Some(Value::Null);
+                hi = hi.or(Some(Value::Null));
+            }
+            distinct.push(ndv + usize::from(nulls > 0));
+            min.push(lo);
+            max.push(hi);
+        }
+        RelationStats {
+            cardinality: rel.len(),
+            distinct,
+            min,
+            max,
+            approx_bytes: rel.approx_size(),
+        }
+    }
+
+    /// True when the logical statistics (everything except the
+    /// representation-specific byte count) agree with `other`.
+    pub fn same_logical_stats(&self, other: &RelationStats) -> bool {
+        self.cardinality == other.cardinality
+            && self.distinct == other.distinct
+            && self.min == other.min
+            && self.max == other.max
     }
 
     /// Estimated selectivity of `col = const`: `1 / distinct(col)`.
@@ -108,6 +216,86 @@ mod tests {
         // Self-join on column 0: 4*4 / 3.
         let est = s.join_cardinality(0, &s, 0);
         assert!((est - 16.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_track_the_total_value_order() {
+        let s = RelationStats::of(&rel());
+        assert_eq!(s.min[0], Some(Value::str("a")));
+        assert_eq!(s.max[0], Some(Value::str("c")));
+        assert_eq!(s.min[1], Some(Value::str("1")));
+        assert_eq!(s.max[1], Some(Value::str("2")));
+    }
+
+    #[test]
+    fn columnar_stats_match_row_stats_exactly() {
+        use crate::columnar::ColumnarRelation;
+        use crate::tuple::Tuple;
+        // Typed ints, dictionary strings, floats, nulls and a mixed
+        // column — every storage arm of the columnar format.
+        let rel = Relation::from_tuples(
+            Schema::of_strs("t", &["i", "s", "f", "m"]),
+            vec![
+                Tuple::new(vec![
+                    Value::Int(3),
+                    Value::str("b"),
+                    Value::Float(1.5),
+                    Value::Int(1),
+                ]),
+                Tuple::new(vec![
+                    Value::Int(-7),
+                    Value::str("b"),
+                    Value::Float(-2.0),
+                    Value::str("x"),
+                ]),
+                Tuple::new(vec![
+                    Value::Null,
+                    Value::str("a"),
+                    Value::Float(1.5),
+                    Value::Null,
+                ]),
+                Tuple::new(vec![
+                    Value::Int(12),
+                    Value::Null,
+                    Value::Float(9.25),
+                    Value::Bool(true),
+                ]),
+            ],
+        )
+        .unwrap();
+        let row = RelationStats::of(&rel);
+        let col = RelationStats::of_columnar(&ColumnarRelation::from_relation(&rel));
+        assert!(
+            row.same_logical_stats(&col),
+            "row {row:?} vs columnar {col:?}"
+        );
+        // Spot-check the interesting bits: null participates in NDV and
+        // is the minimum of nullable columns.
+        assert_eq!(col.cardinality, 4);
+        assert_eq!(col.distinct, vec![4, 3, 3, 4]);
+        assert_eq!(col.min[0], Some(Value::Null));
+        assert_eq!(col.max[0], Some(Value::Int(12)));
+        assert_eq!(col.min[1], Some(Value::Null));
+        assert_eq!(col.max[1], Some(Value::str("b")));
+    }
+
+    #[test]
+    fn columnar_stats_match_on_empty_and_all_null() {
+        use crate::columnar::ColumnarRelation;
+        use crate::tuple::Tuple;
+        let empty = Relation::new(Schema::of_strs("e", &["x", "y"]));
+        let row = RelationStats::of(&empty);
+        let col = RelationStats::of_columnar(&ColumnarRelation::from_relation(&empty));
+        assert!(row.same_logical_stats(&col));
+        assert_eq!(col.min, vec![None, None]);
+
+        let mut nulls = Relation::new(Schema::of_strs("n", &["x"]));
+        nulls.insert(Tuple::new(vec![Value::Null])).unwrap();
+        let row = RelationStats::of(&nulls);
+        let col = RelationStats::of_columnar(&ColumnarRelation::from_relation(&nulls));
+        assert!(row.same_logical_stats(&col));
+        assert_eq!(col.min[0], Some(Value::Null));
+        assert_eq!(col.max[0], Some(Value::Null));
     }
 
     #[test]

@@ -175,6 +175,7 @@ pub fn build_system_with_transport(sc: &SimScenario, transport: TransportConfig)
         .with_prefetching(sc.prefetch)
         .with_generalization(sc.generalization)
         .with_subsumption(sc.subsumption)
+        .with_columnar(sc.columnar)
         .with_transport(transport)
         .deterministic();
     if let Some(cap) = sc.capacity_bytes {

@@ -146,11 +146,22 @@ pub fn shrink(sc: &SimScenario, opts: &SimOptions) -> ShrinkOutcome {
         // A lone empty session can remain if the failure is end-of-run
         // only; keep it, the scenario must stay valid.
 
-        // Pass 4 (last): capacity. Prefer removing the pressure knob
-        // entirely; if the failure needs it, leave it untouched.
+        // Pass 4: capacity. Prefer removing the pressure knob entirely;
+        // if the failure needs it, leave it untouched.
         if cur.capacity_bytes.is_some() {
             let mut cand = cur.clone();
             cand.capacity_bytes = None;
+            if try_keep(&mut cur, cand, &mut runs, &mut last_report) {
+                improved = true;
+            }
+        }
+
+        // Pass 5 (last): representation knob. A repro that fails either
+        // way reads simpler row-mode; one that *needs* columnar keeps it
+        // — which itself localizes the bug to the columnar path.
+        if cur.columnar {
+            let mut cand = cur.clone();
+            cand.columnar = false;
             if try_keep(&mut cur, cand, &mut runs, &mut last_report) {
                 improved = true;
             }

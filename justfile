@@ -68,7 +68,8 @@ sim start="0" rounds="200":
     SIM_SEED_START={{start}} SIM_ROUNDS={{rounds}} \
         cargo run --release -p braid-bench --bin sim
 
-# Soak lane: the same seeds through the deterministic scheduler, the
+# Soak lane: the same seeds through the deterministic scheduler, a
+# columnar-forced rerun digest-compared against the row run, the
 # threaded runner (one OS thread per session over the shared cache),
 # the socket runner (same sessions over a real TCP listener behind the
 # fault proxy), AND the cooperative runner (same sessions as resumable
@@ -85,6 +86,15 @@ soak start="0" rounds="400" workers="4" procs="0":
 
 # Back-compat alias for the old stress entry point.
 stress: soak
+
+# The columnar-representation battery (DESIGN.md §15): the differential
+# proptest suite (row ≡ columnar across batch sizes, round trips,
+# dictionary/NULL edge cases), the sim oracle sweep with columnar
+# forced on, and the E20 row-vs-columnar speedup table.
+columnar:
+    cargo test --test columnar_differential -q
+    cargo test --test sim_oracle -q forty_seeded_scenarios_pass_with_columnar_forced_on
+    cargo run --release -p braid-bench --bin report -- --quick --only E20
 
 # Multi-process load generator (DESIGN.md §13): fork real client
 # processes against a braid server, closed- or open-loop, every digest

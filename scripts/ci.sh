@@ -19,6 +19,9 @@ cargo test --workspace -q
 echo "==> executor differential suite"
 cargo test --test executor_differential -q
 
+echo "==> columnar differential suite (row ≡ columnar, round trips)"
+cargo test --test columnar_differential -q
+
 echo "==> concurrent sessions suite (parallel harness)"
 cargo test --test concurrent_sessions -q
 
@@ -83,5 +86,8 @@ cargo run -p braid-bench --bin report -- --quick --only E18
 
 echo "==> E19 observability-overhead smoke report"
 cargo run -p braid-bench --bin report -- --quick --only E19
+
+echo "==> E20 columnar-kernels smoke report"
+cargo run --release -p braid-bench --bin report -- --quick --only E20
 
 echo "==> ci OK"

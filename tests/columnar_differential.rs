@@ -1,0 +1,370 @@
+//! Differential battery for the columnar representation and its
+//! vectorized kernels (DESIGN.md §15).
+//!
+//! Two independent obligations are checked here:
+//!
+//! 1. **Round trip**: `Relation → ColumnarRelation → Relation` is the
+//!    identity — including row order, NULLs (validity masks), and
+//!    dictionary edge cases (empty strings, duplicates, more than 255
+//!    distinct values).
+//! 2. **Execution equivalence**: any plan over a columnar scan produces
+//!    results identical to the same plan over the row relation, across
+//!    batch sizes 1 / 7 / 256 — whether the plan compiles to the
+//!    vectorized bitmap/fused kernels or falls back to row operators.
+//!
+//! The row executor is itself differentially tested against a naive
+//! reference in `executor_differential.rs`, so agreement with it is
+//! agreement with the spec.
+
+use braid_relational::{
+    tuple, AggFunc, Aggregate, CmpOp, ColumnarRelation, ExecConfig, Expr, PhysicalPlan, Relation,
+    Schema, Tuple, Value,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------- generators ----------
+
+/// Values drawn from a pool small enough that comparisons hit, wide
+/// enough to exercise every column representation: typed ints, floats
+/// and bools, dictionary strings (empty string included), NULLs, and —
+/// via per-row type mixing — the Mixed fallback.
+fn any_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0..5i64).prop_map(Value::Int),
+        (0..5i64).prop_map(Value::Int),
+        (0..4u8).prop_map(|i| if i == 0 {
+            Value::str("")
+        } else {
+            Value::str(format!("c{i}"))
+        }),
+        prop_oneof![Just(0.5f64), Just(1.5), Just(2.5)].prop_map(Value::Float),
+        (0..2u8).prop_map(|b| Value::Bool(b == 1)),
+        Just(Value::Null),
+    ]
+}
+
+/// A relation of up to 24 three-column rows over `any_value()`.
+fn rel_3col() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((any_value(), any_value(), any_value()), 0..24).prop_map(|rows| {
+        let mut r = Relation::new(Schema::positional("t", 3));
+        for (a, b, c) in rows {
+            r.insert(Tuple::new(vec![a, b, c])).unwrap();
+        }
+        r
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// A vectorizable predicate: comparisons of columns against constants
+/// (or other columns), combined with And / Or / Not — exactly the
+/// subset `exec::vectorizable_pred` admits to the bitmap kernel.
+fn pred_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0..3usize, cmp_op(), any_value()).prop_map(|(i, op, v)| Expr::Cmp(
+            op,
+            Box::new(Expr::Col(i)),
+            Box::new(Expr::Const(v))
+        )),
+        (0..3usize, cmp_op(), 0..3usize).prop_map(|(i, op, j)| Expr::Cmp(
+            op,
+            Box::new(Expr::Col(i)),
+            Box::new(Expr::Col(j))
+        )),
+    ]
+}
+
+fn vec_pred() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        pred_leaf(),
+        pred_leaf(),
+        proptest::collection::vec(pred_leaf(), 1..3).prop_map(Expr::And),
+        proptest::collection::vec(pred_leaf(), 1..3).prop_map(Expr::Or),
+        pred_leaf().prop_map(|e| Expr::Not(Box::new(e))),
+    ]
+}
+
+// ---------- plumbing ----------
+
+fn row_plan(rel: &Relation) -> PhysicalPlan {
+    PhysicalPlan::scan(Arc::new(rel.clone()))
+}
+
+fn col_plan(rel: &Relation) -> PhysicalPlan {
+    PhysicalPlan::scan_columnar(Arc::new(ColumnarRelation::from_relation(rel)))
+}
+
+/// Materialized rows in produced order (row order is part of the
+/// contract for order-preserving plans).
+fn rows_of(plan: &PhysicalPlan, batch_size: usize) -> Vec<Tuple> {
+    let (rel, _) = plan
+        .materialize_with(ExecConfig::with_batch_size(batch_size))
+        .unwrap();
+    rel.to_vec()
+}
+
+/// Materialized rows, sorted — for operators (aggregate, join, dedup)
+/// whose output order is not part of the contract.
+fn sorted_rows_of(plan: &PhysicalPlan, batch_size: usize) -> Vec<Tuple> {
+    let mut v = rows_of(plan, batch_size);
+    v.sort();
+    v
+}
+
+/// Execution outcome with errors kept comparable: fallible plans (e.g.
+/// SUM over a string) must fail on both representations with the same
+/// *kind* of error. The offending value named in the message is not
+/// compared — which row gets blamed first depends on accumulation
+/// order, and that is not contractual (the row aggregate's dedup pass
+/// visits tuples in hash order).
+fn outcome_of(plan: &PhysicalPlan, batch_size: usize) -> Result<Vec<Tuple>, String> {
+    plan.materialize_with(ExecConfig::with_batch_size(batch_size))
+        .map(|(rel, _)| {
+            let mut v = rel.to_vec();
+            v.sort();
+            v
+        })
+        .map_err(|e| {
+            let msg = e.to_string();
+            msg.split_once(" value ")
+                .map_or(msg.clone(), |(kind, _)| kind.to_string())
+        })
+}
+
+const BATCH_SIZES: [usize; 3] = [1, 7, 256];
+
+// ---------- satellite 1: round-trip identity ----------
+
+proptest! {
+    #[test]
+    fn round_trip_is_the_identity_including_order(rel in rel_3col()) {
+        let col = ColumnarRelation::from_relation(&rel);
+        prop_assert_eq!(col.len(), rel.len());
+        let back = col.to_relation().unwrap();
+        prop_assert_eq!(&back, &rel);
+        // Not just the same set: the same row order, slot for slot.
+        prop_assert_eq!(back.to_vec(), rel.to_vec());
+    }
+
+    #[test]
+    fn double_conversion_is_stable(rel in rel_3col()) {
+        // Columnar → row → columnar → row reaches a fixed point at the
+        // first row relation (conversions introduce no drift).
+        let once = ColumnarRelation::from_relation(&rel).to_relation().unwrap();
+        let twice = ColumnarRelation::from_relation(&once).to_relation().unwrap();
+        prop_assert_eq!(once.to_vec(), twice.to_vec());
+    }
+
+    // ---------- satellite 2: execution equivalence ----------
+
+    #[test]
+    fn vectorized_filter_matches_row_filter(rel in rel_3col(), pred in vec_pred()) {
+        let row = row_plan(&rel).filter(pred.clone());
+        let col = col_plan(&rel).filter(pred);
+        for bs in BATCH_SIZES {
+            // Filters preserve scan order on both paths, so the rows
+            // must agree in order, not merely as sets.
+            prop_assert_eq!(rows_of(&col, bs), rows_of(&row, bs), "batch size {}", bs);
+        }
+    }
+
+    #[test]
+    fn strict_filter_agrees_with_row_strict_filter(rel in rel_3col(), pred in vec_pred()) {
+        // Vectorizable predicates cannot error, so strict and
+        // errors-as-unknown coincide — on both representations.
+        let row = row_plan(&rel).filter_strict(pred.clone());
+        let col = col_plan(&rel).filter_strict(pred);
+        for bs in BATCH_SIZES {
+            prop_assert_eq!(rows_of(&col, bs), rows_of(&row, bs), "batch size {}", bs);
+        }
+    }
+
+    #[test]
+    fn filter_chain_and_projection_match(rel in rel_3col(), p1 in vec_pred(), p2 in vec_pred()) {
+        let cols = [2usize, 0];
+        let row = row_plan(&rel).filter(p1.clone()).filter(p2.clone()).project(&cols).unwrap();
+        let col = col_plan(&rel).filter(p1).filter(p2).project(&cols).unwrap();
+        for bs in BATCH_SIZES {
+            prop_assert_eq!(rows_of(&col, bs), rows_of(&row, bs), "batch size {}", bs);
+        }
+    }
+
+    #[test]
+    fn fused_filter_aggregate_matches_row_aggregate(
+        rel in rel_3col(),
+        pred in vec_pred(),
+        func in prop_oneof![
+            Just(AggFunc::Count),
+            Just(AggFunc::Sum),
+            Just(AggFunc::Min),
+            Just(AggFunc::Max),
+        ],
+    ) {
+        // Aggregate output order is not contractual (compare sorted),
+        // and SUM over a non-numeric value errors — in which case both
+        // representations must fail with the identical error.
+        let aggs = [Aggregate { func, col: 1 }];
+        let row = row_plan(&rel).filter(pred.clone()).aggregate(&[0], &aggs).unwrap();
+        let col = col_plan(&rel).filter(pred).aggregate(&[0], &aggs).unwrap();
+        for bs in BATCH_SIZES {
+            prop_assert_eq!(outcome_of(&col, bs), outcome_of(&row, bs), "batch size {}", bs);
+        }
+    }
+
+    #[test]
+    fn non_vectorizable_filter_falls_back_and_agrees(rel in rel_3col(), k in 0..5i64) {
+        // Arithmetic in the predicate: the chain is not vectorizable, so
+        // the columnar plan runs ColScanOp + the row filter operator —
+        // and must still agree with the all-row plan.
+        let pred = Expr::Cmp(
+            CmpOp::Ge,
+            Box::new(Expr::Add(Box::new(Expr::Col(0)), Box::new(Expr::Const(Value::Int(0))))),
+            Box::new(Expr::Const(Value::Int(k))),
+        );
+        let row = row_plan(&rel).filter(pred.clone());
+        let col = col_plan(&rel).filter(pred);
+        for bs in BATCH_SIZES {
+            prop_assert_eq!(rows_of(&col, bs), rows_of(&row, bs), "batch size {}", bs);
+        }
+    }
+
+    #[test]
+    fn columnar_scan_feeds_row_join_and_dedup(l in rel_3col(), r in rel_3col()) {
+        // Joins have no vectorized kernel: the columnar side must stream
+        // row batches into the ordinary hash join unchanged.
+        let on = [(1usize, 0usize)];
+        let row = row_plan(&l).hash_join(row_plan(&r), &on).project(&[0, 4]).unwrap().dedup();
+        let col = col_plan(&l).hash_join(col_plan(&r), &on).project(&[0, 4]).unwrap().dedup();
+        for bs in BATCH_SIZES {
+            prop_assert_eq!(sorted_rows_of(&col, bs), sorted_rows_of(&row, bs), "batch size {}", bs);
+        }
+    }
+
+    #[test]
+    fn composed_columnar_plan_ignores_batch_size(rel in rel_3col(), pred in vec_pred()) {
+        let plan = col_plan(&rel)
+            .filter(pred)
+            .project(&[1, 2])
+            .unwrap()
+            .dedup();
+        let reference = rows_of(&plan, 256);
+        for bs in [1, 2, 3, 7] {
+            prop_assert_eq!(&rows_of(&plan, bs), &reference, "batch size {}", bs);
+        }
+    }
+}
+
+// ---------- fixed dictionary / NULL edge cases, through real plans ----------
+
+#[test]
+fn dictionary_with_duplicates_and_empty_strings_filters_identically() {
+    let mut rel = Relation::new(Schema::positional("s", 2));
+    rel.insert(tuple!["", 0]).unwrap();
+    rel.insert(tuple!["", 1]).unwrap();
+    for i in 0..60i64 {
+        rel.insert(tuple![format!("k{}", i % 4), i]).unwrap();
+    }
+    for pred in [
+        Expr::col_cmp(0, CmpOp::Eq, Value::str("")),
+        Expr::col_cmp(0, CmpOp::Ne, Value::str("k2")),
+        Expr::col_cmp(0, CmpOp::Gt, Value::str("k1")),
+    ] {
+        let row = row_plan(&rel).filter(pred.clone());
+        let col = col_plan(&rel).filter(pred);
+        for bs in BATCH_SIZES {
+            assert_eq!(rows_of(&col, bs), rows_of(&row, bs));
+        }
+    }
+}
+
+#[test]
+fn dictionary_beyond_255_distinct_values_filters_identically() {
+    // Forces > u8::MAX codes: the per-dictionary-entry comparison table
+    // must hold and index correctly past 255.
+    let mut rel = Relation::new(Schema::positional("s", 2));
+    for i in 0..300i64 {
+        rel.insert(tuple![format!("v{i:03}"), i]).unwrap();
+    }
+    let colrel = ColumnarRelation::from_relation(&rel);
+    assert_eq!(colrel.col(0).dict_len(), Some(300));
+    let pred = Expr::col_cmp(0, CmpOp::Ge, Value::str("v280"));
+    let row = row_plan(&rel).filter(pred.clone());
+    let col = PhysicalPlan::scan_columnar(Arc::new(colrel)).filter(pred);
+    for bs in BATCH_SIZES {
+        let got = rows_of(&col, bs);
+        assert_eq!(got, rows_of(&row, bs));
+        assert_eq!(got.len(), 20);
+    }
+}
+
+#[test]
+fn null_rows_survive_filters_and_aggregates_identically() {
+    let rel = Relation::from_tuples(
+        Schema::positional("n", 3),
+        vec![
+            tuple![1, 10, "a"],
+            Tuple::new(vec![Value::Null, Value::Int(20), Value::str("b")]),
+            Tuple::new(vec![Value::Int(1), Value::Null, Value::Null]),
+            Tuple::new(vec![Value::Null, Value::Null, Value::Null]),
+            tuple![2, 30, "a"],
+        ],
+    )
+    .unwrap();
+    let pred = Expr::col_cmp(0, CmpOp::Le, 1);
+    let aggs = [Aggregate {
+        func: AggFunc::Count,
+        col: 1,
+    }];
+    let row = row_plan(&rel)
+        .filter(pred.clone())
+        .aggregate(&[2], &aggs)
+        .unwrap();
+    let col = col_plan(&rel).filter(pred).aggregate(&[2], &aggs).unwrap();
+    for bs in BATCH_SIZES {
+        assert_eq!(sorted_rows_of(&col, bs), sorted_rows_of(&row, bs));
+    }
+}
+
+#[test]
+fn fused_kernel_actually_engages_on_vectorizable_chains() {
+    // Not just equal answers: the fused σ→γ plan must do measurably less
+    // operator work than the row pipeline (it emits only its own output
+    // batches), proving the vectorized path is the one executing.
+    let mut rel = Relation::new(Schema::positional("w", 2));
+    for i in 0..2000i64 {
+        rel.insert(tuple![i % 10, i]).unwrap();
+    }
+    let pred = Expr::col_cmp(1, CmpOp::Ge, 1000);
+    let aggs = [Aggregate {
+        func: AggFunc::Sum,
+        col: 1,
+    }];
+    let row = row_plan(&rel)
+        .filter(pred.clone())
+        .aggregate(&[0], &aggs)
+        .unwrap();
+    let col = col_plan(&rel).filter(pred).aggregate(&[0], &aggs).unwrap();
+    let (row_rel, row_stats) = row
+        .materialize_with(ExecConfig::with_batch_size(64))
+        .unwrap();
+    let (col_rel, col_stats) = col
+        .materialize_with(ExecConfig::with_batch_size(64))
+        .unwrap();
+    assert_eq!(row_rel, col_rel);
+    assert!(
+        col_stats.batches < row_stats.batches,
+        "fused kernel must produce fewer operator batches ({} vs {})",
+        col_stats.batches,
+        row_stats.batches
+    );
+}
